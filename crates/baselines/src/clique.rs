@@ -1,0 +1,411 @@
+//! CLIQUE — automatic subspace clustering (Agrawal et al., SIGMOD 1998).
+//!
+//! The second grid-based relative the AdaWave paper cites (§II): CLIQUE
+//! partitions every dimension into `xi` intervals, finds *dense units*
+//! (cells holding at least a `tau` fraction of the points) bottom-up with an
+//! Apriori-style candidate generation — a `k`-dimensional unit can only be
+//! dense if all of its `(k-1)`-dimensional projections are — and reports
+//! connected dense units in the highest-dimensional subspaces as clusters.
+//! Unlike AdaWave it searches subspaces instead of smoothing the full-space
+//! grid, which makes it attractive for very high dimensions but blind to
+//! clusters that only exist in the full space.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use crate::Clustering;
+
+/// Configuration for [`clique`].
+#[derive(Debug, Clone)]
+pub struct CliqueConfig {
+    /// Number of intervals per dimension (`xi` in the paper).
+    pub intervals: u32,
+    /// Density threshold (`tau`): a unit is dense when it holds at least
+    /// `tau * n` points.
+    pub density_threshold: f64,
+    /// Upper bound on the dimensionality of the subspaces searched (caps the
+    /// Apriori lattice; 0 means "no bound").
+    pub max_subspace_dims: usize,
+}
+
+impl Default for CliqueConfig {
+    fn default() -> Self {
+        Self {
+            intervals: 10,
+            density_threshold: 0.01,
+            max_subspace_dims: 0,
+        }
+    }
+}
+
+impl CliqueConfig {
+    /// Create a configuration.
+    pub fn new(intervals: u32, density_threshold: f64) -> Self {
+        Self {
+            intervals,
+            density_threshold,
+            max_subspace_dims: 0,
+        }
+    }
+}
+
+/// A dense unit: a subspace (sorted list of dimensions) together with one
+/// interval index per subspace dimension.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DenseUnit {
+    /// The dimensions spanning the subspace, strictly increasing.
+    pub dims: Vec<usize>,
+    /// The interval index along each subspace dimension.
+    pub intervals: Vec<u32>,
+}
+
+/// The outcome of the bottom-up dense-unit search.
+#[derive(Debug, Clone)]
+pub struct CliqueModel {
+    /// Dense units grouped by subspace dimensionality (index 0 = 1-D units).
+    pub dense_units_by_level: Vec<Vec<DenseUnit>>,
+    /// Number of intervals per dimension used for discretization.
+    pub intervals: u32,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+}
+
+impl CliqueModel {
+    /// The highest subspace dimensionality that still has dense units
+    /// (0 when no unit is dense at all).
+    pub fn max_dense_dimensionality(&self) -> usize {
+        self.dense_units_by_level
+            .iter()
+            .rposition(|units| !units.is_empty())
+            .map_or(0, |level| level + 1)
+    }
+
+    /// Discretize one coordinate of a point.
+    fn interval_of(&self, value: f64, dim: usize) -> u32 {
+        let span = (self.upper[dim] - self.lower[dim]).max(1e-300);
+        let t = (value - self.lower[dim]) / span;
+        ((t * self.intervals as f64) as u32).min(self.intervals - 1)
+    }
+
+    /// Whether a point falls inside a dense unit.
+    pub fn contains(&self, unit: &DenseUnit, point: &[f64]) -> bool {
+        unit.dims
+            .iter()
+            .zip(unit.intervals.iter())
+            .all(|(&d, &i)| self.interval_of(point[d], d) == i)
+    }
+}
+
+/// Run the bottom-up dense unit search.
+pub fn clique_model(points: &[Vec<f64>], config: &CliqueConfig) -> CliqueModel {
+    let dims = points.first().map_or(0, |p| p.len());
+    let mut lower = vec![f64::INFINITY; dims];
+    let mut upper = vec![f64::NEG_INFINITY; dims];
+    for p in points {
+        for j in 0..dims {
+            lower[j] = lower[j].min(p[j]);
+            upper[j] = upper[j].max(p[j]);
+        }
+    }
+    for j in 0..dims {
+        if !lower[j].is_finite() || upper[j] - lower[j] <= 0.0 {
+            lower[j] = lower.get(j).copied().unwrap_or(0.0);
+            upper[j] = lower[j] + 1.0;
+        }
+    }
+    let mut model = CliqueModel {
+        dense_units_by_level: Vec::new(),
+        intervals: config.intervals.max(1),
+        lower,
+        upper,
+    };
+    if points.is_empty() || dims == 0 {
+        return model;
+    }
+    let min_count = ((config.density_threshold * points.len() as f64).ceil() as usize).max(1);
+    let max_level = if config.max_subspace_dims == 0 {
+        dims
+    } else {
+        config.max_subspace_dims.min(dims)
+    };
+
+    // Level 1: count every (dimension, interval) pair.
+    let mut counts: BTreeMap<DenseUnit, usize> = BTreeMap::new();
+    for p in points {
+        for (d, &x) in p.iter().enumerate() {
+            let unit = DenseUnit {
+                dims: vec![d],
+                intervals: vec![model.interval_of(x, d)],
+            };
+            *counts.entry(unit).or_insert(0) += 1;
+        }
+    }
+    let mut current: Vec<DenseUnit> = counts
+        .into_iter()
+        .filter(|(_, c)| *c >= min_count)
+        .map(|(u, _)| u)
+        .collect();
+    model.dense_units_by_level.push(current.clone());
+
+    // Levels 2..: Apriori joins of units sharing all but their last dimension.
+    for _level in 2..=max_level {
+        if current.len() < 2 {
+            model.dense_units_by_level.push(Vec::new());
+            break;
+        }
+        let existing: HashSet<&DenseUnit> = current.iter().collect();
+        let mut candidates: HashSet<DenseUnit> = HashSet::new();
+        for (i, a) in current.iter().enumerate() {
+            for b in &current[i + 1..] {
+                let k = a.dims.len();
+                if a.dims[..k - 1] != b.dims[..k - 1]
+                    || a.intervals[..k - 1] != b.intervals[..k - 1]
+                    || a.dims[k - 1] == b.dims[k - 1]
+                {
+                    continue;
+                }
+                let (first, second) = if a.dims[k - 1] < b.dims[k - 1] {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
+                let mut dims = first.dims.clone();
+                dims.push(second.dims[k - 1]);
+                let mut intervals = first.intervals.clone();
+                intervals.push(second.intervals[k - 1]);
+                let candidate = DenseUnit { dims, intervals };
+                // Apriori pruning: every (k)-subset obtained by dropping one
+                // dimension must itself be dense.
+                let all_subsets_dense = (0..candidate.dims.len()).all(|drop| {
+                    let mut sub_dims = candidate.dims.clone();
+                    let mut sub_intervals = candidate.intervals.clone();
+                    sub_dims.remove(drop);
+                    sub_intervals.remove(drop);
+                    existing.contains(&DenseUnit {
+                        dims: sub_dims,
+                        intervals: sub_intervals,
+                    })
+                });
+                if all_subsets_dense {
+                    candidates.insert(candidate);
+                }
+            }
+        }
+        if candidates.is_empty() {
+            model.dense_units_by_level.push(Vec::new());
+            break;
+        }
+        // Count candidate support with one scan over the points.
+        let mut support: HashMap<&DenseUnit, usize> = candidates.iter().map(|c| (c, 0)).collect();
+        for p in points {
+            for (unit, count) in support.iter_mut() {
+                if model.contains(unit, p) {
+                    *count += 1;
+                }
+            }
+        }
+        let mut next: Vec<DenseUnit> = support
+            .into_iter()
+            .filter(|(_, c)| *c >= min_count)
+            .map(|(u, _)| u.clone())
+            .collect();
+        next.sort();
+        model.dense_units_by_level.push(next.clone());
+        if next.is_empty() {
+            break;
+        }
+        current = next;
+    }
+    model
+}
+
+/// Run CLIQUE and return a flat clustering: connected dense units of the
+/// highest dense subspace dimensionality form clusters (per subspace), and
+/// points covered by none of them are noise.
+pub fn clique(points: &[Vec<f64>], config: &CliqueConfig) -> Clustering {
+    let n = points.len();
+    if n == 0 {
+        return Clustering::new(vec![]);
+    }
+    let model = clique_model(points, config);
+    let top = model.max_dense_dimensionality();
+    if top == 0 {
+        return Clustering::all_noise(n);
+    }
+    let units = &model.dense_units_by_level[top - 1];
+
+    // Group the top-level dense units by subspace, then connect units within
+    // a subspace when they differ by one step along exactly one dimension.
+    let mut by_subspace: BTreeMap<&[usize], Vec<usize>> = BTreeMap::new();
+    for (i, u) in units.iter().enumerate() {
+        by_subspace.entry(&u.dims).or_default().push(i);
+    }
+    let mut unit_cluster: Vec<Option<usize>> = vec![None; units.len()];
+    let mut next_cluster = 0usize;
+    for members in by_subspace.values() {
+        // Union-find over the units of this subspace.
+        let mut parent: Vec<usize> = (0..members.len()).collect();
+        fn find(parent: &mut [usize], mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]];
+                i = parent[i];
+            }
+            i
+        }
+        for a_pos in 0..members.len() {
+            for b_pos in a_pos + 1..members.len() {
+                let (a, b) = (&units[members[a_pos]], &units[members[b_pos]]);
+                let mut diff = 0u32;
+                let mut adjacent = true;
+                for (ia, ib) in a.intervals.iter().zip(b.intervals.iter()) {
+                    let step = ia.abs_diff(*ib);
+                    if step > 1 {
+                        adjacent = false;
+                        break;
+                    }
+                    diff += step;
+                }
+                if adjacent && diff == 1 {
+                    let (ra, rb) = (find(&mut parent, a_pos), find(&mut parent, b_pos));
+                    if ra != rb {
+                        parent[ra] = rb;
+                    }
+                }
+            }
+        }
+        let mut root_to_cluster: HashMap<usize, usize> = HashMap::new();
+        for (pos, &unit_idx) in members.iter().enumerate() {
+            let root = find(&mut parent, pos);
+            let cluster = *root_to_cluster.entry(root).or_insert_with(|| {
+                let c = next_cluster;
+                next_cluster += 1;
+                c
+            });
+            unit_cluster[unit_idx] = Some(cluster);
+        }
+    }
+
+    // Assign every point to the cluster of the first top-level unit covering
+    // it (points covered by no dense unit are noise).
+    let assignment: Vec<Option<usize>> = points
+        .iter()
+        .map(|p| {
+            units
+                .iter()
+                .position(|u| model.contains(u, p))
+                .and_then(|i| unit_cluster[i])
+        })
+        .collect();
+    Clustering::new(assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adawave_data::{shapes, Rng};
+    use adawave_metrics::{ami_ignoring_noise, NOISE_LABEL};
+
+    fn blobs_with_noise() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = Rng::new(17);
+        let mut points = Vec::new();
+        let mut truth = Vec::new();
+        shapes::gaussian_blob(&mut points, &mut rng, &[0.2, 0.2], &[0.03, 0.03], 300);
+        truth.extend(std::iter::repeat(0usize).take(300));
+        shapes::gaussian_blob(&mut points, &mut rng, &[0.8, 0.8], &[0.03, 0.03], 300);
+        truth.extend(std::iter::repeat(1usize).take(300));
+        shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], 150);
+        truth.extend(std::iter::repeat(2usize).take(150));
+        (points, truth)
+    }
+
+    #[test]
+    fn clusters_two_blobs_in_noise() {
+        let (points, truth) = blobs_with_noise();
+        let clustering = clique(&points, &CliqueConfig::new(12, 0.02));
+        assert!(clustering.cluster_count() >= 2);
+        let score = ami_ignoring_noise(&truth, &clustering.to_labels(NOISE_LABEL), 2);
+        assert!(score > 0.6, "AMI {score}");
+    }
+
+    #[test]
+    fn dense_units_respect_the_apriori_property() {
+        let (points, _) = blobs_with_noise();
+        let model = clique_model(&points, &CliqueConfig::new(12, 0.02));
+        assert!(model.max_dense_dimensionality() >= 2);
+        // Every 2-D dense unit must have both of its 1-D projections dense.
+        let one_d: HashSet<&DenseUnit> = model.dense_units_by_level[0].iter().collect();
+        for unit in &model.dense_units_by_level[1] {
+            for drop in 0..2 {
+                let mut dims = unit.dims.clone();
+                let mut intervals = unit.intervals.clone();
+                dims.remove(drop);
+                intervals.remove(drop);
+                assert!(
+                    one_d.contains(&DenseUnit { dims, intervals }),
+                    "projection of {unit:?} is not dense"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn finds_a_subspace_cluster_hidden_in_an_irrelevant_dimension() {
+        // A cluster that is tight in dimension 0 but uniform in dimension 1:
+        // CLIQUE still reports a dense 1-D unit on dimension 0.
+        let mut rng = Rng::new(9);
+        let mut points = Vec::new();
+        for _ in 0..400 {
+            points.push(vec![rng.normal_with(0.5, 0.01), rng.uniform()]);
+        }
+        // Each dimension is normalized to its own min/max, so the tight
+        // normal coordinate still spans all 20 intervals — but its central
+        // intervals hold ~13% of the points each, versus ~5% for the uniform
+        // dimension. A 10% threshold separates the two.
+        let model = clique_model(&points, &CliqueConfig::new(20, 0.10));
+        let dense_dims: HashSet<usize> = model.dense_units_by_level[0]
+            .iter()
+            .map(|u| u.dims[0])
+            .collect();
+        assert!(dense_dims.contains(&0));
+        assert!(!dense_dims.contains(&1), "dimension 1 is uniform");
+    }
+
+    #[test]
+    fn no_dense_units_means_all_noise() {
+        let mut rng = Rng::new(13);
+        let mut points = Vec::new();
+        shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], 200);
+        // Threshold of 50% of points per unit: nothing qualifies in 2-D.
+        let clustering = clique(&points, &CliqueConfig::new(10, 0.5));
+        assert_eq!(clustering.cluster_count(), 0);
+        assert_eq!(clustering.noise_count(), 200);
+    }
+
+    #[test]
+    fn max_subspace_dims_caps_the_lattice() {
+        let (points, _) = blobs_with_noise();
+        let config = CliqueConfig {
+            intervals: 12,
+            density_threshold: 0.02,
+            max_subspace_dims: 1,
+        };
+        let model = clique_model(&points, &config);
+        assert_eq!(model.max_dense_dimensionality(), 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(clique(&[], &CliqueConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn adjacent_dense_units_merge_into_one_cluster() {
+        // A long uniform bar spanning several intervals along x.
+        let mut rng = Rng::new(23);
+        let mut points = Vec::new();
+        for _ in 0..600 {
+            points.push(vec![rng.uniform_range(0.1, 0.9), rng.normal_with(0.5, 0.01)]);
+        }
+        let clustering = clique(&points, &CliqueConfig::new(8, 0.02));
+        assert_eq!(clustering.cluster_count(), 1, "sizes {:?}", clustering.cluster_sizes());
+    }
+}

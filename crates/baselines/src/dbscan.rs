@@ -1,0 +1,216 @@
+//! DBSCAN (Ester et al., KDD 1996), the density-based representative.
+//!
+//! Uses a kd-tree for the `eps`-neighborhood queries, giving the
+//! `O(n log n)` average behaviour the paper quotes; the worst case remains
+//! quadratic.
+
+use crate::{Clustering, KdTree};
+
+/// Configuration for [`dbscan`].
+#[derive(Debug, Clone)]
+pub struct DbscanConfig {
+    /// Neighborhood radius (`eps`).
+    pub eps: f64,
+    /// Minimum number of points (including the point itself) inside the
+    /// `eps`-neighborhood for a point to be a core point.
+    pub min_points: usize,
+}
+
+impl DbscanConfig {
+    /// Create a configuration.
+    pub fn new(eps: f64, min_points: usize) -> Self {
+        Self { eps, min_points }
+    }
+}
+
+impl Default for DbscanConfig {
+    fn default() -> Self {
+        // The paper's automation protocol: minPts = 8 with eps swept.
+        Self {
+            eps: 0.05,
+            min_points: 8,
+        }
+    }
+}
+
+/// Run DBSCAN. Points that are neither core points nor density-reachable
+/// from one are labeled as noise (`None`).
+pub fn dbscan(points: &[Vec<f64>], config: &DbscanConfig) -> Clustering {
+    let n = points.len();
+    if n == 0 {
+        return Clustering::new(vec![]);
+    }
+    let tree = KdTree::build(points);
+
+    const UNVISITED: usize = usize::MAX;
+    const NOISE: usize = usize::MAX - 1;
+    let mut labels = vec![UNVISITED; n];
+    let mut cluster = 0usize;
+
+    for start in 0..n {
+        if labels[start] != UNVISITED {
+            continue;
+        }
+        let neighbors = tree.within_radius(&points[start], config.eps);
+        if neighbors.len() < config.min_points {
+            labels[start] = NOISE;
+            continue;
+        }
+        // Start a new cluster and expand it with a seed queue.
+        labels[start] = cluster;
+        let mut queue: std::collections::VecDeque<usize> = neighbors.into_iter().collect();
+        while let Some(q) = queue.pop_front() {
+            if labels[q] == NOISE {
+                // Border point: reachable from a core point.
+                labels[q] = cluster;
+            }
+            if labels[q] != UNVISITED {
+                continue;
+            }
+            labels[q] = cluster;
+            let q_neighbors = tree.within_radius(&points[q], config.eps);
+            if q_neighbors.len() >= config.min_points {
+                queue.extend(q_neighbors);
+            }
+        }
+        cluster += 1;
+    }
+
+    Clustering::new(
+        labels
+            .into_iter()
+            .map(|l| if l == NOISE || l == UNVISITED { None } else { Some(l) })
+            .collect(),
+    )
+}
+
+/// Run DBSCAN for every `eps` in a sweep and return the clustering that
+/// maximizes `score`, together with the chosen `eps`. This mirrors the
+/// paper's automation protocol ("we fix minPts = 8 and run DBSCAN for all
+/// eps in {0.01, ..., 0.2}, reporting the best AMI").
+pub fn dbscan_best_eps<F>(
+    points: &[Vec<f64>],
+    eps_values: &[f64],
+    min_points: usize,
+    mut score: F,
+) -> (Clustering, f64)
+where
+    F: FnMut(&Clustering) -> f64,
+{
+    let mut best: Option<(Clustering, f64, f64)> = None;
+    for &eps in eps_values {
+        let clustering = dbscan(points, &DbscanConfig::new(eps, min_points));
+        let s = score(&clustering);
+        let better = match &best {
+            None => true,
+            Some((_, _, best_s)) => s > *best_s,
+        };
+        if better {
+            best = Some((clustering, eps, s));
+        }
+    }
+    let (clustering, eps, _) = best.expect("dbscan_best_eps: empty eps sweep");
+    (clustering, eps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adawave_data::{shapes, Rng};
+    use adawave_metrics::{ami, NOISE_LABEL};
+
+    #[test]
+    fn separates_two_dense_blobs_and_marks_outliers() {
+        let mut rng = Rng::new(1);
+        let mut points = Vec::new();
+        shapes::gaussian_blob(&mut points, &mut rng, &[0.0, 0.0], &[0.05, 0.05], 200);
+        shapes::gaussian_blob(&mut points, &mut rng, &[1.0, 1.0], &[0.05, 0.05], 200);
+        // A few far-away outliers.
+        points.push(vec![3.0, -3.0]);
+        points.push(vec![-3.0, 3.0]);
+        let clustering = dbscan(&points, &DbscanConfig::new(0.1, 5));
+        assert_eq!(clustering.cluster_count(), 2);
+        assert_eq!(clustering.label(400), None);
+        assert_eq!(clustering.label(401), None);
+        // The two blobs are not merged.
+        assert_ne!(clustering.label(0), clustering.label(200));
+    }
+
+    #[test]
+    fn finds_ring_shaped_cluster() {
+        let mut rng = Rng::new(2);
+        let mut points = Vec::new();
+        shapes::ring(&mut points, &mut rng, (0.5, 0.5), 0.3, 0.01, 400);
+        let clustering = dbscan(&points, &DbscanConfig::new(0.08, 5));
+        assert_eq!(clustering.cluster_count(), 1);
+        assert!(clustering.noise_fraction() < 0.05);
+    }
+
+    #[test]
+    fn all_noise_when_eps_too_small() {
+        let mut rng = Rng::new(3);
+        let mut points = Vec::new();
+        shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], 100);
+        let clustering = dbscan(&points, &DbscanConfig::new(1e-6, 4));
+        assert_eq!(clustering.cluster_count(), 0);
+        assert_eq!(clustering.noise_count(), 100);
+    }
+
+    #[test]
+    fn single_cluster_when_eps_huge() {
+        let mut rng = Rng::new(4);
+        let mut points = Vec::new();
+        shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], 100);
+        let clustering = dbscan(&points, &DbscanConfig::new(10.0, 4));
+        assert_eq!(clustering.cluster_count(), 1);
+        assert_eq!(clustering.noise_count(), 0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let clustering = dbscan(&[], &DbscanConfig::default());
+        assert!(clustering.is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut rng = Rng::new(5);
+        let mut points = Vec::new();
+        shapes::gaussian_blob(&mut points, &mut rng, &[0.0, 0.0], &[0.1, 0.1], 150);
+        let a = dbscan(&points, &DbscanConfig::new(0.05, 5));
+        let b = dbscan(&points, &DbscanConfig::new(0.05, 5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn best_eps_sweep_picks_good_parameter() {
+        let mut rng = Rng::new(6);
+        let mut points = Vec::new();
+        let mut truth = Vec::new();
+        shapes::gaussian_blob(&mut points, &mut rng, &[0.0, 0.0], &[0.03, 0.03], 150);
+        truth.extend(std::iter::repeat(0usize).take(150));
+        shapes::gaussian_blob(&mut points, &mut rng, &[0.5, 0.5], &[0.03, 0.03], 150);
+        truth.extend(std::iter::repeat(1usize).take(150));
+        let eps_values: Vec<f64> = (1..=20).map(|i| i as f64 * 0.01).collect();
+        let (clustering, eps) = dbscan_best_eps(&points, &eps_values, 8, |c| {
+            ami(&truth, &c.to_labels(NOISE_LABEL))
+        });
+        assert!(eps > 0.0 && eps <= 0.2);
+        let score = ami(&truth, &clustering.to_labels(NOISE_LABEL));
+        assert!(score > 0.9, "AMI {score}");
+    }
+
+    #[test]
+    fn border_points_join_a_cluster() {
+        // A dense core with one point just inside eps of the core but with
+        // too few neighbours of its own: it must become a border member, not noise.
+        let mut points = vec![];
+        for i in 0..10 {
+            points.push(vec![0.01 * i as f64, 0.0]);
+        }
+        points.push(vec![0.13, 0.0]); // border point
+        let clustering = dbscan(&points, &DbscanConfig::new(0.05, 4));
+        assert_eq!(clustering.cluster_count(), 1);
+        assert!(clustering.label(10).is_some());
+    }
+}

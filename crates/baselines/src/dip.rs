@@ -1,0 +1,633 @@
+//! Hartigan's dip test of unimodality, UniDip and SkinnyDip.
+//!
+//! SkinnyDip (Maurus & Plant, KDD 2016) is the paper's specialized
+//! high-noise competitor. Its core is the dip statistic: the largest
+//! distance between the empirical CDF and the closest unimodal CDF. UniDip
+//! recursively applies the dip test to 1-D data to extract modal intervals;
+//! SkinnyDip intersects the UniDip intervals across dimensions to form
+//! hyper-rectangular clusters, leaving everything else as noise.
+//!
+//! The dip statistic here follows the iterative greatest-convex-minorant /
+//! least-concave-majorant scheme of Hartigan & Hartigan (1985). P-values
+//! are estimated by Monte-Carlo bootstrap against uniform samples of the
+//! same size, which is the standard practice when the published lookup
+//! tables are unavailable.
+
+use adawave_data::Rng;
+
+use crate::Clustering;
+
+/// Result of a dip computation: the statistic and the modal interval
+/// (indices into the *sorted* sample).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DipResult {
+    /// The dip statistic, in `[0, 0.25]`.
+    pub dip: f64,
+    /// Inclusive index range of the modal interval in the sorted sample.
+    pub modal_interval: (usize, usize),
+}
+
+/// Empirical CDF value at sorted index `i` (using the midpoint convention).
+fn ecdf(i: usize, n: usize) -> f64 {
+    (i as f64 + 1.0) / n as f64
+}
+
+/// Indices of the greatest convex minorant of the ECDF restricted to
+/// `[low, high]` (inclusive), returned in increasing order.
+fn convex_minorant(x: &[f64], low: usize, high: usize, n: usize) -> Vec<usize> {
+    let mut hull: Vec<usize> = Vec::new();
+    for i in low..=high {
+        while hull.len() >= 2 {
+            let a = hull[hull.len() - 2];
+            let b = hull[hull.len() - 1];
+            // Remove b if it lies above the segment a -> i (not convex).
+            let cross = (x[b] - x[a]) * (ecdf(i, n) - ecdf(a, n))
+                - (ecdf(b, n) - ecdf(a, n)) * (x[i] - x[a]);
+            if cross >= 0.0 {
+                break;
+            }
+            hull.pop();
+        }
+        hull.push(i);
+    }
+    hull
+}
+
+/// Indices of the least concave majorant of the ECDF restricted to
+/// `[low, high]` (inclusive), returned in increasing order.
+fn concave_majorant(x: &[f64], low: usize, high: usize, n: usize) -> Vec<usize> {
+    let mut hull: Vec<usize> = Vec::new();
+    for i in low..=high {
+        while hull.len() >= 2 {
+            let a = hull[hull.len() - 2];
+            let b = hull[hull.len() - 1];
+            // Remove b if it lies below the segment a -> i (not concave).
+            let cross = (x[b] - x[a]) * (ecdf(i, n) - ecdf(a, n))
+                - (ecdf(b, n) - ecdf(a, n)) * (x[i] - x[a]);
+            if cross <= 0.0 {
+                break;
+            }
+            hull.pop();
+        }
+        hull.push(i);
+    }
+    hull
+}
+
+/// Linear interpolation of the piecewise-linear curve through the hull
+/// points `(x[h], ecdf(h))` evaluated at `x[i]`.
+fn interpolate_on_hull(x: &[f64], hull: &[usize], i: usize, n: usize) -> f64 {
+    // Find the hull segment containing x[i].
+    let xi = x[i];
+    if xi <= x[hull[0]] {
+        return ecdf(hull[0], n);
+    }
+    for w in hull.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if xi <= x[b] {
+            let span = x[b] - x[a];
+            if span <= 0.0 {
+                return ecdf(b, n);
+            }
+            let t = (xi - x[a]) / span;
+            return ecdf(a, n) + t * (ecdf(b, n) - ecdf(a, n));
+        }
+    }
+    ecdf(*hull.last().unwrap(), n)
+}
+
+/// Compute the dip statistic of a 1-D sample. The input does **not** need
+/// to be sorted. Returns the statistic and the modal interval as indices
+/// into the sorted order.
+pub fn dip_statistic(values: &[f64]) -> DipResult {
+    let n = values.len();
+    if n < 4 {
+        return DipResult {
+            dip: 0.0,
+            modal_interval: (0, n.saturating_sub(1)),
+        };
+    }
+    let mut x: Vec<f64> = values.to_vec();
+    x.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    let mut low = 0usize;
+    let mut high = n - 1;
+    let mut dip = 1.0 / (2.0 * n as f64);
+
+    for _ in 0..n {
+        let gcm = convex_minorant(&x, low, high, n);
+        let lcm = concave_majorant(&x, low, high, n);
+
+        // Largest separation between the two envelope curves. The gap is
+        // evaluated at every hull vertex; the modal-interval candidates are
+        // the GCM vertex at/below and the LCM vertex at/above the location
+        // of the maximum gap.
+        let mut d = 0.0;
+        let mut arg = low;
+        for &i in gcm.iter().chain(lcm.iter()) {
+            let gap = interpolate_on_hull(&x, &lcm, i, n) - interpolate_on_hull(&x, &gcm, i, n);
+            if gap > d {
+                d = gap;
+                arg = i;
+            }
+        }
+        let ig = gcm
+            .iter()
+            .copied()
+            .filter(|&g| g <= arg)
+            .next_back()
+            .unwrap_or(low);
+        let ih = lcm.iter().copied().find(|&l| l >= arg).unwrap_or(high);
+
+        if d <= dip {
+            break;
+        }
+
+        // Deviations of the ECDF from the envelopes outside the candidate
+        // modal interval.
+        let mut dip_l: f64 = 0.0;
+        for i in low..=ig.max(low) {
+            let dev = (ecdf(i, n) - interpolate_on_hull(&x, &gcm, i, n)).abs();
+            dip_l = dip_l.max(dev);
+        }
+        let mut dip_u: f64 = 0.0;
+        for i in ih.min(high)..=high {
+            let dev = (interpolate_on_hull(&x, &lcm, i, n) - ecdf(i, n)).abs();
+            dip_u = dip_u.max(dev);
+        }
+        dip = dip.max(dip_l.max(dip_u));
+
+        // Shrink to the candidate modal interval and iterate.
+        let new_low = ig.min(ih);
+        let new_high = ig.max(ih);
+        if new_low <= low && new_high >= high {
+            break;
+        }
+        low = new_low.max(low);
+        high = new_high.min(high);
+        if high <= low + 1 {
+            break;
+        }
+    }
+
+    DipResult {
+        dip: (dip * 0.5).min(0.25),
+        modal_interval: (low, high),
+    }
+}
+
+/// Monte-Carlo p-value of a dip statistic: the fraction of `bootstraps`
+/// uniform samples of size `n` whose dip is at least as large as `dip`.
+pub fn dip_pvalue(dip: f64, n: usize, bootstraps: usize, rng: &mut Rng) -> f64 {
+    if n < 4 || bootstraps == 0 {
+        return 1.0;
+    }
+    let mut at_least = 0usize;
+    let mut sample = vec![0.0; n];
+    for _ in 0..bootstraps {
+        for v in &mut sample {
+            *v = rng.uniform();
+        }
+        if dip_statistic(&sample).dip >= dip {
+            at_least += 1;
+        }
+    }
+    (at_least as f64 + 1.0) / (bootstraps as f64 + 1.0)
+}
+
+/// Combined dip test: statistic, modal interval and bootstrap p-value.
+pub fn dip_test(values: &[f64], bootstraps: usize, rng: &mut Rng) -> (DipResult, f64) {
+    let result = dip_statistic(values);
+    let p = dip_pvalue(result.dip, values.len(), bootstraps, rng);
+    (result, p)
+}
+
+/// Configuration shared by UniDip and SkinnyDip.
+#[derive(Debug, Clone)]
+pub struct SkinnyDipConfig {
+    /// Significance level of the dip test (0.05 in the SkinnyDip paper).
+    pub alpha: f64,
+    /// Number of bootstrap samples per dip test.
+    pub bootstraps: usize,
+    /// Smallest interval (number of points) worth recursing into.
+    pub min_cluster_size: usize,
+    /// Maximum recursion depth of UniDip.
+    pub max_depth: usize,
+    /// A modal interval only counts as a cluster if the point density
+    /// inside it is at least this factor above the average density of the
+    /// whole (sub)sample; this is what keeps uniform noise from being
+    /// reported as a mode.
+    pub min_density_ratio: f64,
+    /// RNG seed (bootstrap only; the algorithm itself is deterministic).
+    pub seed: u64,
+}
+
+impl Default for SkinnyDipConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 0.05,
+            bootstraps: 64,
+            min_cluster_size: 8,
+            max_depth: 12,
+            min_density_ratio: 2.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Expand a modal interval outwards while the local point density stays
+/// comparable to the density inside the interval.
+///
+/// The dip's modal interval marks the steepest part of the ECDF, which for
+/// a Gaussian-ish cluster is narrower than the cluster itself; UniDip needs
+/// the full cluster extent so that the interval captures (most of) its
+/// members. Expansion stops as soon as the gap to the next point exceeds
+/// `3x` the median in-interval spacing — i.e. when we reach the
+/// low-density noise floor.
+fn expand_modal_interval(sorted: &[f64], lo: usize, hi: usize) -> (usize, usize) {
+    let n = sorted.len();
+    if n < 3 || hi <= lo + 1 {
+        return (lo, hi);
+    }
+    // Average spacing of the (dense) modal interval; expansion continues as
+    // long as the local spacing — averaged over a small window to smooth
+    // sampling jitter — stays within a small multiple of it.
+    let average_spacing =
+        ((sorted[hi] - sorted[lo]) / (hi - lo) as f64).max(1e-12);
+    let limit = 4.0 * average_spacing;
+    let window = 5usize;
+
+    let mut new_lo = lo;
+    while new_lo > 0 {
+        let prev = new_lo - 1;
+        let window_start = prev.saturating_sub(window);
+        let span = sorted[new_lo] - sorted[window_start];
+        let local = span / (new_lo - window_start) as f64;
+        if local <= limit {
+            new_lo = prev;
+        } else {
+            break;
+        }
+    }
+    let mut new_hi = hi;
+    while new_hi + 1 < n {
+        let next = new_hi + 1;
+        let window_end = (next + window).min(n - 1);
+        let span = sorted[window_end] - sorted[new_hi];
+        let local = span / (window_end - new_hi) as f64;
+        if local <= limit {
+            new_hi = next;
+        } else {
+            break;
+        }
+    }
+    (new_lo, new_hi)
+}
+
+/// Recursively extract modal intervals from 1-D values with UniDip.
+///
+/// Returns the discovered intervals as `(low, high)` value ranges
+/// (inclusive), in increasing order of `low`.
+pub fn unidip(values: &[f64], config: &SkinnyDipConfig, rng: &mut Rng) -> Vec<(f64, f64)> {
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut intervals = Vec::new();
+    unidip_recursive(&sorted, config, rng, 0, &mut intervals);
+    let n = sorted.len();
+    if n < 2 {
+        return intervals;
+    }
+    // Keep only "core" intervals that are denser than the sample average
+    // (uniform-noise stretches are not modes), then grow each survivor
+    // against the full sample until the local density falls back to the
+    // noise floor, so the interval captures the bulk of its cluster.
+    let global_spacing = ((sorted[n - 1] - sorted[0]) / (n - 1) as f64).max(1e-15);
+    let expanded: Vec<(f64, f64)> = intervals
+        .iter()
+        .filter_map(|&(lo_v, hi_v)| {
+            let lo = sorted.partition_point(|&v| v < lo_v);
+            let hi = sorted
+                .partition_point(|&v| v <= hi_v)
+                .saturating_sub(1)
+                .max(lo);
+            let count = hi - lo;
+            let spacing = if count == 0 {
+                0.0
+            } else {
+                (sorted[hi] - sorted[lo]) / count as f64
+            };
+            if spacing * config.min_density_ratio > global_spacing {
+                return None; // not denser than the background
+            }
+            let (elo, ehi) = expand_modal_interval(&sorted, lo, hi);
+            Some((sorted[elo], sorted[ehi]))
+        })
+        .collect();
+    let mut intervals = expanded;
+    intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    merge_overlapping(&mut intervals);
+    intervals
+}
+
+fn merge_overlapping(intervals: &mut Vec<(f64, f64)>) {
+    if intervals.len() < 2 {
+        return;
+    }
+    let mut merged: Vec<(f64, f64)> = Vec::with_capacity(intervals.len());
+    for &(lo, hi) in intervals.iter() {
+        if let Some(last) = merged.last_mut() {
+            if lo <= last.1 {
+                last.1 = last.1.max(hi);
+                continue;
+            }
+        }
+        merged.push((lo, hi));
+    }
+    *intervals = merged;
+}
+
+fn unidip_recursive(
+    sorted: &[f64],
+    config: &SkinnyDipConfig,
+    rng: &mut Rng,
+    depth: usize,
+    out: &mut Vec<(f64, f64)>,
+) {
+    let n = sorted.len();
+    if n < config.min_cluster_size {
+        return;
+    }
+    let (result, p) = dip_test(sorted, config.bootstraps, rng);
+    let (lo, hi) = result.modal_interval;
+    if p > config.alpha || depth >= config.max_depth {
+        // Unimodal: the (density-expanded) modal interval is one cluster.
+        // When the dip test is run on a flank that is pure noise the modal
+        // interval tends to span (almost) everything; reporting it is still
+        // correct because the caller decides which points fall inside.
+        let (elo, ehi) = expand_modal_interval(sorted, lo, hi);
+        out.push((sorted[elo], sorted[ehi]));
+        return;
+    }
+    // Multimodal: recurse into the modal interval and into both flanks.
+    let modal = &sorted[lo..=hi];
+    if modal.len() >= config.min_cluster_size && modal.len() < n {
+        unidip_recursive(modal, config, rng, depth + 1, out);
+    } else if modal.len() >= config.min_cluster_size {
+        // The modal interval did not shrink; treat it as one cluster to
+        // guarantee termination.
+        out.push((sorted[lo], sorted[hi]));
+    }
+    if lo >= config.min_cluster_size {
+        let left = &sorted[..lo];
+        let (left_result, left_p) = dip_test(left, config.bootstraps, rng);
+        if left_p <= config.alpha {
+            unidip_recursive(left, config, rng, depth + 1, out);
+        } else {
+            // Unimodal flank: only keep it if it is "peaky" enough to look
+            // like a cluster rather than uniform noise.
+            let (flank_lo, flank_hi) = left_result.modal_interval;
+            let coverage = (flank_hi - flank_lo + 1) as f64 / left.len() as f64;
+            if coverage < 0.5 {
+                let (elo, ehi) = expand_modal_interval(left, flank_lo, flank_hi);
+                out.push((left[elo], left[ehi]));
+            }
+        }
+    }
+    if n - 1 - hi >= config.min_cluster_size {
+        let right = &sorted[hi + 1..];
+        let (right_result, right_p) = dip_test(right, config.bootstraps, rng);
+        if right_p <= config.alpha {
+            unidip_recursive(right, config, rng, depth + 1, out);
+        } else {
+            let (flank_lo, flank_hi) = right_result.modal_interval;
+            let coverage = (flank_hi - flank_lo + 1) as f64 / right.len() as f64;
+            if coverage < 0.5 {
+                let (elo, ehi) = expand_modal_interval(right, flank_lo, flank_hi);
+                out.push((right[elo], right[ehi]));
+            }
+        }
+    }
+}
+
+/// SkinnyDip: run UniDip on every dimension, intersecting the modal
+/// intervals into hyper-rectangles. Points outside every hyper-rectangle
+/// are noise.
+pub fn skinnydip(points: &[Vec<f64>], config: &SkinnyDipConfig) -> Clustering {
+    let n = points.len();
+    if n == 0 {
+        return Clustering::new(vec![]);
+    }
+    let dims = points[0].len();
+    let mut rng = Rng::new(config.seed);
+
+    // Each candidate cluster is a set of per-dimension value intervals and
+    // the indices of the points that currently satisfy them.
+    let mut hyperrects: Vec<(Vec<(f64, f64)>, Vec<usize>)> =
+        vec![(Vec::new(), (0..n).collect())];
+
+    for dim in 0..dims {
+        let mut next: Vec<(Vec<(f64, f64)>, Vec<usize>)> = Vec::new();
+        for (bounds, members) in &hyperrects {
+            if members.len() < config.min_cluster_size {
+                continue;
+            }
+            let values: Vec<f64> = members.iter().map(|&i| points[i][dim]).collect();
+            let intervals = unidip(&values, config, &mut rng);
+            for (lo, hi) in intervals {
+                let subset: Vec<usize> = members
+                    .iter()
+                    .copied()
+                    .filter(|&i| points[i][dim] >= lo && points[i][dim] <= hi)
+                    .collect();
+                if subset.len() >= config.min_cluster_size {
+                    let mut new_bounds = bounds.clone();
+                    new_bounds.push((lo, hi));
+                    next.push((new_bounds, subset));
+                }
+            }
+        }
+        if next.is_empty() {
+            // No modal structure anywhere: everything is noise.
+            return Clustering::all_noise(n);
+        }
+        hyperrects = next;
+    }
+
+    let mut assignment: Vec<Option<usize>> = vec![None; n];
+    for (cluster_id, (_, members)) in hyperrects.iter().enumerate() {
+        for &i in members {
+            // First hyper-rectangle wins in the (rare) overlapping case.
+            if assignment[i].is_none() {
+                assignment[i] = Some(cluster_id);
+            }
+        }
+    }
+    Clustering::new(assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adawave_data::shapes;
+    use adawave_metrics::{ami_ignoring_noise, NOISE_LABEL};
+
+    fn unimodal_sample(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Rng::new(seed);
+        (0..n).map(|_| rng.normal()).collect()
+    }
+
+    fn bimodal_sample(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Rng::new(seed);
+        (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    rng.normal_with(-4.0, 0.5)
+                } else {
+                    rng.normal_with(4.0, 0.5)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dip_is_bounded() {
+        for seed in 0..5 {
+            let sample = unimodal_sample(200, seed);
+            let d = dip_statistic(&sample).dip;
+            assert!((0.0..=0.25).contains(&d), "dip {d}");
+        }
+    }
+
+    #[test]
+    fn dip_of_tiny_samples_is_zero() {
+        assert_eq!(dip_statistic(&[]).dip, 0.0);
+        assert_eq!(dip_statistic(&[1.0, 2.0, 3.0]).dip, 0.0);
+    }
+
+    #[test]
+    fn bimodal_dip_is_larger_than_unimodal() {
+        let uni = dip_statistic(&unimodal_sample(400, 1)).dip;
+        let bi = dip_statistic(&bimodal_sample(400, 2)).dip;
+        assert!(
+            bi > 2.0 * uni,
+            "bimodal dip {bi} should clearly exceed unimodal dip {uni}"
+        );
+    }
+
+    #[test]
+    fn dip_is_insensitive_to_input_order_and_scale() {
+        let sample = bimodal_sample(300, 3);
+        let mut reversed = sample.clone();
+        reversed.reverse();
+        let scaled: Vec<f64> = sample.iter().map(|v| v * 10.0 + 5.0).collect();
+        let d0 = dip_statistic(&sample).dip;
+        assert!((d0 - dip_statistic(&reversed).dip).abs() < 1e-12);
+        assert!((d0 - dip_statistic(&scaled).dip).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pvalue_discriminates_unimodal_from_bimodal() {
+        let mut rng = Rng::new(4);
+        let uni = unimodal_sample(300, 5);
+        let (du, pu) = dip_test(&uni, 80, &mut rng);
+        let bi = bimodal_sample(300, 6);
+        let (db, pb) = dip_test(&bi, 80, &mut rng);
+        assert!(pu > 0.05, "unimodal p-value {pu} (dip {})", du.dip);
+        assert!(pb < 0.05, "bimodal p-value {pb} (dip {})", db.dip);
+    }
+
+    #[test]
+    fn modal_interval_covers_the_mode() {
+        // Strong central mode with uniform tails: the modal interval should
+        // concentrate around the middle of the sorted sample.
+        let mut rng = Rng::new(7);
+        let mut sample: Vec<f64> = (0..300).map(|_| rng.normal_with(0.0, 0.2)).collect();
+        sample.extend((0..300).map(|_| rng.uniform_range(-10.0, 10.0)));
+        let result = dip_statistic(&sample);
+        let (lo, hi) = result.modal_interval;
+        let n = sample.len();
+        assert!(lo > n / 10, "modal interval starts too early: {lo}");
+        assert!(hi < n - n / 10, "modal interval ends too late: {hi}");
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn unidip_finds_two_well_separated_modes() {
+        let mut rng = Rng::new(8);
+        let mut values: Vec<f64> = Vec::new();
+        values.extend((0..300).map(|_| rng.normal_with(-5.0, 0.3)));
+        values.extend((0..300).map(|_| rng.normal_with(5.0, 0.3)));
+        // sprinkle uniform noise
+        values.extend((0..200).map(|_| rng.uniform_range(-10.0, 10.0)));
+        let config = SkinnyDipConfig {
+            bootstraps: 48,
+            ..Default::default()
+        };
+        let mut dip_rng = Rng::new(9);
+        let intervals = unidip(&values, &config, &mut dip_rng);
+        assert!(
+            intervals.len() >= 2,
+            "expected at least two modal intervals, got {intervals:?}"
+        );
+        // One interval near -5, one near +5.
+        assert!(intervals.iter().any(|&(lo, hi)| lo < -4.0 && hi > -6.0 && hi < 0.0));
+        assert!(intervals.iter().any(|&(lo, hi)| hi > 4.0 && lo < 6.0 && lo > 0.0));
+    }
+
+    #[test]
+    fn unidip_on_pure_noise_returns_wide_or_no_intervals() {
+        let mut rng = Rng::new(10);
+        let values: Vec<f64> = (0..400).map(|_| rng.uniform()).collect();
+        let config = SkinnyDipConfig {
+            bootstraps: 48,
+            ..Default::default()
+        };
+        let mut dip_rng = Rng::new(11);
+        let intervals = unidip(&values, &config, &mut dip_rng);
+        // Uniform data is unimodal in the dip sense: a single interval.
+        assert!(intervals.len() <= 2, "{intervals:?}");
+    }
+
+    #[test]
+    fn skinnydip_recovers_axis_aligned_gaussians_in_noise() {
+        let mut rng = Rng::new(12);
+        let mut points = Vec::new();
+        let mut truth = Vec::new();
+        shapes::gaussian_blob(&mut points, &mut rng, &[0.2, 0.2], &[0.02, 0.02], 400);
+        truth.extend(std::iter::repeat(0usize).take(400));
+        shapes::gaussian_blob(&mut points, &mut rng, &[0.8, 0.8], &[0.02, 0.02], 400);
+        truth.extend(std::iter::repeat(1usize).take(400));
+        shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], 300);
+        truth.extend(std::iter::repeat(2usize).take(300));
+
+        let config = SkinnyDipConfig {
+            bootstraps: 48,
+            seed: 3,
+            ..Default::default()
+        };
+        let clustering = skinnydip(&points, &config);
+        assert!(clustering.cluster_count() >= 2, "found {} clusters", clustering.cluster_count());
+        let score = ami_ignoring_noise(&truth, &clustering.to_labels(NOISE_LABEL), 2);
+        assert!(score > 0.5, "AMI {score}");
+    }
+
+    #[test]
+    fn skinnydip_empty_input() {
+        let clustering = skinnydip(&[], &SkinnyDipConfig::default());
+        assert!(clustering.is_empty());
+    }
+
+    #[test]
+    fn skinnydip_is_deterministic() {
+        let mut rng = Rng::new(13);
+        let mut points = Vec::new();
+        shapes::gaussian_blob(&mut points, &mut rng, &[0.3, 0.7], &[0.03, 0.03], 200);
+        shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], 100);
+        let config = SkinnyDipConfig {
+            bootstraps: 32,
+            seed: 5,
+            ..Default::default()
+        };
+        assert_eq!(skinnydip(&points, &config), skinnydip(&points, &config));
+    }
+}

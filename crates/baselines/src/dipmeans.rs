@@ -1,0 +1,191 @@
+//! DipMeans (Kalogeratos & Likas, NIPS 2012): a dip-test wrapper around
+//! k-means that estimates the number of clusters.
+//!
+//! Each cluster member acts as a "viewer" that dip-tests the distribution
+//! of its distances to the other members; if the fraction of viewers that
+//! see multimodality ("split viewers") exceeds a threshold, the cluster is
+//! split with 2-means and the global solution is refined. The loop stops
+//! when no cluster wants to split.
+
+use adawave_data::Rng;
+use adawave_linalg::euclidean_distance;
+
+use crate::dip::{dip_pvalue, dip_statistic};
+use crate::kmeans::{kmeans, two_means_split, KMeansConfig};
+use crate::Clustering;
+
+/// Configuration for [`dipmeans`].
+#[derive(Debug, Clone)]
+pub struct DipMeansConfig {
+    /// Significance level of each viewer's dip test.
+    pub alpha: f64,
+    /// A cluster splits when more than this fraction of its viewers are
+    /// split viewers (the paper uses 0.01).
+    pub split_viewer_threshold: f64,
+    /// Maximum number of clusters to grow to.
+    pub max_k: usize,
+    /// Number of viewers sampled per cluster (caps the cost of the test).
+    pub max_viewers: usize,
+    /// Bootstrap samples per dip test.
+    pub bootstraps: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DipMeansConfig {
+    fn default() -> Self {
+        Self {
+            // The smallest achievable bootstrap p-value is 1/(bootstraps+1),
+            // so alpha must stay above it for splits to ever trigger.
+            alpha: 0.05,
+            split_viewer_threshold: 0.01,
+            max_k: 16,
+            max_viewers: 40,
+            bootstraps: 64,
+            seed: 0,
+        }
+    }
+}
+
+/// Fraction of sampled viewers in `members` whose distance vector to the
+/// other members is significantly multimodal.
+fn split_viewer_fraction(
+    points: &[Vec<f64>],
+    members: &[usize],
+    config: &DipMeansConfig,
+    rng: &mut Rng,
+) -> f64 {
+    if members.len() < 8 {
+        return 0.0;
+    }
+    let viewer_count = config.max_viewers.min(members.len());
+    let viewers = rng.sample_indices(members.len(), viewer_count);
+    let mut split = 0usize;
+    for &v in &viewers {
+        let viewer = &points[members[v]];
+        let distances: Vec<f64> = members
+            .iter()
+            .filter(|&&m| m != members[v])
+            .map(|&m| euclidean_distance(viewer, &points[m]))
+            .collect();
+        let dip = dip_statistic(&distances).dip;
+        let p = dip_pvalue(dip, distances.len(), config.bootstraps, rng);
+        if p <= config.alpha {
+            split += 1;
+        }
+    }
+    split as f64 / viewer_count as f64
+}
+
+/// Run DipMeans. Returns a clustering with the estimated number of
+/// clusters; every point is assigned (no noise concept).
+pub fn dipmeans(points: &[Vec<f64>], config: &DipMeansConfig) -> Clustering {
+    let n = points.len();
+    if n == 0 {
+        return Clustering::new(vec![]);
+    }
+    let mut rng = Rng::new(config.seed);
+    let mut k = 1usize;
+    let mut clustering = Clustering::from_labels(vec![0; n]);
+
+    while k < config.max_k {
+        let clusters = clustering.clusters();
+        // Score every cluster; pick the most split-worthy one.
+        let mut best: Option<(usize, f64)> = None;
+        for (c, members) in clusters.iter().enumerate() {
+            let score = split_viewer_fraction(points, members, config, &mut rng);
+            if score > config.split_viewer_threshold {
+                let better = match best {
+                    None => true,
+                    Some((_, s)) => score > s,
+                };
+                if better {
+                    best = Some((c, score));
+                }
+            }
+        }
+        let Some((split_cluster, _)) = best else {
+            break;
+        };
+        // Split the chosen cluster with 2-means to seed k+1 centroids...
+        let members = &clusters[split_cluster];
+        let (a, b) = two_means_split(points, members, rng.next_u64());
+        if a.is_empty() || b.is_empty() {
+            break;
+        }
+        k += 1;
+        // ...then refine globally with k-means at the new k.
+        let refined = kmeans(points, &KMeansConfig::new(k, rng.next_u64()));
+        clustering = refined.clustering;
+    }
+    clustering
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adawave_data::shapes;
+    use adawave_metrics::ami;
+
+    fn blobs(k: usize, per_cluster: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = Rng::new(seed);
+        let centers = [
+            [0.0, 0.0],
+            [6.0, 0.0],
+            [0.0, 6.0],
+            [6.0, 6.0],
+            [3.0, 10.0],
+        ];
+        let mut points = Vec::new();
+        let mut labels = Vec::new();
+        for (c, center) in centers.iter().take(k).enumerate() {
+            shapes::gaussian_blob(&mut points, &mut rng, center, &[0.3, 0.3], per_cluster);
+            labels.extend(std::iter::repeat(c).take(per_cluster));
+        }
+        (points, labels)
+    }
+
+    #[test]
+    fn estimates_k_for_well_separated_blobs() {
+        let (points, labels) = blobs(3, 120, 1);
+        let clustering = dipmeans(&points, &DipMeansConfig::default());
+        assert!(
+            (2..=4).contains(&clustering.cluster_count()),
+            "estimated k = {}",
+            clustering.cluster_count()
+        );
+        let score = ami(&labels, &clustering.to_labels(usize::MAX));
+        assert!(score > 0.7, "AMI {score}");
+    }
+
+    #[test]
+    fn single_gaussian_stays_one_cluster() {
+        let (points, _) = blobs(1, 300, 2);
+        let clustering = dipmeans(&points, &DipMeansConfig::default());
+        assert_eq!(clustering.cluster_count(), 1);
+    }
+
+    #[test]
+    fn respects_max_k() {
+        let (points, _) = blobs(5, 80, 3);
+        let config = DipMeansConfig {
+            max_k: 2,
+            ..Default::default()
+        };
+        let clustering = dipmeans(&points, &config);
+        assert!(clustering.cluster_count() <= 2);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let (points, _) = blobs(2, 100, 4);
+        let a = dipmeans(&points, &DipMeansConfig::default());
+        let b = dipmeans(&points, &DipMeansConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(dipmeans(&[], &DipMeansConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,366 @@
+//! EM for full-covariance Gaussian mixtures (the model-based baseline).
+//!
+//! "A multivariate Gaussian probability distribution model is used to
+//! estimate the probability that a data point belongs to a cluster, with
+//! each cluster regarded as a Gaussian model" (§V-A). Initialized from
+//! k-means, covariances regularized with a small ridge for numerical
+//! stability, responsibilities computed with the log-sum-exp trick.
+
+use adawave_linalg::{covariance_matrix, Cholesky, Matrix};
+
+use crate::kmeans::{kmeans, KMeansConfig};
+use crate::Clustering;
+
+/// Configuration for [`em`].
+#[derive(Debug, Clone)]
+pub struct EmConfig {
+    /// Number of mixture components.
+    pub k: usize,
+    /// Maximum EM iterations.
+    pub max_iterations: usize,
+    /// Convergence tolerance on the mean log-likelihood improvement.
+    pub tolerance: f64,
+    /// Ridge added to covariance diagonals.
+    pub regularization: f64,
+    /// RNG seed (used by the k-means initialization).
+    pub seed: u64,
+}
+
+impl Default for EmConfig {
+    fn default() -> Self {
+        Self {
+            k: 2,
+            max_iterations: 100,
+            tolerance: 1e-5,
+            regularization: 1e-6,
+            seed: 0,
+        }
+    }
+}
+
+impl EmConfig {
+    /// Convenience constructor fixing `k` and the seed.
+    pub fn new(k: usize, seed: u64) -> Self {
+        Self {
+            k,
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// A fitted Gaussian mixture model.
+#[derive(Debug, Clone)]
+pub struct GaussianMixture {
+    /// Mixing weights, one per component.
+    pub weights: Vec<f64>,
+    /// Component means.
+    pub means: Vec<Vec<f64>>,
+    /// Component covariance matrices.
+    pub covariances: Vec<Matrix>,
+    /// Final mean log-likelihood of the training data.
+    pub log_likelihood: f64,
+    /// EM iterations performed.
+    pub iterations: usize,
+}
+
+impl GaussianMixture {
+    /// Log-density of a point under component `c`.
+    pub fn component_log_density(&self, point: &[f64], c: usize) -> f64 {
+        let dims = point.len() as f64;
+        let chol = match self.covariances[c].cholesky() {
+            Ok(ch) => ch,
+            Err(_) => return f64::NEG_INFINITY,
+        };
+        let diff: Vec<f64> = point
+            .iter()
+            .zip(self.means[c].iter())
+            .map(|(x, m)| x - m)
+            .collect();
+        let maha = chol.mahalanobis_squared(&diff);
+        -0.5 * (dims * (2.0 * std::f64::consts::PI).ln() + chol.log_determinant() + maha)
+    }
+
+    /// Posterior responsibilities of every component for a point.
+    pub fn responsibilities(&self, point: &[f64]) -> Vec<f64> {
+        let log_joint: Vec<f64> = (0..self.weights.len())
+            .map(|c| self.weights[c].max(1e-300).ln() + self.component_log_density(point, c))
+            .collect();
+        let max = log_joint.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut resp: Vec<f64> = log_joint.iter().map(|&l| (l - max).exp()).collect();
+        let sum: f64 = resp.iter().sum();
+        if sum > 0.0 {
+            for r in &mut resp {
+                *r /= sum;
+            }
+        }
+        resp
+    }
+
+    /// Hard assignment of a point (most responsible component).
+    pub fn predict(&self, point: &[f64]) -> usize {
+        let resp = self.responsibilities(point);
+        resp.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+fn regularized_covariance(points: &[Vec<f64>], dims: usize, reg: f64) -> Matrix {
+    let mut cov = covariance_matrix(points, dims);
+    cov.add_diagonal(reg.max(1e-9));
+    // If still not SPD (e.g. single-point cluster), fall back to identity-ish.
+    if cov.cholesky().is_err() {
+        let mut fallback = Matrix::identity(dims);
+        fallback.add_diagonal(reg);
+        return fallback;
+    }
+    cov
+}
+
+/// Fit a Gaussian mixture with EM and return the model plus the hard
+/// clustering of the training points.
+///
+/// # Panics
+/// Panics if `points` is empty or `k == 0`.
+pub fn em(points: &[Vec<f64>], config: &EmConfig) -> (GaussianMixture, Clustering) {
+    assert!(!points.is_empty(), "em: empty input");
+    assert!(config.k >= 1, "em: k must be >= 1");
+    let n = points.len();
+    let dims = points[0].len();
+    let k = config.k.min(n);
+
+    // Initialize from k-means.
+    let init = kmeans(points, &KMeansConfig::new(k, config.seed));
+    let clusters = init.clustering.clusters();
+    let mut weights: Vec<f64> = clusters
+        .iter()
+        .map(|members| (members.len().max(1)) as f64 / n as f64)
+        .collect();
+    let wsum: f64 = weights.iter().sum();
+    for w in &mut weights {
+        *w /= wsum;
+    }
+    let mut means: Vec<Vec<f64>> = init.centroids.clone();
+    let mut covariances: Vec<Matrix> = clusters
+        .iter()
+        .map(|members| {
+            let member_points: Vec<Vec<f64>> =
+                members.iter().map(|&i| points[i].clone()).collect();
+            regularized_covariance(&member_points, dims, config.regularization)
+        })
+        .collect();
+
+    let mut model = GaussianMixture {
+        weights,
+        means,
+        covariances,
+        log_likelihood: f64::NEG_INFINITY,
+        iterations: 0,
+    };
+
+    let mut resp = vec![vec![0.0; k]; n];
+    let mut prev_ll = f64::NEG_INFINITY;
+    for iter in 0..config.max_iterations {
+        model.iterations = iter + 1;
+        // E-step.
+        let mut ll = 0.0;
+        // Pre-factor the covariances once per iteration.
+        let chols: Vec<Option<Cholesky>> = model
+            .covariances
+            .iter()
+            .map(|c| c.cholesky().ok())
+            .collect();
+        for (i, p) in points.iter().enumerate() {
+            let mut log_joint = vec![f64::NEG_INFINITY; k];
+            for c in 0..k {
+                if let Some(chol) = &chols[c] {
+                    let diff: Vec<f64> = p
+                        .iter()
+                        .zip(model.means[c].iter())
+                        .map(|(x, m)| x - m)
+                        .collect();
+                    let maha = chol.mahalanobis_squared(&diff);
+                    let log_density = -0.5
+                        * (dims as f64 * (2.0 * std::f64::consts::PI).ln()
+                            + chol.log_determinant()
+                            + maha);
+                    log_joint[c] = model.weights[c].max(1e-300).ln() + log_density;
+                }
+            }
+            let max = log_joint.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let sum_exp: f64 = log_joint.iter().map(|&l| (l - max).exp()).sum();
+            let log_norm = max + sum_exp.ln();
+            ll += log_norm;
+            for c in 0..k {
+                resp[i][c] = (log_joint[c] - log_norm).exp();
+            }
+        }
+        ll /= n as f64;
+        model.log_likelihood = ll;
+
+        // M-step.
+        let nk: Vec<f64> = (0..k)
+            .map(|c| resp.iter().map(|r| r[c]).sum::<f64>().max(1e-12))
+            .collect();
+        means = vec![vec![0.0; dims]; k];
+        for (i, p) in points.iter().enumerate() {
+            for c in 0..k {
+                for (m, v) in means[c].iter_mut().zip(p.iter()) {
+                    *m += resp[i][c] * v;
+                }
+            }
+        }
+        for c in 0..k {
+            for m in means[c].iter_mut() {
+                *m /= nk[c];
+            }
+        }
+        covariances = Vec::with_capacity(k);
+        for c in 0..k {
+            let mut cov = Matrix::zeros(dims, dims);
+            for (i, p) in points.iter().enumerate() {
+                let r = resp[i][c];
+                if r < 1e-12 {
+                    continue;
+                }
+                for a in 0..dims {
+                    let da = p[a] - means[c][a];
+                    for b in a..dims {
+                        let db = p[b] - means[c][b];
+                        cov[(a, b)] += r * da * db;
+                    }
+                }
+            }
+            for a in 0..dims {
+                for b in a..dims {
+                    cov[(a, b)] /= nk[c];
+                    cov[(b, a)] = cov[(a, b)];
+                }
+            }
+            cov.add_diagonal(config.regularization.max(1e-9));
+            covariances.push(cov);
+        }
+        model.weights = nk.iter().map(|&s| s / n as f64).collect();
+        model.means = means.clone();
+        model.covariances = covariances.clone();
+
+        if (ll - prev_ll).abs() < config.tolerance {
+            break;
+        }
+        prev_ll = ll;
+    }
+
+    let assignment: Vec<Option<usize>> = points.iter().map(|p| Some(model.predict(p))).collect();
+    (model, Clustering::new(assignment))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adawave_data::{shapes, Rng};
+    use adawave_metrics::ami;
+
+    fn two_gaussians(seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = Rng::new(seed);
+        let mut points = Vec::new();
+        let mut labels = Vec::new();
+        shapes::gaussian_blob(&mut points, &mut rng, &[0.0, 0.0], &[0.4, 0.2], 250);
+        labels.extend(std::iter::repeat(0).take(250));
+        shapes::gaussian_blob(&mut points, &mut rng, &[3.0, 3.0], &[0.2, 0.5], 250);
+        labels.extend(std::iter::repeat(1).take(250));
+        (points, labels)
+    }
+
+    #[test]
+    fn recovers_two_gaussians() {
+        let (points, labels) = two_gaussians(1);
+        let (model, clustering) = em(&points, &EmConfig::new(2, 3));
+        let score = ami(&labels, &clustering.to_labels(usize::MAX));
+        assert!(score > 0.95, "AMI {score}");
+        assert_eq!(model.weights.len(), 2);
+        assert!((model.weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Means are close to the true centres (in some order).
+        let near = |m: &Vec<f64>, c: [f64; 2]| {
+            ((m[0] - c[0]).powi(2) + (m[1] - c[1]).powi(2)).sqrt() < 0.2
+        };
+        assert!(
+            (near(&model.means[0], [0.0, 0.0]) && near(&model.means[1], [3.0, 3.0]))
+                || (near(&model.means[1], [0.0, 0.0]) && near(&model.means[0], [3.0, 3.0]))
+        );
+    }
+
+    #[test]
+    fn log_likelihood_is_monotone_enough() {
+        // EM guarantees non-decreasing likelihood; allow tiny numerical slack
+        // by comparing first and last.
+        let (points, _) = two_gaussians(2);
+        let (m_short, _) = em(
+            &points,
+            &EmConfig {
+                max_iterations: 1,
+                ..EmConfig::new(2, 5)
+            },
+        );
+        let (m_long, _) = em(
+            &points,
+            &EmConfig {
+                max_iterations: 30,
+                ..EmConfig::new(2, 5)
+            },
+        );
+        assert!(m_long.log_likelihood >= m_short.log_likelihood - 1e-9);
+    }
+
+    #[test]
+    fn responsibilities_sum_to_one() {
+        let (points, _) = two_gaussians(3);
+        let (model, _) = em(&points, &EmConfig::new(2, 1));
+        for p in points.iter().take(20) {
+            let r = model.responsibilities(p);
+            assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(r.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn anisotropic_clusters_fit_better_than_kmeans_would() {
+        // Two elongated, slightly overlapping Gaussians rotated differently:
+        // EM with full covariance should still separate them decently.
+        let mut rng = Rng::new(4);
+        let mut points = Vec::new();
+        let mut labels = Vec::new();
+        shapes::gaussian_ellipse(&mut points, &mut rng, (0.0, 0.0), (1.0, 0.08), 0.0, 300);
+        labels.extend(std::iter::repeat(0).take(300));
+        shapes::gaussian_ellipse(&mut points, &mut rng, (0.0, 1.0), (1.0, 0.08), 0.0, 300);
+        labels.extend(std::iter::repeat(1).take(300));
+        let (_, clustering) = em(&points, &EmConfig::new(2, 7));
+        let score = ami(&labels, &clustering.to_labels(usize::MAX));
+        assert!(score > 0.8, "AMI {score}");
+    }
+
+    #[test]
+    fn single_component_mean_is_dataset_mean() {
+        let points = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let (model, clustering) = em(&points, &EmConfig::new(1, 1));
+        assert!((model.means[0][0] - 3.0).abs() < 1e-6);
+        assert!((model.means[0][1] - 4.0).abs() < 1e-6);
+        assert_eq!(clustering.cluster_count(), 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (points, _) = two_gaussians(5);
+        let (_, a) = em(&points, &EmConfig::new(2, 9));
+        let (_, b) = em(&points, &EmConfig::new(2, 9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty input")]
+    fn empty_input_panics() {
+        em(&[], &EmConfig::new(2, 1));
+    }
+}

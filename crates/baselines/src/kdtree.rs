@@ -1,0 +1,276 @@
+//! A simple kd-tree for fixed-radius and nearest-neighbor queries.
+//!
+//! DBSCAN's region queries and STSC's local-scale estimation need neighbor
+//! search; a kd-tree keeps them near `O(log n)` per query on the low-
+//! dimensional data where those baselines are competitive.
+
+use adawave_linalg::squared_distance;
+
+/// A kd-tree over a borrowed point set.
+#[derive(Debug)]
+pub struct KdTree<'a> {
+    points: &'a [Vec<f64>],
+    /// Flattened tree: `nodes[i]` = (point index, split dimension).
+    nodes: Vec<Node>,
+    root: Option<usize>,
+    dims: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    point: usize,
+    split_dim: usize,
+    left: Option<usize>,
+    right: Option<usize>,
+}
+
+impl<'a> KdTree<'a> {
+    /// Build a balanced kd-tree (median splits) over `points`.
+    pub fn build(points: &'a [Vec<f64>]) -> Self {
+        let dims = points.first().map(|p| p.len()).unwrap_or(0);
+        let mut indices: Vec<usize> = (0..points.len()).collect();
+        let mut nodes = Vec::with_capacity(points.len());
+        let root = Self::build_recursive(points, &mut indices[..], 0, dims, &mut nodes);
+        Self {
+            points,
+            nodes,
+            root,
+            dims,
+        }
+    }
+
+    fn build_recursive(
+        points: &[Vec<f64>],
+        indices: &mut [usize],
+        depth: usize,
+        dims: usize,
+        nodes: &mut Vec<Node>,
+    ) -> Option<usize> {
+        if indices.is_empty() {
+            return None;
+        }
+        let split_dim = if dims == 0 { 0 } else { depth % dims };
+        let mid = indices.len() / 2;
+        indices.select_nth_unstable_by(mid, |&a, &b| {
+            points[a][split_dim]
+                .partial_cmp(&points[b][split_dim])
+                .unwrap()
+        });
+        let point = indices[mid];
+        let node_index = nodes.len();
+        nodes.push(Node {
+            point,
+            split_dim,
+            left: None,
+            right: None,
+        });
+        let (left_slice, rest) = indices.split_at_mut(mid);
+        let right_slice = &mut rest[1..];
+        let left = Self::build_recursive(points, left_slice, depth + 1, dims, nodes);
+        let right = Self::build_recursive(points, right_slice, depth + 1, dims, nodes);
+        nodes[node_index].left = left;
+        nodes[node_index].right = right;
+        Some(node_index)
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Indices of all points within `radius` (inclusive) of `query`,
+    /// including the query point itself if it is part of the indexed set.
+    pub fn within_radius(&self, query: &[f64], radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        if let Some(root) = self.root {
+            self.radius_recursive(root, query, radius, radius * radius, &mut out);
+        }
+        out
+    }
+
+    fn radius_recursive(
+        &self,
+        node_idx: usize,
+        query: &[f64],
+        radius: f64,
+        radius_sq: f64,
+        out: &mut Vec<usize>,
+    ) {
+        let node = self.nodes[node_idx];
+        let point = &self.points[node.point];
+        if squared_distance(point, query) <= radius_sq {
+            out.push(node.point);
+        }
+        if self.dims == 0 {
+            return;
+        }
+        let delta = query[node.split_dim] - point[node.split_dim];
+        let (near, far) = if delta < 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
+        if let Some(n) = near {
+            self.radius_recursive(n, query, radius, radius_sq, out);
+        }
+        if delta.abs() <= radius {
+            if let Some(f) = far {
+                self.radius_recursive(f, query, radius, radius_sq, out);
+            }
+        }
+    }
+
+    /// The `k` nearest neighbors of `query` (by Euclidean distance), as
+    /// `(index, distance)` pairs sorted by increasing distance. The query
+    /// point itself is included if it is part of the indexed set.
+    pub fn nearest(&self, query: &[f64], k: usize) -> Vec<(usize, f64)> {
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        // Max-heap of (distance, index) capped at k elements.
+        let mut heap: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
+        if let Some(root) = self.root {
+            self.nearest_recursive(root, query, k, &mut heap);
+        }
+        heap.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        heap.into_iter().map(|(d, i)| (i, d.sqrt())).collect()
+    }
+
+    fn nearest_recursive(
+        &self,
+        node_idx: usize,
+        query: &[f64],
+        k: usize,
+        heap: &mut Vec<(f64, usize)>,
+    ) {
+        let node = self.nodes[node_idx];
+        let point = &self.points[node.point];
+        let dist_sq = squared_distance(point, query);
+        if heap.len() < k {
+            heap.push((dist_sq, node.point));
+            heap.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap()); // largest first
+        } else if dist_sq < heap[0].0 {
+            heap[0] = (dist_sq, node.point);
+            heap.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        }
+        if self.dims == 0 {
+            return;
+        }
+        let delta = query[node.split_dim] - point[node.split_dim];
+        let (near, far) = if delta < 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
+        if let Some(n) = near {
+            self.nearest_recursive(n, query, k, heap);
+        }
+        let worst = if heap.len() < k { f64::MAX } else { heap[0].0 };
+        if delta * delta <= worst {
+            if let Some(f) = far {
+                self.nearest_recursive(f, query, k, heap);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adawave_data::Rng;
+
+    fn brute_within(points: &[Vec<f64>], query: &[f64], radius: f64) -> Vec<usize> {
+        let r2 = radius * radius;
+        let mut out: Vec<usize> = (0..points.len())
+            .filter(|&i| squared_distance(&points[i], query) <= r2)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    fn random_points(n: usize, dims: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = Rng::new(seed);
+        (0..n)
+            .map(|_| (0..dims).map(|_| rng.uniform()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn radius_query_matches_brute_force() {
+        let points = random_points(300, 3, 1);
+        let tree = KdTree::build(&points);
+        let mut rng = Rng::new(2);
+        for _ in 0..50 {
+            let query: Vec<f64> = (0..3).map(|_| rng.uniform()).collect();
+            let mut got = tree.within_radius(&query, 0.25);
+            got.sort_unstable();
+            assert_eq!(got, brute_within(&points, &query, 0.25));
+        }
+    }
+
+    #[test]
+    fn nearest_query_matches_brute_force() {
+        let points = random_points(200, 2, 3);
+        let tree = KdTree::build(&points);
+        let mut rng = Rng::new(4);
+        for _ in 0..30 {
+            let query: Vec<f64> = (0..2).map(|_| rng.uniform()).collect();
+            let got = tree.nearest(&query, 5);
+            assert_eq!(got.len(), 5);
+            // Brute force top-5.
+            let mut dists: Vec<(usize, f64)> = points
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i, squared_distance(p, &query).sqrt()))
+                .collect();
+            dists.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            let want: Vec<usize> = dists[..5].iter().map(|&(i, _)| i).collect();
+            let got_idx: Vec<usize> = got.iter().map(|&(i, _)| i).collect();
+            assert_eq!(got_idx, want);
+            // Distances are sorted ascending.
+            for w in got.windows(2) {
+                assert!(w[0].1 <= w[1].1);
+            }
+        }
+    }
+
+    #[test]
+    fn query_point_included_in_its_own_neighborhood() {
+        let points = vec![vec![0.0, 0.0], vec![1.0, 1.0]];
+        let tree = KdTree::build(&points);
+        let n = tree.within_radius(&[0.0, 0.0], 0.1);
+        assert_eq!(n, vec![0]);
+        let nn = tree.nearest(&[0.0, 0.0], 1);
+        assert_eq!(nn[0].0, 0);
+        assert_eq!(nn[0].1, 0.0);
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let points: Vec<Vec<f64>> = vec![];
+        let tree = KdTree::build(&points);
+        assert!(tree.is_empty());
+        assert!(tree.within_radius(&[0.0], 1.0).is_empty());
+        assert!(tree.nearest(&[0.0], 3).is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_point_count_returns_all() {
+        let points = random_points(5, 2, 9);
+        let tree = KdTree::build(&points);
+        let got = tree.nearest(&[0.5, 0.5], 10);
+        assert_eq!(got.len(), 5);
+    }
+
+    #[test]
+    fn duplicate_points_are_all_found() {
+        let points = vec![vec![1.0, 1.0]; 4];
+        let tree = KdTree::build(&points);
+        assert_eq!(tree.within_radius(&[1.0, 1.0], 0.0).len(), 4);
+    }
+}

@@ -1,0 +1,293 @@
+//! k-means (Lloyd's algorithm) with k-means++ seeding and restarts.
+//!
+//! The paper uses k-means as the representative centroid-based method and
+//! always gives it the correct `k`; we reproduce that protocol.
+
+use adawave_data::Rng;
+use adawave_linalg::squared_distance;
+
+use crate::Clustering;
+
+/// Configuration for [`kmeans`].
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations per restart.
+    pub max_iterations: usize,
+    /// Convergence tolerance on the relative change of the objective.
+    pub tolerance: f64,
+    /// Number of independent k-means++ restarts; the best objective wins.
+    pub restarts: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self {
+            k: 2,
+            max_iterations: 100,
+            tolerance: 1e-6,
+            restarts: 4,
+            seed: 0,
+        }
+    }
+}
+
+impl KMeansConfig {
+    /// Convenience constructor fixing `k` and the seed.
+    pub fn new(k: usize, seed: u64) -> Self {
+        Self {
+            k,
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// The clustering (every point assigned; k-means has no noise notion).
+    pub clustering: Clustering,
+    /// Final centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Final within-cluster sum of squared distances (the objective).
+    pub inertia: f64,
+    /// Iterations used by the winning restart.
+    pub iterations: usize,
+}
+
+/// k-means++ initialization: the first centroid is uniform, each subsequent
+/// one is sampled proportionally to the squared distance to the nearest
+/// already-chosen centroid.
+fn kmeanspp_init(points: &[Vec<f64>], k: usize, rng: &mut Rng) -> Vec<Vec<f64>> {
+    let n = points.len();
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.below(n)].clone());
+    let mut dist_sq: Vec<f64> = points
+        .iter()
+        .map(|p| squared_distance(p, &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = dist_sq.iter().sum();
+        let choice = if total <= 0.0 {
+            rng.below(n)
+        } else {
+            let mut target = rng.uniform() * total;
+            let mut chosen = n - 1;
+            for (i, &d) in dist_sq.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.push(points[choice].clone());
+        let last = centroids.last().unwrap();
+        for (d, p) in dist_sq.iter_mut().zip(points.iter()) {
+            let nd = squared_distance(p, last);
+            if nd < *d {
+                *d = nd;
+            }
+        }
+    }
+    centroids
+}
+
+fn lloyd(
+    points: &[Vec<f64>],
+    mut centroids: Vec<Vec<f64>>,
+    config: &KMeansConfig,
+) -> (Vec<usize>, Vec<Vec<f64>>, f64, usize) {
+    let n = points.len();
+    let dims = points[0].len();
+    let k = centroids.len();
+    let mut assignment = vec![0usize; n];
+    let mut prev_inertia = f64::MAX;
+    let mut inertia = f64::MAX;
+    let mut iterations = 0;
+    for iter in 0..config.max_iterations {
+        iterations = iter + 1;
+        // Assignment step.
+        inertia = 0.0;
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f64::MAX;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = squared_distance(p, centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            assignment[i] = best;
+            inertia += best_d;
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0; dims]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in points.iter().zip(assignment.iter()) {
+            for (s, v) in sums[a].iter_mut().zip(p.iter()) {
+                *s += v;
+            }
+            counts[a] += 1;
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for (j, s) in sums[c].iter().enumerate() {
+                    centroids[c][j] = s / counts[c] as f64;
+                }
+            }
+            // Empty clusters keep their previous centroid.
+        }
+        // Convergence check.
+        if prev_inertia.is_finite() {
+            let rel = (prev_inertia - inertia).abs() / prev_inertia.max(1e-12);
+            if rel < config.tolerance {
+                break;
+            }
+        }
+        prev_inertia = inertia;
+    }
+    (assignment, centroids, inertia, iterations)
+}
+
+/// Run k-means with k-means++ seeding and `config.restarts` restarts,
+/// returning the solution with the lowest inertia.
+///
+/// # Panics
+/// Panics if `points` is empty or `k == 0`.
+pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> KMeansResult {
+    assert!(!points.is_empty(), "kmeans: empty input");
+    assert!(config.k >= 1, "kmeans: k must be >= 1");
+    let k = config.k.min(points.len());
+    let mut rng = Rng::new(config.seed);
+    let mut best: Option<KMeansResult> = None;
+    for _ in 0..config.restarts.max(1) {
+        let init = kmeanspp_init(points, k, &mut rng);
+        let (assignment, centroids, inertia, iterations) = lloyd(points, init, config);
+        let candidate = KMeansResult {
+            clustering: Clustering::from_labels(assignment),
+            centroids,
+            inertia,
+            iterations,
+        };
+        let better = match &best {
+            None => true,
+            Some(b) => candidate.inertia < b.inertia,
+        };
+        if better {
+            best = Some(candidate);
+        }
+    }
+    best.unwrap()
+}
+
+/// Run 2-means on a subset of points (used by DipMeans cluster splitting).
+pub(crate) fn two_means_split(
+    points: &[Vec<f64>],
+    members: &[usize],
+    seed: u64,
+) -> (Vec<usize>, Vec<usize>) {
+    let subset: Vec<Vec<f64>> = members.iter().map(|&i| points[i].clone()).collect();
+    if subset.len() < 2 {
+        return (members.to_vec(), Vec::new());
+    }
+    let result = kmeans(&subset, &KMeansConfig::new(2, seed));
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    for (local, &global) in members.iter().enumerate() {
+        match result.clustering.label(local) {
+            Some(0) => a.push(global),
+            _ => b.push(global),
+        }
+    }
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adawave_data::shapes;
+    use adawave_metrics::ami;
+
+    fn three_blobs(seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = Rng::new(seed);
+        let mut points = Vec::new();
+        let mut labels = Vec::new();
+        for (c, center) in [[0.0, 0.0], [5.0, 5.0], [0.0, 6.0]].iter().enumerate() {
+            shapes::gaussian_blob(&mut points, &mut rng, center, &[0.3, 0.3], 100);
+            labels.extend(std::iter::repeat(c).take(100));
+        }
+        (points, labels)
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let (points, labels) = three_blobs(1);
+        let result = kmeans(&points, &KMeansConfig::new(3, 7));
+        assert_eq!(result.clustering.cluster_count(), 3);
+        let score = ami(&labels, &result.clustering.to_labels(usize::MAX));
+        assert!(score > 0.95, "AMI {score}");
+        assert_eq!(result.clustering.noise_count(), 0);
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let (points, _) = three_blobs(2);
+        let i1 = kmeans(&points, &KMeansConfig::new(1, 3)).inertia;
+        let i3 = kmeans(&points, &KMeansConfig::new(3, 3)).inertia;
+        let i6 = kmeans(&points, &KMeansConfig::new(6, 3)).inertia;
+        assert!(i3 < i1);
+        assert!(i6 <= i3 + 1e-9);
+    }
+
+    #[test]
+    fn k_one_centroid_is_mean() {
+        let points = vec![vec![0.0, 0.0], vec![2.0, 0.0], vec![0.0, 2.0], vec![2.0, 2.0]];
+        let result = kmeans(&points, &KMeansConfig::new(1, 5));
+        assert_eq!(result.centroids.len(), 1);
+        assert!((result.centroids[0][0] - 1.0).abs() < 1e-9);
+        assert!((result.centroids[0][1] - 1.0).abs() < 1e-9);
+        assert!((result.inertia - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (points, _) = three_blobs(3);
+        let a = kmeans(&points, &KMeansConfig::new(3, 11));
+        let b = kmeans(&points, &KMeansConfig::new(3, 11));
+        assert_eq!(a.clustering, b.clustering);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    fn k_larger_than_points_is_clamped() {
+        let points = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let result = kmeans(&points, &KMeansConfig::new(10, 1));
+        assert!(result.clustering.cluster_count() <= 3);
+    }
+
+    #[test]
+    fn two_means_split_partitions_members() {
+        let (points, _) = three_blobs(4);
+        let members: Vec<usize> = (0..200).collect(); // blobs 0 and 1
+        let (a, b) = two_means_split(&points, &members, 9);
+        assert_eq!(a.len() + b.len(), 200);
+        assert!(!a.is_empty() && !b.is_empty());
+        // The split should roughly separate the two blobs.
+        let a_in_first = a.iter().filter(|&&i| i < 100).count();
+        let frac = a_in_first as f64 / a.len() as f64;
+        assert!(frac < 0.05 || frac > 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty input")]
+    fn empty_input_panics() {
+        kmeans(&[], &KMeansConfig::new(2, 1));
+    }
+}

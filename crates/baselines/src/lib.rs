@@ -1,0 +1,60 @@
+//! # adawave-baselines
+//!
+//! From-scratch Rust implementations of every clustering algorithm the
+//! AdaWave paper compares against (§V-A):
+//!
+//! * [`kmeans`] — Lloyd's algorithm with k-means++ initialization and
+//!   multiple restarts (the centroid-based representative).
+//! * [`dbscan`] — density-based clustering with a kd-tree region index
+//!   (the density-based representative).
+//! * [`em`] — full-covariance Gaussian mixture fitted with
+//!   expectation-maximization (the model-based representative).
+//! * [`wavecluster`] — the original dense-grid wavelet clustering of
+//!   Sheikholeslami et al., which AdaWave extends.
+//! * [`dip`] — Hartigan's dip statistic, its bootstrap p-value, and the
+//!   UniDip / SkinnyDip algorithms of Maurus & Plant (the specialized
+//!   high-noise competitor).
+//! * [`dipmeans`] — DipMeans, the dip-based wrapper that estimates `k`
+//!   around k-means.
+//! * [`spectral`] — self-tuning spectral clustering (STSC) with local
+//!   scaling and eigengap model selection.
+//! * [`ric`] — a simplified Robust Information-theoretic Clustering
+//!   (MDL-based purification of an initial k-means partition).
+//!
+//! All algorithms return a [`Clustering`] with per-point labels
+//! (`None` = noise) so they can be scored uniformly by `adawave-metrics`.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod clique;
+pub mod clustering;
+pub mod dbscan;
+pub mod dip;
+pub mod dipmeans;
+pub mod em;
+pub mod kdtree;
+pub mod kmeans;
+pub mod meanshift;
+pub mod optics;
+pub mod ric;
+pub mod spectral;
+pub mod sting;
+pub mod sync;
+pub mod wavecluster;
+
+pub use clique::{clique, clique_model, CliqueConfig, CliqueModel, DenseUnit};
+pub use clustering::Clustering;
+pub use dbscan::{dbscan, DbscanConfig};
+pub use dip::{dip_statistic, dip_test, skinnydip, unidip, SkinnyDipConfig};
+pub use dipmeans::{dipmeans, DipMeansConfig};
+pub use em::{em, EmConfig, GaussianMixture};
+pub use kdtree::KdTree;
+pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
+pub use meanshift::{mean_shift, MeanShiftConfig, MeanShiftKernel};
+pub use optics::{optics, optics_ordering, OpticsConfig, OpticsOrdering};
+pub use ric::{ric, RicConfig};
+pub use spectral::{self_tuning_spectral, SpectralConfig};
+pub use sting::{sting, CellStatistics, StingConfig, StingGrid};
+pub use sync::{sync_cluster, SyncConfig};
+pub use wavecluster::{wavecluster, WaveClusterConfig};

@@ -1,0 +1,232 @@
+//! Mean shift clustering (Comaniciu & Meer, PAMI 2002).
+//!
+//! A mode-seeking, centroid-free baseline: every point is shifted toward
+//! the weighted mean of its neighborhood until it converges onto a density
+//! mode, and points sharing a mode form a cluster. Like DBSCAN it makes no
+//! assumption on cluster shape being convex, but unlike AdaWave it has no
+//! explicit noise notion — modes supported by very few points can optionally
+//! be treated as noise via `min_cluster_size`.
+
+use crate::{Clustering, KdTree};
+
+/// Kernel used to weight neighborhood members during the shift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeanShiftKernel {
+    /// Every neighbor within the bandwidth gets weight 1.
+    Flat,
+    /// Neighbors are weighted by `exp(-||x - y||² / (2 bandwidth²))`.
+    Gaussian,
+}
+
+/// Configuration for [`mean_shift`].
+#[derive(Debug, Clone)]
+pub struct MeanShiftConfig {
+    /// Neighborhood radius of the kernel.
+    pub bandwidth: f64,
+    /// Kernel weighting.
+    pub kernel: MeanShiftKernel,
+    /// Maximum number of shift iterations per point.
+    pub max_iterations: usize,
+    /// Convergence tolerance on the shift length.
+    pub tolerance: f64,
+    /// Modes supported by fewer than this many points are labeled noise.
+    pub min_cluster_size: usize,
+}
+
+impl Default for MeanShiftConfig {
+    fn default() -> Self {
+        Self {
+            bandwidth: 0.1,
+            kernel: MeanShiftKernel::Flat,
+            max_iterations: 100,
+            tolerance: 1e-4,
+            min_cluster_size: 1,
+        }
+    }
+}
+
+impl MeanShiftConfig {
+    /// Create a configuration with the given bandwidth and defaults for the
+    /// remaining fields.
+    pub fn new(bandwidth: f64) -> Self {
+        Self {
+            bandwidth,
+            ..Self::default()
+        }
+    }
+}
+
+/// Run mean shift. Returns the flat clustering; points whose mode attracts
+/// fewer than `min_cluster_size` points are noise.
+pub fn mean_shift(points: &[Vec<f64>], config: &MeanShiftConfig) -> Clustering {
+    let n = points.len();
+    if n == 0 {
+        return Clustering::new(vec![]);
+    }
+    let dims = points[0].len();
+    let tree = KdTree::build(points);
+    let bandwidth = config.bandwidth.max(1e-12);
+    let two_sigma_sq = 2.0 * bandwidth * bandwidth;
+
+    // Shift every point to its mode.
+    let mut modes: Vec<Vec<f64>> = Vec::with_capacity(n);
+    for point in points {
+        let mut current = point.clone();
+        for _ in 0..config.max_iterations {
+            let neighbors = tree.within_radius(&current, bandwidth);
+            if neighbors.is_empty() {
+                break;
+            }
+            let mut mean = vec![0.0; dims];
+            let mut total_weight = 0.0;
+            for &j in &neighbors {
+                let weight = match config.kernel {
+                    MeanShiftKernel::Flat => 1.0,
+                    MeanShiftKernel::Gaussian => {
+                        let d2: f64 = current
+                            .iter()
+                            .zip(points[j].iter())
+                            .map(|(a, b)| (a - b) * (a - b))
+                            .sum();
+                        (-d2 / two_sigma_sq).exp()
+                    }
+                };
+                for (m, v) in mean.iter_mut().zip(points[j].iter()) {
+                    *m += weight * v;
+                }
+                total_weight += weight;
+            }
+            for m in mean.iter_mut() {
+                *m /= total_weight;
+            }
+            let shift: f64 = mean
+                .iter()
+                .zip(current.iter())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            current = mean;
+            if shift < config.tolerance {
+                break;
+            }
+        }
+        modes.push(current);
+    }
+
+    // Merge modes closer than bandwidth / 2 into a single cluster.
+    let merge_radius = bandwidth / 2.0;
+    let mut representatives: Vec<Vec<f64>> = Vec::new();
+    let mut assignment: Vec<Option<usize>> = Vec::with_capacity(n);
+    for mode in &modes {
+        let mut found = None;
+        for (c, rep) in representatives.iter().enumerate() {
+            let d: f64 = mode
+                .iter()
+                .zip(rep.iter())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            if d <= merge_radius {
+                found = Some(c);
+                break;
+            }
+        }
+        match found {
+            Some(c) => assignment.push(Some(c)),
+            None => {
+                representatives.push(mode.clone());
+                assignment.push(Some(representatives.len() - 1));
+            }
+        }
+    }
+
+    // Demote tiny clusters to noise.
+    if config.min_cluster_size > 1 {
+        let mut sizes = vec![0usize; representatives.len()];
+        for a in assignment.iter().flatten() {
+            sizes[*a] += 1;
+        }
+        for a in assignment.iter_mut() {
+            if let Some(c) = a {
+                if sizes[*c] < config.min_cluster_size {
+                    *a = None;
+                }
+            }
+        }
+    }
+    Clustering::new(assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adawave_data::{shapes, Rng};
+    use adawave_metrics::{ami, NOISE_LABEL};
+
+    fn three_blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = Rng::new(77);
+        let mut points = Vec::new();
+        let mut truth = Vec::new();
+        for (c, center) in [[0.2, 0.2], [0.8, 0.2], [0.5, 0.8]].iter().enumerate() {
+            shapes::gaussian_blob(&mut points, &mut rng, center, &[0.03, 0.03], 120);
+            truth.extend(std::iter::repeat(c).take(120));
+        }
+        (points, truth)
+    }
+
+    #[test]
+    fn recovers_three_blobs() {
+        let (points, truth) = three_blobs();
+        let clustering = mean_shift(&points, &MeanShiftConfig::new(0.15));
+        assert_eq!(clustering.cluster_count(), 3, "sizes {:?}", clustering.cluster_sizes());
+        let score = ami(&truth, &clustering.to_labels(NOISE_LABEL));
+        assert!(score > 0.95, "AMI {score}");
+    }
+
+    #[test]
+    fn gaussian_kernel_also_recovers_blobs() {
+        let (points, truth) = three_blobs();
+        let config = MeanShiftConfig {
+            bandwidth: 0.15,
+            kernel: MeanShiftKernel::Gaussian,
+            ..MeanShiftConfig::default()
+        };
+        let clustering = mean_shift(&points, &config);
+        let score = ami(&truth, &clustering.to_labels(NOISE_LABEL));
+        assert!(score > 0.9, "AMI {score}");
+    }
+
+    #[test]
+    fn min_cluster_size_marks_stray_points_as_noise() {
+        let (mut points, _) = three_blobs();
+        // A far-away stray point becomes its own mode.
+        points.push(vec![3.0, 3.0]);
+        let config = MeanShiftConfig {
+            bandwidth: 0.15,
+            min_cluster_size: 5,
+            ..MeanShiftConfig::default()
+        };
+        let clustering = mean_shift(&points, &config);
+        assert_eq!(clustering.label(points.len() - 1), None);
+        assert_eq!(clustering.cluster_count(), 3);
+    }
+
+    #[test]
+    fn oversized_bandwidth_merges_everything() {
+        let (points, _) = three_blobs();
+        let clustering = mean_shift(&points, &MeanShiftConfig::new(10.0));
+        assert_eq!(clustering.cluster_count(), 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(mean_shift(&[], &MeanShiftConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let (points, _) = three_blobs();
+        let config = MeanShiftConfig::new(0.12);
+        assert_eq!(mean_shift(&points, &config), mean_shift(&points, &config));
+    }
+}

@@ -1,0 +1,283 @@
+//! OPTICS (Ankerst et al., SIGMOD 1999).
+//!
+//! The paper cites OPTICS as the other classic density-based method next to
+//! DBSCAN (§I, reference [20]). OPTICS does not produce a flat clustering
+//! directly: it orders the points so that density-based clusters of *every*
+//! radius up to `max_eps` appear as valleys of the reachability plot. A flat
+//! clustering is then extracted with a reachability cut, equivalent to
+//! running DBSCAN at that radius but without re-running the expansion.
+
+use crate::{Clustering, KdTree};
+
+/// Configuration for [`optics`].
+#[derive(Debug, Clone)]
+pub struct OpticsConfig {
+    /// Maximum neighborhood radius considered when computing reachability.
+    pub max_eps: f64,
+    /// Minimum number of points (including the point itself) for a point to
+    /// be a core point.
+    pub min_points: usize,
+    /// Reachability cut used by [`extract_dbscan_clustering`]; points whose
+    /// reachability exceeds the cut start a new cluster (if they are core at
+    /// the cut) or become noise.
+    pub extraction_eps: f64,
+}
+
+impl OpticsConfig {
+    /// Create a configuration with an explicit extraction radius.
+    pub fn new(max_eps: f64, min_points: usize, extraction_eps: f64) -> Self {
+        Self {
+            max_eps,
+            min_points,
+            extraction_eps,
+        }
+    }
+}
+
+impl Default for OpticsConfig {
+    fn default() -> Self {
+        Self {
+            max_eps: 0.1,
+            min_points: 8,
+            extraction_eps: 0.05,
+        }
+    }
+}
+
+/// The ordering produced by OPTICS: for every position in the ordering, the
+/// index of the point, its reachability distance (`f64::INFINITY` for the
+/// first point of each density-connected group) and its core distance
+/// (`None` if the point is not a core point at `max_eps`).
+#[derive(Debug, Clone)]
+pub struct OpticsOrdering {
+    /// Point indices in visit order.
+    pub order: Vec<usize>,
+    /// Reachability distance of each ordered point.
+    pub reachability: Vec<f64>,
+    /// Core distance of each ordered point.
+    pub core_distance: Vec<Option<f64>>,
+    min_points: usize,
+}
+
+impl OpticsOrdering {
+    /// Number of ordered points.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the ordering is empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Extract a flat clustering equivalent to DBSCAN at radius
+    /// `extraction_eps` (which must be ≤ the `max_eps` used to build the
+    /// ordering).
+    pub fn extract_dbscan_clustering(&self, extraction_eps: f64) -> Clustering {
+        let n = self.order.len();
+        let mut assignment = vec![None; n];
+        let mut cluster: Option<usize> = None;
+        let mut next_cluster = 0usize;
+        for pos in 0..n {
+            let point = self.order[pos];
+            if self.reachability[pos] > extraction_eps {
+                // Not density-reachable at the cut: either starts a new
+                // cluster (if core at the cut) or is noise.
+                match self.core_distance[pos] {
+                    Some(core) if core <= extraction_eps => {
+                        cluster = Some(next_cluster);
+                        next_cluster += 1;
+                        assignment[point] = cluster;
+                    }
+                    _ => {
+                        cluster = None;
+                    }
+                }
+            } else {
+                assignment[point] = cluster;
+            }
+        }
+        Clustering::new(assignment)
+    }
+
+    /// The `min_points` parameter the ordering was built with.
+    pub fn min_points(&self) -> usize {
+        self.min_points
+    }
+}
+
+/// Compute the OPTICS ordering of a point set.
+pub fn optics_ordering(points: &[Vec<f64>], max_eps: f64, min_points: usize) -> OpticsOrdering {
+    let n = points.len();
+    let mut ordering = OpticsOrdering {
+        order: Vec::with_capacity(n),
+        reachability: Vec::with_capacity(n),
+        core_distance: Vec::with_capacity(n),
+        min_points,
+    };
+    if n == 0 {
+        return ordering;
+    }
+    let tree = KdTree::build(points);
+    let mut processed = vec![false; n];
+    // Current best reachability estimate per point (not yet in the order).
+    let mut reach = vec![f64::INFINITY; n];
+
+    let core_distance = |idx: usize| -> Option<f64> {
+        let mut dists: Vec<f64> = tree
+            .within_radius(&points[idx], max_eps)
+            .into_iter()
+            .map(|j| euclidean(&points[idx], &points[j]))
+            .collect();
+        if dists.len() < min_points {
+            return None;
+        }
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Some(dists[min_points - 1])
+    };
+
+    for start in 0..n {
+        if processed[start] {
+            continue;
+        }
+        // Seed list of (point) candidates reachable from the current group,
+        // processed in order of best-known reachability.
+        let mut seeds: Vec<usize> = vec![start];
+        reach[start] = f64::INFINITY;
+        while let Some(best_pos) = seeds
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| !processed[p])
+            .min_by(|a, b| reach[*a.1].partial_cmp(&reach[*b.1]).unwrap())
+            .map(|(i, _)| i)
+        {
+            let current = seeds.swap_remove(best_pos);
+            if processed[current] {
+                continue;
+            }
+            processed[current] = true;
+            let core = core_distance(current);
+            ordering.order.push(current);
+            ordering.reachability.push(reach[current]);
+            ordering.core_distance.push(core);
+            if let Some(core) = core {
+                // Update reachability of unprocessed neighbors.
+                for j in tree.within_radius(&points[current], max_eps) {
+                    if processed[j] {
+                        continue;
+                    }
+                    let new_reach = core.max(euclidean(&points[current], &points[j]));
+                    if new_reach < reach[j] {
+                        if reach[j].is_infinite() {
+                            seeds.push(j);
+                        }
+                        reach[j] = new_reach;
+                    }
+                }
+            }
+        }
+    }
+    ordering
+}
+
+/// Run OPTICS and extract a flat clustering at `config.extraction_eps`.
+pub fn optics(points: &[Vec<f64>], config: &OpticsConfig) -> Clustering {
+    optics_ordering(points, config.max_eps, config.min_points)
+        .extract_dbscan_clustering(config.extraction_eps)
+}
+
+fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbscan::{dbscan, DbscanConfig};
+    use adawave_data::{shapes, Rng};
+    use adawave_metrics::{ami, NOISE_LABEL};
+
+    fn two_blobs_with_noise() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = Rng::new(31);
+        let mut points = Vec::new();
+        let mut truth = Vec::new();
+        shapes::gaussian_blob(&mut points, &mut rng, &[0.2, 0.2], &[0.02, 0.02], 150);
+        truth.extend(std::iter::repeat(0usize).take(150));
+        shapes::gaussian_blob(&mut points, &mut rng, &[0.8, 0.8], &[0.02, 0.02], 150);
+        truth.extend(std::iter::repeat(1usize).take(150));
+        shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], 60);
+        truth.extend(std::iter::repeat(2usize).take(60));
+        (points, truth)
+    }
+
+    #[test]
+    fn finds_two_blobs() {
+        let (points, truth) = two_blobs_with_noise();
+        let clustering = optics(&points, &OpticsConfig::new(0.15, 8, 0.05));
+        assert!(clustering.cluster_count() >= 2);
+        let score = ami(&truth, &clustering.to_labels(NOISE_LABEL));
+        assert!(score > 0.6, "AMI {score}");
+    }
+
+    #[test]
+    fn ordering_covers_every_point_exactly_once() {
+        let (points, _) = two_blobs_with_noise();
+        let ordering = optics_ordering(&points, 0.15, 8);
+        assert_eq!(ordering.len(), points.len());
+        let mut seen = vec![false; points.len()];
+        for &p in &ordering.order {
+            assert!(!seen[p], "point {p} ordered twice");
+            seen[p] = true;
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn reachability_valleys_match_clusters() {
+        let (points, _) = two_blobs_with_noise();
+        let ordering = optics_ordering(&points, 0.2, 8);
+        // Reachability inside a tight blob is small; the plot must contain a
+        // long run of small values (the valley of the first blob).
+        let small: usize = ordering
+            .reachability
+            .iter()
+            .filter(|r| r.is_finite() && **r < 0.02)
+            .count();
+        assert!(small > 100, "only {small} small reachabilities");
+    }
+
+    #[test]
+    fn extraction_matches_dbscan_cluster_structure() {
+        let (points, _) = two_blobs_with_noise();
+        let ordering = optics_ordering(&points, 0.2, 8);
+        let from_optics = ordering.extract_dbscan_clustering(0.05);
+        let from_dbscan = dbscan(&points, &DbscanConfig::new(0.05, 8));
+        // The two extractions agree almost everywhere (border points may
+        // legitimately differ), so compare with AMI over all points.
+        let score = ami(
+            &from_optics.to_labels(NOISE_LABEL),
+            &from_dbscan.to_labels(NOISE_LABEL),
+        );
+        assert!(score > 0.9, "AMI versus DBSCAN {score}");
+        assert_eq!(from_optics.cluster_count(), from_dbscan.cluster_count());
+    }
+
+    #[test]
+    fn empty_input() {
+        let clustering = optics(&[], &OpticsConfig::default());
+        assert!(clustering.is_empty());
+        assert!(optics_ordering(&[], 0.1, 5).is_empty());
+    }
+
+    #[test]
+    fn all_noise_when_nothing_is_dense() {
+        let points = vec![vec![0.0, 0.0], vec![0.5, 0.5], vec![1.0, 1.0]];
+        let clustering = optics(&points, &OpticsConfig::new(0.01, 5, 0.01));
+        assert_eq!(clustering.cluster_count(), 0);
+        assert_eq!(clustering.noise_count(), 3);
+    }
+}

@@ -1,0 +1,233 @@
+//! Self-tuning spectral clustering (Zelnik-Manor & Perona, NIPS 2004) —
+//! the "STSC" baseline of the paper.
+//!
+//! Affinities use local scaling (`sigma_i` = distance to the 7th nearest
+//! neighbor), the embedding comes from the normalized graph Laplacian, the
+//! number of clusters is chosen by the eigengap unless fixed, and the
+//! row-normalized embedding is clustered with k-means. Because the
+//! eigen-decomposition is `O(n^3)`, large inputs are subsampled and the
+//! remaining points are assigned to the cluster of their nearest sampled
+//! neighbor — the standard Nyström-style shortcut; the paper itself only
+//! runs STSC on small/medium datasets.
+
+use adawave_data::Rng;
+use adawave_linalg::{jacobi_eigen, Matrix};
+
+use crate::kdtree::KdTree;
+use crate::kmeans::{kmeans, KMeansConfig};
+use crate::Clustering;
+
+/// Configuration for [`self_tuning_spectral`].
+#[derive(Debug, Clone)]
+pub struct SpectralConfig {
+    /// Number of clusters; `None` selects it automatically via the eigengap.
+    pub k: Option<usize>,
+    /// Largest number of clusters considered by the eigengap selection.
+    pub max_k: usize,
+    /// Which nearest neighbor defines the local scale (7 in the STSC paper).
+    pub local_scale_neighbor: usize,
+    /// Inputs larger than this are subsampled before the eigen-decomposition.
+    pub max_exact_points: usize,
+    /// RNG seed (subsampling and k-means).
+    pub seed: u64,
+}
+
+impl Default for SpectralConfig {
+    fn default() -> Self {
+        Self {
+            k: None,
+            max_k: 10,
+            local_scale_neighbor: 7,
+            max_exact_points: 600,
+            seed: 0,
+        }
+    }
+}
+
+fn spectral_on_subset(points: &[Vec<f64>], config: &SpectralConfig) -> Clustering {
+    let n = points.len();
+    if n == 0 {
+        return Clustering::new(vec![]);
+    }
+    if n == 1 {
+        return Clustering::from_labels(vec![0]);
+    }
+    // Local scales from the kd-tree.
+    let tree = KdTree::build(points);
+    let neighbor_rank = config.local_scale_neighbor.min(n - 1).max(1);
+    let sigmas: Vec<f64> = points
+        .iter()
+        .map(|p| {
+            let nn = tree.nearest(p, neighbor_rank + 1);
+            nn.last().map(|&(_, d)| d.max(1e-9)).unwrap_or(1e-9)
+        })
+        .collect();
+
+    // Locally-scaled affinity and normalized Laplacian-like matrix
+    // D^{-1/2} A D^{-1/2} (its top eigenvectors are what STSC embeds).
+    let mut affinity = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d2 = adawave_linalg::squared_distance(&points[i], &points[j]);
+            let a = (-d2 / (sigmas[i] * sigmas[j])).exp();
+            affinity[(i, j)] = a;
+            affinity[(j, i)] = a;
+        }
+    }
+    let degrees: Vec<f64> = (0..n)
+        .map(|i| (0..n).map(|j| affinity[(i, j)]).sum::<f64>().max(1e-12))
+        .collect();
+    let mut normalized = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            normalized[(i, j)] = affinity[(i, j)] / (degrees[i] * degrees[j]).sqrt();
+        }
+    }
+
+    let eigen = match jacobi_eigen(&normalized, 100) {
+        Ok(e) => e,
+        Err(_) => return Clustering::from_labels(vec![0; n]),
+    };
+
+    // Choose k: fixed, or the largest eigengap among the leading eigenvalues.
+    let k = match config.k {
+        Some(k) => k.clamp(1, n),
+        None => {
+            let limit = config.max_k.min(n - 1).max(2);
+            let mut best_k = 2;
+            let mut best_gap = f64::MIN;
+            for candidate in 2..=limit {
+                let gap = eigen.eigenvalues[candidate - 1] - eigen.eigenvalues[candidate];
+                if gap > best_gap {
+                    best_gap = gap;
+                    best_k = candidate;
+                }
+            }
+            best_k
+        }
+    };
+
+    // Row-normalized spectral embedding, clustered with k-means.
+    let embedding = eigen.embedding(k);
+    let mut rows: Vec<Vec<f64>> = (0..n).map(|i| embedding.row(i).to_vec()).collect();
+    for row in &mut rows {
+        let norm: f64 = row.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm > 1e-12 {
+            for v in row.iter_mut() {
+                *v /= norm;
+            }
+        }
+    }
+    kmeans(&rows, &KMeansConfig::new(k, config.seed)).clustering
+}
+
+/// Run self-tuning spectral clustering, subsampling when the input is too
+/// large for an exact eigen-decomposition.
+pub fn self_tuning_spectral(points: &[Vec<f64>], config: &SpectralConfig) -> Clustering {
+    let n = points.len();
+    if n == 0 {
+        return Clustering::new(vec![]);
+    }
+    if n <= config.max_exact_points {
+        return spectral_on_subset(points, config);
+    }
+    // Subsample, cluster exactly, then 1-NN extend to the remaining points.
+    let mut rng = Rng::new(config.seed);
+    let sample_idx = rng.sample_indices(n, config.max_exact_points);
+    let sample_points: Vec<Vec<f64>> = sample_idx.iter().map(|&i| points[i].clone()).collect();
+    let sample_clustering = spectral_on_subset(&sample_points, config);
+
+    let tree = KdTree::build(&sample_points);
+    let assignment: Vec<Option<usize>> = points
+        .iter()
+        .map(|p| {
+            let nn = tree.nearest(p, 1);
+            nn.first().and_then(|&(i, _)| sample_clustering.label(i))
+        })
+        .collect();
+    Clustering::new(assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adawave_data::shapes;
+    use adawave_metrics::ami;
+
+    #[test]
+    fn separates_two_rings_where_kmeans_cannot() {
+        let mut rng = Rng::new(1);
+        let mut points = Vec::new();
+        let mut labels = Vec::new();
+        shapes::ring(&mut points, &mut rng, (0.5, 0.5), 0.1, 0.01, 200);
+        labels.extend(std::iter::repeat(0usize).take(200));
+        shapes::ring(&mut points, &mut rng, (0.5, 0.5), 0.4, 0.01, 200);
+        labels.extend(std::iter::repeat(1usize).take(200));
+
+        let spectral = self_tuning_spectral(
+            &points,
+            &SpectralConfig {
+                k: Some(2),
+                ..Default::default()
+            },
+        );
+        let spectral_score = ami(&labels, &spectral.to_labels(usize::MAX));
+        let km = kmeans(&points, &KMeansConfig::new(2, 1));
+        let km_score = ami(&labels, &km.clustering.to_labels(usize::MAX));
+        assert!(
+            spectral_score > 0.9,
+            "spectral AMI {spectral_score} (k-means got {km_score})"
+        );
+        assert!(spectral_score > km_score);
+    }
+
+    #[test]
+    fn eigengap_estimates_k_for_separated_blobs() {
+        let mut rng = Rng::new(2);
+        let mut points = Vec::new();
+        for center in [[0.0, 0.0], [5.0, 0.0], [0.0, 5.0]] {
+            shapes::gaussian_blob(&mut points, &mut rng, &center, &[0.2, 0.2], 80);
+        }
+        let clustering = self_tuning_spectral(&points, &SpectralConfig::default());
+        assert_eq!(clustering.cluster_count(), 3);
+    }
+
+    #[test]
+    fn subsampling_path_assigns_every_point() {
+        let mut rng = Rng::new(3);
+        let mut points = Vec::new();
+        let mut labels = Vec::new();
+        shapes::gaussian_blob(&mut points, &mut rng, &[0.0, 0.0], &[0.2, 0.2], 600);
+        labels.extend(std::iter::repeat(0usize).take(600));
+        shapes::gaussian_blob(&mut points, &mut rng, &[5.0, 5.0], &[0.2, 0.2], 600);
+        labels.extend(std::iter::repeat(1usize).take(600));
+        let config = SpectralConfig {
+            k: Some(2),
+            max_exact_points: 200,
+            ..Default::default()
+        };
+        let clustering = self_tuning_spectral(&points, &config);
+        assert_eq!(clustering.len(), 1200);
+        assert_eq!(clustering.noise_count(), 0);
+        let score = ami(&labels, &clustering.to_labels(usize::MAX));
+        assert!(score > 0.95, "AMI {score}");
+    }
+
+    #[test]
+    fn single_point_and_empty() {
+        assert!(self_tuning_spectral(&[], &SpectralConfig::default()).is_empty());
+        let one = self_tuning_spectral(&[vec![1.0, 2.0]], &SpectralConfig::default());
+        assert_eq!(one.cluster_count(), 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut rng = Rng::new(4);
+        let mut points = Vec::new();
+        shapes::gaussian_blob(&mut points, &mut rng, &[0.0, 0.0], &[0.3, 0.3], 150);
+        shapes::gaussian_blob(&mut points, &mut rng, &[3.0, 3.0], &[0.3, 0.3], 150);
+        let a = self_tuning_spectral(&points, &SpectralConfig::default());
+        let b = self_tuning_spectral(&points, &SpectralConfig::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,353 @@
+//! STING — STatistical INformation Grid (Wang, Yang & Muntz, VLDB 1997).
+//!
+//! The AdaWave paper positions itself in the grid-based family "sharing the
+//! common characteristic with STING and CLIQUE: fast and independent of the
+//! number of data objects" (§II). STING builds a hierarchy of rectangular
+//! cells — each cell splits into `2^d` children one level down — and keeps
+//! per-cell summary statistics (count, mean, standard deviation, min, max).
+//! Queries and clustering then work on the cell summaries instead of the
+//! points. The clustering used here mirrors the common STING formulation:
+//! leaf cells whose density exceeds a threshold are *relevant*, and
+//! face-connected relevant leaves form clusters.
+
+use std::collections::HashMap;
+
+use crate::Clustering;
+
+/// Summary statistics STING maintains for every occupied cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellStatistics {
+    /// Number of points in the cell.
+    pub count: usize,
+    /// Per-dimension mean of the member points.
+    pub mean: Vec<f64>,
+    /// Per-dimension standard deviation of the member points.
+    pub std_dev: Vec<f64>,
+    /// Per-dimension minimum.
+    pub min: Vec<f64>,
+    /// Per-dimension maximum.
+    pub max: Vec<f64>,
+}
+
+/// Configuration for [`sting`].
+#[derive(Debug, Clone)]
+pub struct StingConfig {
+    /// Number of levels below the root; leaves split each dimension into
+    /// `2^levels` intervals.
+    pub levels: u32,
+    /// A leaf cell is relevant when it holds at least this many points.
+    pub density_threshold: usize,
+}
+
+impl Default for StingConfig {
+    fn default() -> Self {
+        Self {
+            levels: 5,
+            density_threshold: 4,
+        }
+    }
+}
+
+impl StingConfig {
+    /// Create a configuration.
+    pub fn new(levels: u32, density_threshold: usize) -> Self {
+        Self {
+            levels,
+            density_threshold,
+        }
+    }
+}
+
+/// The STING hierarchy: per-level sparse maps from cell coordinates to
+/// statistics (level 0 is the root, level `levels` holds the leaves).
+#[derive(Debug, Clone)]
+pub struct StingGrid {
+    levels: u32,
+    dims: usize,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    cells: Vec<HashMap<Vec<u32>, CellStatistics>>,
+    leaf_of_point: Vec<Vec<u32>>,
+}
+
+impl StingGrid {
+    /// Build the hierarchy for a point set.
+    pub fn build(points: &[Vec<f64>], levels: u32) -> Self {
+        let dims = points.first().map_or(0, |p| p.len());
+        let mut lower = vec![f64::INFINITY; dims];
+        let mut upper = vec![f64::NEG_INFINITY; dims];
+        for p in points {
+            for j in 0..dims {
+                lower[j] = lower[j].min(p[j]);
+                upper[j] = upper[j].max(p[j]);
+            }
+        }
+        for j in 0..dims {
+            if !lower[j].is_finite() || upper[j] - lower[j] <= 0.0 {
+                lower[j] = lower.get(j).copied().unwrap_or(0.0);
+                upper[j] = lower[j] + 1.0;
+            }
+        }
+
+        // Accumulators per level: (count, sum, sum of squares, min, max).
+        struct Acc {
+            count: usize,
+            sum: Vec<f64>,
+            sum_sq: Vec<f64>,
+            min: Vec<f64>,
+            max: Vec<f64>,
+        }
+        let mut acc: Vec<HashMap<Vec<u32>, Acc>> = (0..=levels).map(|_| HashMap::new()).collect();
+        let mut leaf_of_point = Vec::with_capacity(points.len());
+
+        for p in points {
+            let leaf = Self::leaf_coords(p, &lower, &upper, levels);
+            leaf_of_point.push(leaf.clone());
+            for level in 0..=levels {
+                let shift = levels - level;
+                let coords: Vec<u32> = leaf.iter().map(|c| c >> shift).collect();
+                let entry = acc[level as usize].entry(coords).or_insert_with(|| Acc {
+                    count: 0,
+                    sum: vec![0.0; dims],
+                    sum_sq: vec![0.0; dims],
+                    min: vec![f64::INFINITY; dims],
+                    max: vec![f64::NEG_INFINITY; dims],
+                });
+                entry.count += 1;
+                for j in 0..dims {
+                    entry.sum[j] += p[j];
+                    entry.sum_sq[j] += p[j] * p[j];
+                    entry.min[j] = entry.min[j].min(p[j]);
+                    entry.max[j] = entry.max[j].max(p[j]);
+                }
+            }
+        }
+
+        let cells = acc
+            .into_iter()
+            .map(|level_map| {
+                level_map
+                    .into_iter()
+                    .map(|(coords, a)| {
+                        let n = a.count as f64;
+                        let mean: Vec<f64> = a.sum.iter().map(|s| s / n).collect();
+                        let std_dev: Vec<f64> = a
+                            .sum_sq
+                            .iter()
+                            .zip(mean.iter())
+                            .map(|(sq, m)| (sq / n - m * m).max(0.0).sqrt())
+                            .collect();
+                        (
+                            coords,
+                            CellStatistics {
+                                count: a.count,
+                                mean,
+                                std_dev,
+                                min: a.min,
+                                max: a.max,
+                            },
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+
+        Self {
+            levels,
+            dims,
+            lower,
+            upper,
+            cells,
+            leaf_of_point,
+        }
+    }
+
+    fn leaf_coords(point: &[f64], lower: &[f64], upper: &[f64], levels: u32) -> Vec<u32> {
+        let resolution = 1u32 << levels;
+        point
+            .iter()
+            .enumerate()
+            .map(|(j, &x)| {
+                let t = (x - lower[j]) / (upper[j] - lower[j]);
+                ((t * resolution as f64) as u32).min(resolution - 1)
+            })
+            .collect()
+    }
+
+    /// Number of levels below the root.
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Dimensionality of the data.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Statistics of a cell at `level` (0 = root), if it holds any point.
+    pub fn cell(&self, level: u32, coords: &[u32]) -> Option<&CellStatistics> {
+        self.cells.get(level as usize)?.get(coords)
+    }
+
+    /// Number of occupied cells at a level.
+    pub fn occupied_cells(&self, level: u32) -> usize {
+        self.cells
+            .get(level as usize)
+            .map_or(0, |level_map| level_map.len())
+    }
+
+    /// The data's bounding box.
+    pub fn bounds(&self) -> (&[f64], &[f64]) {
+        (&self.lower, &self.upper)
+    }
+
+    /// Flat clustering of the underlying points: face-connected leaf cells
+    /// holding at least `density_threshold` points form clusters; points in
+    /// sparser leaves are noise.
+    pub fn cluster(&self, density_threshold: usize) -> Clustering {
+        let leaves = &self.cells[self.levels as usize];
+        let relevant: HashMap<&Vec<u32>, usize> = leaves
+            .iter()
+            .filter(|(_, s)| s.count >= density_threshold)
+            .map(|(c, _)| c)
+            .enumerate()
+            .map(|(i, c)| (c, i))
+            .collect();
+
+        // Union-find over relevant leaves connected through shared faces.
+        let mut parent: Vec<usize> = (0..relevant.len()).collect();
+        fn find(parent: &mut Vec<usize>, mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]];
+                i = parent[i];
+            }
+            i
+        }
+        for (coords, &i) in &relevant {
+            for j in 0..self.dims {
+                if coords[j] + 1 < (1u32 << self.levels) {
+                    let mut neighbor = (*coords).clone();
+                    neighbor[j] += 1;
+                    if let Some(&k) = relevant.get(&neighbor) {
+                        let (a, b) = (find(&mut parent, i), find(&mut parent, k));
+                        if a != b {
+                            parent[a] = b;
+                        }
+                    }
+                }
+            }
+        }
+
+        let roots: Vec<usize> = (0..parent.len())
+            .map(|i| find(&mut parent, i))
+            .collect();
+        let assignment: Vec<Option<usize>> = self
+            .leaf_of_point
+            .iter()
+            .map(|leaf| relevant.get(leaf).map(|&i| roots[i]))
+            .collect();
+        Clustering::new(assignment)
+    }
+}
+
+/// Build the STING hierarchy and return the flat clustering of its leaves.
+pub fn sting(points: &[Vec<f64>], config: &StingConfig) -> Clustering {
+    if points.is_empty() {
+        return Clustering::new(vec![]);
+    }
+    StingGrid::build(points, config.levels).cluster(config.density_threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adawave_data::{shapes, Rng};
+    use adawave_metrics::{ami_ignoring_noise, NOISE_LABEL};
+
+    fn blobs_with_noise() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = Rng::new(41);
+        let mut points = Vec::new();
+        let mut truth = Vec::new();
+        shapes::gaussian_blob(&mut points, &mut rng, &[0.25, 0.25], &[0.03, 0.03], 400);
+        truth.extend(std::iter::repeat(0usize).take(400));
+        shapes::gaussian_blob(&mut points, &mut rng, &[0.75, 0.75], &[0.03, 0.03], 400);
+        truth.extend(std::iter::repeat(1usize).take(400));
+        shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], 300);
+        truth.extend(std::iter::repeat(2usize).take(300));
+        (points, truth)
+    }
+
+    #[test]
+    fn clusters_two_blobs_in_noise() {
+        let (points, truth) = blobs_with_noise();
+        let clustering = sting(&points, &StingConfig::new(5, 4));
+        assert!(clustering.cluster_count() >= 2);
+        let score = ami_ignoring_noise(&truth, &clustering.to_labels(NOISE_LABEL), 2);
+        assert!(score > 0.6, "AMI {score}");
+    }
+
+    #[test]
+    fn hierarchy_counts_are_consistent_across_levels() {
+        let (points, _) = blobs_with_noise();
+        let grid = StingGrid::build(&points, 4);
+        for level in 0..=4u32 {
+            let total: usize = (0..1u32 << level)
+                .flat_map(|x| (0..1u32 << level).map(move |y| vec![x, y]))
+                .filter_map(|c| grid.cell(level, &c))
+                .map(|s| s.count)
+                .sum();
+            assert_eq!(total, points.len(), "level {level} loses points");
+        }
+        // The root summarizes everything.
+        let root = grid.cell(0, &[0, 0]).unwrap();
+        assert_eq!(root.count, points.len());
+        for j in 0..2 {
+            assert!(root.min[j] <= root.mean[j] && root.mean[j] <= root.max[j]);
+            assert!(root.std_dev[j] > 0.0);
+        }
+    }
+
+    #[test]
+    fn occupied_cells_grow_with_depth() {
+        let (points, _) = blobs_with_noise();
+        let grid = StingGrid::build(&points, 5);
+        assert_eq!(grid.occupied_cells(0), 1);
+        assert!(grid.occupied_cells(5) > grid.occupied_cells(2));
+    }
+
+    #[test]
+    fn uniform_noise_alone_produces_few_or_no_clusters() {
+        let mut rng = Rng::new(7);
+        let mut points = Vec::new();
+        shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], 500);
+        let clustering = sting(&points, &StingConfig::new(5, 6));
+        // 500 points over 1024 leaves: almost no leaf reaches 6 points.
+        assert!(clustering.noise_fraction() > 0.8);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert!(sting(&[], &StingConfig::default()).is_empty());
+        // All points identical: one cluster when the threshold is met.
+        let points = vec![vec![0.5, 0.5]; 10];
+        let clustering = sting(&points, &StingConfig::new(3, 5));
+        assert_eq!(clustering.cluster_count(), 1);
+        assert_eq!(clustering.noise_count(), 0);
+    }
+
+    #[test]
+    fn statistics_of_a_leaf_match_its_members() {
+        let points = vec![
+            vec![0.1, 0.1],
+            vec![0.12, 0.14],
+            vec![0.9, 0.9],
+        ];
+        let grid = StingGrid::build(&points, 2);
+        let leaf = StingGrid::leaf_coords(&points[0], grid.bounds().0, grid.bounds().1, 2);
+        let stats = grid.cell(2, &leaf).unwrap();
+        assert_eq!(stats.count, 2);
+        assert!((stats.mean[0] - 0.11).abs() < 1e-9);
+        assert!((stats.min[1] - 0.1).abs() < 1e-9);
+        assert!((stats.max[1] - 0.14).abs() < 1e-9);
+    }
+}

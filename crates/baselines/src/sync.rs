@@ -1,0 +1,197 @@
+//! Sync — Clustering by Synchronization (Böhm et al., KDD 2010).
+//!
+//! The related-work section of the AdaWave paper singles out Sync as a
+//! density-based method whose `O(N²)` reliance on pair-wise interactions
+//! makes it expensive on large data. Sync treats every point as a phase
+//! oscillator (an extension of the Kuramoto model to feature space): in each
+//! round a point moves by the average of `sin(x_j - x_i)` over its
+//! `eps`-neighbors, so that mutually close points synchronize onto exactly
+//! the same location. Clusters are the groups of synchronized points;
+//! points that never synchronize with anyone are noise.
+
+use crate::{Clustering, KdTree};
+
+/// Configuration for [`sync_cluster`].
+#[derive(Debug, Clone)]
+pub struct SyncConfig {
+    /// Interaction radius: only neighbors within `eps` pull on a point.
+    pub eps: f64,
+    /// Maximum number of synchronization rounds.
+    pub max_rounds: usize,
+    /// Two points are considered synchronized when every coordinate differs
+    /// by less than this tolerance.
+    pub merge_tolerance: f64,
+    /// Stop early once the mean displacement of a round falls below this.
+    pub convergence_tolerance: f64,
+    /// Synchronized groups smaller than this are labeled noise.
+    pub min_cluster_size: usize,
+}
+
+impl Default for SyncConfig {
+    fn default() -> Self {
+        Self {
+            eps: 0.1,
+            max_rounds: 50,
+            merge_tolerance: 1e-3,
+            convergence_tolerance: 1e-5,
+            min_cluster_size: 2,
+        }
+    }
+}
+
+impl SyncConfig {
+    /// Create a configuration with the given interaction radius.
+    pub fn new(eps: f64) -> Self {
+        Self {
+            eps,
+            ..Self::default()
+        }
+    }
+}
+
+/// Run Sync and return the flat clustering.
+pub fn sync_cluster(points: &[Vec<f64>], config: &SyncConfig) -> Clustering {
+    let n = points.len();
+    if n == 0 {
+        return Clustering::new(vec![]);
+    }
+    let dims = points[0].len();
+    let mut state: Vec<Vec<f64>> = points.to_vec();
+
+    for _ in 0..config.max_rounds {
+        // The interaction structure is recomputed every round on the moved
+        // points (synchronization pulls new neighbors into range).
+        let tree = KdTree::build(&state);
+        let mut next = state.clone();
+        let mut total_shift = 0.0;
+        for i in 0..n {
+            let neighbors = tree.within_radius(&state[i], config.eps);
+            let others: Vec<usize> = neighbors.into_iter().filter(|&j| j != i).collect();
+            if others.is_empty() {
+                continue;
+            }
+            let mut delta = vec![0.0; dims];
+            for &j in &others {
+                for ((d, &xj), &xi) in delta.iter_mut().zip(state[j].iter()).zip(state[i].iter()) {
+                    *d += (xj - xi).sin();
+                }
+            }
+            for (coord, d) in next[i].iter_mut().zip(delta.iter()) {
+                let step = d / others.len() as f64;
+                *coord += step;
+                total_shift += step.abs();
+            }
+        }
+        state = next;
+        if total_shift / (n as f64 * dims as f64) < config.convergence_tolerance {
+            break;
+        }
+    }
+
+    // Group synchronized points: two points belong to the same group when
+    // every coordinate agrees within the merge tolerance. A grid hash over
+    // merge_tolerance-sized cells keeps this linear.
+    let mut assignment: Vec<Option<usize>> = vec![None; n];
+    let mut groups: Vec<Vec<f64>> = Vec::new();
+    for (i, s) in state.iter().enumerate() {
+        let mut found = None;
+        for (g, rep) in groups.iter().enumerate() {
+            if rep
+                .iter()
+                .zip(s.iter())
+                .all(|(a, b)| (a - b).abs() <= config.merge_tolerance)
+            {
+                found = Some(g);
+                break;
+            }
+        }
+        match found {
+            Some(g) => assignment[i] = Some(g),
+            None => {
+                groups.push(s.clone());
+                assignment[i] = Some(groups.len() - 1);
+            }
+        }
+    }
+
+    // Demote small groups to noise.
+    let mut sizes = vec![0usize; groups.len()];
+    for a in assignment.iter().flatten() {
+        sizes[*a] += 1;
+    }
+    for a in assignment.iter_mut() {
+        if let Some(g) = a {
+            if sizes[*g] < config.min_cluster_size {
+                *a = None;
+            }
+        }
+    }
+    Clustering::new(assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adawave_data::{shapes, Rng};
+    use adawave_metrics::{ami, NOISE_LABEL};
+
+    fn two_blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = Rng::new(3);
+        let mut points = Vec::new();
+        let mut truth = Vec::new();
+        shapes::gaussian_blob(&mut points, &mut rng, &[0.3, 0.3], &[0.02, 0.02], 100);
+        truth.extend(std::iter::repeat(0usize).take(100));
+        shapes::gaussian_blob(&mut points, &mut rng, &[0.7, 0.7], &[0.02, 0.02], 100);
+        truth.extend(std::iter::repeat(1usize).take(100));
+        (points, truth)
+    }
+
+    #[test]
+    fn synchronizes_two_blobs_into_two_clusters() {
+        let (points, truth) = two_blobs();
+        let clustering = sync_cluster(&points, &SyncConfig::new(0.12));
+        assert!(
+            clustering.cluster_count() >= 2,
+            "clusters {}",
+            clustering.cluster_count()
+        );
+        let score = ami(&truth, &clustering.to_labels(NOISE_LABEL));
+        assert!(score > 0.8, "AMI {score}");
+    }
+
+    #[test]
+    fn isolated_points_become_noise() {
+        let (mut points, _) = two_blobs();
+        points.push(vec![5.0, 5.0]);
+        points.push(vec![-5.0, -5.0]);
+        let clustering = sync_cluster(&points, &SyncConfig::new(0.12));
+        assert_eq!(clustering.label(points.len() - 1), None);
+        assert_eq!(clustering.label(points.len() - 2), None);
+    }
+
+    #[test]
+    fn deterministic_and_order_insensitive_cluster_structure() {
+        let (points, _) = two_blobs();
+        let config = SyncConfig::new(0.12);
+        let a = sync_cluster(&points, &config);
+        let b = sync_cluster(&points, &config);
+        assert_eq!(a, b);
+
+        let mut reversed: Vec<Vec<f64>> = points.clone();
+        reversed.reverse();
+        let c = sync_cluster(&reversed, &config);
+        assert_eq!(a.cluster_count(), c.cluster_count());
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(sync_cluster(&[], &SyncConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn single_point_is_noise_under_default_min_size() {
+        let clustering = sync_cluster(&[vec![0.5, 0.5]], &SyncConfig::default());
+        assert_eq!(clustering.noise_count(), 1);
+        assert_eq!(clustering.cluster_count(), 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Integration test of the dip-statistic pipeline (Hartigan dip → UniDip →
+//! SkinnyDip) on a dataset whose coordinate projections have a known modal
+//! structure — the property SkinnyDip depends on and the reason it fails on
+//! the paper's ring-shaped clusters.
+
+use adawave_baselines::dip::{dip_statistic, dip_test, unidip, SkinnyDipConfig};
+use adawave_baselines::skinnydip;
+use adawave_data::{shapes, Rng};
+
+fn two_blobs_with_noise() -> Vec<Vec<f64>> {
+    let mut rng = Rng::new(12);
+    let mut points = Vec::new();
+    shapes::gaussian_blob(&mut points, &mut rng, &[0.2, 0.2], &[0.02, 0.02], 400);
+    shapes::gaussian_blob(&mut points, &mut rng, &[0.8, 0.8], &[0.02, 0.02], 400);
+    shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], 300);
+    points
+}
+
+#[test]
+fn bimodal_projection_has_a_larger_dip_than_a_unimodal_one() {
+    let points = two_blobs_with_noise();
+    let bimodal: Vec<f64> = points.iter().map(|p| p[0]).collect();
+
+    let mut rng = Rng::new(77);
+    let unimodal: Vec<f64> = (0..bimodal.len()).map(|_| rng.normal_with(0.5, 0.1)).collect();
+
+    let bimodal_dip = dip_statistic(&bimodal).dip;
+    let unimodal_dip = dip_statistic(&unimodal).dip;
+    assert!(
+        bimodal_dip > 2.0 * unimodal_dip,
+        "bimodal dip {bimodal_dip} vs unimodal {unimodal_dip}"
+    );
+}
+
+#[test]
+fn dip_test_rejects_unimodality_only_for_the_bimodal_projection() {
+    let points = two_blobs_with_noise();
+    let bimodal: Vec<f64> = points.iter().map(|p| p[0]).collect();
+    let mut rng = Rng::new(1);
+    let (_, p_bimodal) = dip_test(&bimodal, 64, &mut rng);
+    assert!(p_bimodal < 0.05, "bimodal p-value {p_bimodal}");
+
+    let mut rng = Rng::new(2);
+    let unimodal: Vec<f64> = (0..800).map(|_| rng.normal_with(0.5, 0.1)).collect();
+    let mut prng = Rng::new(3);
+    let (_, p_unimodal) = dip_test(&unimodal, 64, &mut prng);
+    assert!(p_unimodal > 0.05, "unimodal p-value {p_unimodal}");
+}
+
+#[test]
+fn unidip_finds_both_modes_of_the_x_projection() {
+    let points = two_blobs_with_noise();
+    let xs: Vec<f64> = points.iter().map(|p| p[0]).collect();
+    let config = SkinnyDipConfig {
+        bootstraps: 48,
+        seed: 3,
+        ..Default::default()
+    };
+    let mut rng = Rng::new(9);
+    let intervals = unidip(&xs, &config, &mut rng);
+    assert_eq!(intervals.len(), 2, "intervals {intervals:?}");
+    // One interval around 0.2, the other around 0.8, neither spanning both.
+    let mut sorted = xs.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let centers: Vec<f64> = intervals
+        .iter()
+        .map(|&(lo, hi)| (sorted[lo] + sorted[hi]) / 2.0)
+        .collect();
+    assert!(centers.iter().any(|&c| (c - 0.2).abs() < 0.1), "{centers:?}");
+    assert!(centers.iter().any(|&c| (c - 0.8).abs() < 0.1), "{centers:?}");
+}
+
+#[test]
+fn skinnydip_clusters_the_axis_aligned_blobs() {
+    // Blobs whose projections are unimodal per cluster on every axis are
+    // exactly SkinnyDip's favorable case.
+    let points = two_blobs_with_noise();
+    let config = SkinnyDipConfig {
+        bootstraps: 48,
+        seed: 3,
+        ..Default::default()
+    };
+    let clustering = skinnydip(&points, &config);
+    assert!(
+        clustering.cluster_count() >= 2,
+        "found {} clusters",
+        clustering.cluster_count()
+    );
+    // The uniform background should largely be recognized as noise.
+    assert!(clustering.noise_count() > 100);
+}

@@ -1,0 +1,95 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! wavelet family, grid scale, threshold strategy, connectivity and the
+//! sparse-vs-dense transform.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use adawave_baselines::{wavecluster, WaveClusterConfig};
+use adawave_core::{AdaWave, AdaWaveConfig, ThresholdStrategy};
+use adawave_data::synthetic::synthetic_benchmark;
+use adawave_grid::Connectivity;
+use adawave_wavelet::Wavelet;
+
+fn bench_ablations(c: &mut Criterion) {
+    let ds = synthetic_benchmark(75.0, 400, 1);
+
+    let mut group = c.benchmark_group("ablation_wavelet");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for wavelet in [Wavelet::Haar, Wavelet::Daubechies2, Wavelet::Cdf22] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(wavelet.name()),
+            &wavelet,
+            |b, &w| {
+                let adawave = AdaWave::new(AdaWaveConfig::builder().wavelet(w).build());
+                b.iter(|| black_box(adawave.fit(&ds.points).unwrap()));
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_scale");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for scale in [32u32, 64, 128, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, &s| {
+            let adawave = AdaWave::new(AdaWaveConfig::builder().scale(s).build());
+            b.iter(|| black_box(adawave.fit(&ds.points).unwrap()));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_threshold");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, strategy) in [
+        ("elbow", ThresholdStrategy::ElbowAngle { divisor: 3.0 }),
+        ("three-segment", ThresholdStrategy::ThreeSegment),
+        ("kneedle", ThresholdStrategy::Kneedle),
+        ("quantile", ThresholdStrategy::Quantile(0.2)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, &s| {
+            let adawave = AdaWave::new(AdaWaveConfig::builder().threshold(s).build());
+            b.iter(|| black_box(adawave.fit(&ds.points).unwrap()));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_connectivity");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for connectivity in Connectivity::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{connectivity:?}")),
+            &connectivity,
+            |b, &conn| {
+                let adawave = AdaWave::new(AdaWaveConfig::builder().connectivity(conn).build());
+                b.iter(|| black_box(adawave.fit(&ds.points).unwrap()));
+            },
+        );
+    }
+    group.finish();
+
+    // Sparse (AdaWave) vs dense (WaveCluster) transform on the same data:
+    // the memory/structure ablation behind the "grid labeling" design.
+    let mut group = c.benchmark_group("ablation_sparse_vs_dense");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("adawave_sparse", |b| {
+        let adawave = AdaWave::default();
+        b.iter(|| black_box(adawave.fit(&ds.points).unwrap()));
+    });
+    group.bench_function("wavecluster_dense", |b| {
+        b.iter(|| black_box(wavecluster(&ds.points, &WaveClusterConfig::default())));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Fig. 10 bench: runtime scaling with the number of objects at 75% noise.
+//!
+//! The paper's claim is asymptotic: AdaWave is linear in `n` (grid-based),
+//! k-means is linear per iteration, DBSCAN is `O(n log n)`–`O(n^2)`,
+//! SkinnyDip is sub-linear-ish in practice. Criterion's per-size timings
+//! let you verify the growth rates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use adawave_baselines::{dbscan, kmeans, skinnydip, DbscanConfig, KMeansConfig, SkinnyDipConfig};
+use adawave_core::AdaWave;
+use adawave_data::synthetic::runtime_scaling_dataset;
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_runtime");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &per_cluster in &[100usize, 200, 400, 800] {
+        let ds = runtime_scaling_dataset(per_cluster, 2);
+        let n = ds.len();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("adawave", n), &ds, |b, ds| {
+            let adawave = AdaWave::default();
+            b.iter(|| black_box(adawave.fit(&ds.points).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("kmeans_k5", n), &ds, |b, ds| {
+            b.iter(|| black_box(kmeans(&ds.points, &KMeansConfig::new(5, 1))));
+        });
+        group.bench_with_input(BenchmarkId::new("dbscan", n), &ds, |b, ds| {
+            b.iter(|| black_box(dbscan(&ds.points, &DbscanConfig::new(0.02, 8))));
+        });
+        // SkinnyDip only on the smaller sizes (bootstrap p-values dominate).
+        if per_cluster <= 200 {
+            group.bench_with_input(BenchmarkId::new("skinnydip", n), &ds, |b, ds| {
+                let config = SkinnyDipConfig {
+                    bootstraps: 32,
+                    ..Default::default()
+                };
+                b.iter(|| black_box(skinnydip(&ds.points, &config)));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

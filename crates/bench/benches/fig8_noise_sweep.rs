@@ -1,0 +1,47 @@
+//! Fig. 8 bench: AdaWave and the key baselines across noise levels.
+//!
+//! Criterion measures the runtime; the AMI series itself is produced by
+//! `cargo run -p adawave-bench --release --bin experiments -- fig8`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use adawave_baselines::{dbscan, kmeans, DbscanConfig, KMeansConfig};
+use adawave_core::AdaWave;
+use adawave_data::synthetic::synthetic_benchmark;
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_noise_sweep");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &noise in &[20.0f64, 50.0, 80.0] {
+        let ds = synthetic_benchmark(noise, 400, 1);
+        group.bench_with_input(
+            BenchmarkId::new("adawave", format!("noise{noise:.0}")),
+            &ds,
+            |b, ds| {
+                let adawave = AdaWave::default();
+                b.iter(|| black_box(adawave.fit(&ds.points).unwrap()));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("kmeans_k5", format!("noise{noise:.0}")),
+            &ds,
+            |b, ds| {
+                b.iter(|| black_box(kmeans(&ds.points, &KMeansConfig::new(5, 1))));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dbscan_eps0.02", format!("noise{noise:.0}")),
+            &ds,
+            |b, ds| {
+                b.iter(|| black_box(dbscan(&ds.points, &DbscanConfig::new(0.02, 8))));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Micro-benchmarks of the individual AdaWave pipeline stages
+//! (quantization, sparse wavelet transform, threshold selection, connected
+//! components) plus the AMI metric itself. These support the complexity
+//! claims of §IV-E: every stage is linear in the number of points or in the
+//! number of occupied grid cells.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use adawave_core::{sparse_wavelet_smooth, ThresholdStrategy};
+use adawave_data::synthetic::synthetic_benchmark;
+use adawave_grid::{connected_components, Connectivity, Quantizer};
+use adawave_metrics::ami;
+use adawave_wavelet::{BoundaryMode, Wavelet};
+
+fn bench_stages(c: &mut Criterion) {
+    let ds = synthetic_benchmark(75.0, 800, 1);
+    let quantizer = Quantizer::fit(&ds.points, 128).unwrap();
+    let (grid, _) = quantizer.quantize(&ds.points);
+    let kernel = Wavelet::Cdf22.density_smoothing_kernel();
+    let (transformed, down_codec) =
+        sparse_wavelet_smooth(&grid, quantizer.codec(), &kernel, BoundaryMode::Zero, 1).unwrap();
+    let sorted = transformed.sorted_densities();
+
+    let mut group = c.benchmark_group("pipeline_stages");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(ds.len() as u64));
+    group.bench_function("quantize_scale128", |b| {
+        b.iter(|| black_box(quantizer.quantize(&ds.points)));
+    });
+    group.throughput(Throughput::Elements(grid.occupied_cells() as u64));
+    group.bench_function("sparse_wavelet_level", |b| {
+        b.iter(|| {
+            black_box(
+                sparse_wavelet_smooth(&grid, quantizer.codec(), &kernel, BoundaryMode::Zero, 1)
+                    .unwrap(),
+            )
+        });
+    });
+    group.bench_function("threshold_elbow", |b| {
+        let strategy = ThresholdStrategy::ElbowAngle { divisor: 3.0 };
+        b.iter(|| black_box(strategy.choose(&sorted)));
+    });
+    group.bench_function("threshold_three_segment", |b| {
+        let strategy = ThresholdStrategy::ThreeSegment;
+        b.iter(|| black_box(strategy.choose(&sorted)));
+    });
+    group.bench_function("connected_components", |b| {
+        b.iter(|| {
+            black_box(connected_components(
+                &transformed,
+                &down_codec,
+                Connectivity::Face,
+            ))
+        });
+    });
+    group.finish();
+
+    // AMI cost grows with n and the number of clusters; the paper uses it
+    // for every score, so it must stay cheap relative to clustering.
+    let mut metric_group = c.benchmark_group("metrics");
+    metric_group.sample_size(20);
+    metric_group.warm_up_time(std::time::Duration::from_millis(500));
+    metric_group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[1_000usize, 10_000] {
+        let truth: Vec<usize> = (0..n).map(|i| i % 6).collect();
+        let pred: Vec<usize> = (0..n).map(|i| (i / 7) % 8).collect();
+        metric_group.bench_with_input(BenchmarkId::new("ami", n), &n, |b, _| {
+            b.iter(|| black_box(ami(&truth, &pred)));
+        });
+    }
+    metric_group.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Table I bench: AdaWave runtime on each real-world dataset surrogate
+//! (the AMI matrix itself comes from `experiments -- table1`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use adawave_core::AdaWave;
+use adawave_data::min_max_normalize;
+use adawave_data::uci;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut datasets = vec![
+        uci::seeds(1),
+        uci::iris(1),
+        uci::glass(1),
+        uci::dumdh(1),
+        uci::motor(1),
+        uci::wholesale(1),
+        uci::dermatology(1),
+        // Reduced HTRU2 and Roadmap keep the bench under a minute.
+        {
+            let mut rng = adawave_data::Rng::new(9);
+            uci::htru2(1).subsample(4_000, &mut rng)
+        },
+        uci::roadmap_like(20_000, 1),
+    ];
+    for ds in &mut datasets {
+        min_max_normalize(&mut ds.points);
+    }
+
+    let mut group = c.benchmark_group("table1_adawave");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for ds in &datasets {
+        group.throughput(Throughput::Elements(ds.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(&ds.name), ds, |b, ds| {
+            let adawave = AdaWave::default();
+            b.iter(|| black_box(adawave.fit(&ds.points).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

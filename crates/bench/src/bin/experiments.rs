@@ -1,0 +1,141 @@
+//! Command-line runner that regenerates every table and figure of the
+//! paper's evaluation section.
+//!
+//! ```text
+//! cargo run -p adawave-bench --release --bin experiments -- all
+//! cargo run -p adawave-bench --release --bin experiments -- fig8 --full
+//! ```
+//!
+//! Without `--full`, each experiment runs on a reduced copy of the paper's
+//! workload (same structure, fewer points) so the whole suite finishes in a
+//! few minutes on a laptop; `--full` uses the paper's sizes.
+
+use adawave_bench::experiments::{
+    self, print_ablation, print_fig10, print_fig2, print_fig5, print_fig6, print_fig7,
+    print_fig8, print_fig9, print_table1, print_table2,
+};
+use adawave_data::uci::ROADMAP_FULL_SIZE;
+
+const SEED: u64 = 20190407; // ICDE 2019 week, for flavour; any seed works.
+
+struct Scale {
+    fig2_points: usize,
+    fig8_points: usize,
+    fig8_noise: Vec<f64>,
+    fig10_points: Vec<usize>,
+    roadmap_n: usize,
+    table1_cap: usize,
+    ablation_points: usize,
+}
+
+impl Scale {
+    fn quick() -> Self {
+        Self {
+            fig2_points: 1200,
+            fig8_points: 800,
+            fig8_noise: vec![20.0, 35.0, 50.0, 65.0, 80.0, 90.0],
+            fig10_points: vec![250, 500, 1000, 2000],
+            roadmap_n: 60_000,
+            table1_cap: 4_000,
+            ablation_points: 800,
+        }
+    }
+
+    fn full() -> Self {
+        Self {
+            fig2_points: 5600,
+            fig8_points: 5600,
+            fig8_noise: (4..=18).map(|i| i as f64 * 5.0).collect(),
+            fig10_points: vec![1000, 2000, 4000, 8000, 16000],
+            roadmap_n: ROADMAP_FULL_SIZE,
+            table1_cap: 0,
+            ablation_points: 5600,
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let scale = if full { Scale::full() } else { Scale::quick() };
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+
+    let run_fig2 = || {
+        let rows = experiments::fig2_running_example(scale.fig2_points, SEED);
+        print_fig2(&rows);
+    };
+    let run_fig5 = || {
+        let stats = experiments::fig5_transform(scale.fig2_points, SEED);
+        print_fig5(&stats);
+        println!("subband energy (dense 2-D DWT):");
+        for (name, energy) in experiments::fig5_subband_energy(scale.fig2_points, SEED) {
+            println!("  {name:<22} {energy:>14.1}");
+        }
+        println!();
+    };
+    let run_fig6 = || {
+        let data = experiments::fig6_threshold(scale.fig2_points, SEED);
+        print_fig6(&data);
+    };
+    let run_fig7 = || print_fig7(50.0, scale.fig8_points, SEED);
+    let run_fig8 = || {
+        let rows = experiments::fig8_noise_sweep(scale.fig8_points, &scale.fig8_noise, SEED);
+        print_fig8(&rows);
+    };
+    let run_fig9 = || {
+        let result = experiments::fig9_roadmap(scale.roadmap_n, SEED);
+        print_fig9(&result);
+    };
+    let run_fig10 = || {
+        let rows = experiments::fig10_runtime(&scale.fig10_points, SEED);
+        print_fig10(&rows);
+    };
+    let run_table1 = || {
+        let cells = experiments::table1(SEED, scale.roadmap_n.min(40_000), scale.table1_cap);
+        print_table1(&cells);
+    };
+    let run_table2 = || {
+        let corr = experiments::table2_glass(SEED);
+        print_table2(&corr);
+    };
+    let run_ablation = || {
+        let rows = experiments::ablation(scale.ablation_points, SEED);
+        print_ablation(&rows);
+    };
+
+    match which.as_str() {
+        "fig2" => run_fig2(),
+        "fig5" => run_fig5(),
+        "fig6" => run_fig6(),
+        "fig7" => run_fig7(),
+        "fig8" => run_fig8(),
+        "fig9" => run_fig9(),
+        "fig10" => run_fig10(),
+        "table1" => run_table1(),
+        "table2" => run_table2(),
+        "ablation" => run_ablation(),
+        "all" => {
+            run_fig2();
+            run_fig5();
+            run_fig6();
+            run_fig7();
+            run_fig8();
+            run_fig9();
+            run_fig10();
+            run_table1();
+            run_table2();
+            run_ablation();
+        }
+        other => {
+            eprintln!(
+                "unknown experiment '{other}'. Available: fig2 fig5 fig6 fig7 fig8 fig9 fig10 \
+                 table1 table2 ablation all  (add --full for the paper-scale workloads)"
+            );
+            std::process::exit(2);
+        }
+    }
+}

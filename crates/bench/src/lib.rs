@@ -1,0 +1,25 @@
+//! # adawave-bench
+//!
+//! Experiment harness for the AdaWave reproduction: a uniform way to run
+//! every algorithm on every dataset of the paper, plus one experiment
+//! function per table and figure of the evaluation section. The
+//! `experiments` binary prints the same rows/series the paper reports;
+//! the Criterion benches in `benches/` measure the runtime-oriented
+//! figures.
+//!
+//! ```no_run
+//! use adawave_bench::experiments;
+//!
+//! // Regenerate Fig. 8 (AMI vs noise percentage) at a reduced scale.
+//! let rows = experiments::fig8_noise_sweep(600, &[20.0, 50.0, 80.0], 42);
+//! experiments::print_fig8(&rows);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod algorithms;
+pub mod experiments;
+pub mod report;
+
+pub use algorithms::{run_algorithm, AlgoOutcome, Algorithm};

@@ -1,0 +1,82 @@
+//! Small plain-text table formatting helpers for the experiment binaries.
+
+/// Format a table with a header row and aligned columns.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+        }
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a float with three decimals (the precision of the paper's tables).
+pub fn fmt3(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+/// Format seconds adaptively (ms below one second).
+pub fn fmt_seconds(seconds: f64) -> String {
+    if seconds < 1.0 {
+        format!("{:.1} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.2} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned_and_complete() {
+        let table = format_table(
+            &["name", "ami"],
+            &[
+                vec!["AdaWave".to_string(), "0.760".to_string()],
+                vec!["k-means".to_string(), "0.250".to_string()],
+            ],
+        );
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("---"));
+        assert!(table.contains("AdaWave"));
+        assert!(table.contains("0.250"));
+        // Columns aligned: "ami" header starts at same offset as values.
+        let header_offset = lines[0].find("ami").unwrap();
+        let value_offset = lines[2].find("0.760").unwrap();
+        assert_eq!(header_offset, value_offset);
+    }
+
+    #[test]
+    fn float_and_time_formatting() {
+        assert_eq!(fmt3(0.7604), "0.760");
+        assert_eq!(fmt3(1.0), "1.000");
+        assert_eq!(fmt_seconds(0.0123), "12.3 ms");
+        assert_eq!(fmt_seconds(2.5), "2.50 s");
+    }
+}

@@ -1,0 +1,222 @@
+//! A dependency-free command-line argument parser.
+//!
+//! The CLI accepts a single subcommand followed by `--key value` pairs and
+//! boolean `--flag` switches. Keeping the parser in-crate avoids pulling a
+//! full argument-parsing dependency into the workspace for five commands.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: the subcommand plus its options.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ParsedArgs {
+    /// The subcommand (e.g. `cluster`), empty when none was given.
+    pub command: String,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Errors produced while parsing or interpreting the command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand was supplied.
+    MissingCommand,
+    /// An option was supplied without a value (e.g. a trailing `--out`).
+    MissingValue(String),
+    /// A required option is absent.
+    MissingOption(String),
+    /// An option value failed to parse.
+    InvalidValue {
+        /// Option name.
+        option: String,
+        /// Offending value.
+        value: String,
+        /// What was expected.
+        expected: String,
+    },
+    /// A positional argument appeared where only options are allowed.
+    UnexpectedPositional(String),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "no command given (try `adawave help`)"),
+            ArgError::MissingValue(opt) => write!(f, "option --{opt} needs a value"),
+            ArgError::MissingOption(opt) => write!(f, "required option --{opt} is missing"),
+            ArgError::InvalidValue {
+                option,
+                value,
+                expected,
+            } => write!(f, "--{option} {value}: expected {expected}"),
+            ArgError::UnexpectedPositional(arg) => {
+                write!(f, "unexpected argument '{arg}' (options start with --)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl ParsedArgs {
+    /// Parse an argument vector (without the program name).
+    pub fn parse<I, S>(args: I) -> Result<Self, ArgError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut iter = args.into_iter().map(Into::into).peekable();
+        let command = iter.next().ok_or(ArgError::MissingCommand)?;
+        if command.starts_with("--") {
+            return Err(ArgError::MissingCommand);
+        }
+        let mut parsed = ParsedArgs {
+            command,
+            ..Default::default()
+        };
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                // A following token that does not itself start with `--` is
+                // the value; otherwise the option is a boolean flag.
+                match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        let value = iter.next().expect("peeked");
+                        parsed.options.insert(name.to_string(), value);
+                    }
+                    _ => parsed.flags.push(name.to_string()),
+                }
+            } else {
+                return Err(ArgError::UnexpectedPositional(arg));
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// Raw value of an option, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// A required string option.
+    pub fn require(&self, name: &str) -> Result<&str, ArgError> {
+        self.get(name)
+            .ok_or_else(|| ArgError::MissingOption(name.to_string()))
+    }
+
+    /// An optional option parsed into `T`, with a default when absent.
+    pub fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse::<T>().map_err(|_| ArgError::InvalidValue {
+                option: name.to_string(),
+                value: raw.to_string(),
+                expected: std::any::type_name::<T>().to_string(),
+            }),
+        }
+    }
+
+    /// A comma-separated list of `f64` values.
+    pub fn parse_f64_list(&self, name: &str, default: &[f64]) -> Result<Vec<f64>, ArgError> {
+        match self.get(name) {
+            None => Ok(default.to_vec()),
+            Some(raw) => raw
+                .split(',')
+                .map(|v| {
+                    v.trim().parse::<f64>().map_err(|_| ArgError::InvalidValue {
+                        option: name.to_string(),
+                        value: raw.to_string(),
+                        expected: "a comma-separated list of numbers".to_string(),
+                    })
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let args = ParsedArgs::parse(["cluster", "--input", "a.csv", "--verbose", "--scale", "64"])
+            .unwrap();
+        assert_eq!(args.command, "cluster");
+        assert_eq!(args.get("input"), Some("a.csv"));
+        assert_eq!(args.get("scale"), Some("64"));
+        assert!(args.flag("verbose"));
+        assert!(!args.flag("quiet"));
+    }
+
+    #[test]
+    fn missing_command_is_an_error() {
+        assert_eq!(
+            ParsedArgs::parse(Vec::<String>::new()),
+            Err(ArgError::MissingCommand)
+        );
+        assert_eq!(
+            ParsedArgs::parse(["--input", "x"]),
+            Err(ArgError::MissingCommand)
+        );
+    }
+
+    #[test]
+    fn trailing_option_without_value_is_a_flag() {
+        let args = ParsedArgs::parse(["cluster", "--reassign-noise"]).unwrap();
+        assert!(args.flag("reassign-noise"));
+    }
+
+    #[test]
+    fn unexpected_positional_is_rejected() {
+        assert!(matches!(
+            ParsedArgs::parse(["cluster", "somefile.csv"]),
+            Err(ArgError::UnexpectedPositional(_))
+        ));
+    }
+
+    #[test]
+    fn require_and_parse_or() {
+        let args = ParsedArgs::parse(["generate", "--noise", "55.5"]).unwrap();
+        assert_eq!(args.require("noise").unwrap(), "55.5");
+        assert!(matches!(
+            args.require("out"),
+            Err(ArgError::MissingOption(_))
+        ));
+        assert_eq!(args.parse_or::<f64>("noise", 0.0).unwrap(), 55.5);
+        assert_eq!(args.parse_or::<u32>("scale", 128).unwrap(), 128);
+        assert!(args.parse_or::<u32>("noise", 1).is_err());
+    }
+
+    #[test]
+    fn f64_lists() {
+        let args = ParsedArgs::parse(["sweep", "--noise", "20, 50,80"]).unwrap();
+        assert_eq!(
+            args.parse_f64_list("noise", &[]).unwrap(),
+            vec![20.0, 50.0, 80.0]
+        );
+        assert_eq!(
+            args.parse_f64_list("other", &[1.0]).unwrap(),
+            vec![1.0]
+        );
+        let bad = ParsedArgs::parse(["sweep", "--noise", "20,x"]).unwrap();
+        assert!(bad.parse_f64_list("noise", &[]).is_err());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(ArgError::MissingOption("input".into())
+            .to_string()
+            .contains("--input"));
+        assert!(ArgError::InvalidValue {
+            option: "scale".into(),
+            value: "abc".into(),
+            expected: "u32".into()
+        }
+        .to_string()
+        .contains("abc"));
+    }
+}

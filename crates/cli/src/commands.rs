@@ -1,0 +1,719 @@
+//! Implementations of the `adawave` subcommands.
+//!
+//! Every command is a plain function over in-memory data so it can be unit
+//! tested without touching the filesystem; `main.rs` only wires file I/O and
+//! argument parsing around these functions.
+
+use std::path::Path;
+use std::time::Instant;
+
+use adawave_baselines::{
+    clique, dbscan, dipmeans, em, kmeans, mean_shift, optics, ric, self_tuning_spectral,
+    skinnydip, sting, sync_cluster, wavecluster, CliqueConfig, Clustering, DbscanConfig,
+    DipMeansConfig, EmConfig, KMeansConfig, MeanShiftConfig, OpticsConfig, RicConfig,
+    SkinnyDipConfig, SpectralConfig, StingConfig, SyncConfig, WaveClusterConfig,
+};
+use adawave_core::{AdaWave, AdaWaveConfig, ThresholdStrategy};
+use adawave_data::synthetic::{running_example, synthetic_benchmark};
+use adawave_data::{csv, uci, Dataset};
+use adawave_metrics::{
+    adjusted_rand_index, ami, ami_ignoring_noise, calinski_harabasz, davies_bouldin,
+    normalized_mutual_information, purity, silhouette_score, v_measure, NOISE_LABEL,
+};
+use adawave_wavelet::Wavelet;
+
+use crate::args::{ArgError, ParsedArgs};
+
+/// Errors surfaced to the user by any command.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Args(ArgError),
+    /// Anything that prevented the command from completing.
+    Message(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Message(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+impl From<String> for CliError {
+    fn from(m: String) -> Self {
+        CliError::Message(m)
+    }
+}
+
+/// Result alias for command functions.
+pub type CliResult<T> = Result<T, CliError>;
+
+/// The usage text printed by `adawave help`.
+pub const USAGE: &str = "\
+adawave — adaptive wavelet clustering for highly noisy data
+
+USAGE:
+  adawave <command> [--option value]...
+
+COMMANDS:
+  generate   Generate a synthetic or surrogate dataset as CSV
+             --dataset <running-example|synthetic|roadmap|seeds|iris|glass|
+                        dumdh|htru2|dermatology|motor|wholesale>
+             [--noise <percent>] [--points-per-cluster <n>] [--seed <n>]
+             --out <file.csv>
+  cluster    Cluster a CSV file (features..., label per line)
+             --input <file.csv> [--algorithm <name>] [--out <labels.csv>]
+             [--scale <n>] [--wavelet <haar|db2|db3|cdf22|cdf13>]
+             [--levels <n>] [--threshold <three-segment|elbow|kneedle|
+              quantile:<f>|fixed:<f>>] [--k <n>] [--eps <f>]
+             [--min-points <n>] [--bandwidth <f>] [--seed <n>]
+             [--reassign-noise] [--quiet]
+  evaluate   Score predicted labels against the ground truth in a CSV
+             --input <file.csv> --labels <labels.csv> [--noise-label <n>]
+  sweep      AMI of AdaWave and the baselines across noise levels (mini Fig. 8)
+             [--noise <list, default 20,50,80>] [--points-per-cluster <n>]
+             [--seed <n>]
+  info       List the available algorithms, wavelets and threshold strategies
+  help       Show this message
+
+ALGORITHMS:
+  adawave (default), kmeans, dbscan, em, wavecluster, skinnydip, dipmeans,
+  stsc, ric, optics, meanshift, sync, sting, clique
+";
+
+/// Dispatch a parsed command line; returns the text to print on stdout.
+pub fn dispatch(args: &ParsedArgs) -> CliResult<String> {
+    match args.command.as_str() {
+        "generate" => generate(args),
+        "cluster" => cluster(args),
+        "evaluate" => evaluate(args),
+        "sweep" => sweep(args),
+        "info" => Ok(info()),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError::Message(format!(
+            "unknown command '{other}' (try `adawave help`)"
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// generate
+// ---------------------------------------------------------------------------
+
+/// Build the dataset selected by `--dataset`.
+pub fn build_dataset(
+    name: &str,
+    noise_percent: f64,
+    points_per_cluster: usize,
+    seed: u64,
+) -> CliResult<Dataset> {
+    let ds = match name {
+        "running-example" => running_example(seed),
+        "synthetic" => synthetic_benchmark(noise_percent, points_per_cluster, seed),
+        "roadmap" => uci::roadmap_like(points_per_cluster.max(1) * 5, seed),
+        "seeds" => uci::seeds(seed),
+        "iris" => uci::iris(seed),
+        "glass" => uci::glass(seed),
+        "dumdh" => uci::dumdh(seed),
+        "htru2" => uci::htru2(seed),
+        "dermatology" => uci::dermatology(seed),
+        "motor" => uci::motor(seed),
+        "wholesale" => uci::wholesale(seed),
+        other => {
+            return Err(CliError::Message(format!(
+                "unknown dataset '{other}' (see `adawave help`)"
+            )))
+        }
+    };
+    Ok(ds)
+}
+
+fn generate(args: &ParsedArgs) -> CliResult<String> {
+    let dataset_name = args.require("dataset")?;
+    let noise = args.parse_or("noise", 50.0)?;
+    let per_cluster = args.parse_or("points-per-cluster", 5600usize)?;
+    let seed = args.parse_or("seed", 42u64)?;
+    let out = args.require("out")?;
+    let ds = build_dataset(dataset_name, noise, per_cluster, seed)?;
+    csv::save_csv(&ds, Path::new(out))
+        .map_err(|e| CliError::Message(format!("writing {out}: {e}")))?;
+    Ok(format!(
+        "wrote {} ({} points, {} dims, {} classes, {:.1}% noise) to {}\n",
+        ds.name,
+        ds.len(),
+        ds.dims(),
+        ds.class_count(),
+        100.0 * ds.noise_fraction(),
+        out
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// cluster
+// ---------------------------------------------------------------------------
+
+/// The outcome of clustering a dataset through the CLI.
+#[derive(Debug, Clone)]
+pub struct ClusterOutcome {
+    /// Per-point labels with noise mapped to [`NOISE_LABEL`].
+    pub labels: Vec<usize>,
+    /// Number of clusters found.
+    pub clusters: usize,
+    /// Number of points labeled noise.
+    pub noise_points: usize,
+    /// Wall-clock seconds spent clustering.
+    pub seconds: f64,
+}
+
+/// Parse a `--threshold` value.
+pub fn parse_threshold(raw: &str) -> CliResult<ThresholdStrategy> {
+    if let Some(rest) = raw.strip_prefix("quantile:") {
+        let q: f64 = rest
+            .parse()
+            .map_err(|_| CliError::Message(format!("bad quantile '{rest}'")))?;
+        return Ok(ThresholdStrategy::Quantile(q));
+    }
+    if let Some(rest) = raw.strip_prefix("fixed:") {
+        let v: f64 = rest
+            .parse()
+            .map_err(|_| CliError::Message(format!("bad fixed threshold '{rest}'")))?;
+        return Ok(ThresholdStrategy::Fixed(v));
+    }
+    match raw {
+        "three-segment" => Ok(ThresholdStrategy::ThreeSegment),
+        "elbow" | "elbow-angle" => Ok(ThresholdStrategy::ElbowAngle { divisor: 3.0 }),
+        "kneedle" => Ok(ThresholdStrategy::Kneedle),
+        other => Err(CliError::Message(format!(
+            "unknown threshold strategy '{other}'"
+        ))),
+    }
+}
+
+/// Cluster a point set with the algorithm and options from the command line.
+/// `true_k` is the number of ground-truth classes, used as `k` by the
+/// centroid/model-based algorithms when `--k` is not given.
+pub fn run_clustering(
+    algorithm: &str,
+    points: &[Vec<f64>],
+    args: &ParsedArgs,
+    true_k: usize,
+) -> CliResult<ClusterOutcome> {
+    let seed = args.parse_or("seed", 7u64)?;
+    let k = args.parse_or("k", true_k.max(1))?;
+    let eps = args.parse_or("eps", 0.05f64)?;
+    let min_points = args.parse_or("min-points", 8usize)?;
+    let bandwidth = args.parse_or("bandwidth", 0.1f64)?;
+    let scale = args.parse_or("scale", 128u32)?;
+    let start = Instant::now();
+
+    let clustering: Clustering = match algorithm {
+        "adawave" => {
+            let wavelet_name = args.get("wavelet").unwrap_or("cdf22");
+            let wavelet = Wavelet::from_name(wavelet_name).ok_or_else(|| {
+                CliError::Message(format!("unknown wavelet '{wavelet_name}'"))
+            })?;
+            let threshold = match args.get("threshold") {
+                Some(raw) => parse_threshold(raw)?,
+                None => ThresholdStrategy::default(),
+            };
+            let config = AdaWaveConfig::builder()
+                .scale(scale)
+                .wavelet(wavelet)
+                .levels(args.parse_or("levels", 1u32)?)
+                .threshold(threshold)
+                .build();
+            let result = AdaWave::new(config)
+                .fit(points)
+                .map_err(|e| CliError::Message(format!("adawave failed: {e}")))?;
+            Clustering::new(result.assignment().to_vec())
+        }
+        "kmeans" => kmeans(points, &KMeansConfig::new(k, seed)).clustering,
+        "dbscan" => dbscan(points, &DbscanConfig::new(eps, min_points)),
+        "em" => em(points, &EmConfig::new(k, seed)).1,
+        "wavecluster" => wavecluster(
+            points,
+            &WaveClusterConfig {
+                scale,
+                ..Default::default()
+            },
+        ),
+        "skinnydip" => skinnydip(
+            points,
+            &SkinnyDipConfig {
+                seed,
+                ..Default::default()
+            },
+        ),
+        "dipmeans" => dipmeans(
+            points,
+            &DipMeansConfig {
+                seed,
+                ..Default::default()
+            },
+        ),
+        "stsc" => self_tuning_spectral(
+            points,
+            &SpectralConfig {
+                k: Some(k),
+                seed,
+                ..Default::default()
+            },
+        ),
+        "ric" => ric(points, &RicConfig::new(k.max(2) * 2, seed)),
+        "optics" => optics(points, &OpticsConfig::new(eps * 2.0, min_points, eps)),
+        "meanshift" => mean_shift(points, &MeanShiftConfig::new(bandwidth)),
+        "sync" => sync_cluster(points, &SyncConfig::new(eps)),
+        "sting" => sting(points, &StingConfig::new(5, min_points)),
+        "clique" => clique(points, &CliqueConfig::new(10, 0.01)),
+        other => {
+            return Err(CliError::Message(format!(
+                "unknown algorithm '{other}' (see `adawave help`)"
+            )))
+        }
+    };
+    let seconds = start.elapsed().as_secs_f64();
+
+    let labels = if args.flag("reassign-noise") {
+        clustering
+            .assign_noise_to_nearest_centroid(points)
+            .to_labels(NOISE_LABEL)
+    } else {
+        clustering.to_labels(NOISE_LABEL)
+    };
+    Ok(ClusterOutcome {
+        noise_points: labels.iter().filter(|&&l| l == NOISE_LABEL).count(),
+        clusters: clustering.cluster_count(),
+        labels,
+        seconds,
+    })
+}
+
+/// Render the predicted labels as the text of a labels file: one label per
+/// line, with the literal word `noise` for noise points.
+pub fn labels_to_text(labels: &[usize]) -> String {
+    let mut text = String::with_capacity(labels.len() * 4);
+    for &l in labels {
+        if l == NOISE_LABEL {
+            text.push_str("noise\n");
+        } else {
+            text.push_str(&l.to_string());
+            text.push('\n');
+        }
+    }
+    text
+}
+
+/// Parse a labels file produced by [`labels_to_text`] (or any file with one
+/// integer or `noise` per line; `-1` is also accepted as noise).
+pub fn labels_from_text(text: &str) -> CliResult<Vec<usize>> {
+    let mut labels = Vec::new();
+    for (line_no, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "noise" || line == "-1" {
+            labels.push(NOISE_LABEL);
+        } else {
+            labels.push(line.parse::<usize>().map_err(|_| {
+                CliError::Message(format!("labels file line {}: bad label '{line}'", line_no + 1))
+            })?);
+        }
+    }
+    Ok(labels)
+}
+
+fn cluster(args: &ParsedArgs) -> CliResult<String> {
+    let input = args.require("input")?;
+    let algorithm = args.get("algorithm").unwrap_or("adawave");
+    let ds = csv::load_csv(Path::new(input))
+        .map_err(|e| CliError::Message(format!("reading {input}: {e}")))?;
+    let outcome = run_clustering(algorithm, &ds.points, args, ds.cluster_count())?;
+
+    if let Some(out) = args.get("out") {
+        std::fs::write(out, labels_to_text(&outcome.labels))
+            .map_err(|e| CliError::Message(format!("writing {out}: {e}")))?;
+    }
+
+    let mut report = format!(
+        "{}: {} clusters, {} noise points / {} total in {:.3}s\n",
+        algorithm,
+        outcome.clusters,
+        outcome.noise_points,
+        ds.len(),
+        outcome.seconds
+    );
+    if !args.flag("quiet") {
+        let score = match ds.noise_label {
+            Some(noise) => ami_ignoring_noise(&ds.labels, &outcome.labels, noise),
+            None => ami(&ds.labels, &outcome.labels),
+        };
+        report.push_str(&format!("AMI against the labels in {input}: {score:.3}\n"));
+    }
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------------
+// evaluate
+// ---------------------------------------------------------------------------
+
+/// Compute the evaluation report for a (truth, predicted) pair.
+pub fn evaluation_report(
+    points: &[Vec<f64>],
+    truth: &[usize],
+    predicted: &[usize],
+    noise_label: Option<usize>,
+) -> CliResult<String> {
+    if truth.len() != predicted.len() {
+        return Err(CliError::Message(format!(
+            "{} ground-truth labels but {} predictions",
+            truth.len(),
+            predicted.len()
+        )));
+    }
+    let mut out = String::new();
+    out.push_str(&format!("points                {}\n", truth.len()));
+    out.push_str(&format!("AMI                   {:.4}\n", ami(truth, predicted)));
+    if let Some(noise) = noise_label {
+        out.push_str(&format!(
+            "AMI (non-noise only)  {:.4}\n",
+            ami_ignoring_noise(truth, predicted, noise)
+        ));
+    }
+    out.push_str(&format!(
+        "NMI                   {:.4}\n",
+        normalized_mutual_information(truth, predicted, adawave_metrics::AverageMethod::Arithmetic)
+    ));
+    out.push_str(&format!(
+        "ARI                   {:.4}\n",
+        adjusted_rand_index(truth, predicted)
+    ));
+    out.push_str(&format!(
+        "V-measure             {:.4}\n",
+        v_measure(truth, predicted)
+    ));
+    out.push_str(&format!(
+        "purity                {:.4}\n",
+        purity(truth, predicted)
+    ));
+    // Internal indices need the geometry; cap the cost on large inputs.
+    if !points.is_empty() && points.len() <= 20_000 {
+        let optional: Vec<Option<usize>> = predicted
+            .iter()
+            .map(|&l| if l == NOISE_LABEL { None } else { Some(l) })
+            .collect();
+        out.push_str(&format!(
+            "silhouette            {:.4}\n",
+            silhouette_score(points, &optional)
+        ));
+        out.push_str(&format!(
+            "Davies-Bouldin        {:.4}\n",
+            davies_bouldin(points, &optional)
+        ));
+        out.push_str(&format!(
+            "Calinski-Harabasz     {:.1}\n",
+            calinski_harabasz(points, &optional)
+        ));
+    }
+    Ok(out)
+}
+
+fn evaluate(args: &ParsedArgs) -> CliResult<String> {
+    let input = args.require("input")?;
+    let labels_path = args.require("labels")?;
+    let ds = csv::load_csv(Path::new(input))
+        .map_err(|e| CliError::Message(format!("reading {input}: {e}")))?;
+    let text = std::fs::read_to_string(labels_path)
+        .map_err(|e| CliError::Message(format!("reading {labels_path}: {e}")))?;
+    let predicted = labels_from_text(&text)?;
+    let noise_label = match args.get("noise-label") {
+        Some(raw) => Some(raw.parse::<usize>().map_err(|_| {
+            CliError::Message(format!("bad --noise-label '{raw}'"))
+        })?),
+        None => ds.noise_label,
+    };
+    evaluation_report(&ds.points, &ds.labels, &predicted, noise_label)
+}
+
+// ---------------------------------------------------------------------------
+// sweep
+// ---------------------------------------------------------------------------
+
+/// One row of the sweep table.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Noise percentage of the dataset.
+    pub noise_percent: f64,
+    /// `(algorithm name, AMI over non-noise points)` pairs.
+    pub scores: Vec<(String, f64)>,
+}
+
+/// Run the mini Fig. 8 sweep over the given noise levels. `scale` is the
+/// AdaWave grid scale — reduced sweeps (a few hundred points per cluster)
+/// need a coarser grid than the paper's full-size default of 128, otherwise
+/// cluster cells hold as few points as noise cells.
+pub fn run_sweep(
+    noise_levels: &[f64],
+    points_per_cluster: usize,
+    seed: u64,
+    scale: u32,
+) -> Vec<SweepRow> {
+    use adawave_data::synthetic::SYNTHETIC_NOISE_LABEL;
+    let algorithms = ["adawave", "kmeans", "dbscan", "skinnydip"];
+    let scale_arg = scale.to_string();
+    let mut rows = Vec::new();
+    for &noise in noise_levels {
+        let ds = synthetic_benchmark(noise, points_per_cluster, seed);
+        let mut scores = Vec::new();
+        for algo in algorithms {
+            let args = ParsedArgs::parse(["cluster", "--scale", &scale_arg]).expect("static args");
+            let outcome = match run_clustering(algo, &ds.points, &args, ds.cluster_count()) {
+                Ok(o) => o,
+                Err(_) => continue,
+            };
+            let score = ami_ignoring_noise(&ds.labels, &outcome.labels, SYNTHETIC_NOISE_LABEL);
+            scores.push((algo.to_string(), score));
+        }
+        rows.push(SweepRow {
+            noise_percent: noise,
+            scores,
+        });
+    }
+    rows
+}
+
+/// Render the sweep table.
+pub fn format_sweep(rows: &[SweepRow]) -> String {
+    let mut out = String::from("noise%  ");
+    if let Some(first) = rows.first() {
+        for (name, _) in &first.scores {
+            out.push_str(&format!("{name:>10}"));
+        }
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!("{:>6.0}  ", row.noise_percent));
+        for (_, score) in &row.scores {
+            out.push_str(&format!("{score:>10.3}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn sweep(args: &ParsedArgs) -> CliResult<String> {
+    let noise_levels = args.parse_f64_list("noise", &[20.0, 50.0, 80.0])?;
+    let per_cluster = args.parse_or("points-per-cluster", 600usize)?;
+    let seed = args.parse_or("seed", 7u64)?;
+    let scale = args.parse_or("scale", 64u32)?;
+    let rows = run_sweep(&noise_levels, per_cluster, seed, scale);
+    Ok(format_sweep(&rows))
+}
+
+// ---------------------------------------------------------------------------
+// info
+// ---------------------------------------------------------------------------
+
+fn info() -> String {
+    let mut out = String::new();
+    out.push_str(&format!("adawave {}\n\n", env!("CARGO_PKG_VERSION")));
+    out.push_str("algorithms: adawave kmeans dbscan em wavecluster skinnydip dipmeans stsc ric optics meanshift sync sting clique\n");
+    out.push_str("wavelets:   ");
+    for w in Wavelet::ALL {
+        out.push_str(w.name());
+        out.push(' ');
+    }
+    out.push('\n');
+    out.push_str("thresholds: three-segment elbow kneedle quantile:<f> fixed:<f>\n");
+    out.push_str("datasets:   running-example synthetic roadmap seeds iris glass dumdh htru2 dermatology motor wholesale\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adawave_data::shapes;
+    use adawave_data::Rng;
+
+    fn toy_points() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = Rng::new(1);
+        let mut points = Vec::new();
+        let mut truth = Vec::new();
+        shapes::gaussian_blob(&mut points, &mut rng, &[0.2, 0.2], &[0.02, 0.02], 120);
+        truth.extend(std::iter::repeat(0usize).take(120));
+        shapes::gaussian_blob(&mut points, &mut rng, &[0.8, 0.8], &[0.02, 0.02], 120);
+        truth.extend(std::iter::repeat(1usize).take(120));
+        // The adaptive threshold expects a noise regime to cut away, so the
+        // toy data mirrors the paper's setting: blobs plus uniform noise.
+        shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], 60);
+        truth.extend(std::iter::repeat(2usize).take(60));
+        (points, truth)
+    }
+
+    #[test]
+    fn every_algorithm_name_runs_on_a_toy_dataset() {
+        let (points, _) = toy_points();
+        let args = ParsedArgs::parse(["cluster", "--scale", "32", "--eps", "0.08"]).unwrap();
+        for algo in [
+            "adawave",
+            "kmeans",
+            "dbscan",
+            "em",
+            "wavecluster",
+            "skinnydip",
+            "dipmeans",
+            "stsc",
+            "ric",
+            "optics",
+            "meanshift",
+            "sync",
+            "sting",
+            "clique",
+        ] {
+            let outcome = run_clustering(algo, &points, &args, 2)
+                .unwrap_or_else(|e| panic!("{algo}: {e}"));
+            assert_eq!(outcome.labels.len(), points.len(), "{algo}");
+        }
+    }
+
+    #[test]
+    fn unknown_algorithm_is_rejected() {
+        let (points, _) = toy_points();
+        let args = ParsedArgs::parse(["cluster"]).unwrap();
+        assert!(run_clustering("definitely-not-real", &points, &args, 2).is_err());
+    }
+
+    #[test]
+    fn adawave_separates_the_toy_blobs() {
+        let (points, truth) = toy_points();
+        let args = ParsedArgs::parse(["cluster", "--scale", "32"]).unwrap();
+        let outcome = run_clustering("adawave", &points, &args, 2).unwrap();
+        assert!(outcome.clusters >= 2);
+        let score = ami_ignoring_noise(&truth, &outcome.labels, 2);
+        assert!(score > 0.8, "AMI {score}");
+    }
+
+    #[test]
+    fn reassign_noise_flag_removes_noise_points() {
+        let (points, _) = toy_points();
+        let args =
+            ParsedArgs::parse(["cluster", "--scale", "32", "--reassign-noise"]).unwrap();
+        let outcome = run_clustering("adawave", &points, &args, 2).unwrap();
+        assert_eq!(outcome.noise_points, 0);
+    }
+
+    #[test]
+    fn labels_round_trip_through_text() {
+        let labels = vec![0, 2, NOISE_LABEL, 1];
+        let text = labels_to_text(&labels);
+        assert_eq!(labels_from_text(&text).unwrap(), labels);
+        // -1 is accepted as noise too.
+        assert_eq!(labels_from_text("0\n-1\n3\n").unwrap(), vec![0, NOISE_LABEL, 3]);
+        assert!(labels_from_text("0\nbanana\n").is_err());
+    }
+
+    #[test]
+    fn threshold_parsing() {
+        assert_eq!(
+            parse_threshold("three-segment").unwrap(),
+            ThresholdStrategy::ThreeSegment
+        );
+        assert_eq!(
+            parse_threshold("quantile:0.25").unwrap(),
+            ThresholdStrategy::Quantile(0.25)
+        );
+        assert_eq!(
+            parse_threshold("fixed:3.5").unwrap(),
+            ThresholdStrategy::Fixed(3.5)
+        );
+        assert!(matches!(
+            parse_threshold("elbow").unwrap(),
+            ThresholdStrategy::ElbowAngle { .. }
+        ));
+        assert!(parse_threshold("nope").is_err());
+        assert!(parse_threshold("quantile:x").is_err());
+    }
+
+    #[test]
+    fn build_dataset_covers_every_name() {
+        for name in [
+            "running-example",
+            "synthetic",
+            "roadmap",
+            "seeds",
+            "iris",
+            "glass",
+            "dumdh",
+            "htru2",
+            "dermatology",
+            "motor",
+            "wholesale",
+        ] {
+            let ds = build_dataset(name, 50.0, 200, 3).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(!ds.is_empty(), "{name}");
+        }
+        assert!(build_dataset("nope", 50.0, 200, 3).is_err());
+    }
+
+    #[test]
+    fn evaluation_report_contains_all_metrics() {
+        let (points, truth) = toy_points();
+        let args = ParsedArgs::parse(["cluster", "--scale", "32"]).unwrap();
+        let outcome = run_clustering("kmeans", &points, &args, 2).unwrap();
+        let report = evaluation_report(&points, &truth, &outcome.labels, None).unwrap();
+        for needle in ["AMI", "NMI", "ARI", "V-measure", "purity", "silhouette"] {
+            assert!(report.contains(needle), "missing {needle}:\n{report}");
+        }
+    }
+
+    #[test]
+    fn evaluation_report_rejects_length_mismatch() {
+        assert!(evaluation_report(&[], &[0, 1], &[0], None).is_err());
+    }
+
+    #[test]
+    fn sweep_produces_one_row_per_noise_level_and_adawave_degrades_gracefully() {
+        // Cross-algorithm margins are only meaningful at the paper's full
+        // dataset size (see the Fig. 8 bench); this reduced sweep checks the
+        // plumbing and that AdaWave does not collapse between 30% and 80%.
+        let rows = run_sweep(&[30.0, 80.0], 600, 11, 64);
+        assert_eq!(rows.len(), 2);
+        let adawave_score = |row: &SweepRow| {
+            row.scores
+                .iter()
+                .find(|(n, _)| n == "adawave")
+                .map(|(_, s)| *s)
+                .unwrap()
+        };
+        let low = adawave_score(&rows[0]);
+        let high = adawave_score(&rows[1]);
+        assert!(low > 0.4, "AdaWave @30% = {low}");
+        assert!(high > low - 0.5, "AdaWave collapsed: {low} -> {high}");
+        for row in &rows {
+            assert_eq!(row.scores.len(), 4, "an algorithm is missing a score");
+        }
+        let table = format_sweep(&rows);
+        assert!(table.contains("adawave"));
+        assert!(table.lines().count() >= 3);
+    }
+
+    #[test]
+    fn dispatch_help_and_info_and_unknown() {
+        let help = dispatch(&ParsedArgs::parse(["help"]).unwrap()).unwrap();
+        assert!(help.contains("USAGE"));
+        let info = dispatch(&ParsedArgs::parse(["info"]).unwrap()).unwrap();
+        assert!(info.contains("algorithms"));
+        assert!(dispatch(&ParsedArgs::parse(["frobnicate"]).unwrap()).is_err());
+    }
+}

@@ -1,0 +1,24 @@
+//! # adawave-cli
+//!
+//! The `adawave` command-line tool: generate the paper's datasets, cluster
+//! any CSV file with AdaWave or one of the fourteen implemented baselines,
+//! evaluate predictions against ground truth, and run a quick noise sweep.
+//!
+//! The crate is a thin shell around the workspace libraries: every command
+//! is an ordinary function in [`commands`] operating on in-memory data, and
+//! [`args`] is a small dependency-free `--key value` parser, so the whole
+//! tool is unit-testable without spawning processes.
+//!
+//! ```
+//! use adawave_cli::args::ParsedArgs;
+//! use adawave_cli::commands::dispatch;
+//!
+//! let help = dispatch(&ParsedArgs::parse(["help"]).unwrap()).unwrap();
+//! assert!(help.contains("adawave <command>"));
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod args;
+pub mod commands;

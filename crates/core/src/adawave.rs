@@ -1,0 +1,361 @@
+//! The AdaWave algorithm (Algorithm 1 of the paper).
+
+use adawave_grid::{connected_components, BoundingBox, KeyCodec, LookupTable, Quantizer, SparseGrid};
+
+use crate::config::AdaWaveConfig;
+use crate::result::{AdaWaveResult, GridStats};
+use crate::transform::sparse_wavelet_smooth_budgeted;
+use crate::{AdaWaveError, Result};
+
+/// The AdaWave clusterer.
+///
+/// Construct it with a configuration (or [`AdaWave::default`] for the
+/// paper's parameter-free defaults) and call [`fit`](Self::fit) on a point
+/// set. The algorithm is deterministic, order-insensitive and makes a
+/// single pass over the points plus work proportional to the number of
+/// occupied grid cells.
+#[derive(Debug, Clone, Default)]
+pub struct AdaWave {
+    config: AdaWaveConfig,
+}
+
+impl AdaWave {
+    /// Create a clusterer with the given configuration.
+    pub fn new(config: AdaWaveConfig) -> Self {
+        Self { config }
+    }
+
+    /// Borrow the configuration.
+    pub fn config(&self) -> &AdaWaveConfig {
+        &self.config
+    }
+
+    /// Cluster a point set.
+    ///
+    /// Returns an error if the input is empty/inconsistent, or if the grid
+    /// key would overflow and automatic scale reduction is disabled.
+    pub fn fit(&self, points: &[Vec<f64>]) -> Result<AdaWaveResult> {
+        if points.is_empty() {
+            return Err(AdaWaveError::InvalidInput {
+                context: "empty point set".to_string(),
+            });
+        }
+        let dims = points[0].len();
+        if dims == 0 {
+            return Err(AdaWaveError::InvalidInput {
+                context: "points have zero dimensions".to_string(),
+            });
+        }
+        if points.iter().any(|p| p.len() != dims) {
+            return Err(AdaWaveError::InvalidInput {
+                context: "points have inconsistent dimensionality".to_string(),
+            });
+        }
+
+        // Step 1: quantization into the sparse grid-labeling structure.
+        let bounds = BoundingBox::from_points(points)?;
+        let mut intervals = self.config.intervals_for(dims);
+        let quantizer = loop {
+            match Quantizer::with_bounds(bounds.clone(), &intervals) {
+                Ok(q) => break q,
+                Err(e) => {
+                    if !self.config.auto_reduce_scale {
+                        return Err(e.into());
+                    }
+                    // Halve every dimension and retry; give up at scale 2.
+                    let mut reduced = false;
+                    for m in intervals.iter_mut() {
+                        if *m > 2 {
+                            *m = (*m / 2).max(2);
+                            reduced = true;
+                        }
+                    }
+                    if !reduced {
+                        return Err(e.into());
+                    }
+                }
+            }
+        };
+        let (grid, assignment) = quantizer.quantize(points);
+        let lookup = LookupTable::new(quantizer.codec().clone(), assignment);
+        let quantized_cells = grid.occupied_cells();
+
+        // Step 2: sparse wavelet transform (low-pass branch, `levels` times)
+        // followed by removal of near-zero coefficients.
+        let kernel = self.config.wavelet.density_smoothing_kernel();
+        let levels = self.config.levels.max(1);
+        let (mut transformed, down_codec): (SparseGrid, KeyCodec) = sparse_wavelet_smooth_budgeted(
+            &grid,
+            quantizer.codec(),
+            &kernel,
+            self.config.boundary,
+            levels,
+            self.config.max_transformed_cells.max(1),
+        )?;
+        let transformed_cells = transformed.occupied_cells();
+        // Grid densities are non-negative by construction; cells whose
+        // smoothed coefficient is near zero or negative (edge artifacts of
+        // wavelets with negative taps, e.g. CDF(2,2)) are certainly not
+        // cluster interiors and would otherwise distort the sorted-density
+        // curve the adaptive threshold is fitted to.
+        let near_zero_removed = transformed.drop_near_zero(self.config.coefficient_epsilon)
+            + transformed.filter_below(0.0);
+
+        // Step 3: adaptive threshold filtering.
+        let sorted_densities = transformed.sorted_densities();
+        let threshold = self.config.threshold.choose(&sorted_densities);
+        let threshold_removed = transformed.filter_below(threshold);
+        let surviving_cells = transformed.occupied_cells();
+
+        // Step 4: connected components in the transformed feature space.
+        let labels = connected_components(&transformed, &down_codec, self.config.connectivity);
+
+        // Steps 5-6: label grids and map points through the lookup table.
+        let assignment = lookup.assign_points(&labels, levels, &down_codec);
+
+        let stats = GridStats {
+            quantized_cells,
+            transformed_cells,
+            near_zero_removed,
+            threshold,
+            threshold_removed,
+            surviving_cells,
+            intervals: quantizer.codec().all_intervals().to_vec(),
+        };
+        Ok(AdaWaveResult::new(
+            assignment,
+            labels.cluster_count(),
+            stats,
+            sorted_densities,
+        ))
+    }
+
+    /// Cluster the same point set at several decomposition levels at once
+    /// (the multi-resolution property inherited from the wavelet
+    /// transform). Returns one result per requested level.
+    pub fn fit_multi_resolution(
+        &self,
+        points: &[Vec<f64>],
+        levels: &[u32],
+    ) -> Result<Vec<AdaWaveResult>> {
+        levels
+            .iter()
+            .map(|&level| {
+                let mut config = self.config.clone();
+                config.levels = level;
+                AdaWave::new(config).fit(points)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threshold::ThresholdStrategy;
+    use adawave_data::synthetic::{synthetic_benchmark, SYNTHETIC_NOISE_LABEL};
+    use adawave_data::{shapes, Rng};
+    use adawave_metrics::{ami, ami_ignoring_noise, NOISE_LABEL};
+    use adawave_wavelet::Wavelet;
+
+    fn blobs_with_noise(
+        per_blob: usize,
+        noise: usize,
+        seed: u64,
+    ) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = Rng::new(seed);
+        let mut points = Vec::new();
+        let mut truth = Vec::new();
+        shapes::gaussian_blob(&mut points, &mut rng, &[0.25, 0.25], &[0.03, 0.03], per_blob);
+        truth.extend(std::iter::repeat(0usize).take(per_blob));
+        shapes::gaussian_blob(&mut points, &mut rng, &[0.75, 0.75], &[0.03, 0.03], per_blob);
+        truth.extend(std::iter::repeat(1usize).take(per_blob));
+        shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], noise);
+        truth.extend(std::iter::repeat(2usize).take(noise));
+        (points, truth)
+    }
+
+    #[test]
+    fn clusters_two_blobs_in_50_percent_noise() {
+        let (points, truth) = blobs_with_noise(1000, 2000, 1);
+        let result = AdaWave::new(AdaWaveConfig::builder().scale(64).build())
+            .fit(&points)
+            .unwrap();
+        assert!(result.cluster_count() >= 2, "found {}", result.cluster_count());
+        // The Gaussian tails of each blob are indistinguishable from the 50%
+        // uniform noise, so a score in the 0.7-0.8 range is what the paper
+        // itself reports on its 50%-noise running example (AMI 0.76).
+        let score = ami_ignoring_noise(&truth, &result.to_labels(NOISE_LABEL), 2);
+        assert!(score > 0.7, "AMI {score}");
+        // A good share of the uniform noise is recognised as noise.
+        assert!(result.noise_fraction() > 0.3);
+    }
+
+    #[test]
+    fn clusters_the_synthetic_benchmark_at_high_noise() {
+        // A smaller copy of the Fig. 7/8 workload at 75% noise.
+        let ds = synthetic_benchmark(75.0, 800, 3);
+        let result = AdaWave::default().fit(&ds.points).unwrap();
+        let score = ami_ignoring_noise(
+            &ds.labels,
+            &result.to_labels(NOISE_LABEL),
+            SYNTHETIC_NOISE_LABEL,
+        );
+        assert!(score > 0.5, "AMI {score}");
+        assert!(result.cluster_count() >= 3, "clusters {}", result.cluster_count());
+    }
+
+    #[test]
+    fn detects_ring_shaped_clusters() {
+        let mut rng = Rng::new(5);
+        let mut points = Vec::new();
+        let mut truth = Vec::new();
+        shapes::ring(&mut points, &mut rng, (0.3, 0.5), 0.15, 0.008, 1500);
+        truth.extend(std::iter::repeat(0usize).take(1500));
+        shapes::ring(&mut points, &mut rng, (0.7, 0.5), 0.15, 0.008, 1500);
+        truth.extend(std::iter::repeat(1usize).take(1500));
+        shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], 1000);
+        truth.extend(std::iter::repeat(2usize).take(1000));
+        let result = AdaWave::new(AdaWaveConfig::builder().scale(64).build())
+            .fit(&points)
+            .unwrap();
+        let score = ami_ignoring_noise(&truth, &result.to_labels(NOISE_LABEL), 2);
+        assert!(score > 0.6, "AMI {score}");
+    }
+
+    #[test]
+    fn is_order_insensitive() {
+        let (mut points, _) = blobs_with_noise(500, 500, 7);
+        let adawave = AdaWave::new(AdaWaveConfig::builder().scale(32).build());
+        let a = adawave.fit(&points).unwrap();
+        // Reverse the input order; results must be identical per point.
+        points.reverse();
+        let b = adawave.fit(&points).unwrap();
+        let b_labels: Vec<Option<usize>> = b.assignment().iter().rev().copied().collect();
+        assert_eq!(a.assignment(), &b_labels[..]);
+        assert_eq!(a.cluster_count(), b.cluster_count());
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let (points, _) = blobs_with_noise(400, 800, 9);
+        let adawave = AdaWave::default();
+        assert_eq!(adawave.fit(&points).unwrap(), adawave.fit(&points).unwrap());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let adawave = AdaWave::default();
+        assert!(adawave.fit(&[]).is_err());
+        assert!(adawave.fit(&[vec![]]).is_err());
+        assert!(adawave
+            .fit(&[vec![0.0, 1.0], vec![0.0]])
+            .is_err());
+    }
+
+    #[test]
+    fn auto_reduces_scale_for_high_dimensional_data() {
+        // 20 dimensions at scale 128 needs 140 bits > 128: the scale must be
+        // reduced automatically rather than failing.
+        let mut rng = Rng::new(11);
+        let mut points = Vec::new();
+        shapes::gaussian_blob(&mut points, &mut rng, &[0.3; 20], &[0.05; 20], 200);
+        shapes::gaussian_blob(&mut points, &mut rng, &[0.7; 20], &[0.05; 20], 200);
+        let result = AdaWave::default().fit(&points).unwrap();
+        assert!(result.stats().intervals[0] < 128);
+        assert!(result.cluster_count() >= 1);
+
+        // With auto-reduction disabled the same configuration must fail.
+        let strict = AdaWave::new(AdaWaveConfig::builder().auto_reduce_scale(false).build());
+        assert!(matches!(strict.fit(&points), Err(AdaWaveError::Grid(_))));
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let (points, _) = blobs_with_noise(500, 1500, 13);
+        let result = AdaWave::new(AdaWaveConfig::builder().scale(64).build())
+            .fit(&points)
+            .unwrap();
+        let stats = result.stats();
+        assert!(stats.quantized_cells > 0);
+        assert!(stats.transformed_cells > 0);
+        assert_eq!(
+            stats.surviving_cells + stats.threshold_removed + stats.near_zero_removed,
+            stats.transformed_cells
+        );
+        assert!(stats.threshold > 0.0);
+        assert_eq!(stats.intervals, vec![64, 64]);
+        assert_eq!(
+            result.sorted_densities().len(),
+            stats.transformed_cells - stats.near_zero_removed
+        );
+    }
+
+    #[test]
+    fn multi_resolution_produces_coarser_clusterings() {
+        let (points, _) = blobs_with_noise(800, 800, 15);
+        let adawave = AdaWave::new(AdaWaveConfig::builder().scale(64).build());
+        let results = adawave.fit_multi_resolution(&points, &[1, 2, 3]).unwrap();
+        assert_eq!(results.len(), 3);
+        // Higher levels work on coarser grids; cluster count should not blow up.
+        assert!(results[2].stats().surviving_cells <= results[0].stats().surviving_cells);
+        for r in &results {
+            assert!(r.cluster_count() >= 1);
+        }
+    }
+
+    #[test]
+    fn threshold_strategies_all_produce_sane_results() {
+        let (points, truth) = blobs_with_noise(800, 1600, 17);
+        for strategy in [
+            ThresholdStrategy::ElbowAngle { divisor: 3.0 },
+            ThresholdStrategy::ThreeSegment,
+            ThresholdStrategy::Kneedle,
+            ThresholdStrategy::Quantile(0.2),
+        ] {
+            let result = AdaWave::new(
+                AdaWaveConfig::builder()
+                    .scale(64)
+                    .threshold(strategy)
+                    .build(),
+            )
+            .fit(&points)
+            .unwrap();
+            let score = ami_ignoring_noise(&truth, &result.to_labels(NOISE_LABEL), 2);
+            assert!(
+                score > 0.4,
+                "{}: AMI {score}",
+                strategy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn different_wavelets_still_cluster() {
+        let (points, truth) = blobs_with_noise(800, 800, 19);
+        for wavelet in [Wavelet::Haar, Wavelet::Cdf22, Wavelet::Daubechies2] {
+            let result = AdaWave::new(
+                AdaWaveConfig::builder().scale(64).wavelet(wavelet).build(),
+            )
+            .fit(&points)
+            .unwrap();
+            let score = ami_ignoring_noise(&truth, &result.to_labels(NOISE_LABEL), 2);
+            assert!(score > 0.6, "{wavelet}: AMI {score}");
+        }
+    }
+
+    #[test]
+    fn noise_reassignment_gives_full_partition() {
+        let (points, truth) = blobs_with_noise(600, 600, 21);
+        let result = AdaWave::new(AdaWaveConfig::builder().scale(64).build())
+            .fit(&points)
+            .unwrap();
+        let labels = result.assign_noise_to_nearest_centroid(&points);
+        assert_eq!(labels.len(), points.len());
+        // Every point now has a real cluster id.
+        assert!(labels.iter().all(|&l| l < result.cluster_count().max(1)));
+        // And the clustering still reflects the ground truth reasonably.
+        let score = ami(&truth[..1200], &labels[..1200]);
+        assert!(score > 0.5, "AMI {score}");
+    }
+}

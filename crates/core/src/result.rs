@@ -1,0 +1,236 @@
+//! Result types returned by an AdaWave run.
+
+/// Statistics about the grid pipeline, useful for the Fig. 5 / Fig. 6
+//  experiments and for diagnosing configurations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridStats {
+    /// Number of occupied cells right after quantization.
+    pub quantized_cells: usize,
+    /// Number of occupied cells after the wavelet transform (before any
+    /// thresholding).
+    pub transformed_cells: usize,
+    /// Number of cells removed because their coefficient was near zero.
+    pub near_zero_removed: usize,
+    /// The adaptive density threshold that was chosen.
+    pub threshold: f64,
+    /// Number of cells removed by the threshold filter.
+    pub threshold_removed: usize,
+    /// Number of cells that survived and were clustered.
+    pub surviving_cells: usize,
+    /// Effective scale used per dimension (after any automatic reduction).
+    pub intervals: Vec<u32>,
+}
+
+/// The outcome of clustering a dataset with AdaWave.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaWaveResult {
+    assignment: Vec<Option<usize>>,
+    cluster_count: usize,
+    stats: GridStats,
+    sorted_densities: Vec<f64>,
+}
+
+impl AdaWaveResult {
+    pub(crate) fn new(
+        assignment: Vec<Option<usize>>,
+        cluster_count: usize,
+        stats: GridStats,
+        sorted_densities: Vec<f64>,
+    ) -> Self {
+        Self {
+            assignment,
+            cluster_count,
+            stats,
+            sorted_densities,
+        }
+    }
+
+    /// Number of points that were clustered.
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Whether the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// Number of clusters found (noise excluded).
+    pub fn cluster_count(&self) -> usize {
+        self.cluster_count
+    }
+
+    /// Cluster of a point; `None` means the point was classified as noise
+    /// (the paper groups these as one extra "noise cluster").
+    pub fn label(&self, point: usize) -> Option<usize> {
+        self.assignment[point]
+    }
+
+    /// The per-point assignment.
+    pub fn assignment(&self) -> &[Option<usize>] {
+        &self.assignment
+    }
+
+    /// Number of points classified as noise.
+    pub fn noise_count(&self) -> usize {
+        self.assignment.iter().filter(|a| a.is_none()).count()
+    }
+
+    /// Fraction of points classified as noise.
+    pub fn noise_fraction(&self) -> f64 {
+        if self.assignment.is_empty() {
+            0.0
+        } else {
+            self.noise_count() as f64 / self.assignment.len() as f64
+        }
+    }
+
+    /// Size of every cluster.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.cluster_count];
+        for a in self.assignment.iter().flatten() {
+            sizes[*a] += 1;
+        }
+        sizes
+    }
+
+    /// Convert to a dense label vector, mapping noise to `noise_label`.
+    pub fn to_labels(&self, noise_label: usize) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .map(|a| a.unwrap_or(noise_label))
+            .collect()
+    }
+
+    /// Grid pipeline statistics.
+    pub fn stats(&self) -> &GridStats {
+        &self.stats
+    }
+
+    /// The smoothed grid densities in descending order — the curve of
+    /// Fig. 6, exposed for the threshold experiments.
+    pub fn sorted_densities(&self) -> &[f64] {
+        &self.sorted_densities
+    }
+
+    /// Reassign every noise point to the cluster with the nearest centroid
+    /// (the paper's protocol for the real-world datasets of Table I, which
+    /// have no noise ground truth). Returns the new assignment; no-op when
+    /// there are no clusters.
+    pub fn assign_noise_to_nearest_centroid(&self, points: &[Vec<f64>]) -> Vec<usize> {
+        let k = self.cluster_count;
+        if k == 0 || points.is_empty() {
+            return self.to_labels(0);
+        }
+        let dims = points[0].len();
+        let mut centroids = vec![vec![0.0; dims]; k];
+        let mut counts = vec![0usize; k];
+        for (p, a) in points.iter().zip(self.assignment.iter()) {
+            if let Some(c) = a {
+                for (acc, v) in centroids[*c].iter_mut().zip(p.iter()) {
+                    *acc += v;
+                }
+                counts[*c] += 1;
+            }
+        }
+        for (c, count) in centroids.iter_mut().zip(counts.iter()) {
+            if *count > 0 {
+                for v in c.iter_mut() {
+                    *v /= *count as f64;
+                }
+            }
+        }
+        points
+            .iter()
+            .zip(self.assignment.iter())
+            .map(|(p, a)| {
+                if let Some(c) = a {
+                    *c
+                } else {
+                    let mut best = 0;
+                    let mut best_d = f64::MAX;
+                    for (c, centroid) in centroids.iter().enumerate() {
+                        if counts[c] == 0 {
+                            continue;
+                        }
+                        let d: f64 = p
+                            .iter()
+                            .zip(centroid.iter())
+                            .map(|(x, y)| (x - y) * (x - y))
+                            .sum();
+                        if d < best_d {
+                            best_d = d;
+                            best = c;
+                        }
+                    }
+                    best
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> GridStats {
+        GridStats {
+            quantized_cells: 100,
+            transformed_cells: 80,
+            near_zero_removed: 5,
+            threshold: 2.5,
+            threshold_removed: 40,
+            surviving_cells: 35,
+            intervals: vec![128, 128],
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let r = AdaWaveResult::new(
+            vec![Some(0), Some(1), None, Some(0)],
+            2,
+            stats(),
+            vec![9.0, 5.0, 1.0],
+        );
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.cluster_count(), 2);
+        assert_eq!(r.noise_count(), 1);
+        assert_eq!(r.noise_fraction(), 0.25);
+        assert_eq!(r.cluster_sizes(), vec![2, 1]);
+        assert_eq!(r.to_labels(9), vec![0, 1, 9, 0]);
+        assert_eq!(r.label(2), None);
+        assert_eq!(r.stats().threshold, 2.5);
+        assert_eq!(r.sorted_densities(), &[9.0, 5.0, 1.0]);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn noise_reassignment_to_nearest_centroid() {
+        let points = vec![
+            vec![0.0, 0.0],
+            vec![0.2, 0.0],
+            vec![5.0, 5.0],
+            vec![5.2, 5.0],
+            vec![4.5, 4.9],
+        ];
+        let r = AdaWaveResult::new(
+            vec![Some(0), Some(0), Some(1), Some(1), None],
+            2,
+            stats(),
+            vec![],
+        );
+        let labels = r.assign_noise_to_nearest_centroid(&points);
+        assert_eq!(labels[4], labels[2]);
+        assert_eq!(labels[0], 0);
+    }
+
+    #[test]
+    fn noise_reassignment_without_clusters_is_stable() {
+        let points = vec![vec![0.0], vec![1.0]];
+        let r = AdaWaveResult::new(vec![None, None], 0, stats(), vec![]);
+        let labels = r.assign_noise_to_nearest_centroid(&points);
+        assert_eq!(labels.len(), 2);
+    }
+}

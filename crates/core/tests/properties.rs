@@ -1,0 +1,140 @@
+//! Property-based tests for the AdaWave core pipeline.
+
+use adawave_core::{AdaWave, AdaWaveConfig, ThresholdStrategy};
+use adawave_grid::{KeyCodec, SparseGrid};
+use adawave_wavelet::{BoundaryMode, Wavelet};
+use proptest::prelude::*;
+
+fn point_cloud() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(
+        prop::collection::vec(0.0f64..1.0, 2),
+        20..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_point_gets_a_verdict(points in point_cloud()) {
+        let result = AdaWave::new(AdaWaveConfig::builder().scale(16).build())
+            .fit(&points)
+            .unwrap();
+        prop_assert_eq!(result.len(), points.len());
+        // Labels are contiguous: every assigned id < cluster_count.
+        for a in result.assignment().iter().flatten() {
+            prop_assert!(*a < result.cluster_count());
+        }
+        // Cluster sizes + noise = total.
+        let assigned: usize = result.cluster_sizes().iter().sum();
+        prop_assert_eq!(assigned + result.noise_count(), points.len());
+    }
+
+    #[test]
+    fn deterministic_and_order_insensitive(points in point_cloud(), seed in 0u64..100) {
+        let adawave = AdaWave::new(AdaWaveConfig::builder().scale(16).build());
+        let base = adawave.fit(&points).unwrap();
+
+        // Deterministic rerun.
+        prop_assert_eq!(&base, &adawave.fit(&points).unwrap());
+
+        // Shuffled input gives the same per-point labels (up to cluster id
+        // permutation — ids are mass-ordered so they are in fact equal).
+        let mut indices: Vec<usize> = (0..points.len()).collect();
+        let mut state = seed.wrapping_add(1);
+        for i in (1..indices.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            indices.swap(i, (state as usize) % (i + 1));
+        }
+        let shuffled: Vec<Vec<f64>> = indices.iter().map(|&i| points[i].clone()).collect();
+        let shuffled_result = adawave.fit(&shuffled).unwrap();
+        for (new_pos, &old_pos) in indices.iter().enumerate() {
+            prop_assert_eq!(base.label(old_pos), shuffled_result.label(new_pos));
+        }
+    }
+
+    #[test]
+    fn scaling_points_does_not_change_the_partition(points in point_cloud()) {
+        // Affine re-scaling of the feature space leaves the grid structure
+        // (and therefore the clustering) unchanged.
+        let adawave = AdaWave::new(AdaWaveConfig::builder().scale(16).build());
+        let base = adawave.fit(&points).unwrap();
+        let scaled: Vec<Vec<f64>> = points
+            .iter()
+            .map(|p| p.iter().map(|v| v * 37.0 - 5.0).collect())
+            .collect();
+        let scaled_result = adawave.fit(&scaled).unwrap();
+        prop_assert_eq!(base.assignment(), scaled_result.assignment());
+    }
+
+    #[test]
+    fn threshold_choice_is_within_density_range(densities in prop::collection::vec(0.01f64..100.0, 3..300)) {
+        let mut sorted = densities.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        for strategy in [
+            ThresholdStrategy::ElbowAngle { divisor: 3.0 },
+            ThresholdStrategy::ThreeSegment,
+            ThresholdStrategy::Kneedle,
+            ThresholdStrategy::Quantile(0.3),
+        ] {
+            let t = strategy.choose(&sorted);
+            prop_assert!(t >= 0.0);
+            prop_assert!(t <= sorted[0] + 1e-9, "{}: {t} > max", strategy.name());
+        }
+    }
+
+    #[test]
+    fn higher_quantile_threshold_keeps_fewer_cells(densities in prop::collection::vec(0.01f64..100.0, 10..200)) {
+        let mut sorted = densities.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let t_small = ThresholdStrategy::Quantile(0.8).choose(&sorted);
+        let t_big = ThresholdStrategy::Quantile(0.2).choose(&sorted);
+        prop_assert!(t_big >= t_small);
+    }
+
+    #[test]
+    fn sparse_smoothing_never_exceeds_dense_volume(
+        cells in prop::collection::vec((0u32..32, 0u32..32), 1..100),
+    ) {
+        let codec = KeyCodec::uniform(2, 32).unwrap();
+        let grid: SparseGrid = cells
+            .iter()
+            .map(|&(x, y)| (codec.pack(&[x, y]), 1.0))
+            .collect();
+        let kernel = Wavelet::Cdf22.density_smoothing_kernel();
+        let (out, out_codec) = adawave_core::sparse_wavelet_smooth(
+            &grid,
+            &codec,
+            &kernel,
+            BoundaryMode::Zero,
+            1,
+        )
+        .unwrap();
+        prop_assert_eq!(out_codec.all_intervals(), &[16u32, 16][..]);
+        prop_assert!(out.occupied_cells() <= 16 * 16);
+        // Sparsity: output cells bounded by input cells times the 2-D kernel support.
+        prop_assert!(out.occupied_cells() <= grid.occupied_cells() * 9);
+    }
+
+    #[test]
+    fn smoothing_preserves_nonnegativity_of_isolated_masses(
+        x in 2u32..30, y in 2u32..30, mass in 0.1f64..50.0,
+    ) {
+        // A single occupied cell smoothed with the CDF(2,2) kernel may have
+        // small negative side lobes, but the dominant cell stays positive
+        // and carries most of the mass.
+        let codec = KeyCodec::uniform(2, 32).unwrap();
+        let mut grid = SparseGrid::new();
+        grid.add(codec.pack(&[x, y]), mass);
+        let kernel = Wavelet::Cdf22.density_smoothing_kernel();
+        let (out, out_codec) = adawave_core::sparse_wavelet_smooth(
+            &grid, &codec, &kernel, BoundaryMode::Zero, 1,
+        )
+        .unwrap();
+        let main = out.density(out_codec.pack(&[x / 2, y / 2]));
+        prop_assert!(main > 0.0);
+        prop_assert!(main <= mass + 1e-9);
+    }
+}

@@ -1,0 +1,170 @@
+//! Minimal CSV reading/writing for labeled point sets.
+//!
+//! Format: one point per line, `d` comma-separated feature values followed
+//! by an integer label in the last column. This is the layout the paper's
+//! (never released) datasets would most plausibly use, and it lets users
+//! run the examples on their own data.
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+use crate::dataset::Dataset;
+
+/// Errors produced by CSV I/O.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line (wrong arity or unparsable number).
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+            CsvError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Parse a dataset from CSV text (features..., label). Empty lines and
+/// lines starting with `#` are skipped.
+pub fn parse_csv(name: &str, text: &str) -> Result<Dataset, CsvError> {
+    let mut points = Vec::new();
+    let mut labels = Vec::new();
+    let mut dims: Option<usize> = None;
+    for (line_no, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() < 2 {
+            return Err(CsvError::Parse {
+                line: line_no + 1,
+                message: "need at least one feature and a label".to_string(),
+            });
+        }
+        let d = fields.len() - 1;
+        if let Some(expected) = dims {
+            if d != expected {
+                return Err(CsvError::Parse {
+                    line: line_no + 1,
+                    message: format!("expected {expected} features, found {d}"),
+                });
+            }
+        } else {
+            dims = Some(d);
+        }
+        let mut point = Vec::with_capacity(d);
+        for f in &fields[..d] {
+            point.push(f.parse::<f64>().map_err(|e| CsvError::Parse {
+                line: line_no + 1,
+                message: format!("bad feature value '{f}': {e}"),
+            })?);
+        }
+        let label = fields[d].parse::<usize>().map_err(|e| CsvError::Parse {
+            line: line_no + 1,
+            message: format!("bad label '{}': {e}", fields[d]),
+        })?;
+        points.push(point);
+        labels.push(label);
+    }
+    Ok(Dataset::new(name, points, labels, None))
+}
+
+/// Load a dataset from a CSV file.
+pub fn load_csv(path: &Path) -> Result<Dataset, CsvError> {
+    let file = std::fs::File::open(path)?;
+    let reader = std::io::BufReader::new(file);
+    let mut text = String::new();
+    for line in reader.lines() {
+        text.push_str(&line?);
+        text.push('\n');
+    }
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().to_string())
+        .unwrap_or_else(|| "csv".to_string());
+    parse_csv(&name, &text)
+}
+
+/// Write a dataset to a CSV file (features..., label).
+pub fn save_csv(dataset: &Dataset, path: &Path) -> Result<(), CsvError> {
+    let file = std::fs::File::create(path)?;
+    let mut writer = BufWriter::new(file);
+    for (point, label) in dataset.points.iter().zip(dataset.labels.iter()) {
+        let mut line = String::new();
+        for v in point {
+            line.push_str(&format!("{v},"));
+        }
+        line.push_str(&label.to_string());
+        writeln!(writer, "{line}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic_csv() {
+        let text = "1.0,2.0,0\n3.0,4.0,1\n# comment\n\n5.5,-1.25,0\n";
+        let ds = parse_csv("test", text).unwrap();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.dims(), 2);
+        assert_eq!(ds.labels, vec![0, 1, 0]);
+        assert_eq!(ds.points[2], vec![5.5, -1.25]);
+    }
+
+    #[test]
+    fn parse_rejects_ragged_rows() {
+        let text = "1.0,2.0,0\n3.0,1\n";
+        assert!(parse_csv("bad", text).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_bad_numbers() {
+        assert!(parse_csv("bad", "1.0,x,0\n").is_err());
+        assert!(parse_csv("bad", "1.0,2.0,notalabel\n").is_err());
+        assert!(parse_csv("bad", "1.0\n").is_err());
+    }
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let ds = Dataset::new(
+            "roundtrip",
+            vec![vec![0.5, 1.5], vec![-2.0, 3.25]],
+            vec![1, 0],
+            None,
+        );
+        let dir = std::env::temp_dir();
+        let path = dir.join("adawave_csv_roundtrip_test.csv");
+        save_csv(&ds, &path).unwrap();
+        let loaded = load_csv(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.points, ds.points);
+        assert_eq!(loaded.labels, ds.labels);
+    }
+
+    #[test]
+    fn empty_text_is_empty_dataset() {
+        let ds = parse_csv("empty", "").unwrap();
+        assert!(ds.is_empty());
+    }
+}

@@ -1,0 +1,253 @@
+//! The labeled dataset container used throughout the reproduction.
+
+use crate::rng::Rng;
+
+/// A labeled point set.
+///
+/// `labels[i]` is the ground-truth class of `points[i]`; if
+/// `noise_label` is `Some(l)`, points labeled `l` are ground-truth noise
+/// (the synthetic benchmarks use this; the UCI surrogates do not).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Human-readable dataset name (used in experiment tables).
+    pub name: String,
+    /// The data points, one `Vec<f64>` per point, all of equal length.
+    pub points: Vec<Vec<f64>>,
+    /// Ground-truth class labels, one per point.
+    pub labels: Vec<usize>,
+    /// The label value (if any) that denotes ground-truth noise.
+    pub noise_label: Option<usize>,
+}
+
+impl Dataset {
+    /// Create a dataset, checking basic consistency.
+    ///
+    /// # Panics
+    /// Panics if `points` and `labels` have different lengths or points are
+    /// ragged.
+    pub fn new(
+        name: impl Into<String>,
+        points: Vec<Vec<f64>>,
+        labels: Vec<usize>,
+        noise_label: Option<usize>,
+    ) -> Self {
+        assert_eq!(
+            points.len(),
+            labels.len(),
+            "Dataset: points and labels must have the same length"
+        );
+        if let Some(first) = points.first() {
+            let d = first.len();
+            assert!(
+                points.iter().all(|p| p.len() == d),
+                "Dataset: ragged points"
+            );
+        }
+        Self {
+            name: name.into(),
+            points,
+            labels,
+            noise_label,
+        }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the dataset has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Dimensionality (0 for an empty dataset).
+    pub fn dims(&self) -> usize {
+        self.points.first().map(|p| p.len()).unwrap_or(0)
+    }
+
+    /// Number of distinct ground-truth labels (including the noise label).
+    pub fn class_count(&self) -> usize {
+        self.labels
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+    }
+
+    /// Number of distinct non-noise classes.
+    pub fn cluster_count(&self) -> usize {
+        let noise = self.noise_label;
+        self.labels
+            .iter()
+            .filter(|&&l| Some(l) != noise)
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+    }
+
+    /// Fraction of points labeled as noise (0.0 when there is no noise label).
+    pub fn noise_fraction(&self) -> f64 {
+        match self.noise_label {
+            None => 0.0,
+            Some(noise) => {
+                if self.labels.is_empty() {
+                    0.0
+                } else {
+                    self.labels.iter().filter(|&&l| l == noise).count() as f64
+                        / self.labels.len() as f64
+                }
+            }
+        }
+    }
+
+    /// Shuffle points and labels together, in place (order-insensitivity
+    /// experiments).
+    pub fn shuffle(&mut self, rng: &mut Rng) {
+        let n = self.len();
+        for i in (1..n).rev() {
+            let j = rng.below(i + 1);
+            self.points.swap(i, j);
+            self.labels.swap(i, j);
+        }
+    }
+
+    /// A uniformly subsampled copy with at most `max_points` points
+    /// (used to run O(n^2)/O(n^3) baselines on large datasets).
+    pub fn subsample(&self, max_points: usize, rng: &mut Rng) -> Dataset {
+        if self.len() <= max_points {
+            return self.clone();
+        }
+        let idx = rng.sample_indices(self.len(), max_points);
+        let points = idx.iter().map(|&i| self.points[i].clone()).collect();
+        let labels = idx.iter().map(|&i| self.labels[i]).collect();
+        Dataset::new(
+            format!("{}-sub{}", self.name, max_points),
+            points,
+            labels,
+            self.noise_label,
+        )
+    }
+
+    /// Append another dataset's points (labels are kept as-is).
+    ///
+    /// # Panics
+    /// Panics if dimensionalities differ.
+    pub fn extend(&mut self, other: Dataset) {
+        if !self.is_empty() && !other.is_empty() {
+            assert_eq!(self.dims(), other.dims(), "extend: dimension mismatch");
+        }
+        self.points.extend(other.points);
+        self.labels.extend(other.labels);
+    }
+
+    /// Per-class point counts, sorted by class id.
+    pub fn class_sizes(&self) -> Vec<(usize, usize)> {
+        let mut counts = std::collections::BTreeMap::new();
+        for &l in &self.labels {
+            *counts.entry(l).or_insert(0usize) += 1;
+        }
+        counts.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            "toy",
+            vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]],
+            vec![0, 0, 1, 2],
+            Some(2),
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let d = toy();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.dims(), 2);
+        assert!(!d.is_empty());
+        assert_eq!(d.class_count(), 3);
+        assert_eq!(d.cluster_count(), 2);
+        assert_eq!(d.noise_fraction(), 0.25);
+        assert_eq!(d.class_sizes(), vec![(0, 2), (1, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn no_noise_label_means_zero_noise() {
+        let mut d = toy();
+        d.noise_label = None;
+        assert_eq!(d.noise_fraction(), 0.0);
+        assert_eq!(d.cluster_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn mismatched_lengths_panic() {
+        Dataset::new("bad", vec![vec![0.0]], vec![0, 1], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_points_panic() {
+        Dataset::new("bad", vec![vec![0.0], vec![0.0, 1.0]], vec![0, 1], None);
+    }
+
+    #[test]
+    fn shuffle_preserves_point_label_pairs() {
+        let mut d = toy();
+        let pairs_before: std::collections::HashSet<String> = d
+            .points
+            .iter()
+            .zip(d.labels.iter())
+            .map(|(p, l)| format!("{p:?}-{l}"))
+            .collect();
+        let mut rng = Rng::new(1);
+        d.shuffle(&mut rng);
+        let pairs_after: std::collections::HashSet<String> = d
+            .points
+            .iter()
+            .zip(d.labels.iter())
+            .map(|(p, l)| format!("{p:?}-{l}"))
+            .collect();
+        assert_eq!(pairs_before, pairs_after);
+    }
+
+    #[test]
+    fn subsample_respects_bound_and_seed() {
+        let mut big_points = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..100 {
+            big_points.push(vec![i as f64]);
+            labels.push(i % 3);
+        }
+        let d = Dataset::new("big", big_points, labels, None);
+        let mut rng = Rng::new(5);
+        let s = d.subsample(10, &mut rng);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.dims(), 1);
+        let mut rng2 = Rng::new(5);
+        let s2 = d.subsample(10, &mut rng2);
+        assert_eq!(s, s2);
+        // Subsampling below the current size is a no-op copy.
+        let mut rng3 = Rng::new(5);
+        assert_eq!(d.subsample(1000, &mut rng3).len(), 100);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = toy();
+        let b = toy();
+        a.extend(b);
+        assert_eq!(a.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn extend_rejects_dimension_mismatch() {
+        let mut a = toy();
+        let b = Dataset::new("1d", vec![vec![0.0]], vec![0], None);
+        a.extend(b);
+    }
+}

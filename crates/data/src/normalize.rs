@@ -1,0 +1,105 @@
+//! Feature normalization helpers.
+//!
+//! The grid quantizer works on raw coordinates, but several baselines
+//! (k-means, EM, spectral) behave much better when every attribute spans a
+//! comparable range, so the experiment harness normalizes the UCI
+//! surrogates before clustering.
+
+/// Scale every column into `[0, 1]` (min-max normalization), in place.
+/// Constant columns are set to 0.5.
+pub fn min_max_normalize(points: &mut [Vec<f64>]) {
+    if points.is_empty() {
+        return;
+    }
+    let dims = points[0].len();
+    for j in 0..dims {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for p in points.iter() {
+            lo = lo.min(p[j]);
+            hi = hi.max(p[j]);
+        }
+        let range = hi - lo;
+        for p in points.iter_mut() {
+            p[j] = if range > 0.0 {
+                (p[j] - lo) / range
+            } else {
+                0.5
+            };
+        }
+    }
+}
+
+/// Standardize every column to zero mean and unit variance, in place.
+/// Constant columns are centered only.
+pub fn z_score_normalize(points: &mut [Vec<f64>]) {
+    if points.is_empty() {
+        return;
+    }
+    let dims = points[0].len();
+    let n = points.len() as f64;
+    for j in 0..dims {
+        let mean: f64 = points.iter().map(|p| p[j]).sum::<f64>() / n;
+        let var: f64 = points.iter().map(|p| (p[j] - mean).powi(2)).sum::<f64>() / n;
+        let std = var.sqrt();
+        for p in points.iter_mut() {
+            p[j] -= mean;
+            if std > 1e-12 {
+                p[j] /= std;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_max_maps_to_unit_interval() {
+        let mut pts = vec![vec![0.0, 100.0], vec![5.0, 200.0], vec![10.0, 150.0]];
+        min_max_normalize(&mut pts);
+        for p in &pts {
+            for &v in p {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+        assert_eq!(pts[0][0], 0.0);
+        assert_eq!(pts[2][0], 1.0);
+        assert_eq!(pts[1][1], 1.0);
+    }
+
+    #[test]
+    fn min_max_constant_column() {
+        let mut pts = vec![vec![7.0], vec![7.0]];
+        min_max_normalize(&mut pts);
+        assert_eq!(pts[0][0], 0.5);
+        assert_eq!(pts[1][0], 0.5);
+    }
+
+    #[test]
+    fn z_score_zero_mean_unit_variance() {
+        let mut pts = vec![vec![1.0], vec![2.0], vec![3.0], vec![4.0]];
+        z_score_normalize(&mut pts);
+        let n = pts.len() as f64;
+        let mean: f64 = pts.iter().map(|p| p[0]).sum::<f64>() / n;
+        let var: f64 = pts.iter().map(|p| p[0] * p[0]).sum::<f64>() / n;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_is_noop() {
+        let mut pts: Vec<Vec<f64>> = vec![];
+        min_max_normalize(&mut pts);
+        z_score_normalize(&mut pts);
+        assert!(pts.is_empty());
+    }
+
+    #[test]
+    fn normalization_preserves_ordering_within_column() {
+        let mut pts = vec![vec![3.0], vec![1.0], vec![2.0]];
+        min_max_normalize(&mut pts);
+        assert!(pts[1][0] < pts[2][0] && pts[2][0] < pts[0][0]);
+    }
+}

@@ -1,0 +1,277 @@
+//! Primitive cluster-shape generators.
+//!
+//! The synthetic experiments of the paper combine Gaussian ellipses,
+//! overlapping circular (ring) distributions, parallel sloping line
+//! segments and a uniform noise background. Each generator appends points
+//! in place so callers can compose arbitrary scenes.
+
+use crate::rng::Rng;
+
+/// Append `count` points from an axis-aligned Gaussian blob.
+pub fn gaussian_blob(
+    out: &mut Vec<Vec<f64>>,
+    rng: &mut Rng,
+    center: &[f64],
+    std_dev: &[f64],
+    count: usize,
+) {
+    assert_eq!(center.len(), std_dev.len());
+    for _ in 0..count {
+        let p = center
+            .iter()
+            .zip(std_dev.iter())
+            .map(|(&c, &s)| rng.normal_with(c, s))
+            .collect();
+        out.push(p);
+    }
+}
+
+/// Append `count` points from a rotated 2-D Gaussian ellipse.
+///
+/// `axes` are the standard deviations along the major/minor axes and
+/// `angle` is the rotation in radians.
+pub fn gaussian_ellipse(
+    out: &mut Vec<Vec<f64>>,
+    rng: &mut Rng,
+    center: (f64, f64),
+    axes: (f64, f64),
+    angle: f64,
+    count: usize,
+) {
+    let (cx, cy) = center;
+    let (sa, sb) = axes;
+    let (sin, cos) = angle.sin_cos();
+    for _ in 0..count {
+        let u = rng.normal() * sa;
+        let v = rng.normal() * sb;
+        out.push(vec![cx + u * cos - v * sin, cy + u * sin + v * cos]);
+    }
+}
+
+/// Append `count` points distributed on a 2-D ring (annulus) of the given
+/// mean radius; the radius is jittered with Gaussian noise `radial_std`.
+pub fn ring(
+    out: &mut Vec<Vec<f64>>,
+    rng: &mut Rng,
+    center: (f64, f64),
+    radius: f64,
+    radial_std: f64,
+    count: usize,
+) {
+    let (cx, cy) = center;
+    for _ in 0..count {
+        let theta = rng.uniform_range(0.0, 2.0 * std::f64::consts::PI);
+        let r = rng.normal_with(radius, radial_std);
+        out.push(vec![cx + r * theta.cos(), cy + r * theta.sin()]);
+    }
+}
+
+/// Append `count` points scattered around the straight segment from `start`
+/// to `end` with perpendicular Gaussian jitter `thickness`.
+pub fn line_segment(
+    out: &mut Vec<Vec<f64>>,
+    rng: &mut Rng,
+    start: (f64, f64),
+    end: (f64, f64),
+    thickness: f64,
+    count: usize,
+) {
+    let (x0, y0) = start;
+    let (x1, y1) = end;
+    let dx = x1 - x0;
+    let dy = y1 - y0;
+    let len = (dx * dx + dy * dy).sqrt().max(1e-12);
+    // Unit normal of the segment.
+    let nx = -dy / len;
+    let ny = dx / len;
+    for _ in 0..count {
+        let t = rng.uniform();
+        let jitter = rng.normal_with(0.0, thickness);
+        out.push(vec![x0 + t * dx + jitter * nx, y0 + t * dy + jitter * ny]);
+    }
+}
+
+/// Append `count` uniformly distributed points inside the axis-aligned box
+/// `[low, high)^d` given per-dimension bounds.
+pub fn uniform_box(
+    out: &mut Vec<Vec<f64>>,
+    rng: &mut Rng,
+    low: &[f64],
+    high: &[f64],
+    count: usize,
+) {
+    assert_eq!(low.len(), high.len());
+    for _ in 0..count {
+        let p = low
+            .iter()
+            .zip(high.iter())
+            .map(|(&lo, &hi)| rng.uniform_range(lo, hi))
+            .collect();
+        out.push(p);
+    }
+}
+
+/// Append `count` points from two interleaving half-moons (a classic
+/// non-convex benchmark shape), scaled into roughly `[0, 1]^2`.
+/// Returns the boundary index: points `0..boundary` belong to the first
+/// moon, the rest to the second.
+pub fn two_moons(out: &mut Vec<Vec<f64>>, rng: &mut Rng, noise: f64, count: usize) -> usize {
+    let half = count / 2;
+    for i in 0..count {
+        let first = i < half;
+        let t = rng.uniform_range(0.0, std::f64::consts::PI);
+        let (mut x, mut y) = if first {
+            (t.cos(), t.sin())
+        } else {
+            (1.0 - t.cos(), 0.5 - t.sin())
+        };
+        x += rng.normal_with(0.0, noise);
+        y += rng.normal_with(0.0, noise);
+        out.push(vec![0.3 * x + 0.35, 0.3 * y + 0.35]);
+    }
+    half
+}
+
+/// Append `count` points along an Archimedean spiral with Gaussian jitter.
+pub fn spiral(
+    out: &mut Vec<Vec<f64>>,
+    rng: &mut Rng,
+    center: (f64, f64),
+    turns: f64,
+    max_radius: f64,
+    jitter: f64,
+    count: usize,
+) {
+    let (cx, cy) = center;
+    for _ in 0..count {
+        let t = rng.uniform();
+        let theta = t * turns * 2.0 * std::f64::consts::PI;
+        let r = t * max_radius;
+        out.push(vec![
+            cx + r * theta.cos() + rng.normal_with(0.0, jitter),
+            cy + r * theta.sin() + rng.normal_with(0.0, jitter),
+        ]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean(points: &[Vec<f64>], dim: usize) -> f64 {
+        points.iter().map(|p| p[dim]).sum::<f64>() / points.len() as f64
+    }
+
+    #[test]
+    fn gaussian_blob_centering() {
+        let mut rng = Rng::new(1);
+        let mut pts = Vec::new();
+        gaussian_blob(&mut pts, &mut rng, &[5.0, -2.0], &[0.1, 0.2], 5000);
+        assert_eq!(pts.len(), 5000);
+        assert!((mean(&pts, 0) - 5.0).abs() < 0.02);
+        assert!((mean(&pts, 1) - -2.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn ellipse_is_rotated() {
+        let mut rng = Rng::new(2);
+        let mut pts = Vec::new();
+        // Strongly anisotropic ellipse rotated 45 degrees: x and y become correlated.
+        gaussian_ellipse(
+            &mut pts,
+            &mut rng,
+            (0.0, 0.0),
+            (1.0, 0.05),
+            std::f64::consts::FRAC_PI_4,
+            4000,
+        );
+        let mx = mean(&pts, 0);
+        let my = mean(&pts, 1);
+        let cov: f64 = pts.iter().map(|p| (p[0] - mx) * (p[1] - my)).sum::<f64>() / pts.len() as f64;
+        assert!(cov > 0.2, "expected strong positive correlation, got {cov}");
+    }
+
+    #[test]
+    fn ring_points_have_expected_radius() {
+        let mut rng = Rng::new(3);
+        let mut pts = Vec::new();
+        ring(&mut pts, &mut rng, (1.0, 1.0), 2.0, 0.01, 3000);
+        let mean_r: f64 = pts
+            .iter()
+            .map(|p| ((p[0] - 1.0).powi(2) + (p[1] - 1.0).powi(2)).sqrt())
+            .sum::<f64>()
+            / pts.len() as f64;
+        assert!((mean_r - 2.0).abs() < 0.02, "mean radius {mean_r}");
+        // A ring is hollow: very few points near the centre.
+        let near_center = pts
+            .iter()
+            .filter(|p| ((p[0] - 1.0).powi(2) + (p[1] - 1.0).powi(2)).sqrt() < 1.0)
+            .count();
+        assert!(near_center < 10);
+    }
+
+    #[test]
+    fn line_segment_stays_near_the_line() {
+        let mut rng = Rng::new(4);
+        let mut pts = Vec::new();
+        line_segment(&mut pts, &mut rng, (0.0, 0.0), (10.0, 10.0), 0.01, 2000);
+        for p in &pts {
+            // Distance to the line y = x is |y - x| / sqrt(2).
+            let dist = (p[1] - p[0]).abs() / std::f64::consts::SQRT_2;
+            assert!(dist < 0.1);
+        }
+        // Covers the whole extent of the segment.
+        assert!(pts.iter().any(|p| p[0] < 1.0));
+        assert!(pts.iter().any(|p| p[0] > 9.0));
+    }
+
+    #[test]
+    fn uniform_box_bounds() {
+        let mut rng = Rng::new(5);
+        let mut pts = Vec::new();
+        uniform_box(&mut pts, &mut rng, &[-1.0, 2.0, 0.0], &[1.0, 3.0, 10.0], 1000);
+        for p in &pts {
+            assert!(p[0] >= -1.0 && p[0] < 1.0);
+            assert!(p[1] >= 2.0 && p[1] < 3.0);
+            assert!(p[2] >= 0.0 && p[2] < 10.0);
+        }
+    }
+
+    #[test]
+    fn two_moons_returns_split_and_overlapping_x_ranges() {
+        let mut rng = Rng::new(6);
+        let mut pts = Vec::new();
+        let split = two_moons(&mut pts, &mut rng, 0.01, 1000);
+        assert_eq!(split, 500);
+        assert_eq!(pts.len(), 1000);
+        // The two moons interleave horizontally (not linearly separable in x).
+        let first_max_x = pts[..500].iter().map(|p| p[0]).fold(f64::MIN, f64::max);
+        let second_min_x = pts[500..].iter().map(|p| p[0]).fold(f64::MAX, f64::min);
+        assert!(first_max_x > second_min_x);
+    }
+
+    #[test]
+    fn spiral_radius_grows() {
+        let mut rng = Rng::new(7);
+        let mut pts = Vec::new();
+        spiral(&mut pts, &mut rng, (0.0, 0.0), 2.0, 5.0, 0.0, 500);
+        let max_r = pts
+            .iter()
+            .map(|p| (p[0] * p[0] + p[1] * p[1]).sqrt())
+            .fold(f64::MIN, f64::max);
+        assert!(max_r > 4.0 && max_r <= 5.0 + 1e-9);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let gen = |seed| {
+            let mut rng = Rng::new(seed);
+            let mut pts = Vec::new();
+            gaussian_blob(&mut pts, &mut rng, &[0.0], &[1.0], 10);
+            ring(&mut pts, &mut rng, (0.0, 0.0), 1.0, 0.1, 10);
+            pts
+        };
+        assert_eq!(gen(42), gen(42));
+        assert_ne!(gen(42), gen(43));
+    }
+}

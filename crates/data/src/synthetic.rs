@@ -1,0 +1,209 @@
+//! The paper's synthetic benchmarks.
+//!
+//! * [`synthetic_benchmark`] — Fig. 7: five clusters of `points_per_cluster`
+//!   objects each in two dimensions (a Gaussian ellipse, two overlapping
+//!   circular distributions, two parallel sloping lines) plus a configurable
+//!   percentage of uniform background noise.
+//! * [`running_example`] — Fig. 1/2: the same scene at 50% noise with the
+//!   paper's default cluster size.
+//! * [`runtime_scaling_dataset`] — Fig. 10: the same scene with a scalable
+//!   number of objects per cluster at a fixed 75% noise.
+
+use crate::dataset::Dataset;
+use crate::rng::Rng;
+use crate::shapes;
+
+/// Ground-truth label used for noise points in the synthetic datasets.
+pub const SYNTHETIC_NOISE_LABEL: usize = 5;
+
+/// Number of clusters in the synthetic scene.
+pub const SYNTHETIC_CLUSTERS: usize = 5;
+
+/// The paper's default cluster size for the synthetic benchmark
+/// ("five clusters of 5600 objects each").
+pub const DEFAULT_POINTS_PER_CLUSTER: usize = 5600;
+
+fn scene(rng: &mut Rng, points_per_cluster: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let mut points = Vec::with_capacity(points_per_cluster * SYNTHETIC_CLUSTERS);
+    let mut labels = Vec::with_capacity(points_per_cluster * SYNTHETIC_CLUSTERS);
+
+    // Cluster 0: a Gaussian ellipse ("a typical cluster roughly within an
+    // ellipse ... Gaussian distribution with a small standard deviation").
+    shapes::gaussian_ellipse(
+        &mut points,
+        rng,
+        (0.20, 0.80),
+        (0.060, 0.022),
+        0.55,
+        points_per_cluster,
+    );
+    labels.extend(std::iter::repeat(0).take(points_per_cluster));
+
+    // Clusters 1 & 2: two circular (ring) distributions overlapping in the
+    // x and y directions.
+    shapes::ring(&mut points, rng, (0.64, 0.68), 0.11, 0.008, points_per_cluster);
+    labels.extend(std::iter::repeat(1).take(points_per_cluster));
+    shapes::ring(&mut points, rng, (0.78, 0.58), 0.11, 0.008, points_per_cluster);
+    labels.extend(std::iter::repeat(2).take(points_per_cluster));
+
+    // Clusters 3 & 4: two parallel sloping line segments.
+    shapes::line_segment(
+        &mut points,
+        rng,
+        (0.08, 0.16),
+        (0.44, 0.42),
+        0.004,
+        points_per_cluster,
+    );
+    labels.extend(std::iter::repeat(3).take(points_per_cluster));
+    shapes::line_segment(
+        &mut points,
+        rng,
+        (0.12, 0.05),
+        (0.48, 0.31),
+        0.004,
+        points_per_cluster,
+    );
+    labels.extend(std::iter::repeat(4).take(points_per_cluster));
+
+    (points, labels)
+}
+
+/// Number of uniform noise points needed so that they make up
+/// `noise_percent`% of the final dataset containing `cluster_points`
+/// cluster members.
+pub fn noise_count_for_percentage(cluster_points: usize, noise_percent: f64) -> usize {
+    assert!(
+        (0.0..100.0).contains(&noise_percent),
+        "noise percentage must be in [0, 100)"
+    );
+    if noise_percent <= 0.0 {
+        return 0;
+    }
+    let frac = noise_percent / 100.0;
+    ((cluster_points as f64) * frac / (1.0 - frac)).round() as usize
+}
+
+/// Fig. 7 generator: the five-cluster scene plus `noise_percent`% uniform
+/// noise over the enclosing unit square.
+pub fn synthetic_benchmark(noise_percent: f64, points_per_cluster: usize, seed: u64) -> Dataset {
+    let mut rng = Rng::new(seed);
+    let (mut points, mut labels) = scene(&mut rng, points_per_cluster);
+    let cluster_points = points.len();
+    let noise = noise_count_for_percentage(cluster_points, noise_percent);
+    shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], noise);
+    labels.extend(std::iter::repeat(SYNTHETIC_NOISE_LABEL).take(noise));
+    Dataset::new(
+        format!("synthetic-noise{noise_percent:.0}"),
+        points,
+        labels,
+        Some(SYNTHETIC_NOISE_LABEL),
+    )
+}
+
+/// The running example of Fig. 1/2 (≈50% noise, default cluster size).
+pub fn running_example(seed: u64) -> Dataset {
+    let mut ds = synthetic_benchmark(50.0, DEFAULT_POINTS_PER_CLUSTER, seed);
+    ds.name = "running-example".to_string();
+    ds
+}
+
+/// Fig. 10 generator: the same scene with `points_per_cluster` objects per
+/// cluster at a fixed 75% noise, used to scale the total number of objects.
+pub fn runtime_scaling_dataset(points_per_cluster: usize, seed: u64) -> Dataset {
+    let mut ds = synthetic_benchmark(75.0, points_per_cluster, seed);
+    ds.name = format!("runtime-n{}", ds.len());
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_count_math() {
+        assert_eq!(noise_count_for_percentage(1000, 0.0), 0);
+        assert_eq!(noise_count_for_percentage(1000, 50.0), 1000);
+        assert_eq!(noise_count_for_percentage(1000, 75.0), 3000);
+        assert_eq!(noise_count_for_percentage(1000, 80.0), 4000);
+        assert_eq!(noise_count_for_percentage(2800, 90.0), 25200);
+    }
+
+    #[test]
+    #[should_panic(expected = "noise percentage")]
+    fn full_noise_rejected() {
+        noise_count_for_percentage(100, 100.0);
+    }
+
+    #[test]
+    fn benchmark_noise_fraction_matches_request() {
+        for pct in [20.0, 50.0, 80.0] {
+            let ds = synthetic_benchmark(pct, 500, 7);
+            assert!((ds.noise_fraction() * 100.0 - pct).abs() < 1.0, "{pct}%");
+        }
+    }
+
+    #[test]
+    fn benchmark_structure() {
+        let ds = synthetic_benchmark(50.0, 200, 3);
+        assert_eq!(ds.dims(), 2);
+        assert_eq!(ds.cluster_count(), SYNTHETIC_CLUSTERS);
+        assert_eq!(ds.noise_label, Some(SYNTHETIC_NOISE_LABEL));
+        assert_eq!(ds.len(), 200 * 5 * 2); // 50% noise doubles the size
+        // All points are inside (or very near) the unit square.
+        for p in &ds.points {
+            assert!(p[0] > -0.2 && p[0] < 1.2);
+            assert!(p[1] > -0.2 && p[1] < 1.2);
+        }
+    }
+
+    #[test]
+    fn running_example_matches_paper_size() {
+        let ds = running_example(1);
+        // 5 clusters x 5600 points + 50% noise = 56,000 points.
+        assert_eq!(ds.len(), 56_000);
+        assert!((ds.noise_fraction() - 0.5).abs() < 0.01);
+        assert_eq!(ds.name, "running-example");
+    }
+
+    #[test]
+    fn clusters_are_spatially_separated_from_each_other() {
+        // Cluster centroids must be pairwise distinct and not degenerate.
+        let ds = synthetic_benchmark(20.0, 400, 11);
+        let mut centroids = Vec::new();
+        for c in 0..SYNTHETIC_CLUSTERS {
+            let members: Vec<&Vec<f64>> = ds
+                .points
+                .iter()
+                .zip(ds.labels.iter())
+                .filter(|(_, &l)| l == c)
+                .map(|(p, _)| p)
+                .collect();
+            let cx = members.iter().map(|p| p[0]).sum::<f64>() / members.len() as f64;
+            let cy = members.iter().map(|p| p[1]).sum::<f64>() / members.len() as f64;
+            centroids.push((cx, cy));
+        }
+        for i in 0..centroids.len() {
+            for j in (i + 1)..centroids.len() {
+                let d = ((centroids[i].0 - centroids[j].0).powi(2)
+                    + (centroids[i].1 - centroids[j].1).powi(2))
+                .sqrt();
+                assert!(d > 0.05, "clusters {i} and {j} are too close ({d})");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(synthetic_benchmark(60.0, 100, 9), synthetic_benchmark(60.0, 100, 9));
+        assert_ne!(synthetic_benchmark(60.0, 100, 9), synthetic_benchmark(60.0, 100, 10));
+    }
+
+    #[test]
+    fn runtime_scaling_grows_linearly() {
+        let small = runtime_scaling_dataset(100, 2);
+        let large = runtime_scaling_dataset(200, 2);
+        assert_eq!(large.len(), 2 * small.len());
+        assert!((small.noise_fraction() - 0.75).abs() < 0.01);
+    }
+}

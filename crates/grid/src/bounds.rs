@@ -1,0 +1,200 @@
+//! Axis-aligned bounding boxes of point sets.
+
+use crate::{GridError, Result};
+
+/// The axis-aligned bounding box of a dataset, i.e. the domain `B_j` that
+/// each dimension is divided into intervals (paper §IV-A).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundingBox {
+    min: Vec<f64>,
+    max: Vec<f64>,
+}
+
+impl BoundingBox {
+    /// Compute the bounding box of a non-empty point set.
+    ///
+    /// Returns an error if the set is empty, the points have inconsistent
+    /// dimensionality, or any coordinate is not finite.
+    pub fn from_points(points: &[Vec<f64>]) -> Result<Self> {
+        let first = points.first().ok_or_else(|| GridError::InvalidData {
+            context: "bounding box of an empty point set".to_string(),
+        })?;
+        let dims = first.len();
+        if dims == 0 {
+            return Err(GridError::InvalidData {
+                context: "points have zero dimensions".to_string(),
+            });
+        }
+        let mut min = vec![f64::INFINITY; dims];
+        let mut max = vec![f64::NEG_INFINITY; dims];
+        for (i, p) in points.iter().enumerate() {
+            if p.len() != dims {
+                return Err(GridError::InvalidData {
+                    context: format!(
+                        "point {i} has {} dimensions, expected {dims}",
+                        p.len()
+                    ),
+                });
+            }
+            for (j, &v) in p.iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(GridError::InvalidData {
+                        context: format!("point {i}, dimension {j} is not finite"),
+                    });
+                }
+                if v < min[j] {
+                    min[j] = v;
+                }
+                if v > max[j] {
+                    max[j] = v;
+                }
+            }
+        }
+        Ok(Self { min, max })
+    }
+
+    /// Construct a bounding box from explicit bounds.
+    ///
+    /// # Panics
+    /// Panics if lengths differ or any `min > max`.
+    pub fn from_bounds(min: Vec<f64>, max: Vec<f64>) -> Self {
+        assert_eq!(min.len(), max.len(), "bounds length mismatch");
+        for (lo, hi) in min.iter().zip(max.iter()) {
+            assert!(lo <= hi, "min must be <= max");
+        }
+        Self { min, max }
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.min.len()
+    }
+
+    /// Lower bounds per dimension.
+    pub fn min(&self) -> &[f64] {
+        &self.min
+    }
+
+    /// Upper bounds per dimension.
+    pub fn max(&self) -> &[f64] {
+        &self.max
+    }
+
+    /// Extent (max - min) of dimension `j`.
+    pub fn extent(&self, j: usize) -> f64 {
+        self.max[j] - self.min[j]
+    }
+
+    /// Whether the point lies inside the (closed) box.
+    pub fn contains(&self, point: &[f64]) -> bool {
+        point.len() == self.dims()
+            && point
+                .iter()
+                .enumerate()
+                .all(|(j, &v)| v >= self.min[j] && v <= self.max[j])
+    }
+
+    /// Normalize a coordinate of dimension `j` to `[0, 1]`; degenerate
+    /// dimensions (zero extent) map to 0.
+    pub fn normalize(&self, j: usize, value: f64) -> f64 {
+        let extent = self.extent(j);
+        if extent <= 0.0 {
+            0.0
+        } else {
+            (value - self.min[j]) / extent
+        }
+    }
+
+    /// Grow the box by a relative margin on every side (e.g. `0.01` = 1%).
+    /// Degenerate dimensions are widened by an absolute `1e-9`.
+    pub fn expanded(&self, relative_margin: f64) -> Self {
+        let mut min = self.min.clone();
+        let mut max = self.max.clone();
+        for j in 0..self.dims() {
+            let extent = self.extent(j);
+            let pad = if extent > 0.0 {
+                extent * relative_margin
+            } else {
+                1e-9
+            };
+            min[j] -= pad;
+            max[j] += pad;
+        }
+        Self { min, max }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_points_basic() {
+        let pts = vec![vec![1.0, -2.0], vec![3.0, 5.0], vec![2.0, 0.0]];
+        let b = BoundingBox::from_points(&pts).unwrap();
+        assert_eq!(b.min(), &[1.0, -2.0]);
+        assert_eq!(b.max(), &[3.0, 5.0]);
+        assert_eq!(b.dims(), 2);
+        assert_eq!(b.extent(1), 7.0);
+    }
+
+    #[test]
+    fn empty_points_is_error() {
+        let pts: Vec<Vec<f64>> = vec![];
+        assert!(BoundingBox::from_points(&pts).is_err());
+    }
+
+    #[test]
+    fn ragged_points_is_error() {
+        let pts = vec![vec![1.0, 2.0], vec![1.0]];
+        assert!(BoundingBox::from_points(&pts).is_err());
+    }
+
+    #[test]
+    fn non_finite_is_error() {
+        let pts = vec![vec![1.0, f64::NAN]];
+        assert!(BoundingBox::from_points(&pts).is_err());
+        let pts = vec![vec![f64::INFINITY, 1.0]];
+        assert!(BoundingBox::from_points(&pts).is_err());
+    }
+
+    #[test]
+    fn contains_and_normalize() {
+        let b = BoundingBox::from_bounds(vec![0.0, 0.0], vec![10.0, 4.0]);
+        assert!(b.contains(&[5.0, 2.0]));
+        assert!(b.contains(&[0.0, 4.0]));
+        assert!(!b.contains(&[11.0, 2.0]));
+        assert!(!b.contains(&[5.0]));
+        assert_eq!(b.normalize(0, 5.0), 0.5);
+        assert_eq!(b.normalize(1, 4.0), 1.0);
+    }
+
+    #[test]
+    fn normalize_degenerate_dimension() {
+        let b = BoundingBox::from_bounds(vec![2.0], vec![2.0]);
+        assert_eq!(b.normalize(0, 2.0), 0.0);
+    }
+
+    #[test]
+    fn expanded_grows_box() {
+        let b = BoundingBox::from_bounds(vec![0.0, 1.0], vec![10.0, 1.0]);
+        let e = b.expanded(0.1);
+        assert!((e.min()[0] - -1.0).abs() < 1e-12);
+        assert!((e.max()[0] - 11.0).abs() < 1e-12);
+        // degenerate dimension gets an absolute epsilon
+        assert!(e.extent(1) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "min must be <= max")]
+    fn from_bounds_validates_order() {
+        let _ = BoundingBox::from_bounds(vec![1.0], vec![0.0]);
+    }
+
+    #[test]
+    fn single_point_box_is_degenerate_but_valid() {
+        let b = BoundingBox::from_points(&[vec![3.0, 4.0]]).unwrap();
+        assert_eq!(b.extent(0), 0.0);
+        assert!(b.contains(&[3.0, 4.0]));
+    }
+}

@@ -1,0 +1,254 @@
+//! Packed grid keys.
+//!
+//! A grid cell is identified by its integer coordinate in every dimension.
+//! Instead of hashing a `Vec<u32>` per cell (one heap allocation per key),
+//! the coordinates are packed into a single `u128`, using
+//! `ceil(log2(intervals_j))` bits for dimension `j`. For the paper's default
+//! configuration (scale 128 → 7 bits per dimension) this supports up to 18
+//! dimensions; lower scales allow proportionally more dimensions, e.g. the
+//! 33-dimensional Dermatology dataset fits at scale ≤ 16.
+
+use crate::{GridError, Result};
+
+/// Encodes/decodes per-dimension cell coordinates into a packed `u128` key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyCodec {
+    bits: Vec<u32>,
+    intervals: Vec<u32>,
+    offsets: Vec<u32>,
+}
+
+impl KeyCodec {
+    /// Build a codec for the given number of intervals per dimension.
+    ///
+    /// Returns [`GridError::KeyOverflow`] if the total number of bits
+    /// exceeds 128 and [`GridError::ZeroScale`] if any dimension has zero
+    /// intervals.
+    pub fn new(intervals: &[u32]) -> Result<Self> {
+        if intervals.is_empty() {
+            return Err(GridError::InvalidData {
+                context: "codec needs at least one dimension".to_string(),
+            });
+        }
+        let mut bits = Vec::with_capacity(intervals.len());
+        for &m in intervals {
+            if m == 0 {
+                return Err(GridError::ZeroScale);
+            }
+            // Number of bits needed to represent coordinates 0..m-1.
+            let b = if m == 1 { 1 } else { 32 - (m - 1).leading_zeros() };
+            bits.push(b);
+        }
+        let total: u32 = bits.iter().sum();
+        if total > 128 {
+            return Err(GridError::KeyOverflow {
+                dims: intervals.len(),
+                bits_required: total,
+            });
+        }
+        // Offsets: dimension j occupies bits [offset_j, offset_j + bits_j).
+        let mut offsets = Vec::with_capacity(bits.len());
+        let mut acc = 0;
+        for &b in &bits {
+            offsets.push(acc);
+            acc += b;
+        }
+        Ok(Self {
+            bits,
+            intervals: intervals.to_vec(),
+            offsets,
+        })
+    }
+
+    /// Build a codec with the same number of intervals in every dimension.
+    pub fn uniform(dims: usize, intervals: u32) -> Result<Self> {
+        Self::new(&vec![intervals; dims])
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Number of intervals in dimension `j`.
+    pub fn intervals(&self, j: usize) -> u32 {
+        self.intervals[j]
+    }
+
+    /// Intervals per dimension.
+    pub fn all_intervals(&self) -> &[u32] {
+        &self.intervals
+    }
+
+    /// Total number of cells in the (dense) grid, saturating at `u128::MAX`.
+    pub fn dense_cell_count(&self) -> u128 {
+        self.intervals
+            .iter()
+            .fold(1u128, |acc, &m| acc.saturating_mul(m as u128))
+    }
+
+    /// Pack per-dimension coordinates into a key.
+    ///
+    /// # Panics
+    /// Panics (debug assertion) if a coordinate is out of range or the
+    /// number of coordinates does not match the codec dimensionality.
+    pub fn pack(&self, coords: &[u32]) -> u128 {
+        debug_assert_eq!(coords.len(), self.dims(), "pack: dimensionality mismatch");
+        let mut key = 0u128;
+        for (j, &c) in coords.iter().enumerate() {
+            debug_assert!(
+                c < self.intervals[j],
+                "pack: coordinate {c} out of range for dimension {j}"
+            );
+            key |= (c as u128) << self.offsets[j];
+        }
+        key
+    }
+
+    /// Unpack a key into per-dimension coordinates.
+    pub fn unpack(&self, key: u128) -> Vec<u32> {
+        let mut coords = Vec::with_capacity(self.dims());
+        for j in 0..self.dims() {
+            let mask: u128 = if self.bits[j] == 128 {
+                u128::MAX
+            } else {
+                (1u128 << self.bits[j]) - 1
+            };
+            coords.push(((key >> self.offsets[j]) & mask) as u32);
+        }
+        coords
+    }
+
+    /// Extract the coordinate of a single dimension from a key.
+    pub fn coordinate(&self, key: u128, j: usize) -> u32 {
+        let mask: u128 = if self.bits[j] == 128 {
+            u128::MAX
+        } else {
+            (1u128 << self.bits[j]) - 1
+        };
+        ((key >> self.offsets[j]) & mask) as u32
+    }
+
+    /// Replace the coordinate of dimension `j` in a key.
+    pub fn with_coordinate(&self, key: u128, j: usize, coord: u32) -> u128 {
+        debug_assert!(coord < self.intervals[j] || self.intervals[j] == 0);
+        let mask: u128 = if self.bits[j] == 128 {
+            u128::MAX
+        } else {
+            (1u128 << self.bits[j]) - 1
+        };
+        (key & !(mask << self.offsets[j])) | ((coord as u128) << self.offsets[j])
+    }
+
+    /// A codec describing the grid after `levels` dyadic downsamplings
+    /// (each level halves every dimension, rounding up). This is the
+    /// transformed feature space the connected-component step runs in.
+    pub fn downsampled(&self, levels: u32) -> Result<KeyCodec> {
+        let intervals: Vec<u32> = self
+            .intervals
+            .iter()
+            .map(|&m| {
+                let mut v = m;
+                for _ in 0..levels {
+                    v = v.div_ceil(2).max(1);
+                }
+                v
+            })
+            .collect();
+        KeyCodec::new(&intervals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let codec = KeyCodec::new(&[128, 128, 16]).unwrap();
+        let coords = vec![127u32, 0, 15];
+        let key = codec.pack(&coords);
+        assert_eq!(codec.unpack(key), coords);
+    }
+
+    #[test]
+    fn distinct_coords_give_distinct_keys() {
+        let codec = KeyCodec::uniform(2, 4).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..4u32 {
+            for y in 0..4u32 {
+                assert!(seen.insert(codec.pack(&[x, y])));
+            }
+        }
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn bits_computation() {
+        // 1 interval -> 1 bit, 2 -> 1 bit, 3 -> 2 bits, 128 -> 7 bits, 129 -> 8 bits.
+        assert!(KeyCodec::new(&[1]).is_ok());
+        let c = KeyCodec::new(&[2, 3, 128, 129]).unwrap();
+        assert_eq!(c.pack(&[1, 2, 127, 128]) >> 1 & 0b11, 2);
+    }
+
+    #[test]
+    fn overflow_detection() {
+        // 19 dims at 128 intervals = 133 bits > 128.
+        assert!(matches!(
+            KeyCodec::uniform(19, 128),
+            Err(GridError::KeyOverflow { .. })
+        ));
+        // 18 dims at 128 intervals = 126 bits: fine.
+        assert!(KeyCodec::uniform(18, 128).is_ok());
+        // 33 dims at 16 intervals = 132 bits: overflow...
+        assert!(KeyCodec::uniform(33, 16).is_err());
+        // ...but 33 dims at 8 intervals = 99 bits fits.
+        assert!(KeyCodec::uniform(33, 8).is_ok());
+    }
+
+    #[test]
+    fn zero_scale_rejected() {
+        assert!(matches!(KeyCodec::new(&[4, 0]), Err(GridError::ZeroScale)));
+        assert!(KeyCodec::new(&[]).is_err());
+    }
+
+    #[test]
+    fn coordinate_and_with_coordinate() {
+        let codec = KeyCodec::new(&[64, 64, 64]).unwrap();
+        let key = codec.pack(&[10, 20, 30]);
+        assert_eq!(codec.coordinate(key, 0), 10);
+        assert_eq!(codec.coordinate(key, 1), 20);
+        assert_eq!(codec.coordinate(key, 2), 30);
+        let key2 = codec.with_coordinate(key, 1, 5);
+        assert_eq!(codec.unpack(key2), vec![10, 5, 30]);
+        // original key unchanged in other dims
+        assert_eq!(codec.coordinate(key2, 0), 10);
+        assert_eq!(codec.coordinate(key2, 2), 30);
+    }
+
+    #[test]
+    fn downsampled_halves_intervals() {
+        let codec = KeyCodec::new(&[128, 100, 3]).unwrap();
+        let down = codec.downsampled(1).unwrap();
+        assert_eq!(down.all_intervals(), &[64, 50, 2]);
+        let down2 = codec.downsampled(2).unwrap();
+        assert_eq!(down2.all_intervals(), &[32, 25, 1]);
+        let down7 = codec.downsampled(7).unwrap();
+        assert_eq!(down7.all_intervals(), &[1, 1, 1]);
+    }
+
+    #[test]
+    fn dense_cell_count() {
+        let codec = KeyCodec::new(&[128, 128]).unwrap();
+        assert_eq!(codec.dense_cell_count(), 128 * 128);
+        let big = KeyCodec::uniform(18, 128).unwrap();
+        assert_eq!(big.dense_cell_count(), (128u128).pow(18));
+    }
+
+    #[test]
+    fn uniform_constructor() {
+        let c = KeyCodec::uniform(5, 32).unwrap();
+        assert_eq!(c.dims(), 5);
+        assert!(c.all_intervals().iter().all(|&m| m == 32));
+    }
+}

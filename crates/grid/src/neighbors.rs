@@ -1,0 +1,167 @@
+//! Neighborhood definitions for grid cells.
+//!
+//! Two occupied cells belong to the same cluster when they are adjacent; the
+//! paper's "connected components in the transformed feature space" step
+//! (Algorithm 1, line 4) needs a definition of adjacency. We support the two
+//! standard choices.
+
+use crate::KeyCodec;
+
+/// Which cells count as neighbors of a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Connectivity {
+    /// Von Neumann neighborhood: cells differing by ±1 in exactly one
+    /// dimension (2d neighbors). This is the default used by WaveCluster.
+    #[default]
+    Face,
+    /// Moore neighborhood: cells differing by at most 1 in every dimension
+    /// (3^d − 1 neighbors). More permissive; useful in sparse high-d grids.
+    Moore,
+}
+
+impl Connectivity {
+    /// All variants, for ablation sweeps.
+    pub const ALL: [Connectivity; 2] = [Connectivity::Face, Connectivity::Moore];
+
+    /// Number of neighbors of an interior cell in `dims` dimensions.
+    pub fn neighbor_count(&self, dims: usize) -> usize {
+        match self {
+            Connectivity::Face => 2 * dims,
+            Connectivity::Moore => 3usize.pow(dims as u32) - 1,
+        }
+    }
+
+    /// Collect the keys of all in-range neighbors of `key`.
+    pub fn neighbors(&self, codec: &KeyCodec, key: u128) -> Vec<u128> {
+        let coords = codec.unpack(key);
+        match self {
+            Connectivity::Face => {
+                let mut out = Vec::with_capacity(2 * coords.len());
+                for (j, &c) in coords.iter().enumerate() {
+                    if c > 0 {
+                        out.push(codec.with_coordinate(key, j, c - 1));
+                    }
+                    if c + 1 < codec.intervals(j) {
+                        out.push(codec.with_coordinate(key, j, c + 1));
+                    }
+                }
+                out
+            }
+            Connectivity::Moore => {
+                let dims = coords.len();
+                let mut out = Vec::new();
+                // Iterate over all offset combinations in {-1, 0, 1}^d except all-zero.
+                let total = 3usize.pow(dims as u32);
+                'outer: for idx in 0..total {
+                    let mut offset_code = idx;
+                    let mut neighbor = coords.clone();
+                    let mut all_zero = true;
+                    for (j, nj) in neighbor.iter_mut().enumerate() {
+                        let offset = (offset_code % 3) as i64 - 1;
+                        offset_code /= 3;
+                        if offset != 0 {
+                            all_zero = false;
+                        }
+                        let v = *nj as i64 + offset;
+                        if v < 0 || v >= codec.intervals(j) as i64 {
+                            continue 'outer;
+                        }
+                        *nj = v as u32;
+                    }
+                    if all_zero {
+                        continue;
+                    }
+                    out.push(codec.pack(&neighbor));
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn face_neighbor_count_interior() {
+        let codec = KeyCodec::uniform(2, 8).unwrap();
+        let key = codec.pack(&[4, 4]);
+        let n = Connectivity::Face.neighbors(&codec, key);
+        assert_eq!(n.len(), 4);
+        assert_eq!(Connectivity::Face.neighbor_count(2), 4);
+    }
+
+    #[test]
+    fn face_neighbors_at_corner_are_clipped() {
+        let codec = KeyCodec::uniform(2, 8).unwrap();
+        let key = codec.pack(&[0, 0]);
+        let n = Connectivity::Face.neighbors(&codec, key);
+        assert_eq!(n.len(), 2);
+        let coords: Vec<Vec<u32>> = n.iter().map(|&k| codec.unpack(k)).collect();
+        assert!(coords.contains(&vec![1, 0]));
+        assert!(coords.contains(&vec![0, 1]));
+    }
+
+    #[test]
+    fn moore_neighbor_count_interior() {
+        let codec = KeyCodec::uniform(2, 8).unwrap();
+        let key = codec.pack(&[4, 4]);
+        let n = Connectivity::Moore.neighbors(&codec, key);
+        assert_eq!(n.len(), 8);
+        assert_eq!(Connectivity::Moore.neighbor_count(3), 26);
+    }
+
+    #[test]
+    fn moore_neighbors_at_corner() {
+        let codec = KeyCodec::uniform(2, 8).unwrap();
+        let key = codec.pack(&[0, 0]);
+        let n = Connectivity::Moore.neighbors(&codec, key);
+        assert_eq!(n.len(), 3);
+    }
+
+    #[test]
+    fn moore_includes_face_neighbors() {
+        let codec = KeyCodec::uniform(3, 8).unwrap();
+        let key = codec.pack(&[3, 4, 5]);
+        let face: std::collections::HashSet<u128> =
+            Connectivity::Face.neighbors(&codec, key).into_iter().collect();
+        let moore: std::collections::HashSet<u128> =
+            Connectivity::Moore.neighbors(&codec, key).into_iter().collect();
+        assert!(face.is_subset(&moore));
+        assert_eq!(face.len(), 6);
+        assert_eq!(moore.len(), 26);
+    }
+
+    #[test]
+    fn neighbors_never_include_self() {
+        let codec = KeyCodec::uniform(2, 4).unwrap();
+        for x in 0..4u32 {
+            for y in 0..4u32 {
+                let key = codec.pack(&[x, y]);
+                for conn in Connectivity::ALL {
+                    assert!(!conn.neighbors(&codec, key).contains(&key));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighborhood_is_symmetric() {
+        let codec = KeyCodec::uniform(2, 8).unwrap();
+        let a = codec.pack(&[2, 3]);
+        let b = codec.pack(&[2, 4]);
+        for conn in Connectivity::ALL {
+            assert!(conn.neighbors(&codec, a).contains(&b));
+            assert!(conn.neighbors(&codec, b).contains(&a));
+        }
+    }
+
+    #[test]
+    fn single_interval_dimension_has_no_neighbors_in_that_axis() {
+        let codec = KeyCodec::new(&[1, 4]).unwrap();
+        let key = codec.pack(&[0, 2]);
+        let n = Connectivity::Face.neighbors(&codec, key);
+        assert_eq!(n.len(), 2); // only along the second axis
+    }
+}

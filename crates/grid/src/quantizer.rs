@@ -1,0 +1,223 @@
+//! Space quantization (Algorithm 2 of the paper): assign every data point
+//! to a grid cell and record the per-cell point counts.
+
+use crate::{BoundingBox, GridError, KeyCodec, Result, SparseGrid};
+
+/// Maps points to grid cells.
+///
+/// The feature-space domain `B_j` of every dimension is divided into
+/// `intervals_j` right-open intervals `[l, h)`; a point belongs to the cell
+/// whose interval contains it in every dimension. Coordinates on or beyond
+/// the fitted upper bound are clamped into the last interval so the maximum
+/// point still belongs to a cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quantizer {
+    bounds: BoundingBox,
+    codec: KeyCodec,
+}
+
+impl Quantizer {
+    /// Fit a quantizer to a dataset with the same `scale` (number of
+    /// intervals) in every dimension. `scale = 128` is the paper's default.
+    pub fn fit(points: &[Vec<f64>], scale: u32) -> Result<Self> {
+        let bounds = BoundingBox::from_points(points)?;
+        Self::with_bounds(bounds, &vec![scale; points[0].len()])
+    }
+
+    /// Fit a quantizer with per-dimension interval counts.
+    pub fn fit_with_intervals(points: &[Vec<f64>], intervals: &[u32]) -> Result<Self> {
+        let bounds = BoundingBox::from_points(points)?;
+        Self::with_bounds(bounds, intervals)
+    }
+
+    /// Build a quantizer from explicit bounds and interval counts.
+    pub fn with_bounds(bounds: BoundingBox, intervals: &[u32]) -> Result<Self> {
+        if bounds.dims() != intervals.len() {
+            return Err(GridError::InvalidData {
+                context: format!(
+                    "bounds have {} dimensions but {} interval counts were given",
+                    bounds.dims(),
+                    intervals.len()
+                ),
+            });
+        }
+        let codec = KeyCodec::new(intervals)?;
+        Ok(Self { bounds, codec })
+    }
+
+    /// The key codec describing the quantized space.
+    pub fn codec(&self) -> &KeyCodec {
+        &self.codec
+    }
+
+    /// The bounding box used for quantization.
+    pub fn bounds(&self) -> &BoundingBox {
+        &self.bounds
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.codec.dims()
+    }
+
+    /// Cell coordinates of a single point. Points outside the fitted bounds
+    /// are clamped to the boundary cells.
+    ///
+    /// # Panics
+    /// Panics if the point dimensionality does not match the quantizer.
+    pub fn cell_coords(&self, point: &[f64]) -> Vec<u32> {
+        assert_eq!(
+            point.len(),
+            self.dims(),
+            "cell_coords: dimensionality mismatch"
+        );
+        point
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| {
+                let m = self.codec.intervals(j);
+                let extent = self.bounds.extent(j);
+                // Right-open intervals [l, h): index = floor((v - min)/width).
+                // The maximum coordinate (and anything beyond the fitted
+                // bounds) is clamped into the boundary cells.
+                let c = if extent > 0.0 {
+                    let width = extent / m as f64;
+                    ((v - self.bounds.min()[j]) / width).floor() as i64
+                } else {
+                    0
+                };
+                c.clamp(0, (m - 1) as i64) as u32
+            })
+            .collect()
+    }
+
+    /// Packed cell key of a single point (the `getGridID` of Algorithm 2).
+    pub fn cell_key(&self, point: &[f64]) -> u128 {
+        self.codec.pack(&self.cell_coords(point))
+    }
+
+    /// Centre of a cell in the original feature space.
+    pub fn cell_center(&self, key: u128) -> Vec<f64> {
+        let coords = self.codec.unpack(key);
+        coords
+            .iter()
+            .enumerate()
+            .map(|(j, &c)| {
+                let m = self.codec.intervals(j) as f64;
+                let extent = self.bounds.extent(j);
+                self.bounds.min()[j] + (c as f64 + 0.5) / m * extent
+            })
+            .collect()
+    }
+
+    /// Quantize a whole dataset: returns the sparse grid of per-cell counts
+    /// and, for every point, the key of the cell it fell into (the lookup
+    /// table input for step 6 of Algorithm 1).
+    pub fn quantize(&self, points: &[Vec<f64>]) -> (SparseGrid, Vec<u128>) {
+        let mut grid = SparseGrid::with_capacity(points.len().min(1 << 16));
+        let mut assignment = Vec::with_capacity(points.len());
+        for p in points {
+            let key = self.cell_key(p);
+            grid.increment(key);
+            assignment.push(key);
+        }
+        (grid, assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square_points() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, 0.0],
+            vec![0.99, 0.99],
+            vec![0.5, 0.5],
+            vec![0.51, 0.49],
+            vec![1.0, 1.0],
+        ]
+    }
+
+    #[test]
+    fn fit_and_quantize_counts_points() {
+        let pts = unit_square_points();
+        let q = Quantizer::fit(&pts, 4).unwrap();
+        let (grid, assignment) = q.quantize(&pts);
+        assert_eq!(assignment.len(), pts.len());
+        assert_eq!(grid.total_mass(), pts.len() as f64);
+        // (0,0) and (1,1)/(0.99,0.99) must land in different cells
+        assert_ne!(assignment[0], assignment[1]);
+        // max coordinate is clamped into the last cell, same as 0.99
+        assert_eq!(assignment[1], assignment[4]);
+    }
+
+    #[test]
+    fn cell_coords_respect_scale() {
+        let pts = vec![vec![0.0], vec![10.0]];
+        let q = Quantizer::fit(&pts, 10).unwrap();
+        assert_eq!(q.cell_coords(&[0.0]), vec![0]);
+        assert_eq!(q.cell_coords(&[5.0]), vec![5]);
+        assert_eq!(q.cell_coords(&[9.99]), vec![9]);
+        assert_eq!(q.cell_coords(&[10.0]), vec![9]);
+    }
+
+    #[test]
+    fn out_of_bounds_points_are_clamped() {
+        let pts = vec![vec![0.0, 0.0], vec![1.0, 1.0]];
+        let q = Quantizer::fit(&pts, 8).unwrap();
+        assert_eq!(q.cell_coords(&[-5.0, 0.5]), vec![0, 4]);
+        assert_eq!(q.cell_coords(&[2.0, 0.5])[0], 7);
+    }
+
+    #[test]
+    fn cell_center_is_inside_cell() {
+        let pts = vec![vec![0.0, 0.0], vec![8.0, 4.0]];
+        let q = Quantizer::fit(&pts, 8).unwrap();
+        let key = q.cell_key(&[3.1, 2.2]);
+        let center = q.cell_center(key);
+        assert_eq!(q.cell_key(&center), key);
+    }
+
+    #[test]
+    fn same_cell_for_nearby_points() {
+        let pts = vec![vec![0.0, 0.0], vec![100.0, 100.0]];
+        let q = Quantizer::fit(&pts, 10).unwrap();
+        assert_eq!(q.cell_key(&[12.0, 12.0]), q.cell_key(&[13.0, 17.0]));
+        assert_ne!(q.cell_key(&[12.0, 12.0]), q.cell_key(&[32.0, 12.0]));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let bounds = BoundingBox::from_bounds(vec![0.0, 0.0], vec![1.0, 1.0]);
+        assert!(Quantizer::with_bounds(bounds, &[4]).is_err());
+    }
+
+    #[test]
+    fn per_dimension_intervals() {
+        let pts = vec![vec![0.0, 0.0], vec![1.0, 1.0]];
+        let q = Quantizer::fit_with_intervals(&pts, &[4, 16]).unwrap();
+        assert_eq!(q.codec().intervals(0), 4);
+        assert_eq!(q.codec().intervals(1), 16);
+    }
+
+    #[test]
+    fn quantize_is_order_insensitive() {
+        // The paper's "input-order insensitive" property: grid contents do
+        // not depend on the order points are presented.
+        let mut pts = unit_square_points();
+        let q = Quantizer::fit(&pts, 8).unwrap();
+        let (grid_a, _) = q.quantize(&pts);
+        pts.reverse();
+        let (grid_b, _) = q.quantize(&pts);
+        assert_eq!(grid_a, grid_b);
+    }
+
+    #[test]
+    fn degenerate_dimension_all_in_one_cell() {
+        let pts = vec![vec![1.0, 5.0], vec![2.0, 5.0], vec![3.0, 5.0]];
+        let q = Quantizer::fit(&pts, 8).unwrap();
+        let coords: Vec<u32> = pts.iter().map(|p| q.cell_coords(p)[1]).collect();
+        assert!(coords.iter().all(|&c| c == coords[0]));
+    }
+}

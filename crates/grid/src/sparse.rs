@@ -1,0 +1,318 @@
+//! The sparse `{grid id: density}` map that realizes the paper's
+//! "only store the grids with non-zero density" strategy.
+
+use std::collections::HashMap;
+
+/// A sparse grid: packed cell key → density (or smoothed coefficient).
+///
+/// Densities start as point counts during quantization and become real
+/// valued after the wavelet transform.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SparseGrid {
+    cells: HashMap<u128, f64>,
+}
+
+impl SparseGrid {
+    /// An empty grid.
+    pub fn new() -> Self {
+        Self {
+            cells: HashMap::new(),
+        }
+    }
+
+    /// An empty grid with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            cells: HashMap::with_capacity(capacity),
+        }
+    }
+
+    /// Build from an iterator of `(key, density)` pairs, summing duplicates.
+    pub fn from_iter<I: IntoIterator<Item = (u128, f64)>>(iter: I) -> Self {
+        let mut grid = Self::new();
+        for (key, density) in iter {
+            grid.add(key, density);
+        }
+        grid
+    }
+
+    /// Number of occupied (stored) cells — the `m` in the paper's `O(nm)`.
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether no cell is stored.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Add `density` to a cell (inserting it if absent).
+    pub fn add(&mut self, key: u128, density: f64) {
+        *self.cells.entry(key).or_insert(0.0) += density;
+    }
+
+    /// Increment a cell's count by one (Algorithm 2, line 7/10).
+    pub fn increment(&mut self, key: u128) {
+        self.add(key, 1.0);
+    }
+
+    /// Overwrite a cell's density.
+    pub fn set(&mut self, key: u128, density: f64) {
+        self.cells.insert(key, density);
+    }
+
+    /// Density of a cell, 0.0 if not stored.
+    pub fn density(&self, key: u128) -> f64 {
+        self.cells.get(&key).copied().unwrap_or(0.0)
+    }
+
+    /// Whether a cell is stored.
+    pub fn contains(&self, key: u128) -> bool {
+        self.cells.contains_key(&key)
+    }
+
+    /// Remove a cell, returning its density if it was stored.
+    pub fn remove(&mut self, key: u128) -> Option<f64> {
+        self.cells.remove(&key)
+    }
+
+    /// Iterate over `(key, density)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u128, f64)> + '_ {
+        self.cells.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Iterate over stored keys.
+    pub fn keys(&self) -> impl Iterator<Item = u128> + '_ {
+        self.cells.keys().copied()
+    }
+
+    /// Total mass (sum of densities).
+    pub fn total_mass(&self) -> f64 {
+        self.cells.values().sum()
+    }
+
+    /// Maximum density over stored cells (0.0 for an empty grid).
+    pub fn max_density(&self) -> f64 {
+        self.cells.values().cloned().fold(0.0, f64::max)
+    }
+
+    /// Densities sorted in descending order — the curve that the adaptive
+    /// threshold (Fig. 6 / Algorithm 4) is fitted to.
+    pub fn sorted_densities(&self) -> Vec<f64> {
+        let mut d: Vec<f64> = self.cells.values().cloned().collect();
+        d.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        d
+    }
+
+    /// Remove every cell with density strictly below `threshold`; returns
+    /// the number of removed cells.
+    pub fn filter_below(&mut self, threshold: f64) -> usize {
+        let before = self.cells.len();
+        self.cells.retain(|_, v| *v >= threshold);
+        before - self.cells.len()
+    }
+
+    /// Remove every cell whose |density| is below `epsilon` (the
+    /// "remove wavelet coefficients close to zero" step).
+    pub fn drop_near_zero(&mut self, epsilon: f64) -> usize {
+        let before = self.cells.len();
+        self.cells.retain(|_, v| v.abs() >= epsilon);
+        before - self.cells.len()
+    }
+
+    /// Keep only cells present in `keys` (used when mapping clusters back).
+    pub fn retain_keys(&mut self, keys: &std::collections::HashSet<u128>) {
+        self.cells.retain(|k, _| keys.contains(k));
+    }
+
+    /// Keep only the `budget` cells with the highest |density|, removing the
+    /// rest; returns the number of removed cells.
+    ///
+    /// This is the memory guard used by the sparse per-dimension wavelet
+    /// transform: in high dimensions the scatter of the smoothing kernel can
+    /// otherwise multiply the number of occupied cells by the kernel support
+    /// once per dimension. Pruning keeps the densest cells, which is exactly
+    /// the part of the feature space the clustering step cares about.
+    pub fn prune_to_top(&mut self, budget: usize) -> usize {
+        if self.cells.len() <= budget {
+            return 0;
+        }
+        if budget == 0 {
+            let removed = self.cells.len();
+            self.cells.clear();
+            return removed;
+        }
+        let mut magnitudes: Vec<f64> = self.cells.values().map(|v| v.abs()).collect();
+        // The cut-off is the budget-th largest magnitude.
+        let cut_index = magnitudes.len() - budget;
+        let (_, cutoff, _) = magnitudes
+            .select_nth_unstable_by(cut_index, |a, b| a.partial_cmp(b).unwrap());
+        let cutoff = *cutoff;
+        let before = self.cells.len();
+        // Keep everything strictly above the cut-off, then fill the remaining
+        // slots with ties so exactly `budget` cells survive regardless of how
+        // many cells share the cut-off magnitude.
+        let mut slots_for_ties = budget;
+        for v in self.cells.values() {
+            if v.abs() > cutoff {
+                slots_for_ties -= 1;
+            }
+        }
+        self.cells.retain(|_, v| {
+            let mag = v.abs();
+            if mag > cutoff {
+                true
+            } else if mag == cutoff && slots_for_ties > 0 {
+                slots_for_ties -= 1;
+                true
+            } else {
+                false
+            }
+        });
+        before - self.cells.len()
+    }
+}
+
+impl FromIterator<(u128, f64)> for SparseGrid {
+    fn from_iter<T: IntoIterator<Item = (u128, f64)>>(iter: T) -> Self {
+        SparseGrid::from_iter(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_density() {
+        let mut g = SparseGrid::new();
+        assert!(g.is_empty());
+        g.increment(42);
+        g.increment(42);
+        g.add(7, 2.5);
+        assert_eq!(g.density(42), 2.0);
+        assert_eq!(g.density(7), 2.5);
+        assert_eq!(g.density(999), 0.0);
+        assert_eq!(g.occupied_cells(), 2);
+        assert!(g.contains(42));
+        assert!(!g.contains(999));
+    }
+
+    #[test]
+    fn total_mass_and_max() {
+        let g: SparseGrid = [(1u128, 3.0), (2, 5.0), (3, 1.0)].into_iter().collect();
+        assert_eq!(g.total_mass(), 9.0);
+        assert_eq!(g.max_density(), 5.0);
+    }
+
+    #[test]
+    fn empty_grid_statistics() {
+        let g = SparseGrid::new();
+        assert_eq!(g.total_mass(), 0.0);
+        assert_eq!(g.max_density(), 0.0);
+        assert!(g.sorted_densities().is_empty());
+    }
+
+    #[test]
+    fn sorted_densities_descending() {
+        let g: SparseGrid = [(1u128, 3.0), (2, 5.0), (3, 1.0), (4, 4.0)]
+            .into_iter()
+            .collect();
+        assert_eq!(g.sorted_densities(), vec![5.0, 4.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn filter_below_removes_and_counts() {
+        let mut g: SparseGrid = [(1u128, 3.0), (2, 5.0), (3, 1.0), (4, 4.0)]
+            .into_iter()
+            .collect();
+        let removed = g.filter_below(3.5);
+        assert_eq!(removed, 2);
+        assert_eq!(g.occupied_cells(), 2);
+        assert!(g.contains(2));
+        assert!(g.contains(4));
+        // threshold equal to a density keeps that cell (>= comparison)
+        let mut g2: SparseGrid = [(1u128, 3.0)].into_iter().collect();
+        assert_eq!(g2.filter_below(3.0), 0);
+    }
+
+    #[test]
+    fn drop_near_zero_uses_absolute_value() {
+        let mut g: SparseGrid = [(1u128, 0.001), (2, -0.002), (3, 1.0), (4, -2.0)]
+            .into_iter()
+            .collect();
+        let removed = g.drop_near_zero(0.01);
+        assert_eq!(removed, 2);
+        assert!(g.contains(3));
+        assert!(g.contains(4));
+    }
+
+    #[test]
+    fn duplicate_keys_sum() {
+        let g = SparseGrid::from_iter([(9u128, 1.0), (9, 2.0), (9, 3.0)]);
+        assert_eq!(g.occupied_cells(), 1);
+        assert_eq!(g.density(9), 6.0);
+    }
+
+    #[test]
+    fn remove_and_retain() {
+        let mut g: SparseGrid = [(1u128, 1.0), (2, 2.0), (3, 3.0)].into_iter().collect();
+        assert_eq!(g.remove(2), Some(2.0));
+        assert_eq!(g.remove(2), None);
+        let keep: std::collections::HashSet<u128> = [3u128].into_iter().collect();
+        g.retain_keys(&keep);
+        assert_eq!(g.occupied_cells(), 1);
+        assert!(g.contains(3));
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut g = SparseGrid::new();
+        g.add(5, 2.0);
+        g.set(5, 10.0);
+        assert_eq!(g.density(5), 10.0);
+    }
+
+    #[test]
+    fn prune_to_top_keeps_the_densest_cells() {
+        let mut g: SparseGrid = (0u128..100).map(|k| (k, k as f64)).collect();
+        let removed = g.prune_to_top(10);
+        assert_eq!(removed, 90);
+        assert_eq!(g.occupied_cells(), 10);
+        for k in 90u128..100 {
+            assert!(g.contains(k), "cell {k} should survive");
+        }
+    }
+
+    #[test]
+    fn prune_to_top_is_a_noop_within_budget() {
+        let mut g: SparseGrid = [(1u128, 1.0), (2, 2.0)].into_iter().collect();
+        assert_eq!(g.prune_to_top(5), 0);
+        assert_eq!(g.occupied_cells(), 2);
+    }
+
+    #[test]
+    fn prune_to_top_handles_ties_exactly() {
+        // 20 cells of identical density: exactly `budget` must survive.
+        let mut g: SparseGrid = (0u128..20).map(|k| (k, 1.0)).collect();
+        assert_eq!(g.prune_to_top(7), 13);
+        assert_eq!(g.occupied_cells(), 7);
+    }
+
+    #[test]
+    fn prune_to_top_uses_magnitude_for_negative_coefficients() {
+        let mut g: SparseGrid = [(1u128, -5.0), (2, 0.1), (3, 4.0), (4, -0.2)]
+            .into_iter()
+            .collect();
+        g.prune_to_top(2);
+        assert!(g.contains(1));
+        assert!(g.contains(3));
+    }
+
+    #[test]
+    fn prune_to_top_zero_budget_clears() {
+        let mut g: SparseGrid = [(1u128, 1.0), (2, 2.0)].into_iter().collect();
+        assert_eq!(g.prune_to_top(0), 2);
+        assert!(g.is_empty());
+    }
+}

@@ -1,0 +1,207 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+//!
+//! Used by the full-covariance Gaussian mixture (EM baseline) to evaluate
+//! log-densities: the Mahalanobis term and the log-determinant both fall out
+//! of the factor `L` with `A = L L^T`.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// The lower-triangular Cholesky factor `L` of a SPD matrix `A = L L^T`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorize a symmetric positive-definite matrix.
+    ///
+    /// Returns [`LinalgError::NotPositiveDefinite`] if a non-positive pivot
+    /// is encountered and [`LinalgError::DimensionMismatch`] if the matrix is
+    /// not square.
+    pub fn factorize(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::DimensionMismatch {
+                context: "cholesky: matrix must be square",
+            });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite);
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// Borrow the lower-triangular factor.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// `log(det(A))` computed as `2 * sum(log(L[i][i]))`.
+    pub fn log_determinant(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Solve `A x = b` using forward and back substitution.
+    ///
+    /// # Panics
+    /// Panics if `b.len()` does not match the matrix dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "cholesky solve: rhs length mismatch");
+        // Forward: L y = b
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        // Backward: L^T x = y
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Squared Mahalanobis form `b^T A^{-1} b` evaluated without explicitly
+    /// inverting `A`: solve `L y = b` and return `||y||^2`.
+    ///
+    /// # Panics
+    /// Panics if `b.len()` does not match the matrix dimension.
+    pub fn mahalanobis_squared(&self, b: &[f64]) -> f64 {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "mahalanobis: length mismatch");
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        y.iter().map(|v| v * v).sum()
+    }
+}
+
+impl Matrix {
+    /// Convenience wrapper: Cholesky-factorize this matrix.
+    pub fn cholesky(&self) -> Result<Cholesky> {
+        Cholesky::factorize(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        Matrix::from_rows(&[
+            &[4.0, 12.0, -16.0][..],
+            &[12.0, 37.0, -43.0][..],
+            &[-16.0, -43.0, 98.0][..],
+        ])
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = spd3();
+        let chol = a.cholesky().unwrap();
+        let l = chol.factor();
+        let reconstructed = l.mat_mul(&l.transpose()).unwrap();
+        assert!(reconstructed.max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn known_factor_of_wikipedia_example() {
+        // Classic example: L = [[2,0,0],[6,1,0],[-8,5,3]]
+        let chol = spd3().cholesky().unwrap();
+        let l = chol.factor();
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((l[(1, 0)] - 6.0).abs() < 1e-12);
+        assert!((l[(1, 1)] - 1.0).abs() < 1e-12);
+        assert!((l[(2, 0)] - -8.0).abs() < 1e-12);
+        assert!((l[(2, 1)] - 5.0).abs() < 1e-12);
+        assert!((l[(2, 2)] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_matches_direct_inverse() {
+        let a = spd3();
+        let chol = a.cholesky().unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let x = chol.solve(&b);
+        let ax = a.mat_vec(&x);
+        for (got, want) in ax.iter().zip(b.iter()) {
+            assert!((got - want).abs() < 1e-9, "got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn log_determinant_matches_lu_det() {
+        let a = spd3();
+        let chol = a.cholesky().unwrap();
+        let det = a.determinant().unwrap();
+        assert!((chol.log_determinant() - det.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mahalanobis_matches_solve() {
+        let a = spd3();
+        let chol = a.cholesky().unwrap();
+        let b = [0.5, -1.0, 2.0];
+        let x = chol.solve(&b);
+        let direct: f64 = b.iter().zip(x.iter()).map(|(bi, xi)| bi * xi).sum();
+        assert!((chol.mahalanobis_squared(&b) - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_non_spd() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0][..], &[2.0, 1.0][..]]); // indefinite
+        assert!(matches!(
+            a.cholesky(),
+            Err(LinalgError::NotPositiveDefinite)
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.cholesky(),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn identity_factor_is_identity() {
+        let i = Matrix::identity(4);
+        let chol = i.cholesky().unwrap();
+        assert!(chol.factor().max_abs_diff(&Matrix::identity(4)) < 1e-15);
+        assert!(chol.log_determinant().abs() < 1e-15);
+    }
+}

@@ -1,0 +1,213 @@
+//! Symmetric eigen-decomposition via the cyclic Jacobi rotation method.
+//!
+//! The self-tuning spectral clustering baseline (STSC) needs the leading
+//! eigenvectors of a (small, subsampled) normalized graph Laplacian. The
+//! cyclic Jacobi method is slow (`O(n^3)` per sweep) but simple, numerically
+//! robust for symmetric matrices, and has no external dependencies.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Result of a symmetric eigen-decomposition `A = V diag(lambda) V^T`.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues, sorted in descending order.
+    pub eigenvalues: Vec<f64>,
+    /// Eigenvectors as columns of a matrix, in the same order as
+    /// [`eigenvalues`](Self::eigenvalues).
+    pub eigenvectors: Matrix,
+}
+
+impl EigenDecomposition {
+    /// The `k` leading eigenvectors as row-major point embeddings: row `i`
+    /// holds the `i`-th coordinate of every point in the spectral embedding.
+    ///
+    /// Returns an `n x k` matrix whose row `i` is the embedding of item `i`.
+    pub fn embedding(&self, k: usize) -> Matrix {
+        let n = self.eigenvectors.rows();
+        let k = k.min(self.eigenvalues.len());
+        let mut out = Matrix::zeros(n, k);
+        for i in 0..n {
+            for j in 0..k {
+                out[(i, j)] = self.eigenvectors[(i, j)];
+            }
+        }
+        out
+    }
+}
+
+/// Compute all eigenvalues/eigenvectors of a symmetric matrix using the
+/// cyclic Jacobi method.
+///
+/// `max_sweeps` bounds the number of full sweeps (a sweep rotates every
+/// off-diagonal pair once); 50 is far more than needed for the matrix sizes
+/// in this project. Returns [`LinalgError::NoConvergence`] if the
+/// off-diagonal norm has not dropped below `1e-12 * ||A||_F` by then.
+pub fn jacobi_eigen(a: &Matrix, max_sweeps: usize) -> Result<EigenDecomposition> {
+    if !a.is_square() {
+        return Err(LinalgError::DimensionMismatch {
+            context: "jacobi_eigen: matrix must be square",
+        });
+    }
+    if !a.is_symmetric(1e-8) {
+        return Err(LinalgError::DimensionMismatch {
+            context: "jacobi_eigen: matrix must be symmetric",
+        });
+    }
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    let tol = 1e-12 * a.frobenius_norm().max(1e-300);
+
+    let off_diag_norm = |m: &Matrix| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                s += m[(i, j)] * m[(i, j)];
+            }
+        }
+        (2.0 * s).sqrt()
+    };
+
+    let mut converged = false;
+    for _ in 0..max_sweeps {
+        if off_diag_norm(&m) <= tol {
+            converged = true;
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply the rotation J(p, q, theta) to rows/columns p and q.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    if !converged && off_diag_norm(&m) > tol {
+        return Err(LinalgError::NoConvergence {
+            iterations: max_sweeps,
+        });
+    }
+
+    // Sort eigenpairs by eigenvalue, descending.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m[(j, j)].partial_cmp(&m[(i, i)]).unwrap());
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
+    let mut eigenvectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for row in 0..n {
+            eigenvectors[(row, new_col)] = v[(row, old_col)];
+        }
+    }
+    Ok(EigenDecomposition {
+        eigenvalues,
+        eigenvectors,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_diagonal() {
+        let a = Matrix::diagonal(&[3.0, 1.0, 2.0]);
+        let e = jacobi_eigen(&a, 50).unwrap();
+        assert!((e.eigenvalues[0] - 3.0).abs() < 1e-12);
+        assert!((e.eigenvalues[1] - 2.0).abs() < 1e-12);
+        assert!((e.eigenvalues[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2_eigenvalues() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[&[2.0, 1.0][..], &[1.0, 2.0][..]]);
+        let e = jacobi_eigen(&a, 50).unwrap();
+        assert!((e.eigenvalues[0] - 3.0).abs() < 1e-12);
+        assert!((e.eigenvalues[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_from_eigenpairs() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, 0.5][..],
+            &[1.0, 3.0, -0.5][..],
+            &[0.5, -0.5, 2.0][..],
+        ]);
+        let e = jacobi_eigen(&a, 50).unwrap();
+        let v = &e.eigenvectors;
+        let d = Matrix::diagonal(&e.eigenvalues);
+        let rebuilt = v.mat_mul(&d).unwrap().mat_mul(&v.transpose()).unwrap();
+        assert!(rebuilt.max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Matrix::from_rows(&[
+            &[5.0, 2.0, 1.0][..],
+            &[2.0, 6.0, 3.0][..],
+            &[1.0, 3.0, 7.0][..],
+        ]);
+        let e = jacobi_eigen(&a, 50).unwrap();
+        let v = &e.eigenvectors;
+        let vtv = v.transpose().mat_mul(v).unwrap();
+        assert!(vtv.max_abs_diff(&Matrix::identity(3)) < 1e-10);
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.2, 0.3][..],
+            &[0.2, 2.0, 0.1][..],
+            &[0.3, 0.1, 3.0][..],
+        ]);
+        let e = jacobi_eigen(&a, 50).unwrap();
+        let sum: f64 = e.eigenvalues.iter().sum();
+        assert!((sum - a.trace()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_asymmetric() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0][..], &[0.0, 1.0][..]]);
+        assert!(jacobi_eigen(&a, 50).is_err());
+    }
+
+    #[test]
+    fn embedding_extracts_leading_columns() {
+        let a = Matrix::diagonal(&[3.0, 2.0, 1.0]);
+        let e = jacobi_eigen(&a, 50).unwrap();
+        let emb = e.embedding(2);
+        assert_eq!(emb.rows(), 3);
+        assert_eq!(emb.cols(), 2);
+    }
+}

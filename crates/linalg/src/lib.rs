@@ -1,0 +1,86 @@
+//! # adawave-linalg
+//!
+//! Small, dependency-free dense linear-algebra kernels used by the AdaWave
+//! reproduction. The baselines the paper compares against (EM with full
+//! covariance Gaussians, self-tuning spectral clustering) need a handful of
+//! classic routines — matrix arithmetic, Cholesky and LU factorizations, a
+//! symmetric eigen-solver and covariance estimation — but nothing close to a
+//! full BLAS/LAPACK. Everything here is written from scratch so the
+//! workspace only depends on the allowed offline crates.
+//!
+//! The crate is deliberately simple: row-major `Vec<f64>` storage, `O(n^3)`
+//! textbook algorithms, and exhaustive tests. Matrix sizes in this project
+//! are tiny (dimensions `d <= 64`, spectral problems subsampled to a few
+//! hundred points), so clarity wins over micro-optimization.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use adawave_linalg::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[4.0, 2.0][..], &[2.0, 3.0][..]]);
+//! let chol = a.cholesky().expect("SPD");
+//! let x = chol.solve(&[6.0, 5.0]);
+//! assert!((a.mat_vec(&x)[0] - 6.0).abs() < 1e-10);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cholesky;
+pub mod eigen;
+pub mod lu;
+pub mod matrix;
+pub mod stats;
+pub mod vector;
+
+pub use cholesky::Cholesky;
+pub use eigen::{jacobi_eigen, EigenDecomposition};
+pub use lu::Lu;
+pub use matrix::Matrix;
+pub use stats::{covariance_matrix, mean_vector, pearson_correlation, standardize_columns};
+pub use vector::{
+    add, axpy, dot, euclidean_distance, norm2, scale, squared_distance, sub,
+};
+
+/// Error type for linear-algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Matrix dimensions do not match the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the mismatch.
+        context: &'static str,
+    },
+    /// Cholesky factorization failed because the matrix is not positive
+    /// definite (within numerical tolerance).
+    NotPositiveDefinite,
+    /// LU factorization hit a (numerically) singular pivot.
+    Singular,
+    /// An iterative routine did not converge within the iteration budget.
+    NoConvergence {
+        /// Number of iterations attempted.
+        iterations: usize,
+    },
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { context } => {
+                write!(f, "dimension mismatch: {context}")
+            }
+            LinalgError::NotPositiveDefinite => {
+                write!(f, "matrix is not positive definite")
+            }
+            LinalgError::Singular => write!(f, "matrix is singular"),
+            LinalgError::NoConvergence { iterations } => {
+                write!(f, "did not converge after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,205 @@
+//! LU factorization with partial pivoting.
+//!
+//! Used for determinants and general linear solves (e.g. inverting small
+//! covariance matrices when Cholesky is not applicable because of
+//! regularized near-singular inputs).
+
+use crate::{LinalgError, Matrix, Result};
+
+/// LU factorization `P A = L U` with partial pivoting.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined LU storage: the strictly lower part holds `L` (unit diagonal
+    /// implied), the upper part (including diagonal) holds `U`.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1.0 or -1.0), used by the determinant.
+    sign: f64,
+}
+
+impl Lu {
+    /// Factorize a square matrix. Returns [`LinalgError::Singular`] if a
+    /// pivot is numerically zero.
+    pub fn factorize(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::DimensionMismatch {
+                context: "lu: matrix must be square",
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivoting: find the row with the largest |value| in column k.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return Err(LinalgError::Singular);
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let delta = factor * lu[(k, j)];
+                    lu[(i, j)] -= delta;
+                }
+            }
+        }
+        Ok(Self { lu, perm, sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Determinant of the original matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.sign;
+        for i in 0..self.dim() {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+
+    /// Solve `A x = b`.
+    ///
+    /// # Panics
+    /// Panics if `b.len()` does not match the matrix dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "lu solve: rhs length mismatch");
+        // Apply the permutation to b, then forward/back substitute.
+        let mut y: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
+        // L y' = P b (unit lower)
+        for i in 0..n {
+            for k in 0..i {
+                let delta = self.lu[(i, k)] * y[k];
+                y[i] -= delta;
+            }
+        }
+        // U x = y'
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.lu[(i, k)] * x[k];
+            }
+            x[i] = sum / self.lu[(i, i)];
+        }
+        x
+    }
+
+    /// Inverse of the original matrix, column by column.
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e);
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+            e[j] = 0.0;
+        }
+        Ok(inv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_known_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0][..], &[1.0, 3.0][..]]);
+        let lu = Lu::factorize(&a).unwrap();
+        let x = lu.solve(&[3.0, 5.0]);
+        // Solution of 2x+y=3, x+3y=5 -> x=0.8, y=1.4
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_sign_with_pivoting() {
+        // Requires a row swap; determinant is -2.
+        let a = Matrix::from_rows(&[&[0.0, 1.0][..], &[2.0, 0.0][..]]);
+        let lu = Lu::factorize(&a).unwrap();
+        assert!((lu.determinant() - -2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_of_triangular_is_diagonal_product() {
+        let a = Matrix::from_rows(&[
+            &[2.0, 1.0, 4.0][..],
+            &[0.0, 3.0, 5.0][..],
+            &[0.0, 0.0, 7.0][..],
+        ]);
+        let lu = Lu::factorize(&a).unwrap();
+        assert!((lu.determinant() - 42.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0][..], &[2.0, 4.0][..]]);
+        assert!(matches!(Lu::factorize(&a), Err(LinalgError::Singular)));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Lu::factorize(&a),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0, 3.0][..],
+            &[0.0, 1.0, 4.0][..],
+            &[5.0, 6.0, 0.0][..],
+        ]);
+        let inv = a.inverse().unwrap();
+        let prod = a.mat_mul(&inv).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(3)) < 1e-10);
+    }
+
+    #[test]
+    fn solve_matches_mat_vec_roundtrip() {
+        let a = Matrix::from_rows(&[
+            &[3.0, -1.0, 2.0][..],
+            &[1.0, 4.0, 0.5][..],
+            &[-2.0, 0.0, 5.0][..],
+        ]);
+        let lu = Lu::factorize(&a).unwrap();
+        let x_true = [1.5, -2.0, 0.25];
+        let b = a.mat_vec(&x_true);
+        let x = lu.solve(&b);
+        for (got, want) in x.iter().zip(x_true.iter()) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+}

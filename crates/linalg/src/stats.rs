@@ -1,0 +1,186 @@
+//! Statistical helpers: means, covariance matrices, column standardization
+//! and Pearson correlation (used for the Glass attribute/class correlation
+//! table, Table II in the paper).
+
+use crate::Matrix;
+
+/// Mean of each column over a set of points given as rows.
+///
+/// Returns a zero vector of length `dim` when `points` is empty.
+pub fn mean_vector(points: &[Vec<f64>], dim: usize) -> Vec<f64> {
+    let mut mean = vec![0.0; dim];
+    if points.is_empty() {
+        return mean;
+    }
+    for p in points {
+        for (m, v) in mean.iter_mut().zip(p.iter()) {
+            *m += v;
+        }
+    }
+    let inv = 1.0 / points.len() as f64;
+    for m in &mut mean {
+        *m *= inv;
+    }
+    mean
+}
+
+/// Sample covariance matrix (denominator `n - 1`, or `n` if `n == 1`) of a
+/// set of points given as rows of equal length `dim`.
+pub fn covariance_matrix(points: &[Vec<f64>], dim: usize) -> Matrix {
+    let n = points.len();
+    let mut cov = Matrix::zeros(dim, dim);
+    if n == 0 {
+        return cov;
+    }
+    let mean = mean_vector(points, dim);
+    for p in points {
+        for i in 0..dim {
+            let di = p[i] - mean[i];
+            for j in i..dim {
+                let dj = p[j] - mean[j];
+                cov[(i, j)] += di * dj;
+            }
+        }
+    }
+    let denom = if n > 1 { (n - 1) as f64 } else { 1.0 };
+    for i in 0..dim {
+        for j in i..dim {
+            cov[(i, j)] /= denom;
+            cov[(j, i)] = cov[(i, j)];
+        }
+    }
+    cov
+}
+
+/// Pearson correlation coefficient between two equal-length samples.
+///
+/// Returns 0.0 when either sample has zero variance or fewer than two
+/// observations (the convention used for Table II reporting).
+pub fn pearson_correlation(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "pearson_correlation: length mismatch");
+    let n = x.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = x.iter().sum::<f64>() / n as f64;
+    let my = y.iter().sum::<f64>() / n as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = x[i] - mx;
+        let dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx.sqrt() * syy.sqrt())
+}
+
+/// Standardize each column to zero mean and unit variance, in place.
+/// Columns with zero variance are left centered but unscaled.
+pub fn standardize_columns(points: &mut [Vec<f64>]) {
+    if points.is_empty() {
+        return;
+    }
+    let dim = points[0].len();
+    let n = points.len() as f64;
+    for j in 0..dim {
+        let mean = points.iter().map(|p| p[j]).sum::<f64>() / n;
+        let var = points.iter().map(|p| (p[j] - mean).powi(2)).sum::<f64>() / n;
+        let std = var.sqrt();
+        for p in points.iter_mut() {
+            p[j] -= mean;
+            if std > 1e-12 {
+                p[j] /= std;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_two_points() {
+        let pts = vec![vec![1.0, 2.0], vec![3.0, 6.0]];
+        assert_eq!(mean_vector(&pts, 2), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        let pts: Vec<Vec<f64>> = vec![];
+        assert_eq!(mean_vector(&pts, 3), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn covariance_of_identical_points_is_zero() {
+        let pts = vec![vec![1.0, 2.0]; 5];
+        let cov = covariance_matrix(&pts, 2);
+        assert!(cov.frobenius_norm() < 1e-15);
+    }
+
+    #[test]
+    fn covariance_known_values() {
+        // x = [1,2,3], y = [2,4,6]: var(x)=1, var(y)=4, cov(x,y)=2 (n-1 denom)
+        let pts = vec![vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]];
+        let cov = covariance_matrix(&pts, 2);
+        assert!((cov[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((cov[(1, 1)] - 4.0).abs() < 1e-12);
+        assert!((cov[(0, 1)] - 2.0).abs() < 1e-12);
+        assert!(cov.is_symmetric(1e-15));
+    }
+
+    #[test]
+    fn pearson_perfectly_correlated() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson_correlation(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfectly_anticorrelated() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [3.0, 2.0, 1.0];
+        assert!((pearson_correlation(&x, &y) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_of_constant_is_zero() {
+        let x = [1.0, 1.0, 1.0];
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(pearson_correlation(&x, &y), 0.0);
+    }
+
+    #[test]
+    fn pearson_bounds() {
+        let x = [0.3, -1.2, 4.0, 2.2, 0.0];
+        let y = [1.0, 0.5, -2.0, 3.3, 0.9];
+        let r = pearson_correlation(&x, &y);
+        assert!((-1.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn standardize_gives_zero_mean_unit_var() {
+        let mut pts = vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0], vec![4.0, 40.0]];
+        standardize_columns(&mut pts);
+        let n = pts.len() as f64;
+        for j in 0..2 {
+            let mean: f64 = pts.iter().map(|p| p[j]).sum::<f64>() / n;
+            let var: f64 = pts.iter().map(|p| p[j] * p[j]).sum::<f64>() / n;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn standardize_constant_column_is_centered() {
+        let mut pts = vec![vec![5.0], vec![5.0], vec![5.0]];
+        standardize_columns(&mut pts);
+        assert!(pts.iter().all(|p| p[0].abs() < 1e-15));
+    }
+}

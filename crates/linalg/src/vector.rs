@@ -1,0 +1,135 @@
+//! Free functions on `&[f64]` vectors.
+//!
+//! These are the hot kernels of the distance-based baselines (k-means,
+//! DBSCAN, DipMeans): squared Euclidean distance, dot products and simple
+//! BLAS-1 style updates. They intentionally operate on plain slices so the
+//! caller can keep data in flat row-major buffers.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths (programming error).
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Squared Euclidean distance between two points.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "squared_distance: length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean (L2) distance between two points.
+pub fn euclidean_distance(a: &[f64], b: &[f64]) -> f64 {
+    squared_distance(a, b).sqrt()
+}
+
+/// L2 norm of a vector.
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Element-wise sum `a + b`.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "add: length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x + y).collect()
+}
+
+/// Element-wise difference `a - b`.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x - y).collect()
+}
+
+/// Scale a vector by a scalar, returning a new vector.
+pub fn scale(a: &[f64], s: f64) -> Vec<f64> {
+    a.iter().map(|x| x * s).collect()
+}
+
+/// In-place `y += alpha * x` (BLAS axpy).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn squared_distance_basic() {
+        assert_eq!(squared_distance(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(euclidean_distance(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = [1.0, -2.0, 0.5];
+        let b = [0.3, 7.0, -1.0];
+        assert_eq!(squared_distance(&a, &b), squared_distance(&b, &a));
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let a = [1.0, -2.0, 0.5];
+        assert_eq!(squared_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn norm_of_unit_vectors() {
+        assert!((norm2(&[1.0, 0.0, 0.0]) - 1.0).abs() < 1e-15);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn add_sub_scale_roundtrip() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [0.5, -1.0, 2.0];
+        let s = add(&a, &b);
+        let back = sub(&s, &b);
+        for (x, y) in back.iter().zip(a.iter()) {
+            assert!((x - y).abs() < 1e-15);
+        }
+        let doubled = scale(&a, 2.0);
+        assert_eq!(doubled, vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(0.5, &x, &mut y);
+        assert_eq!(y, [10.5, 21.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use adawave_linalg::{covariance_matrix, jacobi_eigen, pearson_correlation, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a small vector of finite, moderately sized floats.
+fn small_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, len)
+}
+
+/// Strategy: a random SPD matrix built as A = B^T B + eps*I.
+fn spd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-3.0f64..3.0, n * n).prop_map(move |data| {
+        let b = Matrix::from_vec(n, n, data);
+        let mut a = b.transpose().mat_mul(&b).unwrap();
+        a.add_diagonal(0.5);
+        a
+    })
+}
+
+proptest! {
+    #[test]
+    fn dot_is_commutative(a in small_vec(6), b in small_vec(6)) {
+        let ab = adawave_linalg::dot(&a, &b);
+        let ba = adawave_linalg::dot(&b, &a);
+        prop_assert!((ab - ba).abs() <= 1e-9 * (1.0 + ab.abs()));
+    }
+
+    #[test]
+    fn distance_triangle_inequality(a in small_vec(4), b in small_vec(4), c in small_vec(4)) {
+        let ab = adawave_linalg::euclidean_distance(&a, &b);
+        let bc = adawave_linalg::euclidean_distance(&b, &c);
+        let ac = adawave_linalg::euclidean_distance(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-9);
+    }
+
+    #[test]
+    fn transpose_is_involution(data in prop::collection::vec(-50.0f64..50.0, 12)) {
+        let m = Matrix::from_vec(3, 4, data);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_associative(
+        a in prop::collection::vec(-2.0f64..2.0, 9),
+        b in prop::collection::vec(-2.0f64..2.0, 9),
+        c in prop::collection::vec(-2.0f64..2.0, 9),
+    ) {
+        let a = Matrix::from_vec(3, 3, a);
+        let b = Matrix::from_vec(3, 3, b);
+        let c = Matrix::from_vec(3, 3, c);
+        let left = a.mat_mul(&b).unwrap().mat_mul(&c).unwrap();
+        let right = a.mat_mul(&b.mat_mul(&c).unwrap()).unwrap();
+        prop_assert!(left.max_abs_diff(&right) < 1e-9);
+    }
+
+    #[test]
+    fn cholesky_reconstructs_spd(a in spd_matrix(4)) {
+        let chol = a.cholesky().unwrap();
+        let l = chol.factor();
+        let rebuilt = l.mat_mul(&l.transpose()).unwrap();
+        prop_assert!(rebuilt.max_abs_diff(&a) < 1e-7 * (1.0 + a.frobenius_norm()));
+    }
+
+    #[test]
+    fn cholesky_solve_solves(a in spd_matrix(3), b in small_vec(3)) {
+        let chol = a.cholesky().unwrap();
+        let x = chol.solve(&b);
+        let ax = a.mat_vec(&x);
+        for (got, want) in ax.iter().zip(b.iter()) {
+            prop_assert!((got - want).abs() < 1e-6 * (1.0 + want.abs()));
+        }
+    }
+
+    #[test]
+    fn lu_determinant_matches_cholesky_logdet(a in spd_matrix(3)) {
+        let det = a.determinant().unwrap();
+        let chol = a.cholesky().unwrap();
+        prop_assert!(det > 0.0);
+        prop_assert!((det.ln() - chol.log_determinant()).abs() < 1e-6 * (1.0 + det.ln().abs()));
+    }
+
+    #[test]
+    fn jacobi_eigenvalue_sum_equals_trace(a in spd_matrix(4)) {
+        let e = jacobi_eigen(&a, 100).unwrap();
+        let sum: f64 = e.eigenvalues.iter().sum();
+        prop_assert!((sum - a.trace()).abs() < 1e-7 * (1.0 + a.trace().abs()));
+    }
+
+    #[test]
+    fn jacobi_eigenvalues_of_spd_are_positive(a in spd_matrix(3)) {
+        let e = jacobi_eigen(&a, 100).unwrap();
+        for &lambda in &e.eigenvalues {
+            prop_assert!(lambda > 0.0);
+        }
+    }
+
+    #[test]
+    fn pearson_is_symmetric_and_bounded(x in small_vec(10), y in small_vec(10)) {
+        let rxy = pearson_correlation(&x, &y);
+        let ryx = pearson_correlation(&y, &x);
+        prop_assert!((rxy - ryx).abs() < 1e-12);
+        prop_assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&rxy));
+    }
+
+    #[test]
+    fn pearson_invariant_to_affine_transform(x in small_vec(8)) {
+        // correlation(x, 2x + 3) == 1 unless x is constant
+        let y: Vec<f64> = x.iter().map(|v| 2.0 * v + 3.0).collect();
+        let r = pearson_correlation(&x, &y);
+        let variance: f64 = {
+            let m = x.iter().sum::<f64>() / x.len() as f64;
+            x.iter().map(|v| (v - m).powi(2)).sum::<f64>()
+        };
+        if variance > 1e-6 {
+            prop_assert!((r - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn covariance_is_symmetric_psd_diag(points in prop::collection::vec(small_vec(3), 2..20)) {
+        let cov = covariance_matrix(&points, 3);
+        prop_assert!(cov.is_symmetric(1e-9));
+        for i in 0..3 {
+            prop_assert!(cov[(i, i)] >= -1e-9);
+        }
+    }
+}

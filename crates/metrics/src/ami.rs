@@ -1,0 +1,283 @@
+//! Adjusted and Normalized Mutual Information.
+//!
+//! AMI corrects mutual information for chance agreement using the expected
+//! MI under a hypergeometric model of random labelings with fixed marginals
+//! (Vinh, Epps & Bailey, JMLR 2010):
+//!
+//! `AMI = (MI - E[MI]) / (avg(H(U), H(V)) - E[MI])`
+//!
+//! This is the metric the paper reports in every experiment.
+
+use crate::contingency::ContingencyTable;
+use crate::entropy::{entropy_of_counts, mutual_information};
+use crate::special::ln_factorial;
+
+/// How the two entropies are combined in the denominator of AMI/NMI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AverageMethod {
+    /// Arithmetic mean (scikit-learn's default, and ours).
+    #[default]
+    Arithmetic,
+    /// Maximum of the two entropies (the original Vinh et al. "max" form).
+    Max,
+    /// Geometric mean.
+    Geometric,
+    /// Minimum of the two entropies.
+    Min,
+}
+
+impl AverageMethod {
+    fn combine(&self, hu: f64, hv: f64) -> f64 {
+        match self {
+            AverageMethod::Arithmetic => 0.5 * (hu + hv),
+            AverageMethod::Max => hu.max(hv),
+            AverageMethod::Geometric => (hu * hv).sqrt(),
+            AverageMethod::Min => hu.min(hv),
+        }
+    }
+}
+
+/// Expected mutual information between two random labelings with the given
+/// marginals, under the hypergeometric model.
+pub fn expected_mutual_information(table: &ContingencyTable) -> f64 {
+    let n = table.total();
+    if n == 0 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let ln_n_fact = ln_factorial(n);
+    let mut emi = 0.0;
+    for &a in table.row_sums() {
+        if a == 0 {
+            continue;
+        }
+        for &b in table.col_sums() {
+            if b == 0 {
+                continue;
+            }
+            let lower = 1.max((a + b).saturating_sub(n));
+            let upper = a.min(b);
+            // Precompute the parts of the hypergeometric log-probability
+            // that do not depend on nij.
+            let ln_fixed = ln_factorial(a) + ln_factorial(b) + ln_factorial(n - a)
+                + ln_factorial(n - b)
+                - ln_n_fact;
+            let mut nij = lower;
+            while nij <= upper {
+                let nij_f = nij as f64;
+                let ln_p = ln_fixed
+                    - ln_factorial(nij)
+                    - ln_factorial(a - nij)
+                    - ln_factorial(b - nij)
+                    - ln_factorial(n + nij - a - b);
+                let term = (nij_f / nf) * ((nf * nij_f) / (a as f64 * b as f64)).ln();
+                emi += term * ln_p.exp();
+                nij += 1;
+            }
+        }
+    }
+    emi
+}
+
+/// Adjusted Mutual Information with an explicit averaging method.
+///
+/// Returns a value `<= 1`, equal to 1 only for identical partitions and
+/// close to 0 for independent labelings. Degenerate cases (both labelings
+/// constant) return 1.0 if they are identical partitions, else 0.0.
+pub fn adjusted_mutual_information(
+    truth: &[usize],
+    prediction: &[usize],
+    method: AverageMethod,
+) -> f64 {
+    let table = ContingencyTable::from_labels(truth, prediction);
+    if table.total() == 0 {
+        return 0.0;
+    }
+    let hu = entropy_of_counts(table.row_sums(), table.total());
+    let hv = entropy_of_counts(table.col_sums(), table.total());
+    // Both partitions are a single cluster: identical by definition.
+    if hu == 0.0 && hv == 0.0 {
+        return 1.0;
+    }
+    let mi = mutual_information(&table);
+    let emi = expected_mutual_information(&table);
+    let denom = method.combine(hu, hv) - emi;
+    if denom.abs() < 1e-15 {
+        return 0.0;
+    }
+    let ami = (mi - emi) / denom;
+    ami.min(1.0)
+}
+
+/// Adjusted Mutual Information with the arithmetic-mean denominator (the
+/// scikit-learn default the paper's numbers correspond to).
+pub fn ami(truth: &[usize], prediction: &[usize]) -> f64 {
+    adjusted_mutual_information(truth, prediction, AverageMethod::Arithmetic)
+}
+
+/// AMI computed only over the points whose *true* label is not
+/// `noise_label`. This is the protocol of the paper's synthetic experiments:
+/// "the AMI only considers the objects which truly belong to a cluster
+/// (non-noise points)".
+pub fn ami_ignoring_noise(truth: &[usize], prediction: &[usize], noise_label: usize) -> f64 {
+    assert_eq!(truth.len(), prediction.len());
+    let mut t = Vec::with_capacity(truth.len());
+    let mut p = Vec::with_capacity(truth.len());
+    for (&a, &b) in truth.iter().zip(prediction.iter()) {
+        if a != noise_label {
+            t.push(a);
+            p.push(b);
+        }
+    }
+    if t.is_empty() {
+        return 0.0;
+    }
+    ami(&t, &p)
+}
+
+/// Normalized Mutual Information: `MI / avg(H(U), H(V))`. Not
+/// chance-corrected; provided for comparison and sanity checks.
+pub fn normalized_mutual_information(
+    truth: &[usize],
+    prediction: &[usize],
+    method: AverageMethod,
+) -> f64 {
+    let table = ContingencyTable::from_labels(truth, prediction);
+    if table.total() == 0 {
+        return 0.0;
+    }
+    let hu = entropy_of_counts(table.row_sums(), table.total());
+    let hv = entropy_of_counts(table.col_sums(), table.total());
+    if hu == 0.0 && hv == 0.0 {
+        return 1.0;
+    }
+    let denom = method.combine(hu, hv);
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    (mutual_information(&table) / denom).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let labels = vec![0, 0, 0, 1, 1, 1, 2, 2];
+        assert!((ami(&labels, &labels) - 1.0).abs() < 1e-9);
+        let renamed: Vec<usize> = labels.iter().map(|&l| (l + 5) * 3).collect();
+        assert!((ami(&labels, &renamed) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_partitions_score_near_zero() {
+        // A prediction that splits each true class in half carries no
+        // information about the truth; AMI must be ~0 (can be slightly
+        // negative).
+        let truth: Vec<usize> = (0..200).map(|i| i / 100).collect();
+        let pred: Vec<usize> = (0..200).map(|i| i % 2).collect();
+        let score = ami(&truth, &pred);
+        assert!(score.abs() < 0.05, "expected ~0, got {score}");
+    }
+
+    #[test]
+    fn single_cluster_prediction_scores_zero() {
+        let truth: Vec<usize> = (0..60).map(|i| i / 20).collect();
+        let pred = vec![0usize; 60];
+        let score = ami(&truth, &pred);
+        assert!(score.abs() < 1e-9, "got {score}");
+    }
+
+    #[test]
+    fn both_single_cluster_scores_one() {
+        let truth = vec![0usize; 10];
+        let pred = vec![5usize; 10];
+        assert_eq!(ami(&truth, &pred), 1.0);
+    }
+
+    #[test]
+    fn ami_is_symmetric() {
+        let a = vec![0, 0, 1, 1, 2, 2, 0, 1, 2, 2, 1, 0];
+        let b = vec![1, 1, 0, 0, 2, 2, 2, 0, 1, 1, 0, 2];
+        assert!((ami(&a, &b) - ami(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ami_penalizes_over_clustering_more_than_nmi() {
+        // Splitting every true class into many small clusters inflates NMI
+        // but AMI corrects for the chance agreement.
+        let truth: Vec<usize> = (0..120).map(|i| i / 60).collect();
+        let pred: Vec<usize> = (0..120).map(|i| i / 5).collect();
+        let nmi = normalized_mutual_information(&truth, &pred, AverageMethod::Arithmetic);
+        let ami_score = ami(&truth, &pred);
+        assert!(ami_score < nmi);
+    }
+
+    #[test]
+    fn partial_agreement_is_between_zero_and_one() {
+        let truth = vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2];
+        let pred = vec![0, 0, 0, 1, 1, 1, 1, 1, 2, 2, 0, 2];
+        let score = ami(&truth, &pred);
+        assert!(score > 0.1 && score < 1.0, "got {score}");
+    }
+
+    #[test]
+    fn expected_mi_positive_and_below_mi_for_correlated() {
+        let truth = vec![0, 0, 0, 1, 1, 1];
+        let pred = vec![0, 0, 1, 1, 1, 0];
+        let table = ContingencyTable::from_labels(&truth, &pred);
+        let emi = expected_mutual_information(&table);
+        assert!(emi > 0.0);
+        assert!(emi < entropy_of_counts(table.row_sums(), table.total()));
+    }
+
+    #[test]
+    fn ami_ignoring_noise_matches_manual_filter() {
+        const NOISE: usize = 99;
+        let truth = vec![0, 0, 1, 1, NOISE, NOISE, NOISE];
+        let pred = vec![0, 0, 1, 1, 0, 1, 1];
+        let masked = ami_ignoring_noise(&truth, &pred, NOISE);
+        // On the non-noise subset the prediction is perfect.
+        assert!((masked - 1.0).abs() < 1e-9);
+        // Whereas the unmasked score is lower.
+        assert!(ami(&truth, &pred) < masked);
+    }
+
+    #[test]
+    fn ami_ignoring_noise_all_noise_returns_zero() {
+        let truth = vec![9, 9, 9];
+        let pred = vec![0, 1, 2];
+        assert_eq!(ami_ignoring_noise(&truth, &pred, 9), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(ami(&[], &[]), 0.0);
+        assert_eq!(
+            normalized_mutual_information(&[], &[], AverageMethod::Arithmetic),
+            0.0
+        );
+    }
+
+    #[test]
+    fn nmi_equals_one_for_identical() {
+        let labels = vec![0, 1, 2, 0, 1, 2, 0, 1];
+        let nmi = normalized_mutual_information(&labels, &labels, AverageMethod::Geometric);
+        assert!((nmi - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_methods_order() {
+        // For a fixed pair of labelings: min >= arithmetic/geometric >= max
+        // in terms of the resulting normalized score denominators, so the
+        // scores order the other way around.
+        let truth = vec![0, 0, 0, 0, 1, 1, 2, 2, 2, 1];
+        let pred = vec![0, 0, 1, 1, 1, 1, 2, 2, 0, 2];
+        let max = normalized_mutual_information(&truth, &pred, AverageMethod::Max);
+        let arith = normalized_mutual_information(&truth, &pred, AverageMethod::Arithmetic);
+        let min = normalized_mutual_information(&truth, &pred, AverageMethod::Min);
+        assert!(max <= arith + 1e-12);
+        assert!(arith <= min + 1e-12);
+    }
+}

@@ -1,0 +1,124 @@
+//! Rand index and Adjusted Rand Index.
+
+use crate::ContingencyTable;
+
+fn choose2(x: u64) -> f64 {
+    let x = x as f64;
+    x * (x - 1.0) / 2.0
+}
+
+/// The (unadjusted) Rand index: fraction of point pairs on which the two
+/// labelings agree. 1.0 for identical partitions.
+pub fn rand_index(truth: &[usize], prediction: &[usize]) -> f64 {
+    let table = ContingencyTable::from_labels(truth, prediction);
+    let n = table.total();
+    if n < 2 {
+        return 1.0;
+    }
+    let total_pairs = choose2(n);
+    let mut same_same = 0.0;
+    for i in 0..table.rows() {
+        for j in 0..table.cols() {
+            same_same += choose2(table.count(i, j));
+        }
+    }
+    let same_truth: f64 = table.row_sums().iter().map(|&a| choose2(a)).sum();
+    let same_pred: f64 = table.col_sums().iter().map(|&b| choose2(b)).sum();
+    // Agreements = pairs together in both + pairs separated in both.
+    let agreements = same_same + (total_pairs - same_truth - same_pred + same_same);
+    agreements / total_pairs
+}
+
+/// Adjusted Rand Index (Hubert & Arabie): chance-corrected Rand index,
+/// 1.0 for identical partitions, ~0 for random labelings, can be negative.
+pub fn adjusted_rand_index(truth: &[usize], prediction: &[usize]) -> f64 {
+    let table = ContingencyTable::from_labels(truth, prediction);
+    let n = table.total();
+    if n < 2 {
+        return 1.0;
+    }
+    let sum_ij: f64 = (0..table.rows())
+        .flat_map(|i| (0..table.cols()).map(move |j| (i, j)))
+        .map(|(i, j)| choose2(table.count(i, j)))
+        .sum();
+    let sum_a: f64 = table.row_sums().iter().map(|&a| choose2(a)).sum();
+    let sum_b: f64 = table.col_sums().iter().map(|&b| choose2(b)).sum();
+    let total_pairs = choose2(n);
+    let expected = sum_a * sum_b / total_pairs;
+    let max_index = 0.5 * (sum_a + sum_b);
+    if (max_index - expected).abs() < 1e-15 {
+        // Degenerate: both partitions trivial.
+        return if (sum_ij - expected).abs() < 1e-15 { 1.0 } else { 0.0 };
+    }
+    (sum_ij - expected) / (max_index - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions() {
+        let labels = vec![0, 0, 1, 1, 2, 2];
+        assert!((adjusted_rand_index(&labels, &labels) - 1.0).abs() < 1e-12);
+        assert!((rand_index(&labels, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn renamed_partitions_score_one() {
+        let truth = vec![0, 0, 1, 1];
+        let pred = vec![7, 7, 3, 3];
+        assert!((adjusted_rand_index(&truth, &pred) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_sklearn_example() {
+        // sklearn docs: ARI([0,0,1,1], [0,0,1,2]) = 0.5714...
+        let truth = vec![0, 0, 1, 1];
+        let pred = vec![0, 0, 1, 2];
+        let ari = adjusted_rand_index(&truth, &pred);
+        assert!((ari - 0.5714285714285714).abs() < 1e-9, "got {ari}");
+    }
+
+    #[test]
+    fn independent_labelings_near_zero_ari() {
+        let truth: Vec<usize> = (0..400).map(|i| i / 200).collect();
+        let pred: Vec<usize> = (0..400).map(|i| i % 2).collect();
+        let ari = adjusted_rand_index(&truth, &pred);
+        assert!(ari.abs() < 0.05, "got {ari}");
+        // ...while the plain Rand index stays around 0.5 here.
+        let ri = rand_index(&truth, &pred);
+        assert!(ri > 0.4 && ri < 0.6);
+    }
+
+    #[test]
+    fn single_cluster_vs_split() {
+        let truth = vec![0usize; 8];
+        let pred = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        // One partition is trivial: degenerate case, ARI defined as 0 here.
+        let ari = adjusted_rand_index(&truth, &pred);
+        assert!(ari.abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_symmetric() {
+        let a = vec![0, 0, 1, 1, 2, 2, 0, 1];
+        let b = vec![1, 0, 0, 2, 2, 1, 1, 0];
+        assert!((adjusted_rand_index(&a, &b) - adjusted_rand_index(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_can_be_negative() {
+        // Systematically anti-correlated assignment on a small example.
+        let truth = vec![0, 0, 1, 1];
+        let pred = vec![0, 1, 0, 1];
+        let ari = adjusted_rand_index(&truth, &pred);
+        assert!(ari <= 0.0);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        assert_eq!(adjusted_rand_index(&[0], &[0]), 1.0);
+        assert_eq!(adjusted_rand_index(&[], &[]), 1.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Contingency tables between two labelings of the same points.
+
+/// A contingency table: `counts[i][j]` is the number of points with true
+/// class `i` and predicted cluster `j` (after compaction of both label
+/// sets).
+#[derive(Debug, Clone)]
+pub struct ContingencyTable {
+    counts: Vec<Vec<u64>>,
+    row_sums: Vec<u64>,
+    col_sums: Vec<u64>,
+    total: u64,
+}
+
+impl ContingencyTable {
+    /// Build a contingency table from two equal-length label vectors.
+    /// Labels may be arbitrary `usize` values; they are compacted
+    /// internally.
+    ///
+    /// # Panics
+    /// Panics if the vectors have different lengths.
+    pub fn from_labels(truth: &[usize], prediction: &[usize]) -> Self {
+        assert_eq!(
+            truth.len(),
+            prediction.len(),
+            "contingency: label vectors must have equal length"
+        );
+        let (truth_compact, rows) = crate::labels::relabel_to_compact(truth);
+        let (pred_compact, cols) = crate::labels::relabel_to_compact(prediction);
+        let mut counts = vec![vec![0u64; cols]; rows];
+        for (&t, &p) in truth_compact.iter().zip(pred_compact.iter()) {
+            counts[t][p] += 1;
+        }
+        Self::from_counts(counts)
+    }
+
+    /// Build directly from a count matrix.
+    pub fn from_counts(counts: Vec<Vec<u64>>) -> Self {
+        let rows = counts.len();
+        let cols = counts.first().map(|r| r.len()).unwrap_or(0);
+        let mut row_sums = vec![0u64; rows];
+        let mut col_sums = vec![0u64; cols];
+        let mut total = 0u64;
+        for (i, row) in counts.iter().enumerate() {
+            assert_eq!(row.len(), cols, "contingency: ragged count matrix");
+            for (j, &c) in row.iter().enumerate() {
+                row_sums[i] += c;
+                col_sums[j] += c;
+                total += c;
+            }
+        }
+        Self {
+            counts,
+            row_sums,
+            col_sums,
+            total,
+        }
+    }
+
+    /// Number of true classes (rows).
+    pub fn rows(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of predicted clusters (columns).
+    pub fn cols(&self) -> usize {
+        self.col_sums.len()
+    }
+
+    /// Count of points with true class `i` and prediction `j`.
+    pub fn count(&self, i: usize, j: usize) -> u64 {
+        self.counts[i][j]
+    }
+
+    /// Row marginals (true class sizes).
+    pub fn row_sums(&self) -> &[u64] {
+        &self.row_sums
+    }
+
+    /// Column marginals (predicted cluster sizes).
+    pub fn col_sums(&self) -> &[u64] {
+        &self.col_sums
+    }
+
+    /// Total number of points.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_labels_counts_pairs() {
+        let truth = vec![0, 0, 1, 1, 1, 2];
+        let pred = vec![0, 0, 0, 1, 1, 1];
+        let t = ContingencyTable::from_labels(&truth, &pred);
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.count(0, 0), 2);
+        assert_eq!(t.count(1, 0), 1);
+        assert_eq!(t.count(1, 1), 2);
+        assert_eq!(t.count(2, 1), 1);
+        assert_eq!(t.total(), 6);
+        assert_eq!(t.row_sums(), &[2, 3, 1]);
+        assert_eq!(t.col_sums(), &[3, 3]);
+    }
+
+    #[test]
+    fn arbitrary_label_values_are_compacted() {
+        let truth = vec![100, 100, 7];
+        let pred = vec![usize::MAX, 3, 3];
+        let t = ContingencyTable::from_labels(&truth, &pred);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.total(), 3);
+    }
+
+    #[test]
+    fn empty_labels() {
+        let t = ContingencyTable::from_labels(&[], &[]);
+        assert_eq!(t.total(), 0);
+        assert_eq!(t.rows(), 0);
+        assert_eq!(t.cols(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn length_mismatch_panics() {
+        let _ = ContingencyTable::from_labels(&[0, 1], &[0]);
+    }
+
+    #[test]
+    fn marginals_sum_to_total() {
+        let truth = vec![0, 1, 2, 0, 1, 2, 0, 0];
+        let pred = vec![1, 1, 0, 0, 1, 0, 1, 1];
+        let t = ContingencyTable::from_labels(&truth, &pred);
+        assert_eq!(t.row_sums().iter().sum::<u64>(), t.total());
+        assert_eq!(t.col_sums().iter().sum::<u64>(), t.total());
+    }
+}

@@ -1,0 +1,122 @@
+//! Entropy and mutual information of labelings.
+
+use crate::ContingencyTable;
+
+/// Shannon entropy (in nats) of a label vector's empirical distribution.
+pub fn entropy_of_labels(labels: &[usize]) -> f64 {
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let mut counts = std::collections::HashMap::new();
+    for &l in labels {
+        *counts.entry(l).or_insert(0u64) += 1;
+    }
+    let n = labels.len() as f64;
+    counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Entropy of a marginal distribution given as counts.
+pub(crate) fn entropy_of_counts(counts: &[u64], total: u64) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let n = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Mutual information (in nats) between the two labelings summarized by a
+/// contingency table.
+pub fn mutual_information(table: &ContingencyTable) -> f64 {
+    let n = table.total() as f64;
+    if table.total() == 0 {
+        return 0.0;
+    }
+    let mut mi = 0.0;
+    for i in 0..table.rows() {
+        let a = table.row_sums()[i] as f64;
+        if a == 0.0 {
+            continue;
+        }
+        for j in 0..table.cols() {
+            let nij = table.count(i, j) as f64;
+            if nij == 0.0 {
+                continue;
+            }
+            let b = table.col_sums()[j] as f64;
+            mi += (nij / n) * ((nij * n) / (a * b)).ln();
+        }
+    }
+    mi.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_of_uniform_two_classes() {
+        let labels = vec![0, 0, 1, 1];
+        assert!((entropy_of_labels(&labels) - 2.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_single_class_is_zero() {
+        assert_eq!(entropy_of_labels(&[3, 3, 3, 3]), 0.0);
+        assert_eq!(entropy_of_labels(&[]), 0.0);
+    }
+
+    #[test]
+    fn entropy_of_uniform_k_classes_is_ln_k() {
+        let labels: Vec<usize> = (0..40).map(|i| i % 8).collect();
+        assert!((entropy_of_labels(&labels) - 8.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mutual_information_of_identical_labelings_is_entropy() {
+        let labels = vec![0, 0, 1, 1, 2, 2, 2, 2];
+        let t = ContingencyTable::from_labels(&labels, &labels);
+        let mi = mutual_information(&t);
+        assert!((mi - entropy_of_labels(&labels)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mutual_information_of_independent_labelings_is_zero() {
+        // Prediction splits every true class exactly in half -> MI = 0.
+        let truth = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let pred = vec![0, 0, 1, 1, 0, 0, 1, 1];
+        let t = ContingencyTable::from_labels(&truth, &pred);
+        assert!(mutual_information(&t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mutual_information_is_symmetric() {
+        let a = vec![0, 0, 1, 1, 2, 2, 0, 1];
+        let b = vec![1, 1, 0, 2, 2, 2, 1, 0];
+        let mi_ab = mutual_information(&ContingencyTable::from_labels(&a, &b));
+        let mi_ba = mutual_information(&ContingencyTable::from_labels(&b, &a));
+        assert!((mi_ab - mi_ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mutual_information_bounded_by_entropies() {
+        let a = vec![0, 0, 1, 1, 2, 2, 0, 1, 2, 0];
+        let b = vec![1, 0, 0, 2, 2, 1, 1, 0, 2, 1];
+        let mi = mutual_information(&ContingencyTable::from_labels(&a, &b));
+        assert!(mi <= entropy_of_labels(&a) + 1e-12);
+        assert!(mi <= entropy_of_labels(&b) + 1e-12);
+        assert!(mi >= 0.0);
+    }
+}

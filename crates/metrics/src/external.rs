@@ -1,0 +1,121 @@
+//! Additional external clustering metrics: purity, homogeneity,
+//! completeness and V-measure.
+
+use crate::contingency::ContingencyTable;
+use crate::entropy::{entropy_of_counts, mutual_information};
+
+/// Purity: every predicted cluster is assigned its majority true class; the
+/// score is the fraction of correctly "classified" points. Easy to inflate
+/// by over-clustering, but a useful sanity check.
+pub fn purity(truth: &[usize], prediction: &[usize]) -> f64 {
+    let table = ContingencyTable::from_labels(truth, prediction);
+    if table.total() == 0 {
+        return 0.0;
+    }
+    let mut correct = 0u64;
+    for j in 0..table.cols() {
+        let best = (0..table.rows()).map(|i| table.count(i, j)).max().unwrap_or(0);
+        correct += best;
+    }
+    correct as f64 / table.total() as f64
+}
+
+/// Homogeneity: 1 when every predicted cluster contains members of a single
+/// true class (`1 - H(truth | prediction) / H(truth)`).
+pub fn homogeneity(truth: &[usize], prediction: &[usize]) -> f64 {
+    let table = ContingencyTable::from_labels(truth, prediction);
+    let h_truth = entropy_of_counts(table.row_sums(), table.total());
+    if h_truth == 0.0 {
+        return 1.0;
+    }
+    let mi = mutual_information(&table);
+    (mi / h_truth).clamp(0.0, 1.0)
+}
+
+/// Completeness: 1 when all members of a true class end up in the same
+/// predicted cluster (`1 - H(prediction | truth) / H(prediction)`).
+pub fn completeness(truth: &[usize], prediction: &[usize]) -> f64 {
+    let table = ContingencyTable::from_labels(truth, prediction);
+    let h_pred = entropy_of_counts(table.col_sums(), table.total());
+    if h_pred == 0.0 {
+        return 1.0;
+    }
+    let mi = mutual_information(&table);
+    (mi / h_pred).clamp(0.0, 1.0)
+}
+
+/// V-measure: the harmonic mean of homogeneity and completeness.
+pub fn v_measure(truth: &[usize], prediction: &[usize]) -> f64 {
+    let h = homogeneity(truth, prediction);
+    let c = completeness(truth, prediction);
+    if h + c == 0.0 {
+        0.0
+    } else {
+        2.0 * h * c / (h + c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clustering_scores_one_everywhere() {
+        let labels = vec![0, 0, 1, 1, 2, 2];
+        assert!((purity(&labels, &labels) - 1.0).abs() < 1e-12);
+        assert!((homogeneity(&labels, &labels) - 1.0).abs() < 1e-12);
+        assert!((completeness(&labels, &labels) - 1.0).abs() < 1e-12);
+        assert!((v_measure(&labels, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn over_clustering_is_homogeneous_but_incomplete() {
+        // Every point in its own cluster.
+        let truth = vec![0, 0, 0, 1, 1, 1];
+        let pred = vec![0, 1, 2, 3, 4, 5];
+        assert!((homogeneity(&truth, &pred) - 1.0).abs() < 1e-12);
+        assert!(completeness(&truth, &pred) < 0.5);
+        assert!((purity(&truth, &pred) - 1.0).abs() < 1e-12);
+        assert!(v_measure(&truth, &pred) < 1.0);
+    }
+
+    #[test]
+    fn under_clustering_is_complete_but_not_homogeneous() {
+        let truth = vec![0, 0, 0, 1, 1, 1];
+        let pred = vec![0usize; 6];
+        assert!((completeness(&truth, &pred) - 1.0).abs() < 1e-12);
+        assert!(homogeneity(&truth, &pred) < 1e-12);
+        assert!(v_measure(&truth, &pred) < 1e-12);
+        assert!((purity(&truth, &pred) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn purity_of_majority_assignment() {
+        let truth = vec![0, 0, 0, 1, 1, 2];
+        let pred = vec![0, 0, 1, 1, 1, 1];
+        // cluster 0: majority class 0 (2 points); cluster 1: majority class 1 (2 points)
+        assert!((purity(&truth, &pred) - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn v_measure_symmetry() {
+        let a = vec![0, 0, 1, 1, 2, 2, 0];
+        let b = vec![1, 1, 0, 2, 2, 0, 1];
+        assert!((v_measure(&a, &b) - v_measure(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(purity(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn scores_are_bounded() {
+        let truth = vec![0, 1, 2, 0, 1, 2, 1, 1, 0, 2, 2, 2];
+        let pred = vec![0, 0, 1, 1, 2, 2, 0, 1, 2, 0, 1, 2];
+        for f in [purity, homogeneity, completeness, v_measure] {
+            let s = f(&truth, &pred);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

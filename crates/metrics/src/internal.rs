@@ -1,0 +1,367 @@
+//! Internal (ground-truth-free) cluster validation indices.
+//!
+//! The paper scores every experiment with AMI against known labels, but a
+//! downstream user of AdaWave rarely has ground truth. These indices rate a
+//! clustering from the geometry of the points alone and are useful for
+//! picking a grid scale or threshold strategy in the wild:
+//!
+//! * [`silhouette_score`] — mean silhouette width, in `[-1, 1]`, higher is
+//!   better.
+//! * [`davies_bouldin`] — average worst-case ratio of within-cluster scatter
+//!   to between-cluster separation, lower is better.
+//! * [`calinski_harabasz`] — ratio of between-group to within-group
+//!   dispersion, higher is better.
+//! * [`dunn_index`] — smallest inter-cluster distance over largest cluster
+//!   diameter, higher is better.
+//!
+//! All functions take per-point labels as `Option<usize>`; `None` marks
+//! noise and is excluded from the computation, mirroring how the paper
+//! excludes noise points from AMI on the synthetic benchmarks.
+
+/// Squared Euclidean distance between two points.
+fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance between two points.
+fn distance(a: &[f64], b: &[f64]) -> f64 {
+    squared_distance(a, b).sqrt()
+}
+
+/// Collect the indices of the members of each cluster, ignoring noise.
+/// Returns an empty vector if labels and points disagree in length.
+fn members_by_cluster(labels: &[Option<usize>]) -> Vec<Vec<usize>> {
+    let k = labels.iter().flatten().copied().max().map_or(0, |m| m + 1);
+    let mut members = vec![Vec::new(); k];
+    for (i, l) in labels.iter().enumerate() {
+        if let Some(c) = l {
+            members[*c].push(i);
+        }
+    }
+    members.retain(|m| !m.is_empty());
+    members
+}
+
+/// Centroid of the points at the given indices.
+fn centroid(points: &[Vec<f64>], indices: &[usize]) -> Vec<f64> {
+    let dims = points[0].len();
+    let mut c = vec![0.0; dims];
+    for &i in indices {
+        for (acc, v) in c.iter_mut().zip(points[i].iter()) {
+            *acc += v;
+        }
+    }
+    for v in c.iter_mut() {
+        *v /= indices.len() as f64;
+    }
+    c
+}
+
+/// Mean silhouette width over all non-noise points.
+///
+/// For each point `i`, `a(i)` is its mean distance to the other members of
+/// its own cluster and `b(i)` the smallest mean distance to any other
+/// cluster; the silhouette of `i` is `(b - a) / max(a, b)`. Returns `0.0`
+/// when fewer than two clusters have at least one member, or when every
+/// cluster is a singleton (the index is undefined in both cases).
+///
+/// Complexity is `O(n²)` over the non-noise points, so subsample large
+/// datasets before calling this.
+pub fn silhouette_score(points: &[Vec<f64>], labels: &[Option<usize>]) -> f64 {
+    assert_eq!(points.len(), labels.len(), "points/labels length mismatch");
+    let members = members_by_cluster(labels);
+    if members.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for (ci, cluster) in members.iter().enumerate() {
+        if cluster.len() < 2 {
+            // The silhouette of a singleton is defined as 0.
+            counted += cluster.len();
+            continue;
+        }
+        for &i in cluster {
+            let a: f64 = cluster
+                .iter()
+                .filter(|&&j| j != i)
+                .map(|&j| distance(&points[i], &points[j]))
+                .sum::<f64>()
+                / (cluster.len() - 1) as f64;
+            let mut b = f64::MAX;
+            for (cj, other) in members.iter().enumerate() {
+                if cj == ci {
+                    continue;
+                }
+                let mean: f64 = other
+                    .iter()
+                    .map(|&j| distance(&points[i], &points[j]))
+                    .sum::<f64>()
+                    / other.len() as f64;
+                if mean < b {
+                    b = mean;
+                }
+            }
+            let denom = a.max(b);
+            if denom > 0.0 {
+                total += (b - a) / denom;
+            }
+            counted += 1;
+        }
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+/// Davies–Bouldin index (lower is better, 0 is ideal).
+///
+/// For each cluster the scatter is the mean distance of its members to its
+/// centroid; the index averages, over clusters, the worst ratio
+/// `(scatter_i + scatter_j) / distance(centroid_i, centroid_j)`. Returns
+/// `0.0` when fewer than two clusters have members.
+pub fn davies_bouldin(points: &[Vec<f64>], labels: &[Option<usize>]) -> f64 {
+    assert_eq!(points.len(), labels.len(), "points/labels length mismatch");
+    let members = members_by_cluster(labels);
+    let k = members.len();
+    if k < 2 {
+        return 0.0;
+    }
+    let centroids: Vec<Vec<f64>> = members.iter().map(|m| centroid(points, m)).collect();
+    let scatter: Vec<f64> = members
+        .iter()
+        .zip(centroids.iter())
+        .map(|(m, c)| m.iter().map(|&i| distance(&points[i], c)).sum::<f64>() / m.len() as f64)
+        .collect();
+    let mut sum = 0.0;
+    for i in 0..k {
+        let mut worst: f64 = 0.0;
+        for j in 0..k {
+            if i == j {
+                continue;
+            }
+            let separation = distance(&centroids[i], &centroids[j]);
+            if separation > 0.0 {
+                worst = worst.max((scatter[i] + scatter[j]) / separation);
+            }
+        }
+        sum += worst;
+    }
+    sum / k as f64
+}
+
+/// Calinski–Harabasz index (a.k.a. variance ratio criterion; higher is
+/// better).
+///
+/// `CH = (between-group dispersion / (k - 1)) / (within-group dispersion /
+/// (n - k))`. Returns `0.0` when fewer than two clusters have members or
+/// when the within-group dispersion is zero.
+pub fn calinski_harabasz(points: &[Vec<f64>], labels: &[Option<usize>]) -> f64 {
+    assert_eq!(points.len(), labels.len(), "points/labels length mismatch");
+    let members = members_by_cluster(labels);
+    let k = members.len();
+    if k < 2 {
+        return 0.0;
+    }
+    let all: Vec<usize> = members.iter().flatten().copied().collect();
+    let n = all.len();
+    if n <= k {
+        return 0.0;
+    }
+    let overall = centroid(points, &all);
+    let mut between = 0.0;
+    let mut within = 0.0;
+    for m in &members {
+        let c = centroid(points, m);
+        between += m.len() as f64 * squared_distance(&c, &overall);
+        within += m
+            .iter()
+            .map(|&i| squared_distance(&points[i], &c))
+            .sum::<f64>();
+    }
+    if within <= 0.0 {
+        return 0.0;
+    }
+    (between / (k - 1) as f64) / (within / (n - k) as f64)
+}
+
+/// Dunn index: minimum inter-cluster (single-linkage) distance divided by
+/// the maximum cluster diameter (higher is better).
+///
+/// Returns `0.0` when fewer than two clusters have members or when every
+/// cluster has zero diameter. `O(n²)` over non-noise points.
+pub fn dunn_index(points: &[Vec<f64>], labels: &[Option<usize>]) -> f64 {
+    assert_eq!(points.len(), labels.len(), "points/labels length mismatch");
+    let members = members_by_cluster(labels);
+    let k = members.len();
+    if k < 2 {
+        return 0.0;
+    }
+    let mut max_diameter: f64 = 0.0;
+    for m in &members {
+        for (a_pos, &a) in m.iter().enumerate() {
+            for &b in &m[a_pos + 1..] {
+                max_diameter = max_diameter.max(distance(&points[a], &points[b]));
+            }
+        }
+    }
+    if max_diameter <= 0.0 {
+        return 0.0;
+    }
+    let mut min_separation = f64::MAX;
+    for i in 0..k {
+        for j in i + 1..k {
+            for &a in &members[i] {
+                for &b in &members[j] {
+                    min_separation = min_separation.min(distance(&points[a], &points[b]));
+                }
+            }
+        }
+    }
+    min_separation / max_diameter
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tight, well separated clusters of 4 points each.
+    fn separated() -> (Vec<Vec<f64>>, Vec<Option<usize>>) {
+        let mut points = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..4 {
+            points.push(vec![0.0 + 0.01 * i as f64, 0.0]);
+            labels.push(Some(0));
+        }
+        for i in 0..4 {
+            points.push(vec![10.0 + 0.01 * i as f64, 10.0]);
+            labels.push(Some(1));
+        }
+        (points, labels)
+    }
+
+    /// The same points with the clusters interleaved (a bad clustering).
+    fn shuffled_labels() -> (Vec<Vec<f64>>, Vec<Option<usize>>) {
+        let (points, _) = separated();
+        let labels = (0..points.len()).map(|i| Some(i % 2)).collect();
+        (points, labels)
+    }
+
+    #[test]
+    fn silhouette_high_for_separated_low_for_shuffled() {
+        let (points, labels) = separated();
+        let good = silhouette_score(&points, &labels);
+        assert!(good > 0.95, "good {good}");
+        let (points, labels) = shuffled_labels();
+        let bad = silhouette_score(&points, &labels);
+        assert!(bad < 0.1, "bad {bad}");
+        assert!(good > bad);
+    }
+
+    #[test]
+    fn silhouette_degenerate_cases() {
+        let points = vec![vec![0.0], vec![1.0]];
+        // Single cluster: undefined, returns 0.
+        assert_eq!(silhouette_score(&points, &[Some(0), Some(0)]), 0.0);
+        // All noise: returns 0.
+        assert_eq!(silhouette_score(&points, &[None, None]), 0.0);
+        // Two singleton clusters: silhouette of singletons is 0.
+        assert_eq!(silhouette_score(&points, &[Some(0), Some(1)]), 0.0);
+    }
+
+    #[test]
+    fn silhouette_ignores_noise_points() {
+        let (mut points, mut labels) = separated();
+        let clean = silhouette_score(&points, &labels);
+        // Add garbage points marked as noise: the score must not change.
+        points.push(vec![5.0, 5.0]);
+        labels.push(None);
+        points.push(vec![-3.0, 8.0]);
+        labels.push(None);
+        let with_noise = silhouette_score(&points, &labels);
+        assert!((clean - with_noise).abs() < 1e-12);
+    }
+
+    #[test]
+    fn davies_bouldin_prefers_separated_clusters() {
+        let (points, labels) = separated();
+        let good = davies_bouldin(&points, &labels);
+        let (points, labels) = shuffled_labels();
+        let bad = davies_bouldin(&points, &labels);
+        assert!(good < bad, "good {good} bad {bad}");
+        assert!(good < 0.1);
+    }
+
+    #[test]
+    fn davies_bouldin_degenerate_is_zero() {
+        let points = vec![vec![0.0], vec![1.0]];
+        assert_eq!(davies_bouldin(&points, &[Some(0), Some(0)]), 0.0);
+        assert_eq!(davies_bouldin(&points, &[None, None]), 0.0);
+    }
+
+    #[test]
+    fn calinski_harabasz_prefers_separated_clusters() {
+        let (points, labels) = separated();
+        let good = calinski_harabasz(&points, &labels);
+        let (points, labels) = shuffled_labels();
+        let bad = calinski_harabasz(&points, &labels);
+        assert!(good > 100.0 * bad.max(1e-12), "good {good} bad {bad}");
+    }
+
+    #[test]
+    fn calinski_harabasz_degenerate_is_zero() {
+        let points = vec![vec![0.0], vec![1.0], vec![2.0]];
+        assert_eq!(calinski_harabasz(&points, &[Some(0), Some(0), Some(0)]), 0.0);
+        // n == k (all singletons) is undefined -> 0.
+        assert_eq!(
+            calinski_harabasz(&points, &[Some(0), Some(1), Some(2)]),
+            0.0
+        );
+    }
+
+    #[test]
+    fn dunn_index_prefers_separated_clusters() {
+        let (points, labels) = separated();
+        let good = dunn_index(&points, &labels);
+        let (points, labels) = shuffled_labels();
+        let bad = dunn_index(&points, &labels);
+        assert!(good > 10.0, "good {good}");
+        assert!(bad <= 1.5, "bad {bad}");
+    }
+
+    #[test]
+    fn dunn_index_degenerate_is_zero() {
+        let points = vec![vec![0.0], vec![0.0]];
+        // Two clusters with identical points: zero diameter AND zero
+        // separation — defined as 0 here.
+        assert_eq!(dunn_index(&points, &[Some(0), Some(1)]), 0.0);
+        assert_eq!(dunn_index(&points, &[Some(0), Some(0)]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        silhouette_score(&[vec![0.0]], &[Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn indices_agree_on_ranking_three_blobs() {
+        // Three blobs; compare correct labels against a 2-cluster merge.
+        let mut points = Vec::new();
+        let mut good = Vec::new();
+        let mut merged = Vec::new();
+        for c in 0..3usize {
+            for i in 0..6 {
+                points.push(vec![c as f64 * 5.0 + 0.05 * i as f64, 0.0]);
+                good.push(Some(c));
+                merged.push(Some(c.min(1)));
+            }
+        }
+        assert!(silhouette_score(&points, &good) > silhouette_score(&points, &merged));
+        assert!(davies_bouldin(&points, &good) < davies_bouldin(&points, &merged));
+        assert!(calinski_harabasz(&points, &good) > calinski_harabasz(&points, &merged));
+        assert!(dunn_index(&points, &good) > dunn_index(&points, &merged));
+    }
+}

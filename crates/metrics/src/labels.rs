@@ -1,0 +1,65 @@
+//! Label vector utilities shared by all metrics.
+
+/// Conventional label used for "noise" when converting optional cluster
+/// assignments to dense label vectors. Chosen large enough to never collide
+/// with real cluster ids.
+pub const NOISE_LABEL: usize = usize::MAX;
+
+/// Convert a vector of optional cluster assignments (as produced by
+/// AdaWave / DBSCAN, where `None` means noise) into a plain label vector,
+/// mapping `None` to [`NOISE_LABEL`].
+pub fn labels_from_options(assignment: &[Option<usize>]) -> Vec<usize> {
+    assignment
+        .iter()
+        .map(|a| a.unwrap_or(NOISE_LABEL))
+        .collect()
+}
+
+/// Relabel an arbitrary label vector to compact ids `0..k`, preserving the
+/// partition. Returns the relabeled vector and `k`.
+pub fn relabel_to_compact(labels: &[usize]) -> (Vec<usize>, usize) {
+    let mut mapping = std::collections::HashMap::new();
+    let mut out = Vec::with_capacity(labels.len());
+    for &l in labels {
+        let next = mapping.len();
+        let id = *mapping.entry(l).or_insert(next);
+        out.push(id);
+    }
+    (out, mapping.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_to_labels() {
+        let assignment = vec![Some(0), None, Some(2), Some(0)];
+        let labels = labels_from_options(&assignment);
+        assert_eq!(labels, vec![0, NOISE_LABEL, 2, 0]);
+    }
+
+    #[test]
+    fn relabel_compacts_and_preserves_partition() {
+        let labels = vec![42, 7, 42, 100, 7];
+        let (compact, k) = relabel_to_compact(&labels);
+        assert_eq!(k, 3);
+        assert_eq!(compact, vec![0, 1, 0, 2, 1]);
+    }
+
+    #[test]
+    fn relabel_empty() {
+        let (compact, k) = relabel_to_compact(&[]);
+        assert!(compact.is_empty());
+        assert_eq!(k, 0);
+    }
+
+    #[test]
+    fn relabel_noise_label_is_just_another_class() {
+        let labels = vec![NOISE_LABEL, 0, NOISE_LABEL];
+        let (compact, k) = relabel_to_compact(&labels);
+        assert_eq!(k, 2);
+        assert_eq!(compact[0], compact[2]);
+        assert_ne!(compact[0], compact[1]);
+    }
+}

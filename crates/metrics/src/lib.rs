@@ -1,0 +1,44 @@
+//! # adawave-metrics
+//!
+//! Clustering-quality metrics for the AdaWave reproduction.
+//!
+//! The paper evaluates every algorithm with **Adjusted Mutual Information**
+//! (AMI), "a standard metric ranging from 0 at worst to 1 at best", and for
+//! the synthetic experiments scores only the points that truly belong to a
+//! cluster (noise points are excluded from the ground truth). This crate
+//! implements AMI with the exact expected-mutual-information correction
+//! (hypergeometric model), plus the related external metrics commonly used
+//! as sanity checks: NMI, the Adjusted Rand Index, V-measure (homogeneity /
+//! completeness) and purity. For users without ground truth the [`internal`]
+//! module adds geometry-only validation indices (silhouette, Davies–Bouldin,
+//! Calinski–Harabasz, Dunn).
+//!
+//! ```
+//! use adawave_metrics::{ami, adjusted_rand_index};
+//!
+//! let truth =      vec![0, 0, 0, 1, 1, 1, 2, 2, 2];
+//! let prediction = vec![1, 1, 1, 0, 0, 0, 2, 2, 2]; // same partition, renamed
+//! assert!((ami(&truth, &prediction) - 1.0).abs() < 1e-9);
+//! assert!((adjusted_rand_index(&truth, &prediction) - 1.0).abs() < 1e-9);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod ami;
+pub mod ari;
+pub mod contingency;
+pub mod entropy;
+pub mod external;
+pub mod internal;
+pub mod labels;
+pub mod special;
+
+pub use ami::{adjusted_mutual_information, ami, ami_ignoring_noise, normalized_mutual_information, AverageMethod};
+pub use ari::{adjusted_rand_index, rand_index};
+pub use contingency::ContingencyTable;
+pub use entropy::{entropy_of_labels, mutual_information};
+pub use external::{completeness, homogeneity, purity, v_measure};
+pub use internal::{calinski_harabasz, davies_bouldin, dunn_index, silhouette_score};
+pub use labels::{labels_from_options, relabel_to_compact, NOISE_LABEL};
+pub use special::{ln_binomial, ln_factorial, ln_gamma};

@@ -1,0 +1,201 @@
+//! Property-based tests for the clustering metrics.
+
+use adawave_metrics::{
+    adjusted_rand_index, ami, completeness, homogeneity, normalized_mutual_information, purity,
+    v_measure, AverageMethod, ContingencyTable,
+};
+use proptest::prelude::*;
+
+fn labels_strategy(max_classes: usize, len: usize) -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0usize..max_classes, len..len + 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ami_identity_is_one(labels in labels_strategy(5, 40)) {
+        // Needs at least two distinct classes for the score to be defined as 1;
+        // a single class is the degenerate "both trivial" case, also 1.
+        let score = ami(&labels, &labels);
+        prop_assert!((score - 1.0).abs() < 1e-9, "got {score}");
+    }
+
+    #[test]
+    fn ami_is_symmetric(a in labels_strategy(4, 30), b in labels_strategy(4, 30)) {
+        prop_assert!((ami(&a, &b) - ami(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ami_invariant_to_label_permutation(labels in labels_strategy(4, 30), truth in labels_strategy(3, 30)) {
+        // Applying an injective rename to the prediction labels leaves AMI unchanged.
+        let renamed: Vec<usize> = labels.iter().map(|&l| l * 17 + 3).collect();
+        let a = ami(&truth, &labels);
+        let b = ami(&truth, &renamed);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ami_upper_bound(a in labels_strategy(5, 40), b in labels_strategy(5, 40)) {
+        prop_assert!(ami(&a, &b) <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn nmi_bounds(a in labels_strategy(5, 40), b in labels_strategy(5, 40)) {
+        let s = normalized_mutual_information(&a, &b, AverageMethod::Arithmetic);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&s));
+    }
+
+    #[test]
+    fn ari_symmetric_and_bounded(a in labels_strategy(4, 30), b in labels_strategy(4, 30)) {
+        let ab = adjusted_rand_index(&a, &b);
+        let ba = adjusted_rand_index(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!(ab <= 1.0 + 1e-12);
+        prop_assert!(ab >= -1.0 - 1e-12);
+    }
+
+    #[test]
+    fn ari_identity_is_one(labels in labels_strategy(6, 25)) {
+        prop_assert!((adjusted_rand_index(&labels, &labels) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn v_measure_is_harmonic_mean(a in labels_strategy(4, 30), b in labels_strategy(4, 30)) {
+        let h = homogeneity(&a, &b);
+        let c = completeness(&a, &b);
+        let v = v_measure(&a, &b);
+        if h + c > 0.0 {
+            prop_assert!((v - 2.0 * h * c / (h + c)).abs() < 1e-9);
+        } else {
+            prop_assert_eq!(v, 0.0);
+        }
+    }
+
+    #[test]
+    fn homogeneity_completeness_duality(a in labels_strategy(4, 30), b in labels_strategy(4, 30)) {
+        // homogeneity(a, b) == completeness(b, a)
+        prop_assert!((homogeneity(&a, &b) - completeness(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn purity_bounds_and_monotonicity(truth in labels_strategy(4, 40)) {
+        // Purity of the all-singletons prediction is 1; of a single blob it is
+        // the share of the majority class.
+        let singletons: Vec<usize> = (0..truth.len()).collect();
+        prop_assert!((purity(&truth, &singletons) - 1.0).abs() < 1e-12);
+        let blob = vec![0usize; truth.len()];
+        let mut counts = std::collections::HashMap::new();
+        for &t in &truth {
+            *counts.entry(t).or_insert(0usize) += 1;
+        }
+        let majority = *counts.values().max().unwrap() as f64 / truth.len() as f64;
+        prop_assert!((purity(&truth, &blob) - majority).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contingency_marginals_consistent(a in labels_strategy(5, 50), b in labels_strategy(5, 50)) {
+        let t = ContingencyTable::from_labels(&a, &b);
+        prop_assert_eq!(t.total() as usize, a.len());
+        prop_assert_eq!(t.row_sums().iter().sum::<u64>(), t.total());
+        prop_assert_eq!(t.col_sums().iter().sum::<u64>(), t.total());
+        let mut cell_sum = 0;
+        for i in 0..t.rows() {
+            for j in 0..t.cols() {
+                cell_sum += t.count(i, j);
+            }
+        }
+        prop_assert_eq!(cell_sum, t.total());
+    }
+
+    #[test]
+    fn ami_of_refinement_is_positive(truth in labels_strategy(3, 60)) {
+        // A strict refinement of the truth (split each class deterministically
+        // in two) still shares information with it.
+        let refined: Vec<usize> = truth.iter().enumerate().map(|(i, &l)| l * 2 + (i % 2)).collect();
+        let distinct = truth.iter().collect::<std::collections::HashSet<_>>().len();
+        prop_assume!(distinct >= 2);
+        prop_assert!(ami(&truth, &refined) > 0.0);
+    }
+}
+
+mod internal_properties {
+    use adawave_metrics::{calinski_harabasz, davies_bouldin, dunn_index, silhouette_score};
+    use proptest::prelude::*;
+
+    /// Random labeled points in the unit square with up to `k` clusters.
+    fn labeled_points(
+        k: usize,
+    ) -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<Option<usize>>)> {
+        prop::collection::vec(
+            ((0.0f64..1.0, 0.0f64..1.0), prop::option::weighted(0.9, 0usize..k)),
+            4..60,
+        )
+        .prop_map(|rows| {
+            let points = rows.iter().map(|((x, y), _)| vec![*x, *y]).collect();
+            let labels = rows.iter().map(|(_, l)| *l).collect();
+            (points, labels)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn silhouette_is_bounded((points, labels) in labeled_points(4)) {
+            let s = silhouette_score(&points, &labels);
+            prop_assert!((-1.0..=1.0).contains(&s), "silhouette {s}");
+        }
+
+        #[test]
+        fn davies_bouldin_and_ch_and_dunn_are_non_negative((points, labels) in labeled_points(4)) {
+            prop_assert!(davies_bouldin(&points, &labels) >= 0.0);
+            prop_assert!(calinski_harabasz(&points, &labels) >= 0.0);
+            prop_assert!(dunn_index(&points, &labels) >= 0.0);
+        }
+
+        #[test]
+        fn indices_are_invariant_to_cluster_id_permutation((points, labels) in labeled_points(3)) {
+            // Renaming cluster ids must not change any geometric index.
+            let renamed: Vec<Option<usize>> = labels.iter().map(|l| l.map(|c| 2 - c)).collect();
+            let close = |a: f64, b: f64| (a - b).abs() < 1e-9;
+            prop_assert!(close(
+                silhouette_score(&points, &labels),
+                silhouette_score(&points, &renamed)
+            ));
+            prop_assert!(close(
+                davies_bouldin(&points, &labels),
+                davies_bouldin(&points, &renamed)
+            ));
+            prop_assert!(close(
+                calinski_harabasz(&points, &labels),
+                calinski_harabasz(&points, &renamed)
+            ));
+            prop_assert!(close(
+                dunn_index(&points, &labels),
+                dunn_index(&points, &renamed)
+            ));
+        }
+
+        #[test]
+        fn indices_are_invariant_to_global_translation((points, labels) in labeled_points(3), shift in -10.0f64..10.0) {
+            let moved: Vec<Vec<f64>> = points
+                .iter()
+                .map(|p| p.iter().map(|v| v + shift).collect())
+                .collect();
+            let close = |a: f64, b: f64| (a - b).abs() < 1e-6 * (1.0 + a.abs());
+            prop_assert!(close(
+                silhouette_score(&points, &labels),
+                silhouette_score(&moved, &labels)
+            ));
+            prop_assert!(close(
+                davies_bouldin(&points, &labels),
+                davies_bouldin(&moved, &labels)
+            ));
+            prop_assert!(close(
+                dunn_index(&points, &labels),
+                dunn_index(&moved, &labels)
+            ));
+        }
+    }
+}

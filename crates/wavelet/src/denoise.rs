@@ -1,0 +1,128 @@
+//! Coefficient thresholding helpers.
+//!
+//! After a wavelet transform, "many wavelet coefficients are close to zero,
+//! which generally refers to the noise" (§III-B, *low entropy*). Removing
+//! low-value coefficients is the first, automatic denoising step of both
+//! WaveCluster and AdaWave; these helpers implement the standard hard and
+//! soft thresholding rules plus the universal (VisuShrink) threshold.
+
+/// Hard thresholding: zero every coefficient with `|c| < threshold`,
+/// leave the rest untouched.
+pub fn hard_threshold(coefficients: &mut [f64], threshold: f64) {
+    for c in coefficients.iter_mut() {
+        if c.abs() < threshold {
+            *c = 0.0;
+        }
+    }
+}
+
+/// Soft thresholding (shrinkage): zero small coefficients and shrink the
+/// remaining ones towards zero by `threshold`.
+pub fn soft_threshold(coefficients: &mut [f64], threshold: f64) {
+    for c in coefficients.iter_mut() {
+        let magnitude = c.abs() - threshold;
+        *c = if magnitude <= 0.0 {
+            0.0
+        } else {
+            magnitude * c.signum()
+        };
+    }
+}
+
+/// The universal (VisuShrink) threshold `sigma * sqrt(2 ln n)`, where
+/// `sigma` is estimated from the median absolute deviation of the finest
+/// detail coefficients (`sigma = MAD / 0.6745`).
+///
+/// Returns 0.0 for empty input.
+pub fn universal_threshold(finest_detail: &[f64]) -> f64 {
+    let n = finest_detail.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut abs: Vec<f64> = finest_detail.iter().map(|c| c.abs()).collect();
+    abs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = if n % 2 == 1 {
+        abs[n / 2]
+    } else {
+        0.5 * (abs[n / 2 - 1] + abs[n / 2])
+    };
+    let sigma = median / 0.6745;
+    sigma * (2.0 * (n as f64).ln()).sqrt()
+}
+
+/// Fraction of coefficients that are exactly zero — a direct measure of the
+/// "low entropy" / sparsity property the paper describes.
+pub fn sparsity(coefficients: &[f64]) -> f64 {
+    if coefficients.is_empty() {
+        return 0.0;
+    }
+    let zeros = coefficients.iter().filter(|&&c| c == 0.0).count();
+    zeros as f64 / coefficients.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hard_threshold_zeroes_small_keeps_large() {
+        let mut c = vec![0.1, -0.2, 3.0, -4.0, 0.0];
+        hard_threshold(&mut c, 0.5);
+        assert_eq!(c, vec![0.0, 0.0, 3.0, -4.0, 0.0]);
+    }
+
+    #[test]
+    fn soft_threshold_shrinks_large() {
+        let mut c = vec![0.1, -0.2, 3.0, -4.0];
+        soft_threshold(&mut c, 0.5);
+        assert_eq!(c, vec![0.0, 0.0, 2.5, -3.5]);
+    }
+
+    #[test]
+    fn soft_threshold_is_continuous_at_threshold() {
+        let mut at = vec![0.5];
+        soft_threshold(&mut at, 0.5);
+        assert_eq!(at, vec![0.0]);
+        let mut just_above = vec![0.5 + 1e-9];
+        soft_threshold(&mut just_above, 0.5);
+        assert!(just_above[0] > 0.0 && just_above[0] < 1e-8);
+    }
+
+    #[test]
+    fn zero_threshold_is_identity_for_hard() {
+        let orig = vec![0.3, -0.7, 2.0];
+        let mut c = orig.clone();
+        hard_threshold(&mut c, 0.0);
+        assert_eq!(c, orig);
+    }
+
+    #[test]
+    fn universal_threshold_scales_with_noise() {
+        let small_noise: Vec<f64> = (0..100).map(|i| ((i % 7) as f64 - 3.0) * 0.01).collect();
+        let big_noise: Vec<f64> = small_noise.iter().map(|x| x * 10.0).collect();
+        let t_small = universal_threshold(&small_noise);
+        let t_big = universal_threshold(&big_noise);
+        assert!(t_big > t_small);
+        assert!((t_big / t_small - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn universal_threshold_empty_is_zero() {
+        assert_eq!(universal_threshold(&[]), 0.0);
+    }
+
+    #[test]
+    fn sparsity_counts_zeros() {
+        assert_eq!(sparsity(&[0.0, 1.0, 0.0, 2.0]), 0.5);
+        assert_eq!(sparsity(&[]), 0.0);
+        assert_eq!(sparsity(&[0.0; 4]), 1.0);
+    }
+
+    #[test]
+    fn thresholding_increases_sparsity() {
+        let mut c: Vec<f64> = (0..50).map(|i| (i as f64 * 0.37).sin()).collect();
+        let before = sparsity(&c);
+        hard_threshold(&mut c, 0.5);
+        assert!(sparsity(&c) > before);
+    }
+}

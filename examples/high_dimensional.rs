@@ -1,0 +1,64 @@
+//! Clustering in higher dimensions with the "grid labeling" structure
+//! (§IV-A / §VI of the paper).
+//!
+//! ```text
+//! cargo run -p adawave-bench --release --example high_dimensional
+//! ```
+//!
+//! Dense-grid wavelet clustering (WaveCluster) needs `scale^d` cells, which
+//! is hopeless beyond a handful of dimensions. AdaWave stores only occupied
+//! cells and prunes the transform to a cell budget, so the same code runs
+//! from 2-D to 20-D. The example clusters three Gaussian blobs plus uniform
+//! noise at increasing dimensionality and reports quality, occupied cells
+//! and the dense-grid size the classic approach would have needed.
+
+use adawave_core::{AdaWave, AdaWaveConfig};
+use adawave_data::{shapes, Rng};
+use adawave_metrics::{ami_ignoring_noise, NOISE_LABEL};
+
+fn dataset(dims: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let mut rng = Rng::new(seed);
+    let mut points = Vec::new();
+    let mut truth = Vec::new();
+    let per_cluster = 1200;
+    for (label, center_value) in [0.25, 0.5, 0.75].iter().enumerate() {
+        let center = vec![*center_value; dims];
+        let spread = vec![0.04; dims];
+        shapes::gaussian_blob(&mut points, &mut rng, &center, &spread, per_cluster);
+        truth.extend(std::iter::repeat(label).take(per_cluster));
+    }
+    let noise = 2 * per_cluster;
+    shapes::uniform_box(&mut points, &mut rng, &vec![0.0; dims], &vec![1.0; dims], noise);
+    truth.extend(std::iter::repeat(3usize).take(noise));
+    (points, truth)
+}
+
+fn main() {
+    println!("{:>4} {:>8} {:>10} {:>14} {:>22}", "d", "scale", "AMI", "occupied", "dense grid would need");
+    for dims in [2usize, 4, 8, 12, 16, 20] {
+        let (points, truth) = dataset(dims, 31);
+        // Grid methods must coarsen the grid as the dimension grows (§VI of
+        // the paper): keep the *dense-equivalent* cell count roughly constant
+        // by choosing scale ≈ 2^(32/d), so cluster cells still accumulate
+        // enough points to stand out from the noise.
+        let scale = (2f64.powf(32.0 / dims as f64)).round().clamp(4.0, 64.0) as u32;
+        let config = AdaWaveConfig::builder().scale(scale).build();
+        let result = AdaWave::new(config).fit(&points).expect("adawave");
+        let score = ami_ignoring_noise(&truth, &result.to_labels(NOISE_LABEL), 3);
+        let scale = result.stats().intervals[0];
+        let dense_cells = (scale as f64).powi(dims as i32);
+        println!(
+            "{:>4} {:>8} {:>10.3} {:>14} {:>18.2e} cells",
+            dims,
+            scale,
+            score,
+            result.stats().quantized_cells,
+            dense_cells
+        );
+    }
+    println!();
+    println!(
+        "The occupied-cell column stays bounded by the number of points while the\n\
+         dense grid grows as scale^d — the memory argument of §IV-A in practice."
+    );
+}

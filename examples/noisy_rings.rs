@@ -1,0 +1,75 @@
+//! Arbitrarily-shaped clusters in heavy noise: the scenario that motivates
+//! AdaWave in the paper's introduction (ring-shaped clusters that
+//! centroid-based and model-based methods cannot represent).
+//!
+//! ```text
+//! cargo run -p adawave-bench --release --example noisy_rings
+//! ```
+//!
+//! Builds two overlapping rings plus a sloping line segment in 70% uniform
+//! noise, then compares AdaWave with k-means, EM and DBSCAN.
+
+use adawave_baselines::{dbscan, em, kmeans, DbscanConfig, EmConfig, KMeansConfig};
+use adawave_core::AdaWave;
+use adawave_data::{shapes, Rng};
+use adawave_metrics::{ami_ignoring_noise, NOISE_LABEL};
+
+const NOISE_CLASS: usize = 3;
+
+fn build_dataset(seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let mut rng = Rng::new(seed);
+    let mut points = Vec::new();
+    let mut truth = Vec::new();
+    // Two rings that overlap in both coordinate projections.
+    shapes::ring(&mut points, &mut rng, (0.42, 0.55), 0.16, 0.008, 2000);
+    truth.extend(std::iter::repeat(0usize).take(2000));
+    shapes::ring(&mut points, &mut rng, (0.6, 0.45), 0.16, 0.008, 2000);
+    truth.extend(std::iter::repeat(1usize).take(2000));
+    // A sloping line segment.
+    shapes::line_segment(&mut points, &mut rng, (0.1, 0.1), (0.35, 0.3), 0.005, 2000);
+    truth.extend(std::iter::repeat(2usize).take(2000));
+    // 70% uniform noise.
+    let noise = 14_000;
+    shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], noise);
+    truth.extend(std::iter::repeat(NOISE_CLASS).take(noise));
+    (points, truth)
+}
+
+fn main() {
+    let (points, truth) = build_dataset(3);
+    println!(
+        "dataset: {} points (2 rings + 1 line), 70% uniform noise",
+        points.len()
+    );
+    let score = |name: &str, labels: &[usize], clusters: usize| {
+        let ami = ami_ignoring_noise(&truth, labels, NOISE_CLASS);
+        println!("{name:<10} AMI = {ami:.3}   clusters = {clusters}");
+    };
+
+    let adawave = AdaWave::default().fit(&points).expect("adawave");
+    score(
+        "AdaWave",
+        &adawave.to_labels(NOISE_LABEL),
+        adawave.cluster_count(),
+    );
+
+    let km = kmeans(&points, &KMeansConfig::new(3, 1));
+    score(
+        "k-means",
+        &km.clustering.to_labels(NOISE_LABEL),
+        km.clustering.cluster_count(),
+    );
+
+    let (_, gmm) = em(&points, &EmConfig::new(3, 1));
+    score("EM", &gmm.to_labels(NOISE_LABEL), gmm.cluster_count());
+
+    let db = dbscan(&points, &DbscanConfig::new(0.03, 8));
+    score("DBSCAN", &db.to_labels(NOISE_LABEL), db.cluster_count());
+
+    println!();
+    println!(
+        "AdaWave keeps the two rings and the line as separate clusters and pushes \
+         most of the uniform background into its noise cluster; the centroid- and \
+         model-based baselines split the rings into convex chunks instead."
+    );
+}
