@@ -1,0 +1,160 @@
+//! The [`Clusterer`] trait and the error type shared by every algorithm.
+
+use crate::Clustering;
+
+/// Errors produced while resolving or running a clustering algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// The requested algorithm name is not registered.
+    UnknownAlgorithm {
+        /// The name that failed to resolve.
+        name: String,
+        /// Every registered name, for the error message.
+        known: Vec<String>,
+    },
+    /// A parameter key is not accepted by the algorithm.
+    UnknownParam {
+        /// The algorithm being configured.
+        algorithm: String,
+        /// The offending key.
+        param: String,
+        /// The keys the algorithm accepts.
+        known: Vec<String>,
+    },
+    /// A parameter value failed to parse or is out of range.
+    InvalidParam {
+        /// The offending key.
+        param: String,
+        /// The raw value.
+        value: String,
+        /// What was expected instead.
+        expected: String,
+    },
+    /// The input point set is empty or inconsistent.
+    InvalidInput {
+        /// Human-readable description.
+        context: String,
+    },
+    /// The algorithm started but could not produce a clustering.
+    Failed {
+        /// The algorithm that failed.
+        algorithm: String,
+        /// Human-readable description.
+        context: String,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::UnknownAlgorithm { name, known } => {
+                write!(
+                    f,
+                    "unknown algorithm '{name}' (known: {})",
+                    known.join(", ")
+                )
+            }
+            ClusterError::UnknownParam {
+                algorithm,
+                param,
+                known,
+            } => {
+                if known.is_empty() {
+                    write!(
+                        f,
+                        "algorithm '{algorithm}' takes no parameters, got '{param}'"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "algorithm '{algorithm}' does not accept parameter '{param}' (accepted: {})",
+                        known.join(", ")
+                    )
+                }
+            }
+            ClusterError::InvalidParam {
+                param,
+                value,
+                expected,
+            } => write!(f, "parameter {param}={value}: expected {expected}"),
+            ClusterError::InvalidInput { context } => write!(f, "invalid input: {context}"),
+            ClusterError::Failed { algorithm, context } => {
+                write!(f, "{algorithm} failed: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// A clustering algorithm behind a uniform interface.
+///
+/// Implementations are configured up front (usually from [`Params`] through
+/// the [`AlgorithmRegistry`]) and are immutable during [`fit`]: the same
+/// clusterer can be reused across datasets, and all randomness is derived
+/// from configured seeds so a given `(config, dataset)` pair is
+/// deterministic.
+///
+/// [`Params`]: crate::Params
+/// [`AlgorithmRegistry`]: crate::AlgorithmRegistry
+/// [`fit`]: Clusterer::fit
+pub trait Clusterer {
+    /// The registry key of this algorithm (e.g. `"kmeans"`).
+    fn name(&self) -> &str;
+
+    /// One line describing the algorithm and its effective configuration.
+    fn describe(&self) -> String {
+        self.name().to_string()
+    }
+
+    /// Cluster a point set. Every input point receives a verdict in the
+    /// returned [`Clustering`]: a compacted cluster id or noise.
+    fn fit(&self, points: &[Vec<f64>]) -> Result<Clustering, ClusterError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ClusterError::UnknownAlgorithm {
+            name: "frob".into(),
+            known: vec!["adawave".into(), "kmeans".into()],
+        };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("frob") && msg.contains("adawave, kmeans"),
+            "{msg}"
+        );
+
+        let e = ClusterError::UnknownParam {
+            algorithm: "kmeans".into(),
+            param: "bandwidth".into(),
+            known: vec!["k".into(), "seed".into()],
+        };
+        assert!(e.to_string().contains("bandwidth"), "{e}");
+
+        let e = ClusterError::InvalidParam {
+            param: "k".into(),
+            value: "banana".into(),
+            expected: "a positive integer".into(),
+        };
+        assert!(e.to_string().contains("k=banana"), "{e}");
+    }
+
+    #[test]
+    fn describe_defaults_to_name() {
+        struct Noop;
+        impl Clusterer for Noop {
+            fn name(&self) -> &str {
+                "noop"
+            }
+            fn fit(&self, points: &[Vec<f64>]) -> Result<Clustering, ClusterError> {
+                Ok(Clustering::all_noise(points.len()))
+            }
+        }
+        assert_eq!(Noop.describe(), "noop");
+        assert_eq!(Noop.fit(&[vec![0.0]]).unwrap().noise_count(), 1);
+    }
+}

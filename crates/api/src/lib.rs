@@ -1,0 +1,64 @@
+//! # adawave-api
+//!
+//! The unified clustering API of the workspace: one trait, one result type,
+//! one registry, so that AdaWave and every baseline can be swept, scripted
+//! and extended through a single interface — the way the paper's evaluation
+//! (§V) compares ~15 algorithms over a uniform protocol.
+//!
+//! * [`Clusterer`] — the polymorphic algorithm interface:
+//!   `fit(&[Vec<f64>]) -> Result<Clustering, ClusterError>` plus
+//!   `name()`/`describe()`.
+//! * [`Clustering`] — the canonical result type shared by `adawave-core`
+//!   and `adawave-baselines`: per-point `Option<usize>` labels with
+//!   compacted cluster ids (`None` = noise).
+//! * [`Params`] / [`AlgorithmSpec`] — a typed-but-dynamic parameter layer:
+//!   string keys and values (`k=3`, `eps=0.05`) parsed on demand into each
+//!   algorithm's strongly-typed config builder.
+//! * [`AlgorithmRegistry`] — maps algorithm names to parameter-validated
+//!   constructors of boxed [`Clusterer`]s; `adawave-core` and
+//!   `adawave-baselines` register themselves into it, and the umbrella
+//!   `adawave` crate assembles the standard registry of all 15 algorithms.
+//!
+//! ```
+//! use adawave_api::{AlgorithmRegistry, AlgorithmSpec, Clusterer, Clustering, ClusterError};
+//!
+//! /// A toy algorithm: one cluster per distinct x-sign.
+//! struct SignClusterer;
+//!
+//! impl Clusterer for SignClusterer {
+//!     fn name(&self) -> &str {
+//!         "sign"
+//!     }
+//!
+//!     fn fit(&self, points: &[Vec<f64>]) -> Result<Clustering, ClusterError> {
+//!         Ok(Clustering::new(
+//!             points.iter().map(|p| Some((p[0] >= 0.0) as usize)).collect(),
+//!         ))
+//!     }
+//! }
+//!
+//! let mut registry = AlgorithmRegistry::new();
+//! registry.register("sign", "clusters by the sign of x", &[], |_params| {
+//!     Ok(Box::new(SignClusterer))
+//! });
+//!
+//! let clusterer = registry.resolve(&AlgorithmSpec::new("sign")).unwrap();
+//! let result = clusterer.fit(&[vec![-1.0], vec![2.0]]).unwrap();
+//! assert_eq!(result.cluster_count(), 2);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod clusterer;
+pub mod clustering;
+pub mod params;
+pub mod registry;
+
+pub use clusterer::{ClusterError, Clusterer};
+pub use clustering::Clustering;
+pub use params::{AlgorithmSpec, Params};
+pub use registry::{AlgorithmEntry, AlgorithmRegistry, ParamSpec};
+
+/// Convenience alias for results in this API.
+pub type Result<T> = std::result::Result<T, ClusterError>;

@@ -1,0 +1,324 @@
+//! The algorithm registry: names → parameter-validated clusterer builders.
+
+use std::collections::BTreeMap;
+
+use crate::{AlgorithmSpec, ClusterError, Clusterer, Params};
+
+/// Description of one parameter an algorithm accepts, used for validation
+/// and for `list-algorithms`-style output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamSpec {
+    /// Parameter key as given in `key=value`.
+    pub key: &'static str,
+    /// Human-readable value type (e.g. `"usize"`, `"f64"`, `"name"`).
+    pub kind: &'static str,
+    /// Default shown in listings (the builder owns the real default).
+    pub default: &'static str,
+    /// One-line description.
+    pub help: &'static str,
+}
+
+impl ParamSpec {
+    /// Construct a parameter description.
+    pub const fn new(
+        key: &'static str,
+        kind: &'static str,
+        default: &'static str,
+        help: &'static str,
+    ) -> Self {
+        Self {
+            key,
+            kind,
+            default,
+            help,
+        }
+    }
+}
+
+type Builder = Box<dyn Fn(&Params) -> Result<Box<dyn Clusterer>, ClusterError> + Send + Sync>;
+
+/// One registered algorithm: metadata plus a builder closure that parses
+/// [`Params`] into the algorithm's typed config and returns a boxed
+/// [`Clusterer`].
+pub struct AlgorithmEntry {
+    name: &'static str,
+    summary: &'static str,
+    params: Vec<ParamSpec>,
+    build: Builder,
+}
+
+impl AlgorithmEntry {
+    /// The registry key.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line description of the algorithm.
+    pub fn summary(&self) -> &'static str {
+        self.summary
+    }
+
+    /// The parameters the algorithm accepts.
+    pub fn params(&self) -> &[ParamSpec] {
+        &self.params
+    }
+
+    /// The keys this algorithm accepts.
+    pub fn accepted_keys(&self) -> Vec<&'static str> {
+        self.params.iter().map(|p| p.key).collect()
+    }
+
+    /// Reject any parameter key this algorithm does not declare. This is
+    /// the strict validation [`AlgorithmRegistry::resolve`] applies;
+    /// callers that mix validated and leniently-trimmed parameter sets
+    /// (e.g. the CLI's `--param` pairs vs its shorthand flags) can invoke
+    /// it on just the strict subset.
+    pub fn validate_keys(&self, params: &Params) -> Result<(), ClusterError> {
+        let accepted = self.accepted_keys();
+        for key in params.keys() {
+            if !accepted.contains(&key) {
+                return Err(ClusterError::UnknownParam {
+                    algorithm: self.name.to_string(),
+                    param: key.to_string(),
+                    known: accepted.iter().map(|k| k.to_string()).collect(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Build a clusterer from parameters (assumed already validated).
+    pub fn build(&self, params: &Params) -> Result<Box<dyn Clusterer>, ClusterError> {
+        (self.build)(params)
+    }
+}
+
+impl std::fmt::Debug for AlgorithmEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlgorithmEntry")
+            .field("name", &self.name)
+            .field("summary", &self.summary)
+            .field("params", &self.params)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A name-indexed collection of clustering algorithms.
+///
+/// `adawave-core` and `adawave-baselines` each expose a `register` function
+/// that populates a registry with their algorithms; the umbrella `adawave`
+/// crate combines them into the standard registry of the paper's ~15
+/// algorithms. Sweeps, benches and the CLI resolve every algorithm through
+/// this type instead of hand-written match dispatch.
+#[derive(Debug, Default)]
+pub struct AlgorithmRegistry {
+    entries: BTreeMap<&'static str, AlgorithmEntry>,
+}
+
+impl AlgorithmRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an algorithm. Re-registering a name replaces the previous
+    /// entry (latest wins), so downstream crates can override defaults.
+    pub fn register<F>(
+        &mut self,
+        name: &'static str,
+        summary: &'static str,
+        params: &[ParamSpec],
+        build: F,
+    ) where
+        F: Fn(&Params) -> Result<Box<dyn Clusterer>, ClusterError> + Send + Sync + 'static,
+    {
+        self.entries.insert(
+            name,
+            AlgorithmEntry {
+                name,
+                summary,
+                params: params.to_vec(),
+                build: Box::new(build),
+            },
+        );
+    }
+
+    /// Number of registered algorithms.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether a name is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    /// The registered names, sorted.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.keys().copied().collect()
+    }
+
+    /// Look up one entry.
+    pub fn entry(&self, name: &str) -> Result<&AlgorithmEntry, ClusterError> {
+        self.entries
+            .get(name)
+            .ok_or_else(|| ClusterError::UnknownAlgorithm {
+                name: name.to_string(),
+                known: self.names().iter().map(|n| n.to_string()).collect(),
+            })
+    }
+
+    /// Resolve a spec into a ready-to-run clusterer, rejecting parameter
+    /// keys the algorithm does not declare (catches typos).
+    pub fn resolve(&self, spec: &AlgorithmSpec) -> Result<Box<dyn Clusterer>, ClusterError> {
+        let entry = self.entry(&spec.name)?;
+        entry.validate_keys(&spec.params)?;
+        entry.build(&spec.params)
+    }
+
+    /// Resolve a spec, silently dropping parameter keys the algorithm does
+    /// not declare. Used when a caller forwards one shared flag set (e.g.
+    /// the CLI's `--scale/--eps/--k`) to whichever algorithm was selected.
+    pub fn resolve_lenient(
+        &self,
+        spec: &AlgorithmSpec,
+    ) -> Result<Box<dyn Clusterer>, ClusterError> {
+        let entry = self.entry(&spec.name)?;
+        let mut params = spec.params.clone();
+        params.retain_keys(&entry.accepted_keys());
+        entry.build(&params)
+    }
+
+    /// Resolve and fit in one call.
+    pub fn fit(
+        &self,
+        spec: &AlgorithmSpec,
+        points: &[Vec<f64>],
+    ) -> Result<crate::Clustering, ClusterError> {
+        self.resolve(spec)?.fit(points)
+    }
+
+    /// Iterate over the entries in name order.
+    pub fn entries(&self) -> impl Iterator<Item = &AlgorithmEntry> {
+        self.entries.values()
+    }
+
+    /// A human-readable table of every algorithm and its parameters, for
+    /// `list-algorithms`-style commands.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        for entry in self.entries.values() {
+            out.push_str(&format!("{:<12} {}\n", entry.name(), entry.summary()));
+            for p in entry.params() {
+                out.push_str(&format!(
+                    "    {:<14} {:<7} default {:<12} {}\n",
+                    p.key, p.kind, p.default, p.help
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Clustering;
+
+    struct Constant {
+        clusters: usize,
+    }
+
+    impl Clusterer for Constant {
+        fn name(&self) -> &str {
+            "constant"
+        }
+
+        fn fit(&self, points: &[Vec<f64>]) -> Result<Clustering, ClusterError> {
+            Ok(Clustering::new(
+                points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| Some(i % self.clusters.max(1)))
+                    .collect(),
+            ))
+        }
+    }
+
+    fn test_registry() -> AlgorithmRegistry {
+        let mut registry = AlgorithmRegistry::new();
+        registry.register(
+            "constant",
+            "assigns points round-robin to k clusters",
+            &[ParamSpec::new("k", "usize", "2", "number of clusters")],
+            |params| {
+                let clusters = params.get_or("k", 2usize)?;
+                Ok(Box::new(Constant { clusters }))
+            },
+        );
+        registry
+    }
+
+    #[test]
+    fn resolve_builds_and_fits() {
+        let registry = test_registry();
+        let spec = AlgorithmSpec::new("constant").with("k", 3);
+        let clustering = registry.fit(&spec, &vec![vec![0.0]; 9]).unwrap();
+        assert_eq!(clustering.cluster_count(), 3);
+        assert_eq!(registry.names(), vec!["constant"]);
+        assert!(registry.contains("constant"));
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn unknown_algorithm_is_a_typed_error() {
+        let registry = test_registry();
+        let err = registry
+            .resolve(&AlgorithmSpec::new("nope"))
+            .map(|_| ())
+            .unwrap_err();
+        assert!(
+            matches!(err, ClusterError::UnknownAlgorithm { ref name, ref known }
+                if name == "nope" && known == &vec!["constant".to_string()])
+        );
+    }
+
+    #[test]
+    fn unknown_param_is_rejected_strictly_but_dropped_leniently() {
+        let registry = test_registry();
+        let spec = AlgorithmSpec::new("constant").with("bandwidth", 0.5);
+        assert!(matches!(
+            registry.resolve(&spec).map(|_| ()),
+            Err(ClusterError::UnknownParam { ref param, .. }) if param == "bandwidth"
+        ));
+        // Lenient resolution drops the foreign key and uses defaults.
+        let clusterer = registry.resolve_lenient(&spec).unwrap();
+        assert_eq!(
+            clusterer.fit(&vec![vec![0.0]; 4]).unwrap().cluster_count(),
+            2
+        );
+    }
+
+    #[test]
+    fn bad_param_value_is_a_typed_error() {
+        let registry = test_registry();
+        let spec = AlgorithmSpec::new("constant").with("k", "many");
+        assert!(matches!(
+            registry.resolve(&spec).map(|_| ()),
+            Err(ClusterError::InvalidParam { ref param, .. }) if param == "k"
+        ));
+    }
+
+    #[test]
+    fn describe_lists_algorithms_and_params() {
+        let text = test_registry().describe();
+        assert!(text.contains("constant"), "{text}");
+        assert!(text.contains("k"), "{text}");
+        assert!(text.contains("default"), "{text}");
+    }
+}

@@ -309,11 +309,11 @@ mod tests {
         let mut points = Vec::new();
         let mut truth = Vec::new();
         shapes::gaussian_blob(&mut points, &mut rng, &[0.2, 0.2], &[0.03, 0.03], 300);
-        truth.extend(std::iter::repeat(0usize).take(300));
+        truth.extend(std::iter::repeat_n(0usize, 300));
         shapes::gaussian_blob(&mut points, &mut rng, &[0.8, 0.8], &[0.03, 0.03], 300);
-        truth.extend(std::iter::repeat(1usize).take(300));
+        truth.extend(std::iter::repeat_n(1usize, 300));
         shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], 150);
-        truth.extend(std::iter::repeat(2usize).take(150));
+        truth.extend(std::iter::repeat_n(2usize, 150));
         (points, truth)
     }
 
@@ -403,9 +403,17 @@ mod tests {
         let mut rng = Rng::new(23);
         let mut points = Vec::new();
         for _ in 0..600 {
-            points.push(vec![rng.uniform_range(0.1, 0.9), rng.normal_with(0.5, 0.01)]);
+            points.push(vec![
+                rng.uniform_range(0.1, 0.9),
+                rng.normal_with(0.5, 0.01),
+            ]);
         }
         let clustering = clique(&points, &CliqueConfig::new(8, 0.02));
-        assert_eq!(clustering.cluster_count(), 1, "sizes {:?}", clustering.cluster_sizes());
+        assert_eq!(
+            clustering.cluster_count(),
+            1,
+            "sizes {:?}",
+            clustering.cluster_sizes()
+        );
     }
 }

@@ -1,0 +1,409 @@
+//! [`Clusterer`] adapters over every baseline, and their registration into
+//! the [`AlgorithmRegistry`].
+//!
+//! Each baseline in this crate is a plain function over a typed config
+//! struct; the adapters here wrap a pre-built config behind the uniform
+//! [`Clusterer`] interface, and [`register`] wires a `Params`-to-config
+//! builder for each algorithm into a registry so callers (CLI, bench
+//! sweeps, future services) can resolve baselines by name.
+
+use adawave_api::{AlgorithmRegistry, ClusterError, Clusterer, Clustering, ParamSpec};
+
+use crate::{
+    clique, dbscan, dipmeans, em, kmeans, mean_shift, optics, ric, self_tuning_spectral, skinnydip,
+    sting, sync_cluster, unidip, wavecluster, CliqueConfig, DbscanConfig, DipMeansConfig, EmConfig,
+    KMeansConfig, MeanShiftConfig, OpticsConfig, RicConfig, SkinnyDipConfig, SpectralConfig,
+    StingConfig, SyncConfig, WaveClusterConfig,
+};
+
+/// A baseline behind the uniform interface: a registry name, a pre-parsed
+/// config, and the baseline's run function.
+pub struct ConfiguredClusterer<C> {
+    name: &'static str,
+    config: C,
+    run: fn(&[Vec<f64>], &C) -> Clustering,
+}
+
+impl<C> ConfiguredClusterer<C> {
+    /// Wrap a `(config, function)` pair under a registry name.
+    pub fn new(name: &'static str, config: C, run: fn(&[Vec<f64>], &C) -> Clustering) -> Self {
+        Self { name, config, run }
+    }
+
+    /// Borrow the effective configuration.
+    pub fn config(&self) -> &C {
+        &self.config
+    }
+}
+
+impl<C: std::fmt::Debug> Clusterer for ConfiguredClusterer<C> {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn describe(&self) -> String {
+        format!("{} {:?}", self.name, self.config)
+    }
+
+    fn fit(&self, points: &[Vec<f64>]) -> Result<Clustering, ClusterError> {
+        Ok((self.run)(points, &self.config))
+    }
+}
+
+/// UniDip on one projected axis: the 1-D core of SkinnyDip, exposed as an
+/// algorithm of its own for axis-aligned data. `config.0` is the dimension
+/// to project onto (clamped to the data's dimensionality).
+fn unidip_projection(points: &[Vec<f64>], config: &(usize, SkinnyDipConfig)) -> Clustering {
+    let (dim, cfg) = config;
+    if points.is_empty() {
+        return Clustering::new(vec![]);
+    }
+    let dims = points[0].len();
+    if dims == 0 {
+        // Zero-dimensional points leave no axis to project onto.
+        return Clustering::all_noise(points.len());
+    }
+    let d = (*dim).min(dims - 1);
+    let values: Vec<f64> = points.iter().map(|p| p[d]).collect();
+    let mut rng = adawave_data::Rng::new(cfg.seed);
+    let intervals = unidip(&values, cfg, &mut rng);
+    Clustering::new(
+        values
+            .iter()
+            .map(|&v| intervals.iter().position(|&(lo, hi)| v >= lo && v <= hi))
+            .collect(),
+    )
+}
+
+const SEED: ParamSpec = ParamSpec::new("seed", "u64", "0", "seed for the internal RNG");
+const K: ParamSpec = ParamSpec::new("k", "usize", "2", "number of clusters to produce");
+
+/// Register every baseline of the paper's evaluation into `registry`.
+///
+/// Combined with `adawave_core::register` this yields the standard registry
+/// of the paper's ~15 algorithms (see the umbrella `adawave` crate).
+pub fn register(registry: &mut AlgorithmRegistry) {
+    registry.register(
+        "kmeans",
+        "Lloyd's k-means with k-means++ init and restarts",
+        &[K, SEED],
+        |params| {
+            let config = KMeansConfig::new(params.get_or("k", 2)?, params.get_or("seed", 0)?);
+            Ok(Box::new(ConfiguredClusterer::new(
+                "kmeans",
+                config,
+                |p, c| kmeans(p, c).clustering,
+            )))
+        },
+    );
+    registry.register(
+        "dbscan",
+        "density-based clustering with a kd-tree region index",
+        &[
+            ParamSpec::new("eps", "f64", "0.05", "neighborhood radius"),
+            ParamSpec::new("min-points", "usize", "8", "core-point density threshold"),
+        ],
+        |params| {
+            let config =
+                DbscanConfig::new(params.get_or("eps", 0.05)?, params.get_or("min-points", 8)?);
+            Ok(Box::new(ConfiguredClusterer::new("dbscan", config, dbscan)))
+        },
+    );
+    registry.register(
+        "em",
+        "full-covariance Gaussian mixture fitted with EM",
+        &[K, SEED],
+        |params| {
+            let config = EmConfig::new(params.get_or("k", 2)?, params.get_or("seed", 0)?);
+            Ok(Box::new(ConfiguredClusterer::new("em", config, |p, c| {
+                em(p, c).1
+            })))
+        },
+    );
+    registry.register(
+        "wavecluster",
+        "the original dense-grid wavelet clustering (Sheikholeslami et al.)",
+        &[ParamSpec::new(
+            "scale",
+            "u32",
+            "128",
+            "grid intervals per dimension",
+        )],
+        |params| {
+            let config = WaveClusterConfig {
+                scale: params.get_or("scale", 128)?,
+                ..Default::default()
+            };
+            Ok(Box::new(ConfiguredClusterer::new(
+                "wavecluster",
+                config,
+                wavecluster,
+            )))
+        },
+    );
+    registry.register(
+        "skinnydip",
+        "SkinnyDip: recursive dip-test clustering (Maurus & Plant)",
+        &[
+            SEED,
+            ParamSpec::new("alpha", "f64", "0.05", "dip-test significance level"),
+        ],
+        |params| {
+            let config = SkinnyDipConfig {
+                seed: params.get_or("seed", 0)?,
+                alpha: params.get_or("alpha", 0.05)?,
+                ..Default::default()
+            };
+            Ok(Box::new(ConfiguredClusterer::new(
+                "skinnydip",
+                config,
+                skinnydip,
+            )))
+        },
+    );
+    registry.register(
+        "unidip",
+        "UniDip modal intervals on one projected axis (the 1-D core of SkinnyDip)",
+        &[
+            SEED,
+            ParamSpec::new("alpha", "f64", "0.05", "dip-test significance level"),
+            ParamSpec::new("dim", "usize", "0", "dimension to project onto"),
+        ],
+        |params| {
+            let config = SkinnyDipConfig {
+                seed: params.get_or("seed", 0)?,
+                alpha: params.get_or("alpha", 0.05)?,
+                ..Default::default()
+            };
+            let dim = params.get_or("dim", 0)?;
+            Ok(Box::new(ConfiguredClusterer::new(
+                "unidip",
+                (dim, config),
+                unidip_projection,
+            )))
+        },
+    );
+    registry.register(
+        "dipmeans",
+        "DipMeans: dip-test wrapper that estimates k around k-means",
+        &[
+            SEED,
+            ParamSpec::new("max-k", "usize", "16", "upper bound on the estimated k"),
+        ],
+        |params| {
+            let config = DipMeansConfig {
+                seed: params.get_or("seed", 0)?,
+                max_k: params.get_or("max-k", 16)?,
+                ..Default::default()
+            };
+            Ok(Box::new(ConfiguredClusterer::new(
+                "dipmeans", config, dipmeans,
+            )))
+        },
+    );
+    registry.register(
+        "stsc",
+        "self-tuning spectral clustering with local scaling",
+        &[
+            ParamSpec::new(
+                "k",
+                "usize",
+                "auto",
+                "cluster count ('auto' or omitted = eigengap selection)",
+            ),
+            SEED,
+        ],
+        |params| {
+            // `k=auto` (or no k at all) selects k by the eigengap; the CLI
+            // always injects a numeric k, so `auto` keeps the documented
+            // default expressible there.
+            let k = match params.get("k") {
+                None | Some("auto") => None,
+                Some(raw) => {
+                    Some(
+                        raw.parse::<usize>()
+                            .map_err(|_| ClusterError::InvalidParam {
+                                param: "k".to_string(),
+                                value: raw.to_string(),
+                                expected: "a positive integer or 'auto'".to_string(),
+                            })?,
+                    )
+                }
+            };
+            let config = SpectralConfig {
+                k,
+                seed: params.get_or("seed", 0)?,
+                ..Default::default()
+            };
+            Ok(Box::new(ConfiguredClusterer::new(
+                "stsc",
+                config,
+                self_tuning_spectral,
+            )))
+        },
+    );
+    registry.register(
+        "ric",
+        "simplified robust information-theoretic clustering (MDL purification)",
+        &[K, SEED],
+        |params| {
+            // RIC purifies an over-segmented k-means start: `k` is the
+            // expected cluster count, the initial means are 2k (the
+            // protocol used by both the CLI and the paper sweep).
+            let k: usize = params.get_or("k", 2)?;
+            let config = RicConfig::new(k.max(2) * 2, params.get_or("seed", 0)?);
+            Ok(Box::new(ConfiguredClusterer::new("ric", config, ric)))
+        },
+    );
+    registry.register(
+        "optics",
+        "OPTICS ordering with DBSCAN-style flat extraction",
+        &[
+            ParamSpec::new("eps", "f64", "0.05", "flat-extraction radius"),
+            ParamSpec::new("max-eps", "f64", "2*eps", "ordering radius"),
+            ParamSpec::new("min-points", "usize", "8", "core-point density threshold"),
+        ],
+        |params| {
+            let eps = params.get_or("eps", 0.05)?;
+            let config = OpticsConfig::new(
+                params.get_or("max-eps", eps * 2.0)?,
+                params.get_or("min-points", 8)?,
+                eps,
+            );
+            Ok(Box::new(ConfiguredClusterer::new("optics", config, optics)))
+        },
+    );
+    registry.register(
+        "meanshift",
+        "mean shift with a flat or Gaussian kernel",
+        &[ParamSpec::new("bandwidth", "f64", "0.1", "kernel radius")],
+        |params| {
+            let config = MeanShiftConfig::new(params.get_or("bandwidth", 0.1)?);
+            Ok(Box::new(ConfiguredClusterer::new(
+                "meanshift",
+                config,
+                mean_shift,
+            )))
+        },
+    );
+    registry.register(
+        "sync",
+        "synchronization-based clustering (Kuramoto-style dynamics)",
+        &[ParamSpec::new("eps", "f64", "0.1", "interaction radius")],
+        |params| {
+            let config = SyncConfig::new(params.get_or("eps", 0.1)?);
+            Ok(Box::new(ConfiguredClusterer::new(
+                "sync",
+                config,
+                sync_cluster,
+            )))
+        },
+    );
+    registry.register(
+        "sting",
+        "STING: statistical information grid with hierarchical cells",
+        &[
+            ParamSpec::new("levels", "u32", "5", "depth of the cell hierarchy"),
+            ParamSpec::new(
+                "min-points",
+                "usize",
+                "4",
+                "relevant-cell density threshold",
+            ),
+        ],
+        |params| {
+            let config =
+                StingConfig::new(params.get_or("levels", 5)?, params.get_or("min-points", 4)?);
+            Ok(Box::new(ConfiguredClusterer::new("sting", config, sting)))
+        },
+    );
+    registry.register(
+        "clique",
+        "CLIQUE: bottom-up dense-unit subspace clustering",
+        &[
+            ParamSpec::new("intervals", "u32", "10", "grid intervals per dimension"),
+            ParamSpec::new("density", "f64", "0.01", "dense-unit point fraction"),
+        ],
+        |params| {
+            let config = CliqueConfig::new(
+                params.get_or("intervals", 10)?,
+                params.get_or("density", 0.01)?,
+            );
+            Ok(Box::new(ConfiguredClusterer::new("clique", config, clique)))
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adawave_api::AlgorithmSpec;
+
+    #[test]
+    fn register_adds_every_baseline() {
+        let mut registry = AlgorithmRegistry::new();
+        register(&mut registry);
+        for name in [
+            "kmeans",
+            "dbscan",
+            "em",
+            "wavecluster",
+            "skinnydip",
+            "unidip",
+            "dipmeans",
+            "stsc",
+            "ric",
+            "optics",
+            "meanshift",
+            "sync",
+            "sting",
+            "clique",
+        ] {
+            assert!(registry.contains(name), "{name} missing");
+        }
+        assert_eq!(registry.len(), 14);
+    }
+
+    #[test]
+    fn registry_kmeans_matches_direct_call() {
+        let mut registry = AlgorithmRegistry::new();
+        register(&mut registry);
+        let points: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                let offset = if i % 2 == 0 { 0.0 } else { 5.0 };
+                vec![offset + (i as f64) * 0.001, offset]
+            })
+            .collect();
+        let spec = AlgorithmSpec::new("kmeans").with("k", 2).with("seed", 7);
+        let via_registry = registry.fit(&spec, &points).unwrap();
+        let direct = kmeans(&points, &KMeansConfig::new(2, 7)).clustering;
+        assert_eq!(via_registry, direct);
+    }
+
+    #[test]
+    fn unidip_survives_degenerate_inputs() {
+        let mut registry = AlgorithmRegistry::new();
+        register(&mut registry);
+        let clusterer = registry.resolve(&AlgorithmSpec::new("unidip")).unwrap();
+        // Zero-dimensional points: no axis to project onto → all noise.
+        let c = clusterer.fit(&vec![vec![]; 3]).unwrap();
+        assert_eq!(c.noise_count(), 3);
+        // A projection dimension beyond the data is clamped, not a panic.
+        let clusterer = registry
+            .resolve(&AlgorithmSpec::new("unidip").with("dim", 9))
+            .unwrap();
+        let c = clusterer.fit(&[vec![0.1, 0.2], vec![0.9, 0.8]]).unwrap();
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn describe_exposes_effective_config() {
+        let mut registry = AlgorithmRegistry::new();
+        register(&mut registry);
+        let clusterer = registry
+            .resolve(&AlgorithmSpec::new("dbscan").with("eps", 0.1))
+            .unwrap();
+        let text = clusterer.describe();
+        assert!(text.contains("dbscan") && text.contains("0.1"), "{text}");
+    }
+}

@@ -79,38 +79,15 @@ pub fn dbscan(points: &[Vec<f64>], config: &DbscanConfig) -> Clustering {
     Clustering::new(
         labels
             .into_iter()
-            .map(|l| if l == NOISE || l == UNVISITED { None } else { Some(l) })
+            .map(|l| {
+                if l == NOISE || l == UNVISITED {
+                    None
+                } else {
+                    Some(l)
+                }
+            })
             .collect(),
     )
-}
-
-/// Run DBSCAN for every `eps` in a sweep and return the clustering that
-/// maximizes `score`, together with the chosen `eps`. This mirrors the
-/// paper's automation protocol ("we fix minPts = 8 and run DBSCAN for all
-/// eps in {0.01, ..., 0.2}, reporting the best AMI").
-pub fn dbscan_best_eps<F>(
-    points: &[Vec<f64>],
-    eps_values: &[f64],
-    min_points: usize,
-    mut score: F,
-) -> (Clustering, f64)
-where
-    F: FnMut(&Clustering) -> f64,
-{
-    let mut best: Option<(Clustering, f64, f64)> = None;
-    for &eps in eps_values {
-        let clustering = dbscan(points, &DbscanConfig::new(eps, min_points));
-        let s = score(&clustering);
-        let better = match &best {
-            None => true,
-            Some((_, _, best_s)) => s > *best_s,
-        };
-        if better {
-            best = Some((clustering, eps, s));
-        }
-    }
-    let (clustering, eps, _) = best.expect("dbscan_best_eps: empty eps sweep");
-    (clustering, eps)
 }
 
 #[cfg(test)]
@@ -188,16 +165,20 @@ mod tests {
         let mut points = Vec::new();
         let mut truth = Vec::new();
         shapes::gaussian_blob(&mut points, &mut rng, &[0.0, 0.0], &[0.03, 0.03], 150);
-        truth.extend(std::iter::repeat(0usize).take(150));
+        truth.extend(std::iter::repeat_n(0usize, 150));
         shapes::gaussian_blob(&mut points, &mut rng, &[0.5, 0.5], &[0.03, 0.03], 150);
-        truth.extend(std::iter::repeat(1usize).take(150));
-        let eps_values: Vec<f64> = (1..=20).map(|i| i as f64 * 0.01).collect();
-        let (clustering, eps) = dbscan_best_eps(&points, &eps_values, 8, |c| {
-            ami(&truth, &c.to_labels(NOISE_LABEL))
-        });
-        assert!(eps > 0.0 && eps <= 0.2);
-        let score = ami(&truth, &clustering.to_labels(NOISE_LABEL));
-        assert!(score > 0.9, "AMI {score}");
+        truth.extend(std::iter::repeat_n(1usize, 150));
+        // The paper's eps-sweep protocol now lives in the bench's
+        // Algorithm::candidate_specs; this test keeps the underlying
+        // eps-sensitivity claim pinned: some eps in the sweep separates
+        // the blobs nearly perfectly.
+        let best = (1..=20)
+            .map(|i| {
+                let clustering = dbscan(&points, &DbscanConfig::new(i as f64 * 0.01, 8));
+                ami(&truth, &clustering.to_labels(NOISE_LABEL))
+            })
+            .fold(f64::MIN, f64::max);
+        assert!(best > 0.9, "best AMI over the eps sweep: {best}");
     }
 
     #[test]

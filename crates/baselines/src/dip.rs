@@ -131,12 +131,7 @@ pub fn dip_statistic(values: &[f64]) -> DipResult {
                 arg = i;
             }
         }
-        let ig = gcm
-            .iter()
-            .copied()
-            .filter(|&g| g <= arg)
-            .next_back()
-            .unwrap_or(low);
+        let ig = gcm.iter().copied().rfind(|&g| g <= arg).unwrap_or(low);
         let ih = lcm.iter().copied().find(|&l| l >= arg).unwrap_or(high);
 
         if d <= dip {
@@ -252,8 +247,7 @@ fn expand_modal_interval(sorted: &[f64], lo: usize, hi: usize) -> (usize, usize)
     // Average spacing of the (dense) modal interval; expansion continues as
     // long as the local spacing — averaged over a small window to smooth
     // sampling jitter — stays within a small multiple of it.
-    let average_spacing =
-        ((sorted[hi] - sorted[lo]) / (hi - lo) as f64).max(1e-12);
+    let average_spacing = ((sorted[hi] - sorted[lo]) / (hi - lo) as f64).max(1e-12);
     let limit = 4.0 * average_spacing;
     let window = 5usize;
 
@@ -409,9 +403,16 @@ fn unidip_recursive(
     }
 }
 
+/// A candidate cluster during SkinnyDip: per-dimension value intervals plus
+/// the indices of the points currently satisfying all of them.
+type HyperRect = (Vec<(f64, f64)>, Vec<usize>);
+
 /// SkinnyDip: run UniDip on every dimension, intersecting the modal
 /// intervals into hyper-rectangles. Points outside every hyper-rectangle
 /// are noise.
+// `dim` indexes the inner coordinate of `points[i]`; there is no outer
+// container to iterate instead.
+#[allow(clippy::needless_range_loop)]
 pub fn skinnydip(points: &[Vec<f64>], config: &SkinnyDipConfig) -> Clustering {
     let n = points.len();
     if n == 0 {
@@ -422,11 +423,10 @@ pub fn skinnydip(points: &[Vec<f64>], config: &SkinnyDipConfig) -> Clustering {
 
     // Each candidate cluster is a set of per-dimension value intervals and
     // the indices of the points that currently satisfy them.
-    let mut hyperrects: Vec<(Vec<(f64, f64)>, Vec<usize>)> =
-        vec![(Vec::new(), (0..n).collect())];
+    let mut hyperrects: Vec<HyperRect> = vec![(Vec::new(), (0..n).collect())];
 
     for dim in 0..dims {
-        let mut next: Vec<(Vec<(f64, f64)>, Vec<usize>)> = Vec::new();
+        let mut next: Vec<HyperRect> = Vec::new();
         for (bounds, members) in &hyperrects {
             if members.len() < config.min_cluster_size {
                 continue;
@@ -570,8 +570,12 @@ mod tests {
             "expected at least two modal intervals, got {intervals:?}"
         );
         // One interval near -5, one near +5.
-        assert!(intervals.iter().any(|&(lo, hi)| lo < -4.0 && hi > -6.0 && hi < 0.0));
-        assert!(intervals.iter().any(|&(lo, hi)| hi > 4.0 && lo < 6.0 && lo > 0.0));
+        assert!(intervals
+            .iter()
+            .any(|&(lo, hi)| lo < -4.0 && hi > -6.0 && hi < 0.0));
+        assert!(intervals
+            .iter()
+            .any(|&(lo, hi)| hi > 4.0 && lo < 6.0 && lo > 0.0));
     }
 
     #[test]
@@ -594,11 +598,11 @@ mod tests {
         let mut points = Vec::new();
         let mut truth = Vec::new();
         shapes::gaussian_blob(&mut points, &mut rng, &[0.2, 0.2], &[0.02, 0.02], 400);
-        truth.extend(std::iter::repeat(0usize).take(400));
+        truth.extend(std::iter::repeat_n(0usize, 400));
         shapes::gaussian_blob(&mut points, &mut rng, &[0.8, 0.8], &[0.02, 0.02], 400);
-        truth.extend(std::iter::repeat(1usize).take(400));
+        truth.extend(std::iter::repeat_n(1usize, 400));
         shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], 300);
-        truth.extend(std::iter::repeat(2usize).take(300));
+        truth.extend(std::iter::repeat_n(2usize, 300));
 
         let config = SkinnyDipConfig {
             bootstraps: 48,
@@ -606,7 +610,11 @@ mod tests {
             ..Default::default()
         };
         let clustering = skinnydip(&points, &config);
-        assert!(clustering.cluster_count() >= 2, "found {} clusters", clustering.cluster_count());
+        assert!(
+            clustering.cluster_count() >= 2,
+            "found {} clusters",
+            clustering.cluster_count()
+        );
         let score = ami_ignoring_noise(&truth, &clustering.to_labels(NOISE_LABEL), 2);
         assert!(score > 0.5, "AMI {score}");
     }

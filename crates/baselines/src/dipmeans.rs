@@ -129,18 +129,12 @@ mod tests {
 
     fn blobs(k: usize, per_cluster: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
         let mut rng = Rng::new(seed);
-        let centers = [
-            [0.0, 0.0],
-            [6.0, 0.0],
-            [0.0, 6.0],
-            [6.0, 6.0],
-            [3.0, 10.0],
-        ];
+        let centers = [[0.0, 0.0], [6.0, 0.0], [0.0, 6.0], [6.0, 6.0], [3.0, 10.0]];
         let mut points = Vec::new();
         let mut labels = Vec::new();
         for (c, center) in centers.iter().take(k).enumerate() {
             shapes::gaussian_blob(&mut points, &mut rng, center, &[0.3, 0.3], per_cluster);
-            labels.extend(std::iter::repeat(c).take(per_cluster));
+            labels.extend(std::iter::repeat_n(c, per_cluster));
         }
         (points, labels)
     }

@@ -147,8 +147,7 @@ pub fn em(points: &[Vec<f64>], config: &EmConfig) -> (GaussianMixture, Clusterin
     let mut covariances: Vec<Matrix> = clusters
         .iter()
         .map(|members| {
-            let member_points: Vec<Vec<f64>> =
-                members.iter().map(|&i| points[i].clone()).collect();
+            let member_points: Vec<Vec<f64>> = members.iter().map(|&i| points[i].clone()).collect();
             regularized_covariance(&member_points, dims, config.regularization)
         })
         .collect();
@@ -268,9 +267,9 @@ mod tests {
         let mut points = Vec::new();
         let mut labels = Vec::new();
         shapes::gaussian_blob(&mut points, &mut rng, &[0.0, 0.0], &[0.4, 0.2], 250);
-        labels.extend(std::iter::repeat(0).take(250));
+        labels.extend(std::iter::repeat_n(0, 250));
         shapes::gaussian_blob(&mut points, &mut rng, &[3.0, 3.0], &[0.2, 0.5], 250);
-        labels.extend(std::iter::repeat(1).take(250));
+        labels.extend(std::iter::repeat_n(1, 250));
         (points, labels)
     }
 
@@ -333,9 +332,9 @@ mod tests {
         let mut points = Vec::new();
         let mut labels = Vec::new();
         shapes::gaussian_ellipse(&mut points, &mut rng, (0.0, 0.0), (1.0, 0.08), 0.0, 300);
-        labels.extend(std::iter::repeat(0).take(300));
+        labels.extend(std::iter::repeat_n(0, 300));
         shapes::gaussian_ellipse(&mut points, &mut rng, (0.0, 1.0), (1.0, 0.08), 0.0, 300);
-        labels.extend(std::iter::repeat(1).take(300));
+        labels.extend(std::iter::repeat_n(1, 300));
         let (_, clustering) = em(&points, &EmConfig::new(2, 7));
         let score = ami(&labels, &clustering.to_labels(usize::MAX));
         assert!(score > 0.8, "AMI {score}");

@@ -221,7 +221,7 @@ mod tests {
         let mut labels = Vec::new();
         for (c, center) in [[0.0, 0.0], [5.0, 5.0], [0.0, 6.0]].iter().enumerate() {
             shapes::gaussian_blob(&mut points, &mut rng, center, &[0.3, 0.3], 100);
-            labels.extend(std::iter::repeat(c).take(100));
+            labels.extend(std::iter::repeat_n(c, 100));
         }
         (points, labels)
     }
@@ -248,7 +248,12 @@ mod tests {
 
     #[test]
     fn k_one_centroid_is_mean() {
-        let points = vec![vec![0.0, 0.0], vec![2.0, 0.0], vec![0.0, 2.0], vec![2.0, 2.0]];
+        let points = vec![
+            vec![0.0, 0.0],
+            vec![2.0, 0.0],
+            vec![0.0, 2.0],
+            vec![2.0, 2.0],
+        ];
         let result = kmeans(&points, &KMeansConfig::new(1, 5));
         assert_eq!(result.centroids.len(), 1);
         assert!((result.centroids[0][0] - 1.0).abs() < 1e-9);
@@ -282,7 +287,7 @@ mod tests {
         // The split should roughly separate the two blobs.
         let a_in_first = a.iter().filter(|&&i| i < 100).count();
         let frac = a_in_first as f64 / a.len() as f64;
-        assert!(frac < 0.05 || frac > 0.95);
+        assert!(!(0.05..=0.95).contains(&frac));
     }
 
     #[test]

@@ -21,13 +21,16 @@
 //! * [`ric`] — a simplified Robust Information-theoretic Clustering
 //!   (MDL-based purification of an initial k-means partition).
 //!
-//! All algorithms return a [`Clustering`] with per-point labels
-//! (`None` = noise) so they can be scored uniformly by `adawave-metrics`.
+//! All algorithms return the canonical [`Clustering`] of `adawave-api`
+//! with per-point labels (`None` = noise) so they can be scored uniformly
+//! by `adawave-metrics`, and every one of them is exposed behind the
+//! uniform [`adawave_api::Clusterer`] trait via [`clusterers::register`].
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod clique;
+pub mod clusterers;
 pub mod clustering;
 pub mod dbscan;
 pub mod dip;
@@ -44,6 +47,7 @@ pub mod sync;
 pub mod wavecluster;
 
 pub use clique::{clique, clique_model, CliqueConfig, CliqueModel, DenseUnit};
+pub use clusterers::{register, ConfiguredClusterer};
 pub use clustering::Clustering;
 pub use dbscan::{dbscan, DbscanConfig};
 pub use dip::{dip_statistic, dip_test, skinnydip, unidip, SkinnyDipConfig};

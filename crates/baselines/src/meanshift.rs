@@ -169,7 +169,7 @@ mod tests {
         let mut truth = Vec::new();
         for (c, center) in [[0.2, 0.2], [0.8, 0.2], [0.5, 0.8]].iter().enumerate() {
             shapes::gaussian_blob(&mut points, &mut rng, center, &[0.03, 0.03], 120);
-            truth.extend(std::iter::repeat(c).take(120));
+            truth.extend(std::iter::repeat_n(c, 120));
         }
         (points, truth)
     }
@@ -178,7 +178,12 @@ mod tests {
     fn recovers_three_blobs() {
         let (points, truth) = three_blobs();
         let clustering = mean_shift(&points, &MeanShiftConfig::new(0.15));
-        assert_eq!(clustering.cluster_count(), 3, "sizes {:?}", clustering.cluster_sizes());
+        assert_eq!(
+            clustering.cluster_count(),
+            3,
+            "sizes {:?}",
+            clustering.cluster_sizes()
+        );
         let score = ami(&truth, &clustering.to_labels(NOISE_LABEL));
         assert!(score > 0.95, "AMI {score}");
     }

@@ -206,11 +206,11 @@ mod tests {
         let mut points = Vec::new();
         let mut truth = Vec::new();
         shapes::gaussian_blob(&mut points, &mut rng, &[0.2, 0.2], &[0.02, 0.02], 150);
-        truth.extend(std::iter::repeat(0usize).take(150));
+        truth.extend(std::iter::repeat_n(0usize, 150));
         shapes::gaussian_blob(&mut points, &mut rng, &[0.8, 0.8], &[0.02, 0.02], 150);
-        truth.extend(std::iter::repeat(1usize).take(150));
+        truth.extend(std::iter::repeat_n(1usize, 150));
         shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], 60);
-        truth.extend(std::iter::repeat(2usize).take(60));
+        truth.extend(std::iter::repeat_n(2usize, 60));
         (points, truth)
     }
 

@@ -69,10 +69,7 @@ impl ClusterModel {
                 vars[j] += (v - means[j]).powi(2);
             }
         }
-        let std_devs = vars
-            .iter()
-            .map(|&v| (v / n).sqrt().max(1e-6))
-            .collect();
+        let std_devs = vars.iter().map(|&v| (v / n).sqrt().max(1e-6)).collect();
         Self { means, std_devs }
     }
 
@@ -140,7 +137,10 @@ pub fn ric(points: &[Vec<f64>], config: &RicConfig) -> Clustering {
     }
 
     // Initial coarse partition.
-    let init = kmeans(points, &KMeansConfig::new(config.initial_k.max(1), config.seed));
+    let init = kmeans(
+        points,
+        &KMeansConfig::new(config.initial_k.max(1), config.seed),
+    );
     let mut clusters: Vec<Vec<usize>> = init.clustering.clusters();
 
     // Purification: move points to noise when the background model encodes
@@ -244,7 +244,7 @@ mod tests {
         let mut labels = Vec::new();
         for (c, center) in [[0.0, 0.0], [8.0, 0.0], [0.0, 8.0]].iter().enumerate() {
             shapes::gaussian_blob(&mut points, &mut rng, center, &[0.3, 0.3], 150);
-            labels.extend(std::iter::repeat(c).take(150));
+            labels.extend(std::iter::repeat_n(c, 150));
         }
         let clustering = ric(&points, &RicConfig::new(6, 3));
         let score = ami(&labels, &clustering.to_labels(NOISE_LABEL));
@@ -265,11 +265,11 @@ mod tests {
         let mut points = Vec::new();
         let mut labels = Vec::new();
         shapes::gaussian_blob(&mut points, &mut rng, &[0.3, 0.3], &[0.02, 0.02], 200);
-        labels.extend(std::iter::repeat(0usize).take(200));
+        labels.extend(std::iter::repeat_n(0usize, 200));
         shapes::gaussian_blob(&mut points, &mut rng, &[0.7, 0.7], &[0.02, 0.02], 200);
-        labels.extend(std::iter::repeat(1usize).take(200));
+        labels.extend(std::iter::repeat_n(1usize, 200));
         shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], 1600);
-        labels.extend(std::iter::repeat(2usize).take(1600));
+        labels.extend(std::iter::repeat_n(2usize, 1600));
         let clustering = ric(&points, &RicConfig::new(8, 3));
         assert!(clustering.cluster_count() >= 1);
         assert!(clustering.cluster_count() <= 8);
@@ -303,6 +303,9 @@ mod tests {
         let mut rng = Rng::new(4);
         let mut points = Vec::new();
         shapes::gaussian_blob(&mut points, &mut rng, &[0.0, 0.0], &[0.5, 0.5], 100);
-        assert_eq!(ric(&points, &RicConfig::new(3, 7)), ric(&points, &RicConfig::new(3, 7)));
+        assert_eq!(
+            ric(&points, &RicConfig::new(3, 7)),
+            ric(&points, &RicConfig::new(3, 7))
+        );
     }
 }

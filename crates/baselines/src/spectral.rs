@@ -160,9 +160,9 @@ mod tests {
         let mut points = Vec::new();
         let mut labels = Vec::new();
         shapes::ring(&mut points, &mut rng, (0.5, 0.5), 0.1, 0.01, 200);
-        labels.extend(std::iter::repeat(0usize).take(200));
+        labels.extend(std::iter::repeat_n(0usize, 200));
         shapes::ring(&mut points, &mut rng, (0.5, 0.5), 0.4, 0.01, 200);
-        labels.extend(std::iter::repeat(1usize).take(200));
+        labels.extend(std::iter::repeat_n(1usize, 200));
 
         let spectral = self_tuning_spectral(
             &points,
@@ -198,9 +198,9 @@ mod tests {
         let mut points = Vec::new();
         let mut labels = Vec::new();
         shapes::gaussian_blob(&mut points, &mut rng, &[0.0, 0.0], &[0.2, 0.2], 600);
-        labels.extend(std::iter::repeat(0usize).take(600));
+        labels.extend(std::iter::repeat_n(0usize, 600));
         shapes::gaussian_blob(&mut points, &mut rng, &[5.0, 5.0], &[0.2, 0.2], 600);
-        labels.extend(std::iter::repeat(1usize).take(600));
+        labels.extend(std::iter::repeat_n(1usize, 600));
         let config = SpectralConfig {
             k: Some(2),
             max_exact_points: 200,

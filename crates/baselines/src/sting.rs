@@ -72,6 +72,9 @@ pub struct StingGrid {
 
 impl StingGrid {
     /// Build the hierarchy for a point set.
+    // The per-dimension loop updates four parallel statistics vectors;
+    // indexing keeps them visibly in lockstep.
+    #[allow(clippy::needless_range_loop)]
     pub fn build(points: &[Vec<f64>], levels: u32) -> Self {
         let dims = points.first().map_or(0, |p| p.len());
         let mut lower = vec![f64::INFINITY; dims];
@@ -216,7 +219,7 @@ impl StingGrid {
 
         // Union-find over relevant leaves connected through shared faces.
         let mut parent: Vec<usize> = (0..relevant.len()).collect();
-        fn find(parent: &mut Vec<usize>, mut i: usize) -> usize {
+        fn find(parent: &mut [usize], mut i: usize) -> usize {
             while parent[i] != i {
                 parent[i] = parent[parent[i]];
                 i = parent[i];
@@ -238,9 +241,7 @@ impl StingGrid {
             }
         }
 
-        let roots: Vec<usize> = (0..parent.len())
-            .map(|i| find(&mut parent, i))
-            .collect();
+        let roots: Vec<usize> = (0..parent.len()).map(|i| find(&mut parent, i)).collect();
         let assignment: Vec<Option<usize>> = self
             .leaf_of_point
             .iter()
@@ -269,11 +270,11 @@ mod tests {
         let mut points = Vec::new();
         let mut truth = Vec::new();
         shapes::gaussian_blob(&mut points, &mut rng, &[0.25, 0.25], &[0.03, 0.03], 400);
-        truth.extend(std::iter::repeat(0usize).take(400));
+        truth.extend(std::iter::repeat_n(0usize, 400));
         shapes::gaussian_blob(&mut points, &mut rng, &[0.75, 0.75], &[0.03, 0.03], 400);
-        truth.extend(std::iter::repeat(1usize).take(400));
+        truth.extend(std::iter::repeat_n(1usize, 400));
         shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], 300);
-        truth.extend(std::iter::repeat(2usize).take(300));
+        truth.extend(std::iter::repeat_n(2usize, 300));
         (points, truth)
     }
 
@@ -337,11 +338,7 @@ mod tests {
 
     #[test]
     fn statistics_of_a_leaf_match_its_members() {
-        let points = vec![
-            vec![0.1, 0.1],
-            vec![0.12, 0.14],
-            vec![0.9, 0.9],
-        ];
+        let points = vec![vec![0.1, 0.1], vec![0.12, 0.14], vec![0.9, 0.9]];
         let grid = StingGrid::build(&points, 2);
         let leaf = StingGrid::leaf_coords(&points[0], grid.bounds().0, grid.bounds().1, 2);
         let stats = grid.cell(2, &leaf).unwrap();

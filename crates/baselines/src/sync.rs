@@ -140,9 +140,9 @@ mod tests {
         let mut points = Vec::new();
         let mut truth = Vec::new();
         shapes::gaussian_blob(&mut points, &mut rng, &[0.3, 0.3], &[0.02, 0.02], 100);
-        truth.extend(std::iter::repeat(0usize).take(100));
+        truth.extend(std::iter::repeat_n(0usize, 100));
         shapes::gaussian_blob(&mut points, &mut rng, &[0.7, 0.7], &[0.02, 0.02], 100);
-        truth.extend(std::iter::repeat(1usize).take(100));
+        truth.extend(std::iter::repeat_n(1usize, 100));
         (points, truth)
     }
 

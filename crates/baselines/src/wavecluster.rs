@@ -9,7 +9,9 @@
 //! `M^d` grid volume, which is exactly the limitation the paper's
 //! "grid labeling" structure removes.
 
-use adawave_grid::{connected_components, Connectivity, KeyCodec, LookupTable, Quantizer, SparseGrid};
+use adawave_grid::{
+    connected_components, Connectivity, KeyCodec, LookupTable, Quantizer, SparseGrid,
+};
 use adawave_wavelet::{BoundaryMode, DenseGrid, Wavelet};
 
 use crate::Clustering;
@@ -151,11 +153,11 @@ mod tests {
         let mut points = Vec::new();
         let mut truth = Vec::new();
         shapes::gaussian_blob(&mut points, &mut rng, &[0.25, 0.25], &[0.03, 0.03], 600);
-        truth.extend(std::iter::repeat(0usize).take(600));
+        truth.extend(std::iter::repeat_n(0usize, 600));
         shapes::gaussian_blob(&mut points, &mut rng, &[0.75, 0.75], &[0.03, 0.03], 600);
-        truth.extend(std::iter::repeat(1usize).take(600));
+        truth.extend(std::iter::repeat_n(1usize, 600));
         shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], noise);
-        truth.extend(std::iter::repeat(2usize).take(noise));
+        truth.extend(std::iter::repeat_n(2usize, noise));
         (points, truth)
     }
 
@@ -187,7 +189,10 @@ mod tests {
             },
         );
         let score = ami_ignoring_noise(&truth, &clustering.to_labels(NOISE_LABEL), 2);
-        assert!(score < 0.9, "expected degradation under heavy noise, got {score}");
+        assert!(
+            score < 0.9,
+            "expected degradation under heavy noise, got {score}"
+        );
     }
 
     #[test]
@@ -206,9 +211,9 @@ mod tests {
         let mut points = Vec::new();
         let mut truth = Vec::new();
         shapes::gaussian_blob(&mut points, &mut rng, &[0.2; 5], &[0.03; 5], 300);
-        truth.extend(std::iter::repeat(0usize).take(300));
+        truth.extend(std::iter::repeat_n(0usize, 300));
         shapes::gaussian_blob(&mut points, &mut rng, &[0.8; 5], &[0.03; 5], 300);
-        truth.extend(std::iter::repeat(1usize).take(300));
+        truth.extend(std::iter::repeat_n(1usize, 300));
         let clustering = wavecluster(&points, &WaveClusterConfig::default());
         // No noise in the ground truth: apply the paper's Table-I protocol
         // and push grid-noise points back to the nearest cluster before
@@ -245,6 +250,10 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert_eq!(clustering.cluster_count(), 1, "ring should be a single cluster");
+        assert_eq!(
+            clustering.cluster_count(),
+            1,
+            "ring should be a single cluster"
+        );
     }
 }

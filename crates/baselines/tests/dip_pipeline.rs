@@ -22,7 +22,9 @@ fn bimodal_projection_has_a_larger_dip_than_a_unimodal_one() {
     let bimodal: Vec<f64> = points.iter().map(|p| p[0]).collect();
 
     let mut rng = Rng::new(77);
-    let unimodal: Vec<f64> = (0..bimodal.len()).map(|_| rng.normal_with(0.5, 0.1)).collect();
+    let unimodal: Vec<f64> = (0..bimodal.len())
+        .map(|_| rng.normal_with(0.5, 0.1))
+        .collect();
 
     let bimodal_dip = dip_statistic(&bimodal).dip;
     let unimodal_dip = dip_statistic(&unimodal).dip;
@@ -60,14 +62,17 @@ fn unidip_finds_both_modes_of_the_x_projection() {
     let intervals = unidip(&xs, &config, &mut rng);
     assert_eq!(intervals.len(), 2, "intervals {intervals:?}");
     // One interval around 0.2, the other around 0.8, neither spanning both.
-    let mut sorted = xs.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let centers: Vec<f64> = intervals
-        .iter()
-        .map(|&(lo, hi)| (sorted[lo] + sorted[hi]) / 2.0)
-        .collect();
-    assert!(centers.iter().any(|&c| (c - 0.2).abs() < 0.1), "{centers:?}");
-    assert!(centers.iter().any(|&c| (c - 0.8).abs() < 0.1), "{centers:?}");
+    // `unidip` returns (low, high) *value* ranges, so the center is their
+    // midpoint directly.
+    let centers: Vec<f64> = intervals.iter().map(|&(lo, hi)| (lo + hi) / 2.0).collect();
+    assert!(
+        centers.iter().any(|&c| (c - 0.2).abs() < 0.1),
+        "{centers:?}"
+    );
+    assert!(
+        centers.iter().any(|&c| (c - 0.8).abs() < 0.1),
+        "{centers:?}"
+    );
 }
 
 #[test]

@@ -1,14 +1,16 @@
 //! A uniform interface over AdaWave and every baseline, so experiments can
 //! sweep algorithms the same way the paper's tables do.
+//!
+//! Since the unified-API redesign there is no per-algorithm dispatch here:
+//! every algorithm is resolved by name through the standard
+//! [`AlgorithmRegistry`], and the only per-algorithm knowledge left is the
+//! *paper's protocol* — which parameters each algorithm receives
+//! ([`Algorithm::candidate_specs`]), expressed as data
+//! ([`AlgorithmSpec`]s), not as code.
 
 use std::time::Instant;
 
-use adawave_baselines::{
-    dbscan::dbscan_best_eps, dipmeans, em, kmeans, ric, self_tuning_spectral, skinnydip,
-    wavecluster, DipMeansConfig, EmConfig, KMeansConfig, RicConfig, SkinnyDipConfig,
-    SpectralConfig, WaveClusterConfig,
-};
-use adawave_core::{AdaWave, AdaWaveConfig};
+use adawave::{standard_registry, AlgorithmRegistry, AlgorithmSpec, Clustering};
 use adawave_metrics::{ami, ami_ignoring_noise, NOISE_LABEL};
 
 /// The algorithms compared in the paper's evaluation (§V-A).
@@ -78,6 +80,46 @@ impl Algorithm {
             Algorithm::DipMeans => "DipMean",
             Algorithm::Ric => "RIC",
             Algorithm::WaveCluster => "WaveCluster",
+        }
+    }
+
+    /// The registry key this algorithm resolves through.
+    pub fn registry_key(&self) -> &'static str {
+        match self {
+            Algorithm::AdaWave => "adawave",
+            Algorithm::SkinnyDip => "skinnydip",
+            Algorithm::Dbscan => "dbscan",
+            Algorithm::Em => "em",
+            Algorithm::KMeans => "kmeans",
+            Algorithm::Stsc => "stsc",
+            Algorithm::DipMeans => "dipmeans",
+            Algorithm::Ric => "ric",
+            Algorithm::WaveCluster => "wavecluster",
+        }
+    }
+
+    /// The paper's parameterization protocol, as data: the spec(s) to run
+    /// for this algorithm under `options`. Most algorithms yield exactly
+    /// one spec; DBSCAN yields one per candidate `eps` (the paper tunes
+    /// eps against the ground truth and reports the best score).
+    pub fn candidate_specs(&self, options: &RunOptions) -> Vec<AlgorithmSpec> {
+        let base = AlgorithmSpec::new(self.registry_key());
+        match self {
+            Algorithm::AdaWave => vec![base.with("scale", options.adawave_scale)],
+            Algorithm::SkinnyDip | Algorithm::DipMeans => {
+                vec![base.with("seed", options.seed)]
+            }
+            Algorithm::Dbscan => (1..=20)
+                .map(|i| {
+                    base.clone()
+                        .with("eps", i as f64 * 0.01)
+                        .with("min-points", 8)
+                })
+                .collect(),
+            Algorithm::Em | Algorithm::KMeans | Algorithm::Stsc | Algorithm::Ric => {
+                vec![base.with("k", options.true_k).with("seed", options.seed)]
+            }
+            Algorithm::WaveCluster => vec![base],
         }
     }
 }
@@ -150,112 +192,44 @@ fn tuning_score(truth: &[usize], labels: &[usize], noise_label: Option<usize>) -
     }
 }
 
-/// Run one algorithm on a point set, timing it and normalizing its output.
-pub fn run_algorithm(
+/// Run one algorithm through `registry`, timing it and normalizing its
+/// output. With several candidate specs (DBSCAN's eps sweep) the best
+/// tuning-scored clustering is kept, as in the paper's protocol.
+pub fn run_algorithm_with(
+    registry: &AlgorithmRegistry,
     algorithm: Algorithm,
     points: &[Vec<f64>],
     options: &RunOptions,
 ) -> AlgoOutcome {
     let start = Instant::now();
-    let (labels, clusters) = match algorithm {
-        Algorithm::AdaWave => {
-            let config = AdaWaveConfig::builder()
-                .scale(options.adawave_scale)
-                .build();
-            let result = AdaWave::new(config).fit(points).expect("adawave run");
-            let labels = if options.reassign_noise {
-                result.assign_noise_to_nearest_centroid(points)
-            } else {
-                result.to_labels(NOISE_LABEL)
-            };
-            (labels, result.cluster_count())
-        }
-        Algorithm::SkinnyDip => {
-            let config = SkinnyDipConfig {
-                seed: options.seed,
-                ..Default::default()
-            };
-            let clustering = skinnydip(points, &config);
-            let clusters = clustering.cluster_count();
-            let labels = if options.reassign_noise {
-                clustering
-                    .assign_noise_to_nearest_centroid(points)
-                    .to_labels(NOISE_LABEL)
-            } else {
-                clustering.to_labels(NOISE_LABEL)
-            };
-            (labels, clusters)
-        }
-        Algorithm::Dbscan => {
-            let eps_values: Vec<f64> = (1..=20).map(|i| i as f64 * 0.01).collect();
-            let truth = options.truth_for_tuning.clone();
-            let noise = options.tuning_noise_label;
-            let (clustering, _) = dbscan_best_eps(points, &eps_values, 8, |c| {
-                tuning_score(&truth, &c.to_labels(NOISE_LABEL), noise)
-            });
-            let clusters = clustering.cluster_count();
-            let labels = if options.reassign_noise {
-                clustering
-                    .assign_noise_to_nearest_centroid(points)
-                    .to_labels(NOISE_LABEL)
-            } else {
-                clustering.to_labels(NOISE_LABEL)
-            };
-            (labels, clusters)
-        }
-        Algorithm::Em => {
-            let (_, clustering) = em(points, &EmConfig::new(options.true_k, options.seed));
-            (clustering.to_labels(NOISE_LABEL), clustering.cluster_count())
-        }
-        Algorithm::KMeans => {
-            let result = kmeans(points, &KMeansConfig::new(options.true_k, options.seed));
-            (
-                result.clustering.to_labels(NOISE_LABEL),
-                result.clustering.cluster_count(),
+    let mut best: Option<(Clustering, f64)> = None;
+    let candidates = algorithm.candidate_specs(options);
+    let tuned = candidates.len() > 1;
+    for spec in &candidates {
+        let clustering = registry
+            .fit(spec, points)
+            .unwrap_or_else(|e| panic!("{spec} run: {e}"));
+        let score = if tuned {
+            tuning_score(
+                &options.truth_for_tuning,
+                &clustering.to_labels(NOISE_LABEL),
+                options.tuning_noise_label,
             )
+        } else {
+            0.0
+        };
+        if best.as_ref().is_none_or(|(_, s)| score > *s) {
+            best = Some((clustering, score));
         }
-        Algorithm::Stsc => {
-            let config = SpectralConfig {
-                k: Some(options.true_k),
-                seed: options.seed,
-                ..Default::default()
-            };
-            let clustering = self_tuning_spectral(points, &config);
-            (clustering.to_labels(NOISE_LABEL), clustering.cluster_count())
-        }
-        Algorithm::DipMeans => {
-            let config = DipMeansConfig {
-                seed: options.seed,
-                ..Default::default()
-            };
-            let clustering = dipmeans(points, &config);
-            (clustering.to_labels(NOISE_LABEL), clustering.cluster_count())
-        }
-        Algorithm::Ric => {
-            let config = RicConfig::new(options.true_k.max(2) * 2, options.seed);
-            let clustering = ric(points, &config);
-            let clusters = clustering.cluster_count();
-            let labels = if options.reassign_noise {
-                clustering
-                    .assign_noise_to_nearest_centroid(points)
-                    .to_labels(NOISE_LABEL)
-            } else {
-                clustering.to_labels(NOISE_LABEL)
-            };
-            (labels, clusters)
-        }
-        Algorithm::WaveCluster => {
-            let clustering = wavecluster(points, &WaveClusterConfig::default());
-            let clusters = clustering.cluster_count();
-            let labels = if options.reassign_noise {
-                clustering
-                    .assign_noise_to_nearest_centroid(points)
-                    .to_labels(NOISE_LABEL)
-            } else {
-                clustering.to_labels(NOISE_LABEL)
-            };
-            (labels, clusters)
-        }
+    }
+    let (clustering, _) = best.expect("at least one candidate spec");
+    let clusters = clustering.cluster_count();
+    let labels = if options.reassign_noise {
+        clustering
+            .assign_noise_to_nearest_centroid(points)
+            .to_labels(NOISE_LABEL)
+    } else {
+        clustering.to_labels(NOISE_LABEL)
     };
     AlgoOutcome {
         algorithm,
@@ -263,6 +237,15 @@ pub fn run_algorithm(
         clusters,
         seconds: start.elapsed().as_secs_f64(),
     }
+}
+
+/// [`run_algorithm_with`] against the standard registry.
+pub fn run_algorithm(
+    algorithm: Algorithm,
+    points: &[Vec<f64>],
+    options: &RunOptions,
+) -> AlgoOutcome {
+    run_algorithm_with(&standard_registry(), algorithm, points, options)
 }
 
 #[cfg(test)]
@@ -277,6 +260,32 @@ mod tests {
         assert_eq!(Algorithm::FIG8.len(), 6);
         assert_eq!(Algorithm::TABLE1.len(), 8);
         assert_eq!(Algorithm::FIG10.len(), 5);
+    }
+
+    #[test]
+    fn every_algorithm_resolves_through_the_registry() {
+        let registry = standard_registry();
+        let options = RunOptions::new(3, &[0, 0, 1], None);
+        for algorithm in Algorithm::TABLE1
+            .iter()
+            .chain([Algorithm::WaveCluster].iter())
+        {
+            for spec in algorithm.candidate_specs(&options) {
+                registry
+                    .resolve(&spec)
+                    .unwrap_or_else(|e| panic!("{spec}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn dbscan_protocol_sweeps_twenty_eps_candidates() {
+        let options = RunOptions::new(3, &[0, 0, 1], None);
+        let specs = Algorithm::Dbscan.candidate_specs(&options);
+        assert_eq!(specs.len(), 20);
+        assert!(specs.iter().all(|s| s.name == "dbscan"));
+        assert_eq!(specs[0].params.get("eps"), Some("0.01"));
+        assert_eq!(specs[19].params.get("eps"), Some("0.2"));
     }
 
     #[test]

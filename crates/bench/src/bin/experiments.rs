@@ -11,8 +11,8 @@
 //! few minutes on a laptop; `--full` uses the paper's sizes.
 
 use adawave_bench::experiments::{
-    self, print_ablation, print_fig10, print_fig2, print_fig5, print_fig6, print_fig7,
-    print_fig8, print_fig9, print_table1, print_table2,
+    self, print_ablation, print_fig10, print_fig2, print_fig5, print_fig6, print_fig7, print_fig8,
+    print_fig9, print_table1, print_table2,
 };
 use adawave_data::uci::ROADMAP_FULL_SIZE;
 

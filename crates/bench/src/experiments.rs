@@ -16,7 +16,9 @@ use adawave_linalg::pearson_correlation;
 use adawave_metrics::{ami, NOISE_LABEL};
 use adawave_wavelet::{dwt2d, BoundaryMode, DenseGrid, Wavelet};
 
-use crate::algorithms::{run_algorithm, AlgoOutcome, Algorithm, RunOptions};
+use adawave::standard_registry;
+
+use crate::algorithms::{run_algorithm_with, AlgoOutcome, Algorithm, RunOptions};
 use crate::report::{fmt3, fmt_seconds, format_table};
 
 // ---------------------------------------------------------------------------
@@ -47,6 +49,7 @@ pub fn fig2_running_example(points_per_cluster: usize, seed: u64) -> Vec<Fig2Row
         synthetic_benchmark(50.0, points_per_cluster, seed)
     };
     let options = RunOptions::new(5, &ds.labels, ds.noise_label);
+    let registry = standard_registry();
     [
         Algorithm::AdaWave,
         Algorithm::KMeans,
@@ -55,7 +58,7 @@ pub fn fig2_running_example(points_per_cluster: usize, seed: u64) -> Vec<Fig2Row
     ]
     .iter()
     .map(|&algorithm| {
-        let outcome = run_algorithm(algorithm, &ds.points, &options);
+        let outcome = run_algorithm_with(&registry, algorithm, &ds.points, &options);
         Fig2Row {
             algorithm,
             ami: outcome.ami_ignoring_noise(&ds.labels, SYNTHETIC_NOISE_LABEL),
@@ -222,9 +225,7 @@ pub fn fig6_threshold(points_per_cluster: usize, seed: u64) -> Fig6Data {
     let result = AdaWave::default().fit(&ds.points).expect("adawave");
     let sorted = result.sorted_densities().to_vec();
     let m = sorted.len();
-    let deciles: Vec<f64> = (0..=10)
-        .map(|i| sorted[((m - 1) * i) / 10])
-        .collect();
+    let deciles: Vec<f64> = (0..=10).map(|i| sorted[((m - 1) * i) / 10]).collect();
     let strategies = [
         ThresholdStrategy::ElbowAngle { divisor: 3.0 },
         ThresholdStrategy::ThreeSegment,
@@ -261,9 +262,7 @@ pub fn print_fig6(data: &Fig6Data) {
     let rows: Vec<Vec<String>> = data
         .thresholds
         .iter()
-        .map(|(name, t, surviving)| {
-            vec![name.clone(), fmt3(*t), surviving.to_string()]
-        })
+        .map(|(name, t, surviving)| vec![name.clone(), fmt3(*t), surviving.to_string()])
         .collect();
     println!(
         "{}",
@@ -328,12 +327,13 @@ pub fn fig8_noise_sweep(
     noise_levels: &[f64],
     seed: u64,
 ) -> Vec<Fig8Row> {
+    let registry = standard_registry();
     let mut rows = Vec::new();
     for &noise in noise_levels {
         let ds = synthetic_benchmark(noise, points_per_cluster, seed);
         let options = RunOptions::new(5, &ds.labels, ds.noise_label);
         for &algorithm in &Algorithm::FIG8 {
-            let outcome = run_algorithm(algorithm, &ds.points, &options);
+            let outcome = run_algorithm_with(&registry, algorithm, &ds.points, &options);
             rows.push(Fig8Row {
                 noise_percent: noise,
                 algorithm,
@@ -443,12 +443,13 @@ pub struct Fig10Row {
 /// Reproduce Fig. 10: wall-clock runtime of the Fig. 10 algorithms as the
 /// number of objects grows (75% noise, as in the paper).
 pub fn fig10_runtime(points_per_cluster: &[usize], seed: u64) -> Vec<Fig10Row> {
+    let registry = standard_registry();
     let mut rows = Vec::new();
     for &per_cluster in points_per_cluster {
         let ds = runtime_scaling_dataset(per_cluster, seed);
         let options = RunOptions::new(5, &ds.labels, ds.noise_label);
         for &algorithm in &Algorithm::FIG10 {
-            let outcome = run_algorithm(algorithm, &ds.points, &options);
+            let outcome = run_algorithm_with(&registry, algorithm, &ds.points, &options);
             rows.push(Fig10Row {
                 n: ds.len(),
                 algorithm,
@@ -510,6 +511,7 @@ fn dataset_true_k(ds: &Dataset) -> usize {
 /// of the Roadmap surrogate; `max_points` caps every dataset (0 = no cap)
 /// so quick runs stay fast.
 pub fn table1(seed: u64, roadmap_n: usize, max_points: usize) -> Vec<Table1Cell> {
+    let registry = standard_registry();
     let mut cells = Vec::new();
     for mut ds in table1_datasets(seed, roadmap_n) {
         if max_points > 0 && ds.len() > max_points {
@@ -523,7 +525,7 @@ pub fn table1(seed: u64, roadmap_n: usize, max_points: usize) -> Vec<Table1Cell>
             ..RunOptions::new(dataset_true_k(&ds), &ds.labels, ds.noise_label)
         };
         for &algorithm in &Algorithm::TABLE1 {
-            let outcome = run_algorithm(algorithm, &ds.points, &options);
+            let outcome = run_algorithm_with(&registry, algorithm, &ds.points, &options);
             cells.push(Table1Cell {
                 dataset: ds.name.clone(),
                 algorithm,
@@ -676,11 +678,7 @@ pub fn ablation(points_per_cluster: usize, seed: u64) -> Vec<AblationRow> {
         });
     }
     for connectivity in Connectivity::ALL {
-        let (ami, clusters) = score(
-            AdaWaveConfig::builder()
-                .connectivity(connectivity)
-                .build(),
-        );
+        let (ami, clusters) = score(AdaWaveConfig::builder().connectivity(connectivity).build());
         rows.push(AblationRow {
             dimension: "connectivity".into(),
             variant: format!("{connectivity:?}"),

@@ -7,11 +7,14 @@
 use std::collections::BTreeMap;
 
 /// Parsed command line: the subcommand plus its options.
+///
+/// Options may repeat (`--param k=3 --param seed=7`): [`get`](Self::get)
+/// returns the last value, [`get_all`](Self::get_all) every value in order.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ParsedArgs {
     /// The subcommand (e.g. `cluster`), empty when none was given.
     pub command: String,
-    options: BTreeMap<String, String>,
+    options: BTreeMap<String, Vec<String>>,
     flags: Vec<String>,
 }
 
@@ -80,7 +83,11 @@ impl ParsedArgs {
                 match iter.peek() {
                     Some(next) if !next.starts_with("--") => {
                         let value = iter.next().expect("peeked");
-                        parsed.options.insert(name.to_string(), value);
+                        parsed
+                            .options
+                            .entry(name.to_string())
+                            .or_default()
+                            .push(value);
                     }
                     _ => parsed.flags.push(name.to_string()),
                 }
@@ -91,9 +98,21 @@ impl ParsedArgs {
         Ok(parsed)
     }
 
-    /// Raw value of an option, if present.
+    /// Raw value of an option, if present (the last one when repeated).
     pub fn get(&self, name: &str) -> Option<&str> {
-        self.options.get(name).map(String::as_str)
+        self.options
+            .get(name)
+            .and_then(|v| v.last())
+            .map(String::as_str)
+    }
+
+    /// Every value given for a repeatable option, in order.
+    pub fn get_all(&self, name: &str) -> impl Iterator<Item = &str> {
+        self.options
+            .get(name)
+            .into_iter()
+            .flatten()
+            .map(String::as_str)
     }
 
     /// Whether a boolean flag was given.
@@ -171,6 +190,21 @@ mod tests {
     }
 
     #[test]
+    fn repeated_options_collect_in_order() {
+        let args = ParsedArgs::parse([
+            "cluster", "--param", "k=3", "--param", "seed=7", "--param", "k=5",
+        ])
+        .unwrap();
+        assert_eq!(
+            args.get_all("param").collect::<Vec<_>>(),
+            vec!["k=3", "seed=7", "k=5"]
+        );
+        // `get` sees the last occurrence.
+        assert_eq!(args.get("param"), Some("k=5"));
+        assert_eq!(args.get_all("absent").count(), 0);
+    }
+
+    #[test]
     fn unexpected_positional_is_rejected() {
         assert!(matches!(
             ParsedArgs::parse(["cluster", "somefile.csv"]),
@@ -198,10 +232,7 @@ mod tests {
             args.parse_f64_list("noise", &[]).unwrap(),
             vec![20.0, 50.0, 80.0]
         );
-        assert_eq!(
-            args.parse_f64_list("other", &[1.0]).unwrap(),
-            vec![1.0]
-        );
+        assert_eq!(args.parse_f64_list("other", &[1.0]).unwrap(), vec![1.0]);
         let bad = ParsedArgs::parse(["sweep", "--noise", "20,x"]).unwrap();
         assert!(bad.parse_f64_list("noise", &[]).is_err());
     }

@@ -7,13 +7,7 @@
 use std::path::Path;
 use std::time::Instant;
 
-use adawave_baselines::{
-    clique, dbscan, dipmeans, em, kmeans, mean_shift, optics, ric, self_tuning_spectral,
-    skinnydip, sting, sync_cluster, wavecluster, CliqueConfig, Clustering, DbscanConfig,
-    DipMeansConfig, EmConfig, KMeansConfig, MeanShiftConfig, OpticsConfig, RicConfig,
-    SkinnyDipConfig, SpectralConfig, StingConfig, SyncConfig, WaveClusterConfig,
-};
-use adawave_core::{AdaWave, AdaWaveConfig, ThresholdStrategy};
+use adawave::{standard_registry, AlgorithmEntry, AlgorithmSpec, ClusterError, Params};
 use adawave_data::synthetic::{running_example, synthetic_benchmark};
 use adawave_data::{csv, uci, Dataset};
 use adawave_metrics::{
@@ -56,6 +50,12 @@ impl From<String> for CliError {
     }
 }
 
+impl From<ClusterError> for CliError {
+    fn from(e: ClusterError) -> Self {
+        CliError::Message(e.to_string())
+    }
+}
+
 /// Result alias for command functions.
 pub type CliResult<T> = Result<T, CliError>;
 
@@ -73,7 +73,10 @@ COMMANDS:
              [--noise <percent>] [--points-per-cluster <n>] [--seed <n>]
              --out <file.csv>
   cluster    Cluster a CSV file (features..., label per line)
-             --input <file.csv> [--algorithm <name>] [--out <labels.csv>]
+             --input <file.csv> [--algo|--algorithm <name[:key=value,...]>]
+             [--out <labels.csv>]
+             [--param <key=value>]... (uniform, see `list-algorithms`;
+              on collision: shorthand flag < algo spec < --param)
              [--scale <n>] [--wavelet <haar|db2|db3|cdf22|cdf13>]
              [--levels <n>] [--threshold <three-segment|elbow|kneedle|
               quantile:<f>|fixed:<f>>] [--k <n>] [--eps <f>]
@@ -84,12 +87,16 @@ COMMANDS:
   sweep      AMI of AdaWave and the baselines across noise levels (mini Fig. 8)
              [--noise <list, default 20,50,80>] [--points-per-cluster <n>]
              [--seed <n>]
+  list-algorithms
+             Every registered algorithm with its parameters and defaults
   info       List the available algorithms, wavelets and threshold strategies
   help       Show this message
 
 ALGORITHMS:
-  adawave (default), kmeans, dbscan, em, wavecluster, skinnydip, dipmeans,
-  stsc, ric, optics, meanshift, sync, sting, clique
+  adawave (default) and every baseline in the algorithm registry — run
+  `adawave list-algorithms` for the authoritative list with per-algorithm
+  parameters and defaults; `--param k=3` passes any listed parameter
+  directly to the algorithm.
 ";
 
 /// Dispatch a parsed command line; returns the text to print on stdout.
@@ -99,6 +106,7 @@ pub fn dispatch(args: &ParsedArgs) -> CliResult<String> {
         "cluster" => cluster(args),
         "evaluate" => evaluate(args),
         "sweep" => sweep(args),
+        "list-algorithms" => Ok(list_algorithms()),
         "info" => Ok(info()),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Message(format!(
@@ -176,112 +184,72 @@ pub struct ClusterOutcome {
     pub seconds: f64,
 }
 
-/// Parse a `--threshold` value.
-pub fn parse_threshold(raw: &str) -> CliResult<ThresholdStrategy> {
-    if let Some(rest) = raw.strip_prefix("quantile:") {
-        let q: f64 = rest
-            .parse()
-            .map_err(|_| CliError::Message(format!("bad quantile '{rest}'")))?;
-        return Ok(ThresholdStrategy::Quantile(q));
+/// Build the [`AlgorithmSpec`] for one CLI invocation from a parsed base
+/// spec (the compact `name[:key=value,...]` form of `--algo`). Shorthand
+/// flags the user actually gave (`--k`, `--eps`, `--scale`, ...) become
+/// parameters that [`resolve_lenient`] trims to whatever the selected
+/// algorithm declares; flags the user did not give are left out so the
+/// registry defaults shown by `list-algorithms` apply. The one exception
+/// is `k`, which defaults to the dataset's class count (the paper's
+/// protocol for the centroid/model-based algorithms). Compact-spec params
+/// and explicit `--param key=value` pairs are validated strictly against
+/// the algorithm's parameter list so typos are caught. On key collision,
+/// precedence is shorthand flag < compact spec < `--param` — the dedicated
+/// parameter channels deliberately beat the shared convenience flags.
+///
+/// [`resolve_lenient`]: adawave::AlgorithmRegistry::resolve_lenient
+pub fn build_spec(
+    base: AlgorithmSpec,
+    args: &ParsedArgs,
+    true_k: usize,
+    entry: &AlgorithmEntry,
+) -> CliResult<AlgorithmSpec> {
+    entry.validate_keys(&base.params)?;
+    let mut spec =
+        AlgorithmSpec::new(base.name.clone()).with("k", args.parse_or("k", true_k.max(1))?);
+    for key in [
+        "seed",
+        "eps",
+        "min-points",
+        "bandwidth",
+        "scale",
+        "wavelet",
+        "levels",
+        "threshold",
+    ] {
+        if let Some(value) = args.get(key) {
+            spec.params.set(key, value);
+        }
     }
-    if let Some(rest) = raw.strip_prefix("fixed:") {
-        let v: f64 = rest
-            .parse()
-            .map_err(|_| CliError::Message(format!("bad fixed threshold '{rest}'")))?;
-        return Ok(ThresholdStrategy::Fixed(v));
+    spec.params.merge(&base.params);
+    let mut explicit = Params::new();
+    for pair in args.get_all("param") {
+        explicit.set_pair(pair)?;
     }
-    match raw {
-        "three-segment" => Ok(ThresholdStrategy::ThreeSegment),
-        "elbow" | "elbow-angle" => Ok(ThresholdStrategy::ElbowAngle { divisor: 3.0 }),
-        "kneedle" => Ok(ThresholdStrategy::Kneedle),
-        other => Err(CliError::Message(format!(
-            "unknown threshold strategy '{other}'"
-        ))),
-    }
+    entry.validate_keys(&explicit)?;
+    spec.params.merge(&explicit);
+    Ok(spec)
 }
 
-/// Cluster a point set with the algorithm and options from the command line.
-/// `true_k` is the number of ground-truth classes, used as `k` by the
-/// centroid/model-based algorithms when `--k` is not given.
+/// Cluster a point set with the algorithm and options from the command
+/// line, resolving the algorithm by name through the standard registry.
+/// `algorithm` accepts the bare name or the compact spec form
+/// `name:key=value,...`; `true_k` is the number of ground-truth classes,
+/// used as `k` by the centroid/model-based algorithms when `--k` is not
+/// given.
 pub fn run_clustering(
     algorithm: &str,
     points: &[Vec<f64>],
     args: &ParsedArgs,
     true_k: usize,
 ) -> CliResult<ClusterOutcome> {
-    let seed = args.parse_or("seed", 7u64)?;
-    let k = args.parse_or("k", true_k.max(1))?;
-    let eps = args.parse_or("eps", 0.05f64)?;
-    let min_points = args.parse_or("min-points", 8usize)?;
-    let bandwidth = args.parse_or("bandwidth", 0.1f64)?;
-    let scale = args.parse_or("scale", 128u32)?;
+    let registry = standard_registry();
+    let base = AlgorithmSpec::parse(algorithm)?;
+    let entry = registry.entry(&base.name)?;
+    let spec = build_spec(base, args, true_k, entry)?;
+    let clusterer = registry.resolve_lenient(&spec)?;
     let start = Instant::now();
-
-    let clustering: Clustering = match algorithm {
-        "adawave" => {
-            let wavelet_name = args.get("wavelet").unwrap_or("cdf22");
-            let wavelet = Wavelet::from_name(wavelet_name).ok_or_else(|| {
-                CliError::Message(format!("unknown wavelet '{wavelet_name}'"))
-            })?;
-            let threshold = match args.get("threshold") {
-                Some(raw) => parse_threshold(raw)?,
-                None => ThresholdStrategy::default(),
-            };
-            let config = AdaWaveConfig::builder()
-                .scale(scale)
-                .wavelet(wavelet)
-                .levels(args.parse_or("levels", 1u32)?)
-                .threshold(threshold)
-                .build();
-            let result = AdaWave::new(config)
-                .fit(points)
-                .map_err(|e| CliError::Message(format!("adawave failed: {e}")))?;
-            Clustering::new(result.assignment().to_vec())
-        }
-        "kmeans" => kmeans(points, &KMeansConfig::new(k, seed)).clustering,
-        "dbscan" => dbscan(points, &DbscanConfig::new(eps, min_points)),
-        "em" => em(points, &EmConfig::new(k, seed)).1,
-        "wavecluster" => wavecluster(
-            points,
-            &WaveClusterConfig {
-                scale,
-                ..Default::default()
-            },
-        ),
-        "skinnydip" => skinnydip(
-            points,
-            &SkinnyDipConfig {
-                seed,
-                ..Default::default()
-            },
-        ),
-        "dipmeans" => dipmeans(
-            points,
-            &DipMeansConfig {
-                seed,
-                ..Default::default()
-            },
-        ),
-        "stsc" => self_tuning_spectral(
-            points,
-            &SpectralConfig {
-                k: Some(k),
-                seed,
-                ..Default::default()
-            },
-        ),
-        "ric" => ric(points, &RicConfig::new(k.max(2) * 2, seed)),
-        "optics" => optics(points, &OpticsConfig::new(eps * 2.0, min_points, eps)),
-        "meanshift" => mean_shift(points, &MeanShiftConfig::new(bandwidth)),
-        "sync" => sync_cluster(points, &SyncConfig::new(eps)),
-        "sting" => sting(points, &StingConfig::new(5, min_points)),
-        "clique" => clique(points, &CliqueConfig::new(10, 0.01)),
-        other => {
-            return Err(CliError::Message(format!(
-                "unknown algorithm '{other}' (see `adawave help`)"
-            )))
-        }
-    };
+    let clustering = clusterer.fit(points)?;
     let seconds = start.elapsed().as_secs_f64();
 
     let labels = if args.flag("reassign-noise") {
@@ -327,7 +295,10 @@ pub fn labels_from_text(text: &str) -> CliResult<Vec<usize>> {
             labels.push(NOISE_LABEL);
         } else {
             labels.push(line.parse::<usize>().map_err(|_| {
-                CliError::Message(format!("labels file line {}: bad label '{line}'", line_no + 1))
+                CliError::Message(format!(
+                    "labels file line {}: bad label '{line}'",
+                    line_no + 1
+                ))
             })?);
         }
     }
@@ -336,7 +307,10 @@ pub fn labels_from_text(text: &str) -> CliResult<Vec<usize>> {
 
 fn cluster(args: &ParsedArgs) -> CliResult<String> {
     let input = args.require("input")?;
-    let algorithm = args.get("algorithm").unwrap_or("adawave");
+    let algorithm = args
+        .get("algorithm")
+        .or_else(|| args.get("algo"))
+        .unwrap_or("adawave");
     let ds = csv::load_csv(Path::new(input))
         .map_err(|e| CliError::Message(format!("reading {input}: {e}")))?;
     let outcome = run_clustering(algorithm, &ds.points, args, ds.cluster_count())?;
@@ -384,7 +358,10 @@ pub fn evaluation_report(
     }
     let mut out = String::new();
     out.push_str(&format!("points                {}\n", truth.len()));
-    out.push_str(&format!("AMI                   {:.4}\n", ami(truth, predicted)));
+    out.push_str(&format!(
+        "AMI                   {:.4}\n",
+        ami(truth, predicted)
+    ));
     if let Some(noise) = noise_label {
         out.push_str(&format!(
             "AMI (non-noise only)  {:.4}\n",
@@ -438,9 +415,10 @@ fn evaluate(args: &ParsedArgs) -> CliResult<String> {
         .map_err(|e| CliError::Message(format!("reading {labels_path}: {e}")))?;
     let predicted = labels_from_text(&text)?;
     let noise_label = match args.get("noise-label") {
-        Some(raw) => Some(raw.parse::<usize>().map_err(|_| {
-            CliError::Message(format!("bad --noise-label '{raw}'"))
-        })?),
+        Some(raw) => Some(
+            raw.parse::<usize>()
+                .map_err(|_| CliError::Message(format!("bad --noise-label '{raw}'")))?,
+        ),
         None => ds.noise_label,
     };
     evaluation_report(&ds.points, &ds.labels, &predicted, noise_label)
@@ -522,13 +500,15 @@ fn sweep(args: &ParsedArgs) -> CliResult<String> {
 }
 
 // ---------------------------------------------------------------------------
-// info
+// info & list-algorithms
 // ---------------------------------------------------------------------------
 
 fn info() -> String {
     let mut out = String::new();
     out.push_str(&format!("adawave {}\n\n", env!("CARGO_PKG_VERSION")));
-    out.push_str("algorithms: adawave kmeans dbscan em wavecluster skinnydip dipmeans stsc ric optics meanshift sync sting clique\n");
+    out.push_str("algorithms: ");
+    out.push_str(&standard_registry().names().join(" "));
+    out.push('\n');
     out.push_str("wavelets:   ");
     for w in Wavelet::ALL {
         out.push_str(w.name());
@@ -537,7 +517,14 @@ fn info() -> String {
     out.push('\n');
     out.push_str("thresholds: three-segment elbow kneedle quantile:<f> fixed:<f>\n");
     out.push_str("datasets:   running-example synthetic roadmap seeds iris glass dumdh htru2 dermatology motor wholesale\n");
+    out.push_str("\n(run `adawave list-algorithms` for per-algorithm parameters)\n");
     out
+}
+
+/// The `list-algorithms` command: every registered algorithm with its
+/// summary, parameters and defaults, straight from the registry.
+pub fn list_algorithms() -> String {
+    standard_registry().describe()
 }
 
 #[cfg(test)]
@@ -551,13 +538,13 @@ mod tests {
         let mut points = Vec::new();
         let mut truth = Vec::new();
         shapes::gaussian_blob(&mut points, &mut rng, &[0.2, 0.2], &[0.02, 0.02], 120);
-        truth.extend(std::iter::repeat(0usize).take(120));
+        truth.extend(std::iter::repeat_n(0usize, 120));
         shapes::gaussian_blob(&mut points, &mut rng, &[0.8, 0.8], &[0.02, 0.02], 120);
-        truth.extend(std::iter::repeat(1usize).take(120));
+        truth.extend(std::iter::repeat_n(1usize, 120));
         // The adaptive threshold expects a noise regime to cut away, so the
         // toy data mirrors the paper's setting: blobs plus uniform noise.
         shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], 60);
-        truth.extend(std::iter::repeat(2usize).take(60));
+        truth.extend(std::iter::repeat_n(2usize, 60));
         (points, truth)
     }
 
@@ -581,8 +568,8 @@ mod tests {
             "sting",
             "clique",
         ] {
-            let outcome = run_clustering(algo, &points, &args, 2)
-                .unwrap_or_else(|e| panic!("{algo}: {e}"));
+            let outcome =
+                run_clustering(algo, &points, &args, 2).unwrap_or_else(|e| panic!("{algo}: {e}"));
             assert_eq!(outcome.labels.len(), points.len(), "{algo}");
         }
     }
@@ -591,7 +578,58 @@ mod tests {
     fn unknown_algorithm_is_rejected() {
         let (points, _) = toy_points();
         let args = ParsedArgs::parse(["cluster"]).unwrap();
-        assert!(run_clustering("definitely-not-real", &points, &args, 2).is_err());
+        let err = run_clustering("definitely-not-real", &points, &args, 2).unwrap_err();
+        // The registry error names the known algorithms.
+        assert!(err.to_string().contains("adawave"), "{err}");
+    }
+
+    #[test]
+    fn param_flag_reaches_the_algorithm_and_typos_are_rejected() {
+        let (points, _) = toy_points();
+        // `--param k=3` overrides the k inferred from the dataset.
+        let args = ParsedArgs::parse(["cluster", "--param", "k=3", "--param", "seed=11"]).unwrap();
+        let outcome = run_clustering("kmeans", &points, &args, 2).unwrap();
+        assert_eq!(outcome.clusters, 3);
+        // A typo'd key is rejected with the accepted keys listed...
+        let args = ParsedArgs::parse(["cluster", "--param", "kk=3"]).unwrap();
+        let err = run_clustering("kmeans", &points, &args, 2).unwrap_err();
+        assert!(err.to_string().contains("kk"), "{err}");
+        assert!(err.to_string().contains("seed"), "{err}");
+        // ...as is a malformed pair and a bad value.
+        let args = ParsedArgs::parse(["cluster", "--param", "k"]).unwrap();
+        assert!(run_clustering("kmeans", &points, &args, 2).is_err());
+        let args = ParsedArgs::parse(["cluster", "--param", "k=banana"]).unwrap();
+        assert!(run_clustering("kmeans", &points, &args, 2).is_err());
+    }
+
+    #[test]
+    fn compact_algo_spec_and_stsc_auto_k() {
+        let (points, _) = toy_points();
+        // `--algo name:key=value,...` carries params inline.
+        let args = ParsedArgs::parse(["cluster"]).unwrap();
+        let outcome = run_clustering("kmeans:k=4,seed=3", &points, &args, 2).unwrap();
+        assert_eq!(outcome.clusters, 4);
+        // Typos in the compact form are caught like --param typos.
+        let err = run_clustering("kmeans:kk=4", &points, &args, 2).unwrap_err();
+        assert!(err.to_string().contains("kk"), "{err}");
+        // `--param` wins over the compact form on collision.
+        let args = ParsedArgs::parse(["cluster", "--param", "k=5"]).unwrap();
+        let outcome = run_clustering("kmeans:k=2,seed=3", &points, &args, 2).unwrap();
+        assert_eq!(outcome.clusters, 5);
+        // The documented stsc default (eigengap auto-k) is expressible even
+        // though the CLI injects a numeric k by default.
+        let args = ParsedArgs::parse(["cluster", "--param", "k=auto"]).unwrap();
+        let outcome = run_clustering("stsc", &points, &args, 2).unwrap();
+        assert!(outcome.clusters >= 1);
+    }
+
+    #[test]
+    fn list_algorithms_documents_every_registered_algorithm() {
+        let text = list_algorithms();
+        for name in adawave::standard_registry().names() {
+            assert!(text.contains(name), "{name} missing:\n{text}");
+        }
+        assert!(text.contains("default"), "{text}");
     }
 
     #[test]
@@ -607,8 +645,7 @@ mod tests {
     #[test]
     fn reassign_noise_flag_removes_noise_points() {
         let (points, _) = toy_points();
-        let args =
-            ParsedArgs::parse(["cluster", "--scale", "32", "--reassign-noise"]).unwrap();
+        let args = ParsedArgs::parse(["cluster", "--scale", "32", "--reassign-noise"]).unwrap();
         let outcome = run_clustering("adawave", &points, &args, 2).unwrap();
         assert_eq!(outcome.noise_points, 0);
     }
@@ -619,30 +656,11 @@ mod tests {
         let text = labels_to_text(&labels);
         assert_eq!(labels_from_text(&text).unwrap(), labels);
         // -1 is accepted as noise too.
-        assert_eq!(labels_from_text("0\n-1\n3\n").unwrap(), vec![0, NOISE_LABEL, 3]);
+        assert_eq!(
+            labels_from_text("0\n-1\n3\n").unwrap(),
+            vec![0, NOISE_LABEL, 3]
+        );
         assert!(labels_from_text("0\nbanana\n").is_err());
-    }
-
-    #[test]
-    fn threshold_parsing() {
-        assert_eq!(
-            parse_threshold("three-segment").unwrap(),
-            ThresholdStrategy::ThreeSegment
-        );
-        assert_eq!(
-            parse_threshold("quantile:0.25").unwrap(),
-            ThresholdStrategy::Quantile(0.25)
-        );
-        assert_eq!(
-            parse_threshold("fixed:3.5").unwrap(),
-            ThresholdStrategy::Fixed(3.5)
-        );
-        assert!(matches!(
-            parse_threshold("elbow").unwrap(),
-            ThresholdStrategy::ElbowAngle { .. }
-        ));
-        assert!(parse_threshold("nope").is_err());
-        assert!(parse_threshold("quantile:x").is_err());
     }
 
     #[test]

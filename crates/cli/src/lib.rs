@@ -7,7 +7,11 @@
 //! The crate is a thin shell around the workspace libraries: every command
 //! is an ordinary function in [`commands`] operating on in-memory data, and
 //! [`args`] is a small dependency-free `--key value` parser, so the whole
-//! tool is unit-testable without spawning processes.
+//! tool is unit-testable without spawning processes. Algorithms are
+//! resolved by name through the unified `AlgorithmRegistry` (see
+//! `adawave::standard_registry`), so `cluster --algo <name> --param
+//! key=value` reaches any registered algorithm with zero per-algorithm
+//! dispatch in this crate, and `list-algorithms` enumerates them all.
 //!
 //! ```
 //! use adawave_cli::args::ParsedArgs;

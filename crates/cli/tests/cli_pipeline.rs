@@ -14,10 +14,8 @@ struct ScratchDir {
 
 impl ScratchDir {
     fn new(tag: &str) -> Self {
-        let path = std::env::temp_dir().join(format!(
-            "adawave-cli-test-{tag}-{}",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("adawave-cli-test-{tag}-{}", std::process::id()));
         std::fs::create_dir_all(&path).expect("create scratch dir");
         Self { path }
     }
@@ -162,29 +160,24 @@ fn sweep_command_prints_a_table() {
 fn evaluate_rejects_mismatched_label_counts() {
     let dir = ScratchDir::new("mismatch");
     let data = dir.file("data.csv");
-    run(&[
-        "generate",
-        "--dataset",
-        "iris",
-        "--out",
-        &data,
-    ]);
+    run(&["generate", "--dataset", "iris", "--out", &data]);
     let labels = dir.file("short.csv");
     std::fs::write(&labels, "0\n1\n").unwrap();
-    let parsed =
-        ParsedArgs::parse(["evaluate", "--input", data.as_str(), "--labels", labels.as_str()])
-            .unwrap();
+    let parsed = ParsedArgs::parse([
+        "evaluate",
+        "--input",
+        data.as_str(),
+        "--labels",
+        labels.as_str(),
+    ])
+    .unwrap();
     assert!(dispatch(&parsed).is_err());
 }
 
 #[test]
 fn missing_input_file_is_a_clean_error() {
-    let parsed = ParsedArgs::parse([
-        "cluster",
-        "--input",
-        "/definitely/not/a/real/file.csv",
-    ])
-    .unwrap();
+    let parsed =
+        ParsedArgs::parse(["cluster", "--input", "/definitely/not/a/real/file.csv"]).unwrap();
     let err = dispatch(&parsed).unwrap_err();
     assert!(err.to_string().contains("file.csv"));
 }

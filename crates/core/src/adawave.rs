@@ -1,6 +1,8 @@
 //! The AdaWave algorithm (Algorithm 1 of the paper).
 
-use adawave_grid::{connected_components, BoundingBox, KeyCodec, LookupTable, Quantizer, SparseGrid};
+use adawave_grid::{
+    connected_components, BoundingBox, KeyCodec, LookupTable, Quantizer, SparseGrid,
+};
 
 use crate::config::AdaWaveConfig;
 use crate::result::{AdaWaveResult, GridStats};
@@ -158,20 +160,28 @@ mod tests {
     use adawave_metrics::{ami, ami_ignoring_noise, NOISE_LABEL};
     use adawave_wavelet::Wavelet;
 
-    fn blobs_with_noise(
-        per_blob: usize,
-        noise: usize,
-        seed: u64,
-    ) -> (Vec<Vec<f64>>, Vec<usize>) {
+    fn blobs_with_noise(per_blob: usize, noise: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
         let mut rng = Rng::new(seed);
         let mut points = Vec::new();
         let mut truth = Vec::new();
-        shapes::gaussian_blob(&mut points, &mut rng, &[0.25, 0.25], &[0.03, 0.03], per_blob);
-        truth.extend(std::iter::repeat(0usize).take(per_blob));
-        shapes::gaussian_blob(&mut points, &mut rng, &[0.75, 0.75], &[0.03, 0.03], per_blob);
-        truth.extend(std::iter::repeat(1usize).take(per_blob));
+        shapes::gaussian_blob(
+            &mut points,
+            &mut rng,
+            &[0.25, 0.25],
+            &[0.03, 0.03],
+            per_blob,
+        );
+        truth.extend(std::iter::repeat_n(0usize, per_blob));
+        shapes::gaussian_blob(
+            &mut points,
+            &mut rng,
+            &[0.75, 0.75],
+            &[0.03, 0.03],
+            per_blob,
+        );
+        truth.extend(std::iter::repeat_n(1usize, per_blob));
         shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], noise);
-        truth.extend(std::iter::repeat(2usize).take(noise));
+        truth.extend(std::iter::repeat_n(2usize, noise));
         (points, truth)
     }
 
@@ -181,7 +191,11 @@ mod tests {
         let result = AdaWave::new(AdaWaveConfig::builder().scale(64).build())
             .fit(&points)
             .unwrap();
-        assert!(result.cluster_count() >= 2, "found {}", result.cluster_count());
+        assert!(
+            result.cluster_count() >= 2,
+            "found {}",
+            result.cluster_count()
+        );
         // The Gaussian tails of each blob are indistinguishable from the 50%
         // uniform noise, so a score in the 0.7-0.8 range is what the paper
         // itself reports on its 50%-noise running example (AMI 0.76).
@@ -202,7 +216,11 @@ mod tests {
             SYNTHETIC_NOISE_LABEL,
         );
         assert!(score > 0.5, "AMI {score}");
-        assert!(result.cluster_count() >= 3, "clusters {}", result.cluster_count());
+        assert!(
+            result.cluster_count() >= 3,
+            "clusters {}",
+            result.cluster_count()
+        );
     }
 
     #[test]
@@ -211,11 +229,11 @@ mod tests {
         let mut points = Vec::new();
         let mut truth = Vec::new();
         shapes::ring(&mut points, &mut rng, (0.3, 0.5), 0.15, 0.008, 1500);
-        truth.extend(std::iter::repeat(0usize).take(1500));
+        truth.extend(std::iter::repeat_n(0usize, 1500));
         shapes::ring(&mut points, &mut rng, (0.7, 0.5), 0.15, 0.008, 1500);
-        truth.extend(std::iter::repeat(1usize).take(1500));
+        truth.extend(std::iter::repeat_n(1usize, 1500));
         shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], 1000);
-        truth.extend(std::iter::repeat(2usize).take(1000));
+        truth.extend(std::iter::repeat_n(2usize, 1000));
         let result = AdaWave::new(AdaWaveConfig::builder().scale(64).build())
             .fit(&points)
             .unwrap();
@@ -248,9 +266,7 @@ mod tests {
         let adawave = AdaWave::default();
         assert!(adawave.fit(&[]).is_err());
         assert!(adawave.fit(&[vec![]]).is_err());
-        assert!(adawave
-            .fit(&[vec![0.0, 1.0], vec![0.0]])
-            .is_err());
+        assert!(adawave.fit(&[vec![0.0, 1.0], vec![0.0]]).is_err());
     }
 
     #[test]
@@ -322,11 +338,7 @@ mod tests {
             .fit(&points)
             .unwrap();
             let score = ami_ignoring_noise(&truth, &result.to_labels(NOISE_LABEL), 2);
-            assert!(
-                score > 0.4,
-                "{}: AMI {score}",
-                strategy.name()
-            );
+            assert!(score > 0.4, "{}: AMI {score}", strategy.name());
         }
     }
 
@@ -334,11 +346,9 @@ mod tests {
     fn different_wavelets_still_cluster() {
         let (points, truth) = blobs_with_noise(800, 800, 19);
         for wavelet in [Wavelet::Haar, Wavelet::Cdf22, Wavelet::Daubechies2] {
-            let result = AdaWave::new(
-                AdaWaveConfig::builder().scale(64).wavelet(wavelet).build(),
-            )
-            .fit(&points)
-            .unwrap();
+            let result = AdaWave::new(AdaWaveConfig::builder().scale(64).wavelet(wavelet).build())
+                .fit(&points)
+                .unwrap();
             let score = ami_ignoring_noise(&truth, &result.to_labels(NOISE_LABEL), 2);
             assert!(score > 0.6, "{wavelet}: AMI {score}");
         }

@@ -20,6 +20,19 @@
 //! 5. **Label & lookup** — map every original point to the cluster of its
 //!    (downsampled) grid cell; points in removed cells become noise.
 //!
+//! ## The unified clustering API
+//!
+//! AdaWave participates in the workspace's unified API
+//! (`adawave-api`): [`AdaWave`] implements [`adawave_api::Clusterer`],
+//! whose `fit` returns the canonical [`adawave_api::Clustering`] shared
+//! with every baseline — obtain it from an [`AdaWaveResult`] via
+//! [`AdaWaveResult::to_clustering`]. The inherent [`AdaWave::fit`] remains
+//! the richer surface, additionally exposing the pipeline diagnostics
+//! ([`GridStats`], the sorted density curve of Fig. 6). Use
+//! [`clusterer::register`] to add AdaWave to an
+//! [`adawave_api::AlgorithmRegistry`], or the umbrella `adawave` crate's
+//! `standard_registry()` for AdaWave plus all baselines.
+//!
 //! ```
 //! use adawave_core::{AdaWave, AdaWaveConfig};
 //!
@@ -41,12 +54,14 @@
 #![deny(unsafe_code)]
 
 pub mod adawave;
+pub mod clusterer;
 pub mod config;
 pub mod result;
 pub mod threshold;
 pub mod transform;
 
 pub use adawave::AdaWave;
+pub use clusterer::register;
 pub use config::{AdaWaveConfig, AdaWaveConfigBuilder};
 pub use result::{AdaWaveResult, GridStats};
 pub use threshold::ThresholdStrategy;

@@ -102,6 +102,15 @@ impl AdaWaveResult {
             .collect()
     }
 
+    /// Convert to the canonical [`adawave_api::Clustering`] shared by every
+    /// algorithm in the workspace, dropping the AdaWave-specific pipeline
+    /// diagnostics. This is what [`Clusterer::fit`] returns for AdaWave.
+    ///
+    /// [`Clusterer::fit`]: adawave_api::Clusterer::fit
+    pub fn to_clustering(&self) -> adawave_api::Clustering {
+        adawave_api::Clustering::new(self.assignment.clone())
+    }
+
     /// Grid pipeline statistics.
     pub fn stats(&self) -> &GridStats {
         &self.stats
@@ -115,58 +124,16 @@ impl AdaWaveResult {
 
     /// Reassign every noise point to the cluster with the nearest centroid
     /// (the paper's protocol for the real-world datasets of Table I, which
-    /// have no noise ground truth). Returns the new assignment; no-op when
-    /// there are no clusters.
+    /// have no noise ground truth). Returns the new dense labels; with no
+    /// clusters at all, every point is labeled 0.
+    ///
+    /// Delegates to the canonical
+    /// [`Clustering::assign_noise_to_nearest_centroid`](adawave_api::Clustering::assign_noise_to_nearest_centroid)
+    /// so core and baselines share one implementation of the protocol.
     pub fn assign_noise_to_nearest_centroid(&self, points: &[Vec<f64>]) -> Vec<usize> {
-        let k = self.cluster_count;
-        if k == 0 || points.is_empty() {
-            return self.to_labels(0);
-        }
-        let dims = points[0].len();
-        let mut centroids = vec![vec![0.0; dims]; k];
-        let mut counts = vec![0usize; k];
-        for (p, a) in points.iter().zip(self.assignment.iter()) {
-            if let Some(c) = a {
-                for (acc, v) in centroids[*c].iter_mut().zip(p.iter()) {
-                    *acc += v;
-                }
-                counts[*c] += 1;
-            }
-        }
-        for (c, count) in centroids.iter_mut().zip(counts.iter()) {
-            if *count > 0 {
-                for v in c.iter_mut() {
-                    *v /= *count as f64;
-                }
-            }
-        }
-        points
-            .iter()
-            .zip(self.assignment.iter())
-            .map(|(p, a)| {
-                if let Some(c) = a {
-                    *c
-                } else {
-                    let mut best = 0;
-                    let mut best_d = f64::MAX;
-                    for (c, centroid) in centroids.iter().enumerate() {
-                        if counts[c] == 0 {
-                            continue;
-                        }
-                        let d: f64 = p
-                            .iter()
-                            .zip(centroid.iter())
-                            .map(|(x, y)| (x - y) * (x - y))
-                            .sum();
-                        if d < best_d {
-                            best_d = d;
-                            best = c;
-                        }
-                    }
-                    best
-                }
-            })
-            .collect()
+        self.to_clustering()
+            .assign_noise_to_nearest_centroid(points)
+            .to_labels(0)
     }
 }
 

@@ -76,10 +76,39 @@ impl ThresholdStrategy {
             }
             ThresholdStrategy::Kneedle => kneedle(sorted_densities),
             ThresholdStrategy::ThreeSegment => three_segment(sorted_densities),
-            ThresholdStrategy::ElbowAngle { divisor } => {
-                elbow_angle(sorted_densities, *divisor)
-                    .unwrap_or_else(|| three_segment(sorted_densities))
-            }
+            ThresholdStrategy::ElbowAngle { divisor } => elbow_angle(sorted_densities, *divisor)
+                .unwrap_or_else(|| three_segment(sorted_densities)),
+        }
+    }
+}
+
+impl std::str::FromStr for ThresholdStrategy {
+    /// On failure the error is the human-readable "expected ..." text.
+    type Err = String;
+
+    /// Parse a strategy name as accepted by the CLI and the algorithm
+    /// registry: `three-segment`, `elbow` / `elbow-angle`, `kneedle`,
+    /// `quantile:<f>` or `fixed:<f>`.
+    fn from_str(raw: &str) -> Result<Self, Self::Err> {
+        if let Some(rest) = raw.strip_prefix("quantile:") {
+            let q: f64 = rest
+                .parse()
+                .map_err(|_| format!("a fraction after 'quantile:', got '{rest}'"))?;
+            return Ok(ThresholdStrategy::Quantile(q));
+        }
+        if let Some(rest) = raw.strip_prefix("fixed:") {
+            let v: f64 = rest
+                .parse()
+                .map_err(|_| format!("a number after 'fixed:', got '{rest}'"))?;
+            return Ok(ThresholdStrategy::Fixed(v));
+        }
+        match raw {
+            "three-segment" => Ok(ThresholdStrategy::ThreeSegment),
+            "elbow" | "elbow-angle" => Ok(ThresholdStrategy::ElbowAngle { divisor: 3.0 }),
+            "kneedle" => Ok(ThresholdStrategy::Kneedle),
+            other => Err(format!(
+                "one of three-segment, elbow, kneedle, quantile:<f>, fixed:<f>; got '{other}'"
+            )),
         }
     }
 }
@@ -195,7 +224,13 @@ impl SegmentFitter {
             sxy[i + 1] = sxy[i] + x * y;
             syy[i + 1] = syy[i] + y * y;
         }
-        Self { sx, sy, sxx, sxy, syy }
+        Self {
+            sx,
+            sy,
+            sxx,
+            sxy,
+            syy,
+        }
     }
 
     /// SSE of the best-fit line over the inclusive index range `[a, b]`.
@@ -290,6 +325,39 @@ mod tests {
     }
 
     #[test]
+    fn from_str_parses_every_strategy_name() {
+        assert_eq!(
+            "three-segment".parse::<ThresholdStrategy>().unwrap(),
+            ThresholdStrategy::ThreeSegment
+        );
+        assert_eq!(
+            "quantile:0.25".parse::<ThresholdStrategy>().unwrap(),
+            ThresholdStrategy::Quantile(0.25)
+        );
+        assert_eq!(
+            "fixed:3.5".parse::<ThresholdStrategy>().unwrap(),
+            ThresholdStrategy::Fixed(3.5)
+        );
+        assert_eq!(
+            "kneedle".parse::<ThresholdStrategy>().unwrap(),
+            ThresholdStrategy::Kneedle
+        );
+        for alias in ["elbow", "elbow-angle"] {
+            assert!(matches!(
+                alias.parse::<ThresholdStrategy>().unwrap(),
+                ThresholdStrategy::ElbowAngle { .. }
+            ));
+        }
+        // Errors carry the "expected ..." text shown to CLI/registry users.
+        assert!("nope"
+            .parse::<ThresholdStrategy>()
+            .unwrap_err()
+            .contains("three-segment"));
+        assert!("quantile:x".parse::<ThresholdStrategy>().is_err());
+        assert!("fixed:".parse::<ThresholdStrategy>().is_err());
+    }
+
+    #[test]
     fn three_segment_finds_the_middle_noise_break() {
         let d = three_regime_curve(40, 120, 600);
         let t = ThresholdStrategy::ThreeSegment.choose(&d);
@@ -323,9 +391,9 @@ mod tests {
     fn kneedle_picks_the_corner_of_an_l_shaped_curve() {
         // L-shaped curve: sharp drop then long flat tail.
         let mut d = vec![100.0, 90.0, 80.0, 70.0, 60.0];
-        d.extend(std::iter::repeat(5.0).take(200));
+        d.extend(std::iter::repeat_n(5.0, 200));
         let t = ThresholdStrategy::Kneedle.choose(&d);
-        assert!(t <= 60.0 && t >= 5.0, "threshold {t}");
+        assert!((5.0..=60.0).contains(&t), "threshold {t}");
     }
 
     #[test]

@@ -51,8 +51,7 @@ pub fn sparse_lowpass_dimension(
                     }
                     let i = (wrapped / 2) as u32;
                     if i < new_m {
-                        let new_key =
-                            remap_key(codec, &new_codec, key, dim, i);
+                        let new_key = remap_key(codec, &new_codec, key, dim, i);
                         out.add(new_key, h * density);
                     }
                 }
@@ -161,13 +160,8 @@ pub fn sparse_wavelet_smooth_budgeted(
     let mut current = grid.clone();
     let mut current_codec = codec.clone();
     for _ in 0..levels {
-        let (next, next_codec) = sparse_wavelet_level_budgeted(
-            &current,
-            &current_codec,
-            kernel,
-            boundary,
-            cell_budget,
-        )?;
+        let (next, next_codec) =
+            sparse_wavelet_level_budgeted(&current, &current_codec, kernel, boundary, cell_budget)?;
         current = next;
         current_codec = next_codec;
     }
@@ -304,8 +298,7 @@ mod tests {
             let z = (state >> 11) as u32 % 64;
             grid.add(codec.pack(&[x, y, z]), 1.0);
         }
-        let (out, _) =
-            sparse_wavelet_level(&grid, &codec, &kernel(), BoundaryMode::Zero).unwrap();
+        let (out, _) = sparse_wavelet_level(&grid, &codec, &kernel(), BoundaryMode::Zero).unwrap();
         assert!(out.occupied_cells() <= grid.occupied_cells() * 27);
         assert!(out.occupied_cells() < 64 * 64 * 64 / 8);
     }
@@ -329,14 +322,9 @@ mod tests {
             grid.add(codec.pack(&[x, y]), 1.0);
         }
         let budget = 16;
-        let (out, out_codec) = sparse_wavelet_level_budgeted(
-            &grid,
-            &codec,
-            &kernel(),
-            BoundaryMode::Zero,
-            budget,
-        )
-        .unwrap();
+        let (out, out_codec) =
+            sparse_wavelet_level_budgeted(&grid, &codec, &kernel(), BoundaryMode::Zero, budget)
+                .unwrap();
         assert!(out.occupied_cells() <= budget);
         // The interior of the block survives at full density.
         let interior = out.density(out_codec.pack(&[6, 6]));
@@ -353,14 +341,9 @@ mod tests {
             }
         }
         let plain = sparse_wavelet_level(&grid, &codec, &kernel(), BoundaryMode::Zero).unwrap();
-        let budgeted = sparse_wavelet_level_budgeted(
-            &grid,
-            &codec,
-            &kernel(),
-            BoundaryMode::Zero,
-            usize::MAX,
-        )
-        .unwrap();
+        let budgeted =
+            sparse_wavelet_level_budgeted(&grid, &codec, &kernel(), BoundaryMode::Zero, usize::MAX)
+                .unwrap();
         assert_eq!(plain.0, budgeted.0);
     }
 

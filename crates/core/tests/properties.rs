@@ -6,10 +6,7 @@ use adawave_wavelet::{BoundaryMode, Wavelet};
 use proptest::prelude::*;
 
 fn point_cloud() -> impl Strategy<Value = Vec<Vec<f64>>> {
-    prop::collection::vec(
-        prop::collection::vec(0.0f64..1.0, 2),
-        20..200,
-    )
+    prop::collection::vec(prop::collection::vec(0.0f64..1.0, 2), 20..200)
 }
 
 proptest! {

@@ -156,7 +156,12 @@ mod tests {
     fn toy() -> Dataset {
         Dataset::new(
             "toy",
-            vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]],
+            vec![
+                vec![0.0, 0.0],
+                vec![1.0, 1.0],
+                vec![2.0, 2.0],
+                vec![3.0, 3.0],
+            ],
             vec![0, 0, 1, 2],
             Some(2),
         )

@@ -187,7 +187,8 @@ mod tests {
         );
         let mx = mean(&pts, 0);
         let my = mean(&pts, 1);
-        let cov: f64 = pts.iter().map(|p| (p[0] - mx) * (p[1] - my)).sum::<f64>() / pts.len() as f64;
+        let cov: f64 =
+            pts.iter().map(|p| (p[0] - mx) * (p[1] - my)).sum::<f64>() / pts.len() as f64;
         assert!(cov > 0.2, "expected strong positive correlation, got {cov}");
     }
 
@@ -229,7 +230,13 @@ mod tests {
     fn uniform_box_bounds() {
         let mut rng = Rng::new(5);
         let mut pts = Vec::new();
-        uniform_box(&mut pts, &mut rng, &[-1.0, 2.0, 0.0], &[1.0, 3.0, 10.0], 1000);
+        uniform_box(
+            &mut pts,
+            &mut rng,
+            &[-1.0, 2.0, 0.0],
+            &[1.0, 3.0, 10.0],
+            1000,
+        );
         for p in &pts {
             assert!(p[0] >= -1.0 && p[0] < 1.0);
             assert!(p[1] >= 2.0 && p[1] < 3.0);

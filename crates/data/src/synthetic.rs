@@ -37,14 +37,28 @@ fn scene(rng: &mut Rng, points_per_cluster: usize) -> (Vec<Vec<f64>>, Vec<usize>
         0.55,
         points_per_cluster,
     );
-    labels.extend(std::iter::repeat(0).take(points_per_cluster));
+    labels.extend(std::iter::repeat_n(0, points_per_cluster));
 
     // Clusters 1 & 2: two circular (ring) distributions overlapping in the
     // x and y directions.
-    shapes::ring(&mut points, rng, (0.64, 0.68), 0.11, 0.008, points_per_cluster);
-    labels.extend(std::iter::repeat(1).take(points_per_cluster));
-    shapes::ring(&mut points, rng, (0.78, 0.58), 0.11, 0.008, points_per_cluster);
-    labels.extend(std::iter::repeat(2).take(points_per_cluster));
+    shapes::ring(
+        &mut points,
+        rng,
+        (0.64, 0.68),
+        0.11,
+        0.008,
+        points_per_cluster,
+    );
+    labels.extend(std::iter::repeat_n(1, points_per_cluster));
+    shapes::ring(
+        &mut points,
+        rng,
+        (0.78, 0.58),
+        0.11,
+        0.008,
+        points_per_cluster,
+    );
+    labels.extend(std::iter::repeat_n(2, points_per_cluster));
 
     // Clusters 3 & 4: two parallel sloping line segments.
     shapes::line_segment(
@@ -55,7 +69,7 @@ fn scene(rng: &mut Rng, points_per_cluster: usize) -> (Vec<Vec<f64>>, Vec<usize>
         0.004,
         points_per_cluster,
     );
-    labels.extend(std::iter::repeat(3).take(points_per_cluster));
+    labels.extend(std::iter::repeat_n(3, points_per_cluster));
     shapes::line_segment(
         &mut points,
         rng,
@@ -64,7 +78,7 @@ fn scene(rng: &mut Rng, points_per_cluster: usize) -> (Vec<Vec<f64>>, Vec<usize>
         0.004,
         points_per_cluster,
     );
-    labels.extend(std::iter::repeat(4).take(points_per_cluster));
+    labels.extend(std::iter::repeat_n(4, points_per_cluster));
 
     (points, labels)
 }
@@ -92,7 +106,7 @@ pub fn synthetic_benchmark(noise_percent: f64, points_per_cluster: usize, seed: 
     let cluster_points = points.len();
     let noise = noise_count_for_percentage(cluster_points, noise_percent);
     shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], noise);
-    labels.extend(std::iter::repeat(SYNTHETIC_NOISE_LABEL).take(noise));
+    labels.extend(std::iter::repeat_n(SYNTHETIC_NOISE_LABEL, noise));
     Dataset::new(
         format!("synthetic-noise{noise_percent:.0}"),
         points,
@@ -150,7 +164,7 @@ mod tests {
         assert_eq!(ds.cluster_count(), SYNTHETIC_CLUSTERS);
         assert_eq!(ds.noise_label, Some(SYNTHETIC_NOISE_LABEL));
         assert_eq!(ds.len(), 200 * 5 * 2); // 50% noise doubles the size
-        // All points are inside (or very near) the unit square.
+                                           // All points are inside (or very near) the unit square.
         for p in &ds.points {
             assert!(p[0] > -0.2 && p[0] < 1.2);
             assert!(p[1] > -0.2 && p[1] < 1.2);
@@ -195,8 +209,14 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        assert_eq!(synthetic_benchmark(60.0, 100, 9), synthetic_benchmark(60.0, 100, 9));
-        assert_ne!(synthetic_benchmark(60.0, 100, 9), synthetic_benchmark(60.0, 100, 10));
+        assert_eq!(
+            synthetic_benchmark(60.0, 100, 9),
+            synthetic_benchmark(60.0, 100, 9)
+        );
+        assert_ne!(
+            synthetic_benchmark(60.0, 100, 9),
+            synthetic_benchmark(60.0, 100, 10)
+        );
     }
 
     #[test]

@@ -47,7 +47,7 @@ fn gaussian_mixture(
             .map(|_| spread * rng.uniform_range(0.6, 1.4))
             .collect();
         shapes::gaussian_blob(&mut points, rng, &center, &std_dev, size);
-        labels.extend(std::iter::repeat(class).take(size));
+        labels.extend(std::iter::repeat_n(class, size));
     }
     Dataset::new(name, points, labels, None)
 }
@@ -74,7 +74,7 @@ pub fn iris(seed: u64) -> Dataset {
         &[0.035, 0.04, 0.02, 0.015],
         50,
     );
-    labels.extend(std::iter::repeat(0).take(50));
+    labels.extend(std::iter::repeat_n(0, 50));
     // "versicolor" and "virginica": adjacent and partially overlapping.
     shapes::gaussian_blob(
         &mut points,
@@ -83,7 +83,7 @@ pub fn iris(seed: u64) -> Dataset {
         &[0.05, 0.04, 0.05, 0.05],
         50,
     );
-    labels.extend(std::iter::repeat(1).take(50));
+    labels.extend(std::iter::repeat_n(1, 50));
     shapes::gaussian_blob(
         &mut points,
         &mut rng,
@@ -91,7 +91,7 @@ pub fn iris(seed: u64) -> Dataset {
         &[0.06, 0.04, 0.06, 0.07],
         50,
     );
-    labels.extend(std::iter::repeat(2).take(50));
+    labels.extend(std::iter::repeat_n(2, 50));
     Dataset::new("Iris", points, labels, None)
 }
 
@@ -147,11 +147,11 @@ pub fn htru2(seed: u64) -> Dataset {
     let neg_center = vec![0.45; 9];
     let neg_std = vec![0.07; 9];
     shapes::gaussian_blob(&mut points, &mut rng, &neg_center, &neg_std, negatives);
-    labels.extend(std::iter::repeat(0).take(negatives));
+    labels.extend(std::iter::repeat_n(0, negatives));
     let pos_center: Vec<f64> = (0..9).map(|j| if j < 4 { 0.72 } else { 0.5 }).collect();
     let pos_std = vec![0.09; 9];
     shapes::gaussian_blob(&mut points, &mut rng, &pos_center, &pos_std, positives);
-    labels.extend(std::iter::repeat(1).take(positives));
+    labels.extend(std::iter::repeat_n(1, positives));
     Dataset::new("HTRU2", points, labels, None)
 }
 
@@ -195,7 +195,7 @@ pub fn motor(seed: u64) -> Dataset {
     let sizes = [32usize, 31, 31];
     for (class, (&size, center)) in sizes.iter().zip(centers.iter()).enumerate() {
         shapes::gaussian_blob(&mut points, &mut rng, center, &[0.03, 0.03, 0.03], size);
-        labels.extend(std::iter::repeat(class).take(size));
+        labels.extend(std::iter::repeat_n(class, size));
     }
     Dataset::new("Motor", points, labels, None)
 }
@@ -255,7 +255,7 @@ pub fn roadmap_like(n: usize, seed: u64) -> Dataset {
     for (id, &(cx, cy, w)) in cities.iter().enumerate() {
         let count = (city_points_total as f64 * w / weight_sum) as usize;
         shapes::gaussian_blob(&mut points, &mut rng, &[cx, cy], &[w, w * 0.8], count);
-        labels.extend(std::iter::repeat(id).take(count));
+        labels.extend(std::iter::repeat_n(id, count));
     }
     let noise_label = cities.len();
 
@@ -275,12 +275,18 @@ pub fn roadmap_like(n: usize, seed: u64) -> Dataset {
     let per_road = arterial_points / arterials.len();
     for &(start, end) in &arterials {
         shapes::line_segment(&mut points, &mut rng, start, end, 0.006, per_road);
-        labels.extend(std::iter::repeat(noise_label).take(per_road));
+        labels.extend(std::iter::repeat_n(noise_label, per_road));
     }
     // Countryside: sparse uniform road segments over the whole region.
     let countryside = n.saturating_sub(points.len());
-    shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 0.73], countryside);
-    labels.extend(std::iter::repeat(noise_label).take(countryside));
+    shapes::uniform_box(
+        &mut points,
+        &mut rng,
+        &[0.0, 0.0],
+        &[1.0, 0.73],
+        countryside,
+    );
+    labels.extend(std::iter::repeat_n(noise_label, countryside));
 
     Dataset::new("Roadmap", points, labels, Some(noise_label))
 }
@@ -369,7 +375,11 @@ mod tests {
             }
             sxy / (sxx.sqrt() * syy.sqrt())
         };
-        assert!(corr(2) < -0.5, "Mg should be strongly negative: {}", corr(2));
+        assert!(
+            corr(2) < -0.5,
+            "Mg should be strongly negative: {}",
+            corr(2)
+        );
         assert!(corr(3) > 0.35, "Al should be positive: {}", corr(3));
         assert!(corr(5).abs() < 0.25, "K should be near zero: {}", corr(5));
     }
@@ -395,11 +405,20 @@ mod tests {
             .collect();
         let min_cross = class0
             .iter()
-            .flat_map(|a| others.iter().map(move |b| {
-                a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
-            }))
+            .flat_map(|a| {
+                others.iter().map(move |b| {
+                    a.iter()
+                        .zip(b.iter())
+                        .map(|(x, y)| (x - y) * (x - y))
+                        .sum::<f64>()
+                        .sqrt()
+                })
+            })
             .fold(f64::MAX, f64::min);
-        assert!(min_cross > 0.1, "setosa should be separated, min dist {min_cross}");
+        assert!(
+            min_cross > 0.1,
+            "setosa should be separated, min dist {min_cross}"
+        );
     }
 
     #[test]

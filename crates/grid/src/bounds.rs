@@ -30,10 +30,7 @@ impl BoundingBox {
         for (i, p) in points.iter().enumerate() {
             if p.len() != dims {
                 return Err(GridError::InvalidData {
-                    context: format!(
-                        "point {i} has {} dimensions, expected {dims}",
-                        p.len()
-                    ),
+                    context: format!("point {i} has {} dimensions, expected {dims}", p.len()),
                 });
             }
             for (j, &v) in p.iter().enumerate() {

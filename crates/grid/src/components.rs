@@ -208,10 +208,7 @@ mod tests {
     use crate::KeyCodec;
 
     fn grid_from_coords(codec: &KeyCodec, coords: &[(&[u32], f64)]) -> SparseGrid {
-        coords
-            .iter()
-            .map(|(c, d)| (codec.pack(c), *d))
-            .collect()
+        coords.iter().map(|(c, d)| (codec.pack(c), *d)).collect()
     }
 
     #[test]
@@ -310,11 +307,7 @@ mod tests {
         let codec = KeyCodec::uniform(3, 8).unwrap();
         let grid = grid_from_coords(
             &codec,
-            &[
-                (&[1, 1, 1], 1.0),
-                (&[1, 1, 2], 1.0),
-                (&[5, 5, 5], 1.0),
-            ],
+            &[(&[1, 1, 1], 1.0), (&[1, 1, 2], 1.0), (&[5, 5, 5], 1.0)],
         );
         let labels = connected_components(&grid, &codec, Connectivity::Face);
         assert_eq!(labels.cluster_count(), 2);

@@ -36,7 +36,11 @@ impl KeyCodec {
                 return Err(GridError::ZeroScale);
             }
             // Number of bits needed to represent coordinates 0..m-1.
-            let b = if m == 1 { 1 } else { 32 - (m - 1).leading_zeros() };
+            let b = if m == 1 {
+                1
+            } else {
+                32 - (m - 1).leading_zeros()
+            };
             bits.push(b);
         }
         let total: u32 = bits.iter().sum();

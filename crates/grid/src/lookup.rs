@@ -100,19 +100,10 @@ mod tests {
         let cells = vec![codec.pack(&[6, 9]), codec.pack(&[15, 0])];
         let table = LookupTable::new(codec, cells);
         let t1 = table.transformed_codec(1).unwrap();
-        assert_eq!(
-            t1.unpack(table.transformed_cell(0, 1, &t1)),
-            vec![3, 4]
-        );
-        assert_eq!(
-            t1.unpack(table.transformed_cell(1, 1, &t1)),
-            vec![7, 0]
-        );
+        assert_eq!(t1.unpack(table.transformed_cell(0, 1, &t1)), vec![3, 4]);
+        assert_eq!(t1.unpack(table.transformed_cell(1, 1, &t1)), vec![7, 0]);
         let t2 = table.transformed_codec(2).unwrap();
-        assert_eq!(
-            t2.unpack(table.transformed_cell(0, 2, &t2)),
-            vec![1, 2]
-        );
+        assert_eq!(t2.unpack(table.transformed_cell(0, 2, &t2)), vec![1, 2]);
     }
 
     #[test]

@@ -124,10 +124,14 @@ mod tests {
     fn moore_includes_face_neighbors() {
         let codec = KeyCodec::uniform(3, 8).unwrap();
         let key = codec.pack(&[3, 4, 5]);
-        let face: std::collections::HashSet<u128> =
-            Connectivity::Face.neighbors(&codec, key).into_iter().collect();
-        let moore: std::collections::HashSet<u128> =
-            Connectivity::Moore.neighbors(&codec, key).into_iter().collect();
+        let face: std::collections::HashSet<u128> = Connectivity::Face
+            .neighbors(&codec, key)
+            .into_iter()
+            .collect();
+        let moore: std::collections::HashSet<u128> = Connectivity::Moore
+            .neighbors(&codec, key)
+            .into_iter()
+            .collect();
         assert!(face.is_subset(&moore));
         assert_eq!(face.len(), 6);
         assert_eq!(moore.len(), 26);

@@ -27,15 +27,6 @@ impl SparseGrid {
         }
     }
 
-    /// Build from an iterator of `(key, density)` pairs, summing duplicates.
-    pub fn from_iter<I: IntoIterator<Item = (u128, f64)>>(iter: I) -> Self {
-        let mut grid = Self::new();
-        for (key, density) in iter {
-            grid.add(key, density);
-        }
-        grid
-    }
-
     /// Number of occupied (stored) cells — the `m` in the paper's `O(nm)`.
     pub fn occupied_cells(&self) -> usize {
         self.cells.len()
@@ -145,8 +136,8 @@ impl SparseGrid {
         let mut magnitudes: Vec<f64> = self.cells.values().map(|v| v.abs()).collect();
         // The cut-off is the budget-th largest magnitude.
         let cut_index = magnitudes.len() - budget;
-        let (_, cutoff, _) = magnitudes
-            .select_nth_unstable_by(cut_index, |a, b| a.partial_cmp(b).unwrap());
+        let (_, cutoff, _) =
+            magnitudes.select_nth_unstable_by(cut_index, |a, b| a.partial_cmp(b).unwrap());
         let cutoff = *cutoff;
         let before = self.cells.len();
         // Keep everything strictly above the cut-off, then fill the remaining
@@ -174,8 +165,13 @@ impl SparseGrid {
 }
 
 impl FromIterator<(u128, f64)> for SparseGrid {
+    /// Build from `(key, density)` pairs, summing duplicates.
     fn from_iter<T: IntoIterator<Item = (u128, f64)>>(iter: T) -> Self {
-        SparseGrid::from_iter(iter)
+        let mut grid = Self::new();
+        for (key, density) in iter {
+            grid.add(key, density);
+        }
+        grid
     }
 }
 

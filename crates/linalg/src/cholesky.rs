@@ -64,6 +64,9 @@ impl Cholesky {
     ///
     /// # Panics
     /// Panics if `b.len()` does not match the matrix dimension.
+    // Index-style loops below mirror the textbook formulation; iterator
+    // rewrites obscure the triangular access pattern.
+    #[allow(clippy::needless_range_loop)]
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
         let n = self.dim();
         assert_eq!(b.len(), n, "cholesky solve: rhs length mismatch");
@@ -93,6 +96,9 @@ impl Cholesky {
     ///
     /// # Panics
     /// Panics if `b.len()` does not match the matrix dimension.
+    // Index-style loops below mirror the textbook formulation; iterator
+    // rewrites obscure the triangular access pattern.
+    #[allow(clippy::needless_range_loop)]
     pub fn mahalanobis_squared(&self, b: &[f64]) -> f64 {
         let n = self.dim();
         assert_eq!(b.len(), n, "mahalanobis: length mismatch");

@@ -39,9 +39,7 @@ pub use eigen::{jacobi_eigen, EigenDecomposition};
 pub use lu::Lu;
 pub use matrix::Matrix;
 pub use stats::{covariance_matrix, mean_vector, pearson_correlation, standardize_columns};
-pub use vector::{
-    add, axpy, dot, euclidean_distance, norm2, scale, squared_distance, sub,
-};
+pub use vector::{add, axpy, dot, euclidean_distance, norm2, scale, squared_distance, sub};
 
 /// Error type for linear-algebra routines.
 #[derive(Debug, Clone, PartialEq, Eq)]

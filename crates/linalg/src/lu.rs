@@ -86,6 +86,9 @@ impl Lu {
     ///
     /// # Panics
     /// Panics if `b.len()` does not match the matrix dimension.
+    // Index-style loops below mirror the textbook formulation; iterator
+    // rewrites obscure the triangular access pattern.
+    #[allow(clippy::needless_range_loop)]
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
         let n = self.dim();
         assert_eq!(b.len(), n, "lu solve: rhs length mismatch");

@@ -188,7 +188,11 @@ impl Matrix {
 
     /// Multiply every entry by a scalar.
     pub fn scale(&self, s: f64) -> Matrix {
-        Matrix::from_vec(self.rows, self.cols, self.data.iter().map(|x| x * s).collect())
+        Matrix::from_vec(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|x| x * s).collect(),
+        )
     }
 
     /// Add `value` to every diagonal entry (ridge regularization).

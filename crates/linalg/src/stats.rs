@@ -166,7 +166,12 @@ mod tests {
 
     #[test]
     fn standardize_gives_zero_mean_unit_var() {
-        let mut pts = vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0], vec![4.0, 40.0]];
+        let mut pts = vec![
+            vec![1.0, 10.0],
+            vec![2.0, 20.0],
+            vec![3.0, 30.0],
+            vec![4.0, 40.0],
+        ];
         standardize_columns(&mut pts);
         let n = pts.len() as f64;
         for j in 0..2 {

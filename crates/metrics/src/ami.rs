@@ -59,9 +59,9 @@ pub fn expected_mutual_information(table: &ContingencyTable) -> f64 {
             let upper = a.min(b);
             // Precompute the parts of the hypergeometric log-probability
             // that do not depend on nij.
-            let ln_fixed = ln_factorial(a) + ln_factorial(b) + ln_factorial(n - a)
-                + ln_factorial(n - b)
-                - ln_n_fact;
+            let ln_fixed =
+                ln_factorial(a) + ln_factorial(b) + ln_factorial(n - a) + ln_factorial(n - b)
+                    - ln_n_fact;
             let mut nij = lower;
             while nij <= upper {
                 let nij_f = nij as f64;

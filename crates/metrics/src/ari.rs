@@ -48,7 +48,11 @@ pub fn adjusted_rand_index(truth: &[usize], prediction: &[usize]) -> f64 {
     let max_index = 0.5 * (sum_a + sum_b);
     if (max_index - expected).abs() < 1e-15 {
         // Degenerate: both partitions trivial.
-        return if (sum_ij - expected).abs() < 1e-15 { 1.0 } else { 0.0 };
+        return if (sum_ij - expected).abs() < 1e-15 {
+            1.0
+        } else {
+            0.0
+        };
     }
     (sum_ij - expected) / (max_index - expected)
 }

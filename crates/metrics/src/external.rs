@@ -14,7 +14,10 @@ pub fn purity(truth: &[usize], prediction: &[usize]) -> f64 {
     }
     let mut correct = 0u64;
     for j in 0..table.cols() {
-        let best = (0..table.rows()).map(|i| table.count(i, j)).max().unwrap_or(0);
+        let best = (0..table.rows())
+            .map(|i| table.count(i, j))
+            .max()
+            .unwrap_or(0);
         correct += best;
     }
     correct as f64 / table.total() as f64

@@ -313,7 +313,10 @@ mod tests {
     #[test]
     fn calinski_harabasz_degenerate_is_zero() {
         let points = vec![vec![0.0], vec![1.0], vec![2.0]];
-        assert_eq!(calinski_harabasz(&points, &[Some(0), Some(0), Some(0)]), 0.0);
+        assert_eq!(
+            calinski_harabasz(&points, &[Some(0), Some(0), Some(0)]),
+            0.0
+        );
         // n == k (all singletons) is undefined -> 0.
         assert_eq!(
             calinski_harabasz(&points, &[Some(0), Some(1), Some(2)]),

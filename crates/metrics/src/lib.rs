@@ -34,7 +34,10 @@ pub mod internal;
 pub mod labels;
 pub mod special;
 
-pub use ami::{adjusted_mutual_information, ami, ami_ignoring_noise, normalized_mutual_information, AverageMethod};
+pub use ami::{
+    adjusted_mutual_information, ami, ami_ignoring_noise, normalized_mutual_information,
+    AverageMethod,
+};
 pub use ari::{adjusted_rand_index, rand_index};
 pub use contingency::ContingencyTable;
 pub use entropy::{entropy_of_labels, mutual_information};

@@ -124,11 +124,12 @@ mod internal_properties {
     use proptest::prelude::*;
 
     /// Random labeled points in the unit square with up to `k` clusters.
-    fn labeled_points(
-        k: usize,
-    ) -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<Option<usize>>)> {
+    fn labeled_points(k: usize) -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<Option<usize>>)> {
         prop::collection::vec(
-            ((0.0f64..1.0, 0.0f64..1.0), prop::option::weighted(0.9, 0usize..k)),
+            (
+                (0.0f64..1.0, 0.0f64..1.0),
+                prop::option::weighted(0.9, 0usize..k),
+            ),
             4..60,
         )
         .prop_map(|rows| {

@@ -44,16 +44,16 @@
 #![deny(unsafe_code)]
 
 pub mod boundary;
-pub mod dense;
 pub mod denoise;
+pub mod dense;
 pub mod family;
 pub mod filter;
 pub mod lifting;
 pub mod transform;
 
 pub use boundary::BoundaryMode;
-pub use dense::{dwt2d, DenseGrid, Subbands2d};
 pub use denoise::{hard_threshold, soft_threshold, universal_threshold};
+pub use dense::{dwt2d, DenseGrid, Subbands2d};
 pub use family::Wavelet;
 pub use filter::FilterBank;
 pub use transform::{

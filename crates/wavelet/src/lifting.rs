@@ -38,13 +38,29 @@ pub fn cdf22_forward(signal: &[f64]) -> LiftingDecomposition {
     // Predict step: detail becomes the prediction error of the odd samples.
     for i in 0..n_odd {
         let left = approx[i];
-        let right = if i + 1 < n_even { approx[i + 1] } else { approx[i] };
+        let right = if i + 1 < n_even {
+            approx[i + 1]
+        } else {
+            approx[i]
+        };
         detail[i] -= 0.5 * (left + right);
     }
     // Update step: approximation becomes a smoothed version of the evens.
     for i in 0..n_even {
-        let left = if i > 0 { detail[i - 1] } else if n_odd > 0 { detail[0] } else { 0.0 };
-        let right = if i < n_odd { detail[i] } else if n_odd > 0 { detail[n_odd - 1] } else { 0.0 };
+        let left = if i > 0 {
+            detail[i - 1]
+        } else if n_odd > 0 {
+            detail[0]
+        } else {
+            0.0
+        };
+        let right = if i < n_odd {
+            detail[i]
+        } else if n_odd > 0 {
+            detail[n_odd - 1]
+        } else {
+            0.0
+        };
         approx[i] += 0.25 * (left + right);
     }
     LiftingDecomposition {
@@ -65,14 +81,30 @@ pub fn cdf22_inverse(decomposition: &LiftingDecomposition) -> Vec<f64> {
 
     // Undo update.
     for i in 0..n_even {
-        let left = if i > 0 { detail[i - 1] } else if n_odd > 0 { detail[0] } else { 0.0 };
-        let right = if i < n_odd { detail[i] } else if n_odd > 0 { detail[n_odd - 1] } else { 0.0 };
+        let left = if i > 0 {
+            detail[i - 1]
+        } else if n_odd > 0 {
+            detail[0]
+        } else {
+            0.0
+        };
+        let right = if i < n_odd {
+            detail[i]
+        } else if n_odd > 0 {
+            detail[n_odd - 1]
+        } else {
+            0.0
+        };
         approx[i] -= 0.25 * (left + right);
     }
     // Undo predict.
     for i in 0..n_odd {
         let left = approx[i];
-        let right = if i + 1 < n_even { approx[i + 1] } else { approx[i] };
+        let right = if i + 1 < n_even {
+            approx[i + 1]
+        } else {
+            approx[i]
+        };
         detail[i] += 0.5 * (left + right);
     }
     // Interleave.

@@ -270,7 +270,9 @@ mod tests {
 
     #[test]
     fn energy_conservation_orthogonal() {
-        let signal: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).sin() * 2.0 + 1.0).collect();
+        let signal: Vec<f64> = (0..64)
+            .map(|i| (i as f64 * 0.3).sin() * 2.0 + 1.0)
+            .collect();
         for w in [Wavelet::Haar, Wavelet::Daubechies2, Wavelet::Daubechies3] {
             let bank = w.filter_bank();
             let (a, d) = dwt1d(&signal, &bank, BoundaryMode::Periodic);
@@ -313,7 +315,10 @@ mod tests {
         let kernel = Wavelet::Cdf22.density_smoothing_kernel();
         let smoothed = dwt1d_lowpass(&impulse, &kernel, BoundaryMode::Zero);
         let max_after = smoothed.iter().cloned().fold(f64::MIN, f64::max);
-        assert!(max_after < 1.0, "impulse should be attenuated, got {max_after}");
+        assert!(
+            max_after < 1.0,
+            "impulse should be attenuated, got {max_after}"
+        );
 
         let block = vec![1.0; 16];
         let smoothed_block = dwt1d_lowpass(&block, &kernel, BoundaryMode::Periodic);

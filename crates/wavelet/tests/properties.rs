@@ -80,7 +80,7 @@ proptest! {
         let mut len = signal.len();
         let mut all_even = true;
         for _ in 0..levels {
-            if len % 2 != 0 { all_even = false; break; }
+            if !len.is_multiple_of(2) { all_even = false; break; }
             len /= 2;
         }
         prop_assume!(all_even);

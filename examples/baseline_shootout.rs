@@ -31,7 +31,10 @@ fn main() {
         ds.cluster_count(),
         100.0 * ds.noise_fraction()
     );
-    println!("{:<14} {:>8} {:>10} {:>10}", "algorithm", "clusters", "AMI", "seconds");
+    println!(
+        "{:<14} {:>8} {:>10} {:>10}",
+        "algorithm", "clusters", "AMI", "seconds"
+    );
 
     let run = |name: &str, f: &dyn Fn(&[Vec<f64>]) -> Clustering| {
         let start = Instant::now();
@@ -48,7 +51,9 @@ fn main() {
     };
 
     run("AdaWave", &|points| {
-        let result = AdaWave::new(AdaWaveConfig::default()).fit(points).expect("adawave");
+        let result = AdaWave::new(AdaWaveConfig::default())
+            .fit(points)
+            .expect("adawave");
         Clustering::new(result.assignment().to_vec())
     });
     run("k-means", &|points| {
@@ -99,9 +104,7 @@ fn main() {
             .collect();
         Clustering::new(labels)
     });
-    run("STING", &|points| {
-        sting(points, &StingConfig::new(6, 6))
-    });
+    run("STING", &|points| sting(points, &StingConfig::new(6, 6)));
     run("CLIQUE", &|points| {
         clique(points, &CliqueConfig::new(24, 0.002))
     });

@@ -25,16 +25,25 @@ fn dataset(dims: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
         let center = vec![*center_value; dims];
         let spread = vec![0.04; dims];
         shapes::gaussian_blob(&mut points, &mut rng, &center, &spread, per_cluster);
-        truth.extend(std::iter::repeat(label).take(per_cluster));
+        truth.extend(std::iter::repeat_n(label, per_cluster));
     }
     let noise = 2 * per_cluster;
-    shapes::uniform_box(&mut points, &mut rng, &vec![0.0; dims], &vec![1.0; dims], noise);
-    truth.extend(std::iter::repeat(3usize).take(noise));
+    shapes::uniform_box(
+        &mut points,
+        &mut rng,
+        &vec![0.0; dims],
+        &vec![1.0; dims],
+        noise,
+    );
+    truth.extend(std::iter::repeat_n(3usize, noise));
     (points, truth)
 }
 
 fn main() {
-    println!("{:>4} {:>8} {:>10} {:>14} {:>22}", "d", "scale", "AMI", "occupied", "dense grid would need");
+    println!(
+        "{:>4} {:>8} {:>10} {:>14} {:>22}",
+        "d", "scale", "AMI", "occupied", "dense grid would need"
+    );
     for dims in [2usize, 4, 8, 12, 16, 20] {
         let (points, truth) = dataset(dims, 31);
         // Grid methods must coarsen the grid as the dimension grows (§VI of

@@ -34,15 +34,15 @@ fn main() {
                 &[0.012, 0.012],
                 900,
             );
-            district_truth.extend(std::iter::repeat(district).take(900));
-            city_truth.extend(std::iter::repeat(city).take(900));
+            district_truth.extend(std::iter::repeat_n(district, 900));
+            city_truth.extend(std::iter::repeat_n(city, 900));
             district += 1;
         }
     }
     let noise = 4000;
     shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], noise);
-    district_truth.extend(std::iter::repeat(district).take(noise));
-    city_truth.extend(std::iter::repeat(cities.len()).take(noise));
+    district_truth.extend(std::iter::repeat_n(district, noise));
+    city_truth.extend(std::iter::repeat_n(cities.len(), noise));
 
     println!(
         "dataset: {} points, 6 districts inside 2 cities, {:.0}% noise\n",

@@ -22,16 +22,16 @@ fn build_dataset(seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
     let mut truth = Vec::new();
     // Two rings that overlap in both coordinate projections.
     shapes::ring(&mut points, &mut rng, (0.42, 0.55), 0.16, 0.008, 2000);
-    truth.extend(std::iter::repeat(0usize).take(2000));
+    truth.extend(std::iter::repeat_n(0usize, 2000));
     shapes::ring(&mut points, &mut rng, (0.6, 0.45), 0.16, 0.008, 2000);
-    truth.extend(std::iter::repeat(1usize).take(2000));
+    truth.extend(std::iter::repeat_n(1usize, 2000));
     // A sloping line segment.
     shapes::line_segment(&mut points, &mut rng, (0.1, 0.1), (0.35, 0.3), 0.005, 2000);
-    truth.extend(std::iter::repeat(2usize).take(2000));
+    truth.extend(std::iter::repeat_n(2usize, 2000));
     // 70% uniform noise.
     let noise = 14_000;
     shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], noise);
-    truth.extend(std::iter::repeat(NOISE_CLASS).take(noise));
+    truth.extend(std::iter::repeat_n(NOISE_CLASS, noise));
     (points, truth)
 }
 

@@ -20,13 +20,13 @@ fn main() {
     let centers = [[0.2, 0.25], [0.75, 0.3], [0.5, 0.8]];
     for (label, center) in centers.iter().enumerate() {
         shapes::gaussian_blob(&mut points, &mut rng, center, &[0.03, 0.03], 800);
-        truth.extend(std::iter::repeat(label).take(800));
+        truth.extend(std::iter::repeat_n(label, 800));
     }
     // 60% of the final dataset is uniform background noise.
     let noise = 3600;
     shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], noise);
     const NOISE_CLASS: usize = 3;
-    truth.extend(std::iter::repeat(NOISE_CLASS).take(noise));
+    truth.extend(std::iter::repeat_n(NOISE_CLASS, noise));
     println!(
         "dataset: {} points, {} clusters, {:.0}% noise",
         points.len(),
@@ -38,7 +38,9 @@ fn main() {
     // The defaults are the paper's parameter-free setting (scale 128,
     // CDF(2,2) wavelet, adaptive elbow threshold).
     let config = AdaWaveConfig::builder().build();
-    let result = AdaWave::new(config).fit(&points).expect("clustering failed");
+    let result = AdaWave::new(config)
+        .fit(&points)
+        .expect("clustering failed");
 
     // --- 3. inspect the result ---------------------------------------------
     println!("clusters found: {}", result.cluster_count());

@@ -42,12 +42,8 @@ fn main() {
         elapsed.as_secs_f64(),
         (n as f64 / elapsed.as_secs_f64()) as u64
     );
-    let mut sizes: Vec<(usize, usize)> = result
-        .cluster_sizes()
-        .into_iter()
-        .enumerate()
-        .collect();
-    sizes.sort_by(|a, b| b.1.cmp(&a.1));
+    let mut sizes: Vec<(usize, usize)> = result.cluster_sizes().into_iter().enumerate().collect();
+    sizes.sort_by_key(|&(_, size)| std::cmp::Reverse(size));
     for (id, size) in sizes.iter().take(8) {
         println!("  area {id}: {size} road segments");
     }

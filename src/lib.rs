@@ -1,0 +1,81 @@
+//! # adawave
+//!
+//! The umbrella crate of the AdaWave workspace — a Rust reproduction of
+//! *Adaptive Wavelet Clustering for Highly Noisy Data* (ICDE 2019) grown
+//! into a multi-algorithm clustering toolkit.
+//!
+//! It re-exports the unified clustering API of `adawave-api` and assembles
+//! the **standard algorithm registry**: AdaWave plus every baseline of the
+//! paper's evaluation (k-means, DBSCAN, EM, WaveCluster, SkinnyDip,
+//! DipMeans, STSC, RIC, OPTICS, mean shift, SYNC, STING, CLIQUE), all
+//! behind one [`Clusterer`] trait returning one canonical [`Clustering`].
+//!
+//! ```
+//! use adawave::{standard_registry, AlgorithmSpec};
+//!
+//! // Two tight diagonal streaks plus one stray point.
+//! let mut points = Vec::new();
+//! for i in 0..100 {
+//!     let t = i as f64 * 0.0003;
+//!     points.push(vec![0.2 + t, 0.2 - t]);
+//!     points.push(vec![0.8 - t, 0.8 + t]);
+//! }
+//! points.push(vec![0.5, 0.95]);
+//!
+//! let registry = standard_registry();
+//! for spec in [
+//!     AlgorithmSpec::new("adawave").with("scale", 32),
+//!     AlgorithmSpec::new("kmeans").with("k", 2).with("seed", 7),
+//! ] {
+//!     let clusterer = registry.resolve(&spec).unwrap();
+//!     let clustering = clusterer.fit(&points).unwrap();
+//!     assert!(clustering.cluster_count() >= 2, "{}", clusterer.describe());
+//! }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use adawave_api::{
+    AlgorithmEntry, AlgorithmRegistry, AlgorithmSpec, ClusterError, Clusterer, Clustering,
+    ParamSpec, Params,
+};
+pub use adawave_core::{AdaWave, AdaWaveConfig, AdaWaveResult, ThresholdStrategy};
+
+/// The standard registry: AdaWave plus every baseline of the paper's
+/// evaluation, resolvable by name with `key=value` parameters.
+pub fn standard_registry() -> AlgorithmRegistry {
+    let mut registry = AlgorithmRegistry::new();
+    adawave_core::register(&mut registry);
+    adawave_baselines::register(&mut registry);
+    registry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_registry_holds_adawave_and_all_baselines() {
+        let registry = standard_registry();
+        assert_eq!(registry.len(), 15);
+        assert!(registry.contains("adawave"));
+        assert!(registry.contains("kmeans"));
+        assert!(registry.contains("clique"));
+        // Every entry resolves with default parameters.
+        for name in registry.names() {
+            registry
+                .resolve(&AlgorithmSpec::new(name))
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn describe_covers_every_algorithm() {
+        let registry = standard_registry();
+        let text = registry.describe();
+        for name in registry.names() {
+            assert!(text.contains(name), "{name} missing from describe()");
+        }
+    }
+}

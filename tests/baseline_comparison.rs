@@ -21,18 +21,17 @@ fn ring_clusters_defeat_kmeans_and_em_but_not_adawave() {
     let mut points = Vec::new();
     let mut truth = Vec::new();
     shapes::ring(&mut points, &mut rng, (0.5, 0.5), 0.12, 0.008, 1500);
-    truth.extend(std::iter::repeat(0usize).take(1500));
+    truth.extend(std::iter::repeat_n(0usize, 1500));
     shapes::ring(&mut points, &mut rng, (0.5, 0.5), 0.34, 0.008, 1500);
-    truth.extend(std::iter::repeat(1usize).take(1500));
+    truth.extend(std::iter::repeat_n(1usize, 1500));
     shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], 2000);
     const NOISE: usize = 2;
-    truth.extend(std::iter::repeat(NOISE).take(2000));
+    truth.extend(std::iter::repeat_n(NOISE, 2000));
 
     let adawave = AdaWave::new(AdaWaveConfig::builder().scale(64).build())
         .fit(&points)
         .expect("adawave");
-    let adawave_score =
-        ami_ignoring_noise(&truth, &adawave.to_labels(NOISE_LABEL), NOISE);
+    let adawave_score = ami_ignoring_noise(&truth, &adawave.to_labels(NOISE_LABEL), NOISE);
 
     let km = kmeans(&points, &KMeansConfig::new(2, 3));
     let km_score = ami_ignoring_noise(&truth, &km.clustering.to_labels(NOISE_LABEL), NOISE);

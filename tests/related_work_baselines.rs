@@ -2,10 +2,8 @@
 //! and the ground-truth-free validation indices, exercised together on the
 //! paper's workloads.
 
-use adawave_baselines::{
-    mean_shift, optics, sting, MeanShiftConfig, OpticsConfig, StingConfig,
-};
-use adawave_core::{AdaWave, AdaWaveConfig};
+use adawave_baselines::{mean_shift, optics, sting, MeanShiftConfig, OpticsConfig, StingConfig};
+use adawave_core::{AdaWave, AdaWaveConfig, ThresholdStrategy};
 use adawave_data::synthetic::synthetic_benchmark;
 use adawave_data::{shapes, Rng};
 use adawave_metrics::{
@@ -19,11 +17,11 @@ fn rings_with_noise(seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
     let mut points = Vec::new();
     let mut truth = Vec::new();
     shapes::ring(&mut points, &mut rng, (0.3, 0.5), 0.12, 0.01, 1200);
-    truth.extend(std::iter::repeat(0usize).take(1200));
+    truth.extend(std::iter::repeat_n(0usize, 1200));
     shapes::ring(&mut points, &mut rng, (0.72, 0.5), 0.12, 0.01, 1200);
-    truth.extend(std::iter::repeat(1usize).take(1200));
+    truth.extend(std::iter::repeat_n(1usize, 1200));
     shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], 800);
-    truth.extend(std::iter::repeat(2usize).take(800));
+    truth.extend(std::iter::repeat_n(2usize, 800));
     (points, truth)
 }
 
@@ -37,13 +35,11 @@ fn grid_and_density_relatives_also_handle_the_synthetic_benchmark() {
     let noise = ds.noise_label.unwrap();
 
     let sting_result = sting(&ds.points, &StingConfig::new(6, 5));
-    let sting_score =
-        ami_ignoring_noise(&ds.labels, &sting_result.to_labels(NOISE_LABEL), noise);
+    let sting_score = ami_ignoring_noise(&ds.labels, &sting_result.to_labels(NOISE_LABEL), noise);
     assert!(sting_score > 0.3, "STING AMI {sting_score}");
 
     let optics_result = optics(&ds.points, &OpticsConfig::new(0.05, 8, 0.02));
-    let optics_score =
-        ami_ignoring_noise(&ds.labels, &optics_result.to_labels(NOISE_LABEL), noise);
+    let optics_score = ami_ignoring_noise(&ds.labels, &optics_result.to_labels(NOISE_LABEL), noise);
     assert!(optics_score > 0.3, "OPTICS AMI {optics_score}");
 }
 
@@ -51,17 +47,26 @@ fn grid_and_density_relatives_also_handle_the_synthetic_benchmark() {
 fn mean_shift_cannot_separate_concentric_structure_that_adawave_can() {
     // A ring with a blob in its middle: mode-seeking merges them (one mode
     // basin), the grid transform keeps them apart.
+    //
+    // This dataset has no background noise, which is outside the adaptive
+    // threshold's operating regime (the paper's method presumes a noise
+    // tail in the density curve and over-prunes without one), so the
+    // structural claim — grid connectivity separates concentric shapes that
+    // mode seeking merges — is pinned with the threshold step disabled, and
+    // the default configuration is only required to beat mean shift.
     let mut rng = Rng::new(33);
     let mut points = Vec::new();
     let mut truth = Vec::new();
     shapes::ring(&mut points, &mut rng, (0.5, 0.5), 0.25, 0.01, 1500);
-    truth.extend(std::iter::repeat(0usize).take(1500));
+    truth.extend(std::iter::repeat_n(0usize, 1500));
     shapes::gaussian_blob(&mut points, &mut rng, &[0.5, 0.5], &[0.02, 0.02], 800);
-    truth.extend(std::iter::repeat(1usize).take(800));
+    truth.extend(std::iter::repeat_n(1usize, 800));
 
-    let adawave = AdaWave::new(AdaWaveConfig::builder().scale(64).build())
-        .fit(&points)
-        .unwrap();
+    let config = AdaWaveConfig::builder()
+        .scale(64)
+        .threshold(ThresholdStrategy::Fixed(0.0))
+        .build();
+    let adawave = AdaWave::new(config).fit(&points).unwrap();
     let adawave_score = ami_ignoring_noise(&truth, &adawave.to_labels(NOISE_LABEL), usize::MAX);
 
     let ms = mean_shift(&points, &MeanShiftConfig::new(0.3));
@@ -71,6 +76,17 @@ fn mean_shift_cannot_separate_concentric_structure_that_adawave_can() {
     assert!(
         adawave_score > ms_score + 0.2,
         "AdaWave {adawave_score} should clearly beat mean shift {ms_score} on concentric shapes"
+    );
+
+    // The default (adaptive) configuration mislabels part of the ring as
+    // noise here, but still clearly beats mode seeking.
+    let default_run = AdaWave::new(AdaWaveConfig::builder().scale(64).build())
+        .fit(&points)
+        .unwrap();
+    let default_score = ami_ignoring_noise(&truth, &default_run.to_labels(NOISE_LABEL), usize::MAX);
+    assert!(
+        default_score > ms_score + 0.2,
+        "default AdaWave {default_score} vs mean shift {ms_score}"
     );
 }
 
