@@ -1,6 +1,6 @@
 //! The [`Clusterer`] trait and the error type shared by every algorithm.
 
-use crate::Clustering;
+use crate::{Clustering, PointsView};
 
 /// Errors produced while resolving or running a clustering algorithm.
 #[derive(Debug, Clone, PartialEq)]
@@ -109,7 +109,31 @@ pub trait Clusterer {
 
     /// Cluster a point set. Every input point receives a verdict in the
     /// returned [`Clustering`]: a compacted cluster id or noise.
-    fn fit(&self, points: &[Vec<f64>]) -> Result<Clustering, ClusterError>;
+    ///
+    /// The input is a zero-copy [`PointsView`] over a flat row-major
+    /// buffer; owned data converts with [`PointMatrix::view`]. An empty or
+    /// zero-dimensional point set is [`ClusterError::InvalidInput`] for
+    /// every algorithm.
+    ///
+    /// [`PointMatrix::view`]: crate::PointMatrix::view
+    fn fit(&self, points: PointsView<'_>) -> Result<Clustering, ClusterError>;
+}
+
+/// The uniform input validation every [`Clusterer::fit`] applies: empty and
+/// zero-dimensional point sets are invalid for all algorithms (dimension
+/// now lives on the matrix, so this can never panic on `points[0]`).
+pub fn validate_fit_input(points: PointsView<'_>) -> Result<(), ClusterError> {
+    if points.is_empty() {
+        return Err(ClusterError::InvalidInput {
+            context: "empty point set".to_string(),
+        });
+    }
+    if points.dims() == 0 {
+        return Err(ClusterError::InvalidInput {
+            context: "points have zero dimensions".to_string(),
+        });
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -150,11 +174,28 @@ mod tests {
             fn name(&self) -> &str {
                 "noop"
             }
-            fn fit(&self, points: &[Vec<f64>]) -> Result<Clustering, ClusterError> {
+            fn fit(&self, points: PointsView<'_>) -> Result<Clustering, ClusterError> {
                 Ok(Clustering::all_noise(points.len()))
             }
         }
         assert_eq!(Noop.describe(), "noop");
-        assert_eq!(Noop.fit(&[vec![0.0]]).unwrap().noise_count(), 1);
+        let points = crate::PointMatrix::from_rows(vec![vec![0.0]]).unwrap();
+        assert_eq!(Noop.fit(points.view()).unwrap().noise_count(), 1);
+    }
+
+    #[test]
+    fn validate_fit_input_rejects_empty_and_zero_dimensional() {
+        let empty = crate::PointMatrix::new(2);
+        assert!(matches!(
+            validate_fit_input(empty.view()),
+            Err(ClusterError::InvalidInput { .. })
+        ));
+        let zero_dim = crate::PointMatrix::from_rows(vec![vec![], vec![]]).unwrap();
+        assert!(matches!(
+            validate_fit_input(zero_dim.view()),
+            Err(ClusterError::InvalidInput { .. })
+        ));
+        let fine = crate::PointMatrix::from_rows(vec![vec![0.5]]).unwrap();
+        assert!(validate_fit_input(fine.view()).is_ok());
     }
 }

@@ -4,6 +4,8 @@
 //! result struct; this is the single shared type both now produce, so
 //! callers can score, post-process and compare algorithms uniformly.
 
+use crate::PointsView;
+
 /// A clustering of `n` points: each point is either assigned to a cluster
 /// (`Some(id)` with contiguous 0-based ids) or marked as noise (`None`).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -121,31 +123,32 @@ impl Clustering {
     /// centroid (the paper's Table I protocol: "we run the k-means iteration
     /// on the final AdaWave result to assign every detected noise object to
     /// a 'true' cluster"). No-op if there are no clusters.
-    pub fn assign_noise_to_nearest_centroid(&self, points: &[Vec<f64>]) -> Clustering {
+    pub fn assign_noise_to_nearest_centroid(&self, points: PointsView<'_>) -> Clustering {
         if self.cluster_count == 0 || points.is_empty() {
             return self.clone();
         }
-        let dims = points[0].len();
-        // Compute centroids of existing clusters.
-        let mut centroids = vec![vec![0.0; dims]; self.cluster_count];
+        let dims = points.dims();
+        // Compute centroids of existing clusters, flat row-major like the
+        // points themselves.
+        let mut centroids = vec![0.0; dims * self.cluster_count];
         let mut counts = vec![0usize; self.cluster_count];
-        for (p, a) in points.iter().zip(self.assignment.iter()) {
+        for (p, a) in points.rows().zip(self.assignment.iter()) {
             if let Some(c) = a {
-                for (acc, v) in centroids[*c].iter_mut().zip(p.iter()) {
+                for (acc, v) in centroids[c * dims..(c + 1) * dims].iter_mut().zip(p.iter()) {
                     *acc += v;
                 }
                 counts[*c] += 1;
             }
         }
-        for (c, count) in centroids.iter_mut().zip(counts.iter()) {
+        for (c, count) in counts.iter().enumerate() {
             if *count > 0 {
-                for v in c.iter_mut() {
+                for v in &mut centroids[c * dims..(c + 1) * dims] {
                     *v /= *count as f64;
                 }
             }
         }
         let assignment = points
-            .iter()
+            .rows()
             .zip(self.assignment.iter())
             .map(|(p, a)| {
                 if a.is_some() {
@@ -153,7 +156,7 @@ impl Clustering {
                 } else {
                     let mut best = 0;
                     let mut best_d = f64::MAX;
-                    for (c, centroid) in centroids.iter().enumerate() {
+                    for (c, centroid) in centroids.chunks_exact(dims.max(1)).enumerate() {
                         if counts[c] == 0 {
                             continue;
                         }
@@ -249,16 +252,17 @@ mod tests {
 
     #[test]
     fn noise_reassignment_moves_points_to_nearest_cluster() {
-        let points = vec![
+        let points = crate::PointMatrix::from_rows(vec![
             vec![0.0, 0.0],
             vec![0.1, 0.0],
             vec![5.0, 5.0],
             vec![5.1, 5.0],
             vec![0.4, 0.2], // noise, near cluster 0
             vec![4.8, 5.3], // noise, near cluster 1
-        ];
+        ])
+        .unwrap();
         let c = Clustering::new(vec![Some(0), Some(0), Some(1), Some(1), None, None]);
-        let filled = c.assign_noise_to_nearest_centroid(&points);
+        let filled = c.assign_noise_to_nearest_centroid(points.view());
         assert_eq!(filled.noise_count(), 0);
         assert_eq!(filled.label(4), filled.label(0));
         assert_eq!(filled.label(5), filled.label(2));
@@ -268,10 +272,23 @@ mod tests {
 
     #[test]
     fn noise_reassignment_with_no_clusters_is_noop() {
-        let points = vec![vec![0.0], vec![1.0]];
+        let points = crate::PointMatrix::from_rows(vec![vec![0.0], vec![1.0]]).unwrap();
         let c = Clustering::all_noise(2);
-        let filled = c.assign_noise_to_nearest_centroid(&points);
+        let filled = c.assign_noise_to_nearest_centroid(points.view());
         assert_eq!(filled.noise_count(), 2);
+    }
+
+    #[test]
+    fn noise_reassignment_with_empty_points_never_panics() {
+        // Regression: the old `&[Vec<f64>]` implementation read `points[0]`
+        // for the dimensionality; the view carries it, so an empty point
+        // set is a clean no-op rather than a panic.
+        let empty = crate::PointMatrix::new(0);
+        let c = Clustering::new(vec![]);
+        assert!(c.assign_noise_to_nearest_centroid(empty.view()).is_empty());
+        let c = Clustering::new(vec![Some(0), None]);
+        let filled = c.assign_noise_to_nearest_centroid(empty.view());
+        assert_eq!(filled.noise_count(), 1);
     }
 
     #[test]

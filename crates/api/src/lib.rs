@@ -5,8 +5,12 @@
 //! and extended through a single interface — the way the paper's evaluation
 //! (§V) compares ~15 algorithms over a uniform protocol.
 //!
+//! * [`PointMatrix`] / [`PointsView`] — the flat row-major data layer: an
+//!   `n x d` point set in one contiguous buffer (`row(i)` is a subslice,
+//!   no per-point allocation), with [`PointMatrix::from_rows`] as the one
+//!   ingestion path for nested `Vec<Vec<f64>>` data.
 //! * [`Clusterer`] — the polymorphic algorithm interface:
-//!   `fit(&[Vec<f64>]) -> Result<Clustering, ClusterError>` plus
+//!   `fit(PointsView<'_>) -> Result<Clustering, ClusterError>` plus
 //!   `name()`/`describe()`.
 //! * [`Clustering`] — the canonical result type shared by `adawave-core`
 //!   and `adawave-baselines`: per-point `Option<usize>` labels with
@@ -20,7 +24,10 @@
 //!   `adawave` crate assembles the standard registry of all 15 algorithms.
 //!
 //! ```
-//! use adawave_api::{AlgorithmRegistry, AlgorithmSpec, Clusterer, Clustering, ClusterError};
+//! use adawave_api::{
+//!     AlgorithmRegistry, AlgorithmSpec, Clusterer, Clustering, ClusterError, PointMatrix,
+//!     PointsView,
+//! };
 //!
 //! /// A toy algorithm: one cluster per distinct x-sign.
 //! struct SignClusterer;
@@ -30,9 +37,9 @@
 //!         "sign"
 //!     }
 //!
-//!     fn fit(&self, points: &[Vec<f64>]) -> Result<Clustering, ClusterError> {
+//!     fn fit(&self, points: PointsView<'_>) -> Result<Clustering, ClusterError> {
 //!         Ok(Clustering::new(
-//!             points.iter().map(|p| Some((p[0] >= 0.0) as usize)).collect(),
+//!             points.rows().map(|p| Some((p[0] >= 0.0) as usize)).collect(),
 //!         ))
 //!     }
 //! }
@@ -42,8 +49,11 @@
 //!     Ok(Box::new(SignClusterer))
 //! });
 //!
+//! // Nested data converts once at the ingestion boundary...
+//! let points = PointMatrix::from_rows(vec![vec![-1.0], vec![2.0]]).unwrap();
 //! let clusterer = registry.resolve(&AlgorithmSpec::new("sign")).unwrap();
-//! let result = clusterer.fit(&[vec![-1.0], vec![2.0]]).unwrap();
+//! // ...and `fit` takes the zero-copy view.
+//! let result = clusterer.fit(points.view()).unwrap();
 //! assert_eq!(result.cluster_count(), 2);
 //! ```
 
@@ -53,11 +63,13 @@
 pub mod clusterer;
 pub mod clustering;
 pub mod params;
+pub mod points;
 pub mod registry;
 
-pub use clusterer::{ClusterError, Clusterer};
+pub use clusterer::{validate_fit_input, ClusterError, Clusterer};
 pub use clustering::Clustering;
 pub use params::{AlgorithmSpec, Params};
+pub use points::{PointMatrix, PointsView, Rows};
 pub use registry::{AlgorithmEntry, AlgorithmRegistry, ParamSpec};
 
 /// Convenience alias for results in this API.

@@ -198,7 +198,7 @@ impl AlgorithmRegistry {
     pub fn fit(
         &self,
         spec: &AlgorithmSpec,
-        points: &[Vec<f64>],
+        points: crate::PointsView<'_>,
     ) -> Result<crate::Clustering, ClusterError> {
         self.resolve(spec)?.fit(points)
     }
@@ -228,7 +228,7 @@ impl AlgorithmRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Clustering;
+    use crate::{Clustering, PointMatrix, PointsView};
 
     struct Constant {
         clusters: usize,
@@ -239,12 +239,10 @@ mod tests {
             "constant"
         }
 
-        fn fit(&self, points: &[Vec<f64>]) -> Result<Clustering, ClusterError> {
+        fn fit(&self, points: PointsView<'_>) -> Result<Clustering, ClusterError> {
             Ok(Clustering::new(
-                points
-                    .iter()
-                    .enumerate()
-                    .map(|(i, _)| Some(i % self.clusters.max(1)))
+                (0..points.len())
+                    .map(|i| Some(i % self.clusters.max(1)))
                     .collect(),
             ))
         }
@@ -268,7 +266,8 @@ mod tests {
     fn resolve_builds_and_fits() {
         let registry = test_registry();
         let spec = AlgorithmSpec::new("constant").with("k", 3);
-        let clustering = registry.fit(&spec, &vec![vec![0.0]; 9]).unwrap();
+        let points = PointMatrix::from_rows(vec![vec![0.0]; 9]).unwrap();
+        let clustering = registry.fit(&spec, points.view()).unwrap();
         assert_eq!(clustering.cluster_count(), 3);
         assert_eq!(registry.names(), vec!["constant"]);
         assert!(registry.contains("constant"));
@@ -298,10 +297,8 @@ mod tests {
         ));
         // Lenient resolution drops the foreign key and uses defaults.
         let clusterer = registry.resolve_lenient(&spec).unwrap();
-        assert_eq!(
-            clusterer.fit(&vec![vec![0.0]; 4]).unwrap().cluster_count(),
-            2
-        );
+        let points = PointMatrix::from_rows(vec![vec![0.0]; 4]).unwrap();
+        assert_eq!(clusterer.fit(points.view()).unwrap().cluster_count(), 2);
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Property-based tests for the flat row-major point-matrix data layer:
+//! `from_rows` → `row(i)`/iterator → back round-trips, view/owned
+//! equivalence, and the structural invariants every downstream kernel
+//! relies on (`data.len() == len * dims`, contiguous rows).
+
+use adawave_api::{PointMatrix, PointsView};
+use proptest::prelude::*;
+
+/// Rectangular nested fixtures: `n` rows of a shared width `d` (the width
+/// is drawn alongside max-width rows and applied by truncation, since the
+/// offline proptest shim has no `prop_flat_map`).
+fn nested_rows() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (
+        1usize..6,
+        prop::collection::vec(prop::collection::vec(-1e6f64..1e6, 5), 0..40),
+    )
+        .prop_map(|(d, rows)| rows.into_iter().map(|r| r[..d].to_vec()).collect())
+}
+
+proptest! {
+    #[test]
+    fn from_rows_row_accessor_round_trips(rows in nested_rows()) {
+        let matrix = PointMatrix::from_rows(rows.clone()).expect("rectangular");
+        prop_assert_eq!(matrix.len(), rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            prop_assert_eq!(matrix.row(i), &row[..]);
+            prop_assert_eq!(&matrix[i], &row[..]);
+        }
+        // Iterator traversal sees the same rows, in order, and back again.
+        let via_iter: Vec<Vec<f64>> = matrix.rows().map(<[f64]>::to_vec).collect();
+        prop_assert_eq!(&via_iter, &rows);
+        prop_assert_eq!(matrix.to_rows(), rows);
+    }
+
+    #[test]
+    fn view_and_owned_are_equivalent(rows in nested_rows()) {
+        let matrix = PointMatrix::from_rows(rows).expect("rectangular");
+        let view = matrix.view();
+        prop_assert_eq!(view.len(), matrix.len());
+        prop_assert_eq!(view.dims(), matrix.dims());
+        prop_assert_eq!(view.as_slice(), matrix.as_slice());
+        for i in 0..matrix.len() {
+            prop_assert_eq!(view.row(i), matrix.row(i));
+        }
+        // A view materialized back to owned is identical.
+        prop_assert_eq!(&view.to_matrix(), &matrix);
+        prop_assert_eq!(PointsView::from(&matrix), view);
+        // Reverse iteration agrees with forward iteration reversed.
+        let forward: Vec<&[f64]> = view.rows().collect();
+        let mut backward: Vec<&[f64]> = view.rows().rev().collect();
+        backward.reverse();
+        prop_assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn flat_buffer_invariant_holds(rows in nested_rows()) {
+        let matrix = PointMatrix::from_rows(rows).expect("rectangular");
+        prop_assert_eq!(matrix.as_slice().len(), matrix.len() * matrix.dims());
+        // from_flat on the raw buffer reconstructs the same matrix.
+        let rebuilt = PointMatrix::from_flat(matrix.as_slice().to_vec(), matrix.dims())
+            .expect("len is a multiple of dims by the invariant");
+        prop_assert_eq!(rebuilt, matrix);
+    }
+
+    #[test]
+    fn select_gathers_the_right_rows(rows in nested_rows(), seed in 0usize..1000) {
+        let matrix = PointMatrix::from_rows(rows).expect("rectangular");
+        if matrix.is_empty() {
+            return Ok(());
+        }
+        let indices: Vec<usize> = (0..matrix.len())
+            .map(|i| (i * 7 + seed) % matrix.len())
+            .collect();
+        let gathered = matrix.select(&indices);
+        prop_assert_eq!(gathered.len(), indices.len());
+        for (pos, &src) in indices.iter().enumerate() {
+            prop_assert_eq!(gathered.row(pos), matrix.row(src));
+        }
+        // View-based gather is identical.
+        prop_assert_eq!(matrix.view().select(&indices), gathered);
+    }
+
+    #[test]
+    fn ragged_rows_are_rejected(
+        mut rows in nested_rows(),
+        extra in prop::collection::vec(-1.0f64..1.0, 0..8),
+    ) {
+        prop_assume!(!rows.is_empty());
+        prop_assume!(extra.len() != rows[0].len());
+        rows.push(extra);
+        prop_assert!(PointMatrix::from_rows(rows).is_err());
+    }
+
+    #[test]
+    fn swap_and_reverse_preserve_the_row_multiset(rows in nested_rows()) {
+        let matrix = PointMatrix::from_rows(rows).expect("rectangular");
+        let mut reversed = matrix.clone();
+        reversed.reverse_rows();
+        prop_assert_eq!(reversed.len(), matrix.len());
+        for i in 0..matrix.len() {
+            prop_assert_eq!(reversed.row(i), matrix.row(matrix.len() - 1 - i));
+        }
+        reversed.reverse_rows();
+        prop_assert_eq!(reversed, matrix);
+    }
+}

@@ -12,6 +12,8 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
+use adawave_api::PointsView;
+
 use crate::Clustering;
 
 /// Configuration for [`clique`].
@@ -96,11 +98,11 @@ impl CliqueModel {
 }
 
 /// Run the bottom-up dense unit search.
-pub fn clique_model(points: &[Vec<f64>], config: &CliqueConfig) -> CliqueModel {
-    let dims = points.first().map_or(0, |p| p.len());
+pub fn clique_model(points: PointsView<'_>, config: &CliqueConfig) -> CliqueModel {
+    let dims = points.dims();
     let mut lower = vec![f64::INFINITY; dims];
     let mut upper = vec![f64::NEG_INFINITY; dims];
-    for p in points {
+    for p in points.rows() {
         for j in 0..dims {
             lower[j] = lower[j].min(p[j]);
             upper[j] = upper[j].max(p[j]);
@@ -130,7 +132,7 @@ pub fn clique_model(points: &[Vec<f64>], config: &CliqueConfig) -> CliqueModel {
 
     // Level 1: count every (dimension, interval) pair.
     let mut counts: BTreeMap<DenseUnit, usize> = BTreeMap::new();
-    for p in points {
+    for p in points.rows() {
         for (d, &x) in p.iter().enumerate() {
             let unit = DenseUnit {
                 dims: vec![d],
@@ -196,7 +198,7 @@ pub fn clique_model(points: &[Vec<f64>], config: &CliqueConfig) -> CliqueModel {
         }
         // Count candidate support with one scan over the points.
         let mut support: HashMap<&DenseUnit, usize> = candidates.iter().map(|c| (c, 0)).collect();
-        for p in points {
+        for p in points.rows() {
             for (unit, count) in support.iter_mut() {
                 if model.contains(unit, p) {
                     *count += 1;
@@ -221,7 +223,7 @@ pub fn clique_model(points: &[Vec<f64>], config: &CliqueConfig) -> CliqueModel {
 /// Run CLIQUE and return a flat clustering: connected dense units of the
 /// highest dense subspace dimensionality form clusters (per subspace), and
 /// points covered by none of them are noise.
-pub fn clique(points: &[Vec<f64>], config: &CliqueConfig) -> Clustering {
+pub fn clique(points: PointsView<'_>, config: &CliqueConfig) -> Clustering {
     let n = points.len();
     if n == 0 {
         return Clustering::new(vec![]);
@@ -287,7 +289,7 @@ pub fn clique(points: &[Vec<f64>], config: &CliqueConfig) -> Clustering {
     // Assign every point to the cluster of the first top-level unit covering
     // it (points covered by no dense unit are noise).
     let assignment: Vec<Option<usize>> = points
-        .iter()
+        .rows()
         .map(|p| {
             units
                 .iter()
@@ -301,12 +303,13 @@ pub fn clique(points: &[Vec<f64>], config: &CliqueConfig) -> Clustering {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adawave_api::PointMatrix;
     use adawave_data::{shapes, Rng};
     use adawave_metrics::{ami_ignoring_noise, NOISE_LABEL};
 
-    fn blobs_with_noise() -> (Vec<Vec<f64>>, Vec<usize>) {
+    fn blobs_with_noise() -> (PointMatrix, Vec<usize>) {
         let mut rng = Rng::new(17);
-        let mut points = Vec::new();
+        let mut points = PointMatrix::new(2);
         let mut truth = Vec::new();
         shapes::gaussian_blob(&mut points, &mut rng, &[0.2, 0.2], &[0.03, 0.03], 300);
         truth.extend(std::iter::repeat_n(0usize, 300));
@@ -320,7 +323,7 @@ mod tests {
     #[test]
     fn clusters_two_blobs_in_noise() {
         let (points, truth) = blobs_with_noise();
-        let clustering = clique(&points, &CliqueConfig::new(12, 0.02));
+        let clustering = clique(points.view(), &CliqueConfig::new(12, 0.02));
         assert!(clustering.cluster_count() >= 2);
         let score = ami_ignoring_noise(&truth, &clustering.to_labels(NOISE_LABEL), 2);
         assert!(score > 0.6, "AMI {score}");
@@ -329,7 +332,7 @@ mod tests {
     #[test]
     fn dense_units_respect_the_apriori_property() {
         let (points, _) = blobs_with_noise();
-        let model = clique_model(&points, &CliqueConfig::new(12, 0.02));
+        let model = clique_model(points.view(), &CliqueConfig::new(12, 0.02));
         assert!(model.max_dense_dimensionality() >= 2);
         // Every 2-D dense unit must have both of its 1-D projections dense.
         let one_d: HashSet<&DenseUnit> = model.dense_units_by_level[0].iter().collect();
@@ -352,15 +355,15 @@ mod tests {
         // A cluster that is tight in dimension 0 but uniform in dimension 1:
         // CLIQUE still reports a dense 1-D unit on dimension 0.
         let mut rng = Rng::new(9);
-        let mut points = Vec::new();
+        let mut points = PointMatrix::new(2);
         for _ in 0..400 {
-            points.push(vec![rng.normal_with(0.5, 0.01), rng.uniform()]);
+            points.push_row(&[rng.normal_with(0.5, 0.01), rng.uniform()]);
         }
         // Each dimension is normalized to its own min/max, so the tight
         // normal coordinate still spans all 20 intervals — but its central
         // intervals hold ~13% of the points each, versus ~5% for the uniform
         // dimension. A 10% threshold separates the two.
-        let model = clique_model(&points, &CliqueConfig::new(20, 0.10));
+        let model = clique_model(points.view(), &CliqueConfig::new(20, 0.10));
         let dense_dims: HashSet<usize> = model.dense_units_by_level[0]
             .iter()
             .map(|u| u.dims[0])
@@ -372,10 +375,10 @@ mod tests {
     #[test]
     fn no_dense_units_means_all_noise() {
         let mut rng = Rng::new(13);
-        let mut points = Vec::new();
+        let mut points = PointMatrix::new(2);
         shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], 200);
         // Threshold of 50% of points per unit: nothing qualifies in 2-D.
-        let clustering = clique(&points, &CliqueConfig::new(10, 0.5));
+        let clustering = clique(points.view(), &CliqueConfig::new(10, 0.5));
         assert_eq!(clustering.cluster_count(), 0);
         assert_eq!(clustering.noise_count(), 200);
     }
@@ -388,27 +391,24 @@ mod tests {
             density_threshold: 0.02,
             max_subspace_dims: 1,
         };
-        let model = clique_model(&points, &config);
+        let model = clique_model(points.view(), &config);
         assert_eq!(model.max_dense_dimensionality(), 1);
     }
 
     #[test]
     fn empty_input() {
-        assert!(clique(&[], &CliqueConfig::default()).is_empty());
+        assert!(clique(PointMatrix::new(2).view(), &CliqueConfig::default()).is_empty());
     }
 
     #[test]
     fn adjacent_dense_units_merge_into_one_cluster() {
         // A long uniform bar spanning several intervals along x.
         let mut rng = Rng::new(23);
-        let mut points = Vec::new();
+        let mut points = PointMatrix::new(2);
         for _ in 0..600 {
-            points.push(vec![
-                rng.uniform_range(0.1, 0.9),
-                rng.normal_with(0.5, 0.01),
-            ]);
+            points.push_row(&[rng.uniform_range(0.1, 0.9), rng.normal_with(0.5, 0.01)]);
         }
-        let clustering = clique(&points, &CliqueConfig::new(8, 0.02));
+        let clustering = clique(points.view(), &CliqueConfig::new(8, 0.02));
         assert_eq!(
             clustering.cluster_count(),
             1,

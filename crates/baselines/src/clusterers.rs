@@ -7,7 +7,10 @@
 //! builder for each algorithm into a registry so callers (CLI, bench
 //! sweeps, future services) can resolve baselines by name.
 
-use adawave_api::{AlgorithmRegistry, ClusterError, Clusterer, Clustering, ParamSpec};
+use adawave_api::{
+    validate_fit_input, AlgorithmRegistry, ClusterError, Clusterer, Clustering, ParamSpec,
+    PointsView,
+};
 
 use crate::{
     clique, dbscan, dipmeans, em, kmeans, mean_shift, optics, ric, self_tuning_spectral, skinnydip,
@@ -21,12 +24,12 @@ use crate::{
 pub struct ConfiguredClusterer<C> {
     name: &'static str,
     config: C,
-    run: fn(&[Vec<f64>], &C) -> Clustering,
+    run: fn(PointsView<'_>, &C) -> Clustering,
 }
 
 impl<C> ConfiguredClusterer<C> {
     /// Wrap a `(config, function)` pair under a registry name.
-    pub fn new(name: &'static str, config: C, run: fn(&[Vec<f64>], &C) -> Clustering) -> Self {
+    pub fn new(name: &'static str, config: C, run: fn(PointsView<'_>, &C) -> Clustering) -> Self {
         Self { name, config, run }
     }
 
@@ -45,7 +48,12 @@ impl<C: std::fmt::Debug> Clusterer for ConfiguredClusterer<C> {
         format!("{} {:?}", self.name, self.config)
     }
 
-    fn fit(&self, points: &[Vec<f64>]) -> Result<Clustering, ClusterError> {
+    /// Run the wrapped baseline. Empty or zero-dimensional input is
+    /// rejected with [`ClusterError::InvalidInput`] up front — uniformly
+    /// across every baseline — so no `points[0]`-style panic can be
+    /// reached through the trait surface.
+    fn fit(&self, points: PointsView<'_>) -> Result<Clustering, ClusterError> {
+        validate_fit_input(points)?;
         Ok((self.run)(points, &self.config))
     }
 }
@@ -53,18 +61,19 @@ impl<C: std::fmt::Debug> Clusterer for ConfiguredClusterer<C> {
 /// UniDip on one projected axis: the 1-D core of SkinnyDip, exposed as an
 /// algorithm of its own for axis-aligned data. `config.0` is the dimension
 /// to project onto (clamped to the data's dimensionality).
-fn unidip_projection(points: &[Vec<f64>], config: &(usize, SkinnyDipConfig)) -> Clustering {
+fn unidip_projection(points: PointsView<'_>, config: &(usize, SkinnyDipConfig)) -> Clustering {
     let (dim, cfg) = config;
     if points.is_empty() {
         return Clustering::new(vec![]);
     }
-    let dims = points[0].len();
+    let dims = points.dims();
     if dims == 0 {
-        // Zero-dimensional points leave no axis to project onto.
+        // Zero-dimensional points leave no axis to project onto. (The
+        // trait surface already rejects this input; kept for direct calls.)
         return Clustering::all_noise(points.len());
     }
     let d = (*dim).min(dims - 1);
-    let values: Vec<f64> = points.iter().map(|p| p[d]).collect();
+    let values: Vec<f64> = points.rows().map(|p| p[d]).collect();
     let mut rng = adawave_data::Rng::new(cfg.seed);
     let intervals = unidip(&values, cfg, &mut rng);
     Clustering::new(
@@ -337,7 +346,7 @@ pub fn register(registry: &mut AlgorithmRegistry) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adawave_api::AlgorithmSpec;
+    use adawave_api::{AlgorithmSpec, PointMatrix};
 
     #[test]
     fn register_adds_every_baseline() {
@@ -368,15 +377,15 @@ mod tests {
     fn registry_kmeans_matches_direct_call() {
         let mut registry = AlgorithmRegistry::new();
         register(&mut registry);
-        let points: Vec<Vec<f64>> = (0..40)
+        let points: PointMatrix = (0..40)
             .map(|i| {
                 let offset = if i % 2 == 0 { 0.0 } else { 5.0 };
                 vec![offset + (i as f64) * 0.001, offset]
             })
             .collect();
         let spec = AlgorithmSpec::new("kmeans").with("k", 2).with("seed", 7);
-        let via_registry = registry.fit(&spec, &points).unwrap();
-        let direct = kmeans(&points, &KMeansConfig::new(2, 7)).clustering;
+        let via_registry = registry.fit(&spec, points.view()).unwrap();
+        let direct = kmeans(points.view(), &KMeansConfig::new(2, 7)).clustering;
         assert_eq!(via_registry, direct);
     }
 
@@ -385,15 +394,37 @@ mod tests {
         let mut registry = AlgorithmRegistry::new();
         register(&mut registry);
         let clusterer = registry.resolve(&AlgorithmSpec::new("unidip")).unwrap();
-        // Zero-dimensional points: no axis to project onto → all noise.
-        let c = clusterer.fit(&vec![vec![]; 3]).unwrap();
-        assert_eq!(c.noise_count(), 3);
+        // Zero-dimensional points: invalid input through the uniform
+        // surface (no axis to project onto).
+        let zero_dim = PointMatrix::from_rows(vec![vec![]; 3]).unwrap();
+        assert!(matches!(
+            clusterer.fit(zero_dim.view()),
+            Err(ClusterError::InvalidInput { .. })
+        ));
         // A projection dimension beyond the data is clamped, not a panic.
         let clusterer = registry
             .resolve(&AlgorithmSpec::new("unidip").with("dim", 9))
             .unwrap();
-        let c = clusterer.fit(&[vec![0.1, 0.2], vec![0.9, 0.8]]).unwrap();
+        let points = PointMatrix::from_rows(vec![vec![0.1, 0.2], vec![0.9, 0.8]]).unwrap();
+        let c = clusterer.fit(points.view()).unwrap();
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn configured_clusterer_rejects_empty_input_with_invalid_input() {
+        // The validation lives in ConfiguredClusterer::fit, so one
+        // representative baseline pins it at the unit level — including
+        // kmeans, whose free function would panic on the same input. The
+        // all-algorithms sweep (empty and zero-dimensional) lives in
+        // tests/registry_parity.rs at the workspace level.
+        let mut registry = AlgorithmRegistry::new();
+        register(&mut registry);
+        let clusterer = registry.resolve(&AlgorithmSpec::new("kmeans")).unwrap();
+        let empty = PointMatrix::new(2);
+        assert!(matches!(
+            clusterer.fit(empty.view()),
+            Err(ClusterError::InvalidInput { .. })
+        ));
     }
 
     #[test]

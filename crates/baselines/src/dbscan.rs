@@ -4,6 +4,8 @@
 //! `O(n log n)` average behaviour the paper quotes; the worst case remains
 //! quadratic.
 
+use adawave_api::PointsView;
+
 use crate::{Clustering, KdTree};
 
 /// Configuration for [`dbscan`].
@@ -35,7 +37,7 @@ impl Default for DbscanConfig {
 
 /// Run DBSCAN. Points that are neither core points nor density-reachable
 /// from one are labeled as noise (`None`).
-pub fn dbscan(points: &[Vec<f64>], config: &DbscanConfig) -> Clustering {
+pub fn dbscan(points: PointsView<'_>, config: &DbscanConfig) -> Clustering {
     let n = points.len();
     if n == 0 {
         return Clustering::new(vec![]);
@@ -51,7 +53,7 @@ pub fn dbscan(points: &[Vec<f64>], config: &DbscanConfig) -> Clustering {
         if labels[start] != UNVISITED {
             continue;
         }
-        let neighbors = tree.within_radius(&points[start], config.eps);
+        let neighbors = tree.within_radius(points.row(start), config.eps);
         if neighbors.len() < config.min_points {
             labels[start] = NOISE;
             continue;
@@ -68,7 +70,7 @@ pub fn dbscan(points: &[Vec<f64>], config: &DbscanConfig) -> Clustering {
                 continue;
             }
             labels[q] = cluster;
-            let q_neighbors = tree.within_radius(&points[q], config.eps);
+            let q_neighbors = tree.within_radius(points.row(q), config.eps);
             if q_neighbors.len() >= config.min_points {
                 queue.extend(q_neighbors);
             }
@@ -93,19 +95,20 @@ pub fn dbscan(points: &[Vec<f64>], config: &DbscanConfig) -> Clustering {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adawave_api::PointMatrix;
     use adawave_data::{shapes, Rng};
     use adawave_metrics::{ami, NOISE_LABEL};
 
     #[test]
     fn separates_two_dense_blobs_and_marks_outliers() {
         let mut rng = Rng::new(1);
-        let mut points = Vec::new();
+        let mut points = PointMatrix::new(2);
         shapes::gaussian_blob(&mut points, &mut rng, &[0.0, 0.0], &[0.05, 0.05], 200);
         shapes::gaussian_blob(&mut points, &mut rng, &[1.0, 1.0], &[0.05, 0.05], 200);
         // A few far-away outliers.
-        points.push(vec![3.0, -3.0]);
-        points.push(vec![-3.0, 3.0]);
-        let clustering = dbscan(&points, &DbscanConfig::new(0.1, 5));
+        points.push_row(&[3.0, -3.0]);
+        points.push_row(&[-3.0, 3.0]);
+        let clustering = dbscan(points.view(), &DbscanConfig::new(0.1, 5));
         assert_eq!(clustering.cluster_count(), 2);
         assert_eq!(clustering.label(400), None);
         assert_eq!(clustering.label(401), None);
@@ -116,9 +119,9 @@ mod tests {
     #[test]
     fn finds_ring_shaped_cluster() {
         let mut rng = Rng::new(2);
-        let mut points = Vec::new();
+        let mut points = PointMatrix::new(2);
         shapes::ring(&mut points, &mut rng, (0.5, 0.5), 0.3, 0.01, 400);
-        let clustering = dbscan(&points, &DbscanConfig::new(0.08, 5));
+        let clustering = dbscan(points.view(), &DbscanConfig::new(0.08, 5));
         assert_eq!(clustering.cluster_count(), 1);
         assert!(clustering.noise_fraction() < 0.05);
     }
@@ -126,9 +129,9 @@ mod tests {
     #[test]
     fn all_noise_when_eps_too_small() {
         let mut rng = Rng::new(3);
-        let mut points = Vec::new();
+        let mut points = PointMatrix::new(2);
         shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], 100);
-        let clustering = dbscan(&points, &DbscanConfig::new(1e-6, 4));
+        let clustering = dbscan(points.view(), &DbscanConfig::new(1e-6, 4));
         assert_eq!(clustering.cluster_count(), 0);
         assert_eq!(clustering.noise_count(), 100);
     }
@@ -136,33 +139,33 @@ mod tests {
     #[test]
     fn single_cluster_when_eps_huge() {
         let mut rng = Rng::new(4);
-        let mut points = Vec::new();
+        let mut points = PointMatrix::new(2);
         shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], 100);
-        let clustering = dbscan(&points, &DbscanConfig::new(10.0, 4));
+        let clustering = dbscan(points.view(), &DbscanConfig::new(10.0, 4));
         assert_eq!(clustering.cluster_count(), 1);
         assert_eq!(clustering.noise_count(), 0);
     }
 
     #[test]
     fn empty_input() {
-        let clustering = dbscan(&[], &DbscanConfig::default());
+        let clustering = dbscan(PointMatrix::new(2).view(), &DbscanConfig::default());
         assert!(clustering.is_empty());
     }
 
     #[test]
     fn deterministic() {
         let mut rng = Rng::new(5);
-        let mut points = Vec::new();
+        let mut points = PointMatrix::new(2);
         shapes::gaussian_blob(&mut points, &mut rng, &[0.0, 0.0], &[0.1, 0.1], 150);
-        let a = dbscan(&points, &DbscanConfig::new(0.05, 5));
-        let b = dbscan(&points, &DbscanConfig::new(0.05, 5));
+        let a = dbscan(points.view(), &DbscanConfig::new(0.05, 5));
+        let b = dbscan(points.view(), &DbscanConfig::new(0.05, 5));
         assert_eq!(a, b);
     }
 
     #[test]
     fn best_eps_sweep_picks_good_parameter() {
         let mut rng = Rng::new(6);
-        let mut points = Vec::new();
+        let mut points = PointMatrix::new(2);
         let mut truth = Vec::new();
         shapes::gaussian_blob(&mut points, &mut rng, &[0.0, 0.0], &[0.03, 0.03], 150);
         truth.extend(std::iter::repeat_n(0usize, 150));
@@ -174,7 +177,7 @@ mod tests {
         // the blobs nearly perfectly.
         let best = (1..=20)
             .map(|i| {
-                let clustering = dbscan(&points, &DbscanConfig::new(i as f64 * 0.01, 8));
+                let clustering = dbscan(points.view(), &DbscanConfig::new(i as f64 * 0.01, 8));
                 ami(&truth, &clustering.to_labels(NOISE_LABEL))
             })
             .fold(f64::MIN, f64::max);
@@ -185,12 +188,12 @@ mod tests {
     fn border_points_join_a_cluster() {
         // A dense core with one point just inside eps of the core but with
         // too few neighbours of its own: it must become a border member, not noise.
-        let mut points = vec![];
+        let mut points = PointMatrix::new(2);
         for i in 0..10 {
-            points.push(vec![0.01 * i as f64, 0.0]);
+            points.push_row(&[0.01 * i as f64, 0.0]);
         }
-        points.push(vec![0.13, 0.0]); // border point
-        let clustering = dbscan(&points, &DbscanConfig::new(0.05, 4));
+        points.push_row(&[0.13, 0.0]); // border point
+        let clustering = dbscan(points.view(), &DbscanConfig::new(0.05, 4));
         assert_eq!(clustering.cluster_count(), 1);
         assert!(clustering.label(10).is_some());
     }

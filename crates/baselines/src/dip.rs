@@ -410,15 +410,15 @@ type HyperRect = (Vec<(f64, f64)>, Vec<usize>);
 /// SkinnyDip: run UniDip on every dimension, intersecting the modal
 /// intervals into hyper-rectangles. Points outside every hyper-rectangle
 /// are noise.
-// `dim` indexes the inner coordinate of `points[i]`; there is no outer
+// `dim` indexes the inner coordinate of `points.row(i)`; there is no outer
 // container to iterate instead.
 #[allow(clippy::needless_range_loop)]
-pub fn skinnydip(points: &[Vec<f64>], config: &SkinnyDipConfig) -> Clustering {
+pub fn skinnydip(points: adawave_api::PointsView<'_>, config: &SkinnyDipConfig) -> Clustering {
     let n = points.len();
     if n == 0 {
         return Clustering::new(vec![]);
     }
-    let dims = points[0].len();
+    let dims = points.dims();
     let mut rng = Rng::new(config.seed);
 
     // Each candidate cluster is a set of per-dimension value intervals and
@@ -431,13 +431,16 @@ pub fn skinnydip(points: &[Vec<f64>], config: &SkinnyDipConfig) -> Clustering {
             if members.len() < config.min_cluster_size {
                 continue;
             }
-            let values: Vec<f64> = members.iter().map(|&i| points[i][dim]).collect();
+            let values: Vec<f64> = members.iter().map(|&i| points.row(i)[dim]).collect();
             let intervals = unidip(&values, config, &mut rng);
             for (lo, hi) in intervals {
                 let subset: Vec<usize> = members
                     .iter()
                     .copied()
-                    .filter(|&i| points[i][dim] >= lo && points[i][dim] <= hi)
+                    .filter(|&i| {
+                        let v = points.row(i)[dim];
+                        v >= lo && v <= hi
+                    })
                     .collect();
                 if subset.len() >= config.min_cluster_size {
                     let mut new_bounds = bounds.clone();
@@ -468,6 +471,7 @@ pub fn skinnydip(points: &[Vec<f64>], config: &SkinnyDipConfig) -> Clustering {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adawave_api::PointMatrix;
     use adawave_data::shapes;
     use adawave_metrics::{ami_ignoring_noise, NOISE_LABEL};
 
@@ -595,7 +599,7 @@ mod tests {
     #[test]
     fn skinnydip_recovers_axis_aligned_gaussians_in_noise() {
         let mut rng = Rng::new(12);
-        let mut points = Vec::new();
+        let mut points = PointMatrix::new(2);
         let mut truth = Vec::new();
         shapes::gaussian_blob(&mut points, &mut rng, &[0.2, 0.2], &[0.02, 0.02], 400);
         truth.extend(std::iter::repeat_n(0usize, 400));
@@ -609,7 +613,7 @@ mod tests {
             seed: 3,
             ..Default::default()
         };
-        let clustering = skinnydip(&points, &config);
+        let clustering = skinnydip(points.view(), &config);
         assert!(
             clustering.cluster_count() >= 2,
             "found {} clusters",
@@ -621,14 +625,14 @@ mod tests {
 
     #[test]
     fn skinnydip_empty_input() {
-        let clustering = skinnydip(&[], &SkinnyDipConfig::default());
+        let clustering = skinnydip(PointMatrix::new(2).view(), &SkinnyDipConfig::default());
         assert!(clustering.is_empty());
     }
 
     #[test]
     fn skinnydip_is_deterministic() {
         let mut rng = Rng::new(13);
-        let mut points = Vec::new();
+        let mut points = PointMatrix::new(2);
         shapes::gaussian_blob(&mut points, &mut rng, &[0.3, 0.7], &[0.03, 0.03], 200);
         shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], 100);
         let config = SkinnyDipConfig {
@@ -636,6 +640,9 @@ mod tests {
             seed: 5,
             ..Default::default()
         };
-        assert_eq!(skinnydip(&points, &config), skinnydip(&points, &config));
+        assert_eq!(
+            skinnydip(points.view(), &config),
+            skinnydip(points.view(), &config)
+        );
     }
 }

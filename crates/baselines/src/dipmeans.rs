@@ -7,6 +7,7 @@
 //! split with 2-means and the global solution is refined. The loop stops
 //! when no cluster wants to split.
 
+use adawave_api::PointsView;
 use adawave_data::Rng;
 use adawave_linalg::euclidean_distance;
 
@@ -50,7 +51,7 @@ impl Default for DipMeansConfig {
 /// Fraction of sampled viewers in `members` whose distance vector to the
 /// other members is significantly multimodal.
 fn split_viewer_fraction(
-    points: &[Vec<f64>],
+    points: PointsView<'_>,
     members: &[usize],
     config: &DipMeansConfig,
     rng: &mut Rng,
@@ -62,11 +63,11 @@ fn split_viewer_fraction(
     let viewers = rng.sample_indices(members.len(), viewer_count);
     let mut split = 0usize;
     for &v in &viewers {
-        let viewer = &points[members[v]];
+        let viewer = points.row(members[v]);
         let distances: Vec<f64> = members
             .iter()
             .filter(|&&m| m != members[v])
-            .map(|&m| euclidean_distance(viewer, &points[m]))
+            .map(|&m| euclidean_distance(viewer, points.row(m)))
             .collect();
         let dip = dip_statistic(&distances).dip;
         let p = dip_pvalue(dip, distances.len(), config.bootstraps, rng);
@@ -79,7 +80,7 @@ fn split_viewer_fraction(
 
 /// Run DipMeans. Returns a clustering with the estimated number of
 /// clusters; every point is assigned (no noise concept).
-pub fn dipmeans(points: &[Vec<f64>], config: &DipMeansConfig) -> Clustering {
+pub fn dipmeans(points: PointsView<'_>, config: &DipMeansConfig) -> Clustering {
     let n = points.len();
     if n == 0 {
         return Clustering::new(vec![]);
@@ -124,13 +125,14 @@ pub fn dipmeans(points: &[Vec<f64>], config: &DipMeansConfig) -> Clustering {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adawave_api::PointMatrix;
     use adawave_data::shapes;
     use adawave_metrics::ami;
 
-    fn blobs(k: usize, per_cluster: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+    fn blobs(k: usize, per_cluster: usize, seed: u64) -> (PointMatrix, Vec<usize>) {
         let mut rng = Rng::new(seed);
         let centers = [[0.0, 0.0], [6.0, 0.0], [0.0, 6.0], [6.0, 6.0], [3.0, 10.0]];
-        let mut points = Vec::new();
+        let mut points = PointMatrix::new(2);
         let mut labels = Vec::new();
         for (c, center) in centers.iter().take(k).enumerate() {
             shapes::gaussian_blob(&mut points, &mut rng, center, &[0.3, 0.3], per_cluster);
@@ -142,7 +144,7 @@ mod tests {
     #[test]
     fn estimates_k_for_well_separated_blobs() {
         let (points, labels) = blobs(3, 120, 1);
-        let clustering = dipmeans(&points, &DipMeansConfig::default());
+        let clustering = dipmeans(points.view(), &DipMeansConfig::default());
         assert!(
             (2..=4).contains(&clustering.cluster_count()),
             "estimated k = {}",
@@ -155,7 +157,7 @@ mod tests {
     #[test]
     fn single_gaussian_stays_one_cluster() {
         let (points, _) = blobs(1, 300, 2);
-        let clustering = dipmeans(&points, &DipMeansConfig::default());
+        let clustering = dipmeans(points.view(), &DipMeansConfig::default());
         assert_eq!(clustering.cluster_count(), 1);
     }
 
@@ -166,20 +168,20 @@ mod tests {
             max_k: 2,
             ..Default::default()
         };
-        let clustering = dipmeans(&points, &config);
+        let clustering = dipmeans(points.view(), &config);
         assert!(clustering.cluster_count() <= 2);
     }
 
     #[test]
     fn deterministic_for_seed() {
         let (points, _) = blobs(2, 100, 4);
-        let a = dipmeans(&points, &DipMeansConfig::default());
-        let b = dipmeans(&points, &DipMeansConfig::default());
+        let a = dipmeans(points.view(), &DipMeansConfig::default());
+        let b = dipmeans(points.view(), &DipMeansConfig::default());
         assert_eq!(a, b);
     }
 
     #[test]
     fn empty_input() {
-        assert!(dipmeans(&[], &DipMeansConfig::default()).is_empty());
+        assert!(dipmeans(PointMatrix::new(2).view(), &DipMeansConfig::default()).is_empty());
     }
 }

@@ -6,6 +6,7 @@
 //! k-means, covariances regularized with a small ridge for numerical
 //! stability, responsibilities computed with the log-sum-exp trick.
 
+use adawave_api::{PointMatrix, PointsView};
 use adawave_linalg::{covariance_matrix, Cholesky, Matrix};
 
 use crate::kmeans::{kmeans, KMeansConfig};
@@ -54,8 +55,8 @@ impl EmConfig {
 pub struct GaussianMixture {
     /// Mixing weights, one per component.
     pub weights: Vec<f64>,
-    /// Component means.
-    pub means: Vec<Vec<f64>>,
+    /// Component means, one row per component (flat row-major).
+    pub means: PointMatrix,
     /// Component covariance matrices.
     pub covariances: Vec<Matrix>,
     /// Final mean log-likelihood of the training data.
@@ -74,7 +75,7 @@ impl GaussianMixture {
         };
         let diff: Vec<f64> = point
             .iter()
-            .zip(self.means[c].iter())
+            .zip(self.means.row(c).iter())
             .map(|(x, m)| x - m)
             .collect();
         let maha = chol.mahalanobis_squared(&diff);
@@ -108,8 +109,16 @@ impl GaussianMixture {
     }
 }
 
-fn regularized_covariance(points: &[Vec<f64>], dims: usize, reg: f64) -> Matrix {
-    let mut cov = covariance_matrix(points, dims);
+/// Covariance of the member rows of a shared matrix, regularized for
+/// numerical stability — computed straight off the index list, no cloned
+/// member subset.
+fn regularized_covariance(
+    points: PointsView<'_>,
+    members: &[usize],
+    dims: usize,
+    reg: f64,
+) -> Matrix {
+    let mut cov = covariance_matrix(members.iter().map(|&i| points.row(i)), dims);
     cov.add_diagonal(reg.max(1e-9));
     // If still not SPD (e.g. single-point cluster), fall back to identity-ish.
     if cov.cholesky().is_err() {
@@ -125,11 +134,11 @@ fn regularized_covariance(points: &[Vec<f64>], dims: usize, reg: f64) -> Matrix 
 ///
 /// # Panics
 /// Panics if `points` is empty or `k == 0`.
-pub fn em(points: &[Vec<f64>], config: &EmConfig) -> (GaussianMixture, Clustering) {
+pub fn em(points: PointsView<'_>, config: &EmConfig) -> (GaussianMixture, Clustering) {
     assert!(!points.is_empty(), "em: empty input");
     assert!(config.k >= 1, "em: k must be >= 1");
     let n = points.len();
-    let dims = points[0].len();
+    let dims = points.dims();
     let k = config.k.min(n);
 
     // Initialize from k-means.
@@ -143,13 +152,10 @@ pub fn em(points: &[Vec<f64>], config: &EmConfig) -> (GaussianMixture, Clusterin
     for w in &mut weights {
         *w /= wsum;
     }
-    let mut means: Vec<Vec<f64>> = init.centroids.clone();
+    let mut means: PointMatrix = init.centroids.clone();
     let mut covariances: Vec<Matrix> = clusters
         .iter()
-        .map(|members| {
-            let member_points: Vec<Vec<f64>> = members.iter().map(|&i| points[i].clone()).collect();
-            regularized_covariance(&member_points, dims, config.regularization)
-        })
+        .map(|members| regularized_covariance(points, members, dims, config.regularization))
         .collect();
 
     let mut model = GaussianMixture {
@@ -172,13 +178,13 @@ pub fn em(points: &[Vec<f64>], config: &EmConfig) -> (GaussianMixture, Clusterin
             .iter()
             .map(|c| c.cholesky().ok())
             .collect();
-        for (i, p) in points.iter().enumerate() {
+        for (i, p) in points.rows().enumerate() {
             let mut log_joint = vec![f64::NEG_INFINITY; k];
             for c in 0..k {
                 if let Some(chol) = &chols[c] {
                     let diff: Vec<f64> = p
                         .iter()
-                        .zip(model.means[c].iter())
+                        .zip(model.means.row(c).iter())
                         .map(|(x, m)| x - m)
                         .collect();
                     let maha = chol.mahalanobis_squared(&diff);
@@ -204,31 +210,32 @@ pub fn em(points: &[Vec<f64>], config: &EmConfig) -> (GaussianMixture, Clusterin
         let nk: Vec<f64> = (0..k)
             .map(|c| resp.iter().map(|r| r[c]).sum::<f64>().max(1e-12))
             .collect();
-        means = vec![vec![0.0; dims]; k];
-        for (i, p) in points.iter().enumerate() {
-            for c in 0..k {
-                for (m, v) in means[c].iter_mut().zip(p.iter()) {
-                    *m += resp[i][c] * v;
+        means = PointMatrix::from_flat(vec![0.0; k * dims], dims).expect("k x dims");
+        for (i, p) in points.rows().enumerate() {
+            for (c, &r) in resp[i].iter().enumerate() {
+                for (m, v) in means.row_mut(c).iter_mut().zip(p.iter()) {
+                    *m += r * v;
                 }
             }
         }
-        for c in 0..k {
-            for m in means[c].iter_mut() {
-                *m /= nk[c];
+        for (c, &norm) in nk.iter().enumerate() {
+            for m in means.row_mut(c).iter_mut() {
+                *m /= norm;
             }
         }
         covariances = Vec::with_capacity(k);
         for c in 0..k {
             let mut cov = Matrix::zeros(dims, dims);
-            for (i, p) in points.iter().enumerate() {
+            for (i, p) in points.rows().enumerate() {
                 let r = resp[i][c];
                 if r < 1e-12 {
                     continue;
                 }
+                let mean_c = means.row(c);
                 for a in 0..dims {
-                    let da = p[a] - means[c][a];
+                    let da = p[a] - mean_c[a];
                     for b in a..dims {
-                        let db = p[b] - means[c][b];
+                        let db = p[b] - mean_c[b];
                         cov[(a, b)] += r * da * db;
                     }
                 }
@@ -252,19 +259,20 @@ pub fn em(points: &[Vec<f64>], config: &EmConfig) -> (GaussianMixture, Clusterin
         prev_ll = ll;
     }
 
-    let assignment: Vec<Option<usize>> = points.iter().map(|p| Some(model.predict(p))).collect();
+    let assignment: Vec<Option<usize>> = points.rows().map(|p| Some(model.predict(p))).collect();
     (model, Clustering::new(assignment))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adawave_api::PointMatrix;
     use adawave_data::{shapes, Rng};
     use adawave_metrics::ami;
 
-    fn two_gaussians(seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+    fn two_gaussians(seed: u64) -> (PointMatrix, Vec<usize>) {
         let mut rng = Rng::new(seed);
-        let mut points = Vec::new();
+        let mut points = PointMatrix::new(2);
         let mut labels = Vec::new();
         shapes::gaussian_blob(&mut points, &mut rng, &[0.0, 0.0], &[0.4, 0.2], 250);
         labels.extend(std::iter::repeat_n(0, 250));
@@ -276,15 +284,14 @@ mod tests {
     #[test]
     fn recovers_two_gaussians() {
         let (points, labels) = two_gaussians(1);
-        let (model, clustering) = em(&points, &EmConfig::new(2, 3));
+        let (model, clustering) = em(points.view(), &EmConfig::new(2, 3));
         let score = ami(&labels, &clustering.to_labels(usize::MAX));
         assert!(score > 0.95, "AMI {score}");
         assert_eq!(model.weights.len(), 2);
         assert!((model.weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         // Means are close to the true centres (in some order).
-        let near = |m: &Vec<f64>, c: [f64; 2]| {
-            ((m[0] - c[0]).powi(2) + (m[1] - c[1]).powi(2)).sqrt() < 0.2
-        };
+        let near =
+            |m: &[f64], c: [f64; 2]| ((m[0] - c[0]).powi(2) + (m[1] - c[1]).powi(2)).sqrt() < 0.2;
         assert!(
             (near(&model.means[0], [0.0, 0.0]) && near(&model.means[1], [3.0, 3.0]))
                 || (near(&model.means[1], [0.0, 0.0]) && near(&model.means[0], [3.0, 3.0]))
@@ -297,14 +304,14 @@ mod tests {
         // by comparing first and last.
         let (points, _) = two_gaussians(2);
         let (m_short, _) = em(
-            &points,
+            points.view(),
             &EmConfig {
                 max_iterations: 1,
                 ..EmConfig::new(2, 5)
             },
         );
         let (m_long, _) = em(
-            &points,
+            points.view(),
             &EmConfig {
                 max_iterations: 30,
                 ..EmConfig::new(2, 5)
@@ -316,8 +323,8 @@ mod tests {
     #[test]
     fn responsibilities_sum_to_one() {
         let (points, _) = two_gaussians(3);
-        let (model, _) = em(&points, &EmConfig::new(2, 1));
-        for p in points.iter().take(20) {
+        let (model, _) = em(points.view(), &EmConfig::new(2, 1));
+        for p in points.rows().take(20) {
             let r = model.responsibilities(p);
             assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-9);
             assert!(r.iter().all(|&x| (0.0..=1.0).contains(&x)));
@@ -329,21 +336,22 @@ mod tests {
         // Two elongated, slightly overlapping Gaussians rotated differently:
         // EM with full covariance should still separate them decently.
         let mut rng = Rng::new(4);
-        let mut points = Vec::new();
+        let mut points = PointMatrix::new(2);
         let mut labels = Vec::new();
         shapes::gaussian_ellipse(&mut points, &mut rng, (0.0, 0.0), (1.0, 0.08), 0.0, 300);
         labels.extend(std::iter::repeat_n(0, 300));
         shapes::gaussian_ellipse(&mut points, &mut rng, (0.0, 1.0), (1.0, 0.08), 0.0, 300);
         labels.extend(std::iter::repeat_n(1, 300));
-        let (_, clustering) = em(&points, &EmConfig::new(2, 7));
+        let (_, clustering) = em(points.view(), &EmConfig::new(2, 7));
         let score = ami(&labels, &clustering.to_labels(usize::MAX));
         assert!(score > 0.8, "AMI {score}");
     }
 
     #[test]
     fn single_component_mean_is_dataset_mean() {
-        let points = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
-        let (model, clustering) = em(&points, &EmConfig::new(1, 1));
+        let points =
+            PointMatrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let (model, clustering) = em(points.view(), &EmConfig::new(1, 1));
         assert!((model.means[0][0] - 3.0).abs() < 1e-6);
         assert!((model.means[0][1] - 4.0).abs() < 1e-6);
         assert_eq!(clustering.cluster_count(), 1);
@@ -352,14 +360,14 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (points, _) = two_gaussians(5);
-        let (_, a) = em(&points, &EmConfig::new(2, 9));
-        let (_, b) = em(&points, &EmConfig::new(2, 9));
+        let (_, a) = em(points.view(), &EmConfig::new(2, 9));
+        let (_, b) = em(points.view(), &EmConfig::new(2, 9));
         assert_eq!(a, b);
     }
 
     #[test]
     #[should_panic(expected = "empty input")]
     fn empty_input_panics() {
-        em(&[], &EmConfig::new(2, 1));
+        em(PointMatrix::new(2).view(), &EmConfig::new(2, 1));
     }
 }

@@ -4,12 +4,13 @@
 //! search; a kd-tree keeps them near `O(log n)` per query on the low-
 //! dimensional data where those baselines are competitive.
 
+use adawave_api::PointsView;
 use adawave_linalg::squared_distance;
 
-/// A kd-tree over a borrowed point set.
+/// A kd-tree over a borrowed flat row-major point set.
 #[derive(Debug)]
 pub struct KdTree<'a> {
-    points: &'a [Vec<f64>],
+    points: PointsView<'a>,
     /// Flattened tree: `nodes[i]` = (point index, split dimension).
     nodes: Vec<Node>,
     root: Option<usize>,
@@ -26,8 +27,8 @@ struct Node {
 
 impl<'a> KdTree<'a> {
     /// Build a balanced kd-tree (median splits) over `points`.
-    pub fn build(points: &'a [Vec<f64>]) -> Self {
-        let dims = points.first().map(|p| p.len()).unwrap_or(0);
+    pub fn build(points: PointsView<'a>) -> Self {
+        let dims = points.dims();
         let mut indices: Vec<usize> = (0..points.len()).collect();
         let mut nodes = Vec::with_capacity(points.len());
         let root = Self::build_recursive(points, &mut indices[..], 0, dims, &mut nodes);
@@ -40,7 +41,7 @@ impl<'a> KdTree<'a> {
     }
 
     fn build_recursive(
-        points: &[Vec<f64>],
+        points: PointsView<'_>,
         indices: &mut [usize],
         depth: usize,
         dims: usize,
@@ -52,8 +53,8 @@ impl<'a> KdTree<'a> {
         let split_dim = if dims == 0 { 0 } else { depth % dims };
         let mid = indices.len() / 2;
         indices.select_nth_unstable_by(mid, |&a, &b| {
-            points[a][split_dim]
-                .partial_cmp(&points[b][split_dim])
+            points.row(a)[split_dim]
+                .partial_cmp(&points.row(b)[split_dim])
                 .unwrap()
         });
         let point = indices[mid];
@@ -102,7 +103,7 @@ impl<'a> KdTree<'a> {
         out: &mut Vec<usize>,
     ) {
         let node = self.nodes[node_idx];
-        let point = &self.points[node.point];
+        let point = self.points.row(node.point);
         if squared_distance(point, query) <= radius_sq {
             out.push(node.point);
         }
@@ -149,7 +150,7 @@ impl<'a> KdTree<'a> {
         heap: &mut Vec<(f64, usize)>,
     ) {
         let node = self.nodes[node_idx];
-        let point = &self.points[node.point];
+        let point = self.points.row(node.point);
         let dist_sq = squared_distance(point, query);
         if heap.len() < k {
             heap.push((dist_sq, node.point));
@@ -182,41 +183,48 @@ impl<'a> KdTree<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adawave_api::PointMatrix;
     use adawave_data::Rng;
 
-    fn brute_within(points: &[Vec<f64>], query: &[f64], radius: f64) -> Vec<usize> {
+    fn brute_within(points: PointsView<'_>, query: &[f64], radius: f64) -> Vec<usize> {
         let r2 = radius * radius;
         let mut out: Vec<usize> = (0..points.len())
-            .filter(|&i| squared_distance(&points[i], query) <= r2)
+            .filter(|&i| squared_distance(points.row(i), query) <= r2)
             .collect();
         out.sort_unstable();
         out
     }
 
-    fn random_points(n: usize, dims: usize, seed: u64) -> Vec<Vec<f64>> {
+    fn random_points(n: usize, dims: usize, seed: u64) -> PointMatrix {
         let mut rng = Rng::new(seed);
-        (0..n)
-            .map(|_| (0..dims).map(|_| rng.uniform()).collect())
-            .collect()
+        let mut out = PointMatrix::with_capacity(dims, n);
+        let mut row = vec![0.0; dims];
+        for _ in 0..n {
+            for v in row.iter_mut() {
+                *v = rng.uniform();
+            }
+            out.push_row(&row);
+        }
+        out
     }
 
     #[test]
     fn radius_query_matches_brute_force() {
         let points = random_points(300, 3, 1);
-        let tree = KdTree::build(&points);
+        let tree = KdTree::build(points.view());
         let mut rng = Rng::new(2);
         for _ in 0..50 {
             let query: Vec<f64> = (0..3).map(|_| rng.uniform()).collect();
             let mut got = tree.within_radius(&query, 0.25);
             got.sort_unstable();
-            assert_eq!(got, brute_within(&points, &query, 0.25));
+            assert_eq!(got, brute_within(points.view(), &query, 0.25));
         }
     }
 
     #[test]
     fn nearest_query_matches_brute_force() {
         let points = random_points(200, 2, 3);
-        let tree = KdTree::build(&points);
+        let tree = KdTree::build(points.view());
         let mut rng = Rng::new(4);
         for _ in 0..30 {
             let query: Vec<f64> = (0..2).map(|_| rng.uniform()).collect();
@@ -224,7 +232,7 @@ mod tests {
             assert_eq!(got.len(), 5);
             // Brute force top-5.
             let mut dists: Vec<(usize, f64)> = points
-                .iter()
+                .rows()
                 .enumerate()
                 .map(|(i, p)| (i, squared_distance(p, &query).sqrt()))
                 .collect();
@@ -241,8 +249,8 @@ mod tests {
 
     #[test]
     fn query_point_included_in_its_own_neighborhood() {
-        let points = vec![vec![0.0, 0.0], vec![1.0, 1.0]];
-        let tree = KdTree::build(&points);
+        let points = PointMatrix::from_rows(vec![vec![0.0, 0.0], vec![1.0, 1.0]]).unwrap();
+        let tree = KdTree::build(points.view());
         let n = tree.within_radius(&[0.0, 0.0], 0.1);
         assert_eq!(n, vec![0]);
         let nn = tree.nearest(&[0.0, 0.0], 1);
@@ -252,8 +260,8 @@ mod tests {
 
     #[test]
     fn empty_tree_queries() {
-        let points: Vec<Vec<f64>> = vec![];
-        let tree = KdTree::build(&points);
+        let points = PointMatrix::new(1);
+        let tree = KdTree::build(points.view());
         assert!(tree.is_empty());
         assert!(tree.within_radius(&[0.0], 1.0).is_empty());
         assert!(tree.nearest(&[0.0], 3).is_empty());
@@ -262,15 +270,15 @@ mod tests {
     #[test]
     fn k_larger_than_point_count_returns_all() {
         let points = random_points(5, 2, 9);
-        let tree = KdTree::build(&points);
+        let tree = KdTree::build(points.view());
         let got = tree.nearest(&[0.5, 0.5], 10);
         assert_eq!(got.len(), 5);
     }
 
     #[test]
     fn duplicate_points_are_all_found() {
-        let points = vec![vec![1.0, 1.0]; 4];
-        let tree = KdTree::build(&points);
+        let points = PointMatrix::from_rows(vec![vec![1.0, 1.0]; 4]).unwrap();
+        let tree = KdTree::build(points.view());
         assert_eq!(tree.within_radius(&[1.0, 1.0], 0.0).len(), 4);
     }
 }

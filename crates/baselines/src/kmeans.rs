@@ -2,7 +2,13 @@
 //!
 //! The paper uses k-means as the representative centroid-based method and
 //! always gives it the correct `k`; we reproduce that protocol.
+//!
+//! All kernels run over the flat row-major [`PointsView`]: points and
+//! centroids are contiguous buffers, and subset runs (bisecting splits in
+//! DipMeans) recurse over index slices into the shared matrix instead of
+//! materializing cloned sub-datasets.
 
+use adawave_api::{PointMatrix, PointsView};
 use adawave_data::Rng;
 use adawave_linalg::squared_distance;
 
@@ -51,26 +57,73 @@ impl KMeansConfig {
 pub struct KMeansResult {
     /// The clustering (every point assigned; k-means has no noise notion).
     pub clustering: Clustering,
-    /// Final centroids.
-    pub centroids: Vec<Vec<f64>>,
+    /// Final centroids, one row per cluster.
+    pub centroids: PointMatrix,
     /// Final within-cluster sum of squared distances (the objective).
     pub inertia: f64,
     /// Iterations used by the winning restart.
     pub iterations: usize,
 }
 
+/// A point set addressable by dense local index: either a whole matrix
+/// view or a subset of it selected through an index slice. Monomorphized,
+/// so the full-dataset path keeps direct row access with no indirection.
+trait RowSet: Copy {
+    fn len(&self) -> usize;
+    fn dims(&self) -> usize;
+    fn row(&self, i: usize) -> &[f64];
+}
+
+impl RowSet for PointsView<'_> {
+    #[inline]
+    fn len(&self) -> usize {
+        PointsView::len(self)
+    }
+    #[inline]
+    fn dims(&self) -> usize {
+        PointsView::dims(self)
+    }
+    #[inline]
+    fn row(&self, i: usize) -> &[f64] {
+        PointsView::row(self, i)
+    }
+}
+
+/// A subset of a shared matrix selected by global indices — the zero-copy
+/// replacement for the old `Vec<Vec<f64>>` subset materialization.
+#[derive(Clone, Copy)]
+struct IndexedRows<'a> {
+    points: PointsView<'a>,
+    members: &'a [usize],
+}
+
+impl RowSet for IndexedRows<'_> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.members.len()
+    }
+    #[inline]
+    fn dims(&self) -> usize {
+        self.points.dims()
+    }
+    #[inline]
+    fn row(&self, i: usize) -> &[f64] {
+        self.points.row(self.members[i])
+    }
+}
+
 /// k-means++ initialization: the first centroid is uniform, each subsequent
 /// one is sampled proportionally to the squared distance to the nearest
-/// already-chosen centroid.
-fn kmeanspp_init(points: &[Vec<f64>], k: usize, rng: &mut Rng) -> Vec<Vec<f64>> {
+/// already-chosen centroid. Centroids are a flat `k x dims` buffer.
+fn kmeanspp_init<R: RowSet>(points: R, k: usize, rng: &mut Rng) -> Vec<f64> {
     let n = points.len();
-    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
-    centroids.push(points[rng.below(n)].clone());
-    let mut dist_sq: Vec<f64> = points
-        .iter()
-        .map(|p| squared_distance(p, &centroids[0]))
+    let dims = points.dims();
+    let mut centroids: Vec<f64> = Vec::with_capacity(k * dims);
+    centroids.extend_from_slice(points.row(rng.below(n)));
+    let mut dist_sq: Vec<f64> = (0..n)
+        .map(|i| squared_distance(points.row(i), &centroids[..dims]))
         .collect();
-    while centroids.len() < k {
+    while centroids.len() < k * dims {
         let total: f64 = dist_sq.iter().sum();
         let choice = if total <= 0.0 {
             rng.below(n)
@@ -86,10 +139,10 @@ fn kmeanspp_init(points: &[Vec<f64>], k: usize, rng: &mut Rng) -> Vec<Vec<f64>> 
             }
             chosen
         };
-        centroids.push(points[choice].clone());
-        let last = centroids.last().unwrap();
-        for (d, p) in dist_sq.iter_mut().zip(points.iter()) {
-            let nd = squared_distance(p, last);
+        centroids.extend_from_slice(points.row(choice));
+        let last = &centroids[centroids.len() - dims..];
+        for (i, d) in dist_sq.iter_mut().enumerate() {
+            let nd = squared_distance(points.row(i), last);
             if nd < *d {
                 *d = nd;
             }
@@ -98,48 +151,57 @@ fn kmeanspp_init(points: &[Vec<f64>], k: usize, rng: &mut Rng) -> Vec<Vec<f64>> 
     centroids
 }
 
-fn lloyd(
-    points: &[Vec<f64>],
-    mut centroids: Vec<Vec<f64>>,
+fn lloyd<R: RowSet>(
+    points: R,
+    mut centroids: Vec<f64>,
     config: &KMeansConfig,
-) -> (Vec<usize>, Vec<Vec<f64>>, f64, usize) {
+) -> (Vec<usize>, Vec<f64>, f64, usize) {
     let n = points.len();
-    let dims = points[0].len();
-    let k = centroids.len();
+    let dims = points.dims();
+    let k = centroids.len() / dims;
     let mut assignment = vec![0usize; n];
     let mut prev_inertia = f64::MAX;
     let mut inertia = f64::MAX;
     let mut iterations = 0;
     for iter in 0..config.max_iterations {
         iterations = iter + 1;
-        // Assignment step.
+        // Assignment step: every row and every centroid is a contiguous
+        // slice of one buffer.
         inertia = 0.0;
-        for (i, p) in points.iter().enumerate() {
+        for (i, slot) in assignment.iter_mut().enumerate() {
+            let p = points.row(i);
             let mut best = 0usize;
             let mut best_d = f64::MAX;
-            for (c, centroid) in centroids.iter().enumerate() {
+            for (c, centroid) in centroids.chunks_exact(dims).enumerate() {
                 let d = squared_distance(p, centroid);
                 if d < best_d {
                     best_d = d;
                     best = c;
                 }
             }
-            assignment[i] = best;
+            *slot = best;
             inertia += best_d;
         }
         // Update step.
-        let mut sums = vec![vec![0.0; dims]; k];
+        let mut sums = vec![0.0; k * dims];
         let mut counts = vec![0usize; k];
-        for (p, &a) in points.iter().zip(assignment.iter()) {
-            for (s, v) in sums[a].iter_mut().zip(p.iter()) {
+        for (i, &a) in assignment.iter().enumerate() {
+            for (s, v) in sums[a * dims..(a + 1) * dims]
+                .iter_mut()
+                .zip(points.row(i).iter())
+            {
                 *s += v;
             }
             counts[a] += 1;
         }
         for c in 0..k {
             if counts[c] > 0 {
-                for (j, s) in sums[c].iter().enumerate() {
-                    centroids[c][j] = s / counts[c] as f64;
+                let inv = 1.0 / counts[c] as f64;
+                for (dst, s) in centroids[c * dims..(c + 1) * dims]
+                    .iter_mut()
+                    .zip(sums[c * dims..(c + 1) * dims].iter())
+                {
+                    *dst = s * inv;
                 }
             }
             // Empty clusters keep their previous centroid.
@@ -156,48 +218,84 @@ fn lloyd(
     (assignment, centroids, inertia, iterations)
 }
 
-/// Run k-means with k-means++ seeding and `config.restarts` restarts,
-/// returning the solution with the lowest inertia.
-///
-/// # Panics
-/// Panics if `points` is empty or `k == 0`.
-pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> KMeansResult {
-    assert!(!points.is_empty(), "kmeans: empty input");
+fn kmeans_impl<R: RowSet>(points: R, config: &KMeansConfig) -> KMeansResult {
+    assert!(points.len() > 0, "kmeans: empty input");
     assert!(config.k >= 1, "kmeans: k must be >= 1");
+    let dims = points.dims();
+    if dims == 0 {
+        // Zero-dimensional points are all identical: one cluster, zero
+        // inertia (the uniform `Clusterer` surface rejects this input
+        // before it gets here; direct calls get the degenerate answer).
+        let mut centroids = PointMatrix::new(0);
+        centroids.push_row(&[]);
+        return KMeansResult {
+            clustering: Clustering::from_labels(vec![0; points.len()]),
+            centroids,
+            inertia: 0.0,
+            iterations: 0,
+        };
+    }
     let k = config.k.min(points.len());
     let mut rng = Rng::new(config.seed);
     let mut best: Option<KMeansResult> = None;
     for _ in 0..config.restarts.max(1) {
         let init = kmeanspp_init(points, k, &mut rng);
         let (assignment, centroids, inertia, iterations) = lloyd(points, init, config);
-        let candidate = KMeansResult {
-            clustering: Clustering::from_labels(assignment),
-            centroids,
-            inertia,
-            iterations,
-        };
         let better = match &best {
             None => true,
-            Some(b) => candidate.inertia < b.inertia,
+            Some(b) => inertia < b.inertia,
         };
         if better {
-            best = Some(candidate);
+            best = Some(KMeansResult {
+                clustering: Clustering::from_labels(assignment),
+                centroids: PointMatrix::from_flat(centroids, dims)
+                    .expect("centroid buffer is k x dims by construction"),
+                inertia,
+                iterations,
+            });
         }
     }
     best.unwrap()
 }
 
-/// Run 2-means on a subset of points (used by DipMeans cluster splitting).
+/// Run k-means with k-means++ seeding and `config.restarts` restarts,
+/// returning the solution with the lowest inertia.
+///
+/// # Panics
+/// Panics if `points` is empty or `k == 0`. (Behind the uniform
+/// [`Clusterer`](adawave_api::Clusterer) interface, empty input surfaces
+/// as `ClusterError::InvalidInput` instead.)
+pub fn kmeans(points: PointsView<'_>, config: &KMeansConfig) -> KMeansResult {
+    kmeans_impl(points, config)
+}
+
+/// Run k-means on the subset of `points` selected by `members`, without
+/// materializing the subset: the Lloyd kernels address rows through the
+/// index slice into the shared matrix. The returned clustering is indexed
+/// by position in `members`.
+///
+/// # Panics
+/// Panics if `members` is empty, `k == 0`, or an index is out of bounds.
+pub fn kmeans_on_subset(
+    points: PointsView<'_>,
+    members: &[usize],
+    config: &KMeansConfig,
+) -> KMeansResult {
+    kmeans_impl(IndexedRows { points, members }, config)
+}
+
+/// Run 2-means on a subset of points (used by DipMeans bisecting splits),
+/// recursing over the index slice into the shared matrix — no per-split
+/// subset clone.
 pub(crate) fn two_means_split(
-    points: &[Vec<f64>],
+    points: PointsView<'_>,
     members: &[usize],
     seed: u64,
 ) -> (Vec<usize>, Vec<usize>) {
-    let subset: Vec<Vec<f64>> = members.iter().map(|&i| points[i].clone()).collect();
-    if subset.len() < 2 {
+    if members.len() < 2 {
         return (members.to_vec(), Vec::new());
     }
-    let result = kmeans(&subset, &KMeansConfig::new(2, seed));
+    let result = kmeans_on_subset(points, members, &KMeansConfig::new(2, seed));
     let mut a = Vec::new();
     let mut b = Vec::new();
     for (local, &global) in members.iter().enumerate() {
@@ -215,9 +313,9 @@ mod tests {
     use adawave_data::shapes;
     use adawave_metrics::ami;
 
-    fn three_blobs(seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+    fn three_blobs(seed: u64) -> (PointMatrix, Vec<usize>) {
         let mut rng = Rng::new(seed);
-        let mut points = Vec::new();
+        let mut points = PointMatrix::new(2);
         let mut labels = Vec::new();
         for (c, center) in [[0.0, 0.0], [5.0, 5.0], [0.0, 6.0]].iter().enumerate() {
             shapes::gaussian_blob(&mut points, &mut rng, center, &[0.3, 0.3], 100);
@@ -229,7 +327,7 @@ mod tests {
     #[test]
     fn recovers_well_separated_blobs() {
         let (points, labels) = three_blobs(1);
-        let result = kmeans(&points, &KMeansConfig::new(3, 7));
+        let result = kmeans(points.view(), &KMeansConfig::new(3, 7));
         assert_eq!(result.clustering.cluster_count(), 3);
         let score = ami(&labels, &result.clustering.to_labels(usize::MAX));
         assert!(score > 0.95, "AMI {score}");
@@ -239,22 +337,23 @@ mod tests {
     #[test]
     fn inertia_decreases_with_more_clusters() {
         let (points, _) = three_blobs(2);
-        let i1 = kmeans(&points, &KMeansConfig::new(1, 3)).inertia;
-        let i3 = kmeans(&points, &KMeansConfig::new(3, 3)).inertia;
-        let i6 = kmeans(&points, &KMeansConfig::new(6, 3)).inertia;
+        let i1 = kmeans(points.view(), &KMeansConfig::new(1, 3)).inertia;
+        let i3 = kmeans(points.view(), &KMeansConfig::new(3, 3)).inertia;
+        let i6 = kmeans(points.view(), &KMeansConfig::new(6, 3)).inertia;
         assert!(i3 < i1);
         assert!(i6 <= i3 + 1e-9);
     }
 
     #[test]
     fn k_one_centroid_is_mean() {
-        let points = vec![
+        let points = PointMatrix::from_rows(vec![
             vec![0.0, 0.0],
             vec![2.0, 0.0],
             vec![0.0, 2.0],
             vec![2.0, 2.0],
-        ];
-        let result = kmeans(&points, &KMeansConfig::new(1, 5));
+        ])
+        .unwrap();
+        let result = kmeans(points.view(), &KMeansConfig::new(1, 5));
         assert_eq!(result.centroids.len(), 1);
         assert!((result.centroids[0][0] - 1.0).abs() < 1e-9);
         assert!((result.centroids[0][1] - 1.0).abs() < 1e-9);
@@ -264,16 +363,16 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let (points, _) = three_blobs(3);
-        let a = kmeans(&points, &KMeansConfig::new(3, 11));
-        let b = kmeans(&points, &KMeansConfig::new(3, 11));
+        let a = kmeans(points.view(), &KMeansConfig::new(3, 11));
+        let b = kmeans(points.view(), &KMeansConfig::new(3, 11));
         assert_eq!(a.clustering, b.clustering);
         assert_eq!(a.inertia, b.inertia);
     }
 
     #[test]
     fn k_larger_than_points_is_clamped() {
-        let points = vec![vec![0.0], vec![1.0], vec![2.0]];
-        let result = kmeans(&points, &KMeansConfig::new(10, 1));
+        let points = PointMatrix::from_rows(vec![vec![0.0], vec![1.0], vec![2.0]]).unwrap();
+        let result = kmeans(points.view(), &KMeansConfig::new(10, 1));
         assert!(result.clustering.cluster_count() <= 3);
     }
 
@@ -281,7 +380,7 @@ mod tests {
     fn two_means_split_partitions_members() {
         let (points, _) = three_blobs(4);
         let members: Vec<usize> = (0..200).collect(); // blobs 0 and 1
-        let (a, b) = two_means_split(&points, &members, 9);
+        let (a, b) = two_means_split(points.view(), &members, 9);
         assert_eq!(a.len() + b.len(), 200);
         assert!(!a.is_empty() && !b.is_empty());
         // The split should roughly separate the two blobs.
@@ -291,8 +390,35 @@ mod tests {
     }
 
     #[test]
+    fn subset_run_matches_full_run_on_the_same_rows() {
+        // Index-slice subset addressing must be equivalent to gathering the
+        // rows into a fresh matrix — same labels, same inertia.
+        let (points, _) = three_blobs(6);
+        let members: Vec<usize> = (0..points.len()).step_by(3).collect();
+        let via_subset = kmeans_on_subset(points.view(), &members, &KMeansConfig::new(2, 13));
+        let gathered = points.select(&members);
+        let via_gather = kmeans(gathered.view(), &KMeansConfig::new(2, 13));
+        assert_eq!(via_subset.clustering, via_gather.clustering);
+        assert_eq!(via_subset.inertia, via_gather.inertia);
+        assert_eq!(via_subset.centroids, via_gather.centroids);
+    }
+
+    #[test]
     #[should_panic(expected = "empty input")]
     fn empty_input_panics() {
-        kmeans(&[], &KMeansConfig::new(2, 1));
+        let empty = PointMatrix::new(2);
+        kmeans(empty.view(), &KMeansConfig::new(2, 1));
+    }
+
+    #[test]
+    fn zero_dimensional_points_collapse_into_one_cluster() {
+        // Direct calls on 0-dim points (the registry surface rejects them
+        // earlier) get the degenerate answer, not a divide-by-zero panic.
+        let points = PointMatrix::from_rows(vec![vec![], vec![], vec![]]).unwrap();
+        let result = kmeans(points.view(), &KMeansConfig::new(2, 1));
+        assert_eq!(result.clustering.cluster_count(), 1);
+        assert_eq!(result.clustering.len(), 3);
+        assert_eq!(result.inertia, 0.0);
+        assert_eq!(result.centroids.len(), 1);
     }
 }

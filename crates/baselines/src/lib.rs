@@ -3,22 +3,22 @@
 //! From-scratch Rust implementations of every clustering algorithm the
 //! AdaWave paper compares against (§V-A):
 //!
-//! * [`kmeans`] — Lloyd's algorithm with k-means++ initialization and
+//! * [`kmeans()`] — Lloyd's algorithm with k-means++ initialization and
 //!   multiple restarts (the centroid-based representative).
-//! * [`dbscan`] — density-based clustering with a kd-tree region index
+//! * [`dbscan()`] — density-based clustering with a kd-tree region index
 //!   (the density-based representative).
-//! * [`em`] — full-covariance Gaussian mixture fitted with
+//! * [`em()`] — full-covariance Gaussian mixture fitted with
 //!   expectation-maximization (the model-based representative).
-//! * [`wavecluster`] — the original dense-grid wavelet clustering of
+//! * [`wavecluster()`] — the original dense-grid wavelet clustering of
 //!   Sheikholeslami et al., which AdaWave extends.
 //! * [`dip`] — Hartigan's dip statistic, its bootstrap p-value, and the
 //!   UniDip / SkinnyDip algorithms of Maurus & Plant (the specialized
 //!   high-noise competitor).
-//! * [`dipmeans`] — DipMeans, the dip-based wrapper that estimates `k`
+//! * [`dipmeans()`] — DipMeans, the dip-based wrapper that estimates `k`
 //!   around k-means.
 //! * [`spectral`] — self-tuning spectral clustering (STSC) with local
 //!   scaling and eigengap model selection.
-//! * [`ric`] — a simplified Robust Information-theoretic Clustering
+//! * [`ric()`] — a simplified Robust Information-theoretic Clustering
 //!   (MDL-based purification of an initial k-means partition).
 //!
 //! All algorithms return the canonical [`Clustering`] of `adawave-api`

@@ -7,6 +7,8 @@
 //! explicit noise notion — modes supported by very few points can optionally
 //! be treated as noise via `min_cluster_size`.
 
+use adawave_api::{PointMatrix, PointsView};
+
 use crate::{Clustering, KdTree};
 
 /// Kernel used to weight neighborhood members during the shift.
@@ -58,26 +60,28 @@ impl MeanShiftConfig {
 
 /// Run mean shift. Returns the flat clustering; points whose mode attracts
 /// fewer than `min_cluster_size` points are noise.
-pub fn mean_shift(points: &[Vec<f64>], config: &MeanShiftConfig) -> Clustering {
+pub fn mean_shift(points: PointsView<'_>, config: &MeanShiftConfig) -> Clustering {
     let n = points.len();
     if n == 0 {
         return Clustering::new(vec![]);
     }
-    let dims = points[0].len();
+    let dims = points.dims();
     let tree = KdTree::build(points);
     let bandwidth = config.bandwidth.max(1e-12);
     let two_sigma_sq = 2.0 * bandwidth * bandwidth;
 
-    // Shift every point to its mode.
-    let mut modes: Vec<Vec<f64>> = Vec::with_capacity(n);
-    for point in points {
-        let mut current = point.clone();
+    // Shift every point to its mode (modes live in one flat buffer too).
+    let mut modes = PointMatrix::with_capacity(dims, n);
+    let mut current = vec![0.0; dims];
+    let mut mean = vec![0.0; dims];
+    for point in points.rows() {
+        current.copy_from_slice(point);
         for _ in 0..config.max_iterations {
             let neighbors = tree.within_radius(&current, bandwidth);
             if neighbors.is_empty() {
                 break;
             }
-            let mut mean = vec![0.0; dims];
+            mean.iter_mut().for_each(|m| *m = 0.0);
             let mut total_weight = 0.0;
             for &j in &neighbors {
                 let weight = match config.kernel {
@@ -85,13 +89,13 @@ pub fn mean_shift(points: &[Vec<f64>], config: &MeanShiftConfig) -> Clustering {
                     MeanShiftKernel::Gaussian => {
                         let d2: f64 = current
                             .iter()
-                            .zip(points[j].iter())
+                            .zip(points.row(j).iter())
                             .map(|(a, b)| (a - b) * (a - b))
                             .sum();
                         (-d2 / two_sigma_sq).exp()
                     }
                 };
-                for (m, v) in mean.iter_mut().zip(points[j].iter()) {
+                for (m, v) in mean.iter_mut().zip(points.row(j).iter()) {
                     *m += weight * v;
                 }
                 total_weight += weight;
@@ -105,21 +109,21 @@ pub fn mean_shift(points: &[Vec<f64>], config: &MeanShiftConfig) -> Clustering {
                 .map(|(a, b)| (a - b) * (a - b))
                 .sum::<f64>()
                 .sqrt();
-            current = mean;
+            current.copy_from_slice(&mean);
             if shift < config.tolerance {
                 break;
             }
         }
-        modes.push(current);
+        modes.push_row(&current);
     }
 
     // Merge modes closer than bandwidth / 2 into a single cluster.
     let merge_radius = bandwidth / 2.0;
-    let mut representatives: Vec<Vec<f64>> = Vec::new();
+    let mut representatives = PointMatrix::new(dims);
     let mut assignment: Vec<Option<usize>> = Vec::with_capacity(n);
-    for mode in &modes {
+    for mode in modes.rows() {
         let mut found = None;
-        for (c, rep) in representatives.iter().enumerate() {
+        for (c, rep) in representatives.rows().enumerate() {
             let d: f64 = mode
                 .iter()
                 .zip(rep.iter())
@@ -134,7 +138,7 @@ pub fn mean_shift(points: &[Vec<f64>], config: &MeanShiftConfig) -> Clustering {
         match found {
             Some(c) => assignment.push(Some(c)),
             None => {
-                representatives.push(mode.clone());
+                representatives.push_row(mode);
                 assignment.push(Some(representatives.len() - 1));
             }
         }
@@ -160,12 +164,13 @@ pub fn mean_shift(points: &[Vec<f64>], config: &MeanShiftConfig) -> Clustering {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adawave_api::PointMatrix;
     use adawave_data::{shapes, Rng};
     use adawave_metrics::{ami, NOISE_LABEL};
 
-    fn three_blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+    fn three_blobs() -> (PointMatrix, Vec<usize>) {
         let mut rng = Rng::new(77);
-        let mut points = Vec::new();
+        let mut points = PointMatrix::new(2);
         let mut truth = Vec::new();
         for (c, center) in [[0.2, 0.2], [0.8, 0.2], [0.5, 0.8]].iter().enumerate() {
             shapes::gaussian_blob(&mut points, &mut rng, center, &[0.03, 0.03], 120);
@@ -177,7 +182,7 @@ mod tests {
     #[test]
     fn recovers_three_blobs() {
         let (points, truth) = three_blobs();
-        let clustering = mean_shift(&points, &MeanShiftConfig::new(0.15));
+        let clustering = mean_shift(points.view(), &MeanShiftConfig::new(0.15));
         assert_eq!(
             clustering.cluster_count(),
             3,
@@ -196,7 +201,7 @@ mod tests {
             kernel: MeanShiftKernel::Gaussian,
             ..MeanShiftConfig::default()
         };
-        let clustering = mean_shift(&points, &config);
+        let clustering = mean_shift(points.view(), &config);
         let score = ami(&truth, &clustering.to_labels(NOISE_LABEL));
         assert!(score > 0.9, "AMI {score}");
     }
@@ -205,13 +210,13 @@ mod tests {
     fn min_cluster_size_marks_stray_points_as_noise() {
         let (mut points, _) = three_blobs();
         // A far-away stray point becomes its own mode.
-        points.push(vec![3.0, 3.0]);
+        points.push_row(&[3.0, 3.0]);
         let config = MeanShiftConfig {
             bandwidth: 0.15,
             min_cluster_size: 5,
             ..MeanShiftConfig::default()
         };
-        let clustering = mean_shift(&points, &config);
+        let clustering = mean_shift(points.view(), &config);
         assert_eq!(clustering.label(points.len() - 1), None);
         assert_eq!(clustering.cluster_count(), 3);
     }
@@ -219,19 +224,22 @@ mod tests {
     #[test]
     fn oversized_bandwidth_merges_everything() {
         let (points, _) = three_blobs();
-        let clustering = mean_shift(&points, &MeanShiftConfig::new(10.0));
+        let clustering = mean_shift(points.view(), &MeanShiftConfig::new(10.0));
         assert_eq!(clustering.cluster_count(), 1);
     }
 
     #[test]
     fn empty_input() {
-        assert!(mean_shift(&[], &MeanShiftConfig::default()).is_empty());
+        assert!(mean_shift(PointMatrix::new(2).view(), &MeanShiftConfig::default()).is_empty());
     }
 
     #[test]
     fn deterministic() {
         let (points, _) = three_blobs();
         let config = MeanShiftConfig::new(0.12);
-        assert_eq!(mean_shift(&points, &config), mean_shift(&points, &config));
+        assert_eq!(
+            mean_shift(points.view(), &config),
+            mean_shift(points.view(), &config)
+        );
     }
 }

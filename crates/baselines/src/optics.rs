@@ -1,11 +1,13 @@
 //! OPTICS (Ankerst et al., SIGMOD 1999).
 //!
 //! The paper cites OPTICS as the other classic density-based method next to
-//! DBSCAN (§I, reference [20]). OPTICS does not produce a flat clustering
+//! DBSCAN (§I, reference \[20\]). OPTICS does not produce a flat clustering
 //! directly: it orders the points so that density-based clusters of *every*
 //! radius up to `max_eps` appear as valleys of the reachability plot. A flat
 //! clustering is then extracted with a reachability cut, equivalent to
 //! running DBSCAN at that radius but without re-running the expansion.
+
+use adawave_api::PointsView;
 
 use crate::{Clustering, KdTree};
 
@@ -17,7 +19,8 @@ pub struct OpticsConfig {
     /// Minimum number of points (including the point itself) for a point to
     /// be a core point.
     pub min_points: usize,
-    /// Reachability cut used by [`extract_dbscan_clustering`]; points whose
+    /// Reachability cut used by
+    /// [`OpticsOrdering::extract_dbscan_clustering`]; points whose
     /// reachability exceeds the cut start a new cluster (if they are core at
     /// the cut) or become noise.
     pub extraction_eps: f64,
@@ -107,7 +110,7 @@ impl OpticsOrdering {
 }
 
 /// Compute the OPTICS ordering of a point set.
-pub fn optics_ordering(points: &[Vec<f64>], max_eps: f64, min_points: usize) -> OpticsOrdering {
+pub fn optics_ordering(points: PointsView<'_>, max_eps: f64, min_points: usize) -> OpticsOrdering {
     let n = points.len();
     let mut ordering = OpticsOrdering {
         order: Vec::with_capacity(n),
@@ -125,9 +128,9 @@ pub fn optics_ordering(points: &[Vec<f64>], max_eps: f64, min_points: usize) -> 
 
     let core_distance = |idx: usize| -> Option<f64> {
         let mut dists: Vec<f64> = tree
-            .within_radius(&points[idx], max_eps)
+            .within_radius(points.row(idx), max_eps)
             .into_iter()
-            .map(|j| euclidean(&points[idx], &points[j]))
+            .map(|j| euclidean(points.row(idx), points.row(j)))
             .collect();
         if dists.len() < min_points {
             return None;
@@ -162,11 +165,11 @@ pub fn optics_ordering(points: &[Vec<f64>], max_eps: f64, min_points: usize) -> 
             ordering.core_distance.push(core);
             if let Some(core) = core {
                 // Update reachability of unprocessed neighbors.
-                for j in tree.within_radius(&points[current], max_eps) {
+                for j in tree.within_radius(points.row(current), max_eps) {
                     if processed[j] {
                         continue;
                     }
-                    let new_reach = core.max(euclidean(&points[current], &points[j]));
+                    let new_reach = core.max(euclidean(points.row(current), points.row(j)));
                     if new_reach < reach[j] {
                         if reach[j].is_infinite() {
                             seeds.push(j);
@@ -181,7 +184,7 @@ pub fn optics_ordering(points: &[Vec<f64>], max_eps: f64, min_points: usize) -> 
 }
 
 /// Run OPTICS and extract a flat clustering at `config.extraction_eps`.
-pub fn optics(points: &[Vec<f64>], config: &OpticsConfig) -> Clustering {
+pub fn optics(points: PointsView<'_>, config: &OpticsConfig) -> Clustering {
     optics_ordering(points, config.max_eps, config.min_points)
         .extract_dbscan_clustering(config.extraction_eps)
 }
@@ -198,12 +201,13 @@ fn euclidean(a: &[f64], b: &[f64]) -> f64 {
 mod tests {
     use super::*;
     use crate::dbscan::{dbscan, DbscanConfig};
+    use adawave_api::PointMatrix;
     use adawave_data::{shapes, Rng};
     use adawave_metrics::{ami, NOISE_LABEL};
 
-    fn two_blobs_with_noise() -> (Vec<Vec<f64>>, Vec<usize>) {
+    fn two_blobs_with_noise() -> (PointMatrix, Vec<usize>) {
         let mut rng = Rng::new(31);
-        let mut points = Vec::new();
+        let mut points = PointMatrix::new(2);
         let mut truth = Vec::new();
         shapes::gaussian_blob(&mut points, &mut rng, &[0.2, 0.2], &[0.02, 0.02], 150);
         truth.extend(std::iter::repeat_n(0usize, 150));
@@ -217,7 +221,7 @@ mod tests {
     #[test]
     fn finds_two_blobs() {
         let (points, truth) = two_blobs_with_noise();
-        let clustering = optics(&points, &OpticsConfig::new(0.15, 8, 0.05));
+        let clustering = optics(points.view(), &OpticsConfig::new(0.15, 8, 0.05));
         assert!(clustering.cluster_count() >= 2);
         let score = ami(&truth, &clustering.to_labels(NOISE_LABEL));
         assert!(score > 0.6, "AMI {score}");
@@ -226,7 +230,7 @@ mod tests {
     #[test]
     fn ordering_covers_every_point_exactly_once() {
         let (points, _) = two_blobs_with_noise();
-        let ordering = optics_ordering(&points, 0.15, 8);
+        let ordering = optics_ordering(points.view(), 0.15, 8);
         assert_eq!(ordering.len(), points.len());
         let mut seen = vec![false; points.len()];
         for &p in &ordering.order {
@@ -239,7 +243,7 @@ mod tests {
     #[test]
     fn reachability_valleys_match_clusters() {
         let (points, _) = two_blobs_with_noise();
-        let ordering = optics_ordering(&points, 0.2, 8);
+        let ordering = optics_ordering(points.view(), 0.2, 8);
         // Reachability inside a tight blob is small; the plot must contain a
         // long run of small values (the valley of the first blob).
         let small: usize = ordering
@@ -253,9 +257,9 @@ mod tests {
     #[test]
     fn extraction_matches_dbscan_cluster_structure() {
         let (points, _) = two_blobs_with_noise();
-        let ordering = optics_ordering(&points, 0.2, 8);
+        let ordering = optics_ordering(points.view(), 0.2, 8);
         let from_optics = ordering.extract_dbscan_clustering(0.05);
-        let from_dbscan = dbscan(&points, &DbscanConfig::new(0.05, 8));
+        let from_dbscan = dbscan(points.view(), &DbscanConfig::new(0.05, 8));
         // The two extractions agree almost everywhere (border points may
         // legitimately differ), so compare with AMI over all points.
         let score = ami(
@@ -268,15 +272,16 @@ mod tests {
 
     #[test]
     fn empty_input() {
-        let clustering = optics(&[], &OpticsConfig::default());
+        let clustering = optics(PointMatrix::new(2).view(), &OpticsConfig::default());
         assert!(clustering.is_empty());
-        assert!(optics_ordering(&[], 0.1, 5).is_empty());
+        assert!(optics_ordering(PointMatrix::new(2).view(), 0.1, 5).is_empty());
     }
 
     #[test]
     fn all_noise_when_nothing_is_dense() {
-        let points = vec![vec![0.0, 0.0], vec![0.5, 0.5], vec![1.0, 1.0]];
-        let clustering = optics(&points, &OpticsConfig::new(0.01, 5, 0.01));
+        let points =
+            PointMatrix::from_rows(vec![vec![0.0, 0.0], vec![0.5, 0.5], vec![1.0, 1.0]]).unwrap();
+        let clustering = optics(points.view(), &OpticsConfig::new(0.01, 5, 0.01));
         assert_eq!(clustering.cluster_count(), 0);
         assert_eq!(clustering.noise_count(), 3);
     }

@@ -9,6 +9,8 @@
 //! qualitative behaviour the paper reports (RIC finds a single cluster /
 //! AMI ≈ 0 on very noisy data).
 
+use adawave_api::PointsView;
+
 use crate::kmeans::{kmeans, KMeansConfig};
 use crate::Clustering;
 
@@ -52,11 +54,11 @@ struct ClusterModel {
 }
 
 impl ClusterModel {
-    fn fit(points: &[Vec<f64>], members: &[usize], dims: usize) -> Self {
+    fn fit(points: PointsView<'_>, members: &[usize], dims: usize) -> Self {
         let n = members.len().max(1) as f64;
         let mut means = vec![0.0; dims];
         for &i in members {
-            for (m, v) in means.iter_mut().zip(points[i].iter()) {
+            for (m, v) in means.iter_mut().zip(points.row(i).iter()) {
                 *m += v;
             }
         }
@@ -65,7 +67,7 @@ impl ClusterModel {
         }
         let mut vars = vec![0.0; dims];
         for &i in members {
-            for (j, v) in points[i].iter().enumerate() {
+            for (j, v) in points.row(i).iter().enumerate() {
                 vars[j] += (v - means[j]).powi(2);
             }
         }
@@ -99,7 +101,7 @@ fn noise_cost(volume_log: f64) -> f64 {
 }
 
 fn total_cost(
-    points: &[Vec<f64>],
+    points: PointsView<'_>,
     clusters: &[Vec<usize>],
     models: &[ClusterModel],
     noise: &[usize],
@@ -113,7 +115,7 @@ fn total_cost(
         }
         cost += model.model_cost(n);
         for &i in members {
-            cost += model.coding_cost(&points[i]);
+            cost += model.coding_cost(points.row(i));
         }
     }
     cost += noise.len() as f64 * noise_cost(volume_log);
@@ -121,18 +123,18 @@ fn total_cost(
 }
 
 /// Run the simplified RIC.
-pub fn ric(points: &[Vec<f64>], config: &RicConfig) -> Clustering {
+pub fn ric(points: PointsView<'_>, config: &RicConfig) -> Clustering {
     let n = points.len();
     if n == 0 {
         return Clustering::new(vec![]);
     }
-    let dims = points[0].len();
+    let dims = points.dims();
 
     // Log-volume of the bounding box, for the uniform noise coding cost.
     let mut volume_log = 0.0;
     for j in 0..dims {
-        let lo = points.iter().map(|p| p[j]).fold(f64::MAX, f64::min);
-        let hi = points.iter().map(|p| p[j]).fold(f64::MIN, f64::max);
+        let lo = points.rows().map(|p| p[j]).fold(f64::MAX, f64::min);
+        let hi = points.rows().map(|p| p[j]).fold(f64::MIN, f64::max);
         volume_log += (hi - lo).max(1e-6).ln();
     }
 
@@ -154,7 +156,7 @@ pub fn ric(points: &[Vec<f64>], config: &RicConfig) -> Clustering {
         let model = &models[c];
         let mut kept = Vec::with_capacity(members.len());
         for &i in members.iter() {
-            if model.coding_cost(&points[i]) <= noise_cost(volume_log) {
+            if model.coding_cost(points.row(i)) <= noise_cost(volume_log) {
                 kept.push(i);
             } else {
                 noise.push(i);
@@ -234,19 +236,20 @@ pub fn ric(points: &[Vec<f64>], config: &RicConfig) -> Clustering {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adawave_api::PointMatrix;
     use adawave_data::{shapes, Rng};
     use adawave_metrics::{ami, ami_ignoring_noise, NOISE_LABEL};
 
     #[test]
     fn clean_blobs_are_recovered() {
         let mut rng = Rng::new(1);
-        let mut points = Vec::new();
+        let mut points = PointMatrix::new(2);
         let mut labels = Vec::new();
         for (c, center) in [[0.0, 0.0], [8.0, 0.0], [0.0, 8.0]].iter().enumerate() {
             shapes::gaussian_blob(&mut points, &mut rng, center, &[0.3, 0.3], 150);
             labels.extend(std::iter::repeat_n(c, 150));
         }
-        let clustering = ric(&points, &RicConfig::new(6, 3));
+        let clustering = ric(points.view(), &RicConfig::new(6, 3));
         let score = ami(&labels, &clustering.to_labels(NOISE_LABEL));
         assert!(score > 0.7, "AMI {score}");
         assert!(clustering.cluster_count() <= 6);
@@ -262,7 +265,7 @@ mod tests {
         // against ground truth including noise stays mediocre, which is the
         // behaviour compared in the Fig. 8 harness.)
         let mut rng = Rng::new(2);
-        let mut points = Vec::new();
+        let mut points = PointMatrix::new(2);
         let mut labels = Vec::new();
         shapes::gaussian_blob(&mut points, &mut rng, &[0.3, 0.3], &[0.02, 0.02], 200);
         labels.extend(std::iter::repeat_n(0usize, 200));
@@ -270,7 +273,7 @@ mod tests {
         labels.extend(std::iter::repeat_n(1usize, 200));
         shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], 1600);
         labels.extend(std::iter::repeat_n(2usize, 1600));
-        let clustering = ric(&points, &RicConfig::new(8, 3));
+        let clustering = ric(points.view(), &RicConfig::new(8, 3));
         assert!(clustering.cluster_count() >= 1);
         assert!(clustering.cluster_count() <= 8);
         // Most of the uniform noise stays inside the fitted clusters (the
@@ -285,10 +288,10 @@ mod tests {
     #[test]
     fn merging_never_increases_cluster_count() {
         let mut rng = Rng::new(3);
-        let mut points = Vec::new();
+        let mut points = PointMatrix::new(2);
         shapes::gaussian_blob(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], 600);
         for k in [2, 4, 6] {
-            let clustering = ric(&points, &RicConfig::new(k, 5));
+            let clustering = ric(points.view(), &RicConfig::new(k, 5));
             assert!(
                 clustering.cluster_count() <= k,
                 "k={k}: got {} clusters",
@@ -299,13 +302,13 @@ mod tests {
 
     #[test]
     fn deterministic_and_handles_empty() {
-        assert!(ric(&[], &RicConfig::default()).is_empty());
+        assert!(ric(PointMatrix::new(2).view(), &RicConfig::default()).is_empty());
         let mut rng = Rng::new(4);
-        let mut points = Vec::new();
+        let mut points = PointMatrix::new(2);
         shapes::gaussian_blob(&mut points, &mut rng, &[0.0, 0.0], &[0.5, 0.5], 100);
         assert_eq!(
-            ric(&points, &RicConfig::new(3, 7)),
-            ric(&points, &RicConfig::new(3, 7))
+            ric(points.view(), &RicConfig::new(3, 7)),
+            ric(points.view(), &RicConfig::new(3, 7))
         );
     }
 }

@@ -10,6 +10,7 @@
 //! neighbor — the standard Nyström-style shortcut; the paper itself only
 //! runs STSC on small/medium datasets.
 
+use adawave_api::{PointMatrix, PointsView};
 use adawave_data::Rng;
 use adawave_linalg::{jacobi_eigen, Matrix};
 
@@ -44,7 +45,7 @@ impl Default for SpectralConfig {
     }
 }
 
-fn spectral_on_subset(points: &[Vec<f64>], config: &SpectralConfig) -> Clustering {
+fn spectral_on_subset(points: PointsView<'_>, config: &SpectralConfig) -> Clustering {
     let n = points.len();
     if n == 0 {
         return Clustering::new(vec![]);
@@ -56,7 +57,7 @@ fn spectral_on_subset(points: &[Vec<f64>], config: &SpectralConfig) -> Clusterin
     let tree = KdTree::build(points);
     let neighbor_rank = config.local_scale_neighbor.min(n - 1).max(1);
     let sigmas: Vec<f64> = points
-        .iter()
+        .rows()
         .map(|p| {
             let nn = tree.nearest(p, neighbor_rank + 1);
             nn.last().map(|&(_, d)| d.max(1e-9)).unwrap_or(1e-9)
@@ -68,7 +69,7 @@ fn spectral_on_subset(points: &[Vec<f64>], config: &SpectralConfig) -> Clusterin
     let mut affinity = Matrix::zeros(n, n);
     for i in 0..n {
         for j in (i + 1)..n {
-            let d2 = adawave_linalg::squared_distance(&points[i], &points[j]);
+            let d2 = adawave_linalg::squared_distance(points.row(i), points.row(j));
             let a = (-d2 / (sigmas[i] * sigmas[j])).exp();
             affinity[(i, j)] = a;
             affinity[(j, i)] = a;
@@ -107,10 +108,14 @@ fn spectral_on_subset(points: &[Vec<f64>], config: &SpectralConfig) -> Clusterin
         }
     };
 
-    // Row-normalized spectral embedding, clustered with k-means.
+    // Row-normalized spectral embedding (flat, one row per point),
+    // clustered with k-means.
     let embedding = eigen.embedding(k);
-    let mut rows: Vec<Vec<f64>> = (0..n).map(|i| embedding.row(i).to_vec()).collect();
-    for row in &mut rows {
+    let mut rows = PointMatrix::with_capacity(k, n);
+    for i in 0..n {
+        rows.push_row(embedding.row(i));
+    }
+    for row in rows.as_mut_slice().chunks_exact_mut(k.max(1)) {
         let norm: f64 = row.iter().map(|v| v * v).sum::<f64>().sqrt();
         if norm > 1e-12 {
             for v in row.iter_mut() {
@@ -118,12 +123,12 @@ fn spectral_on_subset(points: &[Vec<f64>], config: &SpectralConfig) -> Clusterin
             }
         }
     }
-    kmeans(&rows, &KMeansConfig::new(k, config.seed)).clustering
+    kmeans(rows.view(), &KMeansConfig::new(k, config.seed)).clustering
 }
 
 /// Run self-tuning spectral clustering, subsampling when the input is too
 /// large for an exact eigen-decomposition.
-pub fn self_tuning_spectral(points: &[Vec<f64>], config: &SpectralConfig) -> Clustering {
+pub fn self_tuning_spectral(points: PointsView<'_>, config: &SpectralConfig) -> Clustering {
     let n = points.len();
     if n == 0 {
         return Clustering::new(vec![]);
@@ -134,12 +139,12 @@ pub fn self_tuning_spectral(points: &[Vec<f64>], config: &SpectralConfig) -> Clu
     // Subsample, cluster exactly, then 1-NN extend to the remaining points.
     let mut rng = Rng::new(config.seed);
     let sample_idx = rng.sample_indices(n, config.max_exact_points);
-    let sample_points: Vec<Vec<f64>> = sample_idx.iter().map(|&i| points[i].clone()).collect();
-    let sample_clustering = spectral_on_subset(&sample_points, config);
+    let sample_points = points.select(&sample_idx);
+    let sample_clustering = spectral_on_subset(sample_points.view(), config);
 
-    let tree = KdTree::build(&sample_points);
+    let tree = KdTree::build(sample_points.view());
     let assignment: Vec<Option<usize>> = points
-        .iter()
+        .rows()
         .map(|p| {
             let nn = tree.nearest(p, 1);
             nn.first().and_then(|&(i, _)| sample_clustering.label(i))
@@ -151,13 +156,14 @@ pub fn self_tuning_spectral(points: &[Vec<f64>], config: &SpectralConfig) -> Clu
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adawave_api::PointMatrix;
     use adawave_data::shapes;
     use adawave_metrics::ami;
 
     #[test]
     fn separates_two_rings_where_kmeans_cannot() {
         let mut rng = Rng::new(1);
-        let mut points = Vec::new();
+        let mut points = PointMatrix::new(2);
         let mut labels = Vec::new();
         shapes::ring(&mut points, &mut rng, (0.5, 0.5), 0.1, 0.01, 200);
         labels.extend(std::iter::repeat_n(0usize, 200));
@@ -165,14 +171,14 @@ mod tests {
         labels.extend(std::iter::repeat_n(1usize, 200));
 
         let spectral = self_tuning_spectral(
-            &points,
+            points.view(),
             &SpectralConfig {
                 k: Some(2),
                 ..Default::default()
             },
         );
         let spectral_score = ami(&labels, &spectral.to_labels(usize::MAX));
-        let km = kmeans(&points, &KMeansConfig::new(2, 1));
+        let km = kmeans(points.view(), &KMeansConfig::new(2, 1));
         let km_score = ami(&labels, &km.clustering.to_labels(usize::MAX));
         assert!(
             spectral_score > 0.9,
@@ -184,18 +190,18 @@ mod tests {
     #[test]
     fn eigengap_estimates_k_for_separated_blobs() {
         let mut rng = Rng::new(2);
-        let mut points = Vec::new();
+        let mut points = PointMatrix::new(2);
         for center in [[0.0, 0.0], [5.0, 0.0], [0.0, 5.0]] {
             shapes::gaussian_blob(&mut points, &mut rng, &center, &[0.2, 0.2], 80);
         }
-        let clustering = self_tuning_spectral(&points, &SpectralConfig::default());
+        let clustering = self_tuning_spectral(points.view(), &SpectralConfig::default());
         assert_eq!(clustering.cluster_count(), 3);
     }
 
     #[test]
     fn subsampling_path_assigns_every_point() {
         let mut rng = Rng::new(3);
-        let mut points = Vec::new();
+        let mut points = PointMatrix::new(2);
         let mut labels = Vec::new();
         shapes::gaussian_blob(&mut points, &mut rng, &[0.0, 0.0], &[0.2, 0.2], 600);
         labels.extend(std::iter::repeat_n(0usize, 600));
@@ -206,7 +212,7 @@ mod tests {
             max_exact_points: 200,
             ..Default::default()
         };
-        let clustering = self_tuning_spectral(&points, &config);
+        let clustering = self_tuning_spectral(points.view(), &config);
         assert_eq!(clustering.len(), 1200);
         assert_eq!(clustering.noise_count(), 0);
         let score = ami(&labels, &clustering.to_labels(usize::MAX));
@@ -215,19 +221,22 @@ mod tests {
 
     #[test]
     fn single_point_and_empty() {
-        assert!(self_tuning_spectral(&[], &SpectralConfig::default()).is_empty());
-        let one = self_tuning_spectral(&[vec![1.0, 2.0]], &SpectralConfig::default());
+        assert!(
+            self_tuning_spectral(PointMatrix::new(2).view(), &SpectralConfig::default()).is_empty()
+        );
+        let single = PointMatrix::from_rows(vec![vec![1.0, 2.0]]).unwrap();
+        let one = self_tuning_spectral(single.view(), &SpectralConfig::default());
         assert_eq!(one.cluster_count(), 1);
     }
 
     #[test]
     fn deterministic() {
         let mut rng = Rng::new(4);
-        let mut points = Vec::new();
+        let mut points = PointMatrix::new(2);
         shapes::gaussian_blob(&mut points, &mut rng, &[0.0, 0.0], &[0.3, 0.3], 150);
         shapes::gaussian_blob(&mut points, &mut rng, &[3.0, 3.0], &[0.3, 0.3], 150);
-        let a = self_tuning_spectral(&points, &SpectralConfig::default());
-        let b = self_tuning_spectral(&points, &SpectralConfig::default());
+        let a = self_tuning_spectral(points.view(), &SpectralConfig::default());
+        let b = self_tuning_spectral(points.view(), &SpectralConfig::default());
         assert_eq!(a, b);
     }
 }

@@ -12,6 +12,8 @@
 
 use std::collections::HashMap;
 
+use adawave_api::PointsView;
+
 use crate::Clustering;
 
 /// Summary statistics STING maintains for every occupied cell.
@@ -75,11 +77,11 @@ impl StingGrid {
     // The per-dimension loop updates four parallel statistics vectors;
     // indexing keeps them visibly in lockstep.
     #[allow(clippy::needless_range_loop)]
-    pub fn build(points: &[Vec<f64>], levels: u32) -> Self {
-        let dims = points.first().map_or(0, |p| p.len());
+    pub fn build(points: PointsView<'_>, levels: u32) -> Self {
+        let dims = points.dims();
         let mut lower = vec![f64::INFINITY; dims];
         let mut upper = vec![f64::NEG_INFINITY; dims];
-        for p in points {
+        for p in points.rows() {
             for j in 0..dims {
                 lower[j] = lower[j].min(p[j]);
                 upper[j] = upper[j].max(p[j]);
@@ -103,7 +105,7 @@ impl StingGrid {
         let mut acc: Vec<HashMap<Vec<u32>, Acc>> = (0..=levels).map(|_| HashMap::new()).collect();
         let mut leaf_of_point = Vec::with_capacity(points.len());
 
-        for p in points {
+        for p in points.rows() {
             let leaf = Self::leaf_coords(p, &lower, &upper, levels);
             leaf_of_point.push(leaf.clone());
             for level in 0..=levels {
@@ -252,7 +254,7 @@ impl StingGrid {
 }
 
 /// Build the STING hierarchy and return the flat clustering of its leaves.
-pub fn sting(points: &[Vec<f64>], config: &StingConfig) -> Clustering {
+pub fn sting(points: PointsView<'_>, config: &StingConfig) -> Clustering {
     if points.is_empty() {
         return Clustering::new(vec![]);
     }
@@ -262,12 +264,13 @@ pub fn sting(points: &[Vec<f64>], config: &StingConfig) -> Clustering {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adawave_api::PointMatrix;
     use adawave_data::{shapes, Rng};
     use adawave_metrics::{ami_ignoring_noise, NOISE_LABEL};
 
-    fn blobs_with_noise() -> (Vec<Vec<f64>>, Vec<usize>) {
+    fn blobs_with_noise() -> (PointMatrix, Vec<usize>) {
         let mut rng = Rng::new(41);
-        let mut points = Vec::new();
+        let mut points = PointMatrix::new(2);
         let mut truth = Vec::new();
         shapes::gaussian_blob(&mut points, &mut rng, &[0.25, 0.25], &[0.03, 0.03], 400);
         truth.extend(std::iter::repeat_n(0usize, 400));
@@ -281,7 +284,7 @@ mod tests {
     #[test]
     fn clusters_two_blobs_in_noise() {
         let (points, truth) = blobs_with_noise();
-        let clustering = sting(&points, &StingConfig::new(5, 4));
+        let clustering = sting(points.view(), &StingConfig::new(5, 4));
         assert!(clustering.cluster_count() >= 2);
         let score = ami_ignoring_noise(&truth, &clustering.to_labels(NOISE_LABEL), 2);
         assert!(score > 0.6, "AMI {score}");
@@ -290,7 +293,7 @@ mod tests {
     #[test]
     fn hierarchy_counts_are_consistent_across_levels() {
         let (points, _) = blobs_with_noise();
-        let grid = StingGrid::build(&points, 4);
+        let grid = StingGrid::build(points.view(), 4);
         for level in 0..=4u32 {
             let total: usize = (0..1u32 << level)
                 .flat_map(|x| (0..1u32 << level).map(move |y| vec![x, y]))
@@ -311,7 +314,7 @@ mod tests {
     #[test]
     fn occupied_cells_grow_with_depth() {
         let (points, _) = blobs_with_noise();
-        let grid = StingGrid::build(&points, 5);
+        let grid = StingGrid::build(points.view(), 5);
         assert_eq!(grid.occupied_cells(0), 1);
         assert!(grid.occupied_cells(5) > grid.occupied_cells(2));
     }
@@ -319,27 +322,28 @@ mod tests {
     #[test]
     fn uniform_noise_alone_produces_few_or_no_clusters() {
         let mut rng = Rng::new(7);
-        let mut points = Vec::new();
+        let mut points = PointMatrix::new(2);
         shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], 500);
-        let clustering = sting(&points, &StingConfig::new(5, 6));
+        let clustering = sting(points.view(), &StingConfig::new(5, 6));
         // 500 points over 1024 leaves: almost no leaf reaches 6 points.
         assert!(clustering.noise_fraction() > 0.8);
     }
 
     #[test]
     fn empty_and_degenerate_inputs() {
-        assert!(sting(&[], &StingConfig::default()).is_empty());
+        assert!(sting(PointMatrix::new(2).view(), &StingConfig::default()).is_empty());
         // All points identical: one cluster when the threshold is met.
-        let points = vec![vec![0.5, 0.5]; 10];
-        let clustering = sting(&points, &StingConfig::new(3, 5));
+        let points = PointMatrix::from_rows(vec![vec![0.5, 0.5]; 10]).unwrap();
+        let clustering = sting(points.view(), &StingConfig::new(3, 5));
         assert_eq!(clustering.cluster_count(), 1);
         assert_eq!(clustering.noise_count(), 0);
     }
 
     #[test]
     fn statistics_of_a_leaf_match_its_members() {
-        let points = vec![vec![0.1, 0.1], vec![0.12, 0.14], vec![0.9, 0.9]];
-        let grid = StingGrid::build(&points, 2);
+        let points =
+            PointMatrix::from_rows(vec![vec![0.1, 0.1], vec![0.12, 0.14], vec![0.9, 0.9]]).unwrap();
+        let grid = StingGrid::build(points.view(), 2);
         let leaf = StingGrid::leaf_coords(&points[0], grid.bounds().0, grid.bounds().1, 2);
         let stats = grid.cell(2, &leaf).unwrap();
         assert_eq!(stats.count, 2);

@@ -9,6 +9,8 @@
 //! the same location. Clusters are the groups of synchronized points;
 //! points that never synchronize with anyone are noise.
 
+use adawave_api::{PointMatrix, PointsView};
+
 use crate::{Clustering, KdTree};
 
 /// Configuration for [`sync_cluster`].
@@ -50,33 +52,39 @@ impl SyncConfig {
 }
 
 /// Run Sync and return the flat clustering.
-pub fn sync_cluster(points: &[Vec<f64>], config: &SyncConfig) -> Clustering {
+pub fn sync_cluster(points: PointsView<'_>, config: &SyncConfig) -> Clustering {
     let n = points.len();
     if n == 0 {
         return Clustering::new(vec![]);
     }
-    let dims = points[0].len();
-    let mut state: Vec<Vec<f64>> = points.to_vec();
+    let dims = points.dims();
+    // The oscillator state is a flat matrix that moves each round.
+    let mut state = points.to_matrix();
 
     for _ in 0..config.max_rounds {
         // The interaction structure is recomputed every round on the moved
         // points (synchronization pulls new neighbors into range).
-        let tree = KdTree::build(&state);
+        let tree = KdTree::build(state.view());
         let mut next = state.clone();
         let mut total_shift = 0.0;
+        let mut delta = vec![0.0; dims];
         for i in 0..n {
-            let neighbors = tree.within_radius(&state[i], config.eps);
+            let neighbors = tree.within_radius(state.row(i), config.eps);
             let others: Vec<usize> = neighbors.into_iter().filter(|&j| j != i).collect();
             if others.is_empty() {
                 continue;
             }
-            let mut delta = vec![0.0; dims];
+            delta.iter_mut().for_each(|d| *d = 0.0);
             for &j in &others {
-                for ((d, &xj), &xi) in delta.iter_mut().zip(state[j].iter()).zip(state[i].iter()) {
+                for ((d, &xj), &xi) in delta
+                    .iter_mut()
+                    .zip(state.row(j).iter())
+                    .zip(state.row(i).iter())
+                {
                     *d += (xj - xi).sin();
                 }
             }
-            for (coord, d) in next[i].iter_mut().zip(delta.iter()) {
+            for (coord, d) in next.row_mut(i).iter_mut().zip(delta.iter()) {
                 let step = d / others.len() as f64;
                 *coord += step;
                 total_shift += step.abs();
@@ -92,10 +100,10 @@ pub fn sync_cluster(points: &[Vec<f64>], config: &SyncConfig) -> Clustering {
     // every coordinate agrees within the merge tolerance. A grid hash over
     // merge_tolerance-sized cells keeps this linear.
     let mut assignment: Vec<Option<usize>> = vec![None; n];
-    let mut groups: Vec<Vec<f64>> = Vec::new();
-    for (i, s) in state.iter().enumerate() {
+    let mut groups = PointMatrix::new(dims);
+    for (i, s) in state.rows().enumerate() {
         let mut found = None;
-        for (g, rep) in groups.iter().enumerate() {
+        for (g, rep) in groups.rows().enumerate() {
             if rep
                 .iter()
                 .zip(s.iter())
@@ -108,7 +116,7 @@ pub fn sync_cluster(points: &[Vec<f64>], config: &SyncConfig) -> Clustering {
         match found {
             Some(g) => assignment[i] = Some(g),
             None => {
-                groups.push(s.clone());
+                groups.push_row(s);
                 assignment[i] = Some(groups.len() - 1);
             }
         }
@@ -132,12 +140,13 @@ pub fn sync_cluster(points: &[Vec<f64>], config: &SyncConfig) -> Clustering {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adawave_api::PointMatrix;
     use adawave_data::{shapes, Rng};
     use adawave_metrics::{ami, NOISE_LABEL};
 
-    fn two_blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+    fn two_blobs() -> (PointMatrix, Vec<usize>) {
         let mut rng = Rng::new(3);
-        let mut points = Vec::new();
+        let mut points = PointMatrix::new(2);
         let mut truth = Vec::new();
         shapes::gaussian_blob(&mut points, &mut rng, &[0.3, 0.3], &[0.02, 0.02], 100);
         truth.extend(std::iter::repeat_n(0usize, 100));
@@ -149,7 +158,7 @@ mod tests {
     #[test]
     fn synchronizes_two_blobs_into_two_clusters() {
         let (points, truth) = two_blobs();
-        let clustering = sync_cluster(&points, &SyncConfig::new(0.12));
+        let clustering = sync_cluster(points.view(), &SyncConfig::new(0.12));
         assert!(
             clustering.cluster_count() >= 2,
             "clusters {}",
@@ -162,9 +171,9 @@ mod tests {
     #[test]
     fn isolated_points_become_noise() {
         let (mut points, _) = two_blobs();
-        points.push(vec![5.0, 5.0]);
-        points.push(vec![-5.0, -5.0]);
-        let clustering = sync_cluster(&points, &SyncConfig::new(0.12));
+        points.push_row(&[5.0, 5.0]);
+        points.push_row(&[-5.0, -5.0]);
+        let clustering = sync_cluster(points.view(), &SyncConfig::new(0.12));
         assert_eq!(clustering.label(points.len() - 1), None);
         assert_eq!(clustering.label(points.len() - 2), None);
     }
@@ -173,24 +182,25 @@ mod tests {
     fn deterministic_and_order_insensitive_cluster_structure() {
         let (points, _) = two_blobs();
         let config = SyncConfig::new(0.12);
-        let a = sync_cluster(&points, &config);
-        let b = sync_cluster(&points, &config);
+        let a = sync_cluster(points.view(), &config);
+        let b = sync_cluster(points.view(), &config);
         assert_eq!(a, b);
 
-        let mut reversed: Vec<Vec<f64>> = points.clone();
-        reversed.reverse();
-        let c = sync_cluster(&reversed, &config);
+        let mut reversed = points.clone();
+        reversed.reverse_rows();
+        let c = sync_cluster(reversed.view(), &config);
         assert_eq!(a.cluster_count(), c.cluster_count());
     }
 
     #[test]
     fn empty_input() {
-        assert!(sync_cluster(&[], &SyncConfig::default()).is_empty());
+        assert!(sync_cluster(PointMatrix::new(2).view(), &SyncConfig::default()).is_empty());
     }
 
     #[test]
     fn single_point_is_noise_under_default_min_size() {
-        let clustering = sync_cluster(&[vec![0.5, 0.5]], &SyncConfig::default());
+        let single = PointMatrix::from_rows(vec![vec![0.5, 0.5]]).unwrap();
+        let clustering = sync_cluster(single.view(), &SyncConfig::default());
         assert_eq!(clustering.noise_count(), 1);
         assert_eq!(clustering.cluster_count(), 0);
     }

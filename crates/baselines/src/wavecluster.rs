@@ -9,6 +9,7 @@
 //! `M^d` grid volume, which is exactly the limitation the paper's
 //! "grid labeling" structure removes.
 
+use adawave_api::PointsView;
 use adawave_grid::{
     connected_components, Connectivity, KeyCodec, LookupTable, Quantizer, SparseGrid,
 };
@@ -60,12 +61,12 @@ fn effective_scale(requested: u32, dims: usize, max_cells: u128) -> u32 {
 }
 
 /// Run WaveCluster on a point set.
-pub fn wavecluster(points: &[Vec<f64>], config: &WaveClusterConfig) -> Clustering {
+pub fn wavecluster(points: PointsView<'_>, config: &WaveClusterConfig) -> Clustering {
     let n = points.len();
     if n == 0 {
         return Clustering::new(vec![]);
     }
-    let dims = points[0].len();
+    let dims = points.dims();
     let scale = effective_scale(config.scale, dims, config.max_dense_cells);
     let quantizer = match Quantizer::fit(points, scale) {
         Ok(q) => q,
@@ -79,7 +80,7 @@ pub fn wavecluster(points: &[Vec<f64>], config: &WaveClusterConfig) -> Clusterin
         .map(|j| quantizer.codec().intervals(j) as usize)
         .collect();
     let mut dense = DenseGrid::zeros(&shape);
-    for point in points {
+    for point in points.rows() {
         let coords: Vec<usize> = quantizer
             .cell_coords(point)
             .into_iter()
@@ -145,12 +146,13 @@ pub fn wavecluster(points: &[Vec<f64>], config: &WaveClusterConfig) -> Clusterin
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adawave_api::PointMatrix;
     use adawave_data::{shapes, Rng};
     use adawave_metrics::{ami_ignoring_noise, NOISE_LABEL};
 
-    fn blobs_with_noise(noise: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+    fn blobs_with_noise(noise: usize, seed: u64) -> (PointMatrix, Vec<usize>) {
         let mut rng = Rng::new(seed);
-        let mut points = Vec::new();
+        let mut points = PointMatrix::new(2);
         let mut truth = Vec::new();
         shapes::gaussian_blob(&mut points, &mut rng, &[0.25, 0.25], &[0.03, 0.03], 600);
         truth.extend(std::iter::repeat_n(0usize, 600));
@@ -165,7 +167,7 @@ mod tests {
     fn finds_two_blobs_in_light_noise() {
         let (points, truth) = blobs_with_noise(150, 1);
         let clustering = wavecluster(
-            &points,
+            points.view(),
             &WaveClusterConfig {
                 scale: 64,
                 ..Default::default()
@@ -182,7 +184,7 @@ mod tests {
         // motivation for AdaWave's adaptive threshold.
         let (points, truth) = blobs_with_noise(4800, 2); // 80% noise
         let clustering = wavecluster(
-            &points,
+            points.view(),
             &WaveClusterConfig {
                 scale: 64,
                 ..Default::default()
@@ -208,17 +210,17 @@ mod tests {
     #[test]
     fn handles_higher_dimensional_data_by_reducing_scale() {
         let mut rng = Rng::new(3);
-        let mut points = Vec::new();
+        let mut points = PointMatrix::new(5);
         let mut truth = Vec::new();
         shapes::gaussian_blob(&mut points, &mut rng, &[0.2; 5], &[0.03; 5], 300);
         truth.extend(std::iter::repeat_n(0usize, 300));
         shapes::gaussian_blob(&mut points, &mut rng, &[0.8; 5], &[0.03; 5], 300);
         truth.extend(std::iter::repeat_n(1usize, 300));
-        let clustering = wavecluster(&points, &WaveClusterConfig::default());
+        let clustering = wavecluster(points.view(), &WaveClusterConfig::default());
         // No noise in the ground truth: apply the paper's Table-I protocol
         // and push grid-noise points back to the nearest cluster before
         // scoring.
-        let filled = clustering.assign_noise_to_nearest_centroid(&points);
+        let filled = clustering.assign_noise_to_nearest_centroid(points.view());
         assert!(filled.cluster_count() >= 2);
         let score = ami_ignoring_noise(&truth, &filled.to_labels(NOISE_LABEL), usize::MAX);
         assert!(score > 0.8, "AMI {score}");
@@ -226,24 +228,24 @@ mod tests {
 
     #[test]
     fn empty_input() {
-        assert!(wavecluster(&[], &WaveClusterConfig::default()).is_empty());
+        assert!(wavecluster(PointMatrix::new(2).view(), &WaveClusterConfig::default()).is_empty());
     }
 
     #[test]
     fn deterministic() {
         let (points, _) = blobs_with_noise(300, 5);
-        let a = wavecluster(&points, &WaveClusterConfig::default());
-        let b = wavecluster(&points, &WaveClusterConfig::default());
+        let a = wavecluster(points.view(), &WaveClusterConfig::default());
+        let b = wavecluster(points.view(), &WaveClusterConfig::default());
         assert_eq!(a, b);
     }
 
     #[test]
     fn ring_cluster_is_kept_in_one_piece() {
         let mut rng = Rng::new(7);
-        let mut points = Vec::new();
+        let mut points = PointMatrix::new(2);
         shapes::ring(&mut points, &mut rng, (0.5, 0.5), 0.3, 0.01, 2000);
         let clustering = wavecluster(
-            &points,
+            points.view(),
             &WaveClusterConfig {
                 scale: 64,
                 density_threshold: 0.5,

@@ -3,13 +3,14 @@
 //! structure — the property SkinnyDip depends on and the reason it fails on
 //! the paper's ring-shaped clusters.
 
+use adawave_api::PointMatrix;
 use adawave_baselines::dip::{dip_statistic, dip_test, unidip, SkinnyDipConfig};
 use adawave_baselines::skinnydip;
 use adawave_data::{shapes, Rng};
 
-fn two_blobs_with_noise() -> Vec<Vec<f64>> {
+fn two_blobs_with_noise() -> PointMatrix {
     let mut rng = Rng::new(12);
-    let mut points = Vec::new();
+    let mut points = PointMatrix::new(2);
     shapes::gaussian_blob(&mut points, &mut rng, &[0.2, 0.2], &[0.02, 0.02], 400);
     shapes::gaussian_blob(&mut points, &mut rng, &[0.8, 0.8], &[0.02, 0.02], 400);
     shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], 300);
@@ -19,7 +20,7 @@ fn two_blobs_with_noise() -> Vec<Vec<f64>> {
 #[test]
 fn bimodal_projection_has_a_larger_dip_than_a_unimodal_one() {
     let points = two_blobs_with_noise();
-    let bimodal: Vec<f64> = points.iter().map(|p| p[0]).collect();
+    let bimodal: Vec<f64> = points.rows().map(|p| p[0]).collect();
 
     let mut rng = Rng::new(77);
     let unimodal: Vec<f64> = (0..bimodal.len())
@@ -37,7 +38,7 @@ fn bimodal_projection_has_a_larger_dip_than_a_unimodal_one() {
 #[test]
 fn dip_test_rejects_unimodality_only_for_the_bimodal_projection() {
     let points = two_blobs_with_noise();
-    let bimodal: Vec<f64> = points.iter().map(|p| p[0]).collect();
+    let bimodal: Vec<f64> = points.rows().map(|p| p[0]).collect();
     let mut rng = Rng::new(1);
     let (_, p_bimodal) = dip_test(&bimodal, 64, &mut rng);
     assert!(p_bimodal < 0.05, "bimodal p-value {p_bimodal}");
@@ -52,7 +53,7 @@ fn dip_test_rejects_unimodality_only_for_the_bimodal_projection() {
 #[test]
 fn unidip_finds_both_modes_of_the_x_projection() {
     let points = two_blobs_with_noise();
-    let xs: Vec<f64> = points.iter().map(|p| p[0]).collect();
+    let xs: Vec<f64> = points.rows().map(|p| p[0]).collect();
     let config = SkinnyDipConfig {
         bootstraps: 48,
         seed: 3,
@@ -85,7 +86,7 @@ fn skinnydip_clusters_the_axis_aligned_blobs() {
         seed: 3,
         ..Default::default()
     };
-    let clustering = skinnydip(&points, &config);
+    let clustering = skinnydip(points.view(), &config);
     assert!(
         clustering.cluster_count() >= 2,
         "found {} clusters",

@@ -24,7 +24,7 @@ fn bench_ablations(c: &mut Criterion) {
             &wavelet,
             |b, &w| {
                 let adawave = AdaWave::new(AdaWaveConfig::builder().wavelet(w).build());
-                b.iter(|| black_box(adawave.fit(&ds.points).unwrap()));
+                b.iter(|| black_box(adawave.fit(ds.view()).unwrap()));
             },
         );
     }
@@ -37,7 +37,7 @@ fn bench_ablations(c: &mut Criterion) {
     for scale in [32u32, 64, 128, 256] {
         group.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, &s| {
             let adawave = AdaWave::new(AdaWaveConfig::builder().scale(s).build());
-            b.iter(|| black_box(adawave.fit(&ds.points).unwrap()));
+            b.iter(|| black_box(adawave.fit(ds.view()).unwrap()));
         });
     }
     group.finish();
@@ -54,7 +54,7 @@ fn bench_ablations(c: &mut Criterion) {
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, &s| {
             let adawave = AdaWave::new(AdaWaveConfig::builder().threshold(s).build());
-            b.iter(|| black_box(adawave.fit(&ds.points).unwrap()));
+            b.iter(|| black_box(adawave.fit(ds.view()).unwrap()));
         });
     }
     group.finish();
@@ -69,7 +69,7 @@ fn bench_ablations(c: &mut Criterion) {
             &connectivity,
             |b, &conn| {
                 let adawave = AdaWave::new(AdaWaveConfig::builder().connectivity(conn).build());
-                b.iter(|| black_box(adawave.fit(&ds.points).unwrap()));
+                b.iter(|| black_box(adawave.fit(ds.view()).unwrap()));
             },
         );
     }
@@ -83,10 +83,10 @@ fn bench_ablations(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.bench_function("adawave_sparse", |b| {
         let adawave = AdaWave::default();
-        b.iter(|| black_box(adawave.fit(&ds.points).unwrap()));
+        b.iter(|| black_box(adawave.fit(ds.view()).unwrap()));
     });
     group.bench_function("wavecluster_dense", |b| {
-        b.iter(|| black_box(wavecluster(&ds.points, &WaveClusterConfig::default())));
+        b.iter(|| black_box(wavecluster(ds.view(), &WaveClusterConfig::default())));
     });
     group.finish();
 }

@@ -23,13 +23,13 @@ fn bench_fig10(c: &mut Criterion) {
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::new("adawave", n), &ds, |b, ds| {
             let adawave = AdaWave::default();
-            b.iter(|| black_box(adawave.fit(&ds.points).unwrap()));
+            b.iter(|| black_box(adawave.fit(ds.view()).unwrap()));
         });
         group.bench_with_input(BenchmarkId::new("kmeans_k5", n), &ds, |b, ds| {
-            b.iter(|| black_box(kmeans(&ds.points, &KMeansConfig::new(5, 1))));
+            b.iter(|| black_box(kmeans(ds.view(), &KMeansConfig::new(5, 1))));
         });
         group.bench_with_input(BenchmarkId::new("dbscan", n), &ds, |b, ds| {
-            b.iter(|| black_box(dbscan(&ds.points, &DbscanConfig::new(0.02, 8))));
+            b.iter(|| black_box(dbscan(ds.view(), &DbscanConfig::new(0.02, 8))));
         });
         // SkinnyDip only on the smaller sizes (bootstrap p-values dominate).
         if per_cluster <= 200 {
@@ -38,7 +38,7 @@ fn bench_fig10(c: &mut Criterion) {
                     bootstraps: 32,
                     ..Default::default()
                 };
-                b.iter(|| black_box(skinnydip(&ds.points, &config)));
+                b.iter(|| black_box(skinnydip(ds.view(), &config)));
             });
         }
     }

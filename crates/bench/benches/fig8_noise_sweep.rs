@@ -22,21 +22,21 @@ fn bench_fig8(c: &mut Criterion) {
             &ds,
             |b, ds| {
                 let adawave = AdaWave::default();
-                b.iter(|| black_box(adawave.fit(&ds.points).unwrap()));
+                b.iter(|| black_box(adawave.fit(ds.view()).unwrap()));
             },
         );
         group.bench_with_input(
             BenchmarkId::new("kmeans_k5", format!("noise{noise:.0}")),
             &ds,
             |b, ds| {
-                b.iter(|| black_box(kmeans(&ds.points, &KMeansConfig::new(5, 1))));
+                b.iter(|| black_box(kmeans(ds.view(), &KMeansConfig::new(5, 1))));
             },
         );
         group.bench_with_input(
             BenchmarkId::new("dbscan_eps0.02", format!("noise{noise:.0}")),
             &ds,
             |b, ds| {
-                b.iter(|| black_box(dbscan(&ds.points, &DbscanConfig::new(0.02, 8))));
+                b.iter(|| black_box(dbscan(ds.view(), &DbscanConfig::new(0.02, 8))));
             },
         );
     }

@@ -15,8 +15,8 @@ use adawave_wavelet::{BoundaryMode, Wavelet};
 
 fn bench_stages(c: &mut Criterion) {
     let ds = synthetic_benchmark(75.0, 800, 1);
-    let quantizer = Quantizer::fit(&ds.points, 128).unwrap();
-    let (grid, _) = quantizer.quantize(&ds.points);
+    let quantizer = Quantizer::fit(ds.view(), 128).unwrap();
+    let (grid, _) = quantizer.quantize(ds.view());
     let kernel = Wavelet::Cdf22.density_smoothing_kernel();
     let (transformed, down_codec) =
         sparse_wavelet_smooth(&grid, quantizer.codec(), &kernel, BoundaryMode::Zero, 1).unwrap();
@@ -28,7 +28,7 @@ fn bench_stages(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.throughput(Throughput::Elements(ds.len() as u64));
     group.bench_function("quantize_scale128", |b| {
-        b.iter(|| black_box(quantizer.quantize(&ds.points)));
+        b.iter(|| black_box(quantizer.quantize(ds.view())));
     });
     group.throughput(Throughput::Elements(grid.occupied_cells() as u64));
     group.bench_function("sparse_wavelet_level", |b| {

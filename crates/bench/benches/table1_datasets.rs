@@ -36,7 +36,7 @@ fn bench_table1(c: &mut Criterion) {
         group.throughput(Throughput::Elements(ds.len() as u64));
         group.bench_with_input(BenchmarkId::from_parameter(&ds.name), ds, |b, ds| {
             let adawave = AdaWave::default();
-            b.iter(|| black_box(adawave.fit(&ds.points).unwrap()));
+            b.iter(|| black_box(adawave.fit(ds.view()).unwrap()));
         });
     }
     group.finish();

@@ -10,7 +10,7 @@
 
 use std::time::Instant;
 
-use adawave::{standard_registry, AlgorithmRegistry, AlgorithmSpec, Clustering};
+use adawave::{standard_registry, AlgorithmRegistry, AlgorithmSpec, Clustering, PointsView};
 use adawave_metrics::{ami, ami_ignoring_noise, NOISE_LABEL};
 
 /// The algorithms compared in the paper's evaluation (§V-A).
@@ -198,7 +198,7 @@ fn tuning_score(truth: &[usize], labels: &[usize], noise_label: Option<usize>) -
 pub fn run_algorithm_with(
     registry: &AlgorithmRegistry,
     algorithm: Algorithm,
-    points: &[Vec<f64>],
+    points: PointsView<'_>,
     options: &RunOptions,
 ) -> AlgoOutcome {
     let start = Instant::now();
@@ -242,7 +242,7 @@ pub fn run_algorithm_with(
 /// [`run_algorithm_with`] against the standard registry.
 pub fn run_algorithm(
     algorithm: Algorithm,
-    points: &[Vec<f64>],
+    points: PointsView<'_>,
     options: &RunOptions,
 ) -> AlgoOutcome {
     run_algorithm_with(&standard_registry(), algorithm, points, options)
@@ -296,7 +296,7 @@ mod tests {
             ..RunOptions::new(5, &ds.labels, ds.noise_label)
         };
         for algo in [Algorithm::AdaWave, Algorithm::KMeans] {
-            let outcome = run_algorithm(algo, &ds.points, &options);
+            let outcome = run_algorithm(algo, ds.view(), &options);
             assert_eq!(outcome.labels.len(), ds.len());
             assert!(outcome.seconds >= 0.0);
             assert!(outcome.clusters >= 1);

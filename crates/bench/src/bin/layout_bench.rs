@@ -1,0 +1,170 @@
+//! Layout microbenchmark: the flat row-major [`PointMatrix`] hot paths
+//! against the seed's nested `Vec<Vec<f64>>` layout, on the two kernels the
+//! refactor targets — grid quantization and the k-means assignment step —
+//! over 100k synthetic points.
+//!
+//! Run with `cargo run --release -p adawave-bench --bin layout_bench`;
+//! writes `BENCH_layout.json` into the current directory and prints the
+//! table. The nested variants reimplement the seed's access pattern (one
+//! heap allocation + one pointer indirection per point) so the comparison
+//! isolates the memory layout, not the algorithm.
+
+use std::time::Instant;
+
+use adawave_api::PointMatrix;
+use adawave_bench::report::format_table;
+use adawave_data::synthetic::synthetic_benchmark;
+use adawave_grid::{Quantizer, SparseGrid};
+use adawave_linalg::squared_distance;
+
+const REPEATS: usize = 7;
+
+/// Best-of-`REPEATS` wall-clock seconds of `f`, with a `sink` guard so the
+/// optimizer cannot delete the work.
+fn best_of<F: FnMut() -> f64>(mut f: F) -> (f64, f64) {
+    let mut best = f64::MAX;
+    let mut sink = 0.0;
+    for _ in 0..REPEATS {
+        let start = Instant::now();
+        sink += f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, sink)
+}
+
+/// The seed's nested quantization loop: one pointer chase per point.
+fn quantize_nested(quantizer: &Quantizer, nested: &[Vec<f64>]) -> f64 {
+    let mut grid = SparseGrid::with_capacity(1 << 16);
+    for p in nested {
+        grid.increment(quantizer.cell_key(p));
+    }
+    grid.total_mass()
+}
+
+/// The flat quantization loop: the identical per-point work, walking one
+/// contiguous buffer with `chunks_exact` instead of chasing a pointer per
+/// point.
+fn quantize_flat(quantizer: &Quantizer, points: &PointMatrix) -> f64 {
+    let mut grid = SparseGrid::with_capacity(1 << 16);
+    for p in points.as_slice().chunks_exact(points.dims()) {
+        grid.increment(quantizer.cell_key(p));
+    }
+    grid.total_mass()
+}
+
+/// The seed's k-means assignment step over nested points and nested
+/// centroids.
+fn assign_nested(nested: &[Vec<f64>], centroids: &[Vec<f64>]) -> f64 {
+    let mut inertia = 0.0;
+    for p in nested {
+        let mut best = f64::MAX;
+        for c in centroids {
+            let d = squared_distance(p, c);
+            if d < best {
+                best = d;
+            }
+        }
+        inertia += best;
+    }
+    inertia
+}
+
+/// The flat assignment step: rows and centroids are `chunks_exact` slices
+/// of two contiguous buffers.
+fn assign_flat(points: &PointMatrix, centroids: &PointMatrix) -> f64 {
+    let dims = points.dims();
+    let mut inertia = 0.0;
+    for p in points.as_slice().chunks_exact(dims) {
+        let mut best = f64::MAX;
+        for c in centroids.as_slice().chunks_exact(dims) {
+            let d = squared_distance(p, c);
+            if d < best {
+                best = d;
+            }
+        }
+        inertia += best;
+    }
+    inertia
+}
+
+fn main() {
+    // 5 clusters x 5000 points + 75% noise = 100_000 points.
+    let ds = synthetic_benchmark(75.0, 5_000, 42);
+    assert_eq!(ds.len(), 100_000, "workload size changed");
+    let mut flat = ds.points.clone();
+    let mut nested: Vec<Vec<f64>> = flat.to_rows();
+
+    // Shuffle both layouts with the same permutation, the way every real
+    // pipeline touches its data (`Dataset::shuffle`, subsampling, CSV
+    // ingestion order). On the nested layout a shuffle swaps the *outer
+    // pointers* while the per-point heap blocks keep their original
+    // addresses — subsequent passes jump around the heap. The flat matrix
+    // swaps the row contents and stays one contiguous buffer.
+    let mut rng = adawave_data::Rng::new(7);
+    for i in (1..flat.len()).rev() {
+        let j = rng.below(i + 1);
+        flat.swap_rows(i, j);
+        nested.swap(i, j);
+    }
+
+    let quantizer = Quantizer::fit(flat.view(), 128).expect("quantize fit");
+    let k = 16;
+    let centroid_idx: Vec<usize> = (0..k).map(|i| i * (flat.len() / k)).collect();
+    let flat_centroids = flat.view().select(&centroid_idx);
+    let nested_centroids: Vec<Vec<f64>> = flat_centroids.to_rows();
+
+    let (q_nested, s1) = best_of(|| quantize_nested(&quantizer, &nested));
+    let (q_flat, s2) = best_of(|| quantize_flat(&quantizer, &flat));
+    let (a_nested, s3) = best_of(|| assign_nested(&nested, &nested_centroids));
+    let (a_flat, s4) = best_of(|| assign_flat(&flat, &flat_centroids));
+    // Equal work on both layouts, by construction.
+    assert_eq!(s1, s2, "quantization paths disagree");
+    assert_eq!(s3, s4, "assignment paths disagree");
+
+    let rows = [
+        ("quantize_100k", q_nested, q_flat),
+        ("kmeans_assign_100k_k16", a_nested, a_flat),
+    ];
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(name, nested_s, flat_s)| {
+            vec![
+                name.to_string(),
+                format!("{:.6}", nested_s),
+                format!("{:.6}", flat_s),
+                format!("{:.2}x", nested_s / flat_s),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &[
+                "kernel",
+                "nested Vec<Vec<f64>> (s)",
+                "flat PointMatrix (s)",
+                "speedup"
+            ],
+            &table,
+        )
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"workload\": {{ \"points\": {}, \"dims\": {}, \"noise_percent\": 75.0, \"seed\": 42, \"repeats\": {}, \"timing\": \"best-of\" }},\n",
+        flat.len(),
+        flat.dims(),
+        REPEATS
+    ));
+    json.push_str("  \"kernels\": {\n");
+    for (i, (name, nested_s, flat_s)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{name}\": {{ \"nested_vec_seconds\": {nested_s:.6}, \"flat_matrix_seconds\": {flat_s:.6}, \"speedup\": {:.3} }}{}\n",
+            nested_s / flat_s,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write("BENCH_layout.json", &json).expect("write BENCH_layout.json");
+    println!("wrote BENCH_layout.json");
+}

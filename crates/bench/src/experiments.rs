@@ -58,7 +58,7 @@ pub fn fig2_running_example(points_per_cluster: usize, seed: u64) -> Vec<Fig2Row
     ]
     .iter()
     .map(|&algorithm| {
-        let outcome = run_algorithm_with(&registry, algorithm, &ds.points, &options);
+        let outcome = run_algorithm_with(&registry, algorithm, ds.view(), &options);
         Fig2Row {
             algorithm,
             ami: outcome.ami_ignoring_noise(&ds.labels, SYNTHETIC_NOISE_LABEL),
@@ -126,8 +126,8 @@ fn isolated_cells(grid: &adawave_grid::SparseGrid, codec: &adawave_grid::KeyCode
 /// example, apply one level of 2-D DWT, and compare sparsity/outlier counts.
 pub fn fig5_transform(points_per_cluster: usize, seed: u64) -> Fig5Stats {
     let ds = synthetic_benchmark(50.0, points_per_cluster, seed);
-    let quantizer = Quantizer::fit(&ds.points, 128).expect("quantize");
-    let (grid, _) = quantizer.quantize(&ds.points);
+    let quantizer = Quantizer::fit(ds.view(), 128).expect("quantize");
+    let (grid, _) = quantizer.quantize(ds.view());
     let kernel = Wavelet::Cdf22.density_smoothing_kernel();
     let (mut transformed, down_codec) = adawave_core::sparse_wavelet_smooth(
         &grid,
@@ -183,9 +183,9 @@ pub fn print_fig5(stats: &Fig5Stats) {
 /// returns the energy in each subband of the running example's grid.
 pub fn fig5_subband_energy(points_per_cluster: usize, seed: u64) -> [(String, f64); 4] {
     let ds = synthetic_benchmark(50.0, points_per_cluster, seed);
-    let quantizer = Quantizer::fit(&ds.points, 128).expect("quantize");
+    let quantizer = Quantizer::fit(ds.view(), 128).expect("quantize");
     let mut dense = DenseGrid::zeros(&[128, 128]);
-    for p in &ds.points {
+    for p in ds.points.rows() {
         let coords: Vec<usize> = quantizer
             .cell_coords(p)
             .into_iter()
@@ -222,7 +222,7 @@ pub struct Fig6Data {
 /// synthetic dataset and the adaptive thresholds chosen on it.
 pub fn fig6_threshold(points_per_cluster: usize, seed: u64) -> Fig6Data {
     let ds = synthetic_benchmark(50.0, points_per_cluster, seed);
-    let result = AdaWave::default().fit(&ds.points).expect("adawave");
+    let result = AdaWave::default().fit(ds.view()).expect("adawave");
     let sorted = result.sorted_densities().to_vec();
     let m = sorted.len();
     let deciles: Vec<f64> = (0..=10).map(|i| sorted[((m - 1) * i) / 10]).collect();
@@ -333,7 +333,7 @@ pub fn fig8_noise_sweep(
         let ds = synthetic_benchmark(noise, points_per_cluster, seed);
         let options = RunOptions::new(5, &ds.labels, ds.noise_label);
         for &algorithm in &Algorithm::FIG8 {
-            let outcome = run_algorithm_with(&registry, algorithm, &ds.points, &options);
+            let outcome = run_algorithm_with(&registry, algorithm, ds.view(), &options);
             rows.push(Fig8Row {
                 noise_percent: noise,
                 algorithm,
@@ -395,7 +395,7 @@ pub struct Fig9Result {
 pub fn fig9_roadmap(n: usize, seed: u64) -> Fig9Result {
     let ds = uci::roadmap_like(n, seed);
     let start = Instant::now();
-    let result = AdaWave::default().fit(&ds.points).expect("adawave");
+    let result = AdaWave::default().fit(ds.view()).expect("adawave");
     let seconds = start.elapsed().as_secs_f64();
     let labels = result.to_labels(NOISE_LABEL);
     Fig9Result {
@@ -449,7 +449,7 @@ pub fn fig10_runtime(points_per_cluster: &[usize], seed: u64) -> Vec<Fig10Row> {
         let ds = runtime_scaling_dataset(per_cluster, seed);
         let options = RunOptions::new(5, &ds.labels, ds.noise_label);
         for &algorithm in &Algorithm::FIG10 {
-            let outcome = run_algorithm_with(&registry, algorithm, &ds.points, &options);
+            let outcome = run_algorithm_with(&registry, algorithm, ds.view(), &options);
             rows.push(Fig10Row {
                 n: ds.len(),
                 algorithm,
@@ -525,7 +525,7 @@ pub fn table1(seed: u64, roadmap_n: usize, max_points: usize) -> Vec<Table1Cell>
             ..RunOptions::new(dataset_true_k(&ds), &ds.labels, ds.noise_label)
         };
         for &algorithm in &Algorithm::TABLE1 {
-            let outcome = run_algorithm_with(&registry, algorithm, &ds.points, &options);
+            let outcome = run_algorithm_with(&registry, algorithm, ds.view(), &options);
             cells.push(Table1Cell {
                 dataset: ds.name.clone(),
                 algorithm,
@@ -592,7 +592,7 @@ pub fn table2_glass(seed: u64) -> Vec<(String, f64)> {
         .iter()
         .enumerate()
         .map(|(j, name)| {
-            let column: Vec<f64> = ds.points.iter().map(|p| p[j]).collect();
+            let column: Vec<f64> = ds.points.rows().map(|p| p[j]).collect();
             (name.to_string(), pearson_correlation(&column, &class))
         })
         .collect()
@@ -632,7 +632,7 @@ pub struct AblationRow {
 pub fn ablation(points_per_cluster: usize, seed: u64) -> Vec<AblationRow> {
     let ds = synthetic_benchmark(75.0, points_per_cluster, seed);
     let score = |config: AdaWaveConfig| -> (f64, usize) {
-        let result = AdaWave::new(config).fit(&ds.points).expect("adawave");
+        let result = AdaWave::new(config).fit(ds.view()).expect("adawave");
         (
             adawave_metrics::ami_ignoring_noise(
                 &ds.labels,
@@ -725,7 +725,7 @@ pub fn print_ablation(rows: &[AblationRow]) {
 /// Run plain k-means on a dataset with the true `k` (helper used by the
 /// examples and by sanity tests to compare against AdaWave).
 pub fn kmeans_reference(ds: &Dataset, seed: u64) -> f64 {
-    let result = kmeans(&ds.points, &KMeansConfig::new(dataset_true_k(ds), seed));
+    let result = kmeans(ds.view(), &KMeansConfig::new(dataset_true_k(ds), seed));
     ami(&ds.labels, &result.clustering.to_labels(NOISE_LABEL))
 }
 

@@ -7,7 +7,7 @@
 use std::path::Path;
 use std::time::Instant;
 
-use adawave::{standard_registry, AlgorithmEntry, AlgorithmSpec, ClusterError, Params};
+use adawave::{standard_registry, AlgorithmEntry, AlgorithmSpec, ClusterError, Params, PointsView};
 use adawave_data::synthetic::{running_example, synthetic_benchmark};
 use adawave_data::{csv, uci, Dataset};
 use adawave_metrics::{
@@ -239,7 +239,7 @@ pub fn build_spec(
 /// given.
 pub fn run_clustering(
     algorithm: &str,
-    points: &[Vec<f64>],
+    points: PointsView<'_>,
     args: &ParsedArgs,
     true_k: usize,
 ) -> CliResult<ClusterOutcome> {
@@ -313,7 +313,7 @@ fn cluster(args: &ParsedArgs) -> CliResult<String> {
         .unwrap_or("adawave");
     let ds = csv::load_csv(Path::new(input))
         .map_err(|e| CliError::Message(format!("reading {input}: {e}")))?;
-    let outcome = run_clustering(algorithm, &ds.points, args, ds.cluster_count())?;
+    let outcome = run_clustering(algorithm, ds.view(), args, ds.cluster_count())?;
 
     if let Some(out) = args.get("out") {
         std::fs::write(out, labels_to_text(&outcome.labels))
@@ -344,7 +344,7 @@ fn cluster(args: &ParsedArgs) -> CliResult<String> {
 
 /// Compute the evaluation report for a (truth, predicted) pair.
 pub fn evaluation_report(
-    points: &[Vec<f64>],
+    points: PointsView<'_>,
     truth: &[usize],
     predicted: &[usize],
     noise_label: Option<usize>,
@@ -421,7 +421,7 @@ fn evaluate(args: &ParsedArgs) -> CliResult<String> {
         ),
         None => ds.noise_label,
     };
-    evaluation_report(&ds.points, &ds.labels, &predicted, noise_label)
+    evaluation_report(ds.view(), &ds.labels, &predicted, noise_label)
 }
 
 // ---------------------------------------------------------------------------
@@ -456,7 +456,7 @@ pub fn run_sweep(
         let mut scores = Vec::new();
         for algo in algorithms {
             let args = ParsedArgs::parse(["cluster", "--scale", &scale_arg]).expect("static args");
-            let outcome = match run_clustering(algo, &ds.points, &args, ds.cluster_count()) {
+            let outcome = match run_clustering(algo, ds.view(), &args, ds.cluster_count()) {
                 Ok(o) => o,
                 Err(_) => continue,
             };
@@ -530,12 +530,13 @@ pub fn list_algorithms() -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adawave::PointMatrix;
     use adawave_data::shapes;
     use adawave_data::Rng;
 
-    fn toy_points() -> (Vec<Vec<f64>>, Vec<usize>) {
+    fn toy_points() -> (PointMatrix, Vec<usize>) {
         let mut rng = Rng::new(1);
-        let mut points = Vec::new();
+        let mut points = PointMatrix::new(2);
         let mut truth = Vec::new();
         shapes::gaussian_blob(&mut points, &mut rng, &[0.2, 0.2], &[0.02, 0.02], 120);
         truth.extend(std::iter::repeat_n(0usize, 120));
@@ -568,8 +569,8 @@ mod tests {
             "sting",
             "clique",
         ] {
-            let outcome =
-                run_clustering(algo, &points, &args, 2).unwrap_or_else(|e| panic!("{algo}: {e}"));
+            let outcome = run_clustering(algo, points.view(), &args, 2)
+                .unwrap_or_else(|e| panic!("{algo}: {e}"));
             assert_eq!(outcome.labels.len(), points.len(), "{algo}");
         }
     }
@@ -578,7 +579,7 @@ mod tests {
     fn unknown_algorithm_is_rejected() {
         let (points, _) = toy_points();
         let args = ParsedArgs::parse(["cluster"]).unwrap();
-        let err = run_clustering("definitely-not-real", &points, &args, 2).unwrap_err();
+        let err = run_clustering("definitely-not-real", points.view(), &args, 2).unwrap_err();
         // The registry error names the known algorithms.
         assert!(err.to_string().contains("adawave"), "{err}");
     }
@@ -588,18 +589,18 @@ mod tests {
         let (points, _) = toy_points();
         // `--param k=3` overrides the k inferred from the dataset.
         let args = ParsedArgs::parse(["cluster", "--param", "k=3", "--param", "seed=11"]).unwrap();
-        let outcome = run_clustering("kmeans", &points, &args, 2).unwrap();
+        let outcome = run_clustering("kmeans", points.view(), &args, 2).unwrap();
         assert_eq!(outcome.clusters, 3);
         // A typo'd key is rejected with the accepted keys listed...
         let args = ParsedArgs::parse(["cluster", "--param", "kk=3"]).unwrap();
-        let err = run_clustering("kmeans", &points, &args, 2).unwrap_err();
+        let err = run_clustering("kmeans", points.view(), &args, 2).unwrap_err();
         assert!(err.to_string().contains("kk"), "{err}");
         assert!(err.to_string().contains("seed"), "{err}");
         // ...as is a malformed pair and a bad value.
         let args = ParsedArgs::parse(["cluster", "--param", "k"]).unwrap();
-        assert!(run_clustering("kmeans", &points, &args, 2).is_err());
+        assert!(run_clustering("kmeans", points.view(), &args, 2).is_err());
         let args = ParsedArgs::parse(["cluster", "--param", "k=banana"]).unwrap();
-        assert!(run_clustering("kmeans", &points, &args, 2).is_err());
+        assert!(run_clustering("kmeans", points.view(), &args, 2).is_err());
     }
 
     #[test]
@@ -607,19 +608,19 @@ mod tests {
         let (points, _) = toy_points();
         // `--algo name:key=value,...` carries params inline.
         let args = ParsedArgs::parse(["cluster"]).unwrap();
-        let outcome = run_clustering("kmeans:k=4,seed=3", &points, &args, 2).unwrap();
+        let outcome = run_clustering("kmeans:k=4,seed=3", points.view(), &args, 2).unwrap();
         assert_eq!(outcome.clusters, 4);
         // Typos in the compact form are caught like --param typos.
-        let err = run_clustering("kmeans:kk=4", &points, &args, 2).unwrap_err();
+        let err = run_clustering("kmeans:kk=4", points.view(), &args, 2).unwrap_err();
         assert!(err.to_string().contains("kk"), "{err}");
         // `--param` wins over the compact form on collision.
         let args = ParsedArgs::parse(["cluster", "--param", "k=5"]).unwrap();
-        let outcome = run_clustering("kmeans:k=2,seed=3", &points, &args, 2).unwrap();
+        let outcome = run_clustering("kmeans:k=2,seed=3", points.view(), &args, 2).unwrap();
         assert_eq!(outcome.clusters, 5);
         // The documented stsc default (eigengap auto-k) is expressible even
         // though the CLI injects a numeric k by default.
         let args = ParsedArgs::parse(["cluster", "--param", "k=auto"]).unwrap();
-        let outcome = run_clustering("stsc", &points, &args, 2).unwrap();
+        let outcome = run_clustering("stsc", points.view(), &args, 2).unwrap();
         assert!(outcome.clusters >= 1);
     }
 
@@ -636,7 +637,7 @@ mod tests {
     fn adawave_separates_the_toy_blobs() {
         let (points, truth) = toy_points();
         let args = ParsedArgs::parse(["cluster", "--scale", "32"]).unwrap();
-        let outcome = run_clustering("adawave", &points, &args, 2).unwrap();
+        let outcome = run_clustering("adawave", points.view(), &args, 2).unwrap();
         assert!(outcome.clusters >= 2);
         let score = ami_ignoring_noise(&truth, &outcome.labels, 2);
         assert!(score > 0.8, "AMI {score}");
@@ -646,7 +647,7 @@ mod tests {
     fn reassign_noise_flag_removes_noise_points() {
         let (points, _) = toy_points();
         let args = ParsedArgs::parse(["cluster", "--scale", "32", "--reassign-noise"]).unwrap();
-        let outcome = run_clustering("adawave", &points, &args, 2).unwrap();
+        let outcome = run_clustering("adawave", points.view(), &args, 2).unwrap();
         assert_eq!(outcome.noise_points, 0);
     }
 
@@ -688,8 +689,8 @@ mod tests {
     fn evaluation_report_contains_all_metrics() {
         let (points, truth) = toy_points();
         let args = ParsedArgs::parse(["cluster", "--scale", "32"]).unwrap();
-        let outcome = run_clustering("kmeans", &points, &args, 2).unwrap();
-        let report = evaluation_report(&points, &truth, &outcome.labels, None).unwrap();
+        let outcome = run_clustering("kmeans", points.view(), &args, 2).unwrap();
+        let report = evaluation_report(points.view(), &truth, &outcome.labels, None).unwrap();
         for needle in ["AMI", "NMI", "ARI", "V-measure", "purity", "silhouette"] {
             assert!(report.contains(needle), "missing {needle}:\n{report}");
         }
@@ -697,7 +698,8 @@ mod tests {
 
     #[test]
     fn evaluation_report_rejects_length_mismatch() {
-        assert!(evaluation_report(&[], &[0, 1], &[0], None).is_err());
+        let empty = PointMatrix::new(2);
+        assert!(evaluation_report(empty.view(), &[0, 1], &[0], None).is_err());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The AdaWave algorithm (Algorithm 1 of the paper).
 
+use adawave_api::PointsView;
 use adawave_grid::{
     connected_components, BoundingBox, KeyCodec, LookupTable, Quantizer, SparseGrid,
 };
@@ -32,25 +33,23 @@ impl AdaWave {
         &self.config
     }
 
-    /// Cluster a point set.
+    /// Cluster a point set (a flat row-major [`PointsView`]; owned data
+    /// converts via [`adawave_api::PointMatrix::view`]).
     ///
-    /// Returns an error if the input is empty/inconsistent, or if the grid
-    /// key would overflow and automatic scale reduction is disabled.
-    pub fn fit(&self, points: &[Vec<f64>]) -> Result<AdaWaveResult> {
+    /// Returns an error if the input is empty or zero-dimensional, or if
+    /// the grid key would overflow and automatic scale reduction is
+    /// disabled. Ragged input is unrepresentable in the flat layout, so
+    /// the old per-point dimensionality check is gone by construction.
+    pub fn fit(&self, points: PointsView<'_>) -> Result<AdaWaveResult> {
         if points.is_empty() {
             return Err(AdaWaveError::InvalidInput {
                 context: "empty point set".to_string(),
             });
         }
-        let dims = points[0].len();
+        let dims = points.dims();
         if dims == 0 {
             return Err(AdaWaveError::InvalidInput {
                 context: "points have zero dimensions".to_string(),
-            });
-        }
-        if points.iter().any(|p| p.len() != dims) {
-            return Err(AdaWaveError::InvalidInput {
-                context: "points have inconsistent dimensionality".to_string(),
             });
         }
 
@@ -137,7 +136,7 @@ impl AdaWave {
     /// transform). Returns one result per requested level.
     pub fn fit_multi_resolution(
         &self,
-        points: &[Vec<f64>],
+        points: PointsView<'_>,
         levels: &[u32],
     ) -> Result<Vec<AdaWaveResult>> {
         levels
@@ -160,9 +159,11 @@ mod tests {
     use adawave_metrics::{ami, ami_ignoring_noise, NOISE_LABEL};
     use adawave_wavelet::Wavelet;
 
-    fn blobs_with_noise(per_blob: usize, noise: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+    use adawave_api::PointMatrix;
+
+    fn blobs_with_noise(per_blob: usize, noise: usize, seed: u64) -> (PointMatrix, Vec<usize>) {
         let mut rng = Rng::new(seed);
-        let mut points = Vec::new();
+        let mut points = PointMatrix::new(2);
         let mut truth = Vec::new();
         shapes::gaussian_blob(
             &mut points,
@@ -189,7 +190,7 @@ mod tests {
     fn clusters_two_blobs_in_50_percent_noise() {
         let (points, truth) = blobs_with_noise(1000, 2000, 1);
         let result = AdaWave::new(AdaWaveConfig::builder().scale(64).build())
-            .fit(&points)
+            .fit(points.view())
             .unwrap();
         assert!(
             result.cluster_count() >= 2,
@@ -209,7 +210,7 @@ mod tests {
     fn clusters_the_synthetic_benchmark_at_high_noise() {
         // A smaller copy of the Fig. 7/8 workload at 75% noise.
         let ds = synthetic_benchmark(75.0, 800, 3);
-        let result = AdaWave::default().fit(&ds.points).unwrap();
+        let result = AdaWave::default().fit(ds.view()).unwrap();
         let score = ami_ignoring_noise(
             &ds.labels,
             &result.to_labels(NOISE_LABEL),
@@ -226,7 +227,7 @@ mod tests {
     #[test]
     fn detects_ring_shaped_clusters() {
         let mut rng = Rng::new(5);
-        let mut points = Vec::new();
+        let mut points = PointMatrix::new(2);
         let mut truth = Vec::new();
         shapes::ring(&mut points, &mut rng, (0.3, 0.5), 0.15, 0.008, 1500);
         truth.extend(std::iter::repeat_n(0usize, 1500));
@@ -235,7 +236,7 @@ mod tests {
         shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], 1000);
         truth.extend(std::iter::repeat_n(2usize, 1000));
         let result = AdaWave::new(AdaWaveConfig::builder().scale(64).build())
-            .fit(&points)
+            .fit(points.view())
             .unwrap();
         let score = ami_ignoring_noise(&truth, &result.to_labels(NOISE_LABEL), 2);
         assert!(score > 0.6, "AMI {score}");
@@ -245,10 +246,10 @@ mod tests {
     fn is_order_insensitive() {
         let (mut points, _) = blobs_with_noise(500, 500, 7);
         let adawave = AdaWave::new(AdaWaveConfig::builder().scale(32).build());
-        let a = adawave.fit(&points).unwrap();
+        let a = adawave.fit(points.view()).unwrap();
         // Reverse the input order; results must be identical per point.
-        points.reverse();
-        let b = adawave.fit(&points).unwrap();
+        points.reverse_rows();
+        let b = adawave.fit(points.view()).unwrap();
         let b_labels: Vec<Option<usize>> = b.assignment().iter().rev().copied().collect();
         assert_eq!(a.assignment(), &b_labels[..]);
         assert_eq!(a.cluster_count(), b.cluster_count());
@@ -258,15 +259,21 @@ mod tests {
     fn is_deterministic() {
         let (points, _) = blobs_with_noise(400, 800, 9);
         let adawave = AdaWave::default();
-        assert_eq!(adawave.fit(&points).unwrap(), adawave.fit(&points).unwrap());
+        assert_eq!(
+            adawave.fit(points.view()).unwrap(),
+            adawave.fit(points.view()).unwrap()
+        );
     }
 
     #[test]
     fn rejects_bad_input() {
         let adawave = AdaWave::default();
-        assert!(adawave.fit(&[]).is_err());
-        assert!(adawave.fit(&[vec![]]).is_err());
-        assert!(adawave.fit(&[vec![0.0, 1.0], vec![0.0]]).is_err());
+        // Empty and zero-dimensional inputs are errors, never panics.
+        assert!(adawave.fit(PointMatrix::new(2).view()).is_err());
+        let zero_dim = PointMatrix::from_rows(vec![vec![]]).unwrap();
+        assert!(adawave.fit(zero_dim.view()).is_err());
+        // Ragged input is already rejected at the ingestion boundary.
+        assert!(PointMatrix::from_rows(vec![vec![0.0, 1.0], vec![0.0]]).is_err());
     }
 
     #[test]
@@ -274,23 +281,26 @@ mod tests {
         // 20 dimensions at scale 128 needs 140 bits > 128: the scale must be
         // reduced automatically rather than failing.
         let mut rng = Rng::new(11);
-        let mut points = Vec::new();
+        let mut points = PointMatrix::new(20);
         shapes::gaussian_blob(&mut points, &mut rng, &[0.3; 20], &[0.05; 20], 200);
         shapes::gaussian_blob(&mut points, &mut rng, &[0.7; 20], &[0.05; 20], 200);
-        let result = AdaWave::default().fit(&points).unwrap();
+        let result = AdaWave::default().fit(points.view()).unwrap();
         assert!(result.stats().intervals[0] < 128);
         assert!(result.cluster_count() >= 1);
 
         // With auto-reduction disabled the same configuration must fail.
         let strict = AdaWave::new(AdaWaveConfig::builder().auto_reduce_scale(false).build());
-        assert!(matches!(strict.fit(&points), Err(AdaWaveError::Grid(_))));
+        assert!(matches!(
+            strict.fit(points.view()),
+            Err(AdaWaveError::Grid(_))
+        ));
     }
 
     #[test]
     fn stats_are_consistent() {
         let (points, _) = blobs_with_noise(500, 1500, 13);
         let result = AdaWave::new(AdaWaveConfig::builder().scale(64).build())
-            .fit(&points)
+            .fit(points.view())
             .unwrap();
         let stats = result.stats();
         assert!(stats.quantized_cells > 0);
@@ -311,7 +321,9 @@ mod tests {
     fn multi_resolution_produces_coarser_clusterings() {
         let (points, _) = blobs_with_noise(800, 800, 15);
         let adawave = AdaWave::new(AdaWaveConfig::builder().scale(64).build());
-        let results = adawave.fit_multi_resolution(&points, &[1, 2, 3]).unwrap();
+        let results = adawave
+            .fit_multi_resolution(points.view(), &[1, 2, 3])
+            .unwrap();
         assert_eq!(results.len(), 3);
         // Higher levels work on coarser grids; cluster count should not blow up.
         assert!(results[2].stats().surviving_cells <= results[0].stats().surviving_cells);
@@ -335,7 +347,7 @@ mod tests {
                     .threshold(strategy)
                     .build(),
             )
-            .fit(&points)
+            .fit(points.view())
             .unwrap();
             let score = ami_ignoring_noise(&truth, &result.to_labels(NOISE_LABEL), 2);
             assert!(score > 0.4, "{}: AMI {score}", strategy.name());
@@ -347,7 +359,7 @@ mod tests {
         let (points, truth) = blobs_with_noise(800, 800, 19);
         for wavelet in [Wavelet::Haar, Wavelet::Cdf22, Wavelet::Daubechies2] {
             let result = AdaWave::new(AdaWaveConfig::builder().scale(64).wavelet(wavelet).build())
-                .fit(&points)
+                .fit(points.view())
                 .unwrap();
             let score = ami_ignoring_noise(&truth, &result.to_labels(NOISE_LABEL), 2);
             assert!(score > 0.6, "{wavelet}: AMI {score}");
@@ -358,9 +370,9 @@ mod tests {
     fn noise_reassignment_gives_full_partition() {
         let (points, truth) = blobs_with_noise(600, 600, 21);
         let result = AdaWave::new(AdaWaveConfig::builder().scale(64).build())
-            .fit(&points)
+            .fit(points.view())
             .unwrap();
-        let labels = result.assign_noise_to_nearest_centroid(&points);
+        let labels = result.assign_noise_to_nearest_centroid(points.view());
         assert_eq!(labels.len(), points.len());
         // Every point now has a real cluster id.
         assert!(labels.iter().all(|&l| l < result.cluster_count().max(1)));

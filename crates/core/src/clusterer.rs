@@ -1,7 +1,9 @@
 //! AdaWave behind the unified [`Clusterer`] interface, and its registration
 //! into the [`AlgorithmRegistry`].
 
-use adawave_api::{AlgorithmRegistry, ClusterError, Clusterer, Clustering, ParamSpec, Params};
+use adawave_api::{
+    AlgorithmRegistry, ClusterError, Clusterer, Clustering, ParamSpec, Params, PointsView,
+};
 use adawave_wavelet::Wavelet;
 
 use crate::{AdaWave, AdaWaveConfig, AdaWaveError, ThresholdStrategy};
@@ -39,7 +41,7 @@ impl Clusterer for AdaWave {
     /// diagnostics ([`crate::GridStats`], the Fig. 6 density curve) are
     /// needed; this trait method is the uniform surface the registry, the
     /// CLI and the sweeps go through.
-    fn fit(&self, points: &[Vec<f64>]) -> Result<Clustering, ClusterError> {
+    fn fit(&self, points: PointsView<'_>) -> Result<Clustering, ClusterError> {
         Ok(AdaWave::fit(self, points)?.to_clustering())
     }
 }
@@ -102,14 +104,14 @@ pub fn register(registry: &mut AlgorithmRegistry) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adawave_api::AlgorithmSpec;
+    use adawave_api::{AlgorithmSpec, PointMatrix};
 
-    fn blobs() -> Vec<Vec<f64>> {
-        let mut points = Vec::new();
+    fn blobs() -> PointMatrix {
+        let mut points = PointMatrix::new(2);
         for i in 0..150 {
             let t = i as f64 * 0.0004;
-            points.push(vec![0.2 + t, 0.2 - t]);
-            points.push(vec![0.8 - t, 0.8 + t]);
+            points.push_row(&[0.2 + t, 0.2 - t]);
+            points.push_row(&[0.8 - t, 0.8 + t]);
         }
         points
     }
@@ -120,9 +122,9 @@ mod tests {
         register(&mut registry);
         let points = blobs();
         let spec = AlgorithmSpec::new("adawave").with("scale", 32);
-        let via_registry = registry.fit(&spec, &points).unwrap();
+        let via_registry = registry.fit(&spec, points.view()).unwrap();
         let direct = AdaWave::new(AdaWaveConfig::builder().scale(32).build())
-            .fit(&points)
+            .fit(points.view())
             .unwrap()
             .to_clustering();
         assert_eq!(via_registry, direct);
@@ -165,8 +167,9 @@ mod tests {
         let mut registry = AlgorithmRegistry::new();
         register(&mut registry);
         let clusterer = registry.resolve(&AlgorithmSpec::new("adawave")).unwrap();
+        let empty = PointMatrix::new(2);
         assert!(matches!(
-            clusterer.fit(&[]),
+            clusterer.fit(empty.view()),
             Err(ClusterError::InvalidInput { .. })
         ));
     }

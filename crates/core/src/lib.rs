@@ -33,20 +33,25 @@
 //! [`adawave_api::AlgorithmRegistry`], or the umbrella `adawave` crate's
 //! `standard_registry()` for AdaWave plus all baselines.
 //!
+//! Points travel through the pipeline as the flat row-major
+//! [`adawave_api::PointsView`]; build one from owned data with
+//! [`adawave_api::PointMatrix`]:
+//!
 //! ```
+//! use adawave_api::PointMatrix;
 //! use adawave_core::{AdaWave, AdaWaveConfig};
 //!
 //! // Two tight diagonal streaks plus one stray point.
-//! let mut points = Vec::new();
+//! let mut points = PointMatrix::new(2);
 //! for i in 0..100 {
 //!     let t = i as f64 * 0.0003;
-//!     points.push(vec![0.2 + t, 0.2 - t]);
-//!     points.push(vec![0.8 - t, 0.8 + t]);
+//!     points.push_row(&[0.2 + t, 0.2 - t]);
+//!     points.push_row(&[0.8 - t, 0.8 + t]);
 //! }
-//! points.push(vec![0.5, 0.95]);
+//! points.push_row(&[0.5, 0.95]);
 //!
 //! let config = AdaWaveConfig::builder().scale(32).build();
-//! let result = AdaWave::new(config).fit(&points).unwrap();
+//! let result = AdaWave::new(config).fit(points.view()).unwrap();
 //! assert!(result.cluster_count() >= 2);
 //! ```
 

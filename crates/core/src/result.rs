@@ -1,5 +1,7 @@
 //! Result types returned by an AdaWave run.
 
+use adawave_api::PointsView;
+
 /// Statistics about the grid pipeline, useful for the Fig. 5 / Fig. 6
 //  experiments and for diagnosing configurations.
 #[derive(Debug, Clone, PartialEq)]
@@ -130,7 +132,7 @@ impl AdaWaveResult {
     /// Delegates to the canonical
     /// [`Clustering::assign_noise_to_nearest_centroid`](adawave_api::Clustering::assign_noise_to_nearest_centroid)
     /// so core and baselines share one implementation of the protocol.
-    pub fn assign_noise_to_nearest_centroid(&self, points: &[Vec<f64>]) -> Vec<usize> {
+    pub fn assign_noise_to_nearest_centroid(&self, points: PointsView<'_>) -> Vec<usize> {
         self.to_clustering()
             .assign_noise_to_nearest_centroid(points)
             .to_labels(0)
@@ -175,29 +177,30 @@ mod tests {
 
     #[test]
     fn noise_reassignment_to_nearest_centroid() {
-        let points = vec![
+        let points = adawave_api::PointMatrix::from_rows(vec![
             vec![0.0, 0.0],
             vec![0.2, 0.0],
             vec![5.0, 5.0],
             vec![5.2, 5.0],
             vec![4.5, 4.9],
-        ];
+        ])
+        .unwrap();
         let r = AdaWaveResult::new(
             vec![Some(0), Some(0), Some(1), Some(1), None],
             2,
             stats(),
             vec![],
         );
-        let labels = r.assign_noise_to_nearest_centroid(&points);
+        let labels = r.assign_noise_to_nearest_centroid(points.view());
         assert_eq!(labels[4], labels[2]);
         assert_eq!(labels[0], 0);
     }
 
     #[test]
     fn noise_reassignment_without_clusters_is_stable() {
-        let points = vec![vec![0.0], vec![1.0]];
+        let points = adawave_api::PointMatrix::from_rows(vec![vec![0.0], vec![1.0]]).unwrap();
         let r = AdaWaveResult::new(vec![None, None], 0, stats(), vec![]);
-        let labels = r.assign_noise_to_nearest_centroid(&points);
+        let labels = r.assign_noise_to_nearest_centroid(points.view());
         assert_eq!(labels.len(), 2);
     }
 }

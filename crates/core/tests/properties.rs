@@ -1,12 +1,14 @@
 //! Property-based tests for the AdaWave core pipeline.
 
+use adawave_api::PointMatrix;
 use adawave_core::{AdaWave, AdaWaveConfig, ThresholdStrategy};
 use adawave_grid::{KeyCodec, SparseGrid};
 use adawave_wavelet::{BoundaryMode, Wavelet};
 use proptest::prelude::*;
 
-fn point_cloud() -> impl Strategy<Value = Vec<Vec<f64>>> {
+fn point_cloud() -> impl Strategy<Value = PointMatrix> {
     prop::collection::vec(prop::collection::vec(0.0f64..1.0, 2), 20..200)
+        .prop_map(|rows| PointMatrix::from_rows(rows).expect("constant-width rows"))
 }
 
 proptest! {
@@ -15,7 +17,7 @@ proptest! {
     #[test]
     fn every_point_gets_a_verdict(points in point_cloud()) {
         let result = AdaWave::new(AdaWaveConfig::builder().scale(16).build())
-            .fit(&points)
+            .fit(points.view())
             .unwrap();
         prop_assert_eq!(result.len(), points.len());
         // Labels are contiguous: every assigned id < cluster_count.
@@ -30,10 +32,10 @@ proptest! {
     #[test]
     fn deterministic_and_order_insensitive(points in point_cloud(), seed in 0u64..100) {
         let adawave = AdaWave::new(AdaWaveConfig::builder().scale(16).build());
-        let base = adawave.fit(&points).unwrap();
+        let base = adawave.fit(points.view()).unwrap();
 
         // Deterministic rerun.
-        prop_assert_eq!(&base, &adawave.fit(&points).unwrap());
+        prop_assert_eq!(&base, &adawave.fit(points.view()).unwrap());
 
         // Shuffled input gives the same per-point labels (up to cluster id
         // permutation — ids are mass-ordered so they are in fact equal).
@@ -45,8 +47,8 @@ proptest! {
             state ^= state << 17;
             indices.swap(i, (state as usize) % (i + 1));
         }
-        let shuffled: Vec<Vec<f64>> = indices.iter().map(|&i| points[i].clone()).collect();
-        let shuffled_result = adawave.fit(&shuffled).unwrap();
+        let shuffled = points.select(&indices);
+        let shuffled_result = adawave.fit(shuffled.view()).unwrap();
         for (new_pos, &old_pos) in indices.iter().enumerate() {
             prop_assert_eq!(base.label(old_pos), shuffled_result.label(new_pos));
         }
@@ -57,12 +59,12 @@ proptest! {
         // Affine re-scaling of the feature space leaves the grid structure
         // (and therefore the clustering) unchanged.
         let adawave = AdaWave::new(AdaWaveConfig::builder().scale(16).build());
-        let base = adawave.fit(&points).unwrap();
-        let scaled: Vec<Vec<f64>> = points
-            .iter()
-            .map(|p| p.iter().map(|v| v * 37.0 - 5.0).collect())
-            .collect();
-        let scaled_result = adawave.fit(&scaled).unwrap();
+        let base = adawave.fit(points.view()).unwrap();
+        let mut scaled = points.clone();
+        for v in scaled.as_mut_slice() {
+            *v = *v * 37.0 - 5.0;
+        }
+        let scaled_result = adawave.fit(scaled.view()).unwrap();
         prop_assert_eq!(base.assignment(), scaled_result.assignment());
     }
 

@@ -8,6 +8,8 @@
 use std::io::{BufRead, BufWriter, Write};
 use std::path::Path;
 
+use adawave_api::PointMatrix;
+
 use crate::dataset::Dataset;
 
 /// Errors produced by CSV I/O.
@@ -44,9 +46,9 @@ impl From<std::io::Error> for CsvError {
 /// Parse a dataset from CSV text (features..., label). Empty lines and
 /// lines starting with `#` are skipped.
 pub fn parse_csv(name: &str, text: &str) -> Result<Dataset, CsvError> {
-    let mut points = Vec::new();
+    let mut points: Option<PointMatrix> = None;
     let mut labels = Vec::new();
-    let mut dims: Option<usize> = None;
+    let mut row = Vec::new();
     for (line_no, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -60,19 +62,16 @@ pub fn parse_csv(name: &str, text: &str) -> Result<Dataset, CsvError> {
             });
         }
         let d = fields.len() - 1;
-        if let Some(expected) = dims {
-            if d != expected {
-                return Err(CsvError::Parse {
-                    line: line_no + 1,
-                    message: format!("expected {expected} features, found {d}"),
-                });
-            }
-        } else {
-            dims = Some(d);
+        let matrix = points.get_or_insert_with(|| PointMatrix::new(d));
+        if d != matrix.dims() {
+            return Err(CsvError::Parse {
+                line: line_no + 1,
+                message: format!("expected {} features, found {d}", matrix.dims()),
+            });
         }
-        let mut point = Vec::with_capacity(d);
+        row.clear();
         for f in &fields[..d] {
-            point.push(f.parse::<f64>().map_err(|e| CsvError::Parse {
+            row.push(f.parse::<f64>().map_err(|e| CsvError::Parse {
                 line: line_no + 1,
                 message: format!("bad feature value '{f}': {e}"),
             })?);
@@ -81,10 +80,10 @@ pub fn parse_csv(name: &str, text: &str) -> Result<Dataset, CsvError> {
             line: line_no + 1,
             message: format!("bad label '{}': {e}", fields[d]),
         })?;
-        points.push(point);
+        matrix.push_row(&row);
         labels.push(label);
     }
-    Ok(Dataset::new(name, points, labels, None))
+    Ok(Dataset::new(name, points.unwrap_or_default(), labels, None))
 }
 
 /// Load a dataset from a CSV file.
@@ -107,7 +106,7 @@ pub fn load_csv(path: &Path) -> Result<Dataset, CsvError> {
 pub fn save_csv(dataset: &Dataset, path: &Path) -> Result<(), CsvError> {
     let file = std::fs::File::create(path)?;
     let mut writer = BufWriter::new(file);
-    for (point, label) in dataset.points.iter().zip(dataset.labels.iter()) {
+    for (point, label) in dataset.points.rows().zip(dataset.labels.iter()) {
         let mut line = String::new();
         for v in point {
             line.push_str(&format!("{v},"));
@@ -129,7 +128,7 @@ mod tests {
         assert_eq!(ds.len(), 3);
         assert_eq!(ds.dims(), 2);
         assert_eq!(ds.labels, vec![0, 1, 0]);
-        assert_eq!(ds.points[2], vec![5.5, -1.25]);
+        assert_eq!(&ds.points[2], &[5.5, -1.25][..]);
     }
 
     #[test]
@@ -147,7 +146,7 @@ mod tests {
 
     #[test]
     fn save_and_load_roundtrip() {
-        let ds = Dataset::new(
+        let ds = Dataset::from_rows(
             "roundtrip",
             vec![vec![0.5, 1.5], vec![-2.0, 3.25]],
             vec![1, 0],

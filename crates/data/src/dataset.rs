@@ -1,18 +1,23 @@
 //! The labeled dataset container used throughout the reproduction.
 
+use adawave_api::{PointMatrix, PointsView};
+
 use crate::rng::Rng;
 
 /// A labeled point set.
 ///
-/// `labels[i]` is the ground-truth class of `points[i]`; if
+/// `labels[i]` is the ground-truth class of point `i`; if
 /// `noise_label` is `Some(l)`, points labeled `l` are ground-truth noise
 /// (the synthetic benchmarks use this; the UCI surrogates do not).
+///
+/// The points live in a flat row-major [`PointMatrix`] — borrow them as a
+/// [`PointsView`] via [`Dataset::view`] to feed any `fit`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     /// Human-readable dataset name (used in experiment tables).
     pub name: String,
-    /// The data points, one `Vec<f64>` per point, all of equal length.
-    pub points: Vec<Vec<f64>>,
+    /// The data points as one contiguous `n x d` row-major matrix.
+    pub points: PointMatrix,
     /// Ground-truth class labels, one per point.
     pub labels: Vec<usize>,
     /// The label value (if any) that denotes ground-truth noise.
@@ -23,11 +28,11 @@ impl Dataset {
     /// Create a dataset, checking basic consistency.
     ///
     /// # Panics
-    /// Panics if `points` and `labels` have different lengths or points are
-    /// ragged.
+    /// Panics if `points` and `labels` have different lengths. (Ragged
+    /// points are unrepresentable in a [`PointMatrix`].)
     pub fn new(
         name: impl Into<String>,
-        points: Vec<Vec<f64>>,
+        points: PointMatrix,
         labels: Vec<usize>,
         noise_label: Option<usize>,
     ) -> Self {
@@ -36,19 +41,32 @@ impl Dataset {
             labels.len(),
             "Dataset: points and labels must have the same length"
         );
-        if let Some(first) = points.first() {
-            let d = first.len();
-            assert!(
-                points.iter().all(|p| p.len() == d),
-                "Dataset: ragged points"
-            );
-        }
         Self {
             name: name.into(),
             points,
             labels,
             noise_label,
         }
+    }
+
+    /// Create a dataset from nested rows (the ingestion boundary for
+    /// `Vec<Vec<f64>>` data, mainly test fixtures and loaders).
+    ///
+    /// # Panics
+    /// Panics if the rows are ragged or lengths mismatch.
+    pub fn from_rows(
+        name: impl Into<String>,
+        rows: Vec<Vec<f64>>,
+        labels: Vec<usize>,
+        noise_label: Option<usize>,
+    ) -> Self {
+        let points = PointMatrix::from_rows(rows).expect("Dataset: ragged points");
+        Self::new(name, points, labels, noise_label)
+    }
+
+    /// Borrow the points as a zero-copy view (what every `fit` takes).
+    pub fn view(&self) -> PointsView<'_> {
+        self.points.view()
     }
 
     /// Number of points.
@@ -61,9 +79,9 @@ impl Dataset {
         self.points.is_empty()
     }
 
-    /// Dimensionality (0 for an empty dataset).
+    /// Dimensionality.
     pub fn dims(&self) -> usize {
-        self.points.first().map(|p| p.len()).unwrap_or(0)
+        self.points.dims()
     }
 
     /// Number of distinct ground-truth labels (including the noise label).
@@ -105,7 +123,7 @@ impl Dataset {
         let n = self.len();
         for i in (1..n).rev() {
             let j = rng.below(i + 1);
-            self.points.swap(i, j);
+            self.points.swap_rows(i, j);
             self.labels.swap(i, j);
         }
     }
@@ -117,7 +135,7 @@ impl Dataset {
             return self.clone();
         }
         let idx = rng.sample_indices(self.len(), max_points);
-        let points = idx.iter().map(|&i| self.points[i].clone()).collect();
+        let points = self.points.select(&idx);
         let labels = idx.iter().map(|&i| self.labels[i]).collect();
         Dataset::new(
             format!("{}-sub{}", self.name, max_points),
@@ -135,7 +153,7 @@ impl Dataset {
         if !self.is_empty() && !other.is_empty() {
             assert_eq!(self.dims(), other.dims(), "extend: dimension mismatch");
         }
-        self.points.extend(other.points);
+        self.points.append(&other.points);
         self.labels.extend(other.labels);
     }
 
@@ -154,7 +172,7 @@ mod tests {
     use super::*;
 
     fn toy() -> Dataset {
-        Dataset::new(
+        Dataset::from_rows(
             "toy",
             vec![
                 vec![0.0, 0.0],
@@ -177,6 +195,7 @@ mod tests {
         assert_eq!(d.cluster_count(), 2);
         assert_eq!(d.noise_fraction(), 0.25);
         assert_eq!(d.class_sizes(), vec![(0, 2), (1, 1), (2, 1)]);
+        assert_eq!(d.view().len(), 4);
     }
 
     #[test]
@@ -190,41 +209,37 @@ mod tests {
     #[test]
     #[should_panic(expected = "same length")]
     fn mismatched_lengths_panic() {
-        Dataset::new("bad", vec![vec![0.0]], vec![0, 1], None);
+        Dataset::from_rows("bad", vec![vec![0.0]], vec![0, 1], None);
     }
 
     #[test]
     #[should_panic(expected = "ragged")]
     fn ragged_points_panic() {
-        Dataset::new("bad", vec![vec![0.0], vec![0.0, 1.0]], vec![0, 1], None);
+        Dataset::from_rows("bad", vec![vec![0.0], vec![0.0, 1.0]], vec![0, 1], None);
     }
 
     #[test]
     fn shuffle_preserves_point_label_pairs() {
         let mut d = toy();
-        let pairs_before: std::collections::HashSet<String> = d
-            .points
-            .iter()
-            .zip(d.labels.iter())
-            .map(|(p, l)| format!("{p:?}-{l}"))
-            .collect();
+        let pairs = |d: &Dataset| -> std::collections::HashSet<String> {
+            d.points
+                .rows()
+                .zip(d.labels.iter())
+                .map(|(p, l)| format!("{p:?}-{l}"))
+                .collect()
+        };
+        let pairs_before = pairs(&d);
         let mut rng = Rng::new(1);
         d.shuffle(&mut rng);
-        let pairs_after: std::collections::HashSet<String> = d
-            .points
-            .iter()
-            .zip(d.labels.iter())
-            .map(|(p, l)| format!("{p:?}-{l}"))
-            .collect();
-        assert_eq!(pairs_before, pairs_after);
+        assert_eq!(pairs_before, pairs(&d));
     }
 
     #[test]
     fn subsample_respects_bound_and_seed() {
-        let mut big_points = Vec::new();
+        let mut big_points = PointMatrix::new(1);
         let mut labels = Vec::new();
         for i in 0..100 {
-            big_points.push(vec![i as f64]);
+            big_points.push_row(&[i as f64]);
             labels.push(i % 3);
         }
         let d = Dataset::new("big", big_points, labels, None);
@@ -252,7 +267,7 @@ mod tests {
     #[should_panic(expected = "dimension mismatch")]
     fn extend_rejects_dimension_mismatch() {
         let mut a = toy();
-        let b = Dataset::new("1d", vec![vec![0.0]], vec![0], None);
+        let b = Dataset::from_rows("1d", vec![vec![0.0]], vec![0], None);
         a.extend(b);
     }
 }

@@ -3,26 +3,31 @@
 //! The grid quantizer works on raw coordinates, but several baselines
 //! (k-means, EM, spectral) behave much better when every attribute spans a
 //! comparable range, so the experiment harness normalizes the UCI
-//! surrogates before clustering.
+//! surrogates before clustering. Both helpers operate column-wise on the
+//! flat row-major [`PointMatrix`] buffer.
+
+use adawave_api::PointMatrix;
 
 /// Scale every column into `[0, 1]` (min-max normalization), in place.
 /// Constant columns are set to 0.5.
-pub fn min_max_normalize(points: &mut [Vec<f64>]) {
-    if points.is_empty() {
+pub fn min_max_normalize(points: &mut PointMatrix) {
+    let dims = points.dims();
+    if points.is_empty() || dims == 0 {
         return;
     }
-    let dims = points[0].len();
-    for j in 0..dims {
-        let mut lo = f64::INFINITY;
-        let mut hi = f64::NEG_INFINITY;
-        for p in points.iter() {
-            lo = lo.min(p[j]);
-            hi = hi.max(p[j]);
+    let mut lo = vec![f64::INFINITY; dims];
+    let mut hi = vec![f64::NEG_INFINITY; dims];
+    for p in points.rows() {
+        for (j, &v) in p.iter().enumerate() {
+            lo[j] = lo[j].min(v);
+            hi[j] = hi[j].max(v);
         }
-        let range = hi - lo;
-        for p in points.iter_mut() {
-            p[j] = if range > 0.0 {
-                (p[j] - lo) / range
+    }
+    for p in points.as_mut_slice().chunks_exact_mut(dims) {
+        for (j, v) in p.iter_mut().enumerate() {
+            let range = hi[j] - lo[j];
+            *v = if range > 0.0 {
+                (*v - lo[j]) / range
             } else {
                 0.5
             };
@@ -31,35 +36,27 @@ pub fn min_max_normalize(points: &mut [Vec<f64>]) {
 }
 
 /// Standardize every column to zero mean and unit variance, in place.
-/// Constant columns are centered only.
-pub fn z_score_normalize(points: &mut [Vec<f64>]) {
-    if points.is_empty() {
-        return;
-    }
-    let dims = points[0].len();
-    let n = points.len() as f64;
-    for j in 0..dims {
-        let mean: f64 = points.iter().map(|p| p[j]).sum::<f64>() / n;
-        let var: f64 = points.iter().map(|p| (p[j] - mean).powi(2)).sum::<f64>() / n;
-        let std = var.sqrt();
-        for p in points.iter_mut() {
-            p[j] -= mean;
-            if std > 1e-12 {
-                p[j] /= std;
-            }
-        }
-    }
+/// Constant columns are centered only. (Delegates to the shared flat-buffer
+/// kernel in `adawave-linalg` so the numeric behavior cannot drift between
+/// the data loaders and library callers.)
+pub fn z_score_normalize(points: &mut PointMatrix) {
+    let dims = points.dims();
+    adawave_linalg::standardize_columns(points.as_mut_slice(), dims);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn matrix(rows: Vec<Vec<f64>>) -> PointMatrix {
+        PointMatrix::from_rows(rows).unwrap()
+    }
+
     #[test]
     fn min_max_maps_to_unit_interval() {
-        let mut pts = vec![vec![0.0, 100.0], vec![5.0, 200.0], vec![10.0, 150.0]];
+        let mut pts = matrix(vec![vec![0.0, 100.0], vec![5.0, 200.0], vec![10.0, 150.0]]);
         min_max_normalize(&mut pts);
-        for p in &pts {
+        for p in pts.rows() {
             for &v in p {
                 assert!((0.0..=1.0).contains(&v));
             }
@@ -71,7 +68,7 @@ mod tests {
 
     #[test]
     fn min_max_constant_column() {
-        let mut pts = vec![vec![7.0], vec![7.0]];
+        let mut pts = matrix(vec![vec![7.0], vec![7.0]]);
         min_max_normalize(&mut pts);
         assert_eq!(pts[0][0], 0.5);
         assert_eq!(pts[1][0], 0.5);
@@ -79,18 +76,18 @@ mod tests {
 
     #[test]
     fn z_score_zero_mean_unit_variance() {
-        let mut pts = vec![vec![1.0], vec![2.0], vec![3.0], vec![4.0]];
+        let mut pts = matrix(vec![vec![1.0], vec![2.0], vec![3.0], vec![4.0]]);
         z_score_normalize(&mut pts);
         let n = pts.len() as f64;
-        let mean: f64 = pts.iter().map(|p| p[0]).sum::<f64>() / n;
-        let var: f64 = pts.iter().map(|p| p[0] * p[0]).sum::<f64>() / n;
+        let mean: f64 = pts.rows().map(|p| p[0]).sum::<f64>() / n;
+        let var: f64 = pts.rows().map(|p| p[0] * p[0]).sum::<f64>() / n;
         assert!(mean.abs() < 1e-12);
         assert!((var - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn empty_input_is_noop() {
-        let mut pts: Vec<Vec<f64>> = vec![];
+        let mut pts = PointMatrix::new(0);
         min_max_normalize(&mut pts);
         z_score_normalize(&mut pts);
         assert!(pts.is_empty());
@@ -98,7 +95,7 @@ mod tests {
 
     #[test]
     fn normalization_preserves_ordering_within_column() {
-        let mut pts = vec![vec![3.0], vec![1.0], vec![2.0]];
+        let mut pts = matrix(vec![vec![3.0], vec![1.0], vec![2.0]]);
         min_max_normalize(&mut pts);
         assert!(pts[1][0] < pts[2][0] && pts[2][0] < pts[0][0]);
     }

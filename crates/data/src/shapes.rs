@@ -3,26 +3,29 @@
 //! The synthetic experiments of the paper combine Gaussian ellipses,
 //! overlapping circular (ring) distributions, parallel sloping line
 //! segments and a uniform noise background. Each generator appends points
-//! in place so callers can compose arbitrary scenes.
+//! in place so callers can compose arbitrary scenes; output goes straight
+//! into a flat row-major [`PointMatrix`], so building a scene performs no
+//! per-point heap allocation.
+
+use adawave_api::PointMatrix;
 
 use crate::rng::Rng;
 
 /// Append `count` points from an axis-aligned Gaussian blob.
 pub fn gaussian_blob(
-    out: &mut Vec<Vec<f64>>,
+    out: &mut PointMatrix,
     rng: &mut Rng,
     center: &[f64],
     std_dev: &[f64],
     count: usize,
 ) {
     assert_eq!(center.len(), std_dev.len());
+    let mut row = vec![0.0; center.len()];
     for _ in 0..count {
-        let p = center
-            .iter()
-            .zip(std_dev.iter())
-            .map(|(&c, &s)| rng.normal_with(c, s))
-            .collect();
-        out.push(p);
+        for ((v, &c), &s) in row.iter_mut().zip(center.iter()).zip(std_dev.iter()) {
+            *v = rng.normal_with(c, s);
+        }
+        out.push_row(&row);
     }
 }
 
@@ -31,7 +34,7 @@ pub fn gaussian_blob(
 /// `axes` are the standard deviations along the major/minor axes and
 /// `angle` is the rotation in radians.
 pub fn gaussian_ellipse(
-    out: &mut Vec<Vec<f64>>,
+    out: &mut PointMatrix,
     rng: &mut Rng,
     center: (f64, f64),
     axes: (f64, f64),
@@ -44,14 +47,14 @@ pub fn gaussian_ellipse(
     for _ in 0..count {
         let u = rng.normal() * sa;
         let v = rng.normal() * sb;
-        out.push(vec![cx + u * cos - v * sin, cy + u * sin + v * cos]);
+        out.push_row(&[cx + u * cos - v * sin, cy + u * sin + v * cos]);
     }
 }
 
 /// Append `count` points distributed on a 2-D ring (annulus) of the given
 /// mean radius; the radius is jittered with Gaussian noise `radial_std`.
 pub fn ring(
-    out: &mut Vec<Vec<f64>>,
+    out: &mut PointMatrix,
     rng: &mut Rng,
     center: (f64, f64),
     radius: f64,
@@ -62,14 +65,14 @@ pub fn ring(
     for _ in 0..count {
         let theta = rng.uniform_range(0.0, 2.0 * std::f64::consts::PI);
         let r = rng.normal_with(radius, radial_std);
-        out.push(vec![cx + r * theta.cos(), cy + r * theta.sin()]);
+        out.push_row(&[cx + r * theta.cos(), cy + r * theta.sin()]);
     }
 }
 
 /// Append `count` points scattered around the straight segment from `start`
 /// to `end` with perpendicular Gaussian jitter `thickness`.
 pub fn line_segment(
-    out: &mut Vec<Vec<f64>>,
+    out: &mut PointMatrix,
     rng: &mut Rng,
     start: (f64, f64),
     end: (f64, f64),
@@ -87,27 +90,20 @@ pub fn line_segment(
     for _ in 0..count {
         let t = rng.uniform();
         let jitter = rng.normal_with(0.0, thickness);
-        out.push(vec![x0 + t * dx + jitter * nx, y0 + t * dy + jitter * ny]);
+        out.push_row(&[x0 + t * dx + jitter * nx, y0 + t * dy + jitter * ny]);
     }
 }
 
 /// Append `count` uniformly distributed points inside the axis-aligned box
 /// `[low, high)^d` given per-dimension bounds.
-pub fn uniform_box(
-    out: &mut Vec<Vec<f64>>,
-    rng: &mut Rng,
-    low: &[f64],
-    high: &[f64],
-    count: usize,
-) {
+pub fn uniform_box(out: &mut PointMatrix, rng: &mut Rng, low: &[f64], high: &[f64], count: usize) {
     assert_eq!(low.len(), high.len());
+    let mut row = vec![0.0; low.len()];
     for _ in 0..count {
-        let p = low
-            .iter()
-            .zip(high.iter())
-            .map(|(&lo, &hi)| rng.uniform_range(lo, hi))
-            .collect();
-        out.push(p);
+        for ((v, &lo), &hi) in row.iter_mut().zip(low.iter()).zip(high.iter()) {
+            *v = rng.uniform_range(lo, hi);
+        }
+        out.push_row(&row);
     }
 }
 
@@ -115,7 +111,7 @@ pub fn uniform_box(
 /// non-convex benchmark shape), scaled into roughly `[0, 1]^2`.
 /// Returns the boundary index: points `0..boundary` belong to the first
 /// moon, the rest to the second.
-pub fn two_moons(out: &mut Vec<Vec<f64>>, rng: &mut Rng, noise: f64, count: usize) -> usize {
+pub fn two_moons(out: &mut PointMatrix, rng: &mut Rng, noise: f64, count: usize) -> usize {
     let half = count / 2;
     for i in 0..count {
         let first = i < half;
@@ -127,14 +123,14 @@ pub fn two_moons(out: &mut Vec<Vec<f64>>, rng: &mut Rng, noise: f64, count: usiz
         };
         x += rng.normal_with(0.0, noise);
         y += rng.normal_with(0.0, noise);
-        out.push(vec![0.3 * x + 0.35, 0.3 * y + 0.35]);
+        out.push_row(&[0.3 * x + 0.35, 0.3 * y + 0.35]);
     }
     half
 }
 
 /// Append `count` points along an Archimedean spiral with Gaussian jitter.
 pub fn spiral(
-    out: &mut Vec<Vec<f64>>,
+    out: &mut PointMatrix,
     rng: &mut Rng,
     center: (f64, f64),
     turns: f64,
@@ -147,7 +143,7 @@ pub fn spiral(
         let t = rng.uniform();
         let theta = t * turns * 2.0 * std::f64::consts::PI;
         let r = t * max_radius;
-        out.push(vec![
+        out.push_row(&[
             cx + r * theta.cos() + rng.normal_with(0.0, jitter),
             cy + r * theta.sin() + rng.normal_with(0.0, jitter),
         ]);
@@ -158,14 +154,14 @@ pub fn spiral(
 mod tests {
     use super::*;
 
-    fn mean(points: &[Vec<f64>], dim: usize) -> f64 {
-        points.iter().map(|p| p[dim]).sum::<f64>() / points.len() as f64
+    fn mean(points: &PointMatrix, dim: usize) -> f64 {
+        points.rows().map(|p| p[dim]).sum::<f64>() / points.len() as f64
     }
 
     #[test]
     fn gaussian_blob_centering() {
         let mut rng = Rng::new(1);
-        let mut pts = Vec::new();
+        let mut pts = PointMatrix::new(2);
         gaussian_blob(&mut pts, &mut rng, &[5.0, -2.0], &[0.1, 0.2], 5000);
         assert_eq!(pts.len(), 5000);
         assert!((mean(&pts, 0) - 5.0).abs() < 0.02);
@@ -175,7 +171,7 @@ mod tests {
     #[test]
     fn ellipse_is_rotated() {
         let mut rng = Rng::new(2);
-        let mut pts = Vec::new();
+        let mut pts = PointMatrix::new(2);
         // Strongly anisotropic ellipse rotated 45 degrees: x and y become correlated.
         gaussian_ellipse(
             &mut pts,
@@ -188,24 +184,24 @@ mod tests {
         let mx = mean(&pts, 0);
         let my = mean(&pts, 1);
         let cov: f64 =
-            pts.iter().map(|p| (p[0] - mx) * (p[1] - my)).sum::<f64>() / pts.len() as f64;
+            pts.rows().map(|p| (p[0] - mx) * (p[1] - my)).sum::<f64>() / pts.len() as f64;
         assert!(cov > 0.2, "expected strong positive correlation, got {cov}");
     }
 
     #[test]
     fn ring_points_have_expected_radius() {
         let mut rng = Rng::new(3);
-        let mut pts = Vec::new();
+        let mut pts = PointMatrix::new(2);
         ring(&mut pts, &mut rng, (1.0, 1.0), 2.0, 0.01, 3000);
         let mean_r: f64 = pts
-            .iter()
+            .rows()
             .map(|p| ((p[0] - 1.0).powi(2) + (p[1] - 1.0).powi(2)).sqrt())
             .sum::<f64>()
             / pts.len() as f64;
         assert!((mean_r - 2.0).abs() < 0.02, "mean radius {mean_r}");
         // A ring is hollow: very few points near the centre.
         let near_center = pts
-            .iter()
+            .rows()
             .filter(|p| ((p[0] - 1.0).powi(2) + (p[1] - 1.0).powi(2)).sqrt() < 1.0)
             .count();
         assert!(near_center < 10);
@@ -214,22 +210,22 @@ mod tests {
     #[test]
     fn line_segment_stays_near_the_line() {
         let mut rng = Rng::new(4);
-        let mut pts = Vec::new();
+        let mut pts = PointMatrix::new(2);
         line_segment(&mut pts, &mut rng, (0.0, 0.0), (10.0, 10.0), 0.01, 2000);
-        for p in &pts {
+        for p in pts.rows() {
             // Distance to the line y = x is |y - x| / sqrt(2).
             let dist = (p[1] - p[0]).abs() / std::f64::consts::SQRT_2;
             assert!(dist < 0.1);
         }
         // Covers the whole extent of the segment.
-        assert!(pts.iter().any(|p| p[0] < 1.0));
-        assert!(pts.iter().any(|p| p[0] > 9.0));
+        assert!(pts.rows().any(|p| p[0] < 1.0));
+        assert!(pts.rows().any(|p| p[0] > 9.0));
     }
 
     #[test]
     fn uniform_box_bounds() {
         let mut rng = Rng::new(5);
-        let mut pts = Vec::new();
+        let mut pts = PointMatrix::new(3);
         uniform_box(
             &mut pts,
             &mut rng,
@@ -237,7 +233,7 @@ mod tests {
             &[1.0, 3.0, 10.0],
             1000,
         );
-        for p in &pts {
+        for p in pts.rows() {
             assert!(p[0] >= -1.0 && p[0] < 1.0);
             assert!(p[1] >= 2.0 && p[1] < 3.0);
             assert!(p[2] >= 0.0 && p[2] < 10.0);
@@ -247,23 +243,23 @@ mod tests {
     #[test]
     fn two_moons_returns_split_and_overlapping_x_ranges() {
         let mut rng = Rng::new(6);
-        let mut pts = Vec::new();
+        let mut pts = PointMatrix::new(2);
         let split = two_moons(&mut pts, &mut rng, 0.01, 1000);
         assert_eq!(split, 500);
         assert_eq!(pts.len(), 1000);
         // The two moons interleave horizontally (not linearly separable in x).
-        let first_max_x = pts[..500].iter().map(|p| p[0]).fold(f64::MIN, f64::max);
-        let second_min_x = pts[500..].iter().map(|p| p[0]).fold(f64::MAX, f64::min);
+        let first_max_x = pts.rows().take(500).map(|p| p[0]).fold(f64::MIN, f64::max);
+        let second_min_x = pts.rows().skip(500).map(|p| p[0]).fold(f64::MAX, f64::min);
         assert!(first_max_x > second_min_x);
     }
 
     #[test]
     fn spiral_radius_grows() {
         let mut rng = Rng::new(7);
-        let mut pts = Vec::new();
+        let mut pts = PointMatrix::new(2);
         spiral(&mut pts, &mut rng, (0.0, 0.0), 2.0, 5.0, 0.0, 500);
         let max_r = pts
-            .iter()
+            .rows()
             .map(|p| (p[0] * p[0] + p[1] * p[1]).sqrt())
             .fold(f64::MIN, f64::max);
         assert!(max_r > 4.0 && max_r <= 5.0 + 1e-9);
@@ -273,9 +269,9 @@ mod tests {
     fn generators_are_deterministic() {
         let gen = |seed| {
             let mut rng = Rng::new(seed);
-            let mut pts = Vec::new();
-            gaussian_blob(&mut pts, &mut rng, &[0.0], &[1.0], 10);
+            let mut pts = PointMatrix::new(2);
             ring(&mut pts, &mut rng, (0.0, 0.0), 1.0, 0.1, 10);
+            gaussian_blob(&mut pts, &mut rng, &[0.0, 0.0], &[1.0, 1.0], 10);
             pts
         };
         assert_eq!(gen(42), gen(42));

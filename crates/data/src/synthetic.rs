@@ -9,6 +9,8 @@
 //! * [`runtime_scaling_dataset`] — Fig. 10: the same scene with a scalable
 //!   number of objects per cluster at a fixed 75% noise.
 
+use adawave_api::PointMatrix;
+
 use crate::dataset::Dataset;
 use crate::rng::Rng;
 use crate::shapes;
@@ -23,8 +25,8 @@ pub const SYNTHETIC_CLUSTERS: usize = 5;
 /// ("five clusters of 5600 objects each").
 pub const DEFAULT_POINTS_PER_CLUSTER: usize = 5600;
 
-fn scene(rng: &mut Rng, points_per_cluster: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
-    let mut points = Vec::with_capacity(points_per_cluster * SYNTHETIC_CLUSTERS);
+fn scene(rng: &mut Rng, points_per_cluster: usize) -> (PointMatrix, Vec<usize>) {
+    let mut points = PointMatrix::with_capacity(2, points_per_cluster * SYNTHETIC_CLUSTERS);
     let mut labels = Vec::with_capacity(points_per_cluster * SYNTHETIC_CLUSTERS);
 
     // Cluster 0: a Gaussian ellipse ("a typical cluster roughly within an
@@ -165,7 +167,7 @@ mod tests {
         assert_eq!(ds.noise_label, Some(SYNTHETIC_NOISE_LABEL));
         assert_eq!(ds.len(), 200 * 5 * 2); // 50% noise doubles the size
                                            // All points are inside (or very near) the unit square.
-        for p in &ds.points {
+        for p in ds.points.rows() {
             assert!(p[0] > -0.2 && p[0] < 1.2);
             assert!(p[1] > -0.2 && p[1] < 1.2);
         }
@@ -186,9 +188,9 @@ mod tests {
         let ds = synthetic_benchmark(20.0, 400, 11);
         let mut centroids = Vec::new();
         for c in 0..SYNTHETIC_CLUSTERS {
-            let members: Vec<&Vec<f64>> = ds
+            let members: Vec<&[f64]> = ds
                 .points
-                .iter()
+                .rows()
                 .zip(ds.labels.iter())
                 .filter(|(_, &l)| l == c)
                 .map(|(p, _)| p)

@@ -19,6 +19,8 @@
 //! | Motor       | 94      | 3  | 3       | tiny, well separated                    |
 //! | Wholesale   | 440     | 8  | 2       | skewed spending-like features           |
 
+use adawave_api::PointMatrix;
+
 use crate::dataset::Dataset;
 use crate::rng::Rng;
 use crate::shapes;
@@ -36,7 +38,7 @@ fn gaussian_mixture(
     spread: f64,
     separation: f64,
 ) -> Dataset {
-    let mut points = Vec::new();
+    let mut points = PointMatrix::new(dims);
     let mut labels = Vec::new();
     for (class, &size) in class_sizes.iter().enumerate() {
         // Deterministic, well-spread class centres.
@@ -64,7 +66,7 @@ pub fn seeds(seed: u64) -> Dataset {
 /// real Iris data is famous for.
 pub fn iris(seed: u64) -> Dataset {
     let mut rng = Rng::new(seed);
-    let mut points = Vec::new();
+    let mut points = PointMatrix::new(4);
     let mut labels = Vec::new();
     // "setosa": clearly separated.
     shapes::gaussian_blob(
@@ -106,22 +108,20 @@ pub fn glass(seed: u64) -> Dataset {
     // Target correlation of each attribute with the class label (Table II).
     let target_corr = [-0.16, 0.50, -0.74, 0.60, 0.15, -0.01, 0.001, 0.58, -0.19];
     let n: usize = class_sizes.iter().sum();
-    let mut points = Vec::with_capacity(n);
+    let mut points = PointMatrix::with_capacity(target_corr.len(), n);
     let mut labels = Vec::with_capacity(n);
     // Class index scaled to [0, 1] drives the correlated component.
     let max_class = (class_sizes.len() - 1) as f64;
+    let mut row = [0.0; 9];
     for (class, &size) in class_sizes.iter().enumerate() {
         let z = class as f64 / max_class;
         for _ in 0..size {
-            let p: Vec<f64> = target_corr
-                .iter()
-                .map(|&rho| {
-                    // attribute = rho * class-signal + sqrt(1 - rho^2) * noise
-                    let noise = rng.normal() * 0.28;
-                    rho * (z - 0.5) + (1.0 - rho * rho).sqrt() * noise + 0.5
-                })
-                .collect();
-            points.push(p);
+            for (v, &rho) in row.iter_mut().zip(target_corr.iter()) {
+                // attribute = rho * class-signal + sqrt(1 - rho^2) * noise
+                let noise = rng.normal() * 0.28;
+                *v = rho * (z - 0.5) + (1.0 - rho * rho).sqrt() * noise + 0.5;
+            }
+            points.push_row(&row);
             labels.push(class);
         }
     }
@@ -140,7 +140,7 @@ pub fn dumdh(seed: u64) -> Dataset {
 /// overlaps the bulk.
 pub fn htru2(seed: u64) -> Dataset {
     let mut rng = Rng::new(seed);
-    let mut points = Vec::new();
+    let mut points = PointMatrix::new(9);
     let mut labels = Vec::new();
     let negatives = 16_259usize;
     let positives = 1_639usize;
@@ -162,23 +162,22 @@ pub fn dermatology(seed: u64) -> Dataset {
     let mut rng = Rng::new(seed);
     let class_sizes = [112usize, 61, 72, 49, 52, 20];
     let dims = 33usize;
-    let mut points = Vec::new();
+    let mut points = PointMatrix::new(dims);
     let mut labels = Vec::new();
+    let mut row = vec![0.0; dims];
     for (class, &size) in class_sizes.iter().enumerate() {
         // Each class activates a distinct block of ~6 attributes.
         let block_start = class * 5;
         for _ in 0..size {
-            let p: Vec<f64> = (0..dims)
-                .map(|j| {
-                    let base = if j >= block_start && j < block_start + 6 {
-                        0.75
-                    } else {
-                        0.25
-                    };
-                    (base + rng.normal() * 0.08).clamp(0.0, 1.0)
-                })
-                .collect();
-            points.push(p);
+            for (j, v) in row.iter_mut().enumerate() {
+                let base = if j >= block_start && j < block_start + 6 {
+                    0.75
+                } else {
+                    0.25
+                };
+                *v = (base + rng.normal() * 0.08).clamp(0.0, 1.0);
+            }
+            points.push_row(&row);
             labels.push(class);
         }
     }
@@ -189,7 +188,7 @@ pub fn dermatology(seed: u64) -> Dataset {
 /// algorithms in the paper reach AMI 1.0 on the real data).
 pub fn motor(seed: u64) -> Dataset {
     let mut rng = Rng::new(seed);
-    let mut points = Vec::new();
+    let mut points = PointMatrix::new(3);
     let mut labels = Vec::new();
     let centers = [[0.15, 0.2, 0.2], [0.5, 0.75, 0.5], [0.85, 0.25, 0.8]];
     let sizes = [32usize, 31, 31];
@@ -205,19 +204,18 @@ pub fn motor(seed: u64) -> Dataset {
 pub fn wholesale(seed: u64) -> Dataset {
     let mut rng = Rng::new(seed);
     let sizes = [298usize, 142];
-    let mut points = Vec::new();
+    let mut points = PointMatrix::new(8);
     let mut labels = Vec::new();
+    let mut row = [0.0; 8];
     for (class, &size) in sizes.iter().enumerate() {
         for _ in 0..size {
-            let p: Vec<f64> = (0..8)
-                .map(|j| {
-                    // Channel shifts a subset of spending categories.
-                    let shift = if (j < 3) == (class == 0) { 0.35 } else { 0.0 };
-                    let log_normal = (rng.normal() * 0.4).exp() * 0.15;
-                    (0.2 + shift + log_normal).min(1.5)
-                })
-                .collect();
-            points.push(p);
+            for (j, v) in row.iter_mut().enumerate() {
+                // Channel shifts a subset of spending categories.
+                let shift = if (j < 3) == (class == 0) { 0.35 } else { 0.0 };
+                let log_normal = (rng.normal() * 0.4).exp() * 0.15;
+                *v = (0.2 + shift + log_normal).min(1.5);
+            }
+            points.push_row(&row);
             labels.push(class);
         }
     }
@@ -250,7 +248,7 @@ pub fn roadmap_like(n: usize, seed: u64) -> Dataset {
     let weights: Vec<f64> = cities.iter().map(|c| c.2).collect();
     let weight_sum: f64 = weights.iter().sum();
 
-    let mut points = Vec::with_capacity(n);
+    let mut points = PointMatrix::with_capacity(2, n);
     let mut labels = Vec::with_capacity(n);
     for (id, &(cx, cy, w)) in cities.iter().enumerate() {
         let count = (city_points_total as f64 * w / weight_sum) as usize;
@@ -359,7 +357,7 @@ mod tests {
         let class: Vec<f64> = ds.labels.iter().map(|&l| l as f64).collect();
         // Compute Pearson correlation of attribute 2 (Mg) and attribute 3 (Al).
         let corr = |attr: usize| -> f64 {
-            let x: Vec<f64> = ds.points.iter().map(|p| p[attr]).collect();
+            let x: Vec<f64> = ds.points.rows().map(|p| p[attr]).collect();
             let n = x.len() as f64;
             let mx = x.iter().sum::<f64>() / n;
             let my = class.iter().sum::<f64>() / n;
@@ -389,16 +387,16 @@ mod tests {
         let ds = iris(7);
         // Minimum distance between class 0 and the others is larger than the
         // typical within-class spread of classes 1/2.
-        let class0: Vec<&Vec<f64>> = ds
+        let class0: Vec<&[f64]> = ds
             .points
-            .iter()
+            .rows()
             .zip(ds.labels.iter())
             .filter(|(_, &l)| l == 0)
             .map(|(p, _)| p)
             .collect();
-        let others: Vec<&Vec<f64>> = ds
+        let others: Vec<&[f64]> = ds
             .points
-            .iter()
+            .rows()
             .zip(ds.labels.iter())
             .filter(|(_, &l)| l != 0)
             .map(|(p, _)| p)
@@ -457,7 +455,7 @@ mod tests {
         let mean_attr = |class: usize, attr: usize| -> f64 {
             let vals: Vec<f64> = ds
                 .points
-                .iter()
+                .rows()
                 .zip(ds.labels.iter())
                 .filter(|(_, &l)| l == class)
                 .map(|(p, _)| p[attr])

@@ -1,5 +1,7 @@
 //! Axis-aligned bounding boxes of point sets.
 
+use adawave_api::PointsView;
+
 use crate::{GridError, Result};
 
 /// The axis-aligned bounding box of a dataset, i.e. the domain `B_j` that
@@ -13,13 +15,17 @@ pub struct BoundingBox {
 impl BoundingBox {
     /// Compute the bounding box of a non-empty point set.
     ///
-    /// Returns an error if the set is empty, the points have inconsistent
-    /// dimensionality, or any coordinate is not finite.
-    pub fn from_points(points: &[Vec<f64>]) -> Result<Self> {
-        let first = points.first().ok_or_else(|| GridError::InvalidData {
-            context: "bounding box of an empty point set".to_string(),
-        })?;
-        let dims = first.len();
+    /// Returns an error if the set is empty, the points have zero
+    /// dimensions, or any coordinate is not finite. (The flat
+    /// [`PointsView`] layout makes ragged input unrepresentable, so the
+    /// old per-point dimensionality check is gone by construction.)
+    pub fn from_points(points: PointsView<'_>) -> Result<Self> {
+        if points.is_empty() {
+            return Err(GridError::InvalidData {
+                context: "bounding box of an empty point set".to_string(),
+            });
+        }
+        let dims = points.dims();
         if dims == 0 {
             return Err(GridError::InvalidData {
                 context: "points have zero dimensions".to_string(),
@@ -27,12 +33,7 @@ impl BoundingBox {
         }
         let mut min = vec![f64::INFINITY; dims];
         let mut max = vec![f64::NEG_INFINITY; dims];
-        for (i, p) in points.iter().enumerate() {
-            if p.len() != dims {
-                return Err(GridError::InvalidData {
-                    context: format!("point {i} has {} dimensions, expected {dims}", p.len()),
-                });
-            }
+        for (i, p) in points.rows().enumerate() {
             for (j, &v) in p.iter().enumerate() {
                 if !v.is_finite() {
                     return Err(GridError::InvalidData {
@@ -125,10 +126,16 @@ impl BoundingBox {
 mod tests {
     use super::*;
 
+    use adawave_api::PointMatrix;
+
+    fn matrix(rows: Vec<Vec<f64>>) -> PointMatrix {
+        PointMatrix::from_rows(rows).unwrap()
+    }
+
     #[test]
     fn from_points_basic() {
-        let pts = vec![vec![1.0, -2.0], vec![3.0, 5.0], vec![2.0, 0.0]];
-        let b = BoundingBox::from_points(&pts).unwrap();
+        let pts = matrix(vec![vec![1.0, -2.0], vec![3.0, 5.0], vec![2.0, 0.0]]);
+        let b = BoundingBox::from_points(pts.view()).unwrap();
         assert_eq!(b.min(), &[1.0, -2.0]);
         assert_eq!(b.max(), &[3.0, 5.0]);
         assert_eq!(b.dims(), 2);
@@ -137,22 +144,22 @@ mod tests {
 
     #[test]
     fn empty_points_is_error() {
-        let pts: Vec<Vec<f64>> = vec![];
-        assert!(BoundingBox::from_points(&pts).is_err());
+        let pts = PointMatrix::new(2);
+        assert!(BoundingBox::from_points(pts.view()).is_err());
     }
 
     #[test]
-    fn ragged_points_is_error() {
-        let pts = vec![vec![1.0, 2.0], vec![1.0]];
-        assert!(BoundingBox::from_points(&pts).is_err());
+    fn zero_dimensional_points_is_error() {
+        let pts = matrix(vec![vec![], vec![]]);
+        assert!(BoundingBox::from_points(pts.view()).is_err());
     }
 
     #[test]
     fn non_finite_is_error() {
-        let pts = vec![vec![1.0, f64::NAN]];
-        assert!(BoundingBox::from_points(&pts).is_err());
-        let pts = vec![vec![f64::INFINITY, 1.0]];
-        assert!(BoundingBox::from_points(&pts).is_err());
+        let pts = matrix(vec![vec![1.0, f64::NAN]]);
+        assert!(BoundingBox::from_points(pts.view()).is_err());
+        let pts = matrix(vec![vec![f64::INFINITY, 1.0]]);
+        assert!(BoundingBox::from_points(pts.view()).is_err());
     }
 
     #[test]
@@ -190,7 +197,8 @@ mod tests {
 
     #[test]
     fn single_point_box_is_degenerate_but_valid() {
-        let b = BoundingBox::from_points(&[vec![3.0, 4.0]]).unwrap();
+        let pts = matrix(vec![vec![3.0, 4.0]]);
+        let b = BoundingBox::from_points(pts.view()).unwrap();
         assert_eq!(b.extent(0), 0.0);
         assert!(b.contains(&[3.0, 4.0]));
     }

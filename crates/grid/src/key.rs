@@ -109,6 +109,20 @@ impl KeyCodec {
         key
     }
 
+    /// Contribution of coordinate `c` in dimension `j` to a packed key.
+    /// OR-ing `pack_coord(j, c_j)` over all dimensions equals
+    /// [`pack`](Self::pack) of the full coordinate vector — this is the
+    /// allocation-free streaming form used by the point-quantization hot
+    /// loop.
+    #[inline]
+    pub fn pack_coord(&self, j: usize, c: u32) -> u128 {
+        debug_assert!(
+            c < self.intervals[j],
+            "pack_coord: coordinate {c} out of range for dimension {j}"
+        );
+        (c as u128) << self.offsets[j]
+    }
+
     /// Unpack a key into per-dimension coordinates.
     pub fn unpack(&self, key: u128) -> Vec<u32> {
         let mut coords = Vec::with_capacity(self.dims());

@@ -22,14 +22,18 @@
 //! * [`LookupTable`] — mapping points ↔ cells across decomposition levels
 //!   (step 5/6 of Algorithm 1).
 //!
+//! Points arrive as the flat row-major [`adawave_api::PointsView`], so
+//! quantization walks one contiguous buffer:
+//!
 //! ```
+//! use adawave_api::PointMatrix;
 //! use adawave_grid::{Connectivity, Quantizer, connected_components};
 //!
-//! let points = vec![
+//! let points = PointMatrix::from_rows(vec![
 //!     vec![0.1, 0.1], vec![0.12, 0.11], vec![0.9, 0.9], vec![0.88, 0.91],
-//! ];
-//! let quantizer = Quantizer::fit(&points, 8).unwrap();
-//! let (grid, assignment) = quantizer.quantize(&points);
+//! ]).unwrap();
+//! let quantizer = Quantizer::fit(points.view(), 8).unwrap();
+//! let (grid, assignment) = quantizer.quantize(points.view());
 //! assert_eq!(grid.occupied_cells(), 2);
 //! let labels = connected_components(&grid, quantizer.codec(), Connectivity::Face);
 //! assert_eq!(labels.cluster_count(), 2);

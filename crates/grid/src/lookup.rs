@@ -120,15 +120,16 @@ mod tests {
     #[test]
     fn assign_points_end_to_end() {
         // Two tight groups of points; cluster at level 0 and map back.
-        let points = vec![
+        let points = adawave_api::PointMatrix::from_rows(vec![
             vec![0.1, 0.1],
             vec![0.15, 0.12],
             vec![0.9, 0.95],
             vec![0.92, 0.9],
             vec![0.5, 0.5],
-        ];
-        let quantizer = Quantizer::fit(&points, 16).unwrap();
-        let (grid, assignment) = quantizer.quantize(&points);
+        ])
+        .unwrap();
+        let quantizer = Quantizer::fit(points.view(), 16).unwrap();
+        let (grid, assignment) = quantizer.quantize(points.view());
         let table = LookupTable::new(quantizer.codec().clone(), assignment);
 
         // Remove the lone middle cell to simulate noise filtering.
@@ -151,9 +152,14 @@ mod tests {
     fn assign_points_after_downsampling() {
         // Build a grid at scale 8, downsample once (scale 4) and label in
         // the downsampled space.
-        let points = vec![vec![0.05, 0.05], vec![0.10, 0.12], vec![0.95, 0.9]];
-        let quantizer = Quantizer::fit(&points, 8).unwrap();
-        let (_, assignment) = quantizer.quantize(&points);
+        let points = adawave_api::PointMatrix::from_rows(vec![
+            vec![0.05, 0.05],
+            vec![0.10, 0.12],
+            vec![0.95, 0.9],
+        ])
+        .unwrap();
+        let quantizer = Quantizer::fit(points.view(), 8).unwrap();
+        let (_, assignment) = quantizer.quantize(points.view());
         let table = LookupTable::new(quantizer.codec().clone(), assignment.clone());
 
         let down_codec = table.transformed_codec(1).unwrap();

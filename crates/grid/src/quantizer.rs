@@ -1,6 +1,8 @@
 //! Space quantization (Algorithm 2 of the paper): assign every data point
 //! to a grid cell and record the per-cell point counts.
 
+use adawave_api::PointsView;
+
 use crate::{BoundingBox, GridError, KeyCodec, Result, SparseGrid};
 
 /// Maps points to grid cells.
@@ -19,13 +21,16 @@ pub struct Quantizer {
 impl Quantizer {
     /// Fit a quantizer to a dataset with the same `scale` (number of
     /// intervals) in every dimension. `scale = 128` is the paper's default.
-    pub fn fit(points: &[Vec<f64>], scale: u32) -> Result<Self> {
+    ///
+    /// The dimensionality comes from the view itself, so an empty point
+    /// set is a clean [`GridError::InvalidData`] (no `points[0]` panic).
+    pub fn fit(points: PointsView<'_>, scale: u32) -> Result<Self> {
         let bounds = BoundingBox::from_points(points)?;
-        Self::with_bounds(bounds, &vec![scale; points[0].len()])
+        Self::with_bounds(bounds, &vec![scale; points.dims()])
     }
 
     /// Fit a quantizer with per-dimension interval counts.
-    pub fn fit_with_intervals(points: &[Vec<f64>], intervals: &[u32]) -> Result<Self> {
+    pub fn fit_with_intervals(points: PointsView<'_>, intervals: &[u32]) -> Result<Self> {
         let bounds = BoundingBox::from_points(points)?;
         Self::with_bounds(bounds, intervals)
     }
@@ -60,6 +65,23 @@ impl Quantizer {
         self.codec.dims()
     }
 
+    /// Cell index of one coordinate in dimension `j`.
+    #[inline]
+    fn cell_coord(&self, j: usize, v: f64) -> u32 {
+        let m = self.codec.intervals(j);
+        let extent = self.bounds.extent(j);
+        // Right-open intervals [l, h): index = floor((v - min)/width).
+        // The maximum coordinate (and anything beyond the fitted
+        // bounds) is clamped into the boundary cells.
+        let c = if extent > 0.0 {
+            let width = extent / m as f64;
+            ((v - self.bounds.min()[j]) / width).floor() as i64
+        } else {
+            0
+        };
+        c.clamp(0, (m - 1) as i64) as u32
+    }
+
     /// Cell coordinates of a single point. Points outside the fitted bounds
     /// are clamped to the boundary cells.
     ///
@@ -74,26 +96,26 @@ impl Quantizer {
         point
             .iter()
             .enumerate()
-            .map(|(j, &v)| {
-                let m = self.codec.intervals(j);
-                let extent = self.bounds.extent(j);
-                // Right-open intervals [l, h): index = floor((v - min)/width).
-                // The maximum coordinate (and anything beyond the fitted
-                // bounds) is clamped into the boundary cells.
-                let c = if extent > 0.0 {
-                    let width = extent / m as f64;
-                    ((v - self.bounds.min()[j]) / width).floor() as i64
-                } else {
-                    0
-                };
-                c.clamp(0, (m - 1) as i64) as u32
-            })
+            .map(|(j, &v)| self.cell_coord(j, v))
             .collect()
     }
 
     /// Packed cell key of a single point (the `getGridID` of Algorithm 2).
+    /// Streams the coordinates straight into the packed key — no
+    /// intermediate coordinate vector, so quantizing a dataset performs no
+    /// per-point allocation.
+    ///
+    /// # Panics
+    /// Panics if the point dimensionality does not match the quantizer.
     pub fn cell_key(&self, point: &[f64]) -> u128 {
-        self.codec.pack(&self.cell_coords(point))
+        assert_eq!(
+            point.len(),
+            self.dims(),
+            "cell_key: dimensionality mismatch"
+        );
+        point.iter().enumerate().fold(0u128, |key, (j, &v)| {
+            key | self.codec.pack_coord(j, self.cell_coord(j, v))
+        })
     }
 
     /// Centre of a cell in the original feature space.
@@ -113,10 +135,10 @@ impl Quantizer {
     /// Quantize a whole dataset: returns the sparse grid of per-cell counts
     /// and, for every point, the key of the cell it fell into (the lookup
     /// table input for step 6 of Algorithm 1).
-    pub fn quantize(&self, points: &[Vec<f64>]) -> (SparseGrid, Vec<u128>) {
+    pub fn quantize(&self, points: PointsView<'_>) -> (SparseGrid, Vec<u128>) {
         let mut grid = SparseGrid::with_capacity(points.len().min(1 << 16));
         let mut assignment = Vec::with_capacity(points.len());
-        for p in points {
+        for p in points.rows() {
             let key = self.cell_key(p);
             grid.increment(key);
             assignment.push(key);
@@ -128,22 +150,27 @@ impl Quantizer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adawave_api::PointMatrix;
 
-    fn unit_square_points() -> Vec<Vec<f64>> {
-        vec![
+    fn matrix(rows: Vec<Vec<f64>>) -> PointMatrix {
+        PointMatrix::from_rows(rows).unwrap()
+    }
+
+    fn unit_square_points() -> PointMatrix {
+        matrix(vec![
             vec![0.0, 0.0],
             vec![0.99, 0.99],
             vec![0.5, 0.5],
             vec![0.51, 0.49],
             vec![1.0, 1.0],
-        ]
+        ])
     }
 
     #[test]
     fn fit_and_quantize_counts_points() {
         let pts = unit_square_points();
-        let q = Quantizer::fit(&pts, 4).unwrap();
-        let (grid, assignment) = q.quantize(&pts);
+        let q = Quantizer::fit(pts.view(), 4).unwrap();
+        let (grid, assignment) = q.quantize(pts.view());
         assert_eq!(assignment.len(), pts.len());
         assert_eq!(grid.total_mass(), pts.len() as f64);
         // (0,0) and (1,1)/(0.99,0.99) must land in different cells
@@ -153,9 +180,18 @@ mod tests {
     }
 
     #[test]
+    fn empty_input_is_an_error_not_a_panic() {
+        // The dimension used to come from `points[0]`; the view carries it,
+        // so an empty set must surface as InvalidData from every fit path.
+        let empty = PointMatrix::new(2);
+        assert!(Quantizer::fit(empty.view(), 8).is_err());
+        assert!(Quantizer::fit_with_intervals(empty.view(), &[8, 8]).is_err());
+    }
+
+    #[test]
     fn cell_coords_respect_scale() {
-        let pts = vec![vec![0.0], vec![10.0]];
-        let q = Quantizer::fit(&pts, 10).unwrap();
+        let pts = matrix(vec![vec![0.0], vec![10.0]]);
+        let q = Quantizer::fit(pts.view(), 10).unwrap();
         assert_eq!(q.cell_coords(&[0.0]), vec![0]);
         assert_eq!(q.cell_coords(&[5.0]), vec![5]);
         assert_eq!(q.cell_coords(&[9.99]), vec![9]);
@@ -164,16 +200,16 @@ mod tests {
 
     #[test]
     fn out_of_bounds_points_are_clamped() {
-        let pts = vec![vec![0.0, 0.0], vec![1.0, 1.0]];
-        let q = Quantizer::fit(&pts, 8).unwrap();
+        let pts = matrix(vec![vec![0.0, 0.0], vec![1.0, 1.0]]);
+        let q = Quantizer::fit(pts.view(), 8).unwrap();
         assert_eq!(q.cell_coords(&[-5.0, 0.5]), vec![0, 4]);
         assert_eq!(q.cell_coords(&[2.0, 0.5])[0], 7);
     }
 
     #[test]
     fn cell_center_is_inside_cell() {
-        let pts = vec![vec![0.0, 0.0], vec![8.0, 4.0]];
-        let q = Quantizer::fit(&pts, 8).unwrap();
+        let pts = matrix(vec![vec![0.0, 0.0], vec![8.0, 4.0]]);
+        let q = Quantizer::fit(pts.view(), 8).unwrap();
         let key = q.cell_key(&[3.1, 2.2]);
         let center = q.cell_center(key);
         assert_eq!(q.cell_key(&center), key);
@@ -181,8 +217,8 @@ mod tests {
 
     #[test]
     fn same_cell_for_nearby_points() {
-        let pts = vec![vec![0.0, 0.0], vec![100.0, 100.0]];
-        let q = Quantizer::fit(&pts, 10).unwrap();
+        let pts = matrix(vec![vec![0.0, 0.0], vec![100.0, 100.0]]);
+        let q = Quantizer::fit(pts.view(), 10).unwrap();
         assert_eq!(q.cell_key(&[12.0, 12.0]), q.cell_key(&[13.0, 17.0]));
         assert_ne!(q.cell_key(&[12.0, 12.0]), q.cell_key(&[32.0, 12.0]));
     }
@@ -195,8 +231,8 @@ mod tests {
 
     #[test]
     fn per_dimension_intervals() {
-        let pts = vec![vec![0.0, 0.0], vec![1.0, 1.0]];
-        let q = Quantizer::fit_with_intervals(&pts, &[4, 16]).unwrap();
+        let pts = matrix(vec![vec![0.0, 0.0], vec![1.0, 1.0]]);
+        let q = Quantizer::fit_with_intervals(pts.view(), &[4, 16]).unwrap();
         assert_eq!(q.codec().intervals(0), 4);
         assert_eq!(q.codec().intervals(1), 16);
     }
@@ -206,18 +242,18 @@ mod tests {
         // The paper's "input-order insensitive" property: grid contents do
         // not depend on the order points are presented.
         let mut pts = unit_square_points();
-        let q = Quantizer::fit(&pts, 8).unwrap();
-        let (grid_a, _) = q.quantize(&pts);
-        pts.reverse();
-        let (grid_b, _) = q.quantize(&pts);
+        let q = Quantizer::fit(pts.view(), 8).unwrap();
+        let (grid_a, _) = q.quantize(pts.view());
+        pts.reverse_rows();
+        let (grid_b, _) = q.quantize(pts.view());
         assert_eq!(grid_a, grid_b);
     }
 
     #[test]
     fn degenerate_dimension_all_in_one_cell() {
-        let pts = vec![vec![1.0, 5.0], vec![2.0, 5.0], vec![3.0, 5.0]];
-        let q = Quantizer::fit(&pts, 8).unwrap();
-        let coords: Vec<u32> = pts.iter().map(|p| q.cell_coords(p)[1]).collect();
+        let pts = matrix(vec![vec![1.0, 5.0], vec![2.0, 5.0], vec![3.0, 5.0]]);
+        let q = Quantizer::fit(pts.view(), 8).unwrap();
+        let coords: Vec<u32> = pts.rows().map(|p| q.cell_coords(p)[1]).collect();
         assert!(coords.iter().all(|&c| c == coords[0]));
     }
 }

@@ -1,12 +1,14 @@
 //! Property-based tests for the grid-labeling data structure.
 
+use adawave_api::PointMatrix;
 use adawave_grid::{
     connected_components, Connectivity, KeyCodec, Quantizer, SparseGrid, UnionFind,
 };
 use proptest::prelude::*;
 
-fn points_strategy(dims: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+fn points_strategy(dims: usize) -> impl Strategy<Value = PointMatrix> {
     prop::collection::vec(prop::collection::vec(-100.0f64..100.0, dims), 2..80)
+        .prop_map(|rows| PointMatrix::from_rows(rows).expect("constant-width rows"))
 }
 
 proptest! {
@@ -33,8 +35,8 @@ proptest! {
 
     #[test]
     fn quantizer_total_mass_equals_point_count(points in points_strategy(3)) {
-        let quantizer = Quantizer::fit(&points, 16).unwrap();
-        let (grid, assignment) = quantizer.quantize(&points);
+        let quantizer = Quantizer::fit(points.view(), 16).unwrap();
+        let (grid, assignment) = quantizer.quantize(points.view());
         prop_assert_eq!(assignment.len(), points.len());
         prop_assert!((grid.total_mass() - points.len() as f64).abs() < 1e-9);
         prop_assert!(grid.occupied_cells() <= points.len());
@@ -42,8 +44,8 @@ proptest! {
 
     #[test]
     fn quantizer_cells_are_in_range(points in points_strategy(2)) {
-        let quantizer = Quantizer::fit(&points, 32).unwrap();
-        for p in &points {
+        let quantizer = Quantizer::fit(points.view(), 32).unwrap();
+        for p in points.rows() {
             let coords = quantizer.cell_coords(p);
             for (j, &c) in coords.iter().enumerate() {
                 prop_assert!(c < quantizer.codec().intervals(j));
@@ -53,8 +55,8 @@ proptest! {
 
     #[test]
     fn quantizer_is_order_insensitive(points in points_strategy(2), seed in 0u64..1000) {
-        let quantizer = Quantizer::fit(&points, 16).unwrap();
-        let (grid_a, _) = quantizer.quantize(&points);
+        let quantizer = Quantizer::fit(points.view(), 16).unwrap();
+        let (grid_a, _) = quantizer.quantize(points.view());
         // Deterministic shuffle derived from the seed.
         let mut shuffled = points.clone();
         let n = shuffled.len();
@@ -64,9 +66,9 @@ proptest! {
             state ^= state >> 7;
             state ^= state << 17;
             let j = (state as usize) % (i + 1);
-            shuffled.swap(i, j);
+            shuffled.swap_rows(i, j);
         }
-        let (grid_b, _) = quantizer.quantize(&shuffled);
+        let (grid_b, _) = quantizer.quantize(shuffled.view());
         prop_assert_eq!(grid_a, grid_b);
     }
 

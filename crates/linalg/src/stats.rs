@@ -4,36 +4,46 @@
 
 use crate::Matrix;
 
-/// Mean of each column over a set of points given as rows.
+/// Mean of each column over a set of points given as row slices (pass a
+/// re-iterable row iterator, e.g. `PointsView::rows()` or a mapped index
+/// list — no materialized `Vec<Vec<f64>>` needed).
 ///
-/// Returns a zero vector of length `dim` when `points` is empty.
-pub fn mean_vector(points: &[Vec<f64>], dim: usize) -> Vec<f64> {
+/// Returns a zero vector of length `dim` when the iterator is empty.
+pub fn mean_vector<'a, I>(points: I, dim: usize) -> Vec<f64>
+where
+    I: IntoIterator<Item = &'a [f64]>,
+{
     let mut mean = vec![0.0; dim];
-    if points.is_empty() {
-        return mean;
-    }
+    let mut n = 0usize;
     for p in points {
         for (m, v) in mean.iter_mut().zip(p.iter()) {
             *m += v;
         }
+        n += 1;
     }
-    let inv = 1.0 / points.len() as f64;
-    for m in &mut mean {
-        *m *= inv;
+    if n > 0 {
+        let inv = 1.0 / n as f64;
+        for m in &mut mean {
+            *m *= inv;
+        }
     }
     mean
 }
 
 /// Sample covariance matrix (denominator `n - 1`, or `n` if `n == 1`) of a
-/// set of points given as rows of equal length `dim`.
-pub fn covariance_matrix(points: &[Vec<f64>], dim: usize) -> Matrix {
-    let n = points.len();
+/// set of points given as row slices of equal length `dim`. The iterator
+/// is walked twice (mean, then scatter), so pass something cheaply
+/// cloneable like `PointsView::rows()` or a mapped index list.
+pub fn covariance_matrix<'a, I>(points: I, dim: usize) -> Matrix
+where
+    I: IntoIterator<Item = &'a [f64]>,
+    I::IntoIter: Clone,
+{
+    let rows = points.into_iter();
     let mut cov = Matrix::zeros(dim, dim);
-    if n == 0 {
-        return cov;
-    }
-    let mean = mean_vector(points, dim);
-    for p in points {
+    let mean = mean_vector(rows.clone(), dim);
+    let mut n = 0usize;
+    for p in rows {
         for i in 0..dim {
             let di = p[i] - mean[i];
             for j in i..dim {
@@ -41,6 +51,10 @@ pub fn covariance_matrix(points: &[Vec<f64>], dim: usize) -> Matrix {
                 cov[(i, j)] += di * dj;
             }
         }
+        n += 1;
+    }
+    if n == 0 {
+        return cov;
     }
     let denom = if n > 1 { (n - 1) as f64 } else { 1.0 };
     for i in 0..dim {
@@ -80,22 +94,29 @@ pub fn pearson_correlation(x: &[f64], y: &[f64]) -> f64 {
     sxy / (sxx.sqrt() * syy.sqrt())
 }
 
-/// Standardize each column to zero mean and unit variance, in place.
-/// Columns with zero variance are left centered but unscaled.
-pub fn standardize_columns(points: &mut [Vec<f64>]) {
-    if points.is_empty() {
+/// Standardize each column of a flat row-major `n x dim` buffer to zero
+/// mean and unit variance, in place. Columns with zero variance are left
+/// centered but unscaled.
+pub fn standardize_columns(data: &mut [f64], dim: usize) {
+    if data.is_empty() || dim == 0 {
         return;
     }
-    let dim = points[0].len();
-    let n = points.len() as f64;
+    assert_eq!(data.len() % dim, 0, "standardize_columns: ragged buffer");
+    let n = (data.len() / dim) as f64;
     for j in 0..dim {
-        let mean = points.iter().map(|p| p[j]).sum::<f64>() / n;
-        let var = points.iter().map(|p| (p[j] - mean).powi(2)).sum::<f64>() / n;
+        let mean = data.iter().skip(j).step_by(dim).sum::<f64>() / n;
+        let var = data
+            .iter()
+            .skip(j)
+            .step_by(dim)
+            .map(|v| (v - mean).powi(2))
+            .sum::<f64>()
+            / n;
         let std = var.sqrt();
-        for p in points.iter_mut() {
-            p[j] -= mean;
+        for v in data.iter_mut().skip(j).step_by(dim) {
+            *v -= mean;
             if std > 1e-12 {
-                p[j] /= std;
+                *v /= std;
             }
         }
     }
@@ -105,22 +126,26 @@ pub fn standardize_columns(points: &mut [Vec<f64>]) {
 mod tests {
     use super::*;
 
+    fn rows(pts: &[Vec<f64>]) -> impl Iterator<Item = &[f64]> + Clone {
+        pts.iter().map(Vec::as_slice)
+    }
+
     #[test]
     fn mean_of_two_points() {
         let pts = vec![vec![1.0, 2.0], vec![3.0, 6.0]];
-        assert_eq!(mean_vector(&pts, 2), vec![2.0, 4.0]);
+        assert_eq!(mean_vector(rows(&pts), 2), vec![2.0, 4.0]);
     }
 
     #[test]
     fn mean_of_empty_is_zero() {
         let pts: Vec<Vec<f64>> = vec![];
-        assert_eq!(mean_vector(&pts, 3), vec![0.0, 0.0, 0.0]);
+        assert_eq!(mean_vector(rows(&pts), 3), vec![0.0, 0.0, 0.0]);
     }
 
     #[test]
     fn covariance_of_identical_points_is_zero() {
         let pts = vec![vec![1.0, 2.0]; 5];
-        let cov = covariance_matrix(&pts, 2);
+        let cov = covariance_matrix(rows(&pts), 2);
         assert!(cov.frobenius_norm() < 1e-15);
     }
 
@@ -128,7 +153,7 @@ mod tests {
     fn covariance_known_values() {
         // x = [1,2,3], y = [2,4,6]: var(x)=1, var(y)=4, cov(x,y)=2 (n-1 denom)
         let pts = vec![vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]];
-        let cov = covariance_matrix(&pts, 2);
+        let cov = covariance_matrix(rows(&pts), 2);
         assert!((cov[(0, 0)] - 1.0).abs() < 1e-12);
         assert!((cov[(1, 1)] - 4.0).abs() < 1e-12);
         assert!((cov[(0, 1)] - 2.0).abs() < 1e-12);
@@ -166,17 +191,12 @@ mod tests {
 
     #[test]
     fn standardize_gives_zero_mean_unit_var() {
-        let mut pts = vec![
-            vec![1.0, 10.0],
-            vec![2.0, 20.0],
-            vec![3.0, 30.0],
-            vec![4.0, 40.0],
-        ];
-        standardize_columns(&mut pts);
-        let n = pts.len() as f64;
+        let mut data = vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0];
+        standardize_columns(&mut data, 2);
+        let n = (data.len() / 2) as f64;
         for j in 0..2 {
-            let mean: f64 = pts.iter().map(|p| p[j]).sum::<f64>() / n;
-            let var: f64 = pts.iter().map(|p| p[j] * p[j]).sum::<f64>() / n;
+            let mean: f64 = data.iter().skip(j).step_by(2).sum::<f64>() / n;
+            let var: f64 = data.iter().skip(j).step_by(2).map(|v| v * v).sum::<f64>() / n;
             assert!(mean.abs() < 1e-12);
             assert!((var - 1.0).abs() < 1e-12);
         }
@@ -184,8 +204,8 @@ mod tests {
 
     #[test]
     fn standardize_constant_column_is_centered() {
-        let mut pts = vec![vec![5.0], vec![5.0], vec![5.0]];
-        standardize_columns(&mut pts);
-        assert!(pts.iter().all(|p| p[0].abs() < 1e-15));
+        let mut data = vec![5.0, 5.0, 5.0];
+        standardize_columns(&mut data, 1);
+        assert!(data.iter().all(|v| v.abs() < 1e-15));
     }
 }

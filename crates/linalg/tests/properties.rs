@@ -119,7 +119,7 @@ proptest! {
 
     #[test]
     fn covariance_is_symmetric_psd_diag(points in prop::collection::vec(small_vec(3), 2..20)) {
-        let cov = covariance_matrix(&points, 3);
+        let cov = covariance_matrix(points.iter().map(Vec::as_slice), 3);
         prop_assert!(cov.is_symmetric(1e-9));
         for i in 0..3 {
             prop_assert!(cov[(i, i)] >= -1e-9);

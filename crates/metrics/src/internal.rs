@@ -14,9 +14,12 @@
 //! * [`dunn_index`] — smallest inter-cluster distance over largest cluster
 //!   diameter, higher is better.
 //!
-//! All functions take per-point labels as `Option<usize>`; `None` marks
-//! noise and is excluded from the computation, mirroring how the paper
-//! excludes noise points from AMI on the synthetic benchmarks.
+//! All functions take the points as a flat row-major
+//! [`adawave_api::PointsView`] and per-point labels as `Option<usize>`;
+//! `None` marks noise and is excluded from the computation, mirroring how
+//! the paper excludes noise points from AMI on the synthetic benchmarks.
+
+use adawave_api::{PointMatrix, PointsView};
 
 /// Squared Euclidean distance between two points.
 fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
@@ -43,11 +46,10 @@ fn members_by_cluster(labels: &[Option<usize>]) -> Vec<Vec<usize>> {
 }
 
 /// Centroid of the points at the given indices.
-fn centroid(points: &[Vec<f64>], indices: &[usize]) -> Vec<f64> {
-    let dims = points[0].len();
-    let mut c = vec![0.0; dims];
+fn centroid(points: PointsView<'_>, indices: &[usize]) -> Vec<f64> {
+    let mut c = vec![0.0; points.dims()];
     for &i in indices {
-        for (acc, v) in c.iter_mut().zip(points[i].iter()) {
+        for (acc, v) in c.iter_mut().zip(points.row(i).iter()) {
             *acc += v;
         }
     }
@@ -67,7 +69,7 @@ fn centroid(points: &[Vec<f64>], indices: &[usize]) -> Vec<f64> {
 ///
 /// Complexity is `O(n²)` over the non-noise points, so subsample large
 /// datasets before calling this.
-pub fn silhouette_score(points: &[Vec<f64>], labels: &[Option<usize>]) -> f64 {
+pub fn silhouette_score(points: PointsView<'_>, labels: &[Option<usize>]) -> f64 {
     assert_eq!(points.len(), labels.len(), "points/labels length mismatch");
     let members = members_by_cluster(labels);
     if members.len() < 2 {
@@ -85,7 +87,7 @@ pub fn silhouette_score(points: &[Vec<f64>], labels: &[Option<usize>]) -> f64 {
             let a: f64 = cluster
                 .iter()
                 .filter(|&&j| j != i)
-                .map(|&j| distance(&points[i], &points[j]))
+                .map(|&j| distance(points.row(i), points.row(j)))
                 .sum::<f64>()
                 / (cluster.len() - 1) as f64;
             let mut b = f64::MAX;
@@ -95,7 +97,7 @@ pub fn silhouette_score(points: &[Vec<f64>], labels: &[Option<usize>]) -> f64 {
                 }
                 let mean: f64 = other
                     .iter()
-                    .map(|&j| distance(&points[i], &points[j]))
+                    .map(|&j| distance(points.row(i), points.row(j)))
                     .sum::<f64>()
                     / other.len() as f64;
                 if mean < b {
@@ -122,18 +124,19 @@ pub fn silhouette_score(points: &[Vec<f64>], labels: &[Option<usize>]) -> f64 {
 /// centroid; the index averages, over clusters, the worst ratio
 /// `(scatter_i + scatter_j) / distance(centroid_i, centroid_j)`. Returns
 /// `0.0` when fewer than two clusters have members.
-pub fn davies_bouldin(points: &[Vec<f64>], labels: &[Option<usize>]) -> f64 {
+pub fn davies_bouldin(points: PointsView<'_>, labels: &[Option<usize>]) -> f64 {
     assert_eq!(points.len(), labels.len(), "points/labels length mismatch");
     let members = members_by_cluster(labels);
     let k = members.len();
     if k < 2 {
         return 0.0;
     }
-    let centroids: Vec<Vec<f64>> = members.iter().map(|m| centroid(points, m)).collect();
+    // Centroids in one flat matrix, same layout as the points themselves.
+    let centroids: PointMatrix = members.iter().map(|m| centroid(points, m)).collect();
     let scatter: Vec<f64> = members
         .iter()
-        .zip(centroids.iter())
-        .map(|(m, c)| m.iter().map(|&i| distance(&points[i], c)).sum::<f64>() / m.len() as f64)
+        .zip(centroids.rows())
+        .map(|(m, c)| m.iter().map(|&i| distance(points.row(i), c)).sum::<f64>() / m.len() as f64)
         .collect();
     let mut sum = 0.0;
     for i in 0..k {
@@ -142,7 +145,7 @@ pub fn davies_bouldin(points: &[Vec<f64>], labels: &[Option<usize>]) -> f64 {
             if i == j {
                 continue;
             }
-            let separation = distance(&centroids[i], &centroids[j]);
+            let separation = distance(centroids.row(i), centroids.row(j));
             if separation > 0.0 {
                 worst = worst.max((scatter[i] + scatter[j]) / separation);
             }
@@ -158,7 +161,7 @@ pub fn davies_bouldin(points: &[Vec<f64>], labels: &[Option<usize>]) -> f64 {
 /// `CH = (between-group dispersion / (k - 1)) / (within-group dispersion /
 /// (n - k))`. Returns `0.0` when fewer than two clusters have members or
 /// when the within-group dispersion is zero.
-pub fn calinski_harabasz(points: &[Vec<f64>], labels: &[Option<usize>]) -> f64 {
+pub fn calinski_harabasz(points: PointsView<'_>, labels: &[Option<usize>]) -> f64 {
     assert_eq!(points.len(), labels.len(), "points/labels length mismatch");
     let members = members_by_cluster(labels);
     let k = members.len();
@@ -178,7 +181,7 @@ pub fn calinski_harabasz(points: &[Vec<f64>], labels: &[Option<usize>]) -> f64 {
         between += m.len() as f64 * squared_distance(&c, &overall);
         within += m
             .iter()
-            .map(|&i| squared_distance(&points[i], &c))
+            .map(|&i| squared_distance(points.row(i), &c))
             .sum::<f64>();
     }
     if within <= 0.0 {
@@ -192,7 +195,7 @@ pub fn calinski_harabasz(points: &[Vec<f64>], labels: &[Option<usize>]) -> f64 {
 ///
 /// Returns `0.0` when fewer than two clusters have members or when every
 /// cluster has zero diameter. `O(n²)` over non-noise points.
-pub fn dunn_index(points: &[Vec<f64>], labels: &[Option<usize>]) -> f64 {
+pub fn dunn_index(points: PointsView<'_>, labels: &[Option<usize>]) -> f64 {
     assert_eq!(points.len(), labels.len(), "points/labels length mismatch");
     let members = members_by_cluster(labels);
     let k = members.len();
@@ -203,7 +206,7 @@ pub fn dunn_index(points: &[Vec<f64>], labels: &[Option<usize>]) -> f64 {
     for m in &members {
         for (a_pos, &a) in m.iter().enumerate() {
             for &b in &m[a_pos + 1..] {
-                max_diameter = max_diameter.max(distance(&points[a], &points[b]));
+                max_diameter = max_diameter.max(distance(points.row(a), points.row(b)));
             }
         }
     }
@@ -215,7 +218,7 @@ pub fn dunn_index(points: &[Vec<f64>], labels: &[Option<usize>]) -> f64 {
         for j in i + 1..k {
             for &a in &members[i] {
                 for &b in &members[j] {
-                    min_separation = min_separation.min(distance(&points[a], &points[b]));
+                    min_separation = min_separation.min(distance(points.row(a), points.row(b)));
                 }
             }
         }
@@ -226,24 +229,29 @@ pub fn dunn_index(points: &[Vec<f64>], labels: &[Option<usize>]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adawave_api::PointMatrix;
+
+    fn matrix(rows: Vec<Vec<f64>>) -> PointMatrix {
+        PointMatrix::from_rows(rows).unwrap()
+    }
 
     /// Two tight, well separated clusters of 4 points each.
-    fn separated() -> (Vec<Vec<f64>>, Vec<Option<usize>>) {
-        let mut points = Vec::new();
+    fn separated() -> (PointMatrix, Vec<Option<usize>>) {
+        let mut points = PointMatrix::new(2);
         let mut labels = Vec::new();
         for i in 0..4 {
-            points.push(vec![0.0 + 0.01 * i as f64, 0.0]);
+            points.push_row(&[0.0 + 0.01 * i as f64, 0.0]);
             labels.push(Some(0));
         }
         for i in 0..4 {
-            points.push(vec![10.0 + 0.01 * i as f64, 10.0]);
+            points.push_row(&[10.0 + 0.01 * i as f64, 10.0]);
             labels.push(Some(1));
         }
         (points, labels)
     }
 
     /// The same points with the clusters interleaved (a bad clustering).
-    fn shuffled_labels() -> (Vec<Vec<f64>>, Vec<Option<usize>>) {
+    fn shuffled_labels() -> (PointMatrix, Vec<Option<usize>>) {
         let (points, _) = separated();
         let labels = (0..points.len()).map(|i| Some(i % 2)).collect();
         (points, labels)
@@ -252,74 +260,74 @@ mod tests {
     #[test]
     fn silhouette_high_for_separated_low_for_shuffled() {
         let (points, labels) = separated();
-        let good = silhouette_score(&points, &labels);
+        let good = silhouette_score(points.view(), &labels);
         assert!(good > 0.95, "good {good}");
         let (points, labels) = shuffled_labels();
-        let bad = silhouette_score(&points, &labels);
+        let bad = silhouette_score(points.view(), &labels);
         assert!(bad < 0.1, "bad {bad}");
         assert!(good > bad);
     }
 
     #[test]
     fn silhouette_degenerate_cases() {
-        let points = vec![vec![0.0], vec![1.0]];
+        let points = matrix(vec![vec![0.0], vec![1.0]]);
         // Single cluster: undefined, returns 0.
-        assert_eq!(silhouette_score(&points, &[Some(0), Some(0)]), 0.0);
+        assert_eq!(silhouette_score(points.view(), &[Some(0), Some(0)]), 0.0);
         // All noise: returns 0.
-        assert_eq!(silhouette_score(&points, &[None, None]), 0.0);
+        assert_eq!(silhouette_score(points.view(), &[None, None]), 0.0);
         // Two singleton clusters: silhouette of singletons is 0.
-        assert_eq!(silhouette_score(&points, &[Some(0), Some(1)]), 0.0);
+        assert_eq!(silhouette_score(points.view(), &[Some(0), Some(1)]), 0.0);
     }
 
     #[test]
     fn silhouette_ignores_noise_points() {
         let (mut points, mut labels) = separated();
-        let clean = silhouette_score(&points, &labels);
+        let clean = silhouette_score(points.view(), &labels);
         // Add garbage points marked as noise: the score must not change.
-        points.push(vec![5.0, 5.0]);
+        points.push_row(&[5.0, 5.0]);
         labels.push(None);
-        points.push(vec![-3.0, 8.0]);
+        points.push_row(&[-3.0, 8.0]);
         labels.push(None);
-        let with_noise = silhouette_score(&points, &labels);
+        let with_noise = silhouette_score(points.view(), &labels);
         assert!((clean - with_noise).abs() < 1e-12);
     }
 
     #[test]
     fn davies_bouldin_prefers_separated_clusters() {
         let (points, labels) = separated();
-        let good = davies_bouldin(&points, &labels);
+        let good = davies_bouldin(points.view(), &labels);
         let (points, labels) = shuffled_labels();
-        let bad = davies_bouldin(&points, &labels);
+        let bad = davies_bouldin(points.view(), &labels);
         assert!(good < bad, "good {good} bad {bad}");
         assert!(good < 0.1);
     }
 
     #[test]
     fn davies_bouldin_degenerate_is_zero() {
-        let points = vec![vec![0.0], vec![1.0]];
-        assert_eq!(davies_bouldin(&points, &[Some(0), Some(0)]), 0.0);
-        assert_eq!(davies_bouldin(&points, &[None, None]), 0.0);
+        let points = matrix(vec![vec![0.0], vec![1.0]]);
+        assert_eq!(davies_bouldin(points.view(), &[Some(0), Some(0)]), 0.0);
+        assert_eq!(davies_bouldin(points.view(), &[None, None]), 0.0);
     }
 
     #[test]
     fn calinski_harabasz_prefers_separated_clusters() {
         let (points, labels) = separated();
-        let good = calinski_harabasz(&points, &labels);
+        let good = calinski_harabasz(points.view(), &labels);
         let (points, labels) = shuffled_labels();
-        let bad = calinski_harabasz(&points, &labels);
+        let bad = calinski_harabasz(points.view(), &labels);
         assert!(good > 100.0 * bad.max(1e-12), "good {good} bad {bad}");
     }
 
     #[test]
     fn calinski_harabasz_degenerate_is_zero() {
-        let points = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let points = matrix(vec![vec![0.0], vec![1.0], vec![2.0]]);
         assert_eq!(
-            calinski_harabasz(&points, &[Some(0), Some(0), Some(0)]),
+            calinski_harabasz(points.view(), &[Some(0), Some(0), Some(0)]),
             0.0
         );
         // n == k (all singletons) is undefined -> 0.
         assert_eq!(
-            calinski_harabasz(&points, &[Some(0), Some(1), Some(2)]),
+            calinski_harabasz(points.view(), &[Some(0), Some(1), Some(2)]),
             0.0
         );
     }
@@ -327,44 +335,47 @@ mod tests {
     #[test]
     fn dunn_index_prefers_separated_clusters() {
         let (points, labels) = separated();
-        let good = dunn_index(&points, &labels);
+        let good = dunn_index(points.view(), &labels);
         let (points, labels) = shuffled_labels();
-        let bad = dunn_index(&points, &labels);
+        let bad = dunn_index(points.view(), &labels);
         assert!(good > 10.0, "good {good}");
         assert!(bad <= 1.5, "bad {bad}");
     }
 
     #[test]
     fn dunn_index_degenerate_is_zero() {
-        let points = vec![vec![0.0], vec![0.0]];
+        let points = matrix(vec![vec![0.0], vec![0.0]]);
         // Two clusters with identical points: zero diameter AND zero
         // separation — defined as 0 here.
-        assert_eq!(dunn_index(&points, &[Some(0), Some(1)]), 0.0);
-        assert_eq!(dunn_index(&points, &[Some(0), Some(0)]), 0.0);
+        assert_eq!(dunn_index(points.view(), &[Some(0), Some(1)]), 0.0);
+        assert_eq!(dunn_index(points.view(), &[Some(0), Some(0)]), 0.0);
     }
 
     #[test]
     #[should_panic(expected = "length mismatch")]
     fn mismatched_lengths_panic() {
-        silhouette_score(&[vec![0.0]], &[Some(0), Some(1)]);
+        let points = matrix(vec![vec![0.0]]);
+        silhouette_score(points.view(), &[Some(0), Some(1)]);
     }
 
     #[test]
     fn indices_agree_on_ranking_three_blobs() {
         // Three blobs; compare correct labels against a 2-cluster merge.
-        let mut points = Vec::new();
+        let mut points = PointMatrix::new(2);
         let mut good = Vec::new();
         let mut merged = Vec::new();
         for c in 0..3usize {
             for i in 0..6 {
-                points.push(vec![c as f64 * 5.0 + 0.05 * i as f64, 0.0]);
+                points.push_row(&[c as f64 * 5.0 + 0.05 * i as f64, 0.0]);
                 good.push(Some(c));
                 merged.push(Some(c.min(1)));
             }
         }
-        assert!(silhouette_score(&points, &good) > silhouette_score(&points, &merged));
-        assert!(davies_bouldin(&points, &good) < davies_bouldin(&points, &merged));
-        assert!(calinski_harabasz(&points, &good) > calinski_harabasz(&points, &merged));
-        assert!(dunn_index(&points, &good) > dunn_index(&points, &merged));
+        assert!(silhouette_score(points.view(), &good) > silhouette_score(points.view(), &merged));
+        assert!(davies_bouldin(points.view(), &good) < davies_bouldin(points.view(), &merged));
+        assert!(
+            calinski_harabasz(points.view(), &good) > calinski_harabasz(points.view(), &merged)
+        );
+        assert!(dunn_index(points.view(), &good) > dunn_index(points.view(), &merged));
     }
 }

@@ -120,11 +120,12 @@ proptest! {
 }
 
 mod internal_properties {
+    use adawave_api::PointMatrix;
     use adawave_metrics::{calinski_harabasz, davies_bouldin, dunn_index, silhouette_score};
     use proptest::prelude::*;
 
     /// Random labeled points in the unit square with up to `k` clusters.
-    fn labeled_points(k: usize) -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<Option<usize>>)> {
+    fn labeled_points(k: usize) -> impl Strategy<Value = (PointMatrix, Vec<Option<usize>>)> {
         prop::collection::vec(
             (
                 (0.0f64..1.0, 0.0f64..1.0),
@@ -133,7 +134,10 @@ mod internal_properties {
             4..60,
         )
         .prop_map(|rows| {
-            let points = rows.iter().map(|((x, y), _)| vec![*x, *y]).collect();
+            let mut points = PointMatrix::with_capacity(2, rows.len());
+            for ((x, y), _) in &rows {
+                points.push_row(&[*x, *y]);
+            }
             let labels = rows.iter().map(|(_, l)| *l).collect();
             (points, labels)
         })
@@ -144,15 +148,15 @@ mod internal_properties {
 
         #[test]
         fn silhouette_is_bounded((points, labels) in labeled_points(4)) {
-            let s = silhouette_score(&points, &labels);
+            let s = silhouette_score(points.view(), &labels);
             prop_assert!((-1.0..=1.0).contains(&s), "silhouette {s}");
         }
 
         #[test]
         fn davies_bouldin_and_ch_and_dunn_are_non_negative((points, labels) in labeled_points(4)) {
-            prop_assert!(davies_bouldin(&points, &labels) >= 0.0);
-            prop_assert!(calinski_harabasz(&points, &labels) >= 0.0);
-            prop_assert!(dunn_index(&points, &labels) >= 0.0);
+            prop_assert!(davies_bouldin(points.view(), &labels) >= 0.0);
+            prop_assert!(calinski_harabasz(points.view(), &labels) >= 0.0);
+            prop_assert!(dunn_index(points.view(), &labels) >= 0.0);
         }
 
         #[test]
@@ -161,41 +165,41 @@ mod internal_properties {
             let renamed: Vec<Option<usize>> = labels.iter().map(|l| l.map(|c| 2 - c)).collect();
             let close = |a: f64, b: f64| (a - b).abs() < 1e-9;
             prop_assert!(close(
-                silhouette_score(&points, &labels),
-                silhouette_score(&points, &renamed)
+                silhouette_score(points.view(), &labels),
+                silhouette_score(points.view(), &renamed)
             ));
             prop_assert!(close(
-                davies_bouldin(&points, &labels),
-                davies_bouldin(&points, &renamed)
+                davies_bouldin(points.view(), &labels),
+                davies_bouldin(points.view(), &renamed)
             ));
             prop_assert!(close(
-                calinski_harabasz(&points, &labels),
-                calinski_harabasz(&points, &renamed)
+                calinski_harabasz(points.view(), &labels),
+                calinski_harabasz(points.view(), &renamed)
             ));
             prop_assert!(close(
-                dunn_index(&points, &labels),
-                dunn_index(&points, &renamed)
+                dunn_index(points.view(), &labels),
+                dunn_index(points.view(), &renamed)
             ));
         }
 
         #[test]
         fn indices_are_invariant_to_global_translation((points, labels) in labeled_points(3), shift in -10.0f64..10.0) {
-            let moved: Vec<Vec<f64>> = points
-                .iter()
-                .map(|p| p.iter().map(|v| v + shift).collect())
-                .collect();
+            let mut moved = points.clone();
+            for v in moved.as_mut_slice() {
+                *v += shift;
+            }
             let close = |a: f64, b: f64| (a - b).abs() < 1e-6 * (1.0 + a.abs());
             prop_assert!(close(
-                silhouette_score(&points, &labels),
-                silhouette_score(&moved, &labels)
+                silhouette_score(points.view(), &labels),
+                silhouette_score(moved.view(), &labels)
             ));
             prop_assert!(close(
-                davies_bouldin(&points, &labels),
-                davies_bouldin(&moved, &labels)
+                davies_bouldin(points.view(), &labels),
+                davies_bouldin(moved.view(), &labels)
             ));
             prop_assert!(close(
-                dunn_index(&points, &labels),
-                dunn_index(&moved, &labels)
+                dunn_index(points.view(), &labels),
+                dunn_index(moved.view(), &labels)
             ));
         }
     }

@@ -8,6 +8,7 @@
 
 use std::time::Instant;
 
+use adawave_api::PointsView;
 use adawave_baselines::{
     clique, dbscan, kmeans, mean_shift, optics, self_tuning_spectral, skinnydip, sting,
     sync_cluster, wavecluster, CliqueConfig, Clustering, DbscanConfig, KMeansConfig,
@@ -36,9 +37,9 @@ fn main() {
         "algorithm", "clusters", "AMI", "seconds"
     );
 
-    let run = |name: &str, f: &dyn Fn(&[Vec<f64>]) -> Clustering| {
+    let run = |name: &str, f: &dyn Fn(PointsView<'_>) -> Clustering| {
         let start = Instant::now();
-        let clustering = f(&ds.points);
+        let clustering = f(ds.view());
         let seconds = start.elapsed().as_secs_f64();
         let score = ami_ignoring_noise(&ds.labels, &clustering.to_labels(NOISE_LABEL), noise_label);
         println!(
@@ -86,14 +87,15 @@ fn main() {
     run("Sync", &|points| {
         // Sync is O(n²) per round; subsample to keep the example quick.
         let step = (points.len() / 3000).max(1);
-        let sample: Vec<Vec<f64>> = points.iter().step_by(step).cloned().collect();
-        let clustering = sync_cluster(&sample, &SyncConfig::new(0.05));
+        let idx: Vec<usize> = (0..points.len()).step_by(step).collect();
+        let sample = points.select(&idx);
+        let clustering = sync_cluster(sample.view(), &SyncConfig::new(0.05));
         // Nearest-sample label for the remaining points.
         let labels: Vec<Option<usize>> = points
-            .iter()
+            .rows()
             .map(|p| {
                 let mut best = (f64::MAX, None);
-                for (s, l) in sample.iter().zip(clustering.assignment().iter()) {
+                for (s, l) in sample.rows().zip(clustering.assignment().iter()) {
                     let d: f64 = p.iter().zip(s.iter()).map(|(a, b)| (a - b) * (a - b)).sum();
                     if d < best.0 {
                         best = (d, *l);

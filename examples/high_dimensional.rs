@@ -12,13 +12,14 @@
 //! noise at increasing dimensionality and reports quality, occupied cells
 //! and the dense-grid size the classic approach would have needed.
 
+use adawave_api::PointMatrix;
 use adawave_core::{AdaWave, AdaWaveConfig};
 use adawave_data::{shapes, Rng};
 use adawave_metrics::{ami_ignoring_noise, NOISE_LABEL};
 
-fn dataset(dims: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+fn dataset(dims: usize, seed: u64) -> (PointMatrix, Vec<usize>) {
     let mut rng = Rng::new(seed);
-    let mut points = Vec::new();
+    let mut points = PointMatrix::new(dims);
     let mut truth = Vec::new();
     let per_cluster = 1200;
     for (label, center_value) in [0.25, 0.5, 0.75].iter().enumerate() {
@@ -52,7 +53,7 @@ fn main() {
         // enough points to stand out from the noise.
         let scale = (2f64.powf(32.0 / dims as f64)).round().clamp(4.0, 64.0) as u32;
         let config = AdaWaveConfig::builder().scale(scale).build();
-        let result = AdaWave::new(config).fit(&points).expect("adawave");
+        let result = AdaWave::new(config).fit(points.view()).expect("adawave");
         let score = ami_ignoring_noise(&truth, &result.to_labels(NOISE_LABEL), 3);
         let scale = result.stats().intervals[0];
         let dense_cells = (scale as f64).powi(dims as i32);

@@ -11,13 +11,14 @@
 //! knob: level 1 separates the districts, deeper levels merge them back
 //! into the two cities.
 
+use adawave_api::PointMatrix;
 use adawave_core::{AdaWave, AdaWaveConfig};
 use adawave_data::{shapes, Rng};
 use adawave_metrics::{ami_ignoring_noise, NOISE_LABEL};
 
 fn main() {
     let mut rng = Rng::new(19);
-    let mut points = Vec::new();
+    let mut points = PointMatrix::new(2);
     let mut district_truth = Vec::new();
     let mut city_truth = Vec::new();
 
@@ -52,7 +53,7 @@ fn main() {
 
     let adawave = AdaWave::new(AdaWaveConfig::builder().scale(128).build());
     let results = adawave
-        .fit_multi_resolution(&points, &[1, 2, 3, 4])
+        .fit_multi_resolution(points.view(), &[1, 2, 3, 4])
         .expect("multi-resolution clustering");
 
     println!(

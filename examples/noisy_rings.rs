@@ -9,6 +9,7 @@
 //! Builds two overlapping rings plus a sloping line segment in 70% uniform
 //! noise, then compares AdaWave with k-means, EM and DBSCAN.
 
+use adawave_api::PointMatrix;
 use adawave_baselines::{dbscan, em, kmeans, DbscanConfig, EmConfig, KMeansConfig};
 use adawave_core::AdaWave;
 use adawave_data::{shapes, Rng};
@@ -16,9 +17,9 @@ use adawave_metrics::{ami_ignoring_noise, NOISE_LABEL};
 
 const NOISE_CLASS: usize = 3;
 
-fn build_dataset(seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+fn build_dataset(seed: u64) -> (PointMatrix, Vec<usize>) {
     let mut rng = Rng::new(seed);
-    let mut points = Vec::new();
+    let mut points = PointMatrix::new(2);
     let mut truth = Vec::new();
     // Two rings that overlap in both coordinate projections.
     shapes::ring(&mut points, &mut rng, (0.42, 0.55), 0.16, 0.008, 2000);
@@ -46,24 +47,24 @@ fn main() {
         println!("{name:<10} AMI = {ami:.3}   clusters = {clusters}");
     };
 
-    let adawave = AdaWave::default().fit(&points).expect("adawave");
+    let adawave = AdaWave::default().fit(points.view()).expect("adawave");
     score(
         "AdaWave",
         &adawave.to_labels(NOISE_LABEL),
         adawave.cluster_count(),
     );
 
-    let km = kmeans(&points, &KMeansConfig::new(3, 1));
+    let km = kmeans(points.view(), &KMeansConfig::new(3, 1));
     score(
         "k-means",
         &km.clustering.to_labels(NOISE_LABEL),
         km.clustering.cluster_count(),
     );
 
-    let (_, gmm) = em(&points, &EmConfig::new(3, 1));
+    let (_, gmm) = em(points.view(), &EmConfig::new(3, 1));
     score("EM", &gmm.to_labels(NOISE_LABEL), gmm.cluster_count());
 
-    let db = dbscan(&points, &DbscanConfig::new(0.03, 8));
+    let db = dbscan(points.view(), &DbscanConfig::new(0.03, 8));
     score("DBSCAN", &db.to_labels(NOISE_LABEL), db.cluster_count());
 
     println!();

@@ -8,6 +8,7 @@
 //! AdaWave with its parameter-free defaults, and prints what it found
 //! together with the AMI against the ground truth.
 
+use adawave_api::PointMatrix;
 use adawave_core::{AdaWave, AdaWaveConfig};
 use adawave_data::{shapes, Rng};
 use adawave_metrics::{ami_ignoring_noise, NOISE_LABEL};
@@ -15,7 +16,7 @@ use adawave_metrics::{ami_ignoring_noise, NOISE_LABEL};
 fn main() {
     // --- 1. build a noisy dataset -----------------------------------------
     let mut rng = Rng::new(7);
-    let mut points = Vec::new();
+    let mut points = PointMatrix::new(2);
     let mut truth = Vec::new();
     let centers = [[0.2, 0.25], [0.75, 0.3], [0.5, 0.8]];
     for (label, center) in centers.iter().enumerate() {
@@ -39,7 +40,7 @@ fn main() {
     // CDF(2,2) wavelet, adaptive elbow threshold).
     let config = AdaWaveConfig::builder().build();
     let result = AdaWave::new(config)
-        .fit(&points)
+        .fit(points.view())
         .expect("clustering failed");
 
     // --- 3. inspect the result ---------------------------------------------

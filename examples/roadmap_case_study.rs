@@ -33,7 +33,7 @@ fn main() {
     );
 
     let start = Instant::now();
-    let result = AdaWave::default().fit(&ds.points).expect("adawave");
+    let result = AdaWave::default().fit(ds.view()).expect("adawave");
     let elapsed = start.elapsed();
 
     println!(

@@ -27,7 +27,7 @@ fn main() {
         println!("=== noise {noise:.0}%  ({} points) ===", ds.len());
 
         // Show the shape of the sorted density curve once per noise level.
-        let probe = AdaWave::default().fit(&ds.points).expect("adawave");
+        let probe = AdaWave::default().fit(ds.view()).expect("adawave");
         let densities = probe.sorted_densities();
         let deciles: Vec<String> = (0..=10)
             .map(|i| format!("{:.1}", densities[(densities.len() - 1) * i / 10]))
@@ -36,7 +36,7 @@ fn main() {
 
         for strategy in strategies {
             let config = AdaWaveConfig::builder().threshold(strategy).build();
-            let result = AdaWave::new(config).fit(&ds.points).expect("adawave");
+            let result = AdaWave::new(config).fit(ds.view()).expect("adawave");
             let score = ami_ignoring_noise(
                 &ds.labels,
                 &result.to_labels(NOISE_LABEL),

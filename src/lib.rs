@@ -10,17 +10,21 @@
 //! DipMeans, STSC, RIC, OPTICS, mean shift, SYNC, STING, CLIQUE), all
 //! behind one [`Clusterer`] trait returning one canonical [`Clustering`].
 //!
+//! Point sets travel through every algorithm as the flat row-major
+//! [`PointMatrix`] / [`PointsView`] data layer — one contiguous buffer,
+//! no per-point allocation:
+//!
 //! ```
-//! use adawave::{standard_registry, AlgorithmSpec};
+//! use adawave::{standard_registry, AlgorithmSpec, PointMatrix};
 //!
 //! // Two tight diagonal streaks plus one stray point.
-//! let mut points = Vec::new();
+//! let mut points = PointMatrix::new(2);
 //! for i in 0..100 {
 //!     let t = i as f64 * 0.0003;
-//!     points.push(vec![0.2 + t, 0.2 - t]);
-//!     points.push(vec![0.8 - t, 0.8 + t]);
+//!     points.push_row(&[0.2 + t, 0.2 - t]);
+//!     points.push_row(&[0.8 - t, 0.8 + t]);
 //! }
-//! points.push(vec![0.5, 0.95]);
+//! points.push_row(&[0.5, 0.95]);
 //!
 //! let registry = standard_registry();
 //! for spec in [
@@ -28,7 +32,7 @@
 //!     AlgorithmSpec::new("kmeans").with("k", 2).with("seed", 7),
 //! ] {
 //!     let clusterer = registry.resolve(&spec).unwrap();
-//!     let clustering = clusterer.fit(&points).unwrap();
+//!     let clustering = clusterer.fit(points.view()).unwrap();
 //!     assert!(clustering.cluster_count() >= 2, "{}", clusterer.describe());
 //! }
 //! ```
@@ -38,7 +42,7 @@
 
 pub use adawave_api::{
     AlgorithmEntry, AlgorithmRegistry, AlgorithmSpec, ClusterError, Clusterer, Clustering,
-    ParamSpec, Params,
+    ParamSpec, Params, PointMatrix, PointsView,
 };
 pub use adawave_core::{AdaWave, AdaWaveConfig, AdaWaveResult, ThresholdStrategy};
 

@@ -1,6 +1,7 @@
 //! Integration tests pitting AdaWave against the baselines on the paper's
 //! qualitative claims (discussion §VI), at reduced scale.
 
+use adawave_api::PointMatrix;
 use adawave_baselines::{
     dbscan, em, kmeans, skinnydip, wavecluster, DbscanConfig, EmConfig, KMeansConfig,
     SkinnyDipConfig, WaveClusterConfig,
@@ -18,7 +19,7 @@ fn ring_clusters_defeat_kmeans_and_em_but_not_adawave() {
     // instance: centroid/model-based methods cut them into halves, a
     // grid-connectivity method keeps each ring whole.
     let mut rng = Rng::new(1);
-    let mut points = Vec::new();
+    let mut points = PointMatrix::new(2);
     let mut truth = Vec::new();
     shapes::ring(&mut points, &mut rng, (0.5, 0.5), 0.12, 0.008, 1500);
     truth.extend(std::iter::repeat_n(0usize, 1500));
@@ -29,14 +30,14 @@ fn ring_clusters_defeat_kmeans_and_em_but_not_adawave() {
     truth.extend(std::iter::repeat_n(NOISE, 2000));
 
     let adawave = AdaWave::new(AdaWaveConfig::builder().scale(64).build())
-        .fit(&points)
+        .fit(points.view())
         .expect("adawave");
     let adawave_score = ami_ignoring_noise(&truth, &adawave.to_labels(NOISE_LABEL), NOISE);
 
-    let km = kmeans(&points, &KMeansConfig::new(2, 3));
+    let km = kmeans(points.view(), &KMeansConfig::new(2, 3));
     let km_score = ami_ignoring_noise(&truth, &km.clustering.to_labels(NOISE_LABEL), NOISE);
 
-    let (_, gmm) = em(&points, &EmConfig::new(2, 3));
+    let (_, gmm) = em(points.view(), &EmConfig::new(2, 3));
     let em_score = ami_ignoring_noise(&truth, &gmm.to_labels(NOISE_LABEL), NOISE);
 
     assert!(
@@ -57,7 +58,7 @@ fn dbscan_is_fine_at_low_noise_but_collapses_at_high_noise() {
     let low = synthetic_benchmark(20.0, 400, 5);
     let high = synthetic_benchmark(85.0, 400, 5);
     let score = |ds: &adawave_data::Dataset, eps: f64| {
-        let clustering = dbscan(&ds.points, &DbscanConfig::new(eps, 8));
+        let clustering = dbscan(ds.view(), &DbscanConfig::new(eps, 8));
         ami_ignoring_noise(
             &ds.labels,
             &clustering.to_labels(NOISE_LABEL),
@@ -88,13 +89,13 @@ fn skinnydip_struggles_when_projections_are_not_unimodal() {
     // the synthetic benchmark (rings + diagonal lines) violates it, and
     // AdaWave should come out ahead.
     let ds = synthetic_benchmark(60.0, 500, 9);
-    let skinny = skinnydip(&ds.points, &SkinnyDipConfig::default());
+    let skinny = skinnydip(ds.view(), &SkinnyDipConfig::default());
     let skinny_score = ami_ignoring_noise(
         &ds.labels,
         &skinny.to_labels(NOISE_LABEL),
         SYNTHETIC_NOISE_LABEL,
     );
-    let adawave = AdaWave::default().fit(&ds.points).expect("adawave");
+    let adawave = AdaWave::default().fit(ds.view()).expect("adawave");
     let adawave_score = ami_ignoring_noise(
         &ds.labels,
         &adawave.to_labels(NOISE_LABEL),
@@ -118,14 +119,14 @@ fn adawave_and_wavecluster_share_machinery_but_only_adawave_adapts() {
     // produce meaningful clusterings, and that AdaWave additionally reports
     // an explicit noise cluster covering a large share of the data.
     let ds = synthetic_benchmark(80.0, 500, 13);
-    let wc = wavecluster(&ds.points, &WaveClusterConfig::default());
+    let wc = wavecluster(ds.view(), &WaveClusterConfig::default());
     let wc_score = ami_ignoring_noise(
         &ds.labels,
         &wc.to_labels(NOISE_LABEL),
         SYNTHETIC_NOISE_LABEL,
     );
     let adawave = AdaWave::new(AdaWaveConfig::builder().scale(64).build())
-        .fit(&ds.points)
+        .fit(ds.view())
         .expect("adawave");
     let adawave_score = ami_ignoring_noise(
         &ds.labels,

@@ -19,7 +19,7 @@ fn adawave_clusters_the_running_example_structure() {
     // (the paper: "correctly detects all the five clusters") and score well
     // on the non-noise points.
     let ds = synthetic_benchmark(50.0, 700, 42);
-    let result = AdaWave::default().fit(&ds.points).expect("adawave");
+    let result = AdaWave::default().fit(ds.view()).expect("adawave");
     assert!(
         result.cluster_count() >= 4,
         "only {} clusters detected",
@@ -38,13 +38,13 @@ fn adawave_survives_extreme_noise_better_than_threshold_free_wavecluster() {
     // pure coefficient denoising) merges everything; the adaptive threshold
     // keeps the clusters apart. This is the core claim of the paper.
     let ds = synthetic_benchmark(85.0, 700, 7);
-    let adaptive = AdaWave::default().fit(&ds.points).expect("adawave");
+    let adaptive = AdaWave::default().fit(ds.view()).expect("adawave");
     let fixed = AdaWave::new(
         AdaWaveConfig::builder()
             .threshold(ThresholdStrategy::Fixed(0.0))
             .build(),
     )
-    .fit(&ds.points)
+    .fit(ds.view())
     .expect("adawave fixed");
     let adaptive_score = masked_ami(&ds, &adaptive.to_labels(NOISE_LABEL));
     let fixed_score = masked_ami(&ds, &fixed.to_labels(NOISE_LABEL));
@@ -58,7 +58,7 @@ fn adawave_survives_extreme_noise_better_than_threshold_free_wavecluster() {
 #[test]
 fn adawave_finds_dense_cities_in_the_roadmap_surrogate() {
     let ds = roadmap_like(25_000, 3);
-    let result = AdaWave::default().fit(&ds.points).expect("adawave");
+    let result = AdaWave::default().fit(ds.view()).expect("adawave");
     assert!(
         result.cluster_count() >= 3,
         "found {} dense areas",
@@ -75,7 +75,7 @@ fn multi_resolution_results_are_consistent() {
     let ds = synthetic_benchmark(50.0, 400, 11);
     let adawave = AdaWave::default();
     let results = adawave
-        .fit_multi_resolution(&ds.points, &[1, 2])
+        .fit_multi_resolution(ds.view(), &[1, 2])
         .expect("multi-resolution");
     assert_eq!(results.len(), 2);
     // Level 2 works on a coarser grid: fewer surviving cells, and clusters
@@ -99,7 +99,7 @@ fn csv_roundtrip_then_cluster() {
     std::fs::remove_file(&path).ok();
     assert_eq!(loaded.len(), ds.len());
     assert_eq!(loaded.dims(), 2);
-    let result = AdaWave::default().fit(&loaded.points).expect("adawave");
+    let result = AdaWave::default().fit(loaded.view()).expect("adawave");
     assert!(result.cluster_count() >= 3);
 }
 
@@ -108,8 +108,8 @@ fn noise_reassignment_protocol_produces_a_full_partition() {
     // The Table-I protocol: cluster, then assign detected noise to the
     // nearest cluster and score with plain AMI.
     let ds = synthetic_benchmark(30.0, 400, 17);
-    let result = AdaWave::default().fit(&ds.points).expect("adawave");
-    let full = result.assign_noise_to_nearest_centroid(&ds.points);
+    let result = AdaWave::default().fit(ds.view()).expect("adawave");
+    let full = result.assign_noise_to_nearest_centroid(ds.view());
     assert_eq!(full.len(), ds.len());
     let k = result.cluster_count().max(1);
     assert!(full.iter().all(|&l| l < k));
@@ -121,13 +121,13 @@ fn noise_reassignment_protocol_produces_a_full_partition() {
 fn deterministic_across_runs_and_input_orderings() {
     let mut ds = synthetic_benchmark(60.0, 300, 19);
     let adawave = AdaWave::default();
-    let first = adawave.fit(&ds.points).expect("adawave");
-    let second = adawave.fit(&ds.points).expect("adawave");
+    let first = adawave.fit(ds.view()).expect("adawave");
+    let second = adawave.fit(ds.view()).expect("adawave");
     assert_eq!(first, second);
 
     // Reversing the point order permutes the assignment identically.
-    ds.points.reverse();
-    let reversed = adawave.fit(&ds.points).expect("adawave");
+    ds.points.reverse_rows();
+    let reversed = adawave.fit(ds.view()).expect("adawave");
     let mut realigned: Vec<Option<usize>> = reversed.assignment().to_vec();
     realigned.reverse();
     assert_eq!(first.assignment(), &realigned[..]);

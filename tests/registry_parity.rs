@@ -2,9 +2,13 @@
 //! standard registry, resolving it through [`adawave::AlgorithmRegistry`]
 //! with `key=value` params must produce the *identical* [`Clustering`] as
 //! calling the algorithm's function directly with the equivalent typed
-//! config — plus error-path tests for unknown names and bad params.
+//! config — plus error-path tests for unknown names and bad params, and
+//! layout-parity tests proving the flat [`PointMatrix`] representation is
+//! label-identical to the seed's nested-`Vec` fixtures after conversion.
 
-use adawave::{standard_registry, AlgorithmSpec, ClusterError, Clustering};
+use adawave::{
+    standard_registry, AlgorithmSpec, ClusterError, Clustering, PointMatrix, PointsView,
+};
 use adawave_baselines::{
     clique, dbscan, dipmeans, em, kmeans, mean_shift, optics, ric, self_tuning_spectral, skinnydip,
     sting, sync_cluster, unidip, wavecluster, CliqueConfig, DbscanConfig, DipMeansConfig, EmConfig,
@@ -16,9 +20,9 @@ use adawave_data::{shapes, Rng};
 
 /// A small synthetic dataset with real structure: two blobs plus uniform
 /// background noise, the regime every algorithm is meant to handle.
-fn toy_points() -> Vec<Vec<f64>> {
+fn toy_points() -> PointMatrix {
     let mut rng = Rng::new(5);
-    let mut points = Vec::new();
+    let mut points = PointMatrix::new(2);
     shapes::gaussian_blob(&mut points, &mut rng, &[0.25, 0.25], &[0.02, 0.02], 120);
     shapes::gaussian_blob(&mut points, &mut rng, &[0.75, 0.75], &[0.02, 0.02], 120);
     shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], 60);
@@ -27,7 +31,7 @@ fn toy_points() -> Vec<Vec<f64>> {
 
 /// The direct-call twin of each registered algorithm, with the typed
 /// config equivalent to the spec used in `registry_output_equals_direct_call`.
-fn direct(name: &str, points: &[Vec<f64>]) -> Clustering {
+fn direct(name: &str, points: PointsView<'_>) -> Clustering {
     match name {
         "adawave" => AdaWave::new(AdaWaveConfig::builder().scale(32).build())
             .fit(points)
@@ -57,7 +61,7 @@ fn direct(name: &str, points: &[Vec<f64>]) -> Clustering {
                 seed: 7,
                 ..Default::default()
             };
-            let values: Vec<f64> = points.iter().map(|p| p[0]).collect();
+            let values: Vec<f64> = points.rows().map(|p| p[0]).collect();
             let mut rng = Rng::new(config.seed);
             let intervals = unidip(&values, &config, &mut rng);
             Clustering::new(
@@ -121,14 +125,69 @@ fn registry_output_equals_direct_call_for_every_registered_algorithm() {
     );
     for name in registry.names() {
         let via_registry = registry
-            .fit(&spec(name), &points)
+            .fit(&spec(name), points.view())
             .unwrap_or_else(|e| panic!("{name} via registry: {e}"));
-        let direct_result = direct(name, &points);
+        let direct_result = direct(name, points.view());
         assert_eq!(
             via_registry, direct_result,
             "{name}: registry dispatch differs from the direct call"
         );
         assert_eq!(via_registry.len(), points.len(), "{name}");
+    }
+}
+
+#[test]
+fn flat_matrix_input_is_label_identical_to_converted_nested_fixtures() {
+    // Layout parity: the seed stored fixtures as nested `Vec<Vec<f64>>`.
+    // The first assert pins the load-bearing fact — converting a nested
+    // fixture through the ingestion boundary (`PointMatrix::from_rows`)
+    // reproduces the flat data bit-for-bit, so no algorithm can see a
+    // different input. The fit loop then pins the second half of the
+    // parity argument: every registered algorithm is deterministic on that
+    // converted input, hence label-identical across the two fixture paths.
+    let registry = standard_registry();
+    let flat = toy_points();
+    let nested: Vec<Vec<f64>> = flat.to_rows(); // the seed's fixture shape
+    let converted = PointMatrix::from_rows(nested).expect("convert nested fixture");
+    assert_eq!(flat, converted, "round-trip must preserve the data exactly");
+    for name in registry.names() {
+        let on_flat = registry
+            .fit(&spec(name), flat.view())
+            .unwrap_or_else(|e| panic!("{name} on flat: {e}"));
+        let on_converted = registry
+            .fit(&spec(name), converted.view())
+            .unwrap_or_else(|e| panic!("{name} on converted: {e}"));
+        assert_eq!(
+            on_flat, on_converted,
+            "{name}: labels differ between flat and converted nested input"
+        );
+    }
+}
+
+#[test]
+fn every_algorithm_rejects_empty_and_zero_dimensional_input() {
+    // The uniform empty-input contract introduced with the flat data
+    // layer: dimension lives on the matrix, so empty input is a typed
+    // error — never a `points[0]` panic — for every public entry point.
+    let registry = standard_registry();
+    let empty = PointMatrix::new(2);
+    let zero_dim = PointMatrix::from_rows(vec![vec![], vec![]]).expect("zero-dim rows");
+    for name in registry.names() {
+        let clusterer = registry.resolve(&AlgorithmSpec::new(name)).unwrap();
+        assert!(
+            matches!(
+                clusterer.fit(empty.view()),
+                Err(ClusterError::InvalidInput { .. })
+            ),
+            "{name} should reject an empty point set"
+        );
+        assert!(
+            matches!(
+                clusterer.fit(zero_dim.view()),
+                Err(ClusterError::InvalidInput { .. })
+            ),
+            "{name} should reject zero-dimensional points"
+        );
     }
 }
 
