@@ -62,6 +62,16 @@ impl PointMatrix {
     /// first row; an empty list yields an empty 0-dimensional matrix.
     ///
     /// Returns [`ClusterError::InvalidInput`] if the rows are ragged.
+    ///
+    /// ```
+    /// use adawave_api::PointMatrix;
+    ///
+    /// let matrix = PointMatrix::from_rows(vec![vec![0.0, 1.0], vec![2.0, 3.0]]).unwrap();
+    /// assert_eq!((matrix.len(), matrix.dims()), (2, 2));
+    /// assert_eq!(matrix.row(1), &[2.0, 3.0]);
+    /// // Ragged input is a typed error, not a panic.
+    /// assert!(PointMatrix::from_rows(vec![vec![0.0, 1.0], vec![2.0]]).is_err());
+    /// ```
     pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Self, ClusterError> {
         let dims = rows.first().map_or(0, |r| r.len());
         let mut data = Vec::with_capacity(dims * rows.len());

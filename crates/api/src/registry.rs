@@ -19,6 +19,16 @@ pub struct ParamSpec {
 }
 
 impl ParamSpec {
+    /// The uniform `threads` parameter every algorithm with parallel
+    /// kernels declares — one shared definition so the CLI help stays
+    /// consistent across crates.
+    pub const THREADS: ParamSpec = ParamSpec::new(
+        "threads",
+        "usize",
+        "0",
+        "worker threads (0 = auto: ADAWAVE_THREADS or all cores); labels are identical for every value",
+    );
+
     /// Construct a parameter description.
     pub const fn new(
         key: &'static str,
@@ -209,17 +219,56 @@ impl AlgorithmRegistry {
     }
 
     /// A human-readable table of every algorithm and its parameters, for
-    /// `list-algorithms`-style commands.
+    /// `list-algorithms`-style commands: one aligned table whose columns
+    /// are `algorithm`, `param`, `type`, `default` and `description`. Each
+    /// algorithm contributes a summary row (name + description) followed
+    /// by one row per parameter, so every parameter's type and default are
+    /// visible at a glance. Column widths are computed over the whole
+    /// table; the last column is never padded.
     pub fn describe(&self) -> String {
-        let mut out = String::new();
+        const HEADER: [&str; 5] = ["algorithm", "param", "type", "default", "description"];
+        let mut rows: Vec<[String; 5]> = Vec::new();
         for entry in self.entries.values() {
-            out.push_str(&format!("{:<12} {}\n", entry.name(), entry.summary()));
+            rows.push([
+                entry.name().to_string(),
+                String::new(),
+                String::new(),
+                String::new(),
+                entry.summary().to_string(),
+            ]);
             for p in entry.params() {
-                out.push_str(&format!(
-                    "    {:<14} {:<7} default {:<12} {}\n",
-                    p.key, p.kind, p.default, p.help
-                ));
+                rows.push([
+                    String::new(),
+                    p.key.to_string(),
+                    p.kind.to_string(),
+                    p.default.to_string(),
+                    p.help.to_string(),
+                ]);
             }
+        }
+        let mut widths: Vec<usize> = HEADER.iter().map(|h| h.len()).collect();
+        for row in &rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let render = |cells: [&str; 5], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i + 1 == cells.len() {
+                    out.push_str(cell);
+                } else {
+                    out.push_str(&format!("{cell:<width$}  ", width = widths[i]));
+                }
+            }
+            out.push('\n');
+        };
+        let mut out = String::new();
+        render(HEADER, &mut out);
+        for row in &rows {
+            render(
+                [&row[0], &row[1], &row[2], &row[3], &row[4]].map(String::as_str),
+                &mut out,
+            );
         }
         out
     }

@@ -8,9 +8,10 @@
 //! sweeps, future services) can resolve baselines by name.
 
 use adawave_api::{
-    validate_fit_input, AlgorithmRegistry, ClusterError, Clusterer, Clustering, ParamSpec,
+    validate_fit_input, AlgorithmRegistry, ClusterError, Clusterer, Clustering, ParamSpec, Params,
     PointsView,
 };
+use adawave_runtime::Runtime;
 
 use crate::{
     clique, dbscan, dipmeans, em, kmeans, mean_shift, optics, ric, self_tuning_spectral, skinnydip,
@@ -86,6 +87,23 @@ fn unidip_projection(points: PointsView<'_>, config: &(usize, SkinnyDipConfig)) 
 
 const SEED: ParamSpec = ParamSpec::new("seed", "u64", "0", "seed for the internal RNG");
 const K: ParamSpec = ParamSpec::new("k", "usize", "2", "number of clusters to produce");
+/// The uniform `threads` parameter for algorithms with parallel kernels
+/// (the shared definition keeps the CLI help identical across crates).
+const THREADS: ParamSpec = ParamSpec::THREADS;
+/// The uniform `threads` parameter for algorithms whose kernels are still
+/// sequential (accepted and validated so `--threads` works uniformly).
+const THREADS_NOOP: ParamSpec = ParamSpec::new(
+    "threads",
+    "usize",
+    "0",
+    "accepted for CLI uniformity; this algorithm's kernels run sequentially",
+);
+
+/// Parse the uniform `threads` parameter into a [`Runtime`]
+/// (`0`/absent = auto: the `ADAWAVE_THREADS` override or all cores).
+fn runtime_param(params: &Params) -> Result<Runtime, ClusterError> {
+    Ok(Runtime::with_threads(params.get_or("threads", 0usize)?))
+}
 
 /// Register every baseline of the paper's evaluation into `registry`.
 ///
@@ -95,9 +113,12 @@ pub fn register(registry: &mut AlgorithmRegistry) {
     registry.register(
         "kmeans",
         "Lloyd's k-means with k-means++ init and restarts",
-        &[K, SEED],
+        &[K, SEED, THREADS],
         |params| {
-            let config = KMeansConfig::new(params.get_or("k", 2)?, params.get_or("seed", 0)?);
+            let config = KMeansConfig {
+                runtime: runtime_param(params)?,
+                ..KMeansConfig::new(params.get_or("k", 2)?, params.get_or("seed", 0)?)
+            };
             Ok(Box::new(ConfiguredClusterer::new(
                 "kmeans",
                 config,
@@ -111,19 +132,25 @@ pub fn register(registry: &mut AlgorithmRegistry) {
         &[
             ParamSpec::new("eps", "f64", "0.05", "neighborhood radius"),
             ParamSpec::new("min-points", "usize", "8", "core-point density threshold"),
+            THREADS,
         ],
         |params| {
-            let config =
-                DbscanConfig::new(params.get_or("eps", 0.05)?, params.get_or("min-points", 8)?);
+            let config = DbscanConfig {
+                runtime: runtime_param(params)?,
+                ..DbscanConfig::new(params.get_or("eps", 0.05)?, params.get_or("min-points", 8)?)
+            };
             Ok(Box::new(ConfiguredClusterer::new("dbscan", config, dbscan)))
         },
     );
     registry.register(
         "em",
         "full-covariance Gaussian mixture fitted with EM",
-        &[K, SEED],
+        &[K, SEED, THREADS],
         |params| {
-            let config = EmConfig::new(params.get_or("k", 2)?, params.get_or("seed", 0)?);
+            let config = EmConfig {
+                runtime: runtime_param(params)?,
+                ..EmConfig::new(params.get_or("k", 2)?, params.get_or("seed", 0)?)
+            };
             Ok(Box::new(ConfiguredClusterer::new("em", config, |p, c| {
                 em(p, c).1
             })))
@@ -132,15 +159,14 @@ pub fn register(registry: &mut AlgorithmRegistry) {
     registry.register(
         "wavecluster",
         "the original dense-grid wavelet clustering (Sheikholeslami et al.)",
-        &[ParamSpec::new(
-            "scale",
-            "u32",
-            "128",
-            "grid intervals per dimension",
-        )],
+        &[
+            ParamSpec::new("scale", "u32", "128", "grid intervals per dimension"),
+            THREADS,
+        ],
         |params| {
             let config = WaveClusterConfig {
                 scale: params.get_or("scale", 128)?,
+                runtime: runtime_param(params)?,
                 ..Default::default()
             };
             Ok(Box::new(ConfiguredClusterer::new(
@@ -156,8 +182,10 @@ pub fn register(registry: &mut AlgorithmRegistry) {
         &[
             SEED,
             ParamSpec::new("alpha", "f64", "0.05", "dip-test significance level"),
+            THREADS_NOOP,
         ],
         |params| {
+            runtime_param(params)?;
             let config = SkinnyDipConfig {
                 seed: params.get_or("seed", 0)?,
                 alpha: params.get_or("alpha", 0.05)?,
@@ -177,8 +205,10 @@ pub fn register(registry: &mut AlgorithmRegistry) {
             SEED,
             ParamSpec::new("alpha", "f64", "0.05", "dip-test significance level"),
             ParamSpec::new("dim", "usize", "0", "dimension to project onto"),
+            THREADS_NOOP,
         ],
         |params| {
+            runtime_param(params)?;
             let config = SkinnyDipConfig {
                 seed: params.get_or("seed", 0)?,
                 alpha: params.get_or("alpha", 0.05)?,
@@ -198,11 +228,13 @@ pub fn register(registry: &mut AlgorithmRegistry) {
         &[
             SEED,
             ParamSpec::new("max-k", "usize", "16", "upper bound on the estimated k"),
+            THREADS,
         ],
         |params| {
             let config = DipMeansConfig {
                 seed: params.get_or("seed", 0)?,
                 max_k: params.get_or("max-k", 16)?,
+                runtime: runtime_param(params)?,
                 ..Default::default()
             };
             Ok(Box::new(ConfiguredClusterer::new(
@@ -221,6 +253,7 @@ pub fn register(registry: &mut AlgorithmRegistry) {
                 "cluster count ('auto' or omitted = eigengap selection)",
             ),
             SEED,
+            THREADS,
         ],
         |params| {
             // `k=auto` (or no k at all) selects k by the eigengap; the CLI
@@ -242,6 +275,7 @@ pub fn register(registry: &mut AlgorithmRegistry) {
             let config = SpectralConfig {
                 k,
                 seed: params.get_or("seed", 0)?,
+                runtime: runtime_param(params)?,
                 ..Default::default()
             };
             Ok(Box::new(ConfiguredClusterer::new(
@@ -254,13 +288,16 @@ pub fn register(registry: &mut AlgorithmRegistry) {
     registry.register(
         "ric",
         "simplified robust information-theoretic clustering (MDL purification)",
-        &[K, SEED],
+        &[K, SEED, THREADS],
         |params| {
             // RIC purifies an over-segmented k-means start: `k` is the
             // expected cluster count, the initial means are 2k (the
             // protocol used by both the CLI and the paper sweep).
             let k: usize = params.get_or("k", 2)?;
-            let config = RicConfig::new(k.max(2) * 2, params.get_or("seed", 0)?);
+            let config = RicConfig {
+                runtime: runtime_param(params)?,
+                ..RicConfig::new(k.max(2) * 2, params.get_or("seed", 0)?)
+            };
             Ok(Box::new(ConfiguredClusterer::new("ric", config, ric)))
         },
     );
@@ -271,8 +308,10 @@ pub fn register(registry: &mut AlgorithmRegistry) {
             ParamSpec::new("eps", "f64", "0.05", "flat-extraction radius"),
             ParamSpec::new("max-eps", "f64", "2*eps", "ordering radius"),
             ParamSpec::new("min-points", "usize", "8", "core-point density threshold"),
+            THREADS_NOOP,
         ],
         |params| {
+            runtime_param(params)?;
             let eps = params.get_or("eps", 0.05)?;
             let config = OpticsConfig::new(
                 params.get_or("max-eps", eps * 2.0)?,
@@ -285,9 +324,15 @@ pub fn register(registry: &mut AlgorithmRegistry) {
     registry.register(
         "meanshift",
         "mean shift with a flat or Gaussian kernel",
-        &[ParamSpec::new("bandwidth", "f64", "0.1", "kernel radius")],
+        &[
+            ParamSpec::new("bandwidth", "f64", "0.1", "kernel radius"),
+            THREADS,
+        ],
         |params| {
-            let config = MeanShiftConfig::new(params.get_or("bandwidth", 0.1)?);
+            let config = MeanShiftConfig {
+                runtime: runtime_param(params)?,
+                ..MeanShiftConfig::new(params.get_or("bandwidth", 0.1)?)
+            };
             Ok(Box::new(ConfiguredClusterer::new(
                 "meanshift",
                 config,
@@ -298,9 +343,15 @@ pub fn register(registry: &mut AlgorithmRegistry) {
     registry.register(
         "sync",
         "synchronization-based clustering (Kuramoto-style dynamics)",
-        &[ParamSpec::new("eps", "f64", "0.1", "interaction radius")],
+        &[
+            ParamSpec::new("eps", "f64", "0.1", "interaction radius"),
+            THREADS,
+        ],
         |params| {
-            let config = SyncConfig::new(params.get_or("eps", 0.1)?);
+            let config = SyncConfig {
+                runtime: runtime_param(params)?,
+                ..SyncConfig::new(params.get_or("eps", 0.1)?)
+            };
             Ok(Box::new(ConfiguredClusterer::new(
                 "sync",
                 config,
@@ -319,8 +370,10 @@ pub fn register(registry: &mut AlgorithmRegistry) {
                 "4",
                 "relevant-cell density threshold",
             ),
+            THREADS_NOOP,
         ],
         |params| {
+            runtime_param(params)?;
             let config =
                 StingConfig::new(params.get_or("levels", 5)?, params.get_or("min-points", 4)?);
             Ok(Box::new(ConfiguredClusterer::new("sting", config, sting)))
@@ -332,8 +385,10 @@ pub fn register(registry: &mut AlgorithmRegistry) {
         &[
             ParamSpec::new("intervals", "u32", "10", "grid intervals per dimension"),
             ParamSpec::new("density", "f64", "0.01", "dense-unit point fraction"),
+            THREADS_NOOP,
         ],
         |params| {
+            runtime_param(params)?;
             let config = CliqueConfig::new(
                 params.get_or("intervals", 10)?,
                 params.get_or("density", 0.01)?,

@@ -5,6 +5,7 @@
 //! quadratic.
 
 use adawave_api::PointsView;
+use adawave_runtime::Runtime;
 
 use crate::{Clustering, KdTree};
 
@@ -16,33 +17,63 @@ pub struct DbscanConfig {
     /// Minimum number of points (including the point itself) inside the
     /// `eps`-neighborhood for a point to be a core point.
     pub min_points: usize,
+    /// Worker pool for the `eps`-neighborhood queries (the dominant cost;
+    /// each query is independent, so labels never depend on the thread
+    /// count).
+    pub runtime: Runtime,
 }
 
 impl DbscanConfig {
     /// Create a configuration.
     pub fn new(eps: f64, min_points: usize) -> Self {
-        Self { eps, min_points }
+        Self {
+            eps,
+            min_points,
+            runtime: Runtime::from_env(),
+        }
     }
 }
 
 impl Default for DbscanConfig {
     fn default() -> Self {
         // The paper's automation protocol: minPts = 8 with eps swept.
-        Self {
-            eps: 0.05,
-            min_points: 8,
-        }
+        Self::new(0.05, 8)
     }
 }
 
 /// Run DBSCAN. Points that are neither core points nor density-reachable
 /// from one are labeled as noise (`None`).
+///
+/// The pairwise-distance work — one kd-tree range query per point — is
+/// computed up front over `config.runtime` when it has more than one
+/// worker; the sequential expansion then only walks the precomputed
+/// lists. A sequential runtime keeps the lazy per-point queries instead
+/// (O(1) extra memory). The neighborhood *contents* are identical either
+/// way, so the clustering never depends on the thread count — only the
+/// peak memory does (parallel precompute holds every neighborhood at
+/// once, which on huge inputs with a diameter-sized `eps` approaches
+/// `O(n^2)` indices).
 pub fn dbscan(points: PointsView<'_>, config: &DbscanConfig) -> Clustering {
     let n = points.len();
     if n == 0 {
         return Clustering::new(vec![]);
     }
     let tree = KdTree::build(points);
+    let precomputed: Option<Vec<Vec<usize>>> = if config.runtime.is_sequential() {
+        None
+    } else {
+        Some(
+            config
+                .runtime
+                .par_map_indexed(n, |i| tree.within_radius(points.row(i), config.eps)),
+        )
+    };
+    let neighborhood = |i: usize| -> std::borrow::Cow<'_, [usize]> {
+        match &precomputed {
+            Some(lists) => std::borrow::Cow::Borrowed(&lists[i]),
+            None => std::borrow::Cow::Owned(tree.within_radius(points.row(i), config.eps)),
+        }
+    };
 
     const UNVISITED: usize = usize::MAX;
     const NOISE: usize = usize::MAX - 1;
@@ -53,14 +84,14 @@ pub fn dbscan(points: PointsView<'_>, config: &DbscanConfig) -> Clustering {
         if labels[start] != UNVISITED {
             continue;
         }
-        let neighbors = tree.within_radius(points.row(start), config.eps);
+        let neighbors = neighborhood(start);
         if neighbors.len() < config.min_points {
             labels[start] = NOISE;
             continue;
         }
         // Start a new cluster and expand it with a seed queue.
         labels[start] = cluster;
-        let mut queue: std::collections::VecDeque<usize> = neighbors.into_iter().collect();
+        let mut queue: std::collections::VecDeque<usize> = neighbors.iter().copied().collect();
         while let Some(q) = queue.pop_front() {
             if labels[q] == NOISE {
                 // Border point: reachable from a core point.
@@ -70,9 +101,9 @@ pub fn dbscan(points: PointsView<'_>, config: &DbscanConfig) -> Clustering {
                 continue;
             }
             labels[q] = cluster;
-            let q_neighbors = tree.within_radius(points.row(q), config.eps);
+            let q_neighbors = neighborhood(q);
             if q_neighbors.len() >= config.min_points {
-                queue.extend(q_neighbors);
+                queue.extend(q_neighbors.iter().copied());
             }
         }
         cluster += 1;
@@ -114,6 +145,32 @@ mod tests {
         assert_eq!(clustering.label(401), None);
         // The two blobs are not merged.
         assert_ne!(clustering.label(0), clustering.label(200));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut rng = Rng::new(9);
+        let mut points = PointMatrix::new(2);
+        shapes::gaussian_blob(&mut points, &mut rng, &[0.0, 0.0], &[0.05, 0.05], 400);
+        shapes::gaussian_blob(&mut points, &mut rng, &[1.0, 1.0], &[0.05, 0.05], 400);
+        shapes::uniform_box(&mut points, &mut rng, &[-0.5, -0.5], &[2.0, 2.0], 300);
+        let sequential = dbscan(
+            points.view(),
+            &DbscanConfig {
+                runtime: Runtime::sequential(),
+                ..DbscanConfig::new(0.08, 5)
+            },
+        );
+        for threads in [2, 8] {
+            let parallel = dbscan(
+                points.view(),
+                &DbscanConfig {
+                    runtime: Runtime::with_threads(threads),
+                    ..DbscanConfig::new(0.08, 5)
+                },
+            );
+            assert_eq!(sequential, parallel, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use adawave_api::PointsView;
 use adawave_data::Rng;
 use adawave_linalg::euclidean_distance;
+use adawave_runtime::Runtime;
 
 use crate::dip::{dip_pvalue, dip_statistic};
 use crate::kmeans::{kmeans, two_means_split, KMeansConfig};
@@ -31,6 +32,9 @@ pub struct DipMeansConfig {
     pub bootstraps: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Worker pool forwarded to the inner k-means runs (splits and global
+    /// refinements).
+    pub runtime: Runtime,
 }
 
 impl Default for DipMeansConfig {
@@ -44,6 +48,7 @@ impl Default for DipMeansConfig {
             max_viewers: 40,
             bootstraps: 64,
             seed: 0,
+            runtime: Runtime::from_env(),
         }
     }
 }
@@ -110,13 +115,19 @@ pub fn dipmeans(points: PointsView<'_>, config: &DipMeansConfig) -> Clustering {
         };
         // Split the chosen cluster with 2-means to seed k+1 centroids...
         let members = &clusters[split_cluster];
-        let (a, b) = two_means_split(points, members, rng.next_u64());
+        let (a, b) = two_means_split(points, members, rng.next_u64(), config.runtime);
         if a.is_empty() || b.is_empty() {
             break;
         }
         k += 1;
         // ...then refine globally with k-means at the new k.
-        let refined = kmeans(points, &KMeansConfig::new(k, rng.next_u64()));
+        let refined = kmeans(
+            points,
+            &KMeansConfig {
+                runtime: config.runtime,
+                ..KMeansConfig::new(k, rng.next_u64())
+            },
+        );
         clustering = refined.clustering;
     }
     clustering

@@ -8,6 +8,7 @@
 
 use adawave_api::{PointMatrix, PointsView};
 use adawave_linalg::{covariance_matrix, Cholesky, Matrix};
+use adawave_runtime::Runtime;
 
 use crate::kmeans::{kmeans, KMeansConfig};
 use crate::Clustering;
@@ -25,6 +26,9 @@ pub struct EmConfig {
     pub regularization: f64,
     /// RNG seed (used by the k-means initialization).
     pub seed: u64,
+    /// Worker pool forwarded to the k-means initialization (the EM loop
+    /// itself is sequential).
+    pub runtime: Runtime,
 }
 
 impl Default for EmConfig {
@@ -35,6 +39,7 @@ impl Default for EmConfig {
             tolerance: 1e-5,
             regularization: 1e-6,
             seed: 0,
+            runtime: Runtime::from_env(),
         }
     }
 }
@@ -142,7 +147,13 @@ pub fn em(points: PointsView<'_>, config: &EmConfig) -> (GaussianMixture, Cluste
     let k = config.k.min(n);
 
     // Initialize from k-means.
-    let init = kmeans(points, &KMeansConfig::new(k, config.seed));
+    let init = kmeans(
+        points,
+        &KMeansConfig {
+            runtime: config.runtime,
+            ..KMeansConfig::new(k, config.seed)
+        },
+    );
     let clusters = init.clustering.clusters();
     let mut weights: Vec<f64> = clusters
         .iter()

@@ -11,8 +11,15 @@
 use adawave_api::{PointMatrix, PointsView};
 use adawave_data::Rng;
 use adawave_linalg::squared_distance;
+use adawave_runtime::Runtime;
 
 use crate::Clustering;
+
+/// Rows per parallel work unit of the Lloyd assignment/accumulation pass.
+/// Fixed (never derived from the thread count) so per-chunk partial sums
+/// merge in the same order for every [`Runtime`] — the determinism
+/// contract that makes `threads=8` labels equal `threads=1` labels.
+const ROW_CHUNK: usize = 1_024;
 
 /// Configuration for [`kmeans`].
 #[derive(Debug, Clone)]
@@ -27,6 +34,9 @@ pub struct KMeansConfig {
     pub restarts: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Worker pool for the assignment and accumulation kernels. Any thread
+    /// count produces identical labels, centroids and inertia.
+    pub runtime: Runtime,
 }
 
 impl Default for KMeansConfig {
@@ -37,6 +47,7 @@ impl Default for KMeansConfig {
             tolerance: 1e-6,
             restarts: 4,
             seed: 0,
+            runtime: Runtime::from_env(),
         }
     }
 }
@@ -68,7 +79,8 @@ pub struct KMeansResult {
 /// A point set addressable by dense local index: either a whole matrix
 /// view or a subset of it selected through an index slice. Monomorphized,
 /// so the full-dataset path keeps direct row access with no indirection.
-trait RowSet: Copy {
+/// `Sync` so parallel Lloyd chunks can read rows concurrently.
+trait RowSet: Copy + Sync {
     fn len(&self) -> usize;
     fn dims(&self) -> usize;
     fn row(&self, i: usize) -> &[f64];
@@ -114,15 +126,16 @@ impl RowSet for IndexedRows<'_> {
 
 /// k-means++ initialization: the first centroid is uniform, each subsequent
 /// one is sampled proportionally to the squared distance to the nearest
-/// already-chosen centroid. Centroids are a flat `k x dims` buffer.
-fn kmeanspp_init<R: RowSet>(points: R, k: usize, rng: &mut Rng) -> Vec<f64> {
+/// already-chosen centroid. Centroids are a flat `k x dims` buffer. The
+/// nearest-centroid distance table updates fan out over `runtime`; each
+/// entry is independent, so any thread count produces the same table.
+fn kmeanspp_init<R: RowSet>(points: R, k: usize, rng: &mut Rng, runtime: Runtime) -> Vec<f64> {
     let n = points.len();
     let dims = points.dims();
     let mut centroids: Vec<f64> = Vec::with_capacity(k * dims);
     centroids.extend_from_slice(points.row(rng.below(n)));
-    let mut dist_sq: Vec<f64> = (0..n)
-        .map(|i| squared_distance(points.row(i), &centroids[..dims]))
-        .collect();
+    let mut dist_sq: Vec<f64> =
+        runtime.par_map_indexed(n, |i| squared_distance(points.row(i), &centroids[..dims]));
     while centroids.len() < k * dims {
         let total: f64 = dist_sq.iter().sum();
         let choice = if total <= 0.0 {
@@ -141,12 +154,15 @@ fn kmeanspp_init<R: RowSet>(points: R, k: usize, rng: &mut Rng) -> Vec<f64> {
         };
         centroids.extend_from_slice(points.row(choice));
         let last = &centroids[centroids.len() - dims..];
-        for (i, d) in dist_sq.iter_mut().enumerate() {
-            let nd = squared_distance(points.row(i), last);
-            if nd < *d {
-                *d = nd;
+        runtime.par_chunks_mut(&mut dist_sq, ROW_CHUNK, |chunk_idx, chunk| {
+            let base = chunk_idx * ROW_CHUNK;
+            for (local, d) in chunk.iter_mut().enumerate() {
+                let nd = squared_distance(points.row(base + local), last);
+                if nd < *d {
+                    *d = nd;
+                }
             }
-        }
+        });
     }
     centroids
 }
@@ -165,34 +181,53 @@ fn lloyd<R: RowSet>(
     let mut iterations = 0;
     for iter in 0..config.max_iterations {
         iterations = iter + 1;
-        // Assignment step: every row and every centroid is a contiguous
-        // slice of one buffer.
+        // Fused assignment + accumulation, fanned out over fixed row
+        // chunks: every chunk assigns its rows (each row's argmin is
+        // independent of chunking) and accumulates local centroid sums,
+        // counts and inertia. Partials merge in chunk order, so the
+        // result is identical for every thread count.
+        let partials: Vec<(Vec<f64>, Vec<usize>, f64)> =
+            config
+                .runtime
+                .par_chunks_mut(&mut assignment, ROW_CHUNK, |chunk_idx, slots| {
+                    let base = chunk_idx * ROW_CHUNK;
+                    let mut sums = vec![0.0; k * dims];
+                    let mut counts = vec![0usize; k];
+                    let mut local_inertia = 0.0;
+                    for (local, slot) in slots.iter_mut().enumerate() {
+                        let p = points.row(base + local);
+                        let mut best = 0usize;
+                        let mut best_d = f64::MAX;
+                        for (c, centroid) in centroids.chunks_exact(dims).enumerate() {
+                            let d = squared_distance(p, centroid);
+                            if d < best_d {
+                                best_d = d;
+                                best = c;
+                            }
+                        }
+                        *slot = best;
+                        local_inertia += best_d;
+                        for (s, v) in sums[best * dims..(best + 1) * dims]
+                            .iter_mut()
+                            .zip(p.iter())
+                        {
+                            *s += v;
+                        }
+                        counts[best] += 1;
+                    }
+                    (sums, counts, local_inertia)
+                });
         inertia = 0.0;
-        for (i, slot) in assignment.iter_mut().enumerate() {
-            let p = points.row(i);
-            let mut best = 0usize;
-            let mut best_d = f64::MAX;
-            for (c, centroid) in centroids.chunks_exact(dims).enumerate() {
-                let d = squared_distance(p, centroid);
-                if d < best_d {
-                    best_d = d;
-                    best = c;
-                }
-            }
-            *slot = best;
-            inertia += best_d;
-        }
-        // Update step.
         let mut sums = vec![0.0; k * dims];
         let mut counts = vec![0usize; k];
-        for (i, &a) in assignment.iter().enumerate() {
-            for (s, v) in sums[a * dims..(a + 1) * dims]
-                .iter_mut()
-                .zip(points.row(i).iter())
-            {
+        for (chunk_sums, chunk_counts, chunk_inertia) in partials {
+            for (s, v) in sums.iter_mut().zip(chunk_sums) {
                 *s += v;
             }
-            counts[a] += 1;
+            for (c, v) in counts.iter_mut().zip(chunk_counts) {
+                *c += v;
+            }
+            inertia += chunk_inertia;
         }
         for c in 0..k {
             if counts[c] > 0 {
@@ -239,7 +274,7 @@ fn kmeans_impl<R: RowSet>(points: R, config: &KMeansConfig) -> KMeansResult {
     let mut rng = Rng::new(config.seed);
     let mut best: Option<KMeansResult> = None;
     for _ in 0..config.restarts.max(1) {
-        let init = kmeanspp_init(points, k, &mut rng);
+        let init = kmeanspp_init(points, k, &mut rng, config.runtime);
         let (assignment, centroids, inertia, iterations) = lloyd(points, init, config);
         let better = match &best {
             None => true,
@@ -291,11 +326,16 @@ pub(crate) fn two_means_split(
     points: PointsView<'_>,
     members: &[usize],
     seed: u64,
+    runtime: Runtime,
 ) -> (Vec<usize>, Vec<usize>) {
     if members.len() < 2 {
         return (members.to_vec(), Vec::new());
     }
-    let result = kmeans_on_subset(points, members, &KMeansConfig::new(2, seed));
+    let config = KMeansConfig {
+        runtime,
+        ..KMeansConfig::new(2, seed)
+    };
+    let result = kmeans_on_subset(points, members, &config);
     let mut a = Vec::new();
     let mut b = Vec::new();
     for (local, &global) in members.iter().enumerate() {
@@ -377,10 +417,45 @@ mod tests {
     }
 
     #[test]
+    fn parallel_kmeans_matches_sequential_exactly() {
+        // Enough rows to cross several ROW_CHUNK boundaries so the fixed
+        // chunk merge is actually exercised across thread counts.
+        let mut rng = Rng::new(23);
+        let mut points = PointMatrix::new(2);
+        for center in [[0.0, 0.0], [4.0, 4.0], [0.0, 7.0], [7.0, 0.0]] {
+            shapes::gaussian_blob(&mut points, &mut rng, &center, &[0.4, 0.4], 800);
+        }
+        let sequential = kmeans(
+            points.view(),
+            &KMeansConfig {
+                runtime: Runtime::sequential(),
+                ..KMeansConfig::new(4, 3)
+            },
+        );
+        for threads in [2, 3, 8] {
+            let parallel = kmeans(
+                points.view(),
+                &KMeansConfig {
+                    runtime: Runtime::with_threads(threads),
+                    ..KMeansConfig::new(4, 3)
+                },
+            );
+            assert_eq!(sequential.clustering, parallel.clustering, "{threads}");
+            assert_eq!(sequential.centroids, parallel.centroids, "{threads}");
+            assert_eq!(
+                sequential.inertia.to_bits(),
+                parallel.inertia.to_bits(),
+                "{threads}"
+            );
+            assert_eq!(sequential.iterations, parallel.iterations, "{threads}");
+        }
+    }
+
+    #[test]
     fn two_means_split_partitions_members() {
         let (points, _) = three_blobs(4);
         let members: Vec<usize> = (0..200).collect(); // blobs 0 and 1
-        let (a, b) = two_means_split(points.view(), &members, 9);
+        let (a, b) = two_means_split(points.view(), &members, 9, Runtime::sequential());
         assert_eq!(a.len() + b.len(), 200);
         assert!(!a.is_empty() && !b.is_empty());
         // The split should roughly separate the two blobs.

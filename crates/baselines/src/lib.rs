@@ -25,6 +25,24 @@
 //! with per-point labels (`None` = noise) so they can be scored uniformly
 //! by `adawave-metrics`, and every one of them is exposed behind the
 //! uniform [`adawave_api::Clusterer`] trait via [`clusterers::register`].
+//!
+//! The distance-heavy kernels (k-means assignment/accumulation, the DBSCAN
+//! neighborhood queries, mean-shift mode seeking, SYNC rounds, the STSC
+//! affinity matrix) fan out over an [`adawave_runtime::Runtime`] carried in
+//! each config — with the fixed-chunk contract that any thread count
+//! produces identical labels.
+//!
+//! ```
+//! use adawave_api::PointMatrix;
+//! use adawave_baselines::{dbscan, DbscanConfig};
+//!
+//! let points = PointMatrix::from_rows(vec![
+//!     vec![0.00, 0.00], vec![0.01, 0.00], vec![0.00, 0.01],
+//!     vec![1.00, 1.00], vec![1.01, 1.00], vec![1.00, 1.01],
+//! ]).unwrap();
+//! let clustering = dbscan(points.view(), &DbscanConfig::new(0.05, 2));
+//! assert_eq!(clustering.cluster_count(), 2);
+//! ```
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]

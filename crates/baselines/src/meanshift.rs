@@ -8,8 +8,13 @@
 //! be treated as noise via `min_cluster_size`.
 
 use adawave_api::{PointMatrix, PointsView};
+use adawave_runtime::Runtime;
 
 use crate::{Clustering, KdTree};
+
+/// Rows per parallel work unit of the mode-seeking pass (fixed so the
+/// chunking never depends on the thread count).
+const MODE_CHUNK_ROWS: usize = 256;
 
 /// Kernel used to weight neighborhood members during the shift.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +38,9 @@ pub struct MeanShiftConfig {
     pub tolerance: f64,
     /// Modes supported by fewer than this many points are labeled noise.
     pub min_cluster_size: usize,
+    /// Worker pool for the per-point mode-seeking iterations (every point
+    /// shifts independently, so labels never depend on the thread count).
+    pub runtime: Runtime,
 }
 
 impl Default for MeanShiftConfig {
@@ -43,6 +51,7 @@ impl Default for MeanShiftConfig {
             max_iterations: 100,
             tolerance: 1e-4,
             min_cluster_size: 1,
+            runtime: Runtime::from_env(),
         }
     }
 }
@@ -71,13 +80,13 @@ pub fn mean_shift(points: PointsView<'_>, config: &MeanShiftConfig) -> Clusterin
     let two_sigma_sq = 2.0 * bandwidth * bandwidth;
 
     // Shift every point to its mode (modes live in one flat buffer too).
-    let mut modes = PointMatrix::with_capacity(dims, n);
-    let mut current = vec![0.0; dims];
-    let mut mean = vec![0.0; dims];
-    for point in points.rows() {
+    // Every point's trajectory is independent of the others, so the
+    // mode-seeking pass fans out over the runtime in fixed row chunks and
+    // the resulting modes are identical for every thread count.
+    let seek_mode = |point: &[f64], current: &mut Vec<f64>, mean: &mut Vec<f64>| {
         current.copy_from_slice(point);
         for _ in 0..config.max_iterations {
-            let neighbors = tree.within_radius(&current, bandwidth);
+            let neighbors = tree.within_radius(current, bandwidth);
             if neighbors.is_empty() {
                 break;
             }
@@ -109,13 +118,33 @@ pub fn mean_shift(points: PointsView<'_>, config: &MeanShiftConfig) -> Clusterin
                 .map(|(a, b)| (a - b) * (a - b))
                 .sum::<f64>()
                 .sqrt();
-            current.copy_from_slice(&mean);
+            current.copy_from_slice(mean);
             if shift < config.tolerance {
                 break;
             }
         }
-        modes.push_row(&current);
-    }
+    };
+    let modes = if dims == 0 {
+        let mut zero_dim = PointMatrix::new(0);
+        for _ in 0..n {
+            zero_dim.push_row(&[]);
+        }
+        zero_dim
+    } else {
+        let mut buffer = vec![0.0; n * dims];
+        config
+            .runtime
+            .par_chunks_mut(&mut buffer, MODE_CHUNK_ROWS * dims, |chunk_idx, rows| {
+                let base = chunk_idx * MODE_CHUNK_ROWS;
+                let mut current = vec![0.0; dims];
+                let mut mean = vec![0.0; dims];
+                for (local, out) in rows.chunks_exact_mut(dims).enumerate() {
+                    seek_mode(points.row(base + local), &mut current, &mut mean);
+                    out.copy_from_slice(&current);
+                }
+            });
+        PointMatrix::from_flat(buffer, dims).expect("n x dims by construction")
+    };
 
     // Merge modes closer than bandwidth / 2 into a single cluster.
     let merge_radius = bandwidth / 2.0;
@@ -241,5 +270,27 @@ mod tests {
             mean_shift(points.view(), &config),
             mean_shift(points.view(), &config)
         );
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (points, _) = three_blobs();
+        let sequential = mean_shift(
+            points.view(),
+            &MeanShiftConfig {
+                runtime: Runtime::sequential(),
+                ..MeanShiftConfig::new(0.12)
+            },
+        );
+        for threads in [2, 8] {
+            let parallel = mean_shift(
+                points.view(),
+                &MeanShiftConfig {
+                    runtime: Runtime::with_threads(threads),
+                    ..MeanShiftConfig::new(0.12)
+                },
+            );
+            assert_eq!(sequential, parallel, "threads = {threads}");
+        }
     }
 }

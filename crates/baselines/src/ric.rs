@@ -10,6 +10,7 @@
 //! AMI ≈ 0 on very noisy data).
 
 use adawave_api::PointsView;
+use adawave_runtime::Runtime;
 
 use crate::kmeans::{kmeans, KMeansConfig};
 use crate::Clustering;
@@ -23,6 +24,9 @@ pub struct RicConfig {
     pub max_merge_rounds: usize,
     /// RNG seed for the initial k-means.
     pub seed: u64,
+    /// Worker pool forwarded to the initial k-means (the MDL purification
+    /// itself is sequential).
+    pub runtime: Runtime,
 }
 
 impl Default for RicConfig {
@@ -31,6 +35,7 @@ impl Default for RicConfig {
             initial_k: 8,
             max_merge_rounds: 16,
             seed: 0,
+            runtime: Runtime::from_env(),
         }
     }
 }
@@ -141,7 +146,10 @@ pub fn ric(points: PointsView<'_>, config: &RicConfig) -> Clustering {
     // Initial coarse partition.
     let init = kmeans(
         points,
-        &KMeansConfig::new(config.initial_k.max(1), config.seed),
+        &KMeansConfig {
+            runtime: config.runtime,
+            ..KMeansConfig::new(config.initial_k.max(1), config.seed)
+        },
     );
     let mut clusters: Vec<Vec<usize>> = init.clustering.clusters();
 

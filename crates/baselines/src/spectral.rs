@@ -13,6 +13,7 @@
 use adawave_api::{PointMatrix, PointsView};
 use adawave_data::Rng;
 use adawave_linalg::{jacobi_eigen, Matrix};
+use adawave_runtime::Runtime;
 
 use crate::kdtree::KdTree;
 use crate::kmeans::{kmeans, KMeansConfig};
@@ -31,6 +32,10 @@ pub struct SpectralConfig {
     pub max_exact_points: usize,
     /// RNG seed (subsampling and k-means).
     pub seed: u64,
+    /// Worker pool for the pairwise-distance kernels (local scales, the
+    /// affinity matrix, the 1-NN extension of the subsampling path) and the
+    /// embedded k-means. Labels never depend on the thread count.
+    pub runtime: Runtime,
 }
 
 impl Default for SpectralConfig {
@@ -41,6 +46,7 @@ impl Default for SpectralConfig {
             local_scale_neighbor: 7,
             max_exact_points: 600,
             seed: 0,
+            runtime: Runtime::from_env(),
         }
     }
 }
@@ -53,24 +59,32 @@ fn spectral_on_subset(points: PointsView<'_>, config: &SpectralConfig) -> Cluste
     if n == 1 {
         return Clustering::from_labels(vec![0]);
     }
-    // Local scales from the kd-tree.
+    // Local scales from the kd-tree; every query is independent, so they
+    // fan out over the runtime.
     let tree = KdTree::build(points);
     let neighbor_rank = config.local_scale_neighbor.min(n - 1).max(1);
-    let sigmas: Vec<f64> = points
-        .rows()
-        .map(|p| {
-            let nn = tree.nearest(p, neighbor_rank + 1);
-            nn.last().map(|&(_, d)| d.max(1e-9)).unwrap_or(1e-9)
-        })
-        .collect();
+    let sigmas: Vec<f64> = config.runtime.par_map_indexed(n, |i| {
+        let nn = tree.nearest(points.row(i), neighbor_rank + 1);
+        nn.last().map(|&(_, d)| d.max(1e-9)).unwrap_or(1e-9)
+    });
 
     // Locally-scaled affinity and normalized Laplacian-like matrix
     // D^{-1/2} A D^{-1/2} (its top eigenvectors are what STSC embeds).
+    // Each strict upper-triangle row is computed independently in
+    // parallel (same pair count as the sequential fill) and mirrored
+    // while being copied into the matrix.
+    let upper_rows: Vec<Vec<f64>> = config.runtime.par_map_indexed(n, |i| {
+        ((i + 1)..n)
+            .map(|j| {
+                let d2 = adawave_linalg::squared_distance(points.row(i), points.row(j));
+                (-d2 / (sigmas[i] * sigmas[j])).exp()
+            })
+            .collect()
+    });
     let mut affinity = Matrix::zeros(n, n);
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let d2 = adawave_linalg::squared_distance(points.row(i), points.row(j));
-            let a = (-d2 / (sigmas[i] * sigmas[j])).exp();
+    for (i, row) in upper_rows.iter().enumerate() {
+        for (offset, &a) in row.iter().enumerate() {
+            let j = i + 1 + offset;
             affinity[(i, j)] = a;
             affinity[(j, i)] = a;
         }
@@ -123,7 +137,11 @@ fn spectral_on_subset(points: PointsView<'_>, config: &SpectralConfig) -> Cluste
             }
         }
     }
-    kmeans(rows.view(), &KMeansConfig::new(k, config.seed)).clustering
+    let km_config = KMeansConfig {
+        runtime: config.runtime,
+        ..KMeansConfig::new(k, config.seed)
+    };
+    kmeans(rows.view(), &km_config).clustering
 }
 
 /// Run self-tuning spectral clustering, subsampling when the input is too
@@ -143,13 +161,10 @@ pub fn self_tuning_spectral(points: PointsView<'_>, config: &SpectralConfig) -> 
     let sample_clustering = spectral_on_subset(sample_points.view(), config);
 
     let tree = KdTree::build(sample_points.view());
-    let assignment: Vec<Option<usize>> = points
-        .rows()
-        .map(|p| {
-            let nn = tree.nearest(p, 1);
-            nn.first().and_then(|&(i, _)| sample_clustering.label(i))
-        })
-        .collect();
+    let assignment: Vec<Option<usize>> = config.runtime.par_map_indexed(n, |p| {
+        let nn = tree.nearest(points.row(p), 1);
+        nn.first().and_then(|&(i, _)| sample_clustering.label(i))
+    });
     Clustering::new(assignment)
 }
 

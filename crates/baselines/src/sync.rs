@@ -10,8 +10,14 @@
 //! points that never synchronize with anyone are noise.
 
 use adawave_api::{PointMatrix, PointsView};
+use adawave_runtime::Runtime;
 
 use crate::{Clustering, KdTree};
+
+/// Oscillators per parallel work unit of a synchronization round (fixed so
+/// the per-chunk shift totals merge in the same order for every thread
+/// count).
+const SYNC_CHUNK_ROWS: usize = 512;
 
 /// Configuration for [`sync_cluster`].
 #[derive(Debug, Clone)]
@@ -27,6 +33,10 @@ pub struct SyncConfig {
     pub convergence_tolerance: f64,
     /// Synchronized groups smaller than this are labeled noise.
     pub min_cluster_size: usize,
+    /// Worker pool for the per-round oscillator updates (Jacobi-style: each
+    /// round reads the previous state only, so every oscillator moves
+    /// independently and the dynamics never depend on the thread count).
+    pub runtime: Runtime,
 }
 
 impl Default for SyncConfig {
@@ -37,6 +47,7 @@ impl Default for SyncConfig {
             merge_tolerance: 1e-3,
             convergence_tolerance: 1e-5,
             min_cluster_size: 2,
+            runtime: Runtime::from_env(),
         }
     }
 }
@@ -63,33 +74,49 @@ pub fn sync_cluster(points: PointsView<'_>, config: &SyncConfig) -> Clustering {
 
     for _ in 0..config.max_rounds {
         // The interaction structure is recomputed every round on the moved
-        // points (synchronization pulls new neighbors into range).
+        // points (synchronization pulls new neighbors into range). Each
+        // oscillator update reads only the previous round's state, so the
+        // updates fan out over fixed row chunks; per-chunk shift totals
+        // merge in chunk order, keeping every round bit-identical across
+        // thread counts.
         let tree = KdTree::build(state.view());
         let mut next = state.clone();
-        let mut total_shift = 0.0;
-        let mut delta = vec![0.0; dims];
-        for i in 0..n {
-            let neighbors = tree.within_radius(state.row(i), config.eps);
-            let others: Vec<usize> = neighbors.into_iter().filter(|&j| j != i).collect();
-            if others.is_empty() {
-                continue;
-            }
-            delta.iter_mut().for_each(|d| *d = 0.0);
-            for &j in &others {
-                for ((d, &xj), &xi) in delta
-                    .iter_mut()
-                    .zip(state.row(j).iter())
-                    .zip(state.row(i).iter())
-                {
-                    *d += (xj - xi).sin();
+        let state_ref = &state;
+        let tree_ref = &tree;
+        let shifts: Vec<f64> = config.runtime.par_chunks_mut(
+            next.as_mut_slice(),
+            (SYNC_CHUNK_ROWS * dims).max(1),
+            |chunk_idx, rows| {
+                let base = chunk_idx * SYNC_CHUNK_ROWS;
+                let mut delta = vec![0.0; dims];
+                let mut chunk_shift = 0.0;
+                for (local, row) in rows.chunks_exact_mut(dims.max(1)).enumerate() {
+                    let i = base + local;
+                    let neighbors = tree_ref.within_radius(state_ref.row(i), config.eps);
+                    let others: Vec<usize> = neighbors.into_iter().filter(|&j| j != i).collect();
+                    if others.is_empty() {
+                        continue;
+                    }
+                    delta.iter_mut().for_each(|d| *d = 0.0);
+                    for &j in &others {
+                        for ((d, &xj), &xi) in delta
+                            .iter_mut()
+                            .zip(state_ref.row(j).iter())
+                            .zip(state_ref.row(i).iter())
+                        {
+                            *d += (xj - xi).sin();
+                        }
+                    }
+                    for (coord, d) in row.iter_mut().zip(delta.iter()) {
+                        let step = d / others.len() as f64;
+                        *coord += step;
+                        chunk_shift += step.abs();
+                    }
                 }
-            }
-            for (coord, d) in next.row_mut(i).iter_mut().zip(delta.iter()) {
-                let step = d / others.len() as f64;
-                *coord += step;
-                total_shift += step.abs();
-            }
-        }
+                chunk_shift
+            },
+        );
+        let total_shift: f64 = shifts.iter().sum();
         state = next;
         if total_shift / (n as f64 * dims as f64) < config.convergence_tolerance {
             break;
@@ -195,6 +222,28 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(sync_cluster(PointMatrix::new(2).view(), &SyncConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (points, _) = two_blobs();
+        let sequential = sync_cluster(
+            points.view(),
+            &SyncConfig {
+                runtime: Runtime::sequential(),
+                ..SyncConfig::new(0.12)
+            },
+        );
+        for threads in [2, 8] {
+            let parallel = sync_cluster(
+                points.view(),
+                &SyncConfig {
+                    runtime: Runtime::with_threads(threads),
+                    ..SyncConfig::new(0.12)
+                },
+            );
+            assert_eq!(sequential, parallel, "threads = {threads}");
+        }
     }
 
     #[test]

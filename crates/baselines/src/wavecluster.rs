@@ -13,6 +13,7 @@ use adawave_api::PointsView;
 use adawave_grid::{
     connected_components, Connectivity, KeyCodec, LookupTable, Quantizer, SparseGrid,
 };
+use adawave_runtime::Runtime;
 use adawave_wavelet::{BoundaryMode, DenseGrid, Wavelet};
 
 use crate::Clustering;
@@ -37,6 +38,10 @@ pub struct WaveClusterConfig {
     /// Upper bound on the dense grid size; the scale is halved until the
     /// grid fits (the dense grid is WaveCluster's scalability bottleneck).
     pub max_dense_cells: u128,
+    /// Worker pool for quantization and the separable dense wavelet passes
+    /// (independent grid rows/columns per axis). Any thread count produces
+    /// the same clustering.
+    pub runtime: Runtime,
 }
 
 impl Default for WaveClusterConfig {
@@ -48,6 +53,7 @@ impl Default for WaveClusterConfig {
             density_threshold: 1.0,
             connectivity: Connectivity::Face,
             max_dense_cells: 1 << 24,
+            runtime: Runtime::from_env(),
         }
     }
 }
@@ -72,7 +78,7 @@ pub fn wavecluster(points: PointsView<'_>, config: &WaveClusterConfig) -> Cluste
         Ok(q) => q,
         Err(_) => return Clustering::all_noise(n),
     };
-    let (_, assignment) = quantizer.quantize(points);
+    let (_, assignment) = quantizer.quantize_with(points, config.runtime);
     let lookup = LookupTable::new(quantizer.codec().clone(), assignment);
 
     // Build the dense grid (WaveCluster's original data structure).
@@ -95,7 +101,7 @@ pub fn wavecluster(points: PointsView<'_>, config: &WaveClusterConfig) -> Cluste
     let kernel = config.wavelet.density_smoothing_kernel();
     let mut smoothed = dense;
     for _ in 0..config.levels.max(1) {
-        smoothed = smoothed.smooth_all_axes(&kernel, BoundaryMode::Zero);
+        smoothed = smoothed.smooth_all_axes_with(&kernel, BoundaryMode::Zero, config.runtime);
     }
 
     // Fixed threshold relative to the mean non-zero smoothed density.

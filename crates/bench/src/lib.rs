@@ -7,6 +7,20 @@
 //! the Criterion benches in `benches/` measure the runtime-oriented
 //! figures.
 //!
+//! The `layout_bench` and `parallel_bench` binaries additionally measure
+//! the data-layout and multi-threading speedups of the hot kernels,
+//! writing `BENCH_layout.json` / `BENCH_parallel.json`.
+//!
+//! ```
+//! use adawave_bench::report::format_table;
+//!
+//! let table = format_table(
+//!     &["algorithm", "AMI"],
+//!     &[vec!["adawave".to_string(), "0.76".to_string()]],
+//! );
+//! assert!(table.contains("adawave"));
+//! ```
+//!
 //! ```no_run
 //! use adawave_bench::experiments;
 //!

@@ -81,6 +81,8 @@ COMMANDS:
              [--levels <n>] [--threshold <three-segment|elbow|kneedle|
               quantile:<f>|fixed:<f>>] [--k <n>] [--eps <f>]
              [--min-points <n>] [--bandwidth <f>] [--seed <n>]
+             [--threads <n>] (0 = auto: ADAWAVE_THREADS or all cores;
+              labels are identical for every thread count)
              [--reassign-noise] [--quiet]
   evaluate   Score predicted labels against the ground truth in a CSV
              --input <file.csv> --labels <labels.csv> [--noise-label <n>]
@@ -216,6 +218,7 @@ pub fn build_spec(
         "wavelet",
         "levels",
         "threshold",
+        "threads",
     ] {
         if let Some(value) = args.get(key) {
             spec.params.set(key, value);
@@ -631,6 +634,40 @@ mod tests {
             assert!(text.contains(name), "{name} missing:\n{text}");
         }
         assert!(text.contains("default"), "{text}");
+    }
+
+    #[test]
+    fn list_algorithms_is_one_aligned_table_with_types_and_defaults() {
+        let text = list_algorithms();
+        let lines: Vec<&str> = text.lines().collect();
+        // Header row names the columns (the README documents this format).
+        let header = lines[0];
+        for column in ["algorithm", "param", "type", "default", "description"] {
+            assert!(
+                header.contains(column),
+                "missing column {column}:\n{header}"
+            );
+        }
+        // Every algorithm declares `threads` and a default for it.
+        let threads_rows = lines.iter().filter(|l| l.contains(" threads ")).count();
+        assert_eq!(threads_rows, adawave::standard_registry().len(), "{text}");
+        // Alignment: the `param` column starts at the same offset in the
+        // header and in a parameter row.
+        let param_col = header.find("param").unwrap();
+        let k_row = lines.iter().find(|l| l.trim().starts_with("k ")).unwrap();
+        assert_eq!(k_row.find('k').unwrap(), param_col, "{text}");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_cli_labels() {
+        let (points, _) = toy_points();
+        for algo in ["adawave", "kmeans", "dbscan", "meanshift"] {
+            let one = ParsedArgs::parse(["cluster", "--scale", "32", "--threads", "1"]).unwrap();
+            let four = ParsedArgs::parse(["cluster", "--scale", "32", "--threads", "4"]).unwrap();
+            let a = run_clustering(algo, points.view(), &one, 2).unwrap();
+            let b = run_clustering(algo, points.view(), &four, 2).unwrap();
+            assert_eq!(a.labels, b.labels, "{algo}");
+        }
     }
 
     #[test]

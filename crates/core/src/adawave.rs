@@ -77,7 +77,7 @@ impl AdaWave {
                 }
             }
         };
-        let (grid, assignment) = quantizer.quantize(points);
+        let (grid, assignment) = quantizer.quantize_with(points, self.config.runtime);
         let lookup = LookupTable::new(quantizer.codec().clone(), assignment);
         let quantized_cells = grid.occupied_cells();
 

@@ -53,7 +53,8 @@ impl AdaWaveConfig {
     pub fn from_params(params: &Params) -> Result<Self, ClusterError> {
         let mut builder = Self::builder()
             .scale(params.get_or("scale", 128)?)
-            .levels(params.get_or("levels", 1)?);
+            .levels(params.get_or("levels", 1)?)
+            .threads(params.get_or("threads", 0)?);
         if let Some(name) = params.get("wavelet") {
             let wavelet = Wavelet::from_name(name).ok_or_else(|| ClusterError::InvalidParam {
                 param: "wavelet".to_string(),
@@ -93,6 +94,7 @@ pub fn register(registry: &mut AlgorithmRegistry) {
                 "three-segment",
                 "three-segment, elbow, kneedle, quantile:<f> or fixed:<f>",
             ),
+            ParamSpec::THREADS,
         ],
         |params| {
             let config = AdaWaveConfig::from_params(params)?;

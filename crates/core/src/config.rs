@@ -6,6 +6,7 @@
 //! every experiment uses unless an ablation says otherwise.
 
 use adawave_grid::Connectivity;
+use adawave_runtime::Runtime;
 use adawave_wavelet::{BoundaryMode, Wavelet};
 
 use crate::threshold::ThresholdStrategy;
@@ -41,6 +42,9 @@ pub struct AdaWaveConfig {
     /// lowest-magnitude cells beyond the budget are dropped, which the
     /// threshold filter would discard anyway.
     pub max_transformed_cells: usize,
+    /// Worker pool for the quantization pass (the per-point hot path of
+    /// the pipeline). The clustering is identical for every thread count.
+    pub runtime: Runtime,
 }
 
 impl Default for AdaWaveConfig {
@@ -56,6 +60,7 @@ impl Default for AdaWaveConfig {
             connectivity: Connectivity::Face,
             auto_reduce_scale: true,
             max_transformed_cells: 1_000_000,
+            runtime: Runtime::from_env(),
         }
     }
 }
@@ -141,6 +146,18 @@ impl AdaWaveConfigBuilder {
     /// Set the per-dimension occupied-cell budget of the sparse transform.
     pub fn max_transformed_cells(mut self, budget: usize) -> Self {
         self.config.max_transformed_cells = budget;
+        self
+    }
+
+    /// Set the worker pool for the parallel pipeline stages.
+    pub fn runtime(mut self, runtime: Runtime) -> Self {
+        self.config.runtime = runtime;
+        self
+    }
+
+    /// Set the worker count (`0` = auto: `ADAWAVE_THREADS` or all cores).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.runtime = Runtime::with_threads(threads);
         self
     }
 

@@ -2,8 +2,14 @@
 //! to a grid cell and record the per-cell point counts.
 
 use adawave_api::PointsView;
+use adawave_runtime::Runtime;
 
 use crate::{BoundingBox, GridError, KeyCodec, Result, SparseGrid};
+
+/// Rows per parallel shard of [`Quantizer::quantize_with`]. Fixed (never
+/// derived from the thread count) so shard boundaries — and therefore the
+/// merged result — are identical for every [`Runtime`].
+const QUANTIZE_CHUNK_ROWS: usize = 8_192;
 
 /// Maps points to grid cells.
 ///
@@ -134,14 +140,54 @@ impl Quantizer {
 
     /// Quantize a whole dataset: returns the sparse grid of per-cell counts
     /// and, for every point, the key of the cell it fell into (the lookup
-    /// table input for step 6 of Algorithm 1).
+    /// table input for step 6 of Algorithm 1). Runs sequentially; see
+    /// [`quantize_with`](Self::quantize_with) for the parallel form.
     pub fn quantize(&self, points: PointsView<'_>) -> (SparseGrid, Vec<u128>) {
+        self.quantize_with(points, Runtime::sequential())
+    }
+
+    /// [`quantize`](Self::quantize) fanned out over `runtime`: the view is
+    /// partitioned into fixed row shards, every shard builds its own sparse
+    /// cell-count map plus key slice, and the shards are merged in shard
+    /// order. Cell counts are small integers (exact in `f64`), so the merge
+    /// is bit-identical to the sequential pass for every thread count.
+    pub fn quantize_with(
+        &self,
+        points: PointsView<'_>,
+        runtime: Runtime,
+    ) -> (SparseGrid, Vec<u128>) {
+        let dims = points.dims();
+        if runtime.is_sequential() || dims == 0 || points.len() <= QUANTIZE_CHUNK_ROWS {
+            let mut grid = SparseGrid::with_capacity(points.len().min(1 << 16));
+            let mut assignment = Vec::with_capacity(points.len());
+            for p in points.rows() {
+                let key = self.cell_key(p);
+                grid.increment(key);
+                assignment.push(key);
+            }
+            return (grid, assignment);
+        }
+        let shards: Vec<(SparseGrid, Vec<u128>)> = runtime.par_chunks(
+            points.as_slice(),
+            QUANTIZE_CHUNK_ROWS * dims,
+            |_, coords| {
+                let mut grid = SparseGrid::with_capacity(QUANTIZE_CHUNK_ROWS.min(1 << 12));
+                let mut keys = Vec::with_capacity(coords.len() / dims);
+                for p in coords.chunks_exact(dims) {
+                    let key = self.cell_key(p);
+                    grid.increment(key);
+                    keys.push(key);
+                }
+                (grid, keys)
+            },
+        );
         let mut grid = SparseGrid::with_capacity(points.len().min(1 << 16));
         let mut assignment = Vec::with_capacity(points.len());
-        for p in points.rows() {
-            let key = self.cell_key(p);
-            grid.increment(key);
-            assignment.push(key);
+        for (shard, keys) in shards {
+            for (key, count) in shard.iter() {
+                grid.add(key, count);
+            }
+            assignment.extend_from_slice(&keys);
         }
         (grid, assignment)
     }
@@ -247,6 +293,25 @@ mod tests {
         pts.reverse_rows();
         let (grid_b, _) = q.quantize(pts.view());
         assert_eq!(grid_a, grid_b);
+    }
+
+    #[test]
+    fn parallel_quantize_matches_sequential() {
+        // Enough rows to cross the shard size so the parallel path is
+        // actually exercised.
+        let mut pts = PointMatrix::new(2);
+        let mut x = 0.123_f64;
+        for _ in 0..20_000 {
+            x = (x * 97.0 + 0.31).fract();
+            pts.push_row(&[x, (x * 13.0).fract()]);
+        }
+        let q = Quantizer::fit(pts.view(), 64).unwrap();
+        let (grid_seq, keys_seq) = q.quantize(pts.view());
+        for threads in [2, 3, 8] {
+            let (grid_par, keys_par) = q.quantize_with(pts.view(), Runtime::with_threads(threads));
+            assert_eq!(grid_seq, grid_par, "threads = {threads}");
+            assert_eq!(keys_seq, keys_par, "threads = {threads}");
+        }
     }
 
     #[test]

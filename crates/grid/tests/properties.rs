@@ -4,6 +4,7 @@ use adawave_api::PointMatrix;
 use adawave_grid::{
     connected_components, Connectivity, KeyCodec, Quantizer, SparseGrid, UnionFind,
 };
+use adawave_runtime::Runtime;
 use proptest::prelude::*;
 
 fn points_strategy(dims: usize) -> impl Strategy<Value = PointMatrix> {
@@ -70,6 +71,30 @@ proptest! {
         }
         let (grid_b, _) = quantizer.quantize(shuffled.view());
         prop_assert_eq!(grid_a, grid_b);
+    }
+
+    #[test]
+    fn quantize_is_thread_count_invariant(
+        points in points_strategy(2),
+        threads in 1usize..9,
+        tile in 1usize..3,
+    ) {
+        // Tile the random rows so some cases cross the parallel shard size
+        // while others stay on the inline path — both must agree with the
+        // sequential runtime exactly.
+        let mut tiled = PointMatrix::new(2);
+        for rep in 0..(tile * 200) {
+            let jitter = rep as f64 * 1e-3;
+            for row in points.rows() {
+                tiled.push_row(&[row[0] + jitter, row[1] - jitter]);
+            }
+        }
+        let quantizer = Quantizer::fit(tiled.view(), 16).unwrap();
+        let (grid_seq, keys_seq) = quantizer.quantize_with(tiled.view(), Runtime::sequential());
+        let (grid_par, keys_par) =
+            quantizer.quantize_with(tiled.view(), Runtime::with_threads(threads));
+        prop_assert_eq!(grid_seq, grid_par);
+        prop_assert_eq!(keys_seq, keys_par);
     }
 
     #[test]

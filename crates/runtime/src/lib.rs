@@ -1,0 +1,458 @@
+//! # adawave-runtime
+//!
+//! The structured-parallelism layer of the AdaWave workspace: a
+//! dependency-free [`Runtime`] built on [`std::thread::scope`] that the hot
+//! kernels (grid quantization per Algorithm 2 of the paper, the separable
+//! wavelet passes of §III, k-means assignment, pairwise-distance loops)
+//! use to fan work out over points and grid lanes.
+//!
+//! The paper's pipeline is embarrassingly parallel over points and over
+//! grid lines, but parallel floating-point reduction is where determinism
+//! usually dies: summing partial results in thread-completion order makes
+//! the output depend on scheduling. This crate therefore enforces a
+//! **fixed-chunk contract**: work is split at chunk boundaries that depend
+//! only on the input length and a caller-chosen chunk size — never on the
+//! thread count — and per-chunk results are always combined in chunk
+//! order. Running with 1, 4 or 64 threads produces bit-identical results;
+//! [`Runtime::sequential`] is literally the same code path with one
+//! worker.
+//!
+//! ```
+//! use adawave_runtime::Runtime;
+//!
+//! let data: Vec<f64> = (0..10_000).map(f64::from).collect();
+//! let seq = Runtime::sequential();
+//! let par = Runtime::with_threads(4);
+//!
+//! // Per-chunk partial sums arrive in chunk order for both runtimes,
+//! // so the final fold is bit-identical regardless of thread count.
+//! let sums: Vec<f64> = par.par_chunks(&data, 1024, |_, chunk| chunk.iter().sum());
+//! assert_eq!(sums, seq.par_chunks(&data, 1024, |_, chunk| chunk.iter().sum::<f64>()));
+//! let total: f64 = sums.iter().sum();
+//! assert_eq!(total, (0..10_000).map(f64::from).sum());
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+/// Environment variable overriding the auto-detected worker count
+/// (`ADAWAVE_THREADS=1` pins every [`Runtime::from_env`] runtime to
+/// sequential execution — what CI uses to cross-check thread-count
+/// determinism).
+pub const THREADS_ENV: &str = "ADAWAVE_THREADS";
+
+/// A worker-pool handle: how many threads the `par_*` primitives may use.
+///
+/// `Runtime` is a tiny `Copy` value, not a persistent pool — each `par_*`
+/// call spawns scoped threads for its own duration, so a `Runtime` can be
+/// stored in any config struct and shared freely. One thread means every
+/// primitive runs inline with zero spawning overhead.
+///
+/// # Determinism
+///
+/// Every primitive splits its input at **fixed chunk boundaries** derived
+/// only from the input length and the caller's chunk size, and combines
+/// per-chunk results in chunk order. The thread count only decides how
+/// many chunks run concurrently, never how the work is split or merged, so
+/// results are bit-identical for every thread count — the workspace-wide
+/// contract that lets `--threads 8` and `--threads 1` produce
+/// label-for-label equal clusterings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Runtime {
+    threads: NonZeroUsize,
+}
+
+impl Default for Runtime {
+    /// The environment-aware default: [`Runtime::from_env`].
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl Runtime {
+    /// A runtime that runs everything inline on the calling thread.
+    pub fn sequential() -> Self {
+        Self {
+            threads: NonZeroUsize::MIN,
+        }
+    }
+
+    /// A runtime with an explicit worker count.
+    pub fn new(threads: NonZeroUsize) -> Self {
+        Self { threads }
+    }
+
+    /// A runtime with `threads` workers; `0` means "auto": the
+    /// [`THREADS_ENV`] override if set, otherwise every available core.
+    pub fn with_threads(threads: usize) -> Self {
+        match NonZeroUsize::new(threads) {
+            Some(threads) => Self { threads },
+            None => Self::from_env(),
+        }
+    }
+
+    /// A runtime sized by [`std::thread::available_parallelism`] (1 if the
+    /// platform cannot report it).
+    pub fn auto() -> Self {
+        Self {
+            threads: std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN),
+        }
+    }
+
+    /// A runtime sized by the [`THREADS_ENV`] environment variable when it
+    /// holds a positive integer, falling back to [`Runtime::auto`].
+    pub fn from_env() -> Self {
+        match std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|raw| raw.trim().parse::<usize>().ok())
+            .and_then(NonZeroUsize::new)
+        {
+            Some(threads) => Self { threads },
+            None => Self::auto(),
+        }
+    }
+
+    /// Number of worker threads this runtime may use.
+    pub fn threads(&self) -> usize {
+        self.threads.get()
+    }
+
+    /// Whether the runtime runs everything inline (one worker).
+    pub fn is_sequential(&self) -> bool {
+        self.threads.get() == 1
+    }
+
+    /// Run `work(chunk_index)` for every chunk index in `0..chunks` and
+    /// return the results in chunk order. Workers claim chunk indices from
+    /// a shared counter — so a skewed workload cannot strand all the
+    /// expensive chunks on one worker — and each result is placed by its
+    /// chunk index, keeping the output order (and every downstream fold)
+    /// independent of which worker computed what. With one worker (or one
+    /// chunk) everything runs inline.
+    fn run_chunks<R, F>(&self, chunks: usize, work: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let workers = self.threads.get().min(chunks);
+        if workers <= 1 {
+            return (0..chunks).map(work).collect();
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(chunks);
+        slots.resize_with(chunks, || None);
+        std::thread::scope(|scope| {
+            let work = &work;
+            let next = &next;
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut claimed: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= chunks {
+                                break;
+                            }
+                            claimed.push((i, work(i)));
+                        }
+                        claimed
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let claimed = handle
+                    .join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+                for (i, result) in claimed {
+                    slots[i] = Some(result);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every chunk index is claimed exactly once"))
+            .collect()
+    }
+
+    /// Apply `f` to consecutive `chunk_len`-sized chunks of `data` (the
+    /// last chunk may be shorter) and collect the results **in chunk
+    /// order**. `f` receives the chunk index alongside the chunk, so
+    /// `chunk_index * chunk_len` recovers the offset of its first element.
+    ///
+    /// # Panics
+    /// Panics if `chunk_len == 0`.
+    ///
+    /// ```
+    /// use adawave_runtime::Runtime;
+    ///
+    /// let data = [1.0f64, 2.0, 3.0, 4.0, 5.0];
+    /// let rt = Runtime::with_threads(2);
+    /// let sums: Vec<f64> = rt.par_chunks(&data, 2, |_, chunk| chunk.iter().sum());
+    /// assert_eq!(sums, vec![3.0, 7.0, 5.0]);
+    /// ```
+    pub fn par_chunks<T, R, F>(&self, data: &[T], chunk_len: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+    {
+        assert!(chunk_len > 0, "par_chunks: chunk_len must be positive");
+        let chunks = data.len().div_ceil(chunk_len);
+        self.run_chunks(chunks, |i| {
+            let lo = i * chunk_len;
+            let hi = (lo + chunk_len).min(data.len());
+            f(i, &data[lo..hi])
+        })
+    }
+
+    /// Mutable counterpart of [`par_chunks`](Self::par_chunks): apply `f`
+    /// to disjoint `chunk_len`-sized mutable chunks of `data` and collect
+    /// the per-chunk results in chunk order.
+    ///
+    /// Unlike the read-only primitives, chunks are assigned to workers as
+    /// static contiguous runs (dynamic claiming of `&mut` sub-slices would
+    /// need `unsafe`, which this crate forbids), so heavily skewed
+    /// workloads balance less well here — results are still identical for
+    /// every thread count.
+    ///
+    /// # Panics
+    /// Panics if `chunk_len == 0`.
+    pub fn par_chunks_mut<T, R, F>(&self, data: &mut [T], chunk_len: usize, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut [T]) -> R + Sync,
+    {
+        assert!(chunk_len > 0, "par_chunks_mut: chunk_len must be positive");
+        let chunks = data.len().div_ceil(chunk_len);
+        let workers = self.threads.get().min(chunks);
+        if workers <= 1 {
+            return data
+                .chunks_mut(chunk_len)
+                .enumerate()
+                .map(|(i, chunk)| f(i, chunk))
+                .collect();
+        }
+        // Give every worker a contiguous run of whole chunks by splitting
+        // the slice itself at chunk-aligned boundaries.
+        let chunks_per_worker = chunks.div_ceil(workers);
+        let mut results: Vec<Vec<R>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let f = &f;
+            let mut handles = Vec::with_capacity(workers);
+            let mut rest: &mut [T] = data;
+            let mut next_chunk = 0usize;
+            while !rest.is_empty() {
+                let take = (chunks_per_worker * chunk_len).min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let base = next_chunk;
+                next_chunk += head.len().div_ceil(chunk_len);
+                handles.push(scope.spawn(move || {
+                    head.chunks_mut(chunk_len)
+                        .enumerate()
+                        .map(|(i, chunk)| f(base + i, chunk))
+                        .collect::<Vec<R>>()
+                }));
+            }
+            for handle in handles {
+                results.push(
+                    handle
+                        .join()
+                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload)),
+                );
+            }
+        });
+        results.into_iter().flatten().collect()
+    }
+
+    /// Compute `f(i)` for every `i in 0..len`, returning the results in
+    /// index order. Every element is independent, so the output never
+    /// depends on the thread count. Indices are processed in fixed blocks
+    /// of 1024.
+    pub fn par_map_indexed<R, F>(&self, len: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        const INDEX_CHUNK: usize = 1024;
+        let chunks = len.div_ceil(INDEX_CHUNK);
+        self.run_chunks(chunks, |c| {
+            let lo = c * INDEX_CHUNK;
+            let hi = (lo + INDEX_CHUNK).min(len);
+            (lo..hi).map(&f).collect::<Vec<R>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// Deterministic chunked reduction: map every fixed `chunk_len`-sized
+    /// index range of `0..len` to an accumulator with `map`, then fold the
+    /// accumulators **in chunk order** with `fold`. Because the chunk
+    /// boundaries depend only on `len` and `chunk_len` and the fold order
+    /// is fixed, the result is bit-identical for every thread count — even
+    /// for non-associative floating-point accumulation.
+    ///
+    /// Returns `None` when `len == 0`.
+    ///
+    /// # Panics
+    /// Panics if `chunk_len == 0`.
+    ///
+    /// ```
+    /// use adawave_runtime::Runtime;
+    ///
+    /// let total = Runtime::with_threads(4)
+    ///     .par_reduce(10, 3, |range| range.sum::<usize>(), |a, b| a + b);
+    /// assert_eq!(total, Some(45));
+    /// ```
+    pub fn par_reduce<A, M, F>(&self, len: usize, chunk_len: usize, map: M, fold: F) -> Option<A>
+    where
+        A: Send,
+        M: Fn(Range<usize>) -> A + Sync,
+        F: FnMut(A, A) -> A,
+    {
+        assert!(chunk_len > 0, "par_reduce: chunk_len must be positive");
+        let chunks = len.div_ceil(chunk_len);
+        let parts = self.run_chunks(chunks, |i| {
+            let lo = i * chunk_len;
+            let hi = (lo + chunk_len).min(len);
+            map(lo..hi)
+        });
+        parts.into_iter().reduce(fold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_is_one_thread() {
+        let rt = Runtime::sequential();
+        assert_eq!(rt.threads(), 1);
+        assert!(rt.is_sequential());
+        assert!(!Runtime::with_threads(3).is_sequential());
+        assert_eq!(Runtime::with_threads(5).threads(), 5);
+        assert_eq!(Runtime::new(NonZeroUsize::new(2).unwrap()).threads(), 2);
+        assert!(Runtime::auto().threads() >= 1);
+        assert!(Runtime::default().threads() >= 1);
+    }
+
+    #[test]
+    fn par_chunks_covers_every_element_in_order() {
+        let data: Vec<u64> = (0..10_001).collect();
+        for threads in [1, 2, 3, 8] {
+            let rt = Runtime::with_threads(threads);
+            let chunks: Vec<Vec<u64>> = rt.par_chunks(&data, 128, |_, c| c.to_vec());
+            let flat: Vec<u64> = chunks.into_iter().flatten().collect();
+            assert_eq!(flat, data, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_passes_the_chunk_index() {
+        let data = [0u8; 1000];
+        let rt = Runtime::with_threads(4);
+        let indices: Vec<usize> = rt.par_chunks(&data, 64, |i, _| i);
+        assert_eq!(indices, (0..16).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn par_chunks_mut_mutates_disjoint_chunks() {
+        let expected: Vec<usize> = (0..5_000).map(|i| i * 2 + i / 512).collect();
+        for threads in [1, 2, 4, 7] {
+            let mut data: Vec<usize> = (0..5_000).collect();
+            let rt = Runtime::with_threads(threads);
+            let firsts: Vec<usize> = rt.par_chunks_mut(&mut data, 512, |chunk_idx, chunk| {
+                for v in chunk.iter_mut() {
+                    *v = *v * 2 + chunk_idx;
+                }
+                chunk[0]
+            });
+            assert_eq!(data, expected, "threads = {threads}");
+            assert_eq!(firsts.len(), 10);
+            assert_eq!(firsts[3], expected[3 * 512]);
+        }
+    }
+
+    #[test]
+    fn par_map_indexed_matches_sequential_map() {
+        let expected: Vec<u64> = (0..3_000u64).map(|i| i * i).collect();
+        for threads in [1, 2, 5] {
+            let rt = Runtime::with_threads(threads);
+            assert_eq!(
+                rt.par_map_indexed(3_000, |i| (i as u64) * (i as u64)),
+                expected,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_reduce_is_bit_identical_across_thread_counts() {
+        // Pathologically mixed magnitudes: any change in summation order
+        // changes the rounding, so bitwise equality across thread counts
+        // proves the fixed-chunk contract.
+        let data: Vec<f64> = (0..40_000)
+            .map(|i| {
+                let x = i as f64;
+                (x * 0.7).sin() * 10f64.powi((i % 13) - 6)
+            })
+            .collect();
+        let sum_of = |rt: Runtime| {
+            rt.par_reduce(
+                data.len(),
+                1024,
+                |range| range.map(|i| data[i]).sum::<f64>(),
+                |a, b| a + b,
+            )
+            .unwrap()
+        };
+        let reference = sum_of(Runtime::sequential());
+        for threads in 2..=8 {
+            let parallel = sum_of(Runtime::with_threads(threads));
+            assert_eq!(
+                reference.to_bits(),
+                parallel.to_bits(),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_reduce_empty_input_is_none() {
+        let rt = Runtime::with_threads(4);
+        assert_eq!(rt.par_reduce(0, 8, |_| 1u32, |a, b| a + b), None);
+        assert!(rt.par_chunks(&[] as &[u8], 8, |_, c| c.len()).is_empty());
+        assert!(rt.par_map_indexed(0, |i| i).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_len must be positive")]
+    fn zero_chunk_len_panics() {
+        Runtime::sequential().par_chunks(&[1u8], 0, |_, c| c.len());
+    }
+
+    #[test]
+    fn more_threads_than_chunks_is_fine() {
+        let data = [1u32, 2, 3];
+        let rt = Runtime::with_threads(64);
+        let out: Vec<u32> = rt.par_chunks(&data, 1, |_, c| c[0] * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            Runtime::with_threads(4).par_map_indexed(5_000, |i| {
+                assert!(i != 4_999, "boom");
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+}

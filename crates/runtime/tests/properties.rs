@@ -1,0 +1,79 @@
+//! Property tests for the fixed-chunk determinism contract: every `par_*`
+//! primitive must produce results independent of the thread count, bit for
+//! bit, on arbitrary inputs and chunk sizes.
+
+use adawave_runtime::Runtime;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn par_chunks_is_thread_count_invariant(
+        data in prop::collection::vec(-1e9f64..1e9, 0..400),
+        chunk_len in 1usize..64,
+        threads in 1usize..9,
+    ) {
+        let seq: Vec<f64> = Runtime::sequential()
+            .par_chunks(&data, chunk_len, |_, c| c.iter().sum());
+        let par: Vec<f64> = Runtime::with_threads(threads)
+            .par_chunks(&data, chunk_len, |_, c| c.iter().sum());
+        prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_chunks_mut_is_thread_count_invariant(
+        data in prop::collection::vec(-1e6f64..1e6, 0..400),
+        chunk_len in 1usize..64,
+        threads in 1usize..9,
+    ) {
+        let mut seq = data.clone();
+        let seq_sums: Vec<f64> = Runtime::sequential().par_chunks_mut(&mut seq, chunk_len, |i, c| {
+            for v in c.iter_mut() {
+                *v = v.mul_add(0.5, i as f64);
+            }
+            c.iter().sum()
+        });
+        let mut par = data;
+        let par_sums: Vec<f64> =
+            Runtime::with_threads(threads).par_chunks_mut(&mut par, chunk_len, |i, c| {
+                for v in c.iter_mut() {
+                    *v = v.mul_add(0.5, i as f64);
+                }
+                c.iter().sum()
+            });
+        prop_assert_eq!(seq, par);
+        prop_assert_eq!(seq_sums, par_sums);
+    }
+
+    #[test]
+    fn par_reduce_is_thread_count_invariant(
+        data in prop::collection::vec(-1e12f64..1e12, 0..500),
+        chunk_len in 1usize..80,
+        threads in 1usize..9,
+    ) {
+        // Floating-point addition is not associative, so bitwise equality
+        // here demonstrates the fixed chunk boundaries and in-order fold.
+        let run = |rt: Runtime| {
+            rt.par_reduce(
+                data.len(),
+                chunk_len,
+                |range| range.map(|i| data[i]).sum::<f64>(),
+                |a, b| a + b,
+            )
+        };
+        let seq = run(Runtime::sequential());
+        let par = run(Runtime::with_threads(threads));
+        prop_assert_eq!(seq.map(f64::to_bits), par.map(f64::to_bits));
+    }
+
+    #[test]
+    fn par_map_indexed_is_thread_count_invariant(
+        len in 0usize..2_000,
+        threads in 1usize..9,
+    ) {
+        let f = |i: usize| (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        prop_assert_eq!(
+            Runtime::sequential().par_map_indexed(len, f),
+            Runtime::with_threads(threads).par_map_indexed(len, f)
+        );
+    }
+}

@@ -6,7 +6,14 @@
 //! provides that array type plus the separable transform; the memory-frugal
 //! sparse path lives in `adawave-grid`/`adawave-core`.
 
+use adawave_runtime::Runtime;
+
 use crate::{dwt1d, dwt1d_lowpass, BoundaryMode, FilterBank, Result, WaveletError};
+
+/// Lanes per parallel work unit of the `*_with` axis transforms. Fixed
+/// (independent of the thread count) so the per-lane outputs are produced
+/// and scattered in exactly the same order for every [`Runtime`].
+const LANE_CHUNK: usize = 32;
 
 /// A dense d-dimensional array of `f64` in row-major order (the last axis
 /// varies fastest).
@@ -137,6 +144,62 @@ impl DenseGrid {
         (starts, stride)
     }
 
+    /// Gather the lane starting at `start` (stride `stride`) into `lane`.
+    #[inline]
+    fn read_lane(&self, start: usize, stride: usize, lane: &mut [f64]) {
+        for (k, v) in lane.iter_mut().enumerate() {
+            *v = self.data[start + k * stride];
+        }
+    }
+
+    /// Run `f` over every lane along `axis` on `runtime`, returning the
+    /// per-lane outputs in lane order. Lanes are independent 1-D signals,
+    /// so the outputs are identical for every thread count. This is the
+    /// one chunked-lane fan-out every `*_with` transform shares.
+    fn transform_lanes<O, F>(&self, axis: usize, runtime: Runtime, f: F) -> Vec<O>
+    where
+        O: Send,
+        F: Fn(&[f64]) -> O + Sync,
+    {
+        let axis_len = self.shape[axis];
+        let (starts, stride) = self.lanes(axis);
+        runtime
+            .par_chunks(&starts, LANE_CHUNK, |_, chunk| {
+                let mut lane = vec![0.0; axis_len];
+                chunk
+                    .iter()
+                    .map(|&start| {
+                        self.read_lane(start, stride, &mut lane);
+                        f(&lane)
+                    })
+                    .collect::<Vec<O>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// [`transform_lanes`](Self::transform_lanes) for single-output lane
+    /// transforms: scatter each transformed lane (of length `new_len`)
+    /// into a grid whose axis was resized to `new_len`, sequentially in
+    /// lane order.
+    fn map_lanes_with<F>(&self, axis: usize, new_len: usize, runtime: Runtime, f: F) -> DenseGrid
+    where
+        F: Fn(&[f64]) -> Vec<f64> + Sync,
+    {
+        let mut new_shape = self.shape.clone();
+        new_shape[axis] = new_len;
+        let mut out = DenseGrid::zeros(&new_shape);
+        let (new_starts, new_stride) = out.lanes(axis);
+        let transformed: Vec<Vec<f64>> = self.transform_lanes(axis, runtime, f);
+        for (lane_out, &new_start) in transformed.iter().zip(new_starts.iter()) {
+            for (k, &v) in lane_out.iter().enumerate() {
+                out.data[new_start + k * new_stride] = v;
+            }
+        }
+        out
+    }
+
     /// Apply a single-level full DWT along one axis, returning the
     /// approximation and detail grids (the axis length becomes
     /// `ceil(len / 2)` in both).
@@ -146,21 +209,29 @@ impl DenseGrid {
         bank: &FilterBank,
         mode: BoundaryMode,
     ) -> (DenseGrid, DenseGrid) {
-        let axis_len = self.shape[axis];
-        let new_len = axis_len.div_ceil(2);
+        self.dwt_axis_with(axis, bank, mode, Runtime::sequential())
+    }
+
+    /// [`dwt_axis`](Self::dwt_axis) with the lanes (independent rows /
+    /// columns of the grid) fanned out over `runtime`. Each lane transform
+    /// is independent, so the result is identical for every thread count.
+    pub fn dwt_axis_with(
+        &self,
+        axis: usize,
+        bank: &FilterBank,
+        mode: BoundaryMode,
+        runtime: Runtime,
+    ) -> (DenseGrid, DenseGrid) {
+        let new_len = self.shape[axis].div_ceil(2);
         let mut new_shape = self.shape.clone();
         new_shape[axis] = new_len;
         let mut approx = DenseGrid::zeros(&new_shape);
         let mut detail = DenseGrid::zeros(&new_shape);
 
-        let (starts, stride) = self.lanes(axis);
         let (new_starts, new_stride) = approx.lanes(axis);
-        let mut lane = vec![0.0; axis_len];
-        for (&start, &new_start) in starts.iter().zip(new_starts.iter()) {
-            for (k, v) in lane.iter_mut().enumerate() {
-                *v = self.data[start + k * stride];
-            }
-            let (a, d) = dwt1d(&lane, bank, mode);
+        let transformed: Vec<(Vec<f64>, Vec<f64>)> =
+            self.transform_lanes(axis, runtime, |lane| dwt1d(lane, bank, mode));
+        for ((a, d), &new_start) in transformed.iter().zip(new_starts.iter()) {
             for (k, &v) in a.iter().enumerate() {
                 approx.data[new_start + k * new_stride] = v;
             }
@@ -174,33 +245,41 @@ impl DenseGrid {
     /// Apply the low-pass branch only along one axis (what WaveCluster /
     /// AdaWave keep), using an arbitrary smoothing kernel.
     pub fn lowpass_axis(&self, axis: usize, kernel: &[f64], mode: BoundaryMode) -> DenseGrid {
-        let axis_len = self.shape[axis];
-        let new_len = axis_len.div_ceil(2);
-        let mut new_shape = self.shape.clone();
-        new_shape[axis] = new_len;
-        let mut approx = DenseGrid::zeros(&new_shape);
+        self.lowpass_axis_with(axis, kernel, mode, Runtime::sequential())
+    }
 
-        let (starts, stride) = self.lanes(axis);
-        let (new_starts, new_stride) = approx.lanes(axis);
-        let mut lane = vec![0.0; axis_len];
-        for (&start, &new_start) in starts.iter().zip(new_starts.iter()) {
-            for (k, v) in lane.iter_mut().enumerate() {
-                *v = self.data[start + k * stride];
-            }
-            let a = dwt1d_lowpass(&lane, kernel, mode);
-            for (k, &v) in a.iter().enumerate() {
-                approx.data[new_start + k * new_stride] = v;
-            }
-        }
-        approx
+    /// [`lowpass_axis`](Self::lowpass_axis) with the lanes fanned out over
+    /// `runtime`.
+    pub fn lowpass_axis_with(
+        &self,
+        axis: usize,
+        kernel: &[f64],
+        mode: BoundaryMode,
+        runtime: Runtime,
+    ) -> DenseGrid {
+        let new_len = self.shape[axis].div_ceil(2);
+        self.map_lanes_with(axis, new_len, runtime, |lane| {
+            dwt1d_lowpass(lane, kernel, mode)
+        })
     }
 
     /// Separable low-pass transform along every axis (one level): the
     /// "average signal" subband `L…L` that grid clustering operates on.
     pub fn lowpass_all_axes(&self, kernel: &[f64], mode: BoundaryMode) -> DenseGrid {
+        self.lowpass_all_axes_with(kernel, mode, Runtime::sequential())
+    }
+
+    /// [`lowpass_all_axes`](Self::lowpass_all_axes) with every axis pass
+    /// fanned out over `runtime`.
+    pub fn lowpass_all_axes_with(
+        &self,
+        kernel: &[f64],
+        mode: BoundaryMode,
+        runtime: Runtime,
+    ) -> DenseGrid {
         let mut current = self.clone();
         for axis in 0..self.ndim() {
-            current = current.lowpass_axis(axis, kernel, mode);
+            current = current.lowpass_axis_with(axis, kernel, mode, runtime);
         }
         current
     }
@@ -210,32 +289,40 @@ impl DenseGrid {
     /// cell `c >> 1` of the output, which grid-clustering lookup tables rely
     /// on.
     pub fn smooth_axis(&self, axis: usize, kernel: &[f64], mode: BoundaryMode) -> DenseGrid {
-        let axis_len = self.shape[axis];
-        let new_len = axis_len.div_ceil(2);
-        let mut new_shape = self.shape.clone();
-        new_shape[axis] = new_len;
-        let mut approx = DenseGrid::zeros(&new_shape);
+        self.smooth_axis_with(axis, kernel, mode, Runtime::sequential())
+    }
 
-        let (starts, stride) = self.lanes(axis);
-        let (new_starts, new_stride) = approx.lanes(axis);
-        let mut lane = vec![0.0; axis_len];
-        for (&start, &new_start) in starts.iter().zip(new_starts.iter()) {
-            for (k, v) in lane.iter_mut().enumerate() {
-                *v = self.data[start + k * stride];
-            }
-            let a = crate::transform::smooth_downsample(&lane, kernel, mode);
-            for (k, &v) in a.iter().enumerate() {
-                approx.data[new_start + k * new_stride] = v;
-            }
-        }
-        approx
+    /// [`smooth_axis`](Self::smooth_axis) with the lanes fanned out over
+    /// `runtime`.
+    pub fn smooth_axis_with(
+        &self,
+        axis: usize,
+        kernel: &[f64],
+        mode: BoundaryMode,
+        runtime: Runtime,
+    ) -> DenseGrid {
+        let new_len = self.shape[axis].div_ceil(2);
+        self.map_lanes_with(axis, new_len, runtime, |lane| {
+            crate::transform::smooth_downsample(lane, kernel, mode)
+        })
     }
 
     /// Centered smoothing + downsample along every axis (one level).
     pub fn smooth_all_axes(&self, kernel: &[f64], mode: BoundaryMode) -> DenseGrid {
+        self.smooth_all_axes_with(kernel, mode, Runtime::sequential())
+    }
+
+    /// [`smooth_all_axes`](Self::smooth_all_axes) with every axis pass
+    /// fanned out over `runtime`.
+    pub fn smooth_all_axes_with(
+        &self,
+        kernel: &[f64],
+        mode: BoundaryMode,
+        runtime: Runtime,
+    ) -> DenseGrid {
         let mut current = self.clone();
         for axis in 0..self.ndim() {
-            current = current.smooth_axis(axis, kernel, mode);
+            current = current.smooth_axis_with(axis, kernel, mode, runtime);
         }
         current
     }
@@ -422,6 +509,43 @@ mod tests {
         let kernel = Wavelet::Cdf22.density_smoothing_kernel();
         let out = g.smooth_axis(1, &kernel, BoundaryMode::Zero);
         assert_eq!(out.shape(), &[8, 3]);
+    }
+
+    #[test]
+    fn parallel_axis_transforms_match_sequential() {
+        // A grid with enough lanes to split across workers; every `*_with`
+        // variant must agree with its sequential counterpart exactly.
+        let mut g = DenseGrid::zeros(&[96, 80]);
+        for (i, v) in g.as_mut_slice().iter_mut().enumerate() {
+            *v = ((i as f64) * 0.37).sin() * 5.0;
+        }
+        let bank = Wavelet::Daubechies2.filter_bank();
+        let kernel = Wavelet::Cdf22.density_smoothing_kernel();
+        for threads in [2, 5] {
+            let rt = Runtime::with_threads(threads);
+            for axis in 0..2 {
+                let (a_seq, d_seq) = g.dwt_axis(axis, &bank, BoundaryMode::Periodic);
+                let (a_par, d_par) = g.dwt_axis_with(axis, &bank, BoundaryMode::Periodic, rt);
+                assert_eq!(a_seq, a_par, "dwt approx axis {axis} threads {threads}");
+                assert_eq!(d_seq, d_par, "dwt detail axis {axis} threads {threads}");
+                assert_eq!(
+                    g.lowpass_axis(axis, &kernel, BoundaryMode::Zero),
+                    g.lowpass_axis_with(axis, &kernel, BoundaryMode::Zero, rt),
+                );
+                assert_eq!(
+                    g.smooth_axis(axis, &kernel, BoundaryMode::Zero),
+                    g.smooth_axis_with(axis, &kernel, BoundaryMode::Zero, rt),
+                );
+            }
+            assert_eq!(
+                g.smooth_all_axes(&kernel, BoundaryMode::Zero),
+                g.smooth_all_axes_with(&kernel, BoundaryMode::Zero, rt),
+            );
+            assert_eq!(
+                g.lowpass_all_axes(&kernel, BoundaryMode::Periodic),
+                g.lowpass_all_axes_with(&kernel, BoundaryMode::Periodic, rt),
+            );
+        }
     }
 
     #[test]

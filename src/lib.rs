@@ -12,7 +12,10 @@
 //!
 //! Point sets travel through every algorithm as the flat row-major
 //! [`PointMatrix`] / [`PointsView`] data layer — one contiguous buffer,
-//! no per-point allocation:
+//! no per-point allocation. The hot kernels fan out over the
+//! [`Runtime`] of `adawave-runtime` (every registry algorithm accepts a
+//! uniform `threads` parameter), with a fixed-chunk determinism contract:
+//! any thread count produces identical labels.
 //!
 //! ```
 //! use adawave::{standard_registry, AlgorithmSpec, PointMatrix};
@@ -45,9 +48,30 @@ pub use adawave_api::{
     ParamSpec, Params, PointMatrix, PointsView,
 };
 pub use adawave_core::{AdaWave, AdaWaveConfig, AdaWaveResult, ThresholdStrategy};
+pub use adawave_runtime::Runtime;
 
 /// The standard registry: AdaWave plus every baseline of the paper's
 /// evaluation, resolvable by name with `key=value` parameters.
+///
+/// Fit any algorithm by name in one call — every entry also accepts the
+/// uniform `threads` parameter (`0` = auto), and parallel runs are
+/// guaranteed to produce the same labels as sequential ones:
+///
+/// ```
+/// use adawave::{standard_registry, AlgorithmSpec, PointMatrix};
+///
+/// let points = PointMatrix::from_rows(vec![
+///     vec![0.0, 0.0], vec![0.1, 0.0], vec![5.0, 5.0], vec![5.1, 5.0],
+/// ]).unwrap();
+/// let registry = standard_registry();
+/// let spec = AlgorithmSpec::new("kmeans").with("k", 2).with("seed", 7);
+/// let clustering = registry.fit(&spec, points.view()).unwrap();
+/// assert_eq!(clustering.cluster_count(), 2);
+/// let with_threads = registry
+///     .fit(&spec.clone().with("threads", 4), points.view())
+///     .unwrap();
+/// assert_eq!(clustering, with_threads);
+/// ```
 pub fn standard_registry() -> AlgorithmRegistry {
     let mut registry = AlgorithmRegistry::new();
     adawave_core::register(&mut registry);
