@@ -7,13 +7,19 @@
 use std::path::Path;
 use std::time::Instant;
 
-use adawave::{standard_registry, AlgorithmEntry, AlgorithmSpec, ClusterError, Params, PointsView};
+use adawave::{
+    standard_registry, AdaWaveConfig, AlgorithmEntry, AlgorithmSpec, ClusterError, Params,
+    PointsView,
+};
+use adawave_data::csv::CsvBatches;
 use adawave_data::synthetic::{running_example, synthetic_benchmark};
 use adawave_data::{csv, uci, Dataset};
+use adawave_grid::BoundingBox;
 use adawave_metrics::{
     adjusted_rand_index, ami, ami_ignoring_noise, calinski_harabasz, davies_bouldin,
     normalized_mutual_information, purity, silhouette_score, v_measure, NOISE_LABEL,
 };
+use adawave_stream::StreamingAdaWave;
 use adawave_wavelet::Wavelet;
 
 use crate::args::{ArgError, ParsedArgs};
@@ -84,6 +90,17 @@ COMMANDS:
              [--threads <n>] (0 = auto: ADAWAVE_THREADS or all cores;
               labels are identical for every thread count)
              [--reassign-noise] [--quiet]
+  stream     Cluster a CSV by ingesting it in bounded batches (constant
+             memory for the points; the model is refit from the grid)
+             --input <file.csv> [--batch-rows <n>] (default 8192)
+             [--prescan] (extra streaming pass computes the exact domain
+              first, so labels match `cluster` on the same file; without
+              it the domain freezes on the first batch and later
+              out-of-domain points are counted as outliers = noise)
+             [--out <labels.csv>] [--scale <n>] [--wavelet <name>]
+             [--levels <n>] [--threshold <name>] [--threads <n>]
+             [--param <key=value>]... (adawave params, validated like
+              `cluster`; --param beats the shorthand flags) [--quiet]
   evaluate   Score predicted labels against the ground truth in a CSV
              --input <file.csv> --labels <labels.csv> [--noise-label <n>]
   sweep      AMI of AdaWave and the baselines across noise levels (mini Fig. 8)
@@ -106,6 +123,7 @@ pub fn dispatch(args: &ParsedArgs) -> CliResult<String> {
     match args.command.as_str() {
         "generate" => generate(args),
         "cluster" => cluster(args),
+        "stream" => stream(args),
         "evaluate" => evaluate(args),
         "sweep" => sweep(args),
         "list-algorithms" => Ok(list_algorithms()),
@@ -336,6 +354,171 @@ fn cluster(args: &ParsedArgs) -> CliResult<String> {
             Some(noise) => ami_ignoring_noise(&ds.labels, &outcome.labels, noise),
             None => ami(&ds.labels, &outcome.labels),
         };
+        report.push_str(&format!("AMI against the labels in {input}: {score:.3}\n"));
+    }
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------------
+// stream
+// ---------------------------------------------------------------------------
+
+/// Build an [`AdaWaveConfig`] from the shared shorthand flags
+/// (`--scale`, `--wavelet`, `--levels`, `--threshold`, `--threads`) plus
+/// explicit `--param key=value` pairs, reusing the registry-facing
+/// parameter parsing and validation so the accepted keys, values,
+/// precedence (shorthand < `--param`) and error messages match
+/// `cluster --algo adawave`.
+fn adawave_config_from_args(args: &ParsedArgs) -> CliResult<AdaWaveConfig> {
+    let mut params = Params::new();
+    for key in ["scale", "wavelet", "levels", "threshold", "threads"] {
+        if let Some(value) = args.get(key) {
+            params.set(key, value);
+        }
+    }
+    let mut explicit = Params::new();
+    for pair in args.get_all("param") {
+        explicit.set_pair(pair)?;
+    }
+    standard_registry()
+        .entry("adawave")?
+        .validate_keys(&explicit)?;
+    params.merge(&explicit);
+    Ok(AdaWaveConfig::from_params(&params)?)
+}
+
+/// The outcome of streaming a CSV through [`StreamingAdaWave`].
+#[derive(Debug, Clone)]
+pub struct StreamOutcome {
+    /// Per-point labels with noise mapped to [`NOISE_LABEL`], in file order.
+    pub labels: Vec<usize>,
+    /// Ground-truth labels from the CSV's last column, in file order.
+    pub truth: Vec<usize>,
+    /// Number of clusters found.
+    pub clusters: usize,
+    /// Number of points labeled noise (outliers included).
+    pub noise_points: usize,
+    /// Points that fell outside the frozen domain.
+    pub outliers: usize,
+    /// Number of ingested batches.
+    pub batches: usize,
+    /// Total points ingested.
+    pub points: usize,
+    /// Occupied cells of the accumulated grid (the refit cost driver).
+    pub occupied_cells: usize,
+    /// Wall-clock seconds spent reading + quantizing batches.
+    pub ingest_seconds: f64,
+    /// Wall-clock seconds spent refitting the model and labeling.
+    pub refit_seconds: f64,
+}
+
+/// Stream a CSV file through [`StreamingAdaWave`] in batches of
+/// `batch_rows` points. With `prescan`, a first streaming pass computes
+/// the exact bounding box of the whole file (batch-box unions — still one
+/// batch in memory at a time) so the result is identical to the one-shot
+/// `cluster` command; without it the domain freezes on the first batch.
+pub fn run_stream(
+    path: &Path,
+    batch_rows: usize,
+    prescan: bool,
+    config: AdaWaveConfig,
+) -> CliResult<StreamOutcome> {
+    let read_err = |e: csv::CsvError| CliError::Message(format!("reading {}: {e}", path.display()));
+    let stream_err = |e: adawave_stream::StreamError| {
+        CliError::Message(format!("streaming {}: {e}", path.display()))
+    };
+
+    let mut stream = if prescan {
+        // Union of per-batch finite-row boxes — the same outlier semantics
+        // as the ingest pass, so rows with non-finite values stay outliers
+        // instead of turning the prescan fatal.
+        let mut domain: Option<BoundingBox> = None;
+        for batch in CsvBatches::open(path, batch_rows).map_err(read_err)? {
+            let batch = batch.map_err(read_err)?;
+            if let Some(bounds) = adawave_stream::finite_bounds(batch.view()) {
+                domain = Some(match domain {
+                    Some(d) => d.union(&bounds),
+                    None => bounds,
+                });
+            }
+        }
+        let domain = domain.ok_or_else(|| {
+            CliError::Message(format!("{} holds no finite data points", path.display()))
+        })?;
+        StreamingAdaWave::with_domain(config, domain).map_err(stream_err)?
+    } else {
+        StreamingAdaWave::new(config)
+    };
+
+    let mut truth = Vec::new();
+    let mut batches = 0usize;
+    let mut outliers = 0usize;
+    let ingest_start = Instant::now();
+    for batch in CsvBatches::open(path, batch_rows).map_err(read_err)? {
+        let batch = batch.map_err(read_err)?;
+        let report = stream.ingest(batch.view()).map_err(stream_err)?;
+        truth.extend_from_slice(&batch.labels);
+        outliers += report.outliers;
+        batches += 1;
+    }
+    let ingest_seconds = ingest_start.elapsed().as_secs_f64();
+
+    let refit_start = Instant::now();
+    let result = stream.refit().map_err(stream_err)?;
+    let refit_seconds = refit_start.elapsed().as_secs_f64();
+
+    // Route through the canonical `Clustering` so the emitted ids follow
+    // the same first-appearance numbering as the `cluster` command —
+    // `stream --prescan` and `cluster` then agree label for label, not
+    // just partition for partition.
+    let labels = result.to_clustering().to_labels(NOISE_LABEL);
+    Ok(StreamOutcome {
+        noise_points: labels.iter().filter(|&&l| l == NOISE_LABEL).count(),
+        clusters: result.cluster_count(),
+        outliers,
+        batches,
+        points: labels.len(),
+        occupied_cells: stream.occupied_cells(),
+        ingest_seconds,
+        refit_seconds,
+        labels,
+        truth,
+    })
+}
+
+fn stream(args: &ParsedArgs) -> CliResult<String> {
+    let input = args.require("input")?;
+    let batch_rows = args.parse_or("batch-rows", 8192usize)?;
+    if batch_rows == 0 {
+        return Err(CliError::Args(ArgError::InvalidValue {
+            option: "batch-rows".to_string(),
+            value: "0".to_string(),
+            expected: "a positive batch size".to_string(),
+        }));
+    }
+    let config = adawave_config_from_args(args)?;
+    let outcome = run_stream(Path::new(input), batch_rows, args.flag("prescan"), config)?;
+
+    if let Some(out) = args.get("out") {
+        std::fs::write(out, labels_to_text(&outcome.labels))
+            .map_err(|e| CliError::Message(format!("writing {out}: {e}")))?;
+    }
+
+    let mut report = format!(
+        "adawave-stream: {} clusters, {} noise points / {} total \
+         ({} batches, {} points outside the frozen domain)\n\
+         {} occupied cells; read+ingest {:.3}s, refit {:.3}s\n",
+        outcome.clusters,
+        outcome.noise_points,
+        outcome.points,
+        outcome.batches,
+        outcome.outliers,
+        outcome.occupied_cells,
+        outcome.ingest_seconds,
+        outcome.refit_seconds,
+    );
+    if !args.flag("quiet") {
+        let score = ami(&outcome.truth, &outcome.labels);
         report.push_str(&format!("AMI against the labels in {input}: {score:.3}\n"));
     }
     Ok(report)
@@ -686,6 +869,141 @@ mod tests {
         let args = ParsedArgs::parse(["cluster", "--scale", "32", "--reassign-noise"]).unwrap();
         let outcome = run_clustering("adawave", points.view(), &args, 2).unwrap();
         assert_eq!(outcome.noise_points, 0);
+    }
+
+    fn save_temp_dataset(name: &str, points: &PointMatrix, truth: &[usize]) -> std::path::PathBuf {
+        let ds = Dataset::new(name, points.clone(), truth.to_vec(), None);
+        let path = std::env::temp_dir().join(format!("{name}.csv"));
+        csv::save_csv(&ds, &path).unwrap();
+        path
+    }
+
+    #[test]
+    fn stream_with_prescan_matches_the_one_shot_cluster_command() {
+        let (points, truth) = toy_points();
+        let path = save_temp_dataset("adawave_cli_stream_prescan", &points, &truth);
+
+        let config =
+            adawave_config_from_args(&ParsedArgs::parse(["stream", "--scale", "32"]).unwrap())
+                .unwrap();
+        // Small batches force many ingest/merge rounds.
+        let outcome = run_stream(&path, 37, true, config).unwrap();
+        assert_eq!(outcome.points, points.len());
+        assert_eq!(outcome.outliers, 0, "prescan domain covers everything");
+        assert!(outcome.batches > 5);
+
+        let args = ParsedArgs::parse(["cluster", "--scale", "32"]).unwrap();
+        let one_shot = run_clustering("adawave", points.view(), &args, 2).unwrap();
+        assert_eq!(outcome.labels, one_shot.labels);
+        assert_eq!(outcome.clusters, one_shot.clusters);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stream_without_prescan_freezes_on_the_first_batch_and_counts_outliers() {
+        // First two rows span [0,1]^2; the last row is far outside and must
+        // be reported as an outlier (= noise), not clamped into the grid.
+        let points = PointMatrix::from_rows(vec![
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+            vec![0.5, 0.5],
+            vec![9.0, 9.0],
+        ])
+        .unwrap();
+        let path = save_temp_dataset("adawave_cli_stream_outliers", &points, &[0, 0, 0, 0]);
+        let config =
+            adawave_config_from_args(&ParsedArgs::parse(["stream", "--scale", "8"]).unwrap())
+                .unwrap();
+        let outcome = run_stream(&path, 2, false, config).unwrap();
+        assert_eq!(outcome.outliers, 1);
+        assert_eq!(outcome.labels[3], NOISE_LABEL);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stream_prescan_tolerates_non_finite_rows_as_outliers() {
+        // A NaN row must be an outlier under --prescan too (the prescan
+        // unions finite-row boxes), not a fatal error.
+        let path = std::env::temp_dir().join("adawave_cli_stream_nan.csv");
+        std::fs::write(&path, "nan,0.5,0\n0.0,0.0,0\n1.0,1.0,0\n0.5,0.5,0\n").unwrap();
+        let config =
+            adawave_config_from_args(&ParsedArgs::parse(["stream", "--scale", "8"]).unwrap())
+                .unwrap();
+        // Without prescan the domain freezes on the first batch's only
+        // finite row (0,0), so the later points are out of domain too;
+        // with prescan the finite-row union covers them and only the NaN
+        // row stays an outlier.
+        for (prescan, expected_outliers) in [(false, 3), (true, 1)] {
+            let outcome = run_stream(&path, 2, prescan, config.clone()).unwrap();
+            assert_eq!(outcome.outliers, expected_outliers, "prescan = {prescan}");
+            assert_eq!(outcome.labels[0], NOISE_LABEL, "prescan = {prescan}");
+            assert_eq!(outcome.points, 4, "prescan = {prescan}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stream_dispatch_reports_and_writes_labels() {
+        let (points, truth) = toy_points();
+        let path = save_temp_dataset("adawave_cli_stream_dispatch", &points, &truth);
+        let out = std::env::temp_dir().join("adawave_cli_stream_dispatch_labels.csv");
+        let report = dispatch(
+            &ParsedArgs::parse([
+                "stream",
+                "--input",
+                path.to_str().unwrap(),
+                "--scale",
+                "32",
+                "--batch-rows",
+                "64",
+                "--prescan",
+                "--out",
+                out.to_str().unwrap(),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(report.contains("clusters"), "{report}");
+        assert!(report.contains("refit"), "{report}");
+        assert!(report.contains("AMI"), "{report}");
+        let labels = labels_from_text(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        assert_eq!(labels.len(), points.len());
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn stream_accepts_and_validates_param_pairs() {
+        // `--param` reaches the config with the same precedence as in
+        // `cluster` (explicit pair beats the shorthand flag)...
+        let args = ParsedArgs::parse(["stream", "--scale", "48", "--param", "scale=16"]).unwrap();
+        let config = adawave_config_from_args(&args).unwrap();
+        assert_eq!(config.scale, 16);
+        let args = ParsedArgs::parse(["stream", "--param", "levels=0"]).unwrap();
+        assert_eq!(adawave_config_from_args(&args).unwrap().levels, 0);
+        // ...and typo'd keys are rejected with the accepted keys listed
+        // instead of being silently ignored.
+        let args = ParsedArgs::parse(["stream", "--param", "scal=16"]).unwrap();
+        let err = adawave_config_from_args(&args).unwrap_err();
+        assert!(err.to_string().contains("scal"), "{err}");
+        assert!(err.to_string().contains("scale"), "{err}");
+        // Malformed pairs are caught too.
+        let args = ParsedArgs::parse(["stream", "--param", "scale"]).unwrap();
+        assert!(adawave_config_from_args(&args).is_err());
+    }
+
+    #[test]
+    fn stream_rejects_bad_arguments() {
+        // Zero batch size.
+        let args = ParsedArgs::parse(["stream", "--input", "x.csv", "--batch-rows", "0"]).unwrap();
+        assert!(dispatch(&args).is_err());
+        // Unknown wavelet surfaces the registry-style error.
+        let args = ParsedArgs::parse(["stream", "--input", "x.csv", "--wavelet", "sinc"]).unwrap();
+        let err = dispatch(&args).unwrap_err();
+        assert!(err.to_string().contains("wavelet"), "{err}");
+        // Missing file.
+        let args = ParsedArgs::parse(["stream", "--input", "/definitely/not/here.csv"]).unwrap();
+        assert!(dispatch(&args).is_err());
     }
 
     #[test]

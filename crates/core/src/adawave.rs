@@ -2,7 +2,8 @@
 
 use adawave_api::PointsView;
 use adawave_grid::{
-    connected_components, BoundingBox, KeyCodec, LookupTable, Quantizer, SparseGrid,
+    connected_components, BoundingBox, ComponentLabels, KeyCodec, LookupTable, Quantizer,
+    SparseGrid,
 };
 
 use crate::config::AdaWaveConfig;
@@ -46,8 +47,7 @@ impl AdaWave {
                 context: "empty point set".to_string(),
             });
         }
-        let dims = points.dims();
-        if dims == 0 {
+        if points.dims() == 0 {
             return Err(AdaWaveError::InvalidInput {
                 context: "points have zero dimensions".to_string(),
             });
@@ -55,10 +55,31 @@ impl AdaWave {
 
         // Step 1: quantization into the sparse grid-labeling structure.
         let bounds = BoundingBox::from_points(points)?;
-        let mut intervals = self.config.intervals_for(dims);
-        let quantizer = loop {
+        let quantizer = self.quantizer_for(&bounds)?;
+        let (grid, assignment) = quantizer.quantize_with(points, self.config.runtime);
+        let lookup = LookupTable::new(quantizer.codec().clone(), assignment);
+
+        // Steps 2-4: the reusable grid → cluster-model stage.
+        let model = cluster_grid(&grid, quantizer.codec(), &self.config)?;
+
+        // Steps 5-6: label grids and map points through the lookup table.
+        let assignment = lookup.assign_points(model.labels(), model.levels(), model.codec());
+        Ok(model.into_result(assignment))
+    }
+
+    /// Build the quantizer [`fit`](Self::fit) would use over the given
+    /// domain, honoring [`AdaWaveConfig::auto_reduce_scale`]: if the packed
+    /// grid key would overflow 128 bits, every dimension's interval count
+    /// is halved (down to a floor of 2) until it fits.
+    ///
+    /// This is the piece of step 1 that does not touch points, shared with
+    /// the streaming ingestion layer (`adawave-stream`), which freezes a
+    /// domain upfront instead of deriving it from a full point set.
+    pub fn quantizer_for(&self, bounds: &BoundingBox) -> Result<Quantizer> {
+        let mut intervals = self.config.intervals_for(bounds.dims());
+        loop {
             match Quantizer::with_bounds(bounds.clone(), &intervals) {
-                Ok(q) => break q,
+                Ok(q) => return Ok(q),
                 Err(e) => {
                     if !self.config.auto_reduce_scale {
                         return Err(e.into());
@@ -76,59 +97,7 @@ impl AdaWave {
                     }
                 }
             }
-        };
-        let (grid, assignment) = quantizer.quantize_with(points, self.config.runtime);
-        let lookup = LookupTable::new(quantizer.codec().clone(), assignment);
-        let quantized_cells = grid.occupied_cells();
-
-        // Step 2: sparse wavelet transform (low-pass branch, `levels` times)
-        // followed by removal of near-zero coefficients.
-        let kernel = self.config.wavelet.density_smoothing_kernel();
-        let levels = self.config.levels.max(1);
-        let (mut transformed, down_codec): (SparseGrid, KeyCodec) = sparse_wavelet_smooth_budgeted(
-            &grid,
-            quantizer.codec(),
-            &kernel,
-            self.config.boundary,
-            levels,
-            self.config.max_transformed_cells.max(1),
-        )?;
-        let transformed_cells = transformed.occupied_cells();
-        // Grid densities are non-negative by construction; cells whose
-        // smoothed coefficient is near zero or negative (edge artifacts of
-        // wavelets with negative taps, e.g. CDF(2,2)) are certainly not
-        // cluster interiors and would otherwise distort the sorted-density
-        // curve the adaptive threshold is fitted to.
-        let near_zero_removed = transformed.drop_near_zero(self.config.coefficient_epsilon)
-            + transformed.filter_below(0.0);
-
-        // Step 3: adaptive threshold filtering.
-        let sorted_densities = transformed.sorted_densities();
-        let threshold = self.config.threshold.choose(&sorted_densities);
-        let threshold_removed = transformed.filter_below(threshold);
-        let surviving_cells = transformed.occupied_cells();
-
-        // Step 4: connected components in the transformed feature space.
-        let labels = connected_components(&transformed, &down_codec, self.config.connectivity);
-
-        // Steps 5-6: label grids and map points through the lookup table.
-        let assignment = lookup.assign_points(&labels, levels, &down_codec);
-
-        let stats = GridStats {
-            quantized_cells,
-            transformed_cells,
-            near_zero_removed,
-            threshold,
-            threshold_removed,
-            surviving_cells,
-            intervals: quantizer.codec().all_intervals().to_vec(),
-        };
-        Ok(AdaWaveResult::new(
-            assignment,
-            labels.cluster_count(),
-            stats,
-            sorted_densities,
-        ))
+        }
     }
 
     /// Cluster the same point set at several decomposition levels at once
@@ -147,6 +116,143 @@ impl AdaWave {
                 AdaWave::new(config).fit(points)
             })
             .collect()
+    }
+}
+
+/// Run the grid → clusters stage of the AdaWave pipeline (steps 2–4 of
+/// Algorithm 1: wavelet smoothing, near-zero removal, adaptive threshold,
+/// connected components) on an already-quantized sparse grid.
+///
+/// The cost is `O(m)` in the number of occupied cells — independent of how
+/// many points were quantized into the grid. [`AdaWave::fit`] calls this
+/// after quantizing; the streaming layer (`adawave-stream`) calls it on an
+/// incrementally accumulated grid each time it refits.
+///
+/// With `config.levels == 0` the transform is skipped entirely and the raw
+/// per-cell counts are thresholded directly (an honest no-smoothing pass).
+pub fn cluster_grid(
+    grid: &SparseGrid,
+    codec: &KeyCodec,
+    config: &AdaWaveConfig,
+) -> Result<GridModel> {
+    let quantized_cells = grid.occupied_cells();
+
+    // Step 2: sparse wavelet transform (low-pass branch, `levels` times)
+    // followed by removal of near-zero coefficients. Zero levels smooth
+    // nothing: the grid and its codec pass through unchanged.
+    let kernel = config.wavelet.density_smoothing_kernel();
+    let levels = config.levels;
+    let (mut transformed, down_codec): (SparseGrid, KeyCodec) = sparse_wavelet_smooth_budgeted(
+        grid,
+        codec,
+        &kernel,
+        config.boundary,
+        levels,
+        config.max_transformed_cells.max(1),
+    )?;
+    let transformed_cells = transformed.occupied_cells();
+    // Grid densities are non-negative by construction; cells whose
+    // smoothed coefficient is near zero or negative (edge artifacts of
+    // wavelets with negative taps, e.g. CDF(2,2)) are certainly not
+    // cluster interiors and would otherwise distort the sorted-density
+    // curve the adaptive threshold is fitted to.
+    let near_zero_removed =
+        transformed.drop_near_zero(config.coefficient_epsilon) + transformed.filter_below(0.0);
+
+    // Step 3: adaptive threshold filtering. With every cell removed above
+    // (extreme `coefficient_epsilon`), the sorted curve is empty and every
+    // strategy degenerates to 0.0 — an all-noise model, never a NaN.
+    let sorted_densities = transformed.sorted_densities();
+    let threshold = config.threshold.choose(&sorted_densities);
+    let threshold_removed = transformed.filter_below(threshold);
+    let surviving_cells = transformed.occupied_cells();
+
+    // Step 4: connected components in the transformed feature space.
+    let labels = connected_components(&transformed, &down_codec, config.connectivity);
+
+    Ok(GridModel {
+        labels,
+        codec: down_codec,
+        levels,
+        stats: GridStats {
+            quantized_cells,
+            transformed_cells,
+            near_zero_removed,
+            threshold,
+            threshold_removed,
+            surviving_cells,
+            intervals: codec.all_intervals().to_vec(),
+        },
+        sorted_densities,
+    })
+}
+
+/// The fitted grid-level cluster model produced by [`cluster_grid`]: which
+/// transformed-space cells belong to which cluster, plus the pipeline
+/// diagnostics. Turning the model into a per-point [`AdaWaveResult`] is a
+/// separate (O(points)) step — [`AdaWave::fit`] maps a [`LookupTable`]
+/// through it, the streaming layer maps its retained per-point cell keys.
+#[derive(Debug, Clone)]
+pub struct GridModel {
+    labels: ComponentLabels,
+    codec: KeyCodec,
+    levels: u32,
+    stats: GridStats,
+    sorted_densities: Vec<f64>,
+}
+
+impl GridModel {
+    /// Number of clusters found among the surviving cells.
+    pub fn cluster_count(&self) -> usize {
+        self.labels.cluster_count()
+    }
+
+    /// Cluster labels of the surviving transformed-space cells.
+    pub fn labels(&self) -> &ComponentLabels {
+        &self.labels
+    }
+
+    /// Codec of the transformed space the labels live in.
+    pub fn codec(&self) -> &KeyCodec {
+        &self.codec
+    }
+
+    /// Decomposition levels separating the original quantized space from
+    /// the transformed space (each level halves every coordinate).
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Grid pipeline statistics (the [`AdaWaveResult::stats`] to be).
+    pub fn stats(&self) -> &GridStats {
+        &self.stats
+    }
+
+    /// The smoothed densities in descending order (the Fig. 6 curve).
+    pub fn sorted_densities(&self) -> &[f64] {
+        &self.sorted_densities
+    }
+
+    /// Cluster of an *original-space* cell key: downsample its coordinates
+    /// through [`levels`](Self::levels) halvings and look the transformed
+    /// cell up. `None` means the cell was removed as noise. Beyond 31
+    /// levels every u32 coordinate has collapsed to 0, so the shift
+    /// saturates instead of overflowing.
+    pub fn cluster_of_cell(&self, original_codec: &KeyCodec, cell: u128) -> Option<usize> {
+        let coords = original_codec.unpack(cell);
+        let down: Vec<u32> = coords
+            .iter()
+            .map(|&c| c.checked_shr(self.levels).unwrap_or(0))
+            .collect();
+        self.labels.cluster_of(self.codec.pack(&down))
+    }
+
+    /// Finish the pipeline: combine the model with a per-point assignment
+    /// (computed by the caller from its point → cell bookkeeping) into an
+    /// [`AdaWaveResult`].
+    pub fn into_result(self, assignment: Vec<Option<usize>>) -> AdaWaveResult {
+        let cluster_count = self.labels.cluster_count();
+        AdaWaveResult::new(assignment, cluster_count, self.stats, self.sorted_densities)
     }
 }
 
@@ -266,6 +372,26 @@ mod tests {
     }
 
     #[test]
+    fn is_deterministic_for_irrational_tap_wavelets() {
+        // db2's taps are irrational, so floating-point summation order in
+        // the transform is observable. Two fits build two hash maps with
+        // identical content but different iteration orders; the sorted-key
+        // scatter makes the results identical anyway — including the full
+        // sorted-density curve.
+        let (points, _) = blobs_with_noise(300, 600, 41);
+        let adawave = AdaWave::new(
+            AdaWaveConfig::builder()
+                .scale(32)
+                .wavelet(Wavelet::Daubechies2)
+                .build(),
+        );
+        assert_eq!(
+            adawave.fit(points.view()).unwrap(),
+            adawave.fit(points.view()).unwrap()
+        );
+    }
+
+    #[test]
     fn rejects_bad_input() {
         let adawave = AdaWave::default();
         // Empty and zero-dimensional inputs are errors, never panics.
@@ -330,6 +456,103 @@ mod tests {
         for r in &results {
             assert!(r.cluster_count() >= 1);
         }
+    }
+
+    #[test]
+    fn level_zero_is_an_honest_no_smoothing_pass() {
+        let (points, _) = blobs_with_noise(600, 1200, 23);
+        let adawave = AdaWave::new(AdaWaveConfig::builder().scale(64).build());
+        let results = adawave
+            .fit_multi_resolution(points.view(), &[0, 1])
+            .unwrap();
+        let (level0, level1) = (&results[0], &results[1]);
+        // Level 0 used to be silently promoted to level 1, returning two
+        // identical results labelled differently. It must now skip the
+        // transform: the "transformed" grid is the raw quantized grid.
+        assert_eq!(
+            level0.stats().transformed_cells,
+            level0.stats().quantized_cells
+        );
+        assert_eq!(level0.stats().near_zero_removed, 0, "raw counts are >= 1");
+        // Level 1 smooths and downsamples, so its stats must differ.
+        assert_ne!(level0.stats(), level1.stats());
+        assert_ne!(level0, level1);
+        // The raw-grid threshold still separates the blobs from the noise.
+        assert!(level0.cluster_count() >= 2);
+        // And the direct fit at levels=0 matches the multi-resolution entry.
+        let direct = AdaWave::new(AdaWaveConfig::builder().scale(64).levels(0).build())
+            .fit(points.view())
+            .unwrap();
+        assert_eq!(&direct, level0);
+    }
+
+    #[test]
+    fn extreme_epsilon_yields_all_noise_not_a_panic() {
+        // When `coefficient_epsilon` removes every smoothed cell, the
+        // threshold strategies see an empty sorted-density curve. Every
+        // strategy must degenerate to a finite threshold and an all-noise
+        // clustering — no NaN, no panic.
+        let (points, _) = blobs_with_noise(300, 300, 29);
+        for strategy in [
+            ThresholdStrategy::ElbowAngle { divisor: 3.0 },
+            ThresholdStrategy::ThreeSegment,
+            ThresholdStrategy::Kneedle,
+            ThresholdStrategy::Quantile(0.2),
+            ThresholdStrategy::Fixed(1.0),
+        ] {
+            let result = AdaWave::new(
+                AdaWaveConfig::builder()
+                    .scale(32)
+                    .threshold(strategy)
+                    .coefficient_epsilon(1e30)
+                    .build(),
+            )
+            .fit(points.view())
+            .unwrap();
+            let name = strategy.name();
+            assert_eq!(result.cluster_count(), 0, "{name}");
+            assert_eq!(result.noise_fraction(), 1.0, "{name}");
+            assert_eq!(result.stats().surviving_cells, 0, "{name}");
+            assert!(result.stats().threshold.is_finite(), "{name}");
+            assert!(result.sorted_densities().is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn extreme_levels_saturate_instead_of_overflowing_the_shift() {
+        // 40 levels collapse every dimension to a single cell; the
+        // coordinate downshift must saturate at 0, not panic (debug) or
+        // wrap (release) on `c >> 40`.
+        let (points, _) = blobs_with_noise(100, 100, 37);
+        let result = AdaWave::new(AdaWaveConfig::builder().scale(32).levels(40).build())
+            .fit(points.view())
+            .unwrap();
+        assert_eq!(result.len(), points.len());
+        // Everything lives in the one surviving cell (or none at all).
+        assert!(result.cluster_count() <= 1);
+    }
+
+    #[test]
+    fn cluster_grid_matches_fit_on_the_same_quantization() {
+        // The extracted grid → model stage must reproduce fit() exactly
+        // when driven with fit()'s own quantizer output.
+        let (points, _) = blobs_with_noise(500, 1000, 31);
+        let config = AdaWaveConfig::builder().scale(64).build();
+        let adawave = AdaWave::new(config.clone());
+        let fitted = adawave.fit(points.view()).unwrap();
+
+        let bounds = BoundingBox::from_points(points.view()).unwrap();
+        let quantizer = adawave.quantizer_for(&bounds).unwrap();
+        let (grid, cells) = quantizer.quantize(points.view());
+        let model = cluster_grid(&grid, quantizer.codec(), &config).unwrap();
+        assert_eq!(model.cluster_count(), fitted.cluster_count());
+        assert_eq!(model.stats(), fitted.stats());
+        let assignment: Vec<Option<usize>> = cells
+            .iter()
+            .map(|&cell| model.cluster_of_cell(quantizer.codec(), cell))
+            .collect();
+        let rebuilt = model.into_result(assignment);
+        assert_eq!(rebuilt, fitted);
     }
 
     #[test]

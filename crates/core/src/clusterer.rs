@@ -87,7 +87,12 @@ pub fn register(registry: &mut AlgorithmRegistry) {
         &[
             ParamSpec::new("scale", "u32", "128", "grid intervals per dimension"),
             ParamSpec::new("wavelet", "name", "cdf22", "haar, db2, db3, cdf22 or cdf13"),
-            ParamSpec::new("levels", "u32", "1", "wavelet decomposition levels"),
+            ParamSpec::new(
+                "levels",
+                "u32",
+                "1",
+                "wavelet decomposition levels (0 = threshold the raw grid)",
+            ),
             ParamSpec::new(
                 "threshold",
                 "name",

@@ -22,6 +22,8 @@ pub struct AdaWaveConfig {
     /// Wavelet family whose low-pass filter smooths the grid densities.
     pub wavelet: Wavelet,
     /// Number of decomposition levels; each level halves every dimension.
+    /// Level 0 is an honest no-smoothing pass: the transform is skipped and
+    /// the adaptive threshold is applied to the raw quantized counts.
     pub levels: u32,
     /// Boundary handling for the smoothing convolution.
     pub boundary: BoundaryMode,
@@ -107,7 +109,8 @@ impl AdaWaveConfigBuilder {
         self
     }
 
-    /// Set the number of decomposition levels.
+    /// Set the number of decomposition levels (0 = skip the transform and
+    /// threshold the raw quantized grid).
     pub fn levels(mut self, levels: u32) -> Self {
         self.config.levels = levels;
         self

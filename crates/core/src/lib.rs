@@ -65,7 +65,7 @@ pub mod result;
 pub mod threshold;
 pub mod transform;
 
-pub use adawave::AdaWave;
+pub use adawave::{cluster_grid, AdaWave, GridModel};
 pub use clusterer::register;
 pub use config::{AdaWaveConfig, AdaWaveConfigBuilder};
 pub use result::{AdaWaveResult, GridStats};

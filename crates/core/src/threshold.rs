@@ -304,14 +304,23 @@ mod tests {
 
     #[test]
     fn degenerate_inputs_keep_everything() {
+        // Every strategy — including Fixed and Quantile, which would
+        // otherwise index into the slice — must return the keep-everything
+        // threshold 0.0 (never NaN, never a panic) on curves of fewer than
+        // three densities. The empty slice is what the pipeline produces
+        // when an extreme `coefficient_epsilon` removes every cell.
         for strategy in [
             ThresholdStrategy::default(),
+            ThresholdStrategy::ElbowAngle { divisor: 3.0 },
             ThresholdStrategy::ThreeSegment,
             ThresholdStrategy::Kneedle,
+            ThresholdStrategy::Quantile(0.2),
+            ThresholdStrategy::Fixed(7.5),
         ] {
-            assert_eq!(strategy.choose(&[]), 0.0);
-            assert_eq!(strategy.choose(&[5.0]), 0.0);
-            assert_eq!(strategy.choose(&[5.0, 3.0]), 0.0);
+            let name = strategy.name();
+            assert_eq!(strategy.choose(&[]), 0.0, "{name}");
+            assert_eq!(strategy.choose(&[5.0]), 0.0, "{name}");
+            assert_eq!(strategy.choose(&[5.0, 3.0]), 0.0, "{name}");
         }
     }
 

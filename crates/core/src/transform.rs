@@ -31,8 +31,17 @@ pub fn sparse_lowpass_dimension(
     let new_codec = KeyCodec::new(&new_intervals)?;
 
     let offset = (kernel.len() as isize - 1) / 2;
+    // Scatter in sorted-key order so each output cell accumulates its
+    // floating-point contributions in a fixed sequence. Hash-map iteration
+    // order differs per map instance, and for wavelets with irrational
+    // taps (db2/db3) a different summation order rounds differently —
+    // sorting makes the transform a pure function of the grid *content*,
+    // which is what lets a streamed accumulator refit bit-identically to a
+    // freshly quantized one (and two `fit` calls agree with each other).
+    let mut entries: Vec<(u128, f64)> = grid.iter().collect();
+    entries.sort_unstable_by_key(|&(key, _)| key);
     let mut out = SparseGrid::with_capacity(grid.occupied_cells());
-    for (key, density) in grid.iter() {
+    for (key, density) in entries {
         let c = codec.coordinate(key, dim) as isize;
         // Input index c appears at kernel tap t of output i when
         // 2i - offset + t = c  =>  i = (c + offset - t) / 2.
@@ -41,29 +50,31 @@ pub fn sparse_lowpass_dimension(
                 continue;
             }
             let numerator = c + offset - t as isize;
-            if numerator < 0 || numerator % 2 != 0 {
-                // With zero boundary handling, out-of-range contributions
-                // are dropped; periodic wrapping is handled below.
-                if boundary == BoundaryMode::Periodic {
-                    let wrapped = numerator.rem_euclid(2 * new_m as isize);
-                    if wrapped % 2 != 0 {
-                        continue;
-                    }
-                    let i = (wrapped / 2) as u32;
-                    if i < new_m {
-                        let new_key = remap_key(codec, &new_codec, key, dim, i);
-                        out.add(new_key, h * density);
-                    }
+            if boundary == BoundaryMode::Periodic {
+                // Periodic extension wraps *input* coordinates, so reduce
+                // modulo `old_m` before halving. Reducing modulo
+                // `2 * new_m` instead — which equals `old_m + 1` when
+                // `old_m` is odd — would send boundary mass to a phantom
+                // input coordinate that does not exist on the ring.
+                // `2i ≡ numerator (mod old_m)` has a solution with
+                // `i < new_m` exactly when the wrapped position is even.
+                let wrapped = numerator.rem_euclid(old_m as isize);
+                if wrapped % 2 != 0 {
+                    continue;
                 }
+                let i = (wrapped / 2) as u32;
+                debug_assert!(i < new_m);
+                let new_key = remap_key(codec, &new_codec, key, dim, i);
+                out.add(new_key, h * density);
+                continue;
+            }
+            // Zero boundary handling: out-of-range contributions (negative,
+            // odd, or beyond the halved extent) are dropped.
+            if numerator < 0 || numerator % 2 != 0 {
                 continue;
             }
             let i = numerator / 2;
-            if i < 0 || i >= new_m as isize {
-                if boundary == BoundaryMode::Periodic {
-                    let i = i.rem_euclid(new_m as isize) as u32;
-                    let new_key = remap_key(codec, &new_codec, key, dim, i);
-                    out.add(new_key, h * density);
-                }
+            if i >= new_m as isize {
                 continue;
             }
             let new_key = remap_key(codec, &new_codec, key, dim, i as u32);
@@ -375,6 +386,78 @@ mod tests {
                 .unwrap()
                 .0;
         assert!(periodic.occupied_cells() >= zero.occupied_cells());
+    }
+
+    #[test]
+    fn periodic_wrap_on_odd_dimension_reaches_the_last_cell_not_a_phantom() {
+        // Regression for the negative-numerator wrap branch: with
+        // `old_m = 7` (odd), `new_m = 4` and the Haar kernel
+        // `[0.5, 0.5]` (offset 0), the cell at input coordinate 0 feeds
+        // output 0 (tap 0) and — through the periodic wrap `-1 ≡ 6
+        // (mod 7)` — output 3 (tap 1): `output[3] = (in[6] + in[7 mod 7 =
+        // 0]) / 2`. The old code reduced modulo `2 * new_m = 8`, landing
+        // the wrap on the phantom input coordinate 7 and dropping it.
+        let haar = Wavelet::Haar.density_smoothing_kernel();
+        let codec = KeyCodec::new(&[7]).unwrap();
+        let mut grid = SparseGrid::new();
+        grid.add(codec.pack(&[0]), 1.0);
+        let (out, out_codec) =
+            sparse_lowpass_dimension(&grid, &codec, 0, &haar, BoundaryMode::Periodic).unwrap();
+        assert_eq!(out_codec.intervals(0), 4);
+        assert!((out.density(out_codec.pack(&[0])) - 0.5).abs() < 1e-15);
+        assert!((out.density(out_codec.pack(&[3])) - 0.5).abs() < 1e-15);
+        assert!((out.total_mass() - 1.0).abs() < 1e-15, "no tap was lost");
+    }
+
+    #[test]
+    fn periodic_wrap_on_odd_dimension_matches_direct_convolution() {
+        // Regression for the overflowing-index wrap branch: with the
+        // 5-tap CDF(2,2) kernel (offset 2) over `old_m = 7`, the cell at
+        // input coordinate 6 produces `numerator = 8` at tap 0 — the old
+        // code wrapped the *output* index modulo `new_m`, adding a
+        // spurious `-0.125` at output 0. The direct periodic convolution
+        // `output[i] = Σ_t h[t] · input[(2i + t - 2) mod 7]` says input 6
+        // feeds exactly outputs {0: 0.25, 2: -0.125, 3: 0.75}.
+        let codec = KeyCodec::new(&[7]).unwrap();
+        let mut grid = SparseGrid::new();
+        grid.add(codec.pack(&[6]), 1.0);
+        let (out, out_codec) =
+            sparse_lowpass_dimension(&grid, &codec, 0, &kernel(), BoundaryMode::Periodic).unwrap();
+        let expected = [(0u32, 0.25), (2, -0.125), (3, 0.75)];
+        assert_eq!(out.occupied_cells(), expected.len());
+        for (coord, value) in expected {
+            let got = out.density(out_codec.pack(&[coord]));
+            assert!((got - value).abs() < 1e-15, "output {coord}: {got}");
+        }
+        // Exhaustive cross-check over every input cell of the odd ring:
+        // scatter output == gather (direct convolution) output.
+        for c in 0..7u32 {
+            let mut grid = SparseGrid::new();
+            grid.add(codec.pack(&[c]), 1.0);
+            let (out, out_codec) =
+                sparse_lowpass_dimension(&grid, &codec, 0, &kernel(), BoundaryMode::Periodic)
+                    .unwrap();
+            let k = kernel();
+            for i in 0..4u32 {
+                let direct: f64 = k
+                    .iter()
+                    .enumerate()
+                    .map(|(t, &h)| {
+                        let pos = (2 * i as i64 + t as i64 - 2).rem_euclid(7);
+                        if pos == c as i64 {
+                            h
+                        } else {
+                            0.0
+                        }
+                    })
+                    .sum();
+                let got = out.density(out_codec.pack(&[i]));
+                assert!(
+                    (got - direct).abs() < 1e-15,
+                    "input {c} output {i}: scatter {got} vs direct {direct}"
+                );
+            }
+        }
     }
 
     #[test]

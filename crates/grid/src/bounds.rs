@@ -103,6 +103,29 @@ impl BoundingBox {
         }
     }
 
+    /// The smallest box containing both `self` and `other` — how a
+    /// streaming prescan combines per-batch boxes into the full domain
+    /// without holding more than one batch in memory.
+    ///
+    /// # Panics
+    /// Panics if the dimensionalities differ.
+    pub fn union(&self, other: &BoundingBox) -> BoundingBox {
+        assert_eq!(self.dims(), other.dims(), "union: dimensionality mismatch");
+        let min = self
+            .min
+            .iter()
+            .zip(&other.min)
+            .map(|(&a, &b)| a.min(b))
+            .collect();
+        let max = self
+            .max
+            .iter()
+            .zip(&other.max)
+            .map(|(&a, &b)| a.max(b))
+            .collect();
+        Self { min, max }
+    }
+
     /// Grow the box by a relative margin on every side (e.g. `0.01` = 1%).
     /// Degenerate dimensions are widened by an absolute `1e-9`.
     pub fn expanded(&self, relative_margin: f64) -> Self {
@@ -177,6 +200,32 @@ mod tests {
     fn normalize_degenerate_dimension() {
         let b = BoundingBox::from_bounds(vec![2.0], vec![2.0]);
         assert_eq!(b.normalize(0, 2.0), 0.0);
+    }
+
+    #[test]
+    fn union_covers_both_boxes_and_equals_whole_dataset_box() {
+        let a = BoundingBox::from_bounds(vec![0.0, 2.0], vec![1.0, 5.0]);
+        let b = BoundingBox::from_bounds(vec![-1.0, 3.0], vec![0.5, 9.0]);
+        let u = a.union(&b);
+        assert_eq!(u.min(), &[-1.0, 2.0]);
+        assert_eq!(u.max(), &[1.0, 9.0]);
+        // Union of per-batch boxes == box of the concatenated points.
+        let first = matrix(vec![vec![0.0, 2.0], vec![1.0, 5.0]]);
+        let second = matrix(vec![vec![-1.0, 3.0], vec![0.5, 9.0]]);
+        let mut all = first.clone();
+        all.append(&second);
+        let batched = BoundingBox::from_points(first.view())
+            .unwrap()
+            .union(&BoundingBox::from_points(second.view()).unwrap());
+        assert_eq!(batched, BoundingBox::from_points(all.view()).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn union_rejects_dimension_mismatch() {
+        let a = BoundingBox::from_bounds(vec![0.0], vec![1.0]);
+        let b = BoundingBox::from_bounds(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let _ = a.union(&b);
     }
 
     #[test]

@@ -166,8 +166,10 @@ impl KeyCodec {
             .intervals
             .iter()
             .map(|&m| {
+                // A u32 interval count reaches 1 after at most 32 halvings,
+                // so larger `levels` need no further iterations.
                 let mut v = m;
-                for _ in 0..levels {
+                for _ in 0..levels.min(32) {
                     v = v.div_ceil(2).max(1);
                 }
                 v

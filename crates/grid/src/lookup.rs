@@ -57,15 +57,18 @@ impl LookupTable {
     /// Key of the cell a point falls into after `levels` decompositions,
     /// in the coordinate system of `transformed_codec(levels)`.
     pub fn transformed_cell(&self, point: usize, levels: u32, transformed: &KeyCodec) -> u128 {
-        let coords = self.original_codec.unpack(self.point_cells[point]);
-        let down: Vec<u32> = coords.iter().map(|&c| c >> levels).collect();
-        transformed.pack(&down)
+        self.downsample_key(self.point_cells[point], levels, transformed)
     }
 
     /// Map the coordinates of an original-space cell key down `levels`.
+    /// Beyond 31 levels every u32 coordinate has collapsed to 0, so the
+    /// shift saturates instead of overflowing.
     pub fn downsample_key(&self, key: u128, levels: u32, transformed: &KeyCodec) -> u128 {
         let coords = self.original_codec.unpack(key);
-        let down: Vec<u32> = coords.iter().map(|&c| c >> levels).collect();
+        let down: Vec<u32> = coords
+            .iter()
+            .map(|&c| c.checked_shr(levels).unwrap_or(0))
+            .collect();
         transformed.pack(&down)
     }
 
@@ -80,11 +83,7 @@ impl LookupTable {
     ) -> Vec<Option<usize>> {
         self.point_cells
             .iter()
-            .map(|&cell| {
-                let coords = self.original_codec.unpack(cell);
-                let down: Vec<u32> = coords.iter().map(|&c| c >> levels).collect();
-                labels.cluster_of(transformed.pack(&down))
-            })
+            .map(|&cell| labels.cluster_of(self.downsample_key(cell, levels, transformed)))
             .collect()
     }
 }

@@ -184,9 +184,7 @@ impl Quantizer {
         let mut grid = SparseGrid::with_capacity(points.len().min(1 << 16));
         let mut assignment = Vec::with_capacity(points.len());
         for (shard, keys) in shards {
-            for (key, count) in shard.iter() {
-                grid.add(key, count);
-            }
+            grid.merge(&shard);
             assignment.extend_from_slice(&keys);
         }
         (grid, assignment)

@@ -111,6 +111,21 @@ impl SparseGrid {
         before - self.cells.len()
     }
 
+    /// Add every cell of `other` into this grid, summing the densities of
+    /// shared cells.
+    ///
+    /// The sparse grid is an additive, order-insensitive sufficient
+    /// statistic of the data (per-cell point counts), so merging the grids
+    /// of two disjoint point sets yields exactly the grid of their union —
+    /// this is what the parallel quantization shards and the streaming
+    /// ingestion layer (`adawave-stream`) rely on.
+    pub fn merge(&mut self, other: &SparseGrid) {
+        self.cells.reserve(other.cells.len());
+        for (&key, &density) in &other.cells {
+            *self.cells.entry(key).or_insert(0.0) += density;
+        }
+    }
+
     /// Keep only cells present in `keys` (used when mapping clusters back).
     pub fn retain_keys(&mut self, keys: &std::collections::HashSet<u128>) {
         self.cells.retain(|k, _| keys.contains(k));
@@ -142,23 +157,27 @@ impl SparseGrid {
         let before = self.cells.len();
         // Keep everything strictly above the cut-off, then fill the remaining
         // slots with ties so exactly `budget` cells survive regardless of how
-        // many cells share the cut-off magnitude.
+        // many cells share the cut-off magnitude. Ties are resolved by key
+        // (smallest first) rather than map iteration order, so the surviving
+        // set is a pure function of the grid content.
         let mut slots_for_ties = budget;
         for v in self.cells.values() {
             if v.abs() > cutoff {
                 slots_for_ties -= 1;
             }
         }
-        self.cells.retain(|_, v| {
+        let mut tie_keys: Vec<u128> = self
+            .cells
+            .iter()
+            .filter(|(_, v)| v.abs() == cutoff)
+            .map(|(&k, _)| k)
+            .collect();
+        tie_keys.sort_unstable();
+        tie_keys.truncate(slots_for_ties);
+        let kept_ties: std::collections::HashSet<u128> = tie_keys.into_iter().collect();
+        self.cells.retain(|k, v| {
             let mag = v.abs();
-            if mag > cutoff {
-                true
-            } else if mag == cutoff && slots_for_ties > 0 {
-                slots_for_ties -= 1;
-                true
-            } else {
-                false
-            }
+            mag > cutoff || (mag == cutoff && kept_ties.contains(k))
         });
         before - self.cells.len()
     }
@@ -251,6 +270,45 @@ mod tests {
     }
 
     #[test]
+    fn merge_sums_shared_cells_and_adopts_new_ones() {
+        let mut a: SparseGrid = [(1u128, 2.0), (2, 3.0)].into_iter().collect();
+        let b: SparseGrid = [(2u128, 4.0), (5, 1.5)].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.occupied_cells(), 3);
+        assert_eq!(a.density(1), 2.0);
+        assert_eq!(a.density(2), 7.0);
+        assert_eq!(a.density(5), 1.5);
+        // Merging an empty grid is a no-op, and into an empty grid a copy.
+        a.merge(&SparseGrid::new());
+        assert_eq!(a.occupied_cells(), 3);
+        let mut empty = SparseGrid::new();
+        empty.merge(&a);
+        assert_eq!(empty, a);
+    }
+
+    #[test]
+    fn merge_of_disjoint_partitions_reproduces_the_whole() {
+        // Counts are integers, so any partition of the increments merges
+        // back to exactly the one-shot grid.
+        let keys: Vec<u128> = (0..50).map(|i| (i * 7) % 23).collect();
+        let mut whole = SparseGrid::new();
+        for &k in &keys {
+            whole.increment(k);
+        }
+        let mut left = SparseGrid::new();
+        let mut right = SparseGrid::new();
+        for (i, &k) in keys.iter().enumerate() {
+            if i % 3 == 0 {
+                left.increment(k);
+            } else {
+                right.increment(k);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
+    }
+
+    #[test]
     fn remove_and_retain() {
         let mut g: SparseGrid = [(1u128, 1.0), (2, 2.0), (3, 3.0)].into_iter().collect();
         assert_eq!(g.remove(2), Some(2.0));
@@ -289,10 +347,15 @@ mod tests {
 
     #[test]
     fn prune_to_top_handles_ties_exactly() {
-        // 20 cells of identical density: exactly `budget` must survive.
+        // 20 cells of identical density: exactly `budget` must survive,
+        // and which ones is determined by key order (smallest first), not
+        // by hash-map iteration order.
         let mut g: SparseGrid = (0u128..20).map(|k| (k, 1.0)).collect();
         assert_eq!(g.prune_to_top(7), 13);
         assert_eq!(g.occupied_cells(), 7);
+        for k in 0u128..7 {
+            assert!(g.contains(k), "tie {k} should survive deterministically");
+        }
     }
 
     #[test]

@@ -17,6 +17,12 @@
 //! uniform `threads` parameter), with a fixed-chunk determinism contract:
 //! any thread count produces identical labels.
 //!
+//! Data too large (or too late) to fit in one batch goes through the
+//! streaming layer: [`StreamingAdaWave`] ingests point batches into an
+//! additive sparse-grid accumulator, merges accumulators from independent
+//! shards, and refits the cluster model in `O(occupied cells)` — see the
+//! `adawave-stream` crate docs for the domain-freeze contract.
+//!
 //! ```
 //! use adawave::{standard_registry, AlgorithmSpec, PointMatrix};
 //!
@@ -47,8 +53,11 @@ pub use adawave_api::{
     AlgorithmEntry, AlgorithmRegistry, AlgorithmSpec, ClusterError, Clusterer, Clustering,
     ParamSpec, Params, PointMatrix, PointsView,
 };
-pub use adawave_core::{AdaWave, AdaWaveConfig, AdaWaveResult, ThresholdStrategy};
+pub use adawave_core::{
+    cluster_grid, AdaWave, AdaWaveConfig, AdaWaveResult, GridModel, ThresholdStrategy,
+};
 pub use adawave_runtime::Runtime;
+pub use adawave_stream::{IngestReport, MergeRejected, StreamError, StreamingAdaWave};
 
 /// The standard registry: AdaWave plus every baseline of the paper's
 /// evaluation, resolvable by name with `key=value` parameters.
