@@ -9,9 +9,15 @@
 //!   `n x d` point set in one contiguous buffer (`row(i)` is a subslice,
 //!   no per-point allocation), with [`PointMatrix::from_rows`] as the one
 //!   ingestion path for nested `Vec<Vec<f64>>` data.
-//! * [`Clusterer`] — the polymorphic algorithm interface:
-//!   `fit(PointsView<'_>) -> Result<Clustering, ClusterError>` plus
-//!   `name()`/`describe()`.
+//! * [`Clusterer`] — the polymorphic algorithm interface, following a
+//!   two-stage fit/predict contract: `fit_model(PointsView<'_>) ->
+//!   Result<FitOutcome, ClusterError>` trains and returns the labels plus
+//!   a reusable trained [`Model`], while `fit` is a label-only shim over
+//!   it; `name()`/`describe()` round out the surface.
+//! * [`Model`] / [`FitOutcome`] — the trained-artifact layer: a model
+//!   labels arbitrary out-of-sample points (`predict` for batches,
+//!   `predict_one` for single points) without refitting, and unanswerable
+//!   points (non-finite, out-of-domain, wrong dimensionality) are noise.
 //! * [`Clustering`] — the canonical result type shared by `adawave-core`
 //!   and `adawave-baselines`: per-point `Option<usize>` labels with
 //!   compacted cluster ids (`None` = noise).
@@ -25,36 +31,65 @@
 //!
 //! ```
 //! use adawave_api::{
-//!     AlgorithmRegistry, AlgorithmSpec, Clusterer, Clustering, ClusterError, PointMatrix,
-//!     PointsView,
+//!     AlgorithmRegistry, AlgorithmSpec, Clusterer, Clustering, ClusterError, FitOutcome,
+//!     Model, PointMatrix, PointsView, PredictSupport,
 //! };
 //!
 //! /// A toy algorithm: one cluster per distinct x-sign.
 //! struct SignClusterer;
+//!
+//! /// Its trained model — here the "training" is the rule itself.
+//! struct SignModel {
+//!     dims: usize,
+//! }
+//!
+//! impl Model for SignModel {
+//!     fn algorithm(&self) -> &str {
+//!         "sign"
+//!     }
+//!     fn dims(&self) -> usize {
+//!         self.dims
+//!     }
+//!     fn predict_one(&self, point: &[f64]) -> Option<usize> {
+//!         point[0].is_finite().then_some((point[0] < 0.0) as usize)
+//!     }
+//!     fn summary(&self) -> String {
+//!         "sign model: clusters by the sign of x".to_string()
+//!     }
+//! }
 //!
 //! impl Clusterer for SignClusterer {
 //!     fn name(&self) -> &str {
 //!         "sign"
 //!     }
 //!
-//!     fn fit(&self, points: PointsView<'_>) -> Result<Clustering, ClusterError> {
-//!         Ok(Clustering::new(
-//!             points.rows().map(|p| Some((p[0] >= 0.0) as usize)).collect(),
-//!         ))
+//!     fn fit_model(&self, points: PointsView<'_>) -> Result<FitOutcome, ClusterError> {
+//!         let model = SignModel { dims: points.dims() };
+//!         Ok(FitOutcome {
+//!             clustering: model.predict(points)?,
+//!             model: Box::new(model),
+//!         })
 //!     }
 //! }
 //!
 //! let mut registry = AlgorithmRegistry::new();
-//! registry.register("sign", "clusters by the sign of x", &[], |_params| {
-//!     Ok(Box::new(SignClusterer))
-//! });
+//! registry.register(
+//!     "sign",
+//!     "clusters by the sign of x",
+//!     &[],
+//!     PredictSupport::Native,
+//!     |_params| Ok(Box::new(SignClusterer)),
+//! );
 //!
 //! // Nested data converts once at the ingestion boundary...
 //! let points = PointMatrix::from_rows(vec![vec![-1.0], vec![2.0]]).unwrap();
 //! let clusterer = registry.resolve(&AlgorithmSpec::new("sign")).unwrap();
-//! // ...and `fit` takes the zero-copy view.
+//! // ...`fit` yields labels, `fit_model` additionally the serving model.
 //! let result = clusterer.fit(points.view()).unwrap();
 //! assert_eq!(result.cluster_count(), 2);
+//! let outcome = clusterer.fit_model(points.view()).unwrap();
+//! assert_eq!(outcome.model.predict(points.view()).unwrap(), result);
+//! assert_eq!(outcome.model.predict_one(&[42.0]), Some(0));
 //! ```
 
 #![deny(missing_docs)]
@@ -62,12 +97,17 @@
 
 pub mod clusterer;
 pub mod clustering;
+pub mod model;
 pub mod params;
 pub mod points;
 pub mod registry;
 
-pub use clusterer::{validate_fit_input, ClusterError, Clusterer};
+pub use clusterer::{closest_matches, validate_fit_input, ClusterError, Clusterer};
 pub use clustering::Clustering;
+pub use model::{
+    compact_remap, f64_from_hex, f64_to_hex, validate_predict_input, FitOutcome, Model,
+    PayloadReader, PredictSupport,
+};
 pub use params::{AlgorithmSpec, Params};
 pub use points::{PointMatrix, PointsView, Rows};
 pub use registry::{AlgorithmEntry, AlgorithmRegistry, ParamSpec};

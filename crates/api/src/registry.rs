@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::{AlgorithmSpec, ClusterError, Clusterer, Params};
+use crate::{AlgorithmSpec, ClusterError, Clusterer, FitOutcome, Params, PredictSupport};
 
 /// Description of one parameter an algorithm accepts, used for validation
 /// and for `list-algorithms`-style output.
@@ -54,6 +54,7 @@ pub struct AlgorithmEntry {
     name: &'static str,
     summary: &'static str,
     params: Vec<ParamSpec>,
+    predict: PredictSupport,
     build: Builder,
 }
 
@@ -66,6 +67,13 @@ impl AlgorithmEntry {
     /// One-line description of the algorithm.
     pub fn summary(&self) -> &'static str {
         self.summary
+    }
+
+    /// How this algorithm's trained model predicts out of sample:
+    /// [`PredictSupport::Native`] (the algorithm's own decision rule) or
+    /// [`PredictSupport::Fallback`] (nearest labeled training point).
+    pub fn predict_support(&self) -> PredictSupport {
+        self.predict
     }
 
     /// The parameters the algorithm accepts.
@@ -109,6 +117,7 @@ impl std::fmt::Debug for AlgorithmEntry {
             .field("name", &self.name)
             .field("summary", &self.summary)
             .field("params", &self.params)
+            .field("predict", &self.predict)
             .finish_non_exhaustive()
     }
 }
@@ -131,13 +140,17 @@ impl AlgorithmRegistry {
         Self::default()
     }
 
-    /// Register an algorithm. Re-registering a name replaces the previous
-    /// entry (latest wins), so downstream crates can override defaults.
+    /// Register an algorithm, declaring how its trained model predicts
+    /// ([`PredictSupport::Native`] decision rule vs the nearest-training-
+    /// point [`PredictSupport::Fallback`]). Re-registering a name replaces
+    /// the previous entry (latest wins), so downstream crates can override
+    /// defaults.
     pub fn register<F>(
         &mut self,
         name: &'static str,
         summary: &'static str,
         params: &[ParamSpec],
+        predict: PredictSupport,
         build: F,
     ) where
         F: Fn(&Params) -> Result<Box<dyn Clusterer>, ClusterError> + Send + Sync + 'static,
@@ -148,6 +161,7 @@ impl AlgorithmRegistry {
                 name,
                 summary,
                 params: params.to_vec(),
+                predict,
                 build: Box::new(build),
             },
         );
@@ -211,6 +225,16 @@ impl AlgorithmRegistry {
         points: crate::PointsView<'_>,
     ) -> Result<crate::Clustering, ClusterError> {
         self.resolve(spec)?.fit(points)
+    }
+
+    /// Resolve and train in one call, returning the training labels plus
+    /// the reusable trained model (see [`Clusterer::fit_model`]).
+    pub fn fit_model(
+        &self,
+        spec: &AlgorithmSpec,
+        points: crate::PointsView<'_>,
+    ) -> Result<FitOutcome, ClusterError> {
+        self.resolve(spec)?.fit_model(points)
     }
 
     /// Iterate over the entries in name order.
@@ -277,10 +301,32 @@ impl AlgorithmRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Clustering, PointMatrix, PointsView};
+    use crate::{Clustering, Model, PointMatrix, PointsView};
 
     struct Constant {
         clusters: usize,
+    }
+
+    struct ConstantModel {
+        clusters: usize,
+        dims: usize,
+        next: std::sync::atomic::AtomicUsize,
+    }
+
+    impl Model for ConstantModel {
+        fn algorithm(&self) -> &str {
+            "constant"
+        }
+        fn dims(&self) -> usize {
+            self.dims
+        }
+        fn predict_one(&self, _point: &[f64]) -> Option<usize> {
+            let i = self.next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Some(i % self.clusters.max(1))
+        }
+        fn summary(&self) -> String {
+            format!("constant model: {} round-robin clusters", self.clusters)
+        }
     }
 
     impl Clusterer for Constant {
@@ -288,12 +334,19 @@ mod tests {
             "constant"
         }
 
-        fn fit(&self, points: PointsView<'_>) -> Result<Clustering, ClusterError> {
-            Ok(Clustering::new(
-                (0..points.len())
-                    .map(|i| Some(i % self.clusters.max(1)))
-                    .collect(),
-            ))
+        fn fit_model(&self, points: PointsView<'_>) -> Result<FitOutcome, ClusterError> {
+            Ok(FitOutcome {
+                clustering: Clustering::new(
+                    (0..points.len())
+                        .map(|i| Some(i % self.clusters.max(1)))
+                        .collect(),
+                ),
+                model: Box::new(ConstantModel {
+                    clusters: self.clusters,
+                    dims: points.dims(),
+                    next: std::sync::atomic::AtomicUsize::new(0),
+                }),
+            })
         }
     }
 
@@ -303,6 +356,7 @@ mod tests {
             "constant",
             "assigns points round-robin to k clusters",
             &[ParamSpec::new("k", "usize", "2", "number of clusters")],
+            PredictSupport::Native,
             |params| {
                 let clusters = params.get_or("k", 2usize)?;
                 Ok(Box::new(Constant { clusters }))
@@ -321,6 +375,22 @@ mod tests {
         assert_eq!(registry.names(), vec!["constant"]);
         assert!(registry.contains("constant"));
         assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn fit_model_resolves_and_trains_in_one_call() {
+        let registry = test_registry();
+        let spec = AlgorithmSpec::new("constant").with("k", 2);
+        let points = PointMatrix::from_rows(vec![vec![0.0]; 4]).unwrap();
+        let outcome = registry.fit_model(&spec, points.view()).unwrap();
+        assert_eq!(outcome.clustering.cluster_count(), 2);
+        // Predict on the training set reproduces the fit labels.
+        let again = outcome.model.predict(points.view()).unwrap();
+        assert_eq!(again, outcome.clustering);
+        assert_eq!(
+            registry.entry("constant").unwrap().predict_support(),
+            PredictSupport::Native
+        );
     }
 
     #[test]

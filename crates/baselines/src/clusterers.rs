@@ -8,30 +8,67 @@
 //! sweeps, future services) can resolve baselines by name.
 
 use adawave_api::{
-    validate_fit_input, AlgorithmRegistry, ClusterError, Clusterer, Clustering, ParamSpec, Params,
-    PointsView,
+    validate_fit_input, AlgorithmRegistry, ClusterError, Clusterer, Clustering, FitOutcome,
+    ParamSpec, Params, PointsView, PredictSupport,
 };
 use adawave_runtime::Runtime;
 
+use crate::models::{CentroidModel, EmModel, IntervalModel, MeanShiftModel, NearestTrainingModel};
 use crate::{
-    clique, dbscan, dipmeans, em, kmeans, mean_shift, optics, ric, self_tuning_spectral, skinnydip,
-    sting, sync_cluster, unidip, wavecluster, CliqueConfig, DbscanConfig, DipMeansConfig, EmConfig,
-    KMeansConfig, MeanShiftConfig, OpticsConfig, RicConfig, SkinnyDipConfig, SpectralConfig,
-    StingConfig, SyncConfig, WaveClusterConfig,
+    clique, dbscan, dipmeans, dipmeans_with_centroids, em, kmeans, mean_shift, optics, ric,
+    self_tuning_spectral, skinnydip, sting, sync_cluster, unidip, wavecluster, CliqueConfig,
+    DbscanConfig, DipMeansConfig, EmConfig, KMeansConfig, MeanShiftConfig, OpticsConfig, RicConfig,
+    SkinnyDipConfig, SpectralConfig, StingConfig, SyncConfig, WaveClusterConfig,
 };
+
+/// How a wrapped baseline runs: either a labels-only function (whose
+/// trained model is the nearest-training-point fallback) or a pair of
+/// functions — the cheap label-only fit plus the training function that
+/// also builds the native model — so plain `fit` never pays for a model
+/// it is about to discard.
+enum Run<C> {
+    Labels(fn(PointsView<'_>, &C) -> Clustering),
+    Trained {
+        fit: fn(PointsView<'_>, &C) -> Clustering,
+        fit_model: fn(PointsView<'_>, &C) -> FitOutcome,
+    },
+}
 
 /// A baseline behind the uniform interface: a registry name, a pre-parsed
 /// config, and the baseline's run function.
 pub struct ConfiguredClusterer<C> {
     name: &'static str,
     config: C,
-    run: fn(PointsView<'_>, &C) -> Clustering,
+    run: Run<C>,
 }
 
 impl<C> ConfiguredClusterer<C> {
-    /// Wrap a `(config, function)` pair under a registry name.
+    /// Wrap a labels-only `(config, function)` pair under a registry name.
+    /// Its [`fit_model`](Clusterer::fit_model) memorizes the training
+    /// batch in a [`NearestTrainingModel`] — the documented fallback for
+    /// algorithms without a native out-of-sample rule.
     pub fn new(name: &'static str, config: C, run: fn(PointsView<'_>, &C) -> Clustering) -> Self {
-        Self { name, config, run }
+        Self {
+            name,
+            config,
+            run: Run::Labels(run),
+        }
+    }
+
+    /// Wrap an algorithm with a native serving model: `fit` is the cheap
+    /// label-only function, `fit_model` the training function that also
+    /// builds the model in the same pass.
+    pub fn with_model(
+        name: &'static str,
+        config: C,
+        fit: fn(PointsView<'_>, &C) -> Clustering,
+        fit_model: fn(PointsView<'_>, &C) -> FitOutcome,
+    ) -> Self {
+        Self {
+            name,
+            config,
+            run: Run::Trained { fit, fit_model },
+        }
     }
 
     /// Borrow the effective configuration.
@@ -49,40 +86,126 @@ impl<C: std::fmt::Debug> Clusterer for ConfiguredClusterer<C> {
         format!("{} {:?}", self.name, self.config)
     }
 
-    /// Run the wrapped baseline. Empty or zero-dimensional input is
-    /// rejected with [`ClusterError::InvalidInput`] up front — uniformly
-    /// across every baseline — so no `points[0]`-style panic can be
-    /// reached through the trait surface.
+    /// Train the wrapped baseline and return the labels plus the trained
+    /// model (the algorithm's native one, or the nearest-training-point
+    /// fallback). Empty or zero-dimensional input is rejected with
+    /// [`ClusterError::InvalidInput`] up front — uniformly across every
+    /// baseline — so no `points[0]`-style panic can be reached through
+    /// the trait surface.
+    fn fit_model(&self, points: PointsView<'_>) -> Result<FitOutcome, ClusterError> {
+        validate_fit_input(points)?;
+        Ok(match self.run {
+            Run::Labels(run) => {
+                let clustering = run(points, &self.config);
+                FitOutcome {
+                    model: Box::new(NearestTrainingModel::new(self.name, points, &clustering)),
+                    clustering,
+                }
+            }
+            Run::Trained { fit_model, .. } => fit_model(points, &self.config),
+        })
+    }
+
+    /// Label-only fit: always the cheap path — no serving model is built
+    /// and no training-batch copy is made, for either kind of baseline.
     fn fit(&self, points: PointsView<'_>) -> Result<Clustering, ClusterError> {
         validate_fit_input(points)?;
-        Ok((self.run)(points, &self.config))
+        Ok(match self.run {
+            Run::Labels(run) => run(points, &self.config),
+            Run::Trained { fit, .. } => fit(points, &self.config),
+        })
     }
 }
 
-/// UniDip on one projected axis: the 1-D core of SkinnyDip, exposed as an
-/// algorithm of its own for axis-aligned data. `config.0` is the dimension
-/// to project onto (clamped to the data's dimensionality).
-fn unidip_projection(points: PointsView<'_>, config: &(usize, SkinnyDipConfig)) -> Clustering {
+/// UniDip on one projected axis (the 1-D core of SkinnyDip): the raw
+/// per-point interval indices, the fitted modal intervals, the clamped
+/// projection dimension and the data dimensionality.
+#[allow(clippy::type_complexity)]
+fn unidip_parts(
+    points: PointsView<'_>,
+    config: &(usize, SkinnyDipConfig),
+) -> (Vec<Option<usize>>, Vec<(f64, f64)>, usize, usize) {
     let (dim, cfg) = config;
-    if points.is_empty() {
-        return Clustering::new(vec![]);
-    }
     let dims = points.dims();
-    if dims == 0 {
-        // Zero-dimensional points leave no axis to project onto. (The
-        // trait surface already rejects this input; kept for direct calls.)
-        return Clustering::all_noise(points.len());
+    if points.is_empty() || dims == 0 {
+        // No axis to project onto: all noise. (The trait surface already
+        // rejects these inputs; kept for direct calls.)
+        return (vec![None; points.len()], Vec::new(), 0, dims);
     }
     let d = (*dim).min(dims - 1);
     let values: Vec<f64> = points.rows().map(|p| p[d]).collect();
     let mut rng = adawave_data::Rng::new(cfg.seed);
     let intervals = unidip(&values, cfg, &mut rng);
-    Clustering::new(
-        values
-            .iter()
-            .map(|&v| intervals.iter().position(|&(lo, hi)| v >= lo && v <= hi))
-            .collect(),
-    )
+    let raw = values
+        .iter()
+        .map(|&v| intervals.iter().position(|&(lo, hi)| v >= lo && v <= hi))
+        .collect();
+    (raw, intervals, d, dims)
+}
+
+/// UniDip on one projected axis, exposed as an algorithm of its own for
+/// axis-aligned data. `config.0` is the dimension to project onto
+/// (clamped to the data's dimensionality).
+fn unidip_projection(points: PointsView<'_>, config: &(usize, SkinnyDipConfig)) -> Clustering {
+    Clustering::new(unidip_parts(points, config).0)
+}
+
+// ---------------------------------------------------------------------------
+// Native fit-model adapters: one training pass produces the labels and the
+// algorithm's own serving model, with model cluster ids aligned to the
+// training clustering (pinned for all algorithms by tests/predict_parity.rs).
+// ---------------------------------------------------------------------------
+
+fn kmeans_fit(points: PointsView<'_>, config: &KMeansConfig) -> Clustering {
+    kmeans(points, config).clustering
+}
+
+fn kmeans_fit_model(points: PointsView<'_>, config: &KMeansConfig) -> FitOutcome {
+    let result = kmeans(points, config);
+    let model = CentroidModel::aligned("kmeans", &result.centroids, &result.clustering, points);
+    FitOutcome {
+        clustering: result.clustering,
+        model: Box::new(model),
+    }
+}
+
+fn em_fit(points: PointsView<'_>, config: &EmConfig) -> Clustering {
+    em(points, config).1
+}
+
+fn em_fit_model(points: PointsView<'_>, config: &EmConfig) -> FitOutcome {
+    let (mixture, clustering) = em(points, config);
+    let model = EmModel::aligned(mixture, &clustering, points);
+    FitOutcome {
+        clustering,
+        model: Box::new(model),
+    }
+}
+
+fn dipmeans_fit_model(points: PointsView<'_>, config: &DipMeansConfig) -> FitOutcome {
+    let (clustering, centroids) = dipmeans_with_centroids(points, config);
+    let model = CentroidModel::aligned("dipmeans", &centroids, &clustering, points);
+    FitOutcome {
+        clustering,
+        model: Box::new(model),
+    }
+}
+
+fn meanshift_fit_model(points: PointsView<'_>, config: &MeanShiftConfig) -> FitOutcome {
+    let (clustering, model) = MeanShiftModel::fit(points, config);
+    FitOutcome {
+        clustering,
+        model: Box::new(model),
+    }
+}
+
+fn unidip_fit_model(points: PointsView<'_>, config: &(usize, SkinnyDipConfig)) -> FitOutcome {
+    let (raw, intervals, dim, dims) = unidip_parts(points, config);
+    let model = IntervalModel::new(dims, dim, intervals, &raw);
+    FitOutcome {
+        clustering: Clustering::new(raw),
+        model: Box::new(model),
+    }
 }
 
 const SEED: ParamSpec = ParamSpec::new("seed", "u64", "0", "seed for the internal RNG");
@@ -114,15 +237,17 @@ pub fn register(registry: &mut AlgorithmRegistry) {
         "kmeans",
         "Lloyd's k-means with k-means++ init and restarts",
         &[K, SEED, THREADS],
+        PredictSupport::Native,
         |params| {
             let config = KMeansConfig {
                 runtime: runtime_param(params)?,
                 ..KMeansConfig::new(params.get_or("k", 2)?, params.get_or("seed", 0)?)
             };
-            Ok(Box::new(ConfiguredClusterer::new(
+            Ok(Box::new(ConfiguredClusterer::with_model(
                 "kmeans",
                 config,
-                |p, c| kmeans(p, c).clustering,
+                kmeans_fit,
+                kmeans_fit_model,
             )))
         },
     );
@@ -134,6 +259,7 @@ pub fn register(registry: &mut AlgorithmRegistry) {
             ParamSpec::new("min-points", "usize", "8", "core-point density threshold"),
             THREADS,
         ],
+        PredictSupport::Fallback,
         |params| {
             let config = DbscanConfig {
                 runtime: runtime_param(params)?,
@@ -146,14 +272,18 @@ pub fn register(registry: &mut AlgorithmRegistry) {
         "em",
         "full-covariance Gaussian mixture fitted with EM",
         &[K, SEED, THREADS],
+        PredictSupport::Native,
         |params| {
             let config = EmConfig {
                 runtime: runtime_param(params)?,
                 ..EmConfig::new(params.get_or("k", 2)?, params.get_or("seed", 0)?)
             };
-            Ok(Box::new(ConfiguredClusterer::new("em", config, |p, c| {
-                em(p, c).1
-            })))
+            Ok(Box::new(ConfiguredClusterer::with_model(
+                "em",
+                config,
+                em_fit,
+                em_fit_model,
+            )))
         },
     );
     registry.register(
@@ -163,6 +293,7 @@ pub fn register(registry: &mut AlgorithmRegistry) {
             ParamSpec::new("scale", "u32", "128", "grid intervals per dimension"),
             THREADS,
         ],
+        PredictSupport::Fallback,
         |params| {
             let config = WaveClusterConfig {
                 scale: params.get_or("scale", 128)?,
@@ -184,6 +315,7 @@ pub fn register(registry: &mut AlgorithmRegistry) {
             ParamSpec::new("alpha", "f64", "0.05", "dip-test significance level"),
             THREADS_NOOP,
         ],
+        PredictSupport::Fallback,
         |params| {
             runtime_param(params)?;
             let config = SkinnyDipConfig {
@@ -207,6 +339,7 @@ pub fn register(registry: &mut AlgorithmRegistry) {
             ParamSpec::new("dim", "usize", "0", "dimension to project onto"),
             THREADS_NOOP,
         ],
+        PredictSupport::Native,
         |params| {
             runtime_param(params)?;
             let config = SkinnyDipConfig {
@@ -215,10 +348,11 @@ pub fn register(registry: &mut AlgorithmRegistry) {
                 ..Default::default()
             };
             let dim = params.get_or("dim", 0)?;
-            Ok(Box::new(ConfiguredClusterer::new(
+            Ok(Box::new(ConfiguredClusterer::with_model(
                 "unidip",
                 (dim, config),
                 unidip_projection,
+                unidip_fit_model,
             )))
         },
     );
@@ -230,6 +364,7 @@ pub fn register(registry: &mut AlgorithmRegistry) {
             ParamSpec::new("max-k", "usize", "16", "upper bound on the estimated k"),
             THREADS,
         ],
+        PredictSupport::Native,
         |params| {
             let config = DipMeansConfig {
                 seed: params.get_or("seed", 0)?,
@@ -237,8 +372,11 @@ pub fn register(registry: &mut AlgorithmRegistry) {
                 runtime: runtime_param(params)?,
                 ..Default::default()
             };
-            Ok(Box::new(ConfiguredClusterer::new(
-                "dipmeans", config, dipmeans,
+            Ok(Box::new(ConfiguredClusterer::with_model(
+                "dipmeans",
+                config,
+                dipmeans,
+                dipmeans_fit_model,
             )))
         },
     );
@@ -255,6 +393,7 @@ pub fn register(registry: &mut AlgorithmRegistry) {
             SEED,
             THREADS,
         ],
+        PredictSupport::Fallback,
         |params| {
             // `k=auto` (or no k at all) selects k by the eigengap; the CLI
             // always injects a numeric k, so `auto` keeps the documented
@@ -289,6 +428,7 @@ pub fn register(registry: &mut AlgorithmRegistry) {
         "ric",
         "simplified robust information-theoretic clustering (MDL purification)",
         &[K, SEED, THREADS],
+        PredictSupport::Fallback,
         |params| {
             // RIC purifies an over-segmented k-means start: `k` is the
             // expected cluster count, the initial means are 2k (the
@@ -310,6 +450,7 @@ pub fn register(registry: &mut AlgorithmRegistry) {
             ParamSpec::new("min-points", "usize", "8", "core-point density threshold"),
             THREADS_NOOP,
         ],
+        PredictSupport::Fallback,
         |params| {
             runtime_param(params)?;
             let eps = params.get_or("eps", 0.05)?;
@@ -328,15 +469,17 @@ pub fn register(registry: &mut AlgorithmRegistry) {
             ParamSpec::new("bandwidth", "f64", "0.1", "kernel radius"),
             THREADS,
         ],
+        PredictSupport::Native,
         |params| {
             let config = MeanShiftConfig {
                 runtime: runtime_param(params)?,
                 ..MeanShiftConfig::new(params.get_or("bandwidth", 0.1)?)
             };
-            Ok(Box::new(ConfiguredClusterer::new(
+            Ok(Box::new(ConfiguredClusterer::with_model(
                 "meanshift",
                 config,
                 mean_shift,
+                meanshift_fit_model,
             )))
         },
     );
@@ -347,6 +490,7 @@ pub fn register(registry: &mut AlgorithmRegistry) {
             ParamSpec::new("eps", "f64", "0.1", "interaction radius"),
             THREADS,
         ],
+        PredictSupport::Fallback,
         |params| {
             let config = SyncConfig {
                 runtime: runtime_param(params)?,
@@ -372,6 +516,7 @@ pub fn register(registry: &mut AlgorithmRegistry) {
             ),
             THREADS_NOOP,
         ],
+        PredictSupport::Fallback,
         |params| {
             runtime_param(params)?;
             let config =
@@ -387,6 +532,7 @@ pub fn register(registry: &mut AlgorithmRegistry) {
             ParamSpec::new("density", "f64", "0.01", "dense-unit point fraction"),
             THREADS_NOOP,
         ],
+        PredictSupport::Fallback,
         |params| {
             runtime_param(params)?;
             let config = CliqueConfig::new(

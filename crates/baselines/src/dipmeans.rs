@@ -86,13 +86,43 @@ fn split_viewer_fraction(
 /// Run DipMeans. Returns a clustering with the estimated number of
 /// clusters; every point is assigned (no noise concept).
 pub fn dipmeans(points: PointsView<'_>, config: &DipMeansConfig) -> Clustering {
+    dipmeans_with_centroids(points, config).0
+}
+
+/// [`dipmeans`] plus the centroids of the final global k-means refinement
+/// (one row per cluster, in the refinement's own order; the global mean
+/// when no split ever triggered). Because the final labels come from that
+/// k-means run — whose labels are the nearest-centroid assignment against
+/// its returned centroids — these centroids make nearest-centroid
+/// prediction reproduce the DipMeans training labels exactly.
+pub fn dipmeans_with_centroids(
+    points: PointsView<'_>,
+    config: &DipMeansConfig,
+) -> (Clustering, adawave_api::PointMatrix) {
     let n = points.len();
     if n == 0 {
-        return Clustering::new(vec![]);
+        return (
+            Clustering::new(vec![]),
+            adawave_api::PointMatrix::new(points.dims()),
+        );
     }
     let mut rng = Rng::new(config.seed);
     let mut k = 1usize;
     let mut clustering = Clustering::from_labels(vec![0; n]);
+    // The single-cluster "centroids": the global mean (every point is
+    // trivially nearest to the only centroid).
+    let dims = points.dims();
+    let mut mean = vec![0.0; dims];
+    for p in points.rows() {
+        for (m, v) in mean.iter_mut().zip(p.iter()) {
+            *m += v;
+        }
+    }
+    for m in &mut mean {
+        *m /= n as f64;
+    }
+    let mut centroids = adawave_api::PointMatrix::new(dims);
+    centroids.push_row(&mean);
 
     while k < config.max_k {
         let clusters = clustering.clusters();
@@ -129,8 +159,9 @@ pub fn dipmeans(points: PointsView<'_>, config: &DipMeansConfig) -> Clustering {
             },
         );
         clustering = refined.clustering;
+        centroids = refined.centroids;
     }
-    clustering
+    (clustering, centroids)
 }
 
 #[cfg(test)]

@@ -177,7 +177,6 @@ fn lloyd<R: RowSet>(
     let k = centroids.len() / dims;
     let mut assignment = vec![0usize; n];
     let mut prev_inertia = f64::MAX;
-    let mut inertia = f64::MAX;
     let mut iterations = 0;
     for iter in 0..config.max_iterations {
         iterations = iter + 1;
@@ -217,7 +216,7 @@ fn lloyd<R: RowSet>(
                     }
                     (sums, counts, local_inertia)
                 });
-        inertia = 0.0;
+        let mut inertia = 0.0;
         let mut sums = vec![0.0; k * dims];
         let mut counts = vec![0usize; k];
         for (chunk_sums, chunk_counts, chunk_inertia) in partials {
@@ -250,6 +249,36 @@ fn lloyd<R: RowSet>(
         }
         prev_inertia = inertia;
     }
+    // Final assignment-only pass: inside the loop, labels are computed
+    // against the centroids *before* their update, so without this pass the
+    // returned labels could disagree with the returned centroids on
+    // boundary points. Re-assigning (and re-measuring inertia) against the
+    // final centroids makes `label(i) == argmin_c d(point_i, centroid_c)`
+    // an invariant — which is exactly what nearest-centroid prediction
+    // (`CentroidModel`) relies on to reproduce the fit labels.
+    let partials: Vec<f64> =
+        config
+            .runtime
+            .par_chunks_mut(&mut assignment, ROW_CHUNK, |chunk_idx, slots| {
+                let base = chunk_idx * ROW_CHUNK;
+                let mut local_inertia = 0.0;
+                for (local, slot) in slots.iter_mut().enumerate() {
+                    let p = points.row(base + local);
+                    let mut best = 0usize;
+                    let mut best_d = f64::MAX;
+                    for (c, centroid) in centroids.chunks_exact(dims).enumerate() {
+                        let d = squared_distance(p, centroid);
+                        if d < best_d {
+                            best_d = d;
+                            best = c;
+                        }
+                    }
+                    *slot = best;
+                    local_inertia += best_d;
+                }
+                local_inertia
+            });
+    let inertia = partials.into_iter().sum();
     (assignment, centroids, inertia, iterations)
 }
 
@@ -398,6 +427,35 @@ mod tests {
         assert!((result.centroids[0][0] - 1.0).abs() < 1e-9);
         assert!((result.centroids[0][1] - 1.0).abs() < 1e-9);
         assert!((result.inertia - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn labels_always_match_the_nearest_final_centroid() {
+        // The invariant nearest-centroid prediction relies on: every
+        // returned label is the argmin over the *returned* centroids
+        // (first index wins ties), and the reported inertia is measured
+        // against them too.
+        let (points, _) = three_blobs(8);
+        let result = kmeans(points.view(), &KMeansConfig::new(3, 5));
+        let dims = points.dims();
+        let mut expected_inertia = 0.0;
+        let mut nearest = Vec::with_capacity(points.len());
+        for p in points.rows() {
+            let mut best = 0usize;
+            let mut best_d = f64::MAX;
+            for (c, centroid) in result.centroids.as_slice().chunks_exact(dims).enumerate() {
+                let d = squared_distance(p, centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            expected_inertia += best_d;
+            nearest.push(best);
+        }
+        // Compacted, the nearest-centroid sequence IS the fit clustering.
+        assert_eq!(Clustering::from_labels(nearest), result.clustering);
+        assert!((result.inertia - expected_inertia).abs() < 1e-9);
     }
 
     #[test]

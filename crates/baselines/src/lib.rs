@@ -57,6 +57,7 @@ pub mod em;
 pub mod kdtree;
 pub mod kmeans;
 pub mod meanshift;
+pub mod models;
 pub mod optics;
 pub mod ric;
 pub mod spectral;
@@ -69,11 +70,12 @@ pub use clusterers::{register, ConfiguredClusterer};
 pub use clustering::Clustering;
 pub use dbscan::{dbscan, DbscanConfig};
 pub use dip::{dip_statistic, dip_test, skinnydip, unidip, SkinnyDipConfig};
-pub use dipmeans::{dipmeans, DipMeansConfig};
+pub use dipmeans::{dipmeans, dipmeans_with_centroids, DipMeansConfig};
 pub use em::{em, EmConfig, GaussianMixture};
 pub use kdtree::KdTree;
 pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
 pub use meanshift::{mean_shift, MeanShiftConfig, MeanShiftKernel};
+pub use models::{CentroidModel, EmModel, IntervalModel, MeanShiftModel, NearestTrainingModel};
 pub use optics::{optics, optics_ordering, OpticsConfig, OpticsOrdering};
 pub use ric::{ric, RicConfig};
 pub use spectral::{self_tuning_spectral, SpectralConfig};

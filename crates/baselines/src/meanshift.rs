@@ -67,44 +67,67 @@ impl MeanShiftConfig {
     }
 }
 
-/// Run mean shift. Returns the flat clustering; points whose mode attracts
-/// fewer than `min_cluster_size` points are noise.
-pub fn mean_shift(points: PointsView<'_>, config: &MeanShiftConfig) -> Clustering {
-    let n = points.len();
-    if n == 0 {
-        return Clustering::new(vec![]);
-    }
-    let dims = points.dims();
-    let tree = KdTree::build(points);
-    let bandwidth = config.bandwidth.max(1e-12);
-    let two_sigma_sq = 2.0 * bandwidth * bandwidth;
+/// The mode-seeking kernel of mean shift over a fixed training density:
+/// iterate a query toward the weighted mean of its neighborhood until it
+/// converges onto a mode. Shared between [`mean_shift`] (which seeks a
+/// mode per training point) and the trained model's out-of-sample
+/// prediction (which replays the identical dynamics for a query point, so
+/// a training point re-predicted lands on exactly the same mode).
+pub(crate) struct ModeSeeker<'a> {
+    points: PointsView<'a>,
+    tree: KdTree<'a>,
+    bandwidth: f64,
+    two_sigma_sq: f64,
+    kernel: MeanShiftKernel,
+    max_iterations: usize,
+    tolerance: f64,
+}
 
-    // Shift every point to its mode (modes live in one flat buffer too).
-    // Every point's trajectory is independent of the others, so the
-    // mode-seeking pass fans out over the runtime in fixed row chunks and
-    // the resulting modes are identical for every thread count.
-    let seek_mode = |point: &[f64], current: &mut Vec<f64>, mean: &mut Vec<f64>| {
+impl<'a> ModeSeeker<'a> {
+    /// Index the training points for neighborhood queries.
+    pub(crate) fn new(
+        points: PointsView<'a>,
+        bandwidth: f64,
+        kernel: MeanShiftKernel,
+        max_iterations: usize,
+        tolerance: f64,
+    ) -> Self {
+        let bandwidth = bandwidth.max(1e-12);
+        Self {
+            points,
+            tree: KdTree::build(points),
+            bandwidth,
+            two_sigma_sq: 2.0 * bandwidth * bandwidth,
+            kernel,
+            max_iterations,
+            tolerance,
+        }
+    }
+
+    /// Shift `point` to its mode, writing the trajectory into the
+    /// caller-provided scratch buffers; `current` ends on the mode.
+    pub(crate) fn seek(&self, point: &[f64], current: &mut [f64], mean: &mut [f64]) {
         current.copy_from_slice(point);
-        for _ in 0..config.max_iterations {
-            let neighbors = tree.within_radius(current, bandwidth);
+        for _ in 0..self.max_iterations {
+            let neighbors = self.tree.within_radius(current, self.bandwidth);
             if neighbors.is_empty() {
                 break;
             }
             mean.iter_mut().for_each(|m| *m = 0.0);
             let mut total_weight = 0.0;
             for &j in &neighbors {
-                let weight = match config.kernel {
+                let weight = match self.kernel {
                     MeanShiftKernel::Flat => 1.0,
                     MeanShiftKernel::Gaussian => {
                         let d2: f64 = current
                             .iter()
-                            .zip(points.row(j).iter())
+                            .zip(self.points.row(j).iter())
                             .map(|(a, b)| (a - b) * (a - b))
                             .sum();
-                        (-d2 / two_sigma_sq).exp()
+                        (-d2 / self.two_sigma_sq).exp()
                     }
                 };
-                for (m, v) in mean.iter_mut().zip(points.row(j).iter()) {
+                for (m, v) in mean.iter_mut().zip(self.points.row(j).iter()) {
                     *m += weight * v;
                 }
                 total_weight += weight;
@@ -119,11 +142,64 @@ pub fn mean_shift(points: PointsView<'_>, config: &MeanShiftConfig) -> Clusterin
                 .sum::<f64>()
                 .sqrt();
             current.copy_from_slice(mean);
-            if shift < config.tolerance {
+            if shift < self.tolerance {
                 break;
             }
         }
-    };
+    }
+
+    /// The first representative (in creation order) within the merge
+    /// radius of `mode` — the same scan [`mean_shift`] uses to merge
+    /// training modes, so replayed queries merge identically.
+    pub(crate) fn merge_to(
+        representatives: &PointMatrix,
+        mode: &[f64],
+        merge_radius: f64,
+    ) -> Option<usize> {
+        representatives.rows().position(|rep| {
+            let d: f64 = mode
+                .iter()
+                .zip(rep.iter())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            d <= merge_radius
+        })
+    }
+}
+
+/// Run mean shift. Returns the flat clustering; points whose mode attracts
+/// fewer than `min_cluster_size` points are noise.
+pub fn mean_shift(points: PointsView<'_>, config: &MeanShiftConfig) -> Clustering {
+    Clustering::new(mean_shift_parts(points, config).0)
+}
+
+/// The internals [`mean_shift`] and the trained-model adapter share: the
+/// post-demotion raw assignment (representative index per point, `None`
+/// for members of demoted tiny clusters), the mode representatives in
+/// creation order, and the per-representative kept/demoted verdicts.
+pub(crate) fn mean_shift_parts(
+    points: PointsView<'_>,
+    config: &MeanShiftConfig,
+) -> (Vec<Option<usize>>, PointMatrix, Vec<bool>) {
+    let n = points.len();
+    if n == 0 {
+        return (Vec::new(), PointMatrix::new(points.dims()), Vec::new());
+    }
+    let dims = points.dims();
+    let seeker = ModeSeeker::new(
+        points,
+        config.bandwidth,
+        config.kernel,
+        config.max_iterations,
+        config.tolerance,
+    );
+    let bandwidth = config.bandwidth.max(1e-12);
+
+    // Shift every point to its mode (modes live in one flat buffer too).
+    // Every point's trajectory is independent of the others, so the
+    // mode-seeking pass fans out over the runtime in fixed row chunks and
+    // the resulting modes are identical for every thread count.
     let modes = if dims == 0 {
         let mut zero_dim = PointMatrix::new(0);
         for _ in 0..n {
@@ -139,7 +215,7 @@ pub fn mean_shift(points: PointsView<'_>, config: &MeanShiftConfig) -> Clusterin
                 let mut current = vec![0.0; dims];
                 let mut mean = vec![0.0; dims];
                 for (local, out) in rows.chunks_exact_mut(dims).enumerate() {
-                    seek_mode(points.row(base + local), &mut current, &mut mean);
+                    seeker.seek(points.row(base + local), &mut current, &mut mean);
                     out.copy_from_slice(&current);
                 }
             });
@@ -151,20 +227,7 @@ pub fn mean_shift(points: PointsView<'_>, config: &MeanShiftConfig) -> Clusterin
     let mut representatives = PointMatrix::new(dims);
     let mut assignment: Vec<Option<usize>> = Vec::with_capacity(n);
     for mode in modes.rows() {
-        let mut found = None;
-        for (c, rep) in representatives.rows().enumerate() {
-            let d: f64 = mode
-                .iter()
-                .zip(rep.iter())
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum::<f64>()
-                .sqrt();
-            if d <= merge_radius {
-                found = Some(c);
-                break;
-            }
-        }
-        match found {
+        match ModeSeeker::merge_to(&representatives, mode, merge_radius) {
             Some(c) => assignment.push(Some(c)),
             None => {
                 representatives.push_row(mode);
@@ -174,20 +237,24 @@ pub fn mean_shift(points: PointsView<'_>, config: &MeanShiftConfig) -> Clusterin
     }
 
     // Demote tiny clusters to noise.
+    let mut kept = vec![true; representatives.len()];
     if config.min_cluster_size > 1 {
         let mut sizes = vec![0usize; representatives.len()];
         for a in assignment.iter().flatten() {
             sizes[*a] += 1;
         }
+        for (keep, size) in kept.iter_mut().zip(sizes.iter()) {
+            *keep = *size >= config.min_cluster_size;
+        }
         for a in assignment.iter_mut() {
             if let Some(c) = a {
-                if sizes[*c] < config.min_cluster_size {
+                if !kept[*c] {
                     *a = None;
                 }
             }
         }
     }
-    Clustering::new(assignment)
+    (assignment, representatives, kept)
 }
 
 #[cfg(test)]

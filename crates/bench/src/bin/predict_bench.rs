@@ -1,0 +1,168 @@
+//! Serving-path microbenchmark: what the fit/predict split buys.
+//!
+//! Trains the two persistable models on the 100k-point synthetic workload
+//! and measures the *serving* side — the paper's per-point labeling step,
+//! detached from training:
+//!
+//! * **batch predict throughput** — `Model::predict` over the full
+//!   workload (points/second), and
+//! * **single-point latency** — `Model::predict_one` per call, the number
+//!   a request-per-query service sees.
+//!
+//! AdaWave serves by grid-cell hash lookup (O(1) per point, independent
+//! of n and of the cluster count); k-means scans its k centroids per
+//! point. Label parity of `predict` against the training fit is asserted
+//! in-process before anything is timed.
+//!
+//! Run with `cargo run --release -p adawave-bench --bin predict_bench`
+//! (writes `BENCH_predict.json` into the current directory); pass
+//! `--smoke` for a seconds-long variant driving the same code paths.
+
+use std::time::Instant;
+
+use adawave::{standard_registry, AlgorithmSpec, Model};
+use adawave_bench::report::format_table;
+use adawave_data::synthetic::synthetic_benchmark;
+
+const REPEATS: usize = 7;
+
+/// Best-of-`repeats` wall-clock seconds of `f`, with a sink guard so the
+/// optimizer cannot delete the work.
+fn best_of<F: FnMut() -> usize>(repeats: usize, mut f: F) -> f64 {
+    let mut best = f64::MAX;
+    let mut sink = 0usize;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        sink = sink.wrapping_add(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    assert!(sink < usize::MAX);
+    best
+}
+
+struct Row {
+    algorithm: &'static str,
+    rule: &'static str,
+    fit_seconds: f64,
+    batch_seconds: f64,
+    batch_points_per_second: f64,
+    single_point_nanos: f64,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (per_cluster, repeats) = if smoke { (250, 2) } else { (5_000, REPEATS) };
+    // 5 clusters x per_cluster points + 75% noise (100_000 points in the
+    // full run — the workload of the other BENCH_*.json files).
+    let ds = synthetic_benchmark(75.0, per_cluster, 42);
+    let points = ds.view();
+    let n = points.len();
+    let single_queries = n.min(20_000);
+
+    let registry = standard_registry();
+    let specs = [
+        (
+            "adawave",
+            "grid-cell hash lookup",
+            AlgorithmSpec::new("adawave"),
+        ),
+        (
+            "kmeans",
+            "nearest-centroid scan (k=5)",
+            AlgorithmSpec::new("kmeans").with("k", 5).with("seed", 7),
+        ),
+    ];
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (algorithm, rule, spec) in specs {
+        let fit_start = Instant::now();
+        let outcome = registry.fit_model(&spec, points).expect(algorithm);
+        let fit_seconds = fit_start.elapsed().as_secs_f64();
+        // Parity gate: the numbers below only count if serving reproduces
+        // the training labels exactly.
+        assert_eq!(
+            outcome.model.predict(points).expect(algorithm),
+            outcome.clustering,
+            "{algorithm}: predict diverged from fit"
+        );
+        let model: &dyn Model = outcome.model.as_ref();
+
+        let batch_seconds = best_of(repeats, || {
+            model.predict(points).expect(algorithm).cluster_count()
+        });
+        let single_seconds = best_of(repeats, || {
+            let mut assigned = 0usize;
+            for i in 0..single_queries {
+                if model.predict_one(points.row(i)).is_some() {
+                    assigned += 1;
+                }
+            }
+            assigned
+        });
+        rows.push(Row {
+            algorithm,
+            rule,
+            fit_seconds,
+            batch_seconds,
+            batch_points_per_second: n as f64 / batch_seconds,
+            single_point_nanos: single_seconds * 1e9 / single_queries as f64,
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.algorithm.to_string(),
+                r.rule.to_string(),
+                format!("{:.3}", r.fit_seconds),
+                format!("{:.3}", r.batch_seconds),
+                format!("{:.0}", r.batch_points_per_second),
+                format!("{:.0}", r.single_point_nanos),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &[
+                "model",
+                "serving rule",
+                "fit (s)",
+                "batch predict (s)",
+                "points/s",
+                "predict_one (ns)"
+            ],
+            &table,
+        )
+    );
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"workload\": {{ \"points\": {n}, \"dims\": {}, \"noise_percent\": 75.0, \"seed\": 42, \"single_point_queries\": {single_queries}, \"repeats\": {repeats}, \"timing\": \"best-of\", \"smoke\": {smoke} }},\n",
+        points.dims(),
+    ));
+    json.push_str(&format!(
+        "  \"host\": {{ \"available_parallelism\": {host_cpus}, \"note\": \"same single-core container caveat as the other BENCH_*.json files; prediction itself is sequential, so these numbers are thread-count independent\" }},\n",
+    ));
+    json.push_str("  \"claim\": \"the fit/predict split serves out-of-sample points without refitting: AdaWave predicts by grid-cell hash lookup (cost independent of n), kmeans by a k-row centroid scan; both models reproduce their training labels exactly (asserted in-process before timing)\",\n");
+    json.push_str("  \"models\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"algorithm\": \"{}\", \"serving_rule\": \"{}\", \"fit_seconds\": {:.6}, \"batch_predict_seconds\": {:.6}, \"batch_points_per_second\": {:.0}, \"single_point_latency_nanos\": {:.0} }}{}\n",
+            r.algorithm,
+            r.rule,
+            r.fit_seconds,
+            r.batch_seconds,
+            r.batch_points_per_second,
+            r.single_point_nanos,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_predict.json", &json).expect("write BENCH_predict.json");
+    println!("wrote BENCH_predict.json (host cores: {host_cpus})");
+}

@@ -8,8 +8,8 @@ use std::path::Path;
 use std::time::Instant;
 
 use adawave::{
-    standard_registry, AdaWaveConfig, AlgorithmEntry, AlgorithmSpec, ClusterError, Params,
-    PointsView,
+    load_model, save_model, standard_registry, AdaWaveConfig, AlgorithmEntry, AlgorithmSpec,
+    ClusterError, Model, Params, PointsView,
 };
 use adawave_data::csv::CsvBatches;
 use adawave_data::synthetic::{running_example, synthetic_benchmark};
@@ -80,7 +80,10 @@ COMMANDS:
              --out <file.csv>
   cluster    Cluster a CSV file (features..., label per line)
              --input <file.csv> [--algo|--algorithm <name[:key=value,...]>]
-             [--out <labels.csv>]
+             [--out <labels.csv>] [--output csv|json] (per-point labels,
+              noise as empty/null; to stdout when --out is absent)
+             [--save-model <file>] (persist the trained model for
+              `predict`; supported for adawave, kmeans, dipmeans)
              [--param <key=value>]... (uniform, see `list-algorithms`;
               on collision: shorthand flag < algo spec < --param)
              [--scale <n>] [--wavelet <haar|db2|db3|cdf22|cdf13>]
@@ -90,6 +93,13 @@ COMMANDS:
              [--threads <n>] (0 = auto: ADAWAVE_THREADS or all cores;
               labels are identical for every thread count)
              [--reassign-noise] [--quiet]
+  predict    Label a CSV with a trained model — no refitting
+             --input <file.csv>
+             --model <file> (saved by `cluster --save-model`) OR
+             --train <train.csv> (fit a model first; same algorithm
+              options as `cluster`: --algo, --param, shorthand flags)
+             [--out <labels.csv>] [--output csv|json] [--quiet]
+             Out-of-domain/non-finite points are labeled noise.
   stream     Cluster a CSV by ingesting it in bounded batches (constant
              memory for the points; the model is refit from the grid)
              --input <file.csv> [--batch-rows <n>] (default 8192)
@@ -97,8 +107,9 @@ COMMANDS:
               first, so labels match `cluster` on the same file; without
               it the domain freezes on the first batch and later
               out-of-domain points are counted as outliers = noise)
-             [--out <labels.csv>] [--scale <n>] [--wavelet <name>]
-             [--levels <n>] [--threshold <name>] [--threads <n>]
+             [--out <labels.csv>] [--output csv|json] [--scale <n>]
+             [--wavelet <name>] [--levels <n>] [--threshold <name>]
+             [--threads <n>]
              [--param <key=value>]... (adawave params, validated like
               `cluster`; --param beats the shorthand flags) [--quiet]
   evaluate   Score predicted labels against the ground truth in a CSV
@@ -123,6 +134,7 @@ pub fn dispatch(args: &ParsedArgs) -> CliResult<String> {
     match args.command.as_str() {
         "generate" => generate(args),
         "cluster" => cluster(args),
+        "predict" => predict(args),
         "stream" => stream(args),
         "evaluate" => evaluate(args),
         "sweep" => sweep(args),
@@ -264,13 +276,41 @@ pub fn run_clustering(
     args: &ParsedArgs,
     true_k: usize,
 ) -> CliResult<ClusterOutcome> {
+    Ok(run_clustering_impl(algorithm, points, args, true_k, false)?.0)
+}
+
+/// [`run_clustering`] through the two-stage `fit_model` path, additionally
+/// returning the trained model (for `--save-model` and `predict --train`).
+pub fn run_clustering_with_model(
+    algorithm: &str,
+    points: PointsView<'_>,
+    args: &ParsedArgs,
+    true_k: usize,
+) -> CliResult<(ClusterOutcome, Box<dyn Model>)> {
+    let (outcome, model) = run_clustering_impl(algorithm, points, args, true_k, true)?;
+    Ok((outcome, model.expect("requested above")))
+}
+
+#[allow(clippy::type_complexity)]
+fn run_clustering_impl(
+    algorithm: &str,
+    points: PointsView<'_>,
+    args: &ParsedArgs,
+    true_k: usize,
+    want_model: bool,
+) -> CliResult<(ClusterOutcome, Option<Box<dyn Model>>)> {
     let registry = standard_registry();
     let base = AlgorithmSpec::parse(algorithm)?;
     let entry = registry.entry(&base.name)?;
     let spec = build_spec(base, args, true_k, entry)?;
     let clusterer = registry.resolve_lenient(&spec)?;
     let start = Instant::now();
-    let clustering = clusterer.fit(points)?;
+    let (clustering, model) = if want_model {
+        let outcome = clusterer.fit_model(points)?;
+        (outcome.clustering, Some(outcome.model))
+    } else {
+        (clusterer.fit(points)?, None)
+    };
     let seconds = start.elapsed().as_secs_f64();
 
     let labels = if args.flag("reassign-noise") {
@@ -280,12 +320,111 @@ pub fn run_clustering(
     } else {
         clustering.to_labels(NOISE_LABEL)
     };
-    Ok(ClusterOutcome {
-        noise_points: labels.iter().filter(|&&l| l == NOISE_LABEL).count(),
-        clusters: clustering.cluster_count(),
-        labels,
-        seconds,
-    })
+    Ok((
+        ClusterOutcome {
+            noise_points: labels.iter().filter(|&&l| l == NOISE_LABEL).count(),
+            clusters: clustering.cluster_count(),
+            labels,
+            seconds,
+        },
+        model,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// label output (shared by cluster, stream and predict)
+// ---------------------------------------------------------------------------
+
+/// Per-point label output format selected by `--output`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// One label per line; noise points are empty lines.
+    Csv,
+    /// A JSON document with a `labels` array; noise points are `null`.
+    Json,
+}
+
+/// Parse the `--output` option (`None` = the default summary/labels-file
+/// behavior).
+pub fn output_format(args: &ParsedArgs) -> CliResult<Option<OutputFormat>> {
+    match args.get("output") {
+        None => Ok(None),
+        Some("csv") => Ok(Some(OutputFormat::Csv)),
+        Some("json") => Ok(Some(OutputFormat::Json)),
+        Some(other) => Err(CliError::Args(ArgError::InvalidValue {
+            option: "output".to_string(),
+            value: other.to_string(),
+            expected: "csv or json".to_string(),
+        })),
+    }
+}
+
+/// Render per-point labels in the selected format — the one writer shared
+/// by `cluster`, `stream` and `predict`. Noise is an empty field in CSV
+/// and `null` in JSON.
+pub fn render_labels(labels: &[usize], format: OutputFormat) -> String {
+    match format {
+        OutputFormat::Csv => {
+            let mut out = String::with_capacity(labels.len() * 4 + 6);
+            out.push_str("label\n");
+            for &l in labels {
+                if l != NOISE_LABEL {
+                    out.push_str(&l.to_string());
+                }
+                out.push('\n');
+            }
+            out
+        }
+        OutputFormat::Json => {
+            let clusters = labels
+                .iter()
+                .filter(|&&l| l != NOISE_LABEL)
+                .max()
+                .map_or(0, |&m| m + 1);
+            let noise = labels.iter().filter(|&&l| l == NOISE_LABEL).count();
+            let mut out = String::with_capacity(labels.len() * 6 + 64);
+            out.push_str(&format!(
+                "{{\n  \"points\": {},\n  \"clusters\": {clusters},\n  \"noise_points\": {noise},\n  \"labels\": [",
+                labels.len()
+            ));
+            for (i, &l) in labels.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                if l == NOISE_LABEL {
+                    out.push_str("null");
+                } else {
+                    out.push_str(&l.to_string());
+                }
+            }
+            out.push_str("]\n}\n");
+            out
+        }
+    }
+}
+
+/// Route per-point labels to where the flags say: with `--output`, the
+/// formatted labels go to `--out` when given (the summary `report` becomes
+/// the stdout text) or straight to stdout otherwise; without `--output`,
+/// the legacy labels-file format is written to `--out` and the summary is
+/// printed. This is the one emission path `cluster`, `stream` and
+/// `predict` share.
+fn emit_labels(args: &ParsedArgs, labels: &[usize], report: String) -> CliResult<String> {
+    let format = output_format(args)?;
+    match (format, args.get("out")) {
+        (None, None) => Ok(report),
+        (None, Some(out)) => {
+            std::fs::write(out, labels_to_text(labels))
+                .map_err(|e| CliError::Message(format!("writing {out}: {e}")))?;
+            Ok(report)
+        }
+        (Some(format), None) => Ok(render_labels(labels, format)),
+        (Some(format), Some(out)) => {
+            std::fs::write(out, render_labels(labels, format))
+                .map_err(|e| CliError::Message(format!("writing {out}: {e}")))?;
+            Ok(report)
+        }
+    }
 }
 
 /// Render the predicted labels as the text of a labels file: one label per
@@ -303,16 +442,19 @@ pub fn labels_to_text(labels: &[usize]) -> String {
     text
 }
 
-/// Parse a labels file produced by [`labels_to_text`] (or any file with one
-/// integer or `noise` per line; `-1` is also accepted as noise).
+/// Parse a labels file produced by [`labels_to_text`] or by
+/// `--output csv` ([`render_labels`]): one label per line, where `noise`,
+/// `-1` and an **empty line** all mean noise, a leading `label` header is
+/// skipped, and `#` lines are comments — so every label format this CLI
+/// writes round-trips into `evaluate --labels`.
 pub fn labels_from_text(text: &str) -> CliResult<Vec<usize>> {
     let mut labels = Vec::new();
     for (line_no, raw) in text.lines().enumerate() {
         let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
+        if line.starts_with('#') || (line_no == 0 && line == "label") {
             continue;
         }
-        if line == "noise" || line == "-1" {
+        if line.is_empty() || line == "noise" || line == "-1" {
             labels.push(NOISE_LABEL);
         } else {
             labels.push(line.parse::<usize>().map_err(|_| {
@@ -334,12 +476,20 @@ fn cluster(args: &ParsedArgs) -> CliResult<String> {
         .unwrap_or("adawave");
     let ds = csv::load_csv(Path::new(input))
         .map_err(|e| CliError::Message(format!("reading {input}: {e}")))?;
-    let outcome = run_clustering(algorithm, ds.view(), args, ds.cluster_count())?;
-
-    if let Some(out) = args.get("out") {
-        std::fs::write(out, labels_to_text(&outcome.labels))
-            .map_err(|e| CliError::Message(format!("writing {out}: {e}")))?;
-    }
+    // Only the two-stage path builds the trained model artifact; plain
+    // clustering keeps the cheaper label-only path.
+    let (outcome, model) = if let Some(model_path) = args.get("save-model") {
+        let (outcome, model) =
+            run_clustering_with_model(algorithm, ds.view(), args, ds.cluster_count())?;
+        save_model(Path::new(model_path), model.as_ref())
+            .map_err(|e| CliError::Message(format!("saving model to {model_path}: {e}")))?;
+        (outcome, Some(model))
+    } else {
+        (
+            run_clustering(algorithm, ds.view(), args, ds.cluster_count())?,
+            None,
+        )
+    };
 
     let mut report = format!(
         "{}: {} clusters, {} noise points / {} total in {:.3}s\n",
@@ -349,6 +499,9 @@ fn cluster(args: &ParsedArgs) -> CliResult<String> {
         ds.len(),
         outcome.seconds
     );
+    if let (Some(model), Some(path)) = (&model, args.get("save-model")) {
+        report.push_str(&format!("saved model to {path} ({})\n", model.summary()));
+    }
     if !args.flag("quiet") {
         let score = match ds.noise_label {
             Some(noise) => ami_ignoring_noise(&ds.labels, &outcome.labels, noise),
@@ -356,7 +509,71 @@ fn cluster(args: &ParsedArgs) -> CliResult<String> {
         };
         report.push_str(&format!("AMI against the labels in {input}: {score:.3}\n"));
     }
-    Ok(report)
+    emit_labels(args, &outcome.labels, report)
+}
+
+// ---------------------------------------------------------------------------
+// predict
+// ---------------------------------------------------------------------------
+
+/// Obtain the model `predict` should serve from: load a saved model file,
+/// or fit one on a training CSV with the same algorithm options `cluster`
+/// accepts.
+fn predict_model(args: &ParsedArgs) -> CliResult<Box<dyn Model>> {
+    match (args.get("model"), args.get("train")) {
+        (Some(path), None) => load_model(Path::new(path))
+            .map_err(|e| CliError::Message(format!("loading model from {path}: {e}"))),
+        (None, Some(train_path)) => {
+            let train = csv::load_csv(Path::new(train_path))
+                .map_err(|e| CliError::Message(format!("reading {train_path}: {e}")))?;
+            let algorithm = args
+                .get("algorithm")
+                .or_else(|| args.get("algo"))
+                .unwrap_or("adawave");
+            let (_, model) =
+                run_clustering_with_model(algorithm, train.view(), args, train.cluster_count())?;
+            Ok(model)
+        }
+        (Some(_), Some(_)) => Err(CliError::Message(
+            "give either --model <file> or --train <csv>, not both".to_string(),
+        )),
+        (None, None) => Err(CliError::Message(
+            "predict needs a model: --model <file> (saved by `cluster --save-model`) \
+             or --train <csv> (fit one first)"
+                .to_string(),
+        )),
+    }
+}
+
+fn predict(args: &ParsedArgs) -> CliResult<String> {
+    let input = args.require("input")?;
+    // Resolve the model first so a missing/ambiguous source is reported
+    // before any input parsing work.
+    let model = predict_model(args)?;
+    let ds = csv::load_csv(Path::new(input))
+        .map_err(|e| CliError::Message(format!("reading {input}: {e}")))?;
+    let start = Instant::now();
+    let clustering = model.predict(ds.view())?;
+    let seconds = start.elapsed().as_secs_f64();
+    let labels = clustering.to_labels(NOISE_LABEL);
+
+    let mut report = format!(
+        "predict ({}): {} clusters, {} noise points / {} total in {:.3}s\n{}\n",
+        model.algorithm(),
+        clustering.cluster_count(),
+        clustering.noise_count(),
+        ds.len(),
+        seconds,
+        model.summary(),
+    );
+    if !args.flag("quiet") {
+        let score = match ds.noise_label {
+            Some(noise) => ami_ignoring_noise(&ds.labels, &labels, noise),
+            None => ami(&ds.labels, &labels),
+        };
+        report.push_str(&format!("AMI against the labels in {input}: {score:.3}\n"));
+    }
+    emit_labels(args, &labels, report)
 }
 
 // ---------------------------------------------------------------------------
@@ -499,11 +716,6 @@ fn stream(args: &ParsedArgs) -> CliResult<String> {
     let config = adawave_config_from_args(args)?;
     let outcome = run_stream(Path::new(input), batch_rows, args.flag("prescan"), config)?;
 
-    if let Some(out) = args.get("out") {
-        std::fs::write(out, labels_to_text(&outcome.labels))
-            .map_err(|e| CliError::Message(format!("writing {out}: {e}")))?;
-    }
-
     let mut report = format!(
         "adawave-stream: {} clusters, {} noise points / {} total \
          ({} batches, {} points outside the frozen domain)\n\
@@ -521,7 +733,7 @@ fn stream(args: &ParsedArgs) -> CliResult<String> {
         let score = ami(&outcome.truth, &outcome.labels);
         report.push_str(&format!("AMI against the labels in {input}: {score:.3}\n"));
     }
-    Ok(report)
+    emit_labels(args, &outcome.labels, report)
 }
 
 // ---------------------------------------------------------------------------
@@ -1007,6 +1219,223 @@ mod tests {
     }
 
     #[test]
+    fn predict_with_train_reproduces_cluster_labels() {
+        let (points, truth) = toy_points();
+        let train = save_temp_dataset("adawave_cli_predict_train", &points, &truth);
+        // Fit labels via `cluster`...
+        let args = ParsedArgs::parse(["cluster", "--scale", "32"]).unwrap();
+        let fit = run_clustering("adawave", points.view(), &args, 2).unwrap();
+        // ...and via `predict --train` on the same file: the model predicts
+        // the training batch identically.
+        let out = std::env::temp_dir().join("adawave_cli_predict_labels.csv");
+        let report = dispatch(
+            &ParsedArgs::parse([
+                "predict",
+                "--train",
+                train.to_str().unwrap(),
+                "--input",
+                train.to_str().unwrap(),
+                "--scale",
+                "32",
+                "--out",
+                out.to_str().unwrap(),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(report.contains("predict (adawave)"), "{report}");
+        assert!(report.contains("model:"), "{report}");
+        let predicted = labels_from_text(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        assert_eq!(predicted, fit.labels);
+        std::fs::remove_file(&train).ok();
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn save_model_then_predict_round_trips_label_identically() {
+        let (points, truth) = toy_points();
+        let train = save_temp_dataset("adawave_cli_save_model", &points, &truth);
+        let model_path = std::env::temp_dir().join("adawave_cli_model.awm");
+        let fit_out = std::env::temp_dir().join("adawave_cli_fit_labels.csv");
+        let pred_out = std::env::temp_dir().join("adawave_cli_pred_labels.csv");
+        for algo in ["adawave", "kmeans"] {
+            let report = dispatch(
+                &ParsedArgs::parse([
+                    "cluster",
+                    "--input",
+                    train.to_str().unwrap(),
+                    "--algo",
+                    algo,
+                    "--scale",
+                    "32",
+                    "--seed",
+                    "7",
+                    "--save-model",
+                    model_path.to_str().unwrap(),
+                    "--out",
+                    fit_out.to_str().unwrap(),
+                    "--quiet",
+                ])
+                .unwrap(),
+            )
+            .unwrap();
+            assert!(report.contains("saved model"), "{report}");
+            dispatch(
+                &ParsedArgs::parse([
+                    "predict",
+                    "--model",
+                    model_path.to_str().unwrap(),
+                    "--input",
+                    train.to_str().unwrap(),
+                    "--out",
+                    pred_out.to_str().unwrap(),
+                    "--quiet",
+                ])
+                .unwrap(),
+            )
+            .unwrap();
+            // The paper-grade contract: save -> load -> predict is label-
+            // identical to the fit, byte for byte in the labels file.
+            assert_eq!(
+                std::fs::read_to_string(&fit_out).unwrap(),
+                std::fs::read_to_string(&pred_out).unwrap(),
+                "{algo}"
+            );
+        }
+        for p in [&train, &model_path, &fit_out, &pred_out] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn save_model_rejects_unsupported_algorithms() {
+        let (points, truth) = toy_points();
+        let train = save_temp_dataset("adawave_cli_save_unsupported", &points, &truth);
+        let model_path = std::env::temp_dir().join("adawave_cli_unsupported.awm");
+        let err = dispatch(
+            &ParsedArgs::parse([
+                "cluster",
+                "--input",
+                train.to_str().unwrap(),
+                "--algo",
+                "dbscan",
+                "--save-model",
+                model_path.to_str().unwrap(),
+            ])
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("not supported"), "{err}");
+        std::fs::remove_file(&train).ok();
+    }
+
+    #[test]
+    fn predict_requires_exactly_one_model_source() {
+        let args = ParsedArgs::parse(["predict", "--input", "x.csv"]).unwrap();
+        let err = dispatch(&args).unwrap_err();
+        assert!(err.to_string().contains("--model"), "{err}");
+        assert!(err.to_string().contains("--train"), "{err}");
+    }
+
+    #[test]
+    fn output_formats_render_labels_with_noise_as_empty_or_null() {
+        let labels = vec![0, NOISE_LABEL, 2, 1];
+        let csv = render_labels(&labels, OutputFormat::Csv);
+        assert_eq!(csv, "label\n0\n\n2\n1\n");
+        let json = render_labels(&labels, OutputFormat::Json);
+        assert!(json.contains("\"labels\": [0, null, 2, 1]"), "{json}");
+        assert!(json.contains("\"clusters\": 3"), "{json}");
+        assert!(json.contains("\"noise_points\": 1"), "{json}");
+        // --output validation.
+        let bad = ParsedArgs::parse(["cluster", "--output", "xml"]).unwrap();
+        assert!(output_format(&bad).is_err());
+        assert_eq!(
+            output_format(&ParsedArgs::parse(["cluster", "--output", "json"]).unwrap()).unwrap(),
+            Some(OutputFormat::Json)
+        );
+    }
+
+    #[test]
+    fn output_flag_replaces_stdout_with_labels_across_commands() {
+        let (points, truth) = toy_points();
+        let path = save_temp_dataset("adawave_cli_output_flag", &points, &truth);
+        // cluster --output csv: stdout IS the label listing.
+        let text = dispatch(
+            &ParsedArgs::parse([
+                "cluster",
+                "--input",
+                path.to_str().unwrap(),
+                "--scale",
+                "32",
+                "--output",
+                "csv",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(text.starts_with("label\n"), "{text}");
+        assert_eq!(text.lines().count(), points.len() + 1);
+        // stream --output json: a JSON document with one entry per point.
+        let text = dispatch(
+            &ParsedArgs::parse([
+                "stream",
+                "--input",
+                path.to_str().unwrap(),
+                "--scale",
+                "32",
+                "--prescan",
+                "--output",
+                "json",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(text.trim_start().starts_with('{'), "{text}");
+        assert!(
+            text.contains(&format!("\"points\": {}", points.len())),
+            "{text}"
+        );
+        // With --out as well, the labels go to the file and stdout keeps
+        // the summary.
+        let out = std::env::temp_dir().join("adawave_cli_output_flag_labels.json");
+        let report = dispatch(
+            &ParsedArgs::parse([
+                "predict",
+                "--train",
+                path.to_str().unwrap(),
+                "--input",
+                path.to_str().unwrap(),
+                "--scale",
+                "32",
+                "--output",
+                "json",
+                "--out",
+                out.to_str().unwrap(),
+                "--quiet",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(report.contains("predict (adawave)"), "{report}");
+        let doc = std::fs::read_to_string(&out).unwrap();
+        assert!(doc.contains("\"labels\""), "{doc}");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn unknown_algorithm_suggests_the_closest_name() {
+        let (points, _) = toy_points();
+        let args = ParsedArgs::parse(["cluster"]).unwrap();
+        let err = run_clustering("kmean", points.view(), &args, 2).unwrap_err();
+        assert!(err.to_string().contains("did you mean kmeans?"), "{err}");
+        // Unknown --param keys reuse the same suggestion path.
+        let args = ParsedArgs::parse(["cluster", "--param", "bandwith=0.2"]).unwrap();
+        let err = run_clustering("meanshift", points.view(), &args, 2).unwrap_err();
+        assert!(err.to_string().contains("did you mean bandwidth?"), "{err}");
+    }
+
+    #[test]
     fn labels_round_trip_through_text() {
         let labels = vec![0, 2, NOISE_LABEL, 1];
         let text = labels_to_text(&labels);
@@ -1017,6 +1446,10 @@ mod tests {
             vec![0, NOISE_LABEL, 3]
         );
         assert!(labels_from_text("0\nbanana\n").is_err());
+        // The --output csv format round-trips too: `label` header skipped,
+        // empty line = noise — so evaluate can consume predict's output.
+        let csv = render_labels(&labels, OutputFormat::Csv);
+        assert_eq!(labels_from_text(&csv).unwrap(), labels);
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //!
 //! The `adawave` command-line tool: generate the paper's datasets, cluster
 //! any CSV file with AdaWave or one of the fourteen implemented baselines,
-//! evaluate predictions against ground truth, and run a quick noise sweep.
+//! train once and serve out-of-sample points with `predict` (from a model
+//! file saved by `cluster --save-model`, or fitted on the spot), evaluate
+//! predictions against ground truth, and run a quick noise sweep.
 //!
 //! The crate is a thin shell around the workspace libraries: every command
 //! is an ordinary function in [`commands`] operating on in-memory data, and

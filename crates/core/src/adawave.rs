@@ -42,6 +42,30 @@ impl AdaWave {
     /// disabled. Ragged input is unrepresentable in the flat layout, so
     /// the old per-point dimensionality check is gone by construction.
     pub fn fit(&self, points: PointsView<'_>) -> Result<AdaWaveResult> {
+        let (_, model, assignment) = self.fit_parts(points)?;
+        Ok(model.into_result(assignment))
+    }
+
+    /// [`fit`](Self::fit) plus the trained serving artifact: the returned
+    /// [`AdaWaveModel`](crate::AdaWaveModel) labels arbitrary out-of-sample
+    /// points through the clustered grid in O(1) per point, with the model's
+    /// cluster ids aligned to the training clustering. Out-of-domain and
+    /// non-finite points predict noise (the streaming outlier contract).
+    pub fn fit_with_model(
+        &self,
+        points: PointsView<'_>,
+    ) -> Result<(AdaWaveResult, crate::AdaWaveModel)> {
+        let (quantizer, model, assignment) = self.fit_parts(points)?;
+        let remap = crate::model::assignment_remap(&assignment, model.cluster_count());
+        let serving = crate::AdaWaveModel::from_parts(quantizer, &model, &remap);
+        Ok((model.into_result(assignment), serving))
+    }
+
+    /// The shared pipeline: quantize, run the grid stage, label points.
+    fn fit_parts(
+        &self,
+        points: PointsView<'_>,
+    ) -> Result<(Quantizer, GridModel, Vec<Option<usize>>)> {
         if points.is_empty() {
             return Err(AdaWaveError::InvalidInput {
                 context: "empty point set".to_string(),
@@ -64,7 +88,7 @@ impl AdaWave {
 
         // Steps 5-6: label grids and map points through the lookup table.
         let assignment = lookup.assign_points(model.labels(), model.levels(), model.codec());
-        Ok(model.into_result(assignment))
+        Ok((quantizer, model, assignment))
     }
 
     /// Build the quantizer [`fit`](Self::fit) would use over the given

@@ -2,7 +2,8 @@
 //! into the [`AlgorithmRegistry`].
 
 use adawave_api::{
-    AlgorithmRegistry, ClusterError, Clusterer, Clustering, ParamSpec, Params, PointsView,
+    AlgorithmRegistry, ClusterError, Clusterer, Clustering, FitOutcome, ParamSpec, Params,
+    PointsView, PredictSupport,
 };
 use adawave_wavelet::Wavelet;
 
@@ -36,11 +37,22 @@ impl Clusterer for AdaWave {
         )
     }
 
-    /// Run the AdaWave pipeline and return the canonical [`Clustering`].
-    /// The inherent [`AdaWave::fit`] stays available when the pipeline
-    /// diagnostics ([`crate::GridStats`], the Fig. 6 density curve) are
-    /// needed; this trait method is the uniform surface the registry, the
-    /// CLI and the sweeps go through.
+    /// Run the AdaWave pipeline and return the training labels plus the
+    /// native serving model ([`crate::AdaWaveModel`]: grid-cell lookup;
+    /// out-of-domain/non-finite points predict noise).
+    fn fit_model(&self, points: PointsView<'_>) -> Result<FitOutcome, ClusterError> {
+        let (result, model) = self.fit_with_model(points)?;
+        Ok(FitOutcome {
+            clustering: result.to_clustering(),
+            model: Box::new(model),
+        })
+    }
+
+    /// Run the AdaWave pipeline and return the canonical [`Clustering`]
+    /// without building the serving model. The inherent [`AdaWave::fit`]
+    /// stays available when the pipeline diagnostics ([`crate::GridStats`],
+    /// the Fig. 6 density curve) are needed; this trait method is the
+    /// uniform surface the registry, the CLI and the sweeps go through.
     fn fit(&self, points: PointsView<'_>) -> Result<Clustering, ClusterError> {
         Ok(AdaWave::fit(self, points)?.to_clustering())
     }
@@ -101,6 +113,7 @@ pub fn register(registry: &mut AlgorithmRegistry) {
             ),
             ParamSpec::THREADS,
         ],
+        PredictSupport::Native,
         |params| {
             let config = AdaWaveConfig::from_params(params)?;
             Ok(Box::new(AdaWave::new(config)))

@@ -61,6 +61,7 @@
 pub mod adawave;
 pub mod clusterer;
 pub mod config;
+pub mod model;
 pub mod result;
 pub mod threshold;
 pub mod transform;
@@ -68,6 +69,7 @@ pub mod transform;
 pub use adawave::{cluster_grid, AdaWave, GridModel};
 pub use clusterer::register;
 pub use config::{AdaWaveConfig, AdaWaveConfigBuilder};
+pub use model::AdaWaveModel;
 pub use result::{AdaWaveResult, GridStats};
 pub use threshold::ThresholdStrategy;
 pub use transform::{

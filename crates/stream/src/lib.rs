@@ -71,8 +71,10 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
-use adawave_api::PointsView;
-use adawave_core::{cluster_grid, AdaWave, AdaWaveConfig, AdaWaveError, AdaWaveResult, GridModel};
+use adawave_api::{compact_remap, FitOutcome, PointsView};
+use adawave_core::{
+    cluster_grid, AdaWave, AdaWaveConfig, AdaWaveError, AdaWaveModel, AdaWaveResult, GridModel,
+};
 use adawave_grid::{BoundingBox, Quantizer, SparseGrid};
 
 /// Rows per parallel ingestion shard. Fixed (never derived from the thread
@@ -446,19 +448,47 @@ impl StreamingAdaWave {
     /// `O(n)`, but the cheap part of refitting.
     pub fn refit(&self) -> Result<AdaWaveResult> {
         let model = self.refit_model()?;
+        let assignment = self.assignment_under(&model);
+        Ok(model.into_result(assignment))
+    }
+
+    /// [`refit`](Self::refit) packaged as the two-stage contract: the
+    /// canonical clustering of every ingested point plus a boxed serving
+    /// [`AdaWaveModel`] built from the same grid refit — train on the
+    /// stream, serve out-of-sample points forever after. The model
+    /// inherits the session's outlier contract (out-of-domain and
+    /// non-finite points predict noise), so re-predicting an ingested
+    /// point always reproduces its refit label — outliers included.
+    pub fn refit_outcome(&self) -> Result<FitOutcome> {
+        let grid_model = self.refit_model()?;
         let frozen = self.frozen.as_ref().expect("checked by refit_model");
+        let assignment = self.assignment_under(&grid_model);
+        let remap = compact_remap(
+            assignment.iter().filter_map(|a| *a),
+            grid_model.cluster_count(),
+        );
+        let serving = AdaWaveModel::from_parts(frozen.quantizer.clone(), &grid_model, &remap);
+        Ok(FitOutcome {
+            clustering: grid_model.into_result(assignment).to_clustering(),
+            model: Box::new(serving),
+        })
+    }
+
+    /// Map every retained point through a refit grid model: the cell →
+    /// cluster table is materialized once over the `m` occupied cells, so
+    /// the per-point walk is one hash lookup each.
+    fn assignment_under(&self, model: &GridModel) -> Vec<Option<usize>> {
+        let frozen = self.frozen.as_ref().expect("caller refit the model");
         let codec = frozen.quantizer.codec();
         let cell_cluster: std::collections::HashMap<u128, Option<usize>> = frozen
             .grid
             .keys()
             .map(|key| (key, model.cluster_of_cell(codec, key)))
             .collect();
-        let assignment: Vec<Option<usize>> = self
-            .point_cells
+        self.point_cells
             .iter()
             .map(|cell| cell.and_then(|key| cell_cluster.get(&key).copied().flatten()))
-            .collect();
-        Ok(model.into_result(assignment))
+            .collect()
     }
 }
 
@@ -708,6 +738,30 @@ mod tests {
         assert_eq!(split.outlier_count(), together.outlier_count());
         // Grids agree; only the per-point order differs by the permutation.
         assert_eq!(split.grid(), together.grid());
+    }
+
+    #[test]
+    fn refit_outcome_model_reproduces_refit_labels_including_outliers() {
+        let mut stream = StreamingAdaWave::new(AdaWaveConfig::builder().scale(16).build());
+        let mut batch = grid_points();
+        batch.push_row(&[9.0, 9.0]); // out of the adopted domain? no — first batch spans it
+        stream.ingest(batch.view()).unwrap();
+        let late =
+            PointMatrix::from_rows(vec![vec![0.5, 0.25], vec![40.0, 40.0], vec![f64::NAN, 0.1]])
+                .unwrap();
+        stream.ingest(late.view()).unwrap();
+        assert_eq!(stream.outlier_count(), 2);
+
+        let outcome = stream.refit_outcome().unwrap();
+        let refit = stream.refit().unwrap().to_clustering();
+        assert_eq!(outcome.clustering, refit);
+        // Re-predicting every ingested point reproduces its refit label —
+        // outliers come back as noise through the model's domain check.
+        let mut all = batch.clone();
+        all.append(&late);
+        assert_eq!(outcome.model.predict(all.view()).unwrap(), refit);
+        assert_eq!(outcome.model.predict_one(&[40.0, 40.0]), None);
+        assert_eq!(outcome.model.algorithm(), "adawave");
     }
 
     #[test]

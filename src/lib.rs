@@ -23,6 +23,12 @@
 //! shards, and refits the cluster model in `O(occupied cells)` — see the
 //! `adawave-stream` crate docs for the domain-freeze contract.
 //!
+//! Training and serving are split: `Clusterer::fit_model` returns a
+//! [`FitOutcome`] whose boxed [`Model`] labels out-of-sample points
+//! without refitting (`predict` / `predict_one`), and [`save_model`] /
+//! [`load_model`] persist AdaWave and centroid models across processes in
+//! a dependency-free versioned text format (see [`persist`]).
+//!
 //! ```
 //! use adawave::{standard_registry, AlgorithmSpec, PointMatrix};
 //!
@@ -49,15 +55,18 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod persist;
+
 pub use adawave_api::{
     AlgorithmEntry, AlgorithmRegistry, AlgorithmSpec, ClusterError, Clusterer, Clustering,
-    ParamSpec, Params, PointMatrix, PointsView,
+    FitOutcome, Model, ParamSpec, Params, PointMatrix, PointsView, PredictSupport,
 };
 pub use adawave_core::{
-    cluster_grid, AdaWave, AdaWaveConfig, AdaWaveResult, GridModel, ThresholdStrategy,
+    cluster_grid, AdaWave, AdaWaveConfig, AdaWaveModel, AdaWaveResult, GridModel, ThresholdStrategy,
 };
 pub use adawave_runtime::Runtime;
 pub use adawave_stream::{IngestReport, MergeRejected, StreamError, StreamingAdaWave};
+pub use persist::{load_model, save_model, PersistError};
 
 /// The standard registry: AdaWave plus every baseline of the paper's
 /// evaluation, resolvable by name with `key=value` parameters.

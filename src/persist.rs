@@ -1,0 +1,215 @@
+//! Versioned model persistence: save a trained [`Model`] to a file and
+//! load it back in another process.
+//!
+//! The format is a dependency-free line-oriented text file (like the
+//! workspace's vendored test shims, nothing to install):
+//!
+//! ```text
+//! adawave-model v1
+//! algorithm <name>
+//! <algorithm-specific payload>
+//! ```
+//!
+//! Floats in payloads are stored as the hex of their IEEE-754 bits, so a
+//! save → load → predict roundtrip is *bit-identical* to the in-memory
+//! model — the property CI pins end to end through the CLI (`cluster
+//! --save-model` → `predict` → diff). The version is checked on load;
+//! bumping the payload shape means bumping `v1`.
+//!
+//! Supported algorithms: `adawave` (the grid model) and the centroid
+//! models (`kmeans`, `dipmeans`). Other models return
+//! [`PersistError::Unsupported`] — their serving models either memorize
+//! the training batch (the fallback) or carry non-trivially serializable
+//! state; refit them from data instead.
+
+use std::path::Path;
+
+use adawave_api::Model;
+use adawave_baselines::CentroidModel;
+use adawave_core::AdaWaveModel;
+
+/// Leading magic of every model file.
+const MAGIC: &str = "adawave-model";
+/// Current format version.
+const VERSION: &str = "v1";
+
+/// Errors produced while saving or loading a model file.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The filesystem said no.
+    Io(std::io::Error),
+    /// The file is not a well-formed model file of the current version.
+    Format(String),
+    /// The algorithm's model does not support persistence.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "model file i/o: {e}"),
+            PersistError::Format(context) => write!(f, "bad model file: {context}"),
+            PersistError::Unsupported(algorithm) => write!(
+                f,
+                "model persistence is not supported for '{algorithm}' \
+                 (supported: adawave, kmeans, dipmeans)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Save a trained model to `path` in the versioned text format.
+///
+/// Errors with [`PersistError::Unsupported`] when the model's
+/// [`Model::serialize`] returns `None`.
+pub fn save_model(path: &Path, model: &dyn Model) -> Result<(), PersistError> {
+    let payload = model
+        .serialize()
+        .ok_or_else(|| PersistError::Unsupported(model.algorithm().to_string()))?;
+    let text = format!(
+        "{MAGIC} {VERSION}\nalgorithm {}\n{payload}",
+        model.algorithm()
+    );
+    std::fs::write(path, text)?;
+    Ok(())
+}
+
+/// Load a model saved by [`save_model`], dispatching on the algorithm
+/// named in the header.
+pub fn load_model(path: &Path) -> Result<Box<dyn Model>, PersistError> {
+    let text = std::fs::read_to_string(path)?;
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| PersistError::Format("empty file".to_string()))?;
+    match header.split_once(' ') {
+        Some((magic, version)) if magic == MAGIC => {
+            if version != VERSION {
+                return Err(PersistError::Format(format!(
+                    "format version '{version}' (this build reads {VERSION})"
+                )));
+            }
+        }
+        _ => {
+            return Err(PersistError::Format(format!(
+                "missing '{MAGIC} {VERSION}' header"
+            )))
+        }
+    }
+    let algorithm = lines
+        .next()
+        .and_then(|line| line.strip_prefix("algorithm "))
+        .ok_or_else(|| PersistError::Format("missing 'algorithm <name>' line".to_string()))?
+        .to_string();
+    let payload_start = text
+        .splitn(3, '\n')
+        .nth(2)
+        .ok_or_else(|| PersistError::Format("missing payload".to_string()))?;
+    match algorithm.as_str() {
+        "adawave" => AdaWaveModel::deserialize(payload_start)
+            .map(|m| Box::new(m) as Box<dyn Model>)
+            .map_err(PersistError::Format),
+        "kmeans" | "dipmeans" => CentroidModel::deserialize(&algorithm, payload_start)
+            .map(|m| Box::new(m) as Box<dyn Model>)
+            .map_err(PersistError::Format),
+        other => Err(PersistError::Unsupported(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{standard_registry, AlgorithmSpec, PointMatrix};
+    use adawave_data::{shapes, Rng};
+
+    fn noisy_blobs() -> PointMatrix {
+        let mut rng = Rng::new(21);
+        let mut points = PointMatrix::new(2);
+        shapes::gaussian_blob(&mut points, &mut rng, &[0.25, 0.25], &[0.02, 0.02], 200);
+        shapes::gaussian_blob(&mut points, &mut rng, &[0.75, 0.75], &[0.02, 0.02], 200);
+        shapes::uniform_box(&mut points, &mut rng, &[0.0, 0.0], &[1.0, 1.0], 100);
+        points
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("adawave_persist_{name}_{}.awm", std::process::id()))
+    }
+
+    #[test]
+    fn adawave_and_kmeans_models_round_trip_through_files() {
+        let registry = standard_registry();
+        let points = noisy_blobs();
+        for (name, spec) in [
+            ("adawave", AlgorithmSpec::new("adawave").with("scale", 32)),
+            (
+                "kmeans",
+                AlgorithmSpec::new("kmeans").with("k", 2).with("seed", 7),
+            ),
+        ] {
+            let outcome = registry.fit_model(&spec, points.view()).unwrap();
+            let path = temp_path(name);
+            save_model(&path, outcome.model.as_ref()).unwrap();
+            let loaded = load_model(&path).unwrap();
+            assert_eq!(loaded.algorithm(), name);
+            // Bit-identical labels through the file roundtrip.
+            assert_eq!(
+                loaded.predict(points.view()).unwrap(),
+                outcome.clustering,
+                "{name}"
+            );
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn unsupported_models_error_instead_of_writing_garbage() {
+        let registry = standard_registry();
+        let points = noisy_blobs();
+        let outcome = registry
+            .fit_model(
+                &AlgorithmSpec::new("dbscan").with("eps", 0.08),
+                points.view(),
+            )
+            .unwrap();
+        let path = temp_path("dbscan");
+        let err = save_model(&path, outcome.model.as_ref()).unwrap_err();
+        assert!(matches!(err, PersistError::Unsupported(_)), "{err}");
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn malformed_files_are_rejected_with_context() {
+        let path = temp_path("bad");
+        for (text, needle) in [
+            ("", "empty"),
+            ("wrong-magic v1\n", "header"),
+            ("adawave-model v999\nalgorithm adawave\n", "version"),
+            ("adawave-model v1\nno-algo\n", "algorithm"),
+            (
+                "adawave-model v1\nalgorithm frobnicate\npayload\n",
+                "frobnicate",
+            ),
+            (
+                "adawave-model v1\nalgorithm adawave\ndims banana\n",
+                "banana",
+            ),
+        ] {
+            std::fs::write(&path, text).unwrap();
+            let err = load_model(&path).map(|_| ()).unwrap_err();
+            assert!(err.to_string().contains(needle), "{text:?} -> {err}");
+        }
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(
+            load_model(Path::new("/definitely/not/here.awm")).map(|_| ()),
+            Err(PersistError::Io(_))
+        ));
+    }
+}
