@@ -59,6 +59,17 @@ use crate::{validate_fit_input, ClusterError, Clustering, PointsView};
 ///
 /// Produced by [`Clusterer::fit_model`](crate::Clusterer::fit_model); see
 /// the [module docs](self) for the prediction contract.
+///
+/// # Thread safety
+///
+/// The trait requires `Send + Sync`, and every method takes `&self`: a
+/// trained model is an immutable artifact that any number of threads may
+/// serve from concurrently (e.g. as an `Arc<dyn Model>` shared across a
+/// server's worker pool and swapped atomically on hot reload). Model
+/// implementations must not cache mutable state behind interior
+/// mutability in `predict`/`predict_one` — prediction is a pure function
+/// of the model and the query point, which is what makes concurrent
+/// serving responses identical to sequential ones.
 pub trait Model: Send + Sync {
     /// The registry key of the algorithm that trained this model.
     fn algorithm(&self) -> &str;
@@ -290,6 +301,25 @@ impl<'a> PayloadReader<'a> {
         Ok(values)
     }
 
+    /// Parse the next line as a bare (unnamed) row of exactly `expected`
+    /// [`f64_to_hex`]-encoded floats — the row format point matrices
+    /// (centroids, training batches, mode representatives) use in
+    /// persistence payloads.
+    pub fn float_row(&mut self, expected: usize) -> Result<Vec<f64>, String> {
+        let line = self.line()?;
+        let values: Vec<f64> = line
+            .split_whitespace()
+            .map(|v| f64_from_hex(v).ok_or_else(|| format!("bad float bits '{v}'")))
+            .collect::<Result<_, _>>()?;
+        if values.len() != expected {
+            return Err(format!(
+                "row holds {} values, expected {expected}",
+                values.len()
+            ));
+        }
+        Ok(values)
+    }
+
     /// Parse the next line's value as exactly `expected`
     /// [`f64_to_hex`]-encoded floats, bit-exactly.
     pub fn float_list(&mut self, name: &str, expected: usize) -> Result<Vec<f64>, String> {
@@ -397,5 +427,34 @@ mod tests {
     fn predict_support_labels() {
         assert_eq!(PredictSupport::Native.label(), "native");
         assert_eq!(PredictSupport::Fallback.label(), "fallback");
+    }
+
+    #[test]
+    fn payload_reader_parses_bare_float_rows() {
+        let payload = format!(
+            "{} {}\n{}\n",
+            f64_to_hex(1.5),
+            f64_to_hex(-0.25),
+            f64_to_hex(f64::MAX)
+        );
+        let mut reader = PayloadReader::new(&payload);
+        assert_eq!(reader.float_row(2).unwrap(), vec![1.5, -0.25]);
+        assert!(reader.float_row(2).is_err(), "wrong arity");
+        let mut reader = PayloadReader::new("xyz pqr\n");
+        assert!(reader.float_row(2).is_err(), "bad bits");
+        let mut reader = PayloadReader::new("");
+        assert!(reader.float_row(1).is_err(), "truncated");
+    }
+
+    /// The serve-layer audit: `dyn Model` objects must be shareable across
+    /// worker threads (`Arc<dyn Model>` swap on hot reload). This is a
+    /// compile-time guarantee; the test pins it so the bound cannot be
+    /// dropped from the trait without breaking the build here.
+    #[test]
+    fn boxed_models_are_send_and_sync() {
+        fn assert_send_sync<T: ?Sized + Send + Sync>() {}
+        assert_send_sync::<dyn Model>();
+        assert_send_sync::<Box<dyn Model>>();
+        assert_send_sync::<std::sync::Arc<dyn Model>>();
     }
 }

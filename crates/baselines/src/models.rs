@@ -12,11 +12,83 @@ use adawave_api::{
     compact_remap, f64_to_hex, validate_predict_input, ClusterError, Model, PayloadReader,
     PointMatrix, PointsView,
 };
-use adawave_linalg::squared_distance;
+use adawave_linalg::{squared_distance, Matrix};
 
 use crate::em::GaussianMixture;
 use crate::meanshift::{MeanShiftConfig, MeanShiftKernel, ModeSeeker};
 use crate::{Clustering, KdTree};
+
+/// Append a point matrix as bare rows of hex-encoded floats — the row
+/// format every persistable baseline model shares.
+fn write_matrix(out: &mut String, matrix: &PointMatrix) {
+    for row in matrix.rows() {
+        let hex: Vec<String> = row.iter().map(|&v| f64_to_hex(v)).collect();
+        out.push_str(&hex.join(" "));
+        out.push('\n');
+    }
+}
+
+/// Read `rows` bare hex-float rows of `dims` values back into a matrix.
+fn read_matrix(
+    reader: &mut PayloadReader<'_>,
+    rows: usize,
+    dims: usize,
+) -> Result<PointMatrix, String> {
+    let mut flat = Vec::with_capacity(rows * dims);
+    for _ in 0..rows {
+        flat.extend(reader.float_row(dims)?);
+    }
+    PointMatrix::from_flat(flat, dims).map_err(|e| format!("bad matrix: {e}"))
+}
+
+/// Render optional per-item cluster labels as one space-separated field
+/// value (`-` = noise), the inverse of [`parse_labels`].
+fn join_labels(labels: &[Option<usize>]) -> String {
+    labels
+        .iter()
+        .map(|l| match l {
+            Some(c) => c.to_string(),
+            None => "-".to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Render floats as one space-separated line value of bit-exact hex.
+fn join_hex(values: &[f64]) -> String {
+    values
+        .iter()
+        .map(|&v| f64_to_hex(v))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Render integers as one space-separated line value.
+fn join_usize(values: &[usize]) -> String {
+    values
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Parse a [`join_labels`] field value back (`-` = noise).
+fn parse_labels(raw: &str, expected: usize) -> Result<Vec<Option<usize>>, String> {
+    let labels: Vec<Option<usize>> = raw
+        .split_whitespace()
+        .map(|v| {
+            if v == "-" {
+                Ok(None)
+            } else {
+                v.parse().map(Some).map_err(|_| format!("bad label '{v}'"))
+            }
+        })
+        .collect::<Result<_, _>>()?;
+    if labels.len() != expected {
+        return Err(format!("{} labels, expected {expected}", labels.len()));
+    }
+    Ok(labels)
+}
 
 /// Index of the row of `centroids` nearest to `point` (first index wins
 /// ties — the same rule the Lloyd assignment pass uses).
@@ -107,27 +179,7 @@ impl CentroidModel {
         let mut reader = PayloadReader::new(payload);
         let dims: usize = reader.scalar("dims")?;
         let k: usize = reader.scalar("centroids")?;
-        let mut flat = Vec::with_capacity(k * dims);
-        for _ in 0..k {
-            // Centroid rows are bare hex-float lists (no field name); parse
-            // them with the same bit-exact float rules as named lists.
-            let line = reader.line()?;
-            let values: Vec<f64> = line
-                .split_whitespace()
-                .map(|v| {
-                    adawave_api::f64_from_hex(v).ok_or_else(|| format!("bad float bits '{v}'"))
-                })
-                .collect::<Result<_, _>>()?;
-            if values.len() != dims {
-                return Err(format!(
-                    "centroid row holds {} values, expected {dims}",
-                    values.len()
-                ));
-            }
-            flat.extend(values);
-        }
-        let centroids =
-            PointMatrix::from_flat(flat, dims).map_err(|e| format!("bad centroids: {e}"))?;
+        let centroids = read_matrix(&mut reader, k, dims).map_err(|e| format!("centroids: {e}"))?;
         Ok(Self::new(algorithm, centroids))
     }
 }
@@ -226,6 +278,37 @@ impl EmModel {
     pub fn mixture(&self) -> &GaussianMixture {
         &self.mixture
     }
+
+    /// Reconstruct a model from its [`serialize`](Model::serialize)
+    /// payload (header already stripped by the persistence layer).
+    pub fn deserialize(payload: &str) -> Result<Self, String> {
+        let mut reader = PayloadReader::new(payload);
+        let dims: usize = reader.scalar("dims")?;
+        let k: usize = reader.scalar("components")?;
+        let weights = reader.float_list("weights", k)?;
+        let remap: Vec<usize> = reader.list("remap", k)?;
+        let log_likelihood = reader
+            .float_list("log-likelihood", 1)
+            .map(|v| v[0])
+            .map_err(|e| format!("log-likelihood: {e}"))?;
+        let iterations: usize = reader.scalar("iterations")?;
+        let means = read_matrix(&mut reader, k, dims).map_err(|e| format!("means: {e}"))?;
+        let mut covariances = Vec::with_capacity(k);
+        for _ in 0..k {
+            let flat = reader.float_row(dims * dims)?;
+            covariances.push(Matrix::from_vec(dims, dims, flat));
+        }
+        Ok(Self {
+            mixture: GaussianMixture {
+                weights,
+                means,
+                covariances,
+                log_likelihood,
+                iterations,
+            },
+            remap,
+        })
+    }
 }
 
 impl Model for EmModel {
@@ -252,6 +335,28 @@ impl Model for EmModel {
             self.mixture.weights.len(),
             self.dims(),
         )
+    }
+
+    fn serialize(&self) -> Option<String> {
+        let dims = self.dims();
+        let k = self.mixture.weights.len();
+        let mut out = String::new();
+        out.push_str(&format!("dims {dims}\n"));
+        out.push_str(&format!("components {k}\n"));
+        out.push_str(&format!("weights {}\n", join_hex(&self.mixture.weights)));
+        out.push_str(&format!("remap {}\n", join_usize(&self.remap)));
+        out.push_str(&format!(
+            "log-likelihood {}\n",
+            f64_to_hex(self.mixture.log_likelihood)
+        ));
+        out.push_str(&format!("iterations {}\n", self.mixture.iterations));
+        write_matrix(&mut out, &self.mixture.means);
+        for cov in &self.mixture.covariances {
+            let hex: Vec<String> = cov.as_slice().iter().map(|&v| f64_to_hex(v)).collect();
+            out.push_str(&hex.join(" "));
+            out.push('\n');
+        }
+        Some(out)
     }
 }
 
@@ -299,6 +404,42 @@ impl MeanShiftModel {
     /// The trained mode representatives, in creation order.
     pub fn representatives(&self) -> &PointMatrix {
         &self.representatives
+    }
+
+    /// Reconstruct a model from its [`serialize`](Model::serialize)
+    /// payload (header already stripped by the persistence layer).
+    pub fn deserialize(payload: &str) -> Result<Self, String> {
+        let mut reader = PayloadReader::new(payload);
+        let dims: usize = reader.scalar("dims")?;
+        let bandwidth = reader
+            .float_list("bandwidth", 1)
+            .map(|v| v[0])
+            .map_err(|e| format!("bandwidth: {e}"))?;
+        let kernel = match reader.field("kernel")? {
+            "flat" => MeanShiftKernel::Flat,
+            "gaussian" => MeanShiftKernel::Gaussian,
+            other => return Err(format!("unknown kernel '{other}'")),
+        };
+        let max_iterations: usize = reader.scalar("max-iterations")?;
+        let tolerance = reader
+            .float_list("tolerance", 1)
+            .map(|v| v[0])
+            .map_err(|e| format!("tolerance: {e}"))?;
+        let reps: usize = reader.scalar("representatives")?;
+        let rep_labels = parse_labels(reader.field("rep-labels")?, reps)?;
+        let n: usize = reader.scalar("training")?;
+        let representatives =
+            read_matrix(&mut reader, reps, dims).map_err(|e| format!("representatives: {e}"))?;
+        let training = read_matrix(&mut reader, n, dims).map_err(|e| format!("training: {e}"))?;
+        Ok(Self {
+            training,
+            bandwidth,
+            kernel,
+            max_iterations,
+            tolerance,
+            representatives,
+            rep_labels,
+        })
     }
 
     fn seeker(&self) -> ModeSeeker<'_> {
@@ -371,6 +512,29 @@ impl Model for MeanShiftModel {
             self.representatives.len(),
         )
     }
+
+    /// The payload memorizes the training batch (mode seeking replays over
+    /// the training density), so meanshift model files scale with n.
+    fn serialize(&self) -> Option<String> {
+        let mut out = String::new();
+        out.push_str(&format!("dims {}\n", self.dims()));
+        out.push_str(&format!("bandwidth {}\n", f64_to_hex(self.bandwidth)));
+        out.push_str(&format!(
+            "kernel {}\n",
+            match self.kernel {
+                MeanShiftKernel::Flat => "flat",
+                MeanShiftKernel::Gaussian => "gaussian",
+            }
+        ));
+        out.push_str(&format!("max-iterations {}\n", self.max_iterations));
+        out.push_str(&format!("tolerance {}\n", f64_to_hex(self.tolerance)));
+        out.push_str(&format!("representatives {}\n", self.representatives.len()));
+        out.push_str(&format!("rep-labels {}\n", join_labels(&self.rep_labels)));
+        out.push_str(&format!("training {}\n", self.training.len()));
+        write_matrix(&mut out, &self.representatives);
+        write_matrix(&mut out, &self.training);
+        Some(out)
+    }
 }
 
 /// Modal-interval prediction for the 1-D UniDip projection: a point is
@@ -400,6 +564,27 @@ impl IntervalModel {
     /// The modal intervals on the projected axis.
     pub fn intervals(&self) -> &[(f64, f64)] {
         &self.intervals
+    }
+
+    /// Reconstruct a model from its [`serialize`](Model::serialize)
+    /// payload (header already stripped by the persistence layer).
+    pub fn deserialize(payload: &str) -> Result<Self, String> {
+        let mut reader = PayloadReader::new(payload);
+        let dims: usize = reader.scalar("dims")?;
+        let dim: usize = reader.scalar("dim")?;
+        let k: usize = reader.scalar("intervals")?;
+        let remap: Vec<usize> = reader.list("remap", k)?;
+        let mut intervals = Vec::with_capacity(k);
+        for _ in 0..k {
+            let row = reader.float_row(2)?;
+            intervals.push((row[0], row[1]));
+        }
+        Ok(Self {
+            dims,
+            dim,
+            intervals,
+            remap,
+        })
     }
 }
 
@@ -431,6 +616,18 @@ impl Model for IntervalModel {
             self.dim,
             self.dims,
         )
+    }
+
+    fn serialize(&self) -> Option<String> {
+        let mut out = String::new();
+        out.push_str(&format!("dims {}\n", self.dims));
+        out.push_str(&format!("dim {}\n", self.dim));
+        out.push_str(&format!("intervals {}\n", self.intervals.len()));
+        out.push_str(&format!("remap {}\n", join_usize(&self.remap)));
+        for &(lo, hi) in &self.intervals {
+            out.push_str(&format!("{} {}\n", f64_to_hex(lo), f64_to_hex(hi)));
+        }
+        Some(out)
     }
 }
 
@@ -466,6 +663,22 @@ impl NearestTrainingModel {
         }
         let nearest = tree.nearest(point, 1);
         nearest.first().and_then(|&(i, _)| self.labels[i])
+    }
+
+    /// Reconstruct a model from its [`serialize`](Model::serialize)
+    /// payload; `algorithm` is the registry name from the file header
+    /// (any fallback-predicting algorithm shares this payload shape).
+    pub fn deserialize(algorithm: &str, payload: &str) -> Result<Self, String> {
+        let mut reader = PayloadReader::new(payload);
+        let dims: usize = reader.scalar("dims")?;
+        let n: usize = reader.scalar("points")?;
+        let labels = parse_labels(reader.field("labels")?, n)?;
+        let training = read_matrix(&mut reader, n, dims).map_err(|e| format!("training: {e}"))?;
+        Ok(Self {
+            algorithm: algorithm.to_string(),
+            training,
+            labels,
+        })
     }
 }
 
@@ -511,6 +724,17 @@ impl Model for NearestTrainingModel {
                 .unwrap_or(0),
             self.algorithm,
         )
+    }
+
+    /// The payload memorizes the training batch and its fit labels, so
+    /// fallback model files scale with n.
+    fn serialize(&self) -> Option<String> {
+        let mut out = String::new();
+        out.push_str(&format!("dims {}\n", self.dims()));
+        out.push_str(&format!("points {}\n", self.training.len()));
+        out.push_str(&format!("labels {}\n", join_labels(&self.labels)));
+        write_matrix(&mut out, &self.training);
+        Some(out)
     }
 }
 
@@ -581,6 +805,69 @@ mod tests {
         assert_eq!(model.predict_one(&[0.05, 0.0]), Some(0));
         assert_eq!(model.predict_one(&[f64::NAN, 0.0]), None);
         assert!(model.summary().contains("fallback"), "{}", model.summary());
+    }
+
+    #[test]
+    fn em_model_serialization_round_trips_bit_exactly() {
+        let points = blobs();
+        let (mixture, clustering) = crate::em::em(points.view(), &crate::em::EmConfig::new(3, 5));
+        let model = EmModel::aligned(mixture, &clustering, points.view());
+        let payload = model.serialize().unwrap();
+        let loaded = EmModel::deserialize(&payload).unwrap();
+        assert_eq!(
+            loaded.predict(points.view()).unwrap(),
+            model.predict(points.view()).unwrap()
+        );
+        // Deterministic payload: serializing the loaded model is identical.
+        assert_eq!(loaded.serialize().unwrap(), payload);
+        assert!(EmModel::deserialize("dims 2\n").is_err(), "truncated");
+        assert!(EmModel::deserialize("").is_err());
+    }
+
+    #[test]
+    fn meanshift_model_serialization_round_trips_bit_exactly() {
+        let points = blobs();
+        let config = MeanShiftConfig {
+            bandwidth: 0.8,
+            ..Default::default()
+        };
+        let (clustering, model) = MeanShiftModel::fit(points.view(), &config);
+        let payload = model.serialize().unwrap();
+        let loaded = MeanShiftModel::deserialize(&payload).unwrap();
+        assert_eq!(loaded.predict(points.view()).unwrap(), clustering);
+        assert_eq!(loaded.serialize().unwrap(), payload);
+        assert!(MeanShiftModel::deserialize("dims 2\nbandwidth xyz\n").is_err());
+    }
+
+    #[test]
+    fn interval_model_serialization_round_trips_bit_exactly() {
+        let raw = vec![Some(1), None, Some(0)];
+        let model = IntervalModel::new(2, 0, vec![(0.0, 1.0), (2.0, 3.0)], &raw);
+        let payload = model.serialize().unwrap();
+        let loaded = IntervalModel::deserialize(&payload).unwrap();
+        assert_eq!(loaded.serialize().unwrap(), payload);
+        for p in [[0.5, 0.0], [2.5, 0.0], [1.5, 0.0], [f64::NAN, 0.0]] {
+            assert_eq!(loaded.predict_one(&p), model.predict_one(&p));
+        }
+        assert!(IntervalModel::deserialize("dims 2\ndim 0\nintervals 2\nremap 0\n").is_err());
+    }
+
+    #[test]
+    fn nearest_training_model_serialization_round_trips_bit_exactly() {
+        let points =
+            PointMatrix::from_rows(vec![vec![0.0, 0.0], vec![0.1, 0.0], vec![9.0, 9.0]]).unwrap();
+        let clustering = Clustering::new(vec![Some(0), Some(0), None]);
+        let model = NearestTrainingModel::new("dbscan", points.view(), &clustering);
+        let payload = model.serialize().unwrap();
+        let loaded = NearestTrainingModel::deserialize("dbscan", &payload).unwrap();
+        assert_eq!(loaded.algorithm(), "dbscan");
+        assert_eq!(loaded.predict(points.view()).unwrap(), clustering);
+        assert_eq!(loaded.serialize().unwrap(), payload);
+        // The noise label survives the roundtrip.
+        assert_eq!(loaded.predict_one(&[9.1, 9.0]), None);
+        assert!(
+            NearestTrainingModel::deserialize("dbscan", "dims 2\npoints 1\nlabels x\n").is_err()
+        );
     }
 
     #[test]

@@ -83,7 +83,7 @@ COMMANDS:
              [--out <labels.csv>] [--output csv|json] (per-point labels,
               noise as empty/null; to stdout when --out is absent)
              [--save-model <file>] (persist the trained model for
-              `predict`; supported for adawave, kmeans, dipmeans)
+              `predict` / `serve`; supported for every algorithm)
              [--param <key=value>]... (uniform, see `list-algorithms`;
               on collision: shorthand flag < algo spec < --param)
              [--scale <n>] [--wavelet <haar|db2|db3|cdf22|cdf13>]
@@ -99,7 +99,20 @@ COMMANDS:
              --train <train.csv> (fit a model first; same algorithm
               options as `cluster`: --algo, --param, shorthand flags)
              [--out <labels.csv>] [--output csv|json] [--quiet]
+             [--verbose] (also print the model's summary())
              Out-of-domain/non-finite points are labeled noise.
+  serve      Serve trained models over HTTP until killed
+             --model <name>=<file.awm> (repeatable; a bare <file.awm>
+              is served under its file stem)
+             [--addr <host:port>] (default 127.0.0.1:8355; port 0 picks
+              a free port)
+             [--workers <n>] (0 = auto: ADAWAVE_THREADS or all cores)
+             [--verbose] (also print each model's summary())
+             Endpoints: GET /health | GET /models | GET /models/<name> |
+             POST /models/<name>/predict {\"point\": [..]} |
+             POST /models/<name>/predict-batch (CSV or JSON rows;
+              responses match `predict --output csv|json` byte for byte) |
+             POST /admin/reload/<name> (atomic hot reload from the file)
   stream     Cluster a CSV by ingesting it in bounded batches (constant
              memory for the points; the model is refit from the grid)
              --input <file.csv> [--batch-rows <n>] (default 8192)
@@ -135,6 +148,7 @@ pub fn dispatch(args: &ParsedArgs) -> CliResult<String> {
         "generate" => generate(args),
         "cluster" => cluster(args),
         "predict" => predict(args),
+        "serve" => serve(args),
         "stream" => stream(args),
         "evaluate" => evaluate(args),
         "sweep" => sweep(args),
@@ -558,14 +572,16 @@ fn predict(args: &ParsedArgs) -> CliResult<String> {
     let labels = clustering.to_labels(NOISE_LABEL);
 
     let mut report = format!(
-        "predict ({}): {} clusters, {} noise points / {} total in {:.3}s\n{}\n",
+        "predict ({}): {} clusters, {} noise points / {} total in {:.3}s\n",
         model.algorithm(),
         clustering.cluster_count(),
         clustering.noise_count(),
         ds.len(),
         seconds,
-        model.summary(),
     );
+    if args.flag("verbose") {
+        report.push_str(&format!("{}\n", model.summary()));
+    }
     if !args.flag("quiet") {
         let score = match ds.noise_label {
             Some(noise) => ami_ignoring_noise(&ds.labels, &labels, noise),
@@ -574,6 +590,88 @@ fn predict(args: &ParsedArgs) -> CliResult<String> {
         report.push_str(&format!("AMI against the labels in {input}: {score:.3}\n"));
     }
     emit_labels(args, &labels, report)
+}
+
+// ---------------------------------------------------------------------------
+// serve
+// ---------------------------------------------------------------------------
+
+/// Resolve every `--model` spec (`name=file`, or a bare `file` served
+/// under its file stem) into a loaded [`adawave::ModelStore`] and start
+/// the daemon, returning it with the startup banner. Split from the
+/// blocking `serve` command body so tests can start and stop a server.
+pub fn start_serve(args: &ParsedArgs) -> CliResult<(adawave::Server, String)> {
+    let specs: Vec<&str> = args.get_all("model").collect();
+    if specs.is_empty() {
+        return Err(CliError::Message(
+            "serve needs at least one --model <name>=<file.awm> \
+             (files come from `cluster --save-model`)"
+                .to_string(),
+        ));
+    }
+    let store = std::sync::Arc::new(adawave::ModelStore::new(adawave::model_loader()));
+    for spec in specs {
+        let (name, path) = match spec.split_once('=') {
+            Some((name, path)) if !name.is_empty() => (name.to_string(), path),
+            _ => {
+                let stem = Path::new(spec)
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .filter(|s| !s.is_empty())
+                    .ok_or_else(|| {
+                        CliError::Message(format!("--model {spec}: cannot derive a name"))
+                    })?;
+                (stem.to_string(), spec)
+            }
+        };
+        store
+            .load(&name, Path::new(path))
+            .map_err(|e| CliError::Message(format!("loading model '{name}' from {path}: {e}")))?;
+    }
+    let config = adawave::ServeConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:8355").to_string(),
+        workers: args.parse_or("workers", 0usize)?,
+        ..adawave::ServeConfig::default()
+    };
+    let server = adawave::Server::start(config, std::sync::Arc::clone(&store))
+        .map_err(|e| CliError::Message(format!("starting server: {e}")))?;
+
+    let mut banner = format!(
+        "serving {} model(s) on http://{} with {} worker(s)\n",
+        store.len(),
+        server.local_addr(),
+        server.workers(),
+    );
+    for entry in store.entries() {
+        banner.push_str(&format!(
+            "  {}: {} ({}-d, v{}, {})\n",
+            entry.name,
+            entry.model.algorithm(),
+            entry.model.dims(),
+            entry.version,
+            entry.path.display(),
+        ));
+        if args.flag("verbose") {
+            banner.push_str(&format!("    {}\n", entry.model.summary()));
+        }
+    }
+    banner.push_str(
+        "endpoints: GET /health | GET /models | GET /models/<name> | \
+         POST /models/<name>/predict | POST /models/<name>/predict-batch | \
+         POST /admin/reload/<name>",
+    );
+    Ok((server, banner))
+}
+
+fn serve(args: &ParsedArgs) -> CliResult<String> {
+    let (server, banner) = start_serve(args)?;
+    // Print and flush before parking so wrappers (the CI smoke) can wait
+    // for the banner as the readiness signal.
+    println!("{banner}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.join();
+    Ok(String::new())
 }
 
 // ---------------------------------------------------------------------------
@@ -1239,12 +1337,29 @@ mod tests {
                 "32",
                 "--out",
                 out.to_str().unwrap(),
+                "--verbose",
             ])
             .unwrap(),
         )
         .unwrap();
         assert!(report.contains("predict (adawave)"), "{report}");
+        // The model summary() rides along only under --verbose.
         assert!(report.contains("model:"), "{report}");
+        let plain_report = dispatch(
+            &ParsedArgs::parse([
+                "predict",
+                "--train",
+                train.to_str().unwrap(),
+                "--input",
+                train.to_str().unwrap(),
+                "--scale",
+                "32",
+                "--quiet",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(!plain_report.contains("model:"), "{plain_report}");
         let predicted = labels_from_text(&std::fs::read_to_string(&out).unwrap()).unwrap();
         assert_eq!(predicted, fit.labels);
         std::fs::remove_file(&train).ok();
@@ -1308,25 +1423,54 @@ mod tests {
     }
 
     #[test]
-    fn save_model_rejects_unsupported_algorithms() {
+    fn save_model_covers_fallback_algorithms() {
+        // dbscan persists via the nearest-training fallback payload: the
+        // saved file predicts the training set label-identically.
         let (points, truth) = toy_points();
-        let train = save_temp_dataset("adawave_cli_save_unsupported", &points, &truth);
-        let model_path = std::env::temp_dir().join("adawave_cli_unsupported.awm");
-        let err = dispatch(
+        let train = save_temp_dataset("adawave_cli_save_fallback", &points, &truth);
+        let model_path = std::env::temp_dir().join("adawave_cli_fallback.awm");
+        let fit_out = std::env::temp_dir().join("adawave_cli_fallback_fit.csv");
+        let pred_out = std::env::temp_dir().join("adawave_cli_fallback_pred.csv");
+        let report = dispatch(
             &ParsedArgs::parse([
                 "cluster",
                 "--input",
                 train.to_str().unwrap(),
                 "--algo",
                 "dbscan",
+                "--param",
+                "eps=0.1",
                 "--save-model",
                 model_path.to_str().unwrap(),
+                "--out",
+                fit_out.to_str().unwrap(),
+                "--quiet",
             ])
             .unwrap(),
         )
-        .unwrap_err();
-        assert!(err.to_string().contains("not supported"), "{err}");
-        std::fs::remove_file(&train).ok();
+        .unwrap();
+        assert!(report.contains("saved model"), "{report}");
+        dispatch(
+            &ParsedArgs::parse([
+                "predict",
+                "--model",
+                model_path.to_str().unwrap(),
+                "--input",
+                train.to_str().unwrap(),
+                "--out",
+                pred_out.to_str().unwrap(),
+                "--quiet",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&fit_out).unwrap(),
+            std::fs::read_to_string(&pred_out).unwrap(),
+        );
+        for p in [&train, &model_path, &fit_out, &pred_out] {
+            std::fs::remove_file(p).ok();
+        }
     }
 
     #[test]
@@ -1520,8 +1664,153 @@ mod tests {
     fn dispatch_help_and_info_and_unknown() {
         let help = dispatch(&ParsedArgs::parse(["help"]).unwrap()).unwrap();
         assert!(help.contains("USAGE"));
+        assert!(help.contains("serve"));
         let info = dispatch(&ParsedArgs::parse(["info"]).unwrap()).unwrap();
         assert!(info.contains("algorithms"));
         assert!(dispatch(&ParsedArgs::parse(["frobnicate"]).unwrap()).is_err());
+    }
+
+    #[test]
+    fn serve_answers_batch_predictions_identical_to_the_predict_command() {
+        let (points, truth) = toy_points();
+        let train = save_temp_dataset("adawave_cli_serve", &points, &truth);
+        let model_path = std::env::temp_dir().join("adawave_cli_serve.awm");
+        let labels_path = std::env::temp_dir().join("adawave_cli_serve_labels.csv");
+        dispatch(
+            &ParsedArgs::parse([
+                "cluster",
+                "--input",
+                train.to_str().unwrap(),
+                "--algo",
+                "kmeans",
+                "--param",
+                "k=2",
+                "--seed",
+                "7",
+                "--save-model",
+                model_path.to_str().unwrap(),
+                "--quiet",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+
+        // Offline ground truth: `predict --output csv` on the same rows.
+        dispatch(
+            &ParsedArgs::parse([
+                "predict",
+                "--model",
+                model_path.to_str().unwrap(),
+                "--input",
+                train.to_str().unwrap(),
+                "--output",
+                "csv",
+                "--out",
+                labels_path.to_str().unwrap(),
+                "--quiet",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        let expected = std::fs::read_to_string(&labels_path).unwrap();
+
+        let model_spec = format!("blobs={}", model_path.display());
+        let (server, banner) = start_serve(
+            &ParsedArgs::parse(["serve", "--model", &model_spec, "--addr", "127.0.0.1:0"]).unwrap(),
+        )
+        .unwrap();
+        assert!(banner.contains("blobs: kmeans"), "{banner}");
+        // Without --verbose the banner has no model summary() line.
+        let summary = load_model(&model_path).unwrap().summary();
+        assert!(!banner.contains(&summary), "{banner}");
+
+        // The served batch answer is byte-identical to the offline one.
+        let body: String = points
+            .rows()
+            .map(|row| format!("{},{}\n", row[0], row[1]))
+            .collect();
+        let mut client =
+            adawave::serve::Client::connect(server.local_addr(), std::time::Duration::from_secs(5))
+                .unwrap();
+        let response = client
+            .post("/models/blobs/predict-batch", "text/csv", &body)
+            .unwrap();
+        assert_eq!(response.status, 200, "{}", response.body);
+        assert_eq!(response.body, expected);
+
+        let typo = client.get("/models/blods").unwrap();
+        assert_eq!(typo.status, 404);
+        assert!(typo.body.contains("did you mean blobs?"), "{}", typo.body);
+
+        server.shutdown();
+        server.join();
+        for p in [&train, &model_path, &labels_path] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn serve_banner_includes_summaries_only_with_verbose() {
+        let (points, truth) = toy_points();
+        let train = save_temp_dataset("adawave_cli_serve_verbose", &points, &truth);
+        let model_path = std::env::temp_dir().join("adawave_cli_serve_verbose.awm");
+        dispatch(
+            &ParsedArgs::parse([
+                "cluster",
+                "--input",
+                train.to_str().unwrap(),
+                "--algo",
+                "kmeans",
+                "--param",
+                "k=2",
+                "--seed",
+                "7",
+                "--save-model",
+                model_path.to_str().unwrap(),
+                "--quiet",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        let model_spec = model_path.to_str().unwrap().to_string();
+        let (server, banner) = start_serve(
+            &ParsedArgs::parse([
+                "serve",
+                "--model",
+                &model_spec,
+                "--addr",
+                "127.0.0.1:0",
+                "--verbose",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        // The bare-file spec is served under its stem, with the summary.
+        assert!(
+            banner.contains("adawave_cli_serve_verbose: kmeans"),
+            "{banner}"
+        );
+        let model = load_model(&model_path).unwrap();
+        assert!(banner.contains(&model.summary()), "{banner}");
+        server.shutdown();
+        server.join();
+        for p in [&train, &model_path] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn serve_rejects_missing_models_and_bad_files() {
+        let err = start_serve(&ParsedArgs::parse(["serve"]).unwrap())
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.to_string().contains("--model"), "{err}");
+
+        let err = start_serve(
+            &ParsedArgs::parse(["serve", "--model", "x=/definitely/not/here.awm"]).unwrap(),
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert!(err.to_string().contains("loading model 'x'"), "{err}");
     }
 }

@@ -1,0 +1,105 @@
+//! A tiny blocking HTTP/1.1 client — just enough to exercise the daemon
+//! from tests, the benchmark harness, and scripts, with keep-alive so one
+//! connection can carry many requests (how throughput is measured).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One response as the client saw it.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// The body text.
+    pub body: String,
+}
+
+/// A keep-alive connection to a serve daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to `addr` with a read timeout (a dead server fails the
+    /// caller instead of hanging it).
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?; // don't batch tiny requests behind Nagle
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// `GET path` over the persistent connection.
+    pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        self.request("GET", path, "application/json", "")
+    }
+
+    /// `POST path` with a body over the persistent connection.
+    pub fn post(
+        &mut self,
+        path: &str,
+        content_type: &str,
+        body: &str,
+    ) -> std::io::Result<ClientResponse> {
+        self.request("POST", path, content_type, body)
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        content_type: &str,
+        body: &str,
+    ) -> std::io::Result<ClientResponse> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: adawave\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+        let bad = |context: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, context);
+        let mut status_line = String::new();
+        if self.reader.read_line(&mut status_line)? == 0 {
+            return Err(bad("server closed the connection"));
+        }
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad(&format!("bad status line '{}'", status_line.trim())))?;
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(bad("connection closed mid-headers"));
+            }
+            let line = line.trim();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad(&format!("bad content-length '{}'", value.trim())))?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body).map_err(|_| bad("body is not UTF-8"))?;
+        Ok(ClientResponse { status, body })
+    }
+}

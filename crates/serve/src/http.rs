@@ -1,0 +1,337 @@
+//! A minimal HTTP/1.1 reader/writer over any buffered stream — request
+//! parsing with hard size limits, and plain-text response framing with
+//! `Content-Length` (no chunked encoding, no TLS).
+//!
+//! This is intentionally the smallest slice of the protocol a model
+//! server needs: request line + headers + optional `Content-Length` body
+//! in, status + headers + body out, keep-alive by HTTP/1.1 default.
+//! Anything outside that slice is a [`HttpError`], which the server turns
+//! into a typed 4xx — never a hang (reads are under a socket timeout) and
+//! never a panic.
+
+use std::io::{BufRead, Write};
+
+/// Longest accepted request line or header line, in bytes.
+const MAX_LINE_BYTES: usize = 8 * 1024;
+/// Most headers accepted on one request.
+const MAX_HEADERS: usize = 64;
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed or the socket failed mid-request (including read
+    /// timeouts); there is nobody to answer, so the connection just drops.
+    Io(std::io::Error),
+    /// The bytes are not well-formed HTTP/1.1 — answered with a 400.
+    Malformed(String),
+    /// The declared body exceeds the server's limit — answered with a 413.
+    BodyTooLarge(usize),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "socket: {e}"),
+            HttpError::Malformed(context) => write!(f, "malformed request: {context}"),
+            HttpError::BodyTooLarge(limit) => {
+                write!(f, "request body exceeds the {limit}-byte limit")
+            }
+        }
+    }
+}
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request target's path with any `?query` stripped.
+    pub path: String,
+    /// Header name → value pairs in arrival order (names lowercased).
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to drop the connection after this
+    /// exchange (`Connection: close`; keep-alive is the HTTP/1.1 default).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// The request body as UTF-8 text, or a malformed-request error.
+    pub fn body_text(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| HttpError::Malformed("body is not valid UTF-8".to_string()))
+    }
+}
+
+/// Read one request from a buffered stream.
+///
+/// Returns `Ok(None)` on a clean end-of-stream before any request byte —
+/// the normal end of a keep-alive connection.
+pub fn read_request(
+    reader: &mut impl BufRead,
+    max_body_bytes: usize,
+) -> Result<Option<Request>, HttpError> {
+    let Some(request_line) = read_line(reader)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(HttpError::Malformed(format!(
+                "bad request line '{request_line}'"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::Malformed(format!("bad version '{version}'")));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader)?
+            .ok_or_else(|| HttpError::Malformed("connection closed mid-headers".to_string()))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::Malformed(format!(
+                "more than {MAX_HEADERS} headers"
+            )));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("bad header line '{line}'")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut request = Request {
+        method: method.to_string(),
+        path,
+        headers,
+        body: Vec::new(),
+    };
+    if let Some(length) = request.header("content-length") {
+        let length: usize = length
+            .parse()
+            .map_err(|_| HttpError::Malformed(format!("bad content-length '{length}'")))?;
+        if length > max_body_bytes {
+            return Err(HttpError::BodyTooLarge(max_body_bytes));
+        }
+        let mut body = vec![0u8; length];
+        let mut filled = 0;
+        while filled < length {
+            match reader.read(&mut body[filled..]).map_err(HttpError::Io)? {
+                0 => {
+                    return Err(HttpError::Malformed(
+                        "connection closed mid-body".to_string(),
+                    ))
+                }
+                n => filled += n,
+            }
+        }
+        request.body = body;
+    }
+    Ok(Some(request))
+}
+
+/// Read one CRLF- (or LF-) terminated line, bounded by [`MAX_LINE_BYTES`].
+/// `Ok(None)` = end of stream before any byte.
+fn read_line(reader: &mut impl BufRead) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte).map_err(HttpError::Io)? {
+            0 => {
+                return if line.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(HttpError::Malformed(
+                        "connection closed mid-line".to_string(),
+                    ))
+                }
+            }
+            _ => match byte[0] {
+                b'\n' => break,
+                b'\r' => {}
+                b => {
+                    if line.len() >= MAX_LINE_BYTES {
+                        return Err(HttpError::Malformed(format!(
+                            "line exceeds {MAX_LINE_BYTES} bytes"
+                        )));
+                    }
+                    line.push(b);
+                }
+            },
+        }
+    }
+    String::from_utf8(line)
+        .map(Some)
+        .map_err(|_| HttpError::Malformed("line is not valid UTF-8".to_string()))
+}
+
+/// One response ready to be written.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// The body text.
+    pub body: String,
+    /// Whether to keep the connection open after this response.
+    pub keep_alive: bool,
+}
+
+impl Response {
+    /// A 200 JSON response.
+    pub fn json(body: String) -> Response {
+        Response {
+            status: 200,
+            content_type: "application/json",
+            body,
+            keep_alive: true,
+        }
+    }
+
+    /// A 200 CSV response.
+    pub fn csv(body: String) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/csv",
+            body,
+            keep_alive: true,
+        }
+    }
+
+    /// An error response with a JSON `{"error": ...}` body.
+    pub fn error(status: u16, message: &str) -> Response {
+        let body = crate::json::Json::Object(vec![(
+            "error".to_string(),
+            crate::json::Json::String(message.to_string()),
+        )]);
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.render(),
+            keep_alive: status < 500,
+        }
+    }
+}
+
+/// The reason phrase for each status this server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Write `response` onto the stream with explicit `Content-Length`.
+pub fn write_response(stream: &mut impl Write, response: &Response) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len(),
+        if response.keep_alive {
+            "keep-alive"
+        } else {
+            "close"
+        },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Result<Option<Request>, HttpError> {
+        read_request(&mut text.as_bytes(), 1024)
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_lowercases_headers() {
+        let request = parse(
+            "POST /models/blobs/predict?trace=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/models/blobs/predict");
+        assert_eq!(request.header("HOST"), Some("x"));
+        assert_eq!(request.body_text().unwrap(), "hello");
+        assert!(!request.wants_close());
+    }
+
+    #[test]
+    fn clean_eof_is_none_but_truncation_is_an_error() {
+        assert!(parse("").unwrap().is_none());
+        assert!(matches!(
+            parse("GET /health HTTP/1.1\r\nHost: x"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn garbage_and_oversized_bodies_are_typed_errors() {
+        assert!(matches!(
+            parse("NOT-HTTP\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / SMTP/9\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: 9999\r\n\r\n"),
+            Err(HttpError::BodyTooLarge(1024))
+        ));
+    }
+
+    #[test]
+    fn responses_frame_with_content_length_and_connection() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json("{\"ok\":true}".to_string())).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 11\r\n"), "{text}");
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"), "{text}");
+
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::error(500, "boom")).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("500 Internal Server Error"), "{text}");
+        assert!(text.contains("Connection: close"), "{text}");
+        assert!(text.ends_with("{\"error\":\"boom\"}"), "{text}");
+    }
+}

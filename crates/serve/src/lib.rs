@@ -1,0 +1,54 @@
+//! # adawave-serve
+//!
+//! A dependency-free model-serving daemon for the AdaWave workspace: a
+//! [`std::net::TcpListener`] front end speaking minimal HTTP/1.1, a fixed
+//! worker pool sized through `adawave-runtime`'s thread-selection
+//! precedence, and **atomic hot model reload** so operators can retrain
+//! and swap a model without dropping connections.
+//!
+//! The crate depends only on `adawave-api` (the [`Model`] trait it
+//! serves) and `adawave-runtime` (worker sizing) — it does not know how
+//! to parse model files. The host injects a [`ModelLoader`] closure
+//! (the umbrella crate's `load_model`) into the [`ModelStore`]; that
+//! keeps the dependency graph acyclic while `adawave` re-exports this
+//! crate.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use adawave_serve::{ModelStore, ServeConfig, Server};
+//!
+//! // The host decides how files become models (e.g. adawave::load_model).
+//! let loader = Arc::new(|path: &std::path::Path| {
+//!     Err::<Box<dyn adawave_serve::Model>, String>(format!("no loader for {}", path.display()))
+//! });
+//! let store = Arc::new(ModelStore::new(loader));
+//! store.load("blobs", std::path::Path::new("blobs.awm")).unwrap();
+//! let server = Server::start(ServeConfig::default(), store).unwrap();
+//! println!("serving on http://{}", server.local_addr());
+//! server.join(); // blocks until shutdown
+//! ```
+//!
+//! ## Wire contract
+//!
+//! Single-point predictions answer the model's stable internal cluster id
+//! and spell noise as `null` — an in-domain point the model cannot place
+//! is an *answer*, not an error. Batch predictions answer the exact bytes
+//! of `adawave predict --output csv|json` on the same rows (noise = empty
+//! CSV field / JSON `null`), so served labels can be diffed against
+//! offline ones. Malformed requests (bad JSON, ragged rows, wrong
+//! dimensionality, oversized bodies) get typed 4xx responses; a handler
+//! panic answers 500 and the worker thread survives.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod server;
+pub mod store;
+
+pub use adawave_api::Model;
+pub use client::{Client, ClientResponse};
+pub use server::{ServeConfig, Server};
+pub use store::{ModelEntry, ModelLoader, ModelStore};

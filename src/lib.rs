@@ -26,8 +26,15 @@
 //! Training and serving are split: `Clusterer::fit_model` returns a
 //! [`FitOutcome`] whose boxed [`Model`] labels out-of-sample points
 //! without refitting (`predict` / `predict_one`), and [`save_model`] /
-//! [`load_model`] persist AdaWave and centroid models across processes in
-//! a dependency-free versioned text format (see [`persist`]).
+//! [`load_model`] persist every registry algorithm's trained model across
+//! processes in a dependency-free versioned text format (see [`persist`]).
+//!
+//! Persisted models are servable: the re-exported `adawave-serve` daemon
+//! ([`Server`] / [`ModelStore`] / [`ServeConfig`]) answers single-point
+//! and batch predictions over minimal HTTP/1.1 from a worker pool, with
+//! atomic hot model reload. [`model_loader`] is the glue — it hands
+//! [`load_model`] to the store, which is how `adawave serve` wires the
+//! two layers together.
 //!
 //! ```
 //! use adawave::{standard_registry, AlgorithmSpec, PointMatrix};
@@ -65,8 +72,29 @@ pub use adawave_core::{
     cluster_grid, AdaWave, AdaWaveConfig, AdaWaveModel, AdaWaveResult, GridModel, ThresholdStrategy,
 };
 pub use adawave_runtime::Runtime;
+pub use adawave_serve as serve;
+pub use adawave_serve::{ModelEntry, ModelLoader, ModelStore, ServeConfig, Server};
 pub use adawave_stream::{IngestReport, MergeRejected, StreamError, StreamingAdaWave};
 pub use persist::{load_model, save_model, PersistError};
+
+/// A [`ModelLoader`] backed by [`load_model`] — inject it into a
+/// [`ModelStore`] to serve models saved by [`save_model`], exactly as
+/// the `adawave serve` subcommand does:
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use adawave::{model_loader, ModelStore, ServeConfig, Server};
+///
+/// let store = Arc::new(ModelStore::new(model_loader()));
+/// store.load("blobs", std::path::Path::new("blobs.awm")).unwrap();
+/// let server = Server::start(ServeConfig::default(), store).unwrap();
+/// server.join();
+/// ```
+pub fn model_loader() -> ModelLoader {
+    std::sync::Arc::new(|path: &std::path::Path| {
+        persist::load_model(path).map_err(|e| e.to_string())
+    })
+}
 
 /// The standard registry: AdaWave plus every baseline of the paper's
 /// evaluation, resolvable by name with `key=value` parameters.

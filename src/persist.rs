@@ -16,17 +16,37 @@
 //! --save-model` → `predict` → diff). The version is checked on load;
 //! bumping the payload shape means bumping `v1`.
 //!
-//! Supported algorithms: `adawave` (the grid model) and the centroid
-//! models (`kmeans`, `dipmeans`). Other models return
-//! [`PersistError::Unsupported`] — their serving models either memorize
-//! the training batch (the fallback) or carry non-trivially serializable
-//! state; refit them from data instead.
+//! Every registered algorithm's trained model is persistable, so every
+//! registry entry is servable from a file: the native models serialize
+//! their decision rule (grid table, centroids, mixture parameters, mode
+//! representatives + training density, modal intervals) and the
+//! nearest-training fallback models serialize the memorized training
+//! batch with its labels — honest about their size scaling with n.
+//! [`PersistError::Unsupported`] remains only for algorithm names this
+//! build does not know.
 
 use std::path::Path;
 
 use adawave_api::Model;
-use adawave_baselines::CentroidModel;
+use adawave_baselines::{
+    CentroidModel, EmModel, IntervalModel, MeanShiftModel, NearestTrainingModel,
+};
 use adawave_core::AdaWaveModel;
+
+/// The registry algorithms whose models predict via the documented
+/// nearest-training-point fallback; they all share one payload shape
+/// (memorized training batch + labels), parameterized by the name.
+const FALLBACK_ALGORITHMS: [&str; 9] = [
+    "dbscan",
+    "optics",
+    "wavecluster",
+    "sting",
+    "clique",
+    "sync",
+    "stsc",
+    "skinnydip",
+    "ric",
+];
 
 /// Leading magic of every model file.
 const MAGIC: &str = "adawave-model";
@@ -40,7 +60,8 @@ pub enum PersistError {
     Io(std::io::Error),
     /// The file is not a well-formed model file of the current version.
     Format(String),
-    /// The algorithm's model does not support persistence.
+    /// The algorithm named in the file (or by the model) is not one this
+    /// build knows how to (de)serialize.
     Unsupported(String),
 }
 
@@ -52,7 +73,8 @@ impl std::fmt::Display for PersistError {
             PersistError::Unsupported(algorithm) => write!(
                 f,
                 "model persistence is not supported for '{algorithm}' \
-                 (supported: adawave, kmeans, dipmeans)"
+                 (every standard-registry algorithm is supported — is the \
+                 file from a newer build?)"
             ),
         }
     }
@@ -113,13 +135,18 @@ pub fn load_model(path: &Path) -> Result<Box<dyn Model>, PersistError> {
         .splitn(3, '\n')
         .nth(2)
         .ok_or_else(|| PersistError::Format("missing payload".to_string()))?;
+    let boxed = |m: Result<Box<dyn Model>, String>| m.map_err(PersistError::Format);
     match algorithm.as_str() {
-        "adawave" => AdaWaveModel::deserialize(payload_start)
-            .map(|m| Box::new(m) as Box<dyn Model>)
-            .map_err(PersistError::Format),
-        "kmeans" | "dipmeans" => CentroidModel::deserialize(&algorithm, payload_start)
-            .map(|m| Box::new(m) as Box<dyn Model>)
-            .map_err(PersistError::Format),
+        "adawave" => boxed(AdaWaveModel::deserialize(payload_start).map(|m| Box::new(m) as _)),
+        "kmeans" | "dipmeans" => {
+            boxed(CentroidModel::deserialize(&algorithm, payload_start).map(|m| Box::new(m) as _))
+        }
+        "em" => boxed(EmModel::deserialize(payload_start).map(|m| Box::new(m) as _)),
+        "meanshift" => boxed(MeanShiftModel::deserialize(payload_start).map(|m| Box::new(m) as _)),
+        "unidip" => boxed(IntervalModel::deserialize(payload_start).map(|m| Box::new(m) as _)),
+        name if FALLBACK_ALGORITHMS.contains(&name) => {
+            boxed(NearestTrainingModel::deserialize(name, payload_start).map(|m| Box::new(m) as _))
+        }
         other => Err(PersistError::Unsupported(other.to_string())),
     }
 }
@@ -169,18 +196,67 @@ mod tests {
         }
     }
 
+    /// Per-algorithm parameters that make the toy dataset meaningful
+    /// (mirrors `tests/predict_parity.rs`).
+    fn spec_for(name: &str) -> AlgorithmSpec {
+        let base = AlgorithmSpec::new(name);
+        match name {
+            "adawave" | "wavecluster" => base.with("scale", 32),
+            "kmeans" | "em" | "stsc" | "ric" => base.with("k", 3).with("seed", 7),
+            "dbscan" => base.with("eps", 0.08).with("min-points", 8),
+            "skinnydip" | "unidip" | "dipmeans" => base.with("seed", 7),
+            "optics" => base.with("eps", 0.08),
+            "meanshift" => base.with("bandwidth", 0.1),
+            "sync" => base.with("eps", 0.08),
+            _ => base, // sting, clique: defaults
+        }
+    }
+
     #[test]
-    fn unsupported_models_error_instead_of_writing_garbage() {
+    fn every_registry_algorithm_round_trips_through_files() {
         let registry = standard_registry();
         let points = noisy_blobs();
-        let outcome = registry
-            .fit_model(
-                &AlgorithmSpec::new("dbscan").with("eps", 0.08),
-                points.view(),
-            )
-            .unwrap();
-        let path = temp_path("dbscan");
-        let err = save_model(&path, outcome.model.as_ref()).unwrap_err();
+        assert!(registry.len() >= 15, "registry shrank");
+        for name in registry.names() {
+            let outcome = registry
+                .fit_model(&spec_for(name), points.view())
+                .unwrap_or_else(|e| panic!("{name} fit_model: {e}"));
+            let path = temp_path(name);
+            save_model(&path, outcome.model.as_ref())
+                .unwrap_or_else(|e| panic!("{name} save: {e}"));
+            let loaded = load_model(&path).unwrap_or_else(|e| panic!("{name} load: {e}"));
+            assert_eq!(loaded.algorithm(), name);
+            assert_eq!(loaded.dims(), 2, "{name}");
+            // Bit-identical labels through the file roundtrip.
+            assert_eq!(
+                loaded.predict(points.view()).unwrap(),
+                outcome.clustering,
+                "{name}"
+            );
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn models_that_cannot_serialize_error_instead_of_writing_garbage() {
+        /// A model outside the standard registry whose `serialize` is `None`.
+        struct Opaque;
+        impl Model for Opaque {
+            fn algorithm(&self) -> &str {
+                "opaque"
+            }
+            fn dims(&self) -> usize {
+                2
+            }
+            fn predict_one(&self, _point: &[f64]) -> Option<usize> {
+                None
+            }
+            fn summary(&self) -> String {
+                "opaque".to_string()
+            }
+        }
+        let path = temp_path("opaque");
+        let err = save_model(&path, &Opaque).unwrap_err();
         assert!(matches!(err, PersistError::Unsupported(_)), "{err}");
         assert!(!path.exists());
     }
