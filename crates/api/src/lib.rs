@@ -108,7 +108,7 @@ pub use model::{
     compact_remap, f64_from_hex, f64_to_hex, validate_predict_input, FitOutcome, Model,
     PayloadReader, PredictSupport,
 };
-pub use params::{AlgorithmSpec, Params};
+pub use params::{AlgorithmSpec, Params, Precision};
 pub use points::{PointMatrix, PointsView, Rows};
 pub use registry::{AlgorithmEntry, AlgorithmRegistry, ParamSpec};
 

@@ -1,0 +1,189 @@
+//! A uniform hash grid over tolerance-sized cells, used to accelerate the
+//! "first representative within tolerance" scans in mean shift mode
+//! merging and Sync group assignment.
+//!
+//! ## Correctness argument (label identity with the brute scan)
+//!
+//! Cell width is `2 × tolerance`. For any two points within `tolerance` of
+//! each other — under the Euclidean *or* the per-coordinate (Chebyshev)
+//! metric — every coordinate differs by at most `tolerance`, so the
+//! quotients `coord / width` differ by at most `0.5` plus a few ulps of
+//! division rounding, and their floors differ by at most 1. Probing the
+//! `3^d` cells around the query therefore visits a guaranteed superset of
+//! every representative that can satisfy the tolerance predicate. The
+//! caller then evaluates its *exact original predicate* on the candidates
+//! and keeps the **minimum** matching id — which equals the first match of
+//! a linear scan in insertion order. Candidates outside the predicate are
+//! discarded, so the accelerated path returns exactly the brute-force
+//! answer for every input.
+//!
+//! The grid is only constructed for `1 ≤ dims ≤` [`CellGrid::MAX_DIMS`]
+//! and a positive finite tolerance ([`CellGrid::try_new`] returns `None`
+//! otherwise); callers keep the brute scan as the fallback path.
+
+use std::collections::HashMap;
+
+/// Hash grid of representative ids bucketed by tolerance-sized cell.
+#[derive(Debug)]
+pub(crate) struct CellGrid {
+    cell_width: f64,
+    dims: usize,
+    cells: HashMap<Vec<i64>, Vec<usize>>,
+    /// Scratch buffer for cell coordinates (avoids per-query allocation).
+    scratch: Vec<i64>,
+}
+
+impl CellGrid {
+    /// Largest dimensionality worth probing (3^d neighbor cells per query).
+    pub(crate) const MAX_DIMS: usize = 4;
+
+    /// A grid over `2 × tolerance` cells, or `None` when the configuration
+    /// is outside the grid's sweet spot (degenerate tolerance, too many
+    /// dims) and the caller should use its brute scan instead.
+    pub(crate) fn try_new(dims: usize, tolerance: f64) -> Option<Self> {
+        let cell_width = 2.0 * tolerance;
+        let usable_width = cell_width > 0.0 && cell_width.is_finite();
+        if !(1..=Self::MAX_DIMS).contains(&dims) || !usable_width {
+            return None;
+        }
+        Some(Self {
+            cell_width,
+            dims,
+            cells: HashMap::new(),
+            scratch: vec![0i64; dims],
+        })
+    }
+
+    fn cell_coord(&self, v: f64) -> i64 {
+        // Saturating `as` conversion: non-finite or huge coordinates land
+        // in an extreme cell; the caller's exact predicate still decides.
+        (v / self.cell_width).floor() as i64
+    }
+
+    /// Insert representative `id` located at `point`.
+    pub(crate) fn insert(&mut self, id: usize, point: &[f64]) {
+        debug_assert_eq!(point.len(), self.dims);
+        let key: Vec<i64> = point.iter().map(|&v| self.cell_coord(v)).collect();
+        self.cells.entry(key).or_default().push(id);
+    }
+
+    /// The minimum inserted id in the `3^dims` cells around `point` that
+    /// satisfies `predicate` — exactly the first match of a linear scan in
+    /// insertion order, provided every point within the tolerance metric
+    /// the grid was sized for satisfies the cell-distance bound (see the
+    /// module docs).
+    pub(crate) fn min_matching(
+        &mut self,
+        point: &[f64],
+        mut predicate: impl FnMut(usize) -> bool,
+    ) -> Option<usize> {
+        debug_assert_eq!(point.len(), self.dims);
+        let center: Vec<i64> = point.iter().map(|&v| self.cell_coord(v)).collect();
+        let mut best: Option<usize> = None;
+        // Enumerate the 3^dims offset combinations with a base-3 counter.
+        let probes = 3usize.pow(self.dims as u32);
+        for p in 0..probes {
+            let mut rem = p;
+            for (s, &c) in self.scratch.iter_mut().zip(center.iter()) {
+                let offset = (rem % 3) as i64 - 1;
+                *s = c.saturating_add(offset);
+                rem /= 3;
+            }
+            if let Some(ids) = self.cells.get(self.scratch.as_slice()) {
+                for &id in ids {
+                    if best.is_some_and(|b| id >= b) {
+                        continue;
+                    }
+                    if predicate(id) {
+                        best = Some(id);
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adawave_data::Rng;
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        assert!(CellGrid::try_new(0, 0.1).is_none());
+        assert!(CellGrid::try_new(2, 0.0).is_none());
+        assert!(CellGrid::try_new(2, -1.0).is_none());
+        assert!(CellGrid::try_new(2, f64::INFINITY).is_none());
+        assert!(CellGrid::try_new(2, f64::NAN).is_none());
+        assert!(CellGrid::try_new(CellGrid::MAX_DIMS + 1, 0.1).is_none());
+        assert!(CellGrid::try_new(2, 0.1).is_some());
+    }
+
+    #[test]
+    fn min_matching_equals_brute_first_match_euclidean() {
+        // Random representatives + queries; the grid's min matching id must
+        // equal the first id within tolerance in insertion order.
+        let tol = 0.07;
+        let mut rng = Rng::new(42);
+        for dims in 1..=3usize {
+            let mut grid = CellGrid::try_new(dims, tol).unwrap();
+            let reps: Vec<Vec<f64>> = (0..120)
+                .map(|_| (0..dims).map(|_| rng.uniform()).collect())
+                .collect();
+            for (id, rep) in reps.iter().enumerate() {
+                grid.insert(id, rep);
+            }
+            for _ in 0..200 {
+                let q: Vec<f64> = (0..dims).map(|_| rng.uniform()).collect();
+                let within = |id: usize| {
+                    let d2: f64 = reps[id]
+                        .iter()
+                        .zip(q.iter())
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum();
+                    d2.sqrt() <= tol
+                };
+                let brute = (0..reps.len()).find(|&id| within(id));
+                assert_eq!(grid.min_matching(&q, within), brute, "dims={dims}");
+            }
+        }
+    }
+
+    #[test]
+    fn min_matching_equals_brute_first_match_chebyshev() {
+        let tol = 0.05;
+        let mut rng = Rng::new(9);
+        let dims = 2;
+        let mut grid = CellGrid::try_new(dims, tol).unwrap();
+        let reps: Vec<Vec<f64>> = (0..80)
+            .map(|_| (0..dims).map(|_| rng.uniform()).collect())
+            .collect();
+        for (id, rep) in reps.iter().enumerate() {
+            grid.insert(id, rep);
+        }
+        for _ in 0..200 {
+            let q: Vec<f64> = (0..dims).map(|_| rng.uniform()).collect();
+            let within = |id: usize| {
+                reps[id]
+                    .iter()
+                    .zip(q.iter())
+                    .all(|(a, b)| (a - b).abs() <= tol)
+            };
+            let brute = (0..reps.len()).find(|&id| within(id));
+            assert_eq!(grid.min_matching(&q, within), brute);
+        }
+    }
+
+    #[test]
+    fn boundary_points_on_cell_edges_are_found() {
+        // Points exactly on cell boundaries exercise the ±1 probe band.
+        let tol = 0.5; // cell width 1.0
+        let mut grid = CellGrid::try_new(1, tol).unwrap();
+        grid.insert(0, &[1.0]); // cell 1
+                                // Query in cell 0 at distance exactly tol.
+        assert_eq!(grid.min_matching(&[0.5], |_| true), Some(0));
+        // Query two cells away: not probed, and correctly out of range.
+        assert_eq!(grid.min_matching(&[3.5], |_| true), None);
+    }
+}

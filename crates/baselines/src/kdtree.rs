@@ -3,17 +3,29 @@
 //! DBSCAN's region queries and STSC's local-scale estimation need neighbor
 //! search; a kd-tree keeps them near `O(log n)` per query on the low-
 //! dimensional data where those baselines are competitive.
+//!
+//! The tree structure itself ([`KdIndex`]) is *owned* and borrows nothing:
+//! it stores node topology plus the dimensionality, and every query takes
+//! the point set as an argument. That lets trained models cache the index
+//! once at fit/load time and serve `predict_one` calls without re-indexing
+//! (the structure must be queried against the same point set it was built
+//! over — same rows, same order). [`KdTree`] is the thin borrowing wrapper
+//! that bundles an index with its point set for callers that build and
+//! query in one scope.
 
 use adawave_api::PointsView;
 use adawave_linalg::squared_distance;
 
-/// A kd-tree over a borrowed flat row-major point set.
-#[derive(Debug)]
-pub struct KdTree<'a> {
-    points: PointsView<'a>,
+/// An owned kd-tree structure (median splits) over a flat row-major point
+/// set, storing topology only. Queries take the point set as an argument;
+/// passing a different point set than the one the index was built over
+/// yields meaningless results (and panics if dimensions disagree).
+#[derive(Debug, Clone)]
+pub struct KdIndex {
     /// Flattened tree: `nodes[i]` = (point index, split dimension).
     nodes: Vec<Node>,
     root: Option<usize>,
+    len: usize,
     dims: usize,
 }
 
@@ -25,17 +37,17 @@ struct Node {
     right: Option<usize>,
 }
 
-impl<'a> KdTree<'a> {
+impl KdIndex {
     /// Build a balanced kd-tree (median splits) over `points`.
-    pub fn build(points: PointsView<'a>) -> Self {
+    pub fn build(points: PointsView<'_>) -> Self {
         let dims = points.dims();
         let mut indices: Vec<usize> = (0..points.len()).collect();
         let mut nodes = Vec::with_capacity(points.len());
         let root = Self::build_recursive(points, &mut indices[..], 0, dims, &mut nodes);
         Self {
-            points,
             nodes,
             root,
+            len: points.len(),
             dims,
         }
     }
@@ -76,26 +88,33 @@ impl<'a> KdTree<'a> {
 
     /// Number of indexed points.
     pub fn len(&self) -> usize {
-        self.points.len()
+        self.len
     }
 
-    /// Whether the tree is empty.
+    /// Whether the index is empty.
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+        self.len == 0
+    }
+
+    /// Dimensionality the index was built over.
+    pub fn dims(&self) -> usize {
+        self.dims
     }
 
     /// Indices of all points within `radius` (inclusive) of `query`,
     /// including the query point itself if it is part of the indexed set.
-    pub fn within_radius(&self, query: &[f64], radius: f64) -> Vec<usize> {
+    /// `points` must be the set the index was built over.
+    pub fn within_radius(&self, points: PointsView<'_>, query: &[f64], radius: f64) -> Vec<usize> {
         let mut out = Vec::new();
         if let Some(root) = self.root {
-            self.radius_recursive(root, query, radius, radius * radius, &mut out);
+            self.radius_recursive(points, root, query, radius, radius * radius, &mut out);
         }
         out
     }
 
     fn radius_recursive(
         &self,
+        points: PointsView<'_>,
         node_idx: usize,
         query: &[f64],
         radius: f64,
@@ -103,7 +122,7 @@ impl<'a> KdTree<'a> {
         out: &mut Vec<usize>,
     ) {
         let node = self.nodes[node_idx];
-        let point = self.points.row(node.point);
+        let point = points.row(node.point);
         if squared_distance(point, query) <= radius_sq {
             out.push(node.point);
         }
@@ -117,11 +136,11 @@ impl<'a> KdTree<'a> {
             (node.right, node.left)
         };
         if let Some(n) = near {
-            self.radius_recursive(n, query, radius, radius_sq, out);
+            self.radius_recursive(points, n, query, radius, radius_sq, out);
         }
         if delta.abs() <= radius {
             if let Some(f) = far {
-                self.radius_recursive(f, query, radius, radius_sq, out);
+                self.radius_recursive(points, f, query, radius, radius_sq, out);
             }
         }
     }
@@ -129,14 +148,15 @@ impl<'a> KdTree<'a> {
     /// The `k` nearest neighbors of `query` (by Euclidean distance), as
     /// `(index, distance)` pairs sorted by increasing distance. The query
     /// point itself is included if it is part of the indexed set.
-    pub fn nearest(&self, query: &[f64], k: usize) -> Vec<(usize, f64)> {
+    /// `points` must be the set the index was built over.
+    pub fn nearest(&self, points: PointsView<'_>, query: &[f64], k: usize) -> Vec<(usize, f64)> {
         if k == 0 || self.is_empty() {
             return Vec::new();
         }
         // Max-heap of (distance, index) capped at k elements.
         let mut heap: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
         if let Some(root) = self.root {
-            self.nearest_recursive(root, query, k, &mut heap);
+            self.nearest_recursive(points, root, query, k, &mut heap);
         }
         heap.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         heap.into_iter().map(|(d, i)| (i, d.sqrt())).collect()
@@ -144,13 +164,14 @@ impl<'a> KdTree<'a> {
 
     fn nearest_recursive(
         &self,
+        points: PointsView<'_>,
         node_idx: usize,
         query: &[f64],
         k: usize,
         heap: &mut Vec<(f64, usize)>,
     ) {
         let node = self.nodes[node_idx];
-        let point = self.points.row(node.point);
+        let point = points.row(node.point);
         let dist_sq = squared_distance(point, query);
         if heap.len() < k {
             heap.push((dist_sq, node.point));
@@ -169,14 +190,55 @@ impl<'a> KdTree<'a> {
             (node.right, node.left)
         };
         if let Some(n) = near {
-            self.nearest_recursive(n, query, k, heap);
+            self.nearest_recursive(points, n, query, k, heap);
         }
         let worst = if heap.len() < k { f64::MAX } else { heap[0].0 };
         if delta * delta <= worst {
             if let Some(f) = far {
-                self.nearest_recursive(f, query, k, heap);
+                self.nearest_recursive(points, f, query, k, heap);
             }
         }
+    }
+}
+
+/// A kd-tree over a borrowed flat row-major point set: an owned
+/// [`KdIndex`] bundled with the point set it was built over.
+#[derive(Debug)]
+pub struct KdTree<'a> {
+    points: PointsView<'a>,
+    index: KdIndex,
+}
+
+impl<'a> KdTree<'a> {
+    /// Build a balanced kd-tree (median splits) over `points`.
+    pub fn build(points: PointsView<'a>) -> Self {
+        Self {
+            points,
+            index: KdIndex::build(points),
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Indices of all points within `radius` (inclusive) of `query`,
+    /// including the query point itself if it is part of the indexed set.
+    pub fn within_radius(&self, query: &[f64], radius: f64) -> Vec<usize> {
+        self.index.within_radius(self.points, query, radius)
+    }
+
+    /// The `k` nearest neighbors of `query` (by Euclidean distance), as
+    /// `(index, distance)` pairs sorted by increasing distance. The query
+    /// point itself is included if it is part of the indexed set.
+    pub fn nearest(&self, query: &[f64], k: usize) -> Vec<(usize, f64)> {
+        self.index.nearest(self.points, query, k)
     }
 }
 
@@ -244,6 +306,27 @@ mod tests {
             for w in got.windows(2) {
                 assert!(w[0].1 <= w[1].1);
             }
+        }
+    }
+
+    #[test]
+    fn owned_index_matches_borrowing_wrapper() {
+        let points = random_points(120, 2, 7);
+        let tree = KdTree::build(points.view());
+        let index = KdIndex::build(points.view());
+        assert_eq!(index.len(), 120);
+        assert_eq!(index.dims(), 2);
+        let mut rng = Rng::new(8);
+        for _ in 0..20 {
+            let query: Vec<f64> = (0..2).map(|_| rng.uniform()).collect();
+            assert_eq!(
+                index.within_radius(points.view(), &query, 0.2),
+                tree.within_radius(&query, 0.2)
+            );
+            assert_eq!(
+                index.nearest(points.view(), &query, 4),
+                tree.nearest(&query, 4)
+            );
         }
     }
 

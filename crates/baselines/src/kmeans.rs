@@ -10,7 +10,7 @@
 
 use adawave_api::{PointMatrix, PointsView};
 use adawave_data::Rng;
-use adawave_linalg::squared_distance;
+use adawave_linalg::{nearest_row, squared_distance};
 use adawave_runtime::Runtime;
 
 use crate::Clustering;
@@ -195,15 +195,10 @@ fn lloyd<R: RowSet>(
                     let mut local_inertia = 0.0;
                     for (local, slot) in slots.iter_mut().enumerate() {
                         let p = points.row(base + local);
-                        let mut best = 0usize;
-                        let mut best_d = f64::MAX;
-                        for (c, centroid) in centroids.chunks_exact(dims).enumerate() {
-                            let d = squared_distance(p, centroid);
-                            if d < best_d {
-                                best_d = d;
-                                best = c;
-                            }
-                        }
+                        // Fused min+argmin kernel: first index wins, sqrt
+                        // deferred (bit-identical to the scalar loop).
+                        let (best, best_d) =
+                            nearest_row(p, &centroids, dims).expect("k >= 1 centroids");
                         *slot = best;
                         local_inertia += best_d;
                         for (s, v) in sums[best * dims..(best + 1) * dims]
@@ -264,15 +259,8 @@ fn lloyd<R: RowSet>(
                 let mut local_inertia = 0.0;
                 for (local, slot) in slots.iter_mut().enumerate() {
                     let p = points.row(base + local);
-                    let mut best = 0usize;
-                    let mut best_d = f64::MAX;
-                    for (c, centroid) in centroids.chunks_exact(dims).enumerate() {
-                        let d = squared_distance(p, centroid);
-                        if d < best_d {
-                            best_d = d;
-                            best = c;
-                        }
-                    }
+                    let (best, best_d) =
+                        nearest_row(p, &centroids, dims).expect("k >= 1 centroids");
                     *slot = best;
                     local_inertia += best_d;
                 }

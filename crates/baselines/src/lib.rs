@@ -47,6 +47,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+mod cellgrid;
 pub mod clique;
 pub mod clusterers;
 pub mod clustering;
@@ -72,7 +73,7 @@ pub use dbscan::{dbscan, DbscanConfig};
 pub use dip::{dip_statistic, dip_test, skinnydip, unidip, SkinnyDipConfig};
 pub use dipmeans::{dipmeans, dipmeans_with_centroids, DipMeansConfig};
 pub use em::{em, EmConfig, GaussianMixture};
-pub use kdtree::KdTree;
+pub use kdtree::{KdIndex, KdTree};
 pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
 pub use meanshift::{mean_shift, MeanShiftConfig, MeanShiftKernel};
 pub use models::{CentroidModel, EmModel, IntervalModel, MeanShiftModel, NearestTrainingModel};

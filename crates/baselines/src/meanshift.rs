@@ -7,10 +7,13 @@
 //! explicit noise notion — modes supported by very few points can optionally
 //! be treated as noise via `min_cluster_size`.
 
+use std::borrow::Cow;
+
 use adawave_api::{PointMatrix, PointsView};
 use adawave_runtime::Runtime;
 
-use crate::{Clustering, KdTree};
+use crate::cellgrid::CellGrid;
+use crate::{Clustering, KdIndex};
 
 /// Rows per parallel work unit of the mode-seeking pass (fixed so the
 /// chunking never depends on the thread count).
@@ -75,7 +78,7 @@ impl MeanShiftConfig {
 /// a training point re-predicted lands on exactly the same mode).
 pub(crate) struct ModeSeeker<'a> {
     points: PointsView<'a>,
-    tree: KdTree<'a>,
+    index: Cow<'a, KdIndex>,
     bandwidth: f64,
     two_sigma_sq: f64,
     kernel: MeanShiftKernel,
@@ -92,10 +95,30 @@ impl<'a> ModeSeeker<'a> {
         max_iterations: usize,
         tolerance: f64,
     ) -> Self {
+        Self::with_index(
+            points,
+            Cow::Owned(KdIndex::build(points)),
+            bandwidth,
+            kernel,
+            max_iterations,
+            tolerance,
+        )
+    }
+
+    /// Reuse an already-built index over `points` (trained models cache
+    /// one, so serving a single point does not re-index the training set).
+    pub(crate) fn with_index(
+        points: PointsView<'a>,
+        index: Cow<'a, KdIndex>,
+        bandwidth: f64,
+        kernel: MeanShiftKernel,
+        max_iterations: usize,
+        tolerance: f64,
+    ) -> Self {
         let bandwidth = bandwidth.max(1e-12);
         Self {
             points,
-            tree: KdTree::build(points),
+            index,
             bandwidth,
             two_sigma_sq: 2.0 * bandwidth * bandwidth,
             kernel,
@@ -109,7 +132,9 @@ impl<'a> ModeSeeker<'a> {
     pub(crate) fn seek(&self, point: &[f64], current: &mut [f64], mean: &mut [f64]) {
         current.copy_from_slice(point);
         for _ in 0..self.max_iterations {
-            let neighbors = self.tree.within_radius(current, self.bandwidth);
+            let neighbors = self
+                .index
+                .within_radius(self.points, current, self.bandwidth);
             if neighbors.is_empty() {
                 break;
             }
@@ -119,11 +144,7 @@ impl<'a> ModeSeeker<'a> {
                 let weight = match self.kernel {
                     MeanShiftKernel::Flat => 1.0,
                     MeanShiftKernel::Gaussian => {
-                        let d2: f64 = current
-                            .iter()
-                            .zip(self.points.row(j).iter())
-                            .map(|(a, b)| (a - b) * (a - b))
-                            .sum();
+                        let d2 = adawave_linalg::squared_distance(current, self.points.row(j));
                         (-d2 / self.two_sigma_sq).exp()
                     }
                 };
@@ -135,17 +156,19 @@ impl<'a> ModeSeeker<'a> {
             for m in mean.iter_mut() {
                 *m /= total_weight;
             }
-            let shift: f64 = mean
-                .iter()
-                .zip(current.iter())
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum::<f64>()
-                .sqrt();
+            let shift = adawave_linalg::squared_distance(mean, current).sqrt();
             current.copy_from_slice(mean);
             if shift < self.tolerance {
                 break;
             }
         }
+    }
+
+    /// The exact merge predicate: Euclidean distance (rooted — the strict
+    /// `<=` comparison must happen in distance space to keep merge
+    /// decisions bit-identical to the historical scan) within the radius.
+    pub(crate) fn within_merge_radius(rep: &[f64], mode: &[f64], merge_radius: f64) -> bool {
+        adawave_linalg::squared_distance(mode, rep).sqrt() <= merge_radius
     }
 
     /// The first representative (in creation order) within the merge
@@ -156,15 +179,9 @@ impl<'a> ModeSeeker<'a> {
         mode: &[f64],
         merge_radius: f64,
     ) -> Option<usize> {
-        representatives.rows().position(|rep| {
-            let d: f64 = mode
-                .iter()
-                .zip(rep.iter())
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum::<f64>()
-                .sqrt();
-            d <= merge_radius
-        })
+        representatives
+            .rows()
+            .position(|rep| Self::within_merge_radius(rep, mode, merge_radius))
     }
 }
 
@@ -222,15 +239,30 @@ pub(crate) fn mean_shift_parts(
         PointMatrix::from_flat(buffer, dims).expect("n x dims by construction")
     };
 
-    // Merge modes closer than bandwidth / 2 into a single cluster.
+    // Merge modes closer than bandwidth / 2 into a single cluster. A hash
+    // grid over 2×merge_radius cells prunes the representative scan to the
+    // 3^d surrounding cells; the exact [`ModeSeeker::merge_to`] predicate
+    // decides on the candidates and the minimum matching index equals the
+    // linear scan's first match, so labels are identical to brute force
+    // (which remains the fallback for degenerate radii or high dims).
     let merge_radius = bandwidth / 2.0;
     let mut representatives = PointMatrix::new(dims);
     let mut assignment: Vec<Option<usize>> = Vec::with_capacity(n);
+    let mut grid = CellGrid::try_new(dims, merge_radius);
     for mode in modes.rows() {
-        match ModeSeeker::merge_to(&representatives, mode, merge_radius) {
+        let found = match grid.as_mut() {
+            Some(grid) => grid.min_matching(mode, |c| {
+                ModeSeeker::within_merge_radius(representatives.row(c), mode, merge_radius)
+            }),
+            None => ModeSeeker::merge_to(&representatives, mode, merge_radius),
+        };
+        match found {
             Some(c) => assignment.push(Some(c)),
             None => {
                 representatives.push_row(mode);
+                if let Some(grid) = grid.as_mut() {
+                    grid.insert(representatives.len() - 1, mode);
+                }
                 assignment.push(Some(representatives.len() - 1));
             }
         }
@@ -300,6 +332,24 @@ mod tests {
         let clustering = mean_shift(points.view(), &config);
         let score = ami(&truth, &clustering.to_labels(NOISE_LABEL));
         assert!(score > 0.9, "AMI {score}");
+    }
+
+    #[test]
+    fn grid_accelerated_mode_merge_matches_brute_force_scan() {
+        // Padding every point with constant-zero dimensions changes no
+        // distance and no mode trajectory, but pushes the dimensionality
+        // past the cell grid's limit, so mode merging falls back to the
+        // brute-force linear scan. Labels must match the grid-accelerated
+        // 2-d run point for point.
+        let (points, _) = three_blobs();
+        let mut padded = PointMatrix::new(5);
+        for row in points.rows() {
+            padded.push_row(&[row[0], row[1], 0.0, 0.0, 0.0]);
+        }
+        let config = MeanShiftConfig::new(0.15);
+        let accelerated = mean_shift(points.view(), &config);
+        let brute = mean_shift(padded.view(), &config);
+        assert_eq!(accelerated, brute);
     }
 
     #[test]

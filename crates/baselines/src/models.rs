@@ -16,7 +16,7 @@ use adawave_linalg::{squared_distance, Matrix};
 
 use crate::em::GaussianMixture;
 use crate::meanshift::{MeanShiftConfig, MeanShiftKernel, ModeSeeker};
-use crate::{Clustering, KdTree};
+use crate::{Clustering, KdIndex};
 
 /// Append a point matrix as bare rows of hex-encoded floats — the row
 /// format every persistable baseline model shares.
@@ -368,6 +368,9 @@ impl Model for EmModel {
 /// a region no training point reached is noise.
 pub struct MeanShiftModel {
     training: PointMatrix,
+    /// kd-index over `training`, built once at fit/load time so every
+    /// `predict_one` call serves without re-indexing the training set.
+    index: KdIndex,
     bandwidth: f64,
     kernel: MeanShiftKernel,
     max_iterations: usize,
@@ -389,8 +392,11 @@ impl MeanShiftModel {
             .enumerate()
             .map(|(c, &keep)| keep.then(|| remap[c]))
             .collect();
+        let training = points.to_matrix();
+        let index = KdIndex::build(training.view());
         let model = Self {
-            training: points.to_matrix(),
+            training,
+            index,
             bandwidth: config.bandwidth.max(1e-12),
             kernel: config.kernel,
             max_iterations: config.max_iterations,
@@ -431,8 +437,10 @@ impl MeanShiftModel {
         let representatives =
             read_matrix(&mut reader, reps, dims).map_err(|e| format!("representatives: {e}"))?;
         let training = read_matrix(&mut reader, n, dims).map_err(|e| format!("training: {e}"))?;
+        let index = KdIndex::build(training.view());
         Ok(Self {
             training,
+            index,
             bandwidth,
             kernel,
             max_iterations,
@@ -442,9 +450,11 @@ impl MeanShiftModel {
         })
     }
 
+    /// A seeker borrowing the cached training index — no per-call rebuild.
     fn seeker(&self) -> ModeSeeker<'_> {
-        ModeSeeker::new(
+        ModeSeeker::with_index(
             self.training.view(),
+            std::borrow::Cow::Borrowed(&self.index),
             self.bandwidth,
             self.kernel,
             self.max_iterations,
@@ -478,9 +488,8 @@ impl Model for MeanShiftModel {
         self.training.dims()
     }
 
-    /// Note: each call re-indexes the training set for the neighborhood
-    /// queries (`O(n log n)`); batch [`predict`](Model::predict) builds
-    /// the index once for the whole batch.
+    /// Serves from the kd-index cached at fit/load time — no per-call
+    /// re-indexing of the training set.
     fn predict_one(&self, point: &[f64]) -> Option<usize> {
         if point.len() != self.dims() {
             return None;
@@ -634,12 +643,15 @@ impl Model for IntervalModel {
 /// The honest fallback for algorithms with no natural out-of-sample rule
 /// (DBSCAN, OPTICS, WaveCluster, STING, CLIQUE, SYNC, spectral, dip-based,
 /// RIC): predict the label of the nearest training point through the
-/// existing [`KdTree`]. This memorizes the training batch; a query equal
+/// a cached [`KdIndex`]. This memorizes the training batch; a query equal
 /// to a training point reproduces that point's fit label (including
 /// noise), which is what makes training predictions exact.
 pub struct NearestTrainingModel {
     algorithm: String,
     training: PointMatrix,
+    /// kd-index over `training`, built once at construction/load so every
+    /// `predict_one` call serves without re-indexing the training set.
+    index: KdIndex,
     labels: Vec<Option<usize>>,
 }
 
@@ -650,18 +662,21 @@ impl NearestTrainingModel {
         points: PointsView<'_>,
         clustering: &Clustering,
     ) -> Self {
+        let training = points.to_matrix();
+        let index = KdIndex::build(training.view());
         Self {
             algorithm: algorithm.into(),
-            training: points.to_matrix(),
+            training,
+            index,
             labels: clustering.assignment().to_vec(),
         }
     }
 
-    fn classify(&self, tree: &KdTree<'_>, point: &[f64]) -> Option<usize> {
+    fn classify(&self, point: &[f64]) -> Option<usize> {
         if !point.iter().all(|v| v.is_finite()) {
             return None;
         }
-        let nearest = tree.nearest(point, 1);
+        let nearest = self.index.nearest(self.training.view(), point, 1);
         nearest.first().and_then(|&(i, _)| self.labels[i])
     }
 
@@ -674,9 +689,11 @@ impl NearestTrainingModel {
         let n: usize = reader.scalar("points")?;
         let labels = parse_labels(reader.field("labels")?, n)?;
         let training = read_matrix(&mut reader, n, dims).map_err(|e| format!("training: {e}"))?;
+        let index = KdIndex::build(training.view());
         Ok(Self {
             algorithm: algorithm.to_string(),
             training,
+            index,
             labels,
         })
     }
@@ -691,21 +708,19 @@ impl Model for NearestTrainingModel {
         self.training.dims()
     }
 
-    /// Note: each call re-indexes the training set (`O(n log n)`); batch
-    /// [`predict`](Model::predict) builds the index once.
+    /// Serves from the kd-index cached at construction/load time — no
+    /// per-call re-indexing of the training set.
     fn predict_one(&self, point: &[f64]) -> Option<usize> {
         if point.len() != self.dims() {
             return None;
         }
-        let tree = KdTree::build(self.training.view());
-        self.classify(&tree, point)
+        self.classify(point)
     }
 
     fn predict(&self, points: PointsView<'_>) -> Result<Clustering, ClusterError> {
         validate_predict_input(self.dims(), points)?;
-        let tree = KdTree::build(self.training.view());
         Ok(Clustering::new(
-            points.rows().map(|p| self.classify(&tree, p)).collect(),
+            points.rows().map(|p| self.classify(p)).collect(),
         ))
     }
 

@@ -8,6 +8,7 @@
 //! running DBSCAN at that radius but without re-running the expansion.
 
 use adawave_api::PointsView;
+use adawave_linalg::{euclidean_distance, squared_distance};
 
 use crate::{Clustering, KdTree};
 
@@ -127,16 +128,19 @@ pub fn optics_ordering(points: PointsView<'_>, max_eps: f64, min_points: usize) 
     let mut reach = vec![f64::INFINITY; n];
 
     let core_distance = |idx: usize| -> Option<f64> {
+        // Sort *squared* distances and root the order statistic once at
+        // the edge: IEEE sqrt is monotone, so the selected value is
+        // bit-identical to sorting rooted distances.
         let mut dists: Vec<f64> = tree
             .within_radius(points.row(idx), max_eps)
             .into_iter()
-            .map(|j| euclidean(points.row(idx), points.row(j)))
+            .map(|j| squared_distance(points.row(idx), points.row(j)))
             .collect();
         if dists.len() < min_points {
             return None;
         }
         dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        Some(dists[min_points - 1])
+        Some(dists[min_points - 1].sqrt())
     };
 
     for start in 0..n {
@@ -169,7 +173,12 @@ pub fn optics_ordering(points: PointsView<'_>, max_eps: f64, min_points: usize) 
                     if processed[j] {
                         continue;
                     }
-                    let new_reach = core.max(euclidean(points.row(current), points.row(j)));
+                    // Stays in *distance* space deliberately: `new_reach`
+                    // feeds the strict `<` seed-ordering comparisons, and
+                    // distinct squared values can round to equal roots —
+                    // rewriting this to squared space could reorder seeds.
+                    let new_reach =
+                        core.max(euclidean_distance(points.row(current), points.row(j)));
                     if new_reach < reach[j] {
                         if reach[j].is_infinite() {
                             seeds.push(j);
@@ -187,14 +196,6 @@ pub fn optics_ordering(points: PointsView<'_>, max_eps: f64, min_points: usize) 
 pub fn optics(points: PointsView<'_>, config: &OpticsConfig) -> Clustering {
     optics_ordering(points, config.max_eps, config.min_points)
         .extract_dbscan_clustering(config.extraction_eps)
-}
-
-fn euclidean(a: &[f64], b: &[f64]) -> f64 {
-    a.iter()
-        .zip(b.iter())
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum::<f64>()
-        .sqrt()
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@
 use adawave_api::{PointMatrix, PointsView};
 use adawave_runtime::Runtime;
 
+use crate::cellgrid::CellGrid;
 use crate::{Clustering, KdTree};
 
 /// Oscillators per parallel work unit of a synchronization round (fixed so
@@ -124,26 +125,32 @@ pub fn sync_cluster(points: PointsView<'_>, config: &SyncConfig) -> Clustering {
     }
 
     // Group synchronized points: two points belong to the same group when
-    // every coordinate agrees within the merge tolerance. A grid hash over
-    // merge_tolerance-sized cells keeps this linear.
+    // every coordinate agrees within the merge tolerance. A hash grid over
+    // 2×merge_tolerance-sized cells prunes the representative scan to the
+    // 3^d surrounding cells (label-identical to the linear scan: the grid
+    // probes a guaranteed candidate superset, the exact predicate decides,
+    // and the minimum matching group id equals the scan's first match);
+    // degenerate tolerances or high dims fall back to the linear scan.
     let mut assignment: Vec<Option<usize>> = vec![None; n];
     let mut groups = PointMatrix::new(dims);
+    let mut grid = CellGrid::try_new(dims, config.merge_tolerance);
     for (i, s) in state.rows().enumerate() {
-        let mut found = None;
-        for (g, rep) in groups.rows().enumerate() {
-            if rep
-                .iter()
+        let synced = |rep: &[f64]| {
+            rep.iter()
                 .zip(s.iter())
                 .all(|(a, b)| (a - b).abs() <= config.merge_tolerance)
-            {
-                found = Some(g);
-                break;
-            }
-        }
+        };
+        let found = match grid.as_mut() {
+            Some(grid) => grid.min_matching(s, |g| synced(groups.row(g))),
+            None => groups.rows().position(synced),
+        };
         match found {
             Some(g) => assignment[i] = Some(g),
             None => {
                 groups.push_row(s);
+                if let Some(grid) = grid.as_mut() {
+                    grid.insert(groups.len() - 1, s);
+                }
                 assignment[i] = Some(groups.len() - 1);
             }
         }
@@ -244,6 +251,24 @@ mod tests {
             );
             assert_eq!(sequential, parallel, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn grid_accelerated_grouping_matches_brute_force_scan() {
+        // Padding every point with constant-zero dimensions changes no
+        // distance and no oscillator dynamics, but pushes the
+        // dimensionality past the cell grid's limit, so the grouping falls
+        // back to the brute-force linear scan. The resulting labels must
+        // match the grid-accelerated 2-d run point for point.
+        let (points, _) = two_blobs();
+        let mut padded = PointMatrix::new(5);
+        for row in points.rows() {
+            padded.push_row(&[row[0], row[1], 0.0, 0.0, 0.0]);
+        }
+        let config = SyncConfig::new(0.12);
+        let accelerated = sync_cluster(points.view(), &config);
+        let brute = sync_cluster(padded.view(), &config);
+        assert_eq!(accelerated, brute);
     }
 
     #[test]

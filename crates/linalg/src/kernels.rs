@@ -1,0 +1,283 @@
+//! Autovectorization-friendly distance kernels over flat row-major buffers.
+//!
+//! This module is the single home for the workspace's hottest scalar loops:
+//! squared Euclidean distance (with dimension-specialized bodies for the
+//! d = 2 and d = 3 cases the paper's workloads live in) and fused
+//! min+argmin scans over a flat row-major matrix of candidate rows
+//! (k-means assignment, nearest-centroid serving). The loops are written
+//! as straight-line arithmetic over slices with the bounds checks hoisted,
+//! which LLVM reliably autovectorizes; no `unsafe` and no explicit SIMD
+//! intrinsics are involved.
+//!
+//! ## Bit-exactness contract
+//!
+//! Every kernel here is **bit-identical** to the scalar reference it
+//! replaces, for all inputs:
+//!
+//! - [`squared_distance`] dispatches on the dimension, and each
+//!   specialized body performs the *same additions in the same order* as
+//!   the generic `Σ (aᵢ − bᵢ)²` left-to-right sum. (For d = 2:
+//!   `(0.0 + d₀²) + d₁²` is bit-equal to `d₀² + d₁²` because `0.0 + x == x`
+//!   for every `x` that is a product of a real subtraction — squares are
+//!   non-negative, and `(-0.0)·(-0.0)` is `+0.0`.)
+//! - [`nearest_row`] / [`nearest_row_in`] implement first-index-wins
+//!   strict-`<` argmin, the same tie-breaking as the scalar loops they
+//!   replace, comparing *squared* distances so `sqrt` never runs inside
+//!   the scan.
+//!
+//! Callers that need an actual distance take the square root once at the
+//! edge ([`euclidean_distance`](crate::euclidean_distance)). IEEE-754
+//! `sqrt` is correctly rounded and weakly monotone, so minima/maxima and
+//! order statistics of a distance multiset can be computed on squared
+//! values and rooted afterwards with bit-identical results. Strict
+//! comparisons between *distinct* values are the one place this rewrite
+//! is **not** sound (two distinct squared values can round to the same
+//! square root); call sites whose control flow depends on such
+//! comparisons keep their `sqrt` (see `adawave-baselines`' OPTICS
+//! reachability loop).
+
+/// Squared Euclidean distance between two points, dimension-dispatched.
+///
+/// Bit-identical to the generic left-to-right `Σ (aᵢ − bᵢ)²` for every
+/// dimension: d = 2 and d = 3 get fully unrolled straight-line bodies
+/// (same addition order, no FMA), and all other dimensions run a generic
+/// loop in the identical order.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "squared_distance: length mismatch");
+    match a.len() {
+        2 => squared_distance_d2(a, b),
+        3 => squared_distance_d3(a, b),
+        _ => squared_distance_generic(a, b),
+    }
+}
+
+/// Fully unrolled d = 2 squared distance.
+///
+/// # Panics
+/// Panics if either slice has fewer than 2 elements.
+#[inline]
+pub fn squared_distance_d2(a: &[f64], b: &[f64]) -> f64 {
+    let d0 = a[0] - b[0];
+    let d1 = a[1] - b[1];
+    d0 * d0 + d1 * d1
+}
+
+/// Fully unrolled d = 3 squared distance.
+///
+/// # Panics
+/// Panics if either slice has fewer than 3 elements.
+#[inline]
+pub fn squared_distance_d3(a: &[f64], b: &[f64]) -> f64 {
+    let d0 = a[0] - b[0];
+    let d1 = a[1] - b[1];
+    let d2 = a[2] - b[2];
+    (d0 * d0 + d1 * d1) + d2 * d2
+}
+
+/// Generic-dimension squared distance, left-to-right accumulation.
+#[inline]
+fn squared_distance_generic(a: &[f64], b: &[f64]) -> f64 {
+    // `-0.0` is the identity `Iterator::sum::<f64>()` folds from, and
+    // `-0.0 + x == x` bitwise for every non-negative square — so this
+    // matches the iterator reference even for zero-dimensional inputs.
+    let mut acc = -0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Fused min+argmin scan: index of the row of `rows` (flat row-major,
+/// `dims` values per row) nearest to `point`, plus that row's *squared*
+/// distance. First index wins ties (strict `<` update), matching the
+/// scalar assignment loops this replaces bit for bit. `sqrt` is deferred
+/// entirely — callers that need the distance root the returned value once.
+///
+/// Returns `None` when `rows` is empty.
+///
+/// # Panics
+/// Panics if `point.len() != dims` or `rows.len()` is not a multiple of
+/// `dims` (programming error).
+#[inline]
+pub fn nearest_row(point: &[f64], rows: &[f64], dims: usize) -> Option<(usize, f64)> {
+    assert_eq!(point.len(), dims, "nearest_row: point/dims mismatch");
+    assert_eq!(rows.len() % dims, 0, "nearest_row: ragged row buffer");
+    match dims {
+        2 => nearest_row_dispatch(point, rows, dims, squared_distance_d2),
+        3 => nearest_row_dispatch(point, rows, dims, squared_distance_d3),
+        _ => nearest_row_dispatch(point, rows, dims, squared_distance_generic),
+    }
+}
+
+/// The argmin body, monomorphized per distance kernel so the d = 2/d = 3
+/// cases inline into a branch-free compare loop.
+#[inline]
+fn nearest_row_dispatch(
+    point: &[f64],
+    rows: &[f64],
+    dims: usize,
+    dist2: impl Fn(&[f64], &[f64]) -> f64,
+) -> Option<(usize, f64)> {
+    let mut any = false;
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (i, row) in rows.chunks_exact(dims).enumerate() {
+        any = true;
+        let d = dist2(point, row);
+        // Strict `<`, exactly like the scalar loops this replaces: ties
+        // keep the earlier index, and a NaN distance never wins.
+        if d < best_d {
+            best = i;
+            best_d = d;
+        }
+    }
+    any.then_some((best, best_d))
+}
+
+/// Like [`nearest_row`], but restricted to the candidate row indices in
+/// `candidates` (still first-wins in *candidate order*). Used by
+/// grid-accelerated neighbor paths that prefilter candidates.
+///
+/// Returns `None` when `candidates` is empty.
+///
+/// # Panics
+/// Panics on dimension mismatch or an out-of-bounds candidate index.
+#[inline]
+pub fn nearest_row_in(
+    point: &[f64],
+    rows: &[f64],
+    dims: usize,
+    candidates: &[usize],
+) -> Option<(usize, f64)> {
+    assert_eq!(point.len(), dims, "nearest_row_in: point/dims mismatch");
+    let mut best: Option<(usize, f64)> = None;
+    for &i in candidates {
+        let row = &rows[i * dims..(i + 1) * dims];
+        let d = squared_distance(point, row);
+        let better = match best {
+            None => true,
+            Some((_, bd)) => d < bd,
+        };
+        if better {
+            best = Some((i, d));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The pre-kernel scalar reference: iterator zip/map/sum.
+    fn reference_squared(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| {
+                let d = x - y;
+                d * d
+            })
+            .sum()
+    }
+
+    /// The pre-kernel scalar argmin (k-means assignment shape).
+    fn reference_argmin(point: &[f64], rows: &[f64], dims: usize) -> Option<(usize, f64)> {
+        let mut best = usize::MAX;
+        let mut best_d = f64::INFINITY;
+        for (c, row) in rows.chunks_exact(dims).enumerate() {
+            let d = reference_squared(point, row);
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        (best != usize::MAX).then_some((best, best_d))
+    }
+
+    #[test]
+    fn dispatch_matches_reference_bitwise_small_dims() {
+        // Values chosen to exercise rounding: irrational-ish magnitudes at
+        // very different scales so addition order matters if it differs.
+        let a = [1.0e8 + 0.1, -3.14159274, 2.718281828e-8, 7.5];
+        let b = [-2.5e7, 2.236067977, -1.4142135623e-8, 0.1];
+        for d in 0..=4 {
+            let x = &a[..d];
+            let y = &b[..d];
+            assert_eq!(
+                squared_distance(x, y).to_bits(),
+                reference_squared(x, y).to_bits(),
+                "d={d}"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_zero_components_stay_bit_identical() {
+        let a = [-0.0, 0.0];
+        let b = [0.0, -0.0];
+        assert_eq!(
+            squared_distance(&a, &b).to_bits(),
+            reference_squared(&a, &b).to_bits()
+        );
+        assert_eq!(squared_distance(&a, &a).to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn argmin_first_index_wins_on_ties() {
+        // Two identical rows: the scalar loop keeps the first.
+        let rows = [1.0, 1.0, 1.0, 1.0, 0.0, 0.0];
+        let got = nearest_row(&[1.0, 1.0], &rows, 2).unwrap();
+        assert_eq!(got, (0, 0.0));
+    }
+
+    #[test]
+    fn argmin_matches_reference_on_a_sweep() {
+        // Deterministic pseudo-random sweep (LCG) over dims 1..=5.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64) / (u32::MAX as f64) * 10.0 - 5.0
+        };
+        for dims in 1..=5 {
+            for rows_n in [1usize, 2, 7, 33] {
+                let rows: Vec<f64> = (0..rows_n * dims).map(|_| next()).collect();
+                let point: Vec<f64> = (0..dims).map(|_| next()).collect();
+                let got = nearest_row(&point, &rows, dims);
+                let want = reference_argmin(&point, &rows, dims);
+                assert_eq!(
+                    got.map(|(i, d)| (i, d.to_bits())),
+                    want.map(|(i, d)| (i, d.to_bits())),
+                    "dims={dims} rows={rows_n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_row_empty_is_none() {
+        assert_eq!(nearest_row(&[0.0, 0.0], &[], 2), None);
+        assert_eq!(nearest_row_in(&[0.0, 0.0], &[1.0, 1.0], 2, &[]), None);
+    }
+
+    #[test]
+    fn nearest_row_in_respects_candidate_order() {
+        let rows = [0.0, 0.0, 5.0, 5.0, 0.0, 0.0];
+        // Candidates listed as 2 then 0: both distance 0, first-in-order wins.
+        assert_eq!(
+            nearest_row_in(&[0.0, 0.0], &rows, 2, &[2, 0]),
+            Some((2, 0.0))
+        );
+        assert_eq!(nearest_row_in(&[0.0, 0.0], &rows, 2, &[1]), Some((1, 50.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn squared_distance_length_mismatch_panics() {
+        let _ = squared_distance(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -11,7 +11,10 @@
 //! The crate is deliberately simple: row-major `Vec<f64>` storage, `O(n^3)`
 //! textbook algorithms, and exhaustive tests. Matrix sizes in this project
 //! are tiny (dimensions `d <= 64`, spectral problems subsampled to a few
-//! hundred points), so clarity wins over micro-optimization.
+//! hundred points), so clarity wins over micro-optimization — except in
+//! [`kernels`], the one hot-loop module, whose dimension-specialized
+//! distance and fused argmin scans are written for reliable
+//! autovectorization while staying bit-identical to the scalar reference.
 //!
 //! ## Quick example
 //!
@@ -29,6 +32,7 @@
 
 pub mod cholesky;
 pub mod eigen;
+pub mod kernels;
 pub mod lu;
 pub mod matrix;
 pub mod stats;
@@ -36,6 +40,7 @@ pub mod vector;
 
 pub use cholesky::Cholesky;
 pub use eigen::{jacobi_eigen, EigenDecomposition};
+pub use kernels::{nearest_row, nearest_row_in};
 pub use lu::Lu;
 pub use matrix::Matrix;
 pub use stats::{covariance_matrix, mean_vector, pearson_correlation, standardize_columns};

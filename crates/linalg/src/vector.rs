@@ -16,17 +16,15 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
 
 /// Squared Euclidean distance between two points.
 ///
+/// Delegates to the dimension-dispatched kernel in
+/// [`crate::kernels`]; bit-identical to the plain left-to-right
+/// `Σ (aᵢ − bᵢ)²` sum for every dimension.
+///
 /// # Panics
 /// Panics if the slices have different lengths.
+#[inline]
 pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "squared_distance: length mismatch");
-    a.iter()
-        .zip(b.iter())
-        .map(|(x, y)| {
-            let d = x - y;
-            d * d
-        })
-        .sum()
+    crate::kernels::squared_distance(a, b)
 }
 
 /// Euclidean (L2) distance between two points.

@@ -125,4 +125,55 @@ proptest! {
             prop_assert!(cov[(i, i)] >= -1e-9);
         }
     }
+
+    #[test]
+    fn dispatched_squared_distance_is_bit_identical_to_scalar_fold(
+        dims in 1usize..6,
+        raw in prop::collection::vec(-1e6f64..1e6, 12),
+    ) {
+        // The dim-specialized kernels must never be "close" to the plain
+        // left-to-right scalar accumulation — they must be the *same bits*,
+        // because the f64 lane's reproducibility contract is bitwise.
+        let a = &raw[..dims];
+        let b = &raw[6..6 + dims];
+        let scalar = a.iter().zip(b.iter()).fold(0.0f64, |acc, (x, y)| {
+            let d = x - y;
+            acc + d * d
+        });
+        let kernel = adawave_linalg::squared_distance(a, b);
+        prop_assert_eq!(kernel.to_bits(), scalar.to_bits());
+    }
+
+    #[test]
+    fn fused_argmin_matches_scalar_reference_loop(
+        dims in 1usize..5,
+        rows in prop::collection::vec(-100.0f64..100.0, 1..120),
+        point in small_vec(4),
+    ) {
+        // nearest_row must pick the same row index — first minimum wins —
+        // and the same squared distance (bitwise) as the scalar loop the
+        // call sites used to carry.
+        let point = &point[..dims];
+        let usable = rows.len() / dims * dims;
+        let rows = &rows[..usable];
+        if rows.is_empty() {
+            prop_assert!(adawave_linalg::nearest_row(point, rows, dims).is_none());
+            return Ok(());
+        }
+        let mut best = 0usize;
+        let mut best_d = f64::MAX;
+        for (r, row) in rows.chunks_exact(dims).enumerate() {
+            let d = row
+                .iter()
+                .zip(point.iter())
+                .fold(0.0f64, |acc, (x, y)| { let t = x - y; acc + t * t });
+            if d < best_d {
+                best = r;
+                best_d = d;
+            }
+        }
+        let (idx, d2) = adawave_linalg::nearest_row(point, rows, dims).unwrap();
+        prop_assert_eq!(idx, best);
+        prop_assert_eq!(d2.to_bits(), best_d.to_bits());
+    }
 }

@@ -20,16 +20,7 @@
 //! the paper excludes noise points from AMI on the synthetic benchmarks.
 
 use adawave_api::{PointMatrix, PointsView};
-
-/// Squared Euclidean distance between two points.
-fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
-}
-
-/// Euclidean distance between two points.
-fn distance(a: &[f64], b: &[f64]) -> f64 {
-    squared_distance(a, b).sqrt()
-}
+use adawave_linalg::{euclidean_distance as distance, squared_distance};
 
 /// Collect the indices of the members of each cluster, ignoring noise.
 /// Returns an empty vector if labels and points disagree in length.
@@ -202,28 +193,34 @@ pub fn dunn_index(points: PointsView<'_>, labels: &[Option<usize>]) -> f64 {
     if k < 2 {
         return 0.0;
     }
-    let mut max_diameter: f64 = 0.0;
+    // Both extrema scan *squared* distances and take the root once at the
+    // edge: IEEE sqrt is monotone, so min/max commute with it and the
+    // result is bit-identical to rooting inside the loops.
+    let mut max_diameter_sq: f64 = 0.0;
     for m in &members {
         for (a_pos, &a) in m.iter().enumerate() {
             for &b in &m[a_pos + 1..] {
-                max_diameter = max_diameter.max(distance(points.row(a), points.row(b)));
+                max_diameter_sq =
+                    max_diameter_sq.max(squared_distance(points.row(a), points.row(b)));
             }
         }
     }
+    let max_diameter = max_diameter_sq.sqrt();
     if max_diameter <= 0.0 {
         return 0.0;
     }
-    let mut min_separation = f64::MAX;
+    let mut min_separation_sq = f64::MAX;
     for i in 0..k {
         for j in i + 1..k {
             for &a in &members[i] {
                 for &b in &members[j] {
-                    min_separation = min_separation.min(distance(points.row(a), points.row(b)));
+                    min_separation_sq =
+                        min_separation_sq.min(squared_distance(points.row(a), points.row(b)));
                 }
             }
         }
     }
-    min_separation / max_diameter
+    min_separation_sq.sqrt() / max_diameter
 }
 
 #[cfg(test)]

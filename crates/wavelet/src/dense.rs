@@ -165,14 +165,26 @@ impl DenseGrid {
         let (starts, stride) = self.lanes(axis);
         runtime
             .par_chunks(&starts, LANE_CHUNK, |_, chunk| {
-                let mut lane = vec![0.0; axis_len];
-                chunk
-                    .iter()
-                    .map(|&start| {
-                        self.read_lane(start, stride, &mut lane);
-                        f(&lane)
-                    })
-                    .collect::<Vec<O>>()
+                if stride == 1 {
+                    // Contiguous lanes (the innermost axis): hand the
+                    // transform a direct slice of the grid. Skipping the
+                    // gather is bit-identical — `f` sees the same values —
+                    // and lets its convolution loops run over unit-stride
+                    // memory the compiler can vectorize.
+                    chunk
+                        .iter()
+                        .map(|&start| f(&self.data[start..start + axis_len]))
+                        .collect::<Vec<O>>()
+                } else {
+                    let mut lane = vec![0.0; axis_len];
+                    chunk
+                        .iter()
+                        .map(|&start| {
+                            self.read_lane(start, stride, &mut lane);
+                            f(&lane)
+                        })
+                        .collect::<Vec<O>>()
+                }
             })
             .into_iter()
             .flatten()
@@ -193,8 +205,13 @@ impl DenseGrid {
         let (new_starts, new_stride) = out.lanes(axis);
         let transformed: Vec<Vec<f64>> = self.transform_lanes(axis, runtime, f);
         for (lane_out, &new_start) in transformed.iter().zip(new_starts.iter()) {
-            for (k, &v) in lane_out.iter().enumerate() {
-                out.data[new_start + k * new_stride] = v;
+            if new_stride == 1 {
+                // Contiguous scatter for the innermost axis.
+                out.data[new_start..new_start + lane_out.len()].copy_from_slice(lane_out);
+            } else {
+                for (k, &v) in lane_out.iter().enumerate() {
+                    out.data[new_start + k * new_stride] = v;
+                }
             }
         }
         out
@@ -232,11 +249,17 @@ impl DenseGrid {
         let transformed: Vec<(Vec<f64>, Vec<f64>)> =
             self.transform_lanes(axis, runtime, |lane| dwt1d(lane, bank, mode));
         for ((a, d), &new_start) in transformed.iter().zip(new_starts.iter()) {
-            for (k, &v) in a.iter().enumerate() {
-                approx.data[new_start + k * new_stride] = v;
-            }
-            for (k, &v) in d.iter().enumerate() {
-                detail.data[new_start + k * new_stride] = v;
+            if new_stride == 1 {
+                // Contiguous scatter for the innermost axis.
+                approx.data[new_start..new_start + a.len()].copy_from_slice(a);
+                detail.data[new_start..new_start + d.len()].copy_from_slice(d);
+            } else {
+                for (k, &v) in a.iter().enumerate() {
+                    approx.data[new_start + k * new_stride] = v;
+                }
+                for (k, &v) in d.iter().enumerate() {
+                    detail.data[new_start + k * new_stride] = v;
+                }
             }
         }
         (approx, detail)
@@ -430,6 +453,66 @@ mod tests {
             for j in 0..4 {
                 assert!((a.get(&[i, j]) - ar[j]).abs() < 1e-12);
                 assert!((d.get(&[i, j]) - dr[j]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn contiguous_lane_fast_path_is_bit_identical_to_gather() {
+        // Axis 1 of a 2-D grid has stride 1 (the contiguous fast path);
+        // axis 0 is strided (the gather path). Both must equal — bit for
+        // bit — a reference that extracts each lane with get() and runs
+        // the plain 1-D transforms, for every boundary mode and wavelet.
+        let mut g = DenseGrid::zeros(&[7, 9]);
+        let mut x = 0.37_f64;
+        for i in 0..7 {
+            for j in 0..9 {
+                x = (x * 97.0 + 0.31).fract();
+                g.set(&[i, j], x * 10.0 - 5.0);
+            }
+        }
+        for wavelet in [Wavelet::Haar, Wavelet::Cdf22, Wavelet::Daubechies2] {
+            let bank = wavelet.filter_bank();
+            for mode in [BoundaryMode::Zero, BoundaryMode::Periodic] {
+                for axis in [0usize, 1] {
+                    let (a, d) = g.dwt_axis(axis, &bank, mode);
+                    let lanes = g.shape()[1 - axis];
+                    let lane_len = g.shape()[axis];
+                    for lane_idx in 0..lanes {
+                        let lane: Vec<f64> = (0..lane_len)
+                            .map(|k| {
+                                let mut idx = [0usize; 2];
+                                idx[axis] = k;
+                                idx[1 - axis] = lane_idx;
+                                g.get(&idx)
+                            })
+                            .collect();
+                        let (ar, dr) = dwt1d(&lane, &bank, mode);
+                        let kernel = wavelet.density_smoothing_kernel();
+                        let lr = crate::dwt1d_lowpass(&lane, &kernel, mode);
+                        let low = g.lowpass_axis(axis, &kernel, mode);
+                        for k in 0..lane_len.div_ceil(2) {
+                            let mut idx = [0usize; 2];
+                            idx[axis] = k;
+                            idx[1 - axis] = lane_idx;
+                            assert_eq!(
+                                a.get(&idx).to_bits(),
+                                ar[k].to_bits(),
+                                "{wavelet} {mode:?} axis {axis} approx"
+                            );
+                            assert_eq!(
+                                d.get(&idx).to_bits(),
+                                dr[k].to_bits(),
+                                "{wavelet} {mode:?} axis {axis} detail"
+                            );
+                            assert_eq!(
+                                low.get(&idx).to_bits(),
+                                lr[k].to_bits(),
+                                "{wavelet} {mode:?} axis {axis} lowpass"
+                            );
+                        }
+                    }
+                }
             }
         }
     }
