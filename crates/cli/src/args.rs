@@ -16,6 +16,7 @@ pub struct ParsedArgs {
     pub command: String,
     options: BTreeMap<String, Vec<String>>,
     flags: Vec<String>,
+    positionals: Vec<String>,
 }
 
 /// Errors produced while parsing or interpreting the command line.
@@ -36,7 +37,7 @@ pub enum ArgError {
         /// What was expected.
         expected: String,
     },
-    /// A positional argument appeared where only options are allowed.
+    /// A positional argument appeared in a command that takes none.
     UnexpectedPositional(String),
 }
 
@@ -92,10 +93,25 @@ impl ParsedArgs {
                     _ => parsed.flags.push(name.to_string()),
                 }
             } else {
-                return Err(ArgError::UnexpectedPositional(arg));
+                parsed.positionals.push(arg);
             }
         }
         Ok(parsed)
+    }
+
+    /// Positional (non-option) arguments, in order. Commands that take
+    /// none should call [`reject_positionals`](Self::reject_positionals).
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// Error out on the first positional argument — for the commands
+    /// whose grammar is options-only.
+    pub fn reject_positionals(&self) -> Result<(), ArgError> {
+        match self.positionals.first() {
+            None => Ok(()),
+            Some(arg) => Err(ArgError::UnexpectedPositional(arg.clone())),
+        }
     }
 
     /// Raw value of an option, if present (the last one when repeated).
@@ -205,11 +221,17 @@ mod tests {
     }
 
     #[test]
-    fn unexpected_positional_is_rejected() {
+    fn positionals_collect_and_can_be_rejected() {
+        let args = ParsedArgs::parse(["script", "a.adw", "--list", "b.adw"]).unwrap();
+        assert_eq!(args.positionals(), ["a.adw"]);
+        assert!(args.reject_positionals().is_err());
         assert!(matches!(
-            ParsedArgs::parse(["cluster", "somefile.csv"]),
+            args.reject_positionals(),
             Err(ArgError::UnexpectedPositional(_))
         ));
+        let none = ParsedArgs::parse(["cluster", "--scale", "64"]).unwrap();
+        assert!(none.positionals().is_empty());
+        assert!(none.reject_positionals().is_ok());
     }
 
     #[test]

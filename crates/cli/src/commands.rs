@@ -29,14 +29,30 @@ use crate::args::{ArgError, ParsedArgs};
 pub enum CliError {
     /// Bad command line.
     Args(ArgError),
+    /// The command line parsed but the invocation is malformed (unknown
+    /// command, missing operands).
+    Usage(String),
     /// Anything that prevented the command from completing.
     Message(String),
+}
+
+impl CliError {
+    /// The process exit code for this error: `2` for usage errors
+    /// (bad/unknown command line), `1` for runtime and assertion
+    /// failures. Success is `0`, as usual.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Args(_) | CliError::Usage(_) => 2,
+            CliError::Message(_) => 1,
+        }
+    }
 }
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CliError::Args(e) => write!(f, "{e}"),
+            CliError::Usage(m) => write!(f, "{m}"),
             CliError::Message(m) => write!(f, "{m}"),
         }
     }
@@ -130,6 +146,14 @@ COMMANDS:
   sweep      AMI of AdaWave and the baselines across noise levels (mini Fig. 8)
              [--noise <list, default 20,50,80>] [--points-per-cluster <n>]
              [--seed <n>]
+  script     Run scenario scripts (the end-to-end regression DSL; the
+             golden corpus lives in scenarios/)
+             adawave script <file.adw>... [--list]
+             [--list] (dry-run: parse and print each script's test plans
+              without executing anything)
+             Prints a per-plan pass/fail report per file. Exit codes:
+             0 = every plan passed, 1 = a plan failed or a script could
+             not be parsed/read, 2 = usage error.
   list-algorithms
              Every registered algorithm with its parameters and defaults
   info       List the available algorithms, wavelets and threshold strategies
@@ -144,6 +168,11 @@ ALGORITHMS:
 
 /// Dispatch a parsed command line; returns the text to print on stdout.
 pub fn dispatch(args: &ParsedArgs) -> CliResult<String> {
+    // Only `script` takes positional operands; everywhere else a bare
+    // word is a mistake (e.g. a forgotten `--input`).
+    if args.command != "script" {
+        args.reject_positionals()?;
+    }
     match args.command.as_str() {
         "generate" => generate(args),
         "cluster" => cluster(args),
@@ -152,10 +181,11 @@ pub fn dispatch(args: &ParsedArgs) -> CliResult<String> {
         "stream" => stream(args),
         "evaluate" => evaluate(args),
         "sweep" => sweep(args),
+        "script" => script(args),
         "list-algorithms" => Ok(list_algorithms()),
         "info" => Ok(info()),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
-        other => Err(CliError::Message(format!(
+        other => Err(CliError::Usage(format!(
             "unknown command '{other}' (try `adawave help`)"
         ))),
     }
@@ -996,6 +1026,58 @@ fn sweep(args: &ParsedArgs) -> CliResult<String> {
 }
 
 // ---------------------------------------------------------------------------
+// script
+// ---------------------------------------------------------------------------
+
+fn script(args: &ParsedArgs) -> CliResult<String> {
+    let list = args.flag("list") || args.get("list").is_some();
+    // Files are positional; `--list before.adw` makes the file the
+    // option's value, so fold those back into the file list too.
+    let mut files: Vec<String> = args.positionals().to_vec();
+    files.extend(args.get_all("list").map(String::from));
+    if files.is_empty() {
+        return Err(CliError::Usage(
+            "script needs at least one script file: adawave script <file.adw>... [--list]"
+                .to_string(),
+        ));
+    }
+    let mut out = String::new();
+    let mut failed = 0usize;
+    for file in &files {
+        let path = Path::new(file);
+        let source =
+            std::fs::read_to_string(path).map_err(|e| CliError::Message(format!("{file}: {e}")))?;
+        let parsed = adawave::script::parse(&source)
+            .map_err(|e| CliError::Message(format!("{file}: {e}")))?;
+        if list {
+            out.push_str(&format!("{file}: {} plan(s)\n", parsed.plans.len()));
+            for plan in &parsed.plans {
+                out.push_str(&format!("  line {:>3}: {}\n", plan.line, plan.title));
+            }
+            continue;
+        }
+        // Relative `load "data.csv"` paths resolve next to the script.
+        let dir = match path.parent() {
+            Some(parent) if !parent.as_os_str().is_empty() => parent.to_path_buf(),
+            _ => std::path::PathBuf::from("."),
+        };
+        let report = adawave::script_engine().with_script_dir(dir).run(&parsed);
+        out.push_str(&format!("{file}:\n{}", report.render()));
+        if !report.passed() {
+            failed += 1;
+        }
+    }
+    if failed > 0 {
+        Err(CliError::Message(format!(
+            "{out}{failed} of {} script(s) failed",
+            files.len()
+        )))
+    } else {
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // info & list-algorithms
 // ---------------------------------------------------------------------------
 
@@ -1812,5 +1894,104 @@ mod tests {
         .map(|_| ())
         .unwrap_err();
         assert!(err.to_string().contains("loading model 'x'"), "{err}");
+    }
+
+    fn save_temp_script(name: &str, source: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("{name}.adw"));
+        std::fs::write(&path, source).unwrap();
+        path
+    }
+
+    #[test]
+    fn script_runs_a_file_and_reports_per_plan() {
+        let path = save_temp_script(
+            "adawave_cli_script_pass",
+            "marker $$kmeans on blobs$$\n\
+             generate blobs n=200 k=2 seed=7\n\
+             fit kmeans seed=7\n\
+             assert clusters == 2\n\
+             assert points == 200\n",
+        );
+        let out = dispatch(&ParsedArgs::parse(["script", path.to_str().unwrap()]).unwrap())
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert!(out.contains("plan \"kmeans on blobs\" .. ok"), "{out}");
+        assert!(out.contains("1 plan: 1 passed, 0 failed"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn script_list_is_a_dry_run_over_plan_titles() {
+        // The dataset below doesn't exist: --list must not execute steps.
+        let path = save_temp_script(
+            "adawave_cli_script_list",
+            "marker $$first$$\n\
+             load \"no-such-file.csv\"\n\
+             fit adawave\n\
+             marker $$second$$\n\
+             generate blobs n=100\n\
+             fit kmeans\n",
+        );
+        for argv in [
+            vec!["script", path.to_str().unwrap(), "--list"],
+            // `--list <file>` swallows the file as its value; the command
+            // folds it back into the file list.
+            vec!["script", "--list", path.to_str().unwrap()],
+        ] {
+            let out = dispatch(&ParsedArgs::parse(argv).unwrap()).unwrap();
+            assert!(out.contains("2 plan(s)"), "{out}");
+            assert!(out.contains("first") && out.contains("second"), "{out}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn script_failures_and_usage_map_to_exit_codes() {
+        // No files: usage error, exit code 2.
+        let err = dispatch(&ParsedArgs::parse(["script"]).unwrap()).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(
+            err.to_string().contains("at least one script file"),
+            "{err}"
+        );
+
+        // Unknown command: usage error, exit code 2.
+        let err = dispatch(&ParsedArgs::parse(["frobnicate"]).unwrap()).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+
+        // Positional operand on an options-only command: exit code 2.
+        let err = dispatch(&ParsedArgs::parse(["cluster", "stray.csv"]).unwrap()).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("stray.csv"), "{err}");
+
+        // A parse error carries the 1-based line number: exit code 1.
+        let path = save_temp_script(
+            "adawave_cli_script_parse_error",
+            "marker $$broken$$\ngenerate blobs n=100\nfrobnicate the grid\n",
+        );
+        let err =
+            dispatch(&ParsedArgs::parse(["script", path.to_str().unwrap()]).unwrap()).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        assert!(err.to_string().contains("line 3"), "{err}");
+        std::fs::remove_file(&path).ok();
+
+        // A failing assertion: exit code 1, report names the line.
+        let path = save_temp_script(
+            "adawave_cli_script_assert_fail",
+            "marker $$fails$$\n\
+             generate blobs n=100 k=2 seed=7\n\
+             fit kmeans seed=7\n\
+             assert clusters == 9\n",
+        );
+        let err =
+            dispatch(&ParsedArgs::parse(["script", path.to_str().unwrap()]).unwrap()).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        assert!(err.to_string().contains("FAILED at line 4"), "{err}");
+        assert!(err.to_string().contains("1 of 1 script(s) failed"), "{err}");
+        std::fs::remove_file(&path).ok();
+
+        // A missing file: exit code 1.
+        let err = dispatch(&ParsedArgs::parse(["script", "/definitely/not/here.adw"]).unwrap())
+            .unwrap_err();
+        assert_eq!(err.exit_code(), 1);
     }
 }

@@ -7,11 +7,13 @@ use adawave_cli::commands::{dispatch, USAGE};
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
+    // Exit codes: 0 = success, 1 = runtime/assertion failure,
+    // 2 = usage error (CliError::exit_code).
     let parsed = match ParsedArgs::parse(raw) {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
     match dispatch(&parsed) {
@@ -21,7 +23,7 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }

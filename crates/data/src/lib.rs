@@ -31,6 +31,7 @@ pub mod csv;
 pub mod dataset;
 pub mod normalize;
 pub mod rng;
+pub mod scenes;
 pub mod shapes;
 pub mod synthetic;
 pub mod uci;

@@ -1,0 +1,207 @@
+//! Named benchmark scenes for the scenario-script DSL.
+//!
+//! Each scene is a labelled [`Dataset`] in the unit square composed from
+//! the primitive [`shapes`] generators plus a configurable
+//! percentage of uniform background noise — the construction of the
+//! paper's synthetic experiments, packaged behind a name so a scenario
+//! script can say `generate rings n=1200 noise=50 seed=11` instead of
+//! hand-assembling a scene. Everything is deterministic given the seed.
+
+use adawave_api::PointMatrix;
+
+use crate::dataset::Dataset;
+use crate::rng::Rng;
+use crate::shapes;
+use crate::synthetic::{noise_count_for_percentage, synthetic_benchmark};
+
+/// The scene names accepted by [`generate`], sorted.
+pub const SHAPES: &[&str] = &[
+    "blobs",
+    "concentric",
+    "lines",
+    "moons",
+    "rings",
+    "spiral",
+    "synthetic",
+];
+
+/// Finish a scene: overlay `noise_percent`% uniform noise over the unit
+/// square (labelled `clusters`, the dataset's noise label) and package
+/// the dataset.
+fn finish(
+    name: &str,
+    mut points: PointMatrix,
+    mut labels: Vec<usize>,
+    clusters: usize,
+    rng: &mut Rng,
+    noise_percent: f64,
+) -> Dataset {
+    let noise = noise_count_for_percentage(points.len(), noise_percent);
+    shapes::uniform_box(&mut points, rng, &[0.0, 0.0], &[1.0, 1.0], noise);
+    labels.extend(std::iter::repeat_n(clusters, noise));
+    Dataset::new(name.to_string(), points, labels, Some(clusters))
+}
+
+/// Generate the named scene with `n` cluster points (noise comes on top,
+/// as `noise_percent`% of the final dataset), deterministically from
+/// `seed`. `k` is the cluster count for `blobs` and is ignored by the
+/// fixed-shape scenes. Returns `None` for an unknown name — see
+/// [`SHAPES`].
+pub fn generate(shape: &str, n: usize, k: usize, noise_percent: f64, seed: u64) -> Option<Dataset> {
+    let n = n.max(1);
+    let mut rng = Rng::new(seed);
+    let ds = match shape {
+        "blobs" => {
+            // `k` Gaussian blobs spread on a circle around the center.
+            let k = k.max(1);
+            let mut points = PointMatrix::with_capacity(2, n);
+            let mut labels = Vec::with_capacity(n);
+            for c in 0..k {
+                let count = n / k + usize::from(c < n % k);
+                let angle = c as f64 / k as f64 * std::f64::consts::TAU;
+                let center = [0.5 + 0.30 * angle.cos(), 0.5 + 0.30 * angle.sin()];
+                shapes::gaussian_blob(&mut points, &mut rng, &center, &[0.03, 0.03], count);
+                labels.extend(std::iter::repeat_n(c, count));
+            }
+            finish("blobs", points, labels, k, &mut rng, noise_percent)
+        }
+        "rings" => {
+            // Two noisy circular distributions side by side — the shape
+            // family of the paper's ring clusters, kept disjoint so the
+            // scene stays separable at corpus-sized point counts (the
+            // genuinely overlapping pair lives in the `synthetic` scene).
+            let mut points = PointMatrix::with_capacity(2, n);
+            let mut labels = Vec::with_capacity(n);
+            let half = n / 2;
+            shapes::ring(&mut points, &mut rng, (0.28, 0.50), 0.14, 0.008, half);
+            labels.extend(std::iter::repeat_n(0, half));
+            shapes::ring(&mut points, &mut rng, (0.72, 0.50), 0.14, 0.008, n - half);
+            labels.extend(std::iter::repeat_n(1, n - half));
+            finish("rings", points, labels, 2, &mut rng, noise_percent)
+        }
+        "concentric" => {
+            // Two concentric rings: the classic non-convex case a
+            // centroid method cannot separate.
+            let mut points = PointMatrix::with_capacity(2, n);
+            let mut labels = Vec::with_capacity(n);
+            let half = n / 2;
+            shapes::ring(&mut points, &mut rng, (0.5, 0.5), 0.10, 0.008, half);
+            labels.extend(std::iter::repeat_n(0, half));
+            shapes::ring(&mut points, &mut rng, (0.5, 0.5), 0.34, 0.008, n - half);
+            labels.extend(std::iter::repeat_n(1, n - half));
+            finish("concentric", points, labels, 2, &mut rng, noise_percent)
+        }
+        "moons" => {
+            let mut points = PointMatrix::with_capacity(2, n);
+            let split = shapes::two_moons(&mut points, &mut rng, 0.01, n);
+            let mut labels = vec![0; split];
+            labels.extend(std::iter::repeat_n(1, n - split));
+            finish("moons", points, labels, 2, &mut rng, noise_percent)
+        }
+        "lines" => {
+            // The two parallel sloping segments of the synthetic scene.
+            let mut points = PointMatrix::with_capacity(2, n);
+            let mut labels = Vec::with_capacity(n);
+            let half = n / 2;
+            shapes::line_segment(
+                &mut points,
+                &mut rng,
+                (0.08, 0.16),
+                (0.44, 0.42),
+                0.004,
+                half,
+            );
+            labels.extend(std::iter::repeat_n(0, half));
+            shapes::line_segment(
+                &mut points,
+                &mut rng,
+                (0.12, 0.05),
+                (0.48, 0.31),
+                0.004,
+                n - half,
+            );
+            labels.extend(std::iter::repeat_n(1, n - half));
+            finish("lines", points, labels, 2, &mut rng, noise_percent)
+        }
+        "spiral" => {
+            // An Archimedean spiral plus a distant blob.
+            let mut points = PointMatrix::with_capacity(2, n);
+            let mut labels = Vec::with_capacity(n);
+            let spiral_n = n * 2 / 3;
+            shapes::spiral(
+                &mut points,
+                &mut rng,
+                (0.35, 0.35),
+                1.5,
+                0.28,
+                0.004,
+                spiral_n,
+            );
+            labels.extend(std::iter::repeat_n(0, spiral_n));
+            shapes::gaussian_blob(
+                &mut points,
+                &mut rng,
+                &[0.82, 0.82],
+                &[0.03, 0.03],
+                n - spiral_n,
+            );
+            labels.extend(std::iter::repeat_n(1, n - spiral_n));
+            finish("spiral", points, labels, 2, &mut rng, noise_percent)
+        }
+        "synthetic" => {
+            // The full five-cluster scene of Fig. 7, sized so that the
+            // cluster points total roughly `n`.
+            let per_cluster = (n / 5).max(1);
+            synthetic_benchmark(noise_percent, per_cluster, seed)
+        }
+        _ => return None,
+    };
+    Some(ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_shape_generates_and_is_deterministic() {
+        for &shape in SHAPES {
+            let ds = generate(shape, 300, 3, 30.0, 7).unwrap_or_else(|| panic!("{shape}"));
+            assert_eq!(ds.dims(), 2, "{shape}");
+            assert!(ds.len() >= 300, "{shape}: {}", ds.len());
+            assert!(ds.cluster_count() >= 1, "{shape}");
+            assert!(
+                (ds.noise_fraction() - 0.3).abs() < 0.02,
+                "{shape}: {}",
+                ds.noise_fraction()
+            );
+            assert_eq!(generate(shape, 300, 3, 30.0, 7).unwrap(), ds, "{shape}");
+        }
+    }
+
+    #[test]
+    fn blobs_honor_k_and_points_stay_in_unit_square() {
+        let ds = generate("blobs", 500, 5, 0.0, 1).unwrap();
+        assert_eq!(ds.cluster_count(), 5);
+        assert_eq!(ds.len(), 500);
+        for p in ds.points.rows() {
+            assert!(p[0] > -0.2 && p[0] < 1.2);
+            assert!(p[1] > -0.2 && p[1] < 1.2);
+        }
+    }
+
+    #[test]
+    fn unknown_shape_is_none_and_shapes_list_is_sorted() {
+        assert!(generate("donut", 100, 2, 0.0, 1).is_none());
+        let mut sorted = SHAPES.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, SHAPES);
+    }
+
+    #[test]
+    fn zero_noise_means_no_noise_points() {
+        let ds = generate("moons", 200, 2, 0.0, 3).unwrap();
+        assert_eq!(ds.noise_fraction(), 0.0);
+        assert_eq!(ds.len(), 200);
+    }
+}

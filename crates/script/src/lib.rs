@@ -1,0 +1,57 @@
+//! # adawave-script
+//!
+//! A line-oriented scenario-script DSL — the repo's end-to-end regression
+//! harness. A script is a sequence of `marker $$title$$` test plans whose
+//! steps exercise the whole toolkit (generate or load a dataset, fit any
+//! registry algorithm, stream-ingest and refit, save/load/predict with
+//! trained models) and pin the outcome with assertions, in the spirit of
+//! the soft65c02 tester:
+//!
+//! ```text
+//! // Comments run to end of line; `;` works too.
+//! marker $$adawave separates overlapping noisy rings$$
+//! generate rings n=1200 noise=50 seed=11
+//! fit adawave scale=48
+//! assert clusters == 2
+//! assert ari >= 0.9
+//! assert deterministic threads=1,4   ; bit-identical at any thread count
+//! ```
+//!
+//! [`parse()`] turns source text into a [`Script`] (every error carries its
+//! 1-based line number; unknown verbs, metrics, shapes, algorithms and
+//! parameters all get did-you-mean suggestions). An [`Engine`] — an
+//! [`AlgorithmRegistry`](adawave_api::AlgorithmRegistry) plus optional
+//! persistence hooks — runs each plan in a fresh session environment and
+//! returns a per-plan pass/fail [`RunReport`]. A failing step aborts its
+//! plan; the remaining plans still run.
+//!
+//! The umbrella `adawave` crate wires the standard registry and its model
+//! persistence into a ready-made engine (`adawave::script_engine()`), and
+//! the CLI exposes the whole thing as `adawave script <file.adw>` over
+//! the `scenarios/` golden corpus.
+//!
+//! ```
+//! use adawave_script::{parse, Engine};
+//! use adawave_api::AlgorithmRegistry;
+//!
+//! let script = parse(
+//!     "marker $$blobs$$\n\
+//!      generate blobs n=400 k=2 seed=3\n\
+//!      fit adawave scale=16\n\
+//!      assert clusters == 2\n",
+//! )
+//! .unwrap();
+//! let mut registry = AlgorithmRegistry::new();
+//! adawave_core::register(&mut registry);
+//! let report = Engine::new(registry).run(&script);
+//! assert!(report.passed(), "{}", report.render());
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod engine;
+pub mod parse;
+
+pub use engine::{Engine, Failure, LoadHook, PlanReport, RunReport, SaveHook};
+pub use parse::{parse, Cmp, Command, Metric, ParseError, Plan, Script, Step};

@@ -1,0 +1,815 @@
+//! The line-oriented scenario-script parser.
+//!
+//! A script is a sequence of *test plans*, each started by a
+//! `marker $$title$$` line and made of one verb per line. `//` and `;`
+//! start a comment anywhere outside a quoted string; blank lines are
+//! ignored. Every error carries the 1-based line number it was found on.
+//!
+//! ```text
+//! // The paper's headline claim, as an executable scenario.
+//! marker $$adawave separates overlapping noisy rings$$
+//! generate rings n=1200 noise=50 seed=11
+//! fit adawave scale=48
+//! assert clusters == 2
+//! assert ari >= 0.9
+//! assert deterministic threads=1,4
+//! ```
+
+use adawave_api::{closest_matches, Params};
+
+/// The `— did you mean ...?` fragment for an unknown name, empty when no
+/// known name is close enough (shared with the engine for shape names).
+pub(crate) fn did_you_mean<'a>(target: &str, known: impl IntoIterator<Item = &'a str>) -> String {
+    let close = closest_matches(target, known);
+    if close.is_empty() {
+        String::new()
+    } else {
+        format!(" — did you mean {}?", close.join(" or "))
+    }
+}
+
+/// The verbs of the language, used for did-you-mean suggestions.
+const VERBS: &[&str] = &[
+    "assert", "fit", "generate", "ingest", "load", "marker", "predict", "refit", "save",
+];
+
+/// The metric names accepted by `assert <metric> <cmp> <value>`.
+const METRICS: &[&str] = &[
+    "ami",
+    "ari",
+    "clusters",
+    "dims",
+    "noise",
+    "noise_points",
+    "points",
+];
+
+/// A comparison operator in an `assert` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+}
+
+impl Cmp {
+    fn parse(text: &str) -> Option<Self> {
+        match text {
+            "==" => Some(Cmp::Eq),
+            "!=" => Some(Cmp::Ne),
+            "<=" => Some(Cmp::Le),
+            ">=" => Some(Cmp::Ge),
+            "<" => Some(Cmp::Lt),
+            ">" => Some(Cmp::Gt),
+            _ => None,
+        }
+    }
+
+    /// Evaluate `actual <cmp> expected`.
+    pub fn eval(self, actual: f64, expected: f64) -> bool {
+        match self {
+            Cmp::Eq => actual == expected,
+            Cmp::Ne => actual != expected,
+            Cmp::Le => actual <= expected,
+            Cmp::Ge => actual >= expected,
+            Cmp::Lt => actual < expected,
+            Cmp::Gt => actual > expected,
+        }
+    }
+
+    /// The source symbol of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Cmp::Eq => "==",
+            Cmp::Ne => "!=",
+            Cmp::Le => "<=",
+            Cmp::Ge => ">=",
+            Cmp::Lt => "<",
+            Cmp::Gt => ">",
+        }
+    }
+}
+
+/// A metric of the current clustering that `assert` can compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Adjusted Rand index against the dataset's ground truth (computed
+    /// over the points whose true label is not noise — the paper's
+    /// protocol).
+    Ari,
+    /// Adjusted mutual information, same protocol as [`Metric::Ari`].
+    Ami,
+    /// Number of clusters found.
+    Clusters,
+    /// Fraction of points labelled noise, in `[0, 1]`.
+    Noise,
+    /// Number of points labelled noise.
+    NoisePoints,
+    /// Number of points in the current dataset.
+    Points,
+    /// Dimensionality of the current dataset.
+    Dims,
+}
+
+impl Metric {
+    fn parse(text: &str) -> Option<Self> {
+        match text {
+            "ari" => Some(Metric::Ari),
+            "ami" => Some(Metric::Ami),
+            "clusters" => Some(Metric::Clusters),
+            "noise" => Some(Metric::Noise),
+            "noise_points" => Some(Metric::NoisePoints),
+            "points" => Some(Metric::Points),
+            "dims" => Some(Metric::Dims),
+            _ => None,
+        }
+    }
+
+    /// The source name of the metric.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::Ari => "ari",
+            Metric::Ami => "ami",
+            Metric::Clusters => "clusters",
+            Metric::Noise => "noise",
+            Metric::NoisePoints => "noise_points",
+            Metric::Points => "points",
+            Metric::Dims => "dims",
+        }
+    }
+}
+
+/// One executable command of the language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `generate <shape> [key=value ...]` — build a named synthetic scene
+    /// (keys: `n`, `k`, `noise`, `seed`) as the current dataset.
+    Generate {
+        /// Scene name (see `adawave_data::scenes::SHAPES`).
+        shape: String,
+        /// Scene parameters.
+        params: Params,
+    },
+    /// `load "file.csv"` — load a CSV dataset (features..., label).
+    LoadDataset {
+        /// Path, resolved against the script's directory when relative.
+        path: String,
+    },
+    /// `fit <algo> [key=value ...] [as <name>]` — fit a registry
+    /// algorithm on the current dataset; the labels become the current
+    /// clustering and the trained model the current model.
+    Fit {
+        /// Registry algorithm name.
+        algorithm: String,
+        /// Algorithm parameters, validated against the registry entry.
+        params: Params,
+        /// Snapshot the resulting labels under this name.
+        save_as: Option<String>,
+    },
+    /// `ingest [key=value ...]` — stream the current dataset into one or
+    /// more `StreamingAdaWave` sessions (`shards=<n>` sessions, batches
+    /// of `batch-rows=<n>`), then merge them into one session. The
+    /// remaining keys are AdaWave configuration parameters.
+    Ingest {
+        /// `shards`, `batch-rows`, plus AdaWave configuration keys.
+        params: Params,
+    },
+    /// `refit [as <name>]` — refit the streaming session's grid model;
+    /// the per-point labels become the current clustering.
+    Refit {
+        /// Snapshot the resulting labels under this name.
+        save_as: Option<String>,
+    },
+    /// `save "file.awm"` — persist the current model.
+    SaveModel {
+        /// Path, resolved against the run's scratch directory when
+        /// relative.
+        path: String,
+    },
+    /// `load model "file.awm"` — load a persisted model as the current
+    /// model.
+    LoadModel {
+        /// Path, resolved against the scratch directory (then the
+        /// script's directory) when relative.
+        path: String,
+    },
+    /// `predict [as <name>]` — label the current dataset with the
+    /// current model (no refitting); the labels become the current
+    /// clustering.
+    Predict {
+        /// Snapshot the resulting labels under this name.
+        save_as: Option<String>,
+    },
+    /// `assert <metric> <cmp> <value>`.
+    AssertMetric {
+        /// The metric to compute.
+        metric: Metric,
+        /// The comparison operator.
+        cmp: Cmp,
+        /// The expected value.
+        value: f64,
+    },
+    /// `assert labels ==|!= labels_from <name>` — compare the current
+    /// labels bit-exactly against a snapshot.
+    AssertLabels {
+        /// `true` for `==`, `false` for `!=`.
+        equal: bool,
+        /// The snapshot name to compare against.
+        name: String,
+    },
+    /// `assert deterministic threads=<a>,<b>,...` — re-run the last fit
+    /// at each thread count and require bit-identical labels.
+    AssertDeterministic {
+        /// The thread counts to re-run with.
+        threads: Vec<usize>,
+    },
+}
+
+/// One command with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// 1-based source line.
+    pub line: usize,
+    /// The source text of the line (comment stripped, trimmed).
+    pub text: String,
+    /// The parsed command.
+    pub command: Command,
+}
+
+/// A `marker $$...$$` section: one test plan, run in a fresh environment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// 1-based source line of the marker (or 1 for an implicit plan).
+    pub line: usize,
+    /// The marker title.
+    pub title: String,
+    /// The commands of the plan, in order.
+    pub steps: Vec<Step>,
+}
+
+/// A parsed scenario script.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Script {
+    /// The test plans, in source order.
+    pub plans: Vec<Plan>,
+}
+
+impl Script {
+    /// Every algorithm name mentioned by a `fit` step, in order of first
+    /// appearance (the corpus test uses this to check registry coverage).
+    pub fn fit_algorithms(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = Vec::new();
+        for plan in &self.plans {
+            for step in &plan.steps {
+                if let Command::Fit { algorithm, .. } = &step.command {
+                    if !names.contains(&algorithm.as_str()) {
+                        names.push(algorithm);
+                    }
+                }
+            }
+        }
+        names
+    }
+}
+
+/// A parse failure, pointing at the offending source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Strip a `//` or `;` comment, ignoring comment markers inside a
+/// double-quoted string.
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_string = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => in_string = !in_string,
+            b';' if !in_string => return &line[..i],
+            b'/' if !in_string && bytes.get(i + 1) == Some(&b'/') => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+/// Split a line into whitespace-separated tokens, keeping double-quoted
+/// spans (without their quotes) as single tokens.
+fn tokenize(line: &str, line_no: usize) -> Result<Vec<String>, ParseError> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let mut in_string = false;
+    for c in line.chars() {
+        match c {
+            '"' => {
+                in_string = !in_string;
+                if !in_string {
+                    // Closing quote: the (possibly empty) span is a token.
+                    tokens.push(std::mem::take(&mut current));
+                    current.clear();
+                }
+            }
+            c if c.is_whitespace() && !in_string => {
+                if !current.is_empty() {
+                    tokens.push(std::mem::take(&mut current));
+                }
+            }
+            c => current.push(c),
+        }
+    }
+    if in_string {
+        return Err(ParseError {
+            line: line_no,
+            message: "unterminated string (missing closing '\"')".to_string(),
+        });
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    Ok(tokens)
+}
+
+/// Parse `key=value` tokens (commas also separate pairs) and an optional
+/// trailing `as <name>` suffix.
+fn parse_params(
+    tokens: &[String],
+    line: usize,
+    allow_as: bool,
+) -> Result<(Params, Option<String>), ParseError> {
+    let mut params = Params::new();
+    let mut save_as = None;
+    let mut iter = tokens.iter().peekable();
+    while let Some(token) = iter.next() {
+        if token == "as" {
+            if !allow_as {
+                return Err(ParseError {
+                    line,
+                    message: "'as <name>' is not allowed here".to_string(),
+                });
+            }
+            let name = iter.next().ok_or_else(|| ParseError {
+                line,
+                message: "'as' needs a snapshot name".to_string(),
+            })?;
+            if iter.next().is_some() {
+                return Err(ParseError {
+                    line,
+                    message: "'as <name>' must be the last token of the line".to_string(),
+                });
+            }
+            save_as = Some(name.clone());
+            break;
+        }
+        // Commas separate pairs (`scale=48,levels=1`), but a comma whose
+        // right-hand side has no `=` belongs to the previous value
+        // (`threads=1,4`).
+        let mut pairs: Vec<String> = Vec::new();
+        for fragment in token.split(',') {
+            match pairs.last_mut() {
+                Some(last) if !fragment.contains('=') => {
+                    last.push(',');
+                    last.push_str(fragment);
+                }
+                _ => pairs.push(fragment.to_string()),
+            }
+        }
+        for pair in pairs.iter().filter(|p| !p.is_empty()) {
+            params.set_pair(pair).map_err(|e| ParseError {
+                line,
+                message: e.to_string(),
+            })?;
+        }
+    }
+    Ok((params, save_as))
+}
+
+fn error(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parse one non-marker command line.
+fn parse_command(tokens: &[String], line: usize) -> Result<Command, ParseError> {
+    let verb = tokens[0].as_str();
+    let rest = &tokens[1..];
+    match verb {
+        "generate" => {
+            let shape = rest
+                .first()
+                .ok_or_else(|| error(line, "generate needs a shape name (e.g. rings)"))?;
+            let (params, _) = parse_params(&rest[1..], line, false)?;
+            Ok(Command::Generate {
+                shape: shape.clone(),
+                params,
+            })
+        }
+        "load" => match rest {
+            [path] => Ok(Command::LoadDataset { path: path.clone() }),
+            [kw, path] if kw == "model" => Ok(Command::LoadModel { path: path.clone() }),
+            _ => Err(error(
+                line,
+                "load expects `load \"file.csv\"` or `load model \"file.awm\"`",
+            )),
+        },
+        "fit" => {
+            let algorithm = rest
+                .first()
+                .ok_or_else(|| error(line, "fit needs an algorithm name (e.g. adawave)"))?;
+            let (params, save_as) = parse_params(&rest[1..], line, true)?;
+            Ok(Command::Fit {
+                algorithm: algorithm.clone(),
+                params,
+                save_as,
+            })
+        }
+        "ingest" => {
+            let (params, _) = parse_params(rest, line, false)?;
+            Ok(Command::Ingest { params })
+        }
+        "refit" => {
+            let (params, save_as) = parse_params(rest, line, true)?;
+            if !params.is_empty() {
+                return Err(error(
+                    line,
+                    "refit takes no parameters (configure the session in `ingest`)",
+                ));
+            }
+            Ok(Command::Refit { save_as })
+        }
+        "save" => match rest {
+            [path] => Ok(Command::SaveModel { path: path.clone() }),
+            _ => Err(error(line, "save expects `save \"file.awm\"`")),
+        },
+        "predict" => {
+            let (params, save_as) = parse_params(rest, line, true)?;
+            if !params.is_empty() {
+                return Err(error(line, "predict takes no parameters"));
+            }
+            Ok(Command::Predict { save_as })
+        }
+        "assert" => parse_assert(rest, line),
+        other => Err(error(
+            line,
+            format!(
+                "unknown verb '{other}'{}",
+                did_you_mean(other, VERBS.iter().copied())
+            ),
+        )),
+    }
+}
+
+/// Parse the tail of an `assert` line.
+fn parse_assert(rest: &[String], line: usize) -> Result<Command, ParseError> {
+    let subject = rest.first().ok_or_else(|| {
+        error(
+            line,
+            "assert needs a subject (a metric, labels or deterministic)",
+        )
+    })?;
+    match subject.as_str() {
+        "labels" => match rest {
+            [_, cmp, kw, name] if kw == "labels_from" => {
+                let equal = match Cmp::parse(cmp) {
+                    Some(Cmp::Eq) => true,
+                    Some(Cmp::Ne) => false,
+                    _ => {
+                        return Err(error(
+                            line,
+                            format!("labels comparisons accept == or !=, not '{cmp}'"),
+                        ))
+                    }
+                };
+                Ok(Command::AssertLabels {
+                    equal,
+                    name: name.clone(),
+                })
+            }
+            _ => Err(error(
+                line,
+                "expected `assert labels ==|!= labels_from <name>`",
+            )),
+        },
+        "deterministic" => {
+            let (params, _) = parse_params(&rest[1..], line, false)?;
+            let raw = params
+                .get("threads")
+                .ok_or_else(|| error(line, "expected `assert deterministic threads=1,4`"))?;
+            let threads = raw
+                .split(',')
+                .map(str::trim)
+                .filter(|t| !t.is_empty())
+                .map(|t| {
+                    t.parse::<usize>().map_err(|_| {
+                        error(
+                            line,
+                            format!("'{t}' is not a thread count (expected usize)"),
+                        )
+                    })
+                })
+                .collect::<Result<Vec<usize>, ParseError>>()?;
+            if threads.is_empty() {
+                return Err(error(line, "threads= needs at least one thread count"));
+            }
+            Ok(Command::AssertDeterministic { threads })
+        }
+        name => {
+            let metric = Metric::parse(name).ok_or_else(|| {
+                error(
+                    line,
+                    format!(
+                        "unknown metric '{name}'{}",
+                        did_you_mean(name, METRICS.iter().copied())
+                    ),
+                )
+            })?;
+            let [_, cmp_text, value_text] = rest else {
+                return Err(error(
+                    line,
+                    format!("expected `assert {} <cmp> <value>`", metric.name()),
+                ));
+            };
+            let cmp = Cmp::parse(cmp_text).ok_or_else(|| {
+                error(
+                    line,
+                    format!("unknown comparator '{cmp_text}' (expected ==, !=, <=, >=, < or >)"),
+                )
+            })?;
+            let value = value_text
+                .parse::<f64>()
+                .map_err(|_| error(line, format!("'{value_text}' is not a number")))?;
+            Ok(Command::AssertMetric { metric, cmp, value })
+        }
+    }
+}
+
+/// Parse a whole script. Errors point at the offending 1-based line.
+pub fn parse(source: &str) -> Result<Script, ParseError> {
+    let mut plans: Vec<Plan> = Vec::new();
+    let mut has_markers = false;
+    for (idx, raw) in source.lines().enumerate() {
+        let line = idx + 1;
+        let text = strip_comment(raw).trim();
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix("marker") {
+            has_markers = true;
+            let rest = rest.trim();
+            let title = rest
+                .strip_prefix("$$")
+                .and_then(|t| t.strip_suffix("$$"))
+                .filter(|t| !t.is_empty())
+                .ok_or_else(|| {
+                    error(
+                        line,
+                        "marker needs a $$title$$ (e.g. `marker $$noisy rings$$`)",
+                    )
+                })?;
+            if let Some(open) = plans.last() {
+                if open.steps.is_empty() {
+                    return Err(error(
+                        open.line,
+                        format!(
+                            "test plan '{}' has no steps (truncated script?)",
+                            open.title
+                        ),
+                    ));
+                }
+            }
+            plans.push(Plan {
+                line,
+                title: title.trim().to_string(),
+                steps: Vec::new(),
+            });
+            continue;
+        }
+        let tokens = tokenize(text, line)?;
+        let command = parse_command(&tokens, line)?;
+        let Some(plan) = plans.last_mut() else {
+            if has_markers {
+                unreachable!("a marker line always opens a plan");
+            }
+            // Marker-less scripts run as one implicit plan.
+            plans.push(Plan {
+                line: 1,
+                title: "main".to_string(),
+                steps: Vec::new(),
+            });
+            plans.last_mut().expect("just pushed").steps.push(Step {
+                line,
+                text: text.to_string(),
+                command,
+            });
+            continue;
+        };
+        plan.steps.push(Step {
+            line,
+            text: text.to_string(),
+            command,
+        });
+    }
+    match plans.last() {
+        None => Err(error(1, "the script has no commands")),
+        Some(open) if open.steps.is_empty() => Err(error(
+            open.line,
+            format!(
+                "test plan '{}' has no steps (truncated script?)",
+                open.title
+            ),
+        )),
+        Some(_) => Ok(Script { plans }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plans_verbs_and_comments() {
+        let script = parse(
+            "// a comment\n\
+             marker $$first plan$$\n\
+             generate rings n=1200 noise=50 seed=11 ; trailing comment\n\
+             fit adawave scale=48,levels=1 as batch\n\
+             assert clusters == 2\n\
+             assert ari >= 0.9\n\
+             marker $$second plan$$\n\
+             generate blobs n=600 k=3\n\
+             fit kmeans seed=7\n\
+             assert labels == labels_from batch\n\
+             assert deterministic threads=1,4\n",
+        )
+        .unwrap();
+        assert_eq!(script.plans.len(), 2);
+        assert_eq!(script.plans[0].title, "first plan");
+        assert_eq!(script.plans[0].steps.len(), 4);
+        assert_eq!(script.plans[1].steps.len(), 4);
+        let Command::Fit {
+            algorithm,
+            params,
+            save_as,
+        } = &script.plans[0].steps[1].command
+        else {
+            panic!("expected fit");
+        };
+        assert_eq!(algorithm, "adawave");
+        assert_eq!(params.get("scale"), Some("48"));
+        assert_eq!(params.get("levels"), Some("1"));
+        assert_eq!(save_as.as_deref(), Some("batch"));
+        assert_eq!(
+            script.plans[1].steps[3].command,
+            Command::AssertDeterministic {
+                threads: vec![1, 4]
+            }
+        );
+        assert_eq!(script.fit_algorithms(), vec!["adawave", "kmeans"]);
+    }
+
+    #[test]
+    fn markerless_script_becomes_one_implicit_plan() {
+        let script = parse("generate blobs n=100\nfit kmeans\nassert clusters == 3\n").unwrap();
+        assert_eq!(script.plans.len(), 1);
+        assert_eq!(script.plans[0].title, "main");
+        assert_eq!(script.plans[0].steps.len(), 3);
+    }
+
+    #[test]
+    fn quoted_paths_survive_spaces_and_comment_chars() {
+        let script = parse("load \"my data;1//x.csv\"\nfit kmeans\n").unwrap();
+        assert_eq!(
+            script.plans[0].steps[0].command,
+            Command::LoadDataset {
+                path: "my data;1//x.csv".to_string()
+            }
+        );
+        let script = parse("load model \"m.awm\"\npredict\n").unwrap();
+        assert_eq!(
+            script.plans[0].steps[0].command,
+            Command::LoadModel {
+                path: "m.awm".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_verb_reports_line_and_suggestion() {
+        let err = parse("marker $$t$$\ngenerate blobs\nfitt kmeans\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("did you mean fit?"), "{err}");
+        assert!(err.to_string().starts_with("line 3:"), "{err}");
+    }
+
+    #[test]
+    fn malformed_verbs_report_their_line() {
+        for (source, line, needle) in [
+            ("marker $$t$$\nfit\n", 2, "algorithm name"),
+            ("marker $$t$$\ngenerate\n", 2, "shape name"),
+            ("marker $$t$$\nload\n", 2, "load expects"),
+            ("marker $$t$$\nload a.csv b.csv\n", 2, "load expects"),
+            ("marker $$t$$\nsave\n", 2, "save expects"),
+            ("marker $$t$$\nrefit scale=32\n", 2, "refit takes no"),
+            ("marker $$t$$\npredict scale=32\n", 2, "predict takes no"),
+            ("marker $$t$$\nfit kmeans as\n", 2, "snapshot name"),
+            ("marker $$t$$\nfit kmeans as x y\n", 2, "last token"),
+            ("marker $$t$$\ngenerate blobs as x\n", 2, "not allowed"),
+            ("marker $$t$$\ngenerate blobs n\n", 2, "key=value"),
+        ] {
+            let err = parse(source).unwrap_err();
+            assert_eq!(err.line, line, "{source:?}: {err}");
+            assert!(err.message.contains(needle), "{source:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn bad_asserts_report_their_line() {
+        for (source, needle) in [
+            ("marker $$t$$\nassert\n", "assert needs a subject"),
+            (
+                "marker $$t$$\nassert arr >= 0.9\n",
+                "did you mean ari or ami?",
+            ),
+            ("marker $$t$$\nassert ari => 0.9\n", "unknown comparator"),
+            ("marker $$t$$\nassert ari >= lots\n", "not a number"),
+            ("marker $$t$$\nassert ari >=\n", "expected `assert ari"),
+            ("marker $$t$$\nassert labels >= labels_from x\n", "== or !="),
+            ("marker $$t$$\nassert labels == other x\n", "labels_from"),
+            ("marker $$t$$\nassert deterministic\n", "threads=1,4"),
+            (
+                "marker $$t$$\nassert deterministic threads=a\n",
+                "thread count",
+            ),
+            (
+                "marker $$t$$\nassert deterministic threads=,\n",
+                "at least one",
+            ),
+        ] {
+            let err = parse(source).unwrap_err();
+            assert_eq!(err.line, 2, "{source:?}: {err}");
+            assert!(err.message.contains(needle), "{source:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn truncated_scripts_are_rejected_with_line_numbers() {
+        // Empty script.
+        let err = parse("// only comments\n").unwrap_err();
+        assert!(err.message.contains("no commands"), "{err}");
+        // Unterminated marker title.
+        let err = parse("marker $$oops\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("$$title$$"), "{err}");
+        // Marker with no steps (script cut off mid-plan).
+        let err = parse("marker $$a$$\ngenerate blobs\nmarker $$b$$\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("truncated"), "{err}");
+        // Unterminated string.
+        let err = parse("marker $$a$$\nload \"x.csv\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("unterminated string"), "{err}");
+    }
+
+    #[test]
+    fn cmp_parsing_and_evaluation() {
+        for (text, cmp) in [
+            ("==", Cmp::Eq),
+            ("!=", Cmp::Ne),
+            ("<=", Cmp::Le),
+            (">=", Cmp::Ge),
+            ("<", Cmp::Lt),
+            (">", Cmp::Gt),
+        ] {
+            assert_eq!(Cmp::parse(text), Some(cmp));
+            assert_eq!(cmp.symbol(), text);
+        }
+        assert!(Cmp::Ge.eval(0.9, 0.9));
+        assert!(Cmp::Lt.eval(0.1, 0.2));
+        assert!(!Cmp::Eq.eval(1.0, 2.0));
+        assert!(Cmp::Ne.eval(1.0, 2.0));
+    }
+}

@@ -72,6 +72,7 @@ pub use adawave_core::{
     cluster_grid, AdaWave, AdaWaveConfig, AdaWaveModel, AdaWaveResult, GridModel, ThresholdStrategy,
 };
 pub use adawave_runtime::Runtime;
+pub use adawave_script as script;
 pub use adawave_serve as serve;
 pub use adawave_serve::{ModelEntry, ModelLoader, ModelStore, ServeConfig, Server};
 pub use adawave_stream::{IngestReport, MergeRejected, StreamError, StreamingAdaWave};
@@ -123,6 +124,33 @@ pub fn standard_registry() -> AlgorithmRegistry {
     adawave_core::register(&mut registry);
     adawave_baselines::register(&mut registry);
     registry
+}
+
+/// A ready-made scenario-script [`script::Engine`]: the standard registry
+/// with [`save_model`] / [`load_model`] wired in as the persistence hooks,
+/// so scripts can exercise every algorithm plus `save` / `load model` /
+/// `predict` round-trips. This is the engine behind `adawave script` and
+/// the `scenarios/` golden corpus.
+///
+/// ```
+/// let script = adawave::script::parse(
+///     "marker $$kmeans round-trip$$\n\
+///      generate blobs n=200 k=2 seed=7\n\
+///      fit kmeans seed=7 as direct\n\
+///      save \"m.awm\"\n\
+///      load model \"m.awm\"\n\
+///      predict\n\
+///      assert labels == labels_from direct\n",
+/// )
+/// .unwrap();
+/// let report = adawave::script_engine().run(&script);
+/// assert!(report.passed(), "{}", report.render());
+/// ```
+pub fn script_engine() -> script::Engine {
+    script::Engine::new(standard_registry()).with_persistence(
+        Box::new(|path, model| save_model(path, model).map_err(|e| e.to_string())),
+        Box::new(|path| load_model(path).map_err(|e| e.to_string())),
+    )
 }
 
 #[cfg(test)]

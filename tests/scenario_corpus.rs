@@ -1,0 +1,126 @@
+//! The golden scenario corpus, run end to end.
+//!
+//! Every `scenarios/*.adw` script must parse and pass against the real
+//! standard registry with real model persistence — the same engine the
+//! `adawave script` subcommand uses. The corpus is the repo's living
+//! regression net: together the scripts must cover every registered
+//! algorithm, streaming ingest/merge/refit, model save→load→predict
+//! round trips and the paper's headline noisy-scene claims, and at
+//! least three of them must pin cross-thread determinism bit-exactly.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use adawave::script::{parse, Command, Script};
+
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("scenarios")
+}
+
+/// Every `.adw` file in `scenarios/`, sorted for stable output.
+fn corpus() -> Vec<(PathBuf, String)> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(scenarios_dir())
+        .expect("scenarios/ directory next to Cargo.toml")
+        .map(|entry| entry.expect("readable dir entry").path())
+        .filter(|path| path.extension().is_some_and(|ext| ext == "adw"))
+        .collect();
+    files.sort();
+    files
+        .into_iter()
+        .map(|path| {
+            let source = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            (path, source)
+        })
+        .collect()
+}
+
+fn parsed_corpus() -> Vec<(PathBuf, Script)> {
+    corpus()
+        .into_iter()
+        .map(|(path, source)| {
+            let script = parse(&source).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            (path, script)
+        })
+        .collect()
+}
+
+#[test]
+fn every_scenario_script_passes() {
+    for (path, script) in parsed_corpus() {
+        let dir = path.parent().expect("scenario files live in scenarios/");
+        let report = adawave::script_engine().with_script_dir(dir).run(&script);
+        assert!(report.passed(), "{}:\n{}", path.display(), report.render());
+    }
+}
+
+#[test]
+fn corpus_is_large_enough_and_covers_every_registry_algorithm() {
+    let scripts = parsed_corpus();
+    assert!(
+        scripts.len() >= 15,
+        "golden corpus shrank to {} scripts (need >= 15)",
+        scripts.len()
+    );
+
+    let mut fitted: BTreeSet<String> = BTreeSet::new();
+    for (_, script) in &scripts {
+        fitted.extend(script.fit_algorithms().into_iter().map(String::from));
+    }
+    for name in adawave::standard_registry().names() {
+        assert!(
+            fitted.contains(name),
+            "no scenario script fits '{name}' — the corpus must cover every registered algorithm"
+        );
+    }
+}
+
+#[test]
+fn corpus_exercises_streaming_persistence_and_determinism() {
+    let scripts = parsed_corpus();
+    let mut ingests = 0usize;
+    let mut roundtrips = 0usize;
+    let mut deterministic = 0usize;
+    for (_, script) in &scripts {
+        for plan in &script.plans {
+            let mut saved = false;
+            for step in &plan.steps {
+                match &step.command {
+                    Command::Ingest { .. } => ingests += 1,
+                    Command::SaveModel { .. } => saved = true,
+                    // A round trip is save → load model → predict inside
+                    // one plan.
+                    Command::Predict { .. } if saved => roundtrips += 1,
+                    Command::AssertDeterministic { threads }
+                        if threads.contains(&1) && threads.contains(&4) =>
+                    {
+                        deterministic += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    assert!(ingests >= 1, "no scenario exercises streaming ingest");
+    assert!(
+        roundtrips >= 2,
+        "fewer than two model save → load → predict round trips in the corpus"
+    );
+    assert!(
+        deterministic >= 3,
+        "only {deterministic} scripts assert `deterministic threads=1,4` (need >= 3)"
+    );
+}
+
+#[test]
+fn a_broken_script_reports_its_line() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("broken.adw");
+    let source = std::fs::read_to_string(&path).expect("broken fixture");
+    let err = parse(&source).expect_err("the broken fixture must not parse");
+    assert_eq!(err.line, 5, "{err}");
+    assert!(err.to_string().contains("line 5"), "{err}");
+    assert!(err.to_string().contains("frobnicate"), "{err}");
+}
