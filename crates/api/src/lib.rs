@@ -24,6 +24,11 @@
 //! * [`Params`] / [`AlgorithmSpec`] — a typed-but-dynamic parameter layer:
 //!   string keys and values (`k=3`, `eps=0.05`) parsed on demand into each
 //!   algorithm's strongly-typed config builder.
+//! * [`artifact`] — the versioned artifact layer shared by every on-disk
+//!   format: typed kinds ([`ArtifactKind::Model`] for trained models,
+//!   [`ArtifactKind::Accumulator`] for streaming accumulators), one header
+//!   writer/parser, the [`PayloadReader`] line parser and the bit-exact
+//!   [`f64_to_hex`] float encoding.
 //! * [`AlgorithmRegistry`] — maps algorithm names to parameter-validated
 //!   constructors of boxed [`Clusterer`]s; `adawave-core` and
 //!   `adawave-baselines` register themselves into it, and the umbrella
@@ -95,6 +100,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod artifact;
 pub mod clusterer;
 pub mod clustering;
 pub mod model;
@@ -102,12 +108,13 @@ pub mod params;
 pub mod points;
 pub mod registry;
 
+pub use artifact::{
+    decode_artifact, encode_artifact, f64_from_hex, f64_to_hex, load_artifact, save_artifact,
+    save_artifact_atomic, Artifact, ArtifactError, ArtifactKind, PayloadReader, ARTIFACT_VERSION,
+};
 pub use clusterer::{closest_matches, validate_fit_input, ClusterError, Clusterer};
 pub use clustering::Clustering;
-pub use model::{
-    compact_remap, f64_from_hex, f64_to_hex, validate_predict_input, FitOutcome, Model,
-    PayloadReader, PredictSupport,
-};
+pub use model::{compact_remap, validate_predict_input, FitOutcome, Model, PredictSupport};
 pub use params::{AlgorithmSpec, Params, Precision};
 pub use points::{PointMatrix, PointsView, Rows};
 pub use registry::{AlgorithmEntry, AlgorithmRegistry, ParamSpec};

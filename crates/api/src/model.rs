@@ -224,120 +224,6 @@ pub fn compact_remap(raw: impl Iterator<Item = usize>, id_count: usize) -> Vec<u
     remap
 }
 
-/// Render an `f64` as the 16-digit hex of its IEEE-754 bits — the
-/// bit-exact float encoding of the model persistence format.
-pub fn f64_to_hex(value: f64) -> String {
-    format!("{:016x}", value.to_bits())
-}
-
-/// Parse an [`f64_to_hex`]-encoded float back, bit for bit.
-pub fn f64_from_hex(text: &str) -> Option<f64> {
-    u64::from_str_radix(text, 16).ok().map(f64::from_bits)
-}
-
-/// Line-oriented reader for [`Model::serialize`] payloads: every line is
-/// `<field> <values...>` with fields in a fixed per-algorithm order. The
-/// one parser every persistable model shares, so the error wording and
-/// format rules cannot drift between crates.
-pub struct PayloadReader<'a> {
-    lines: std::str::Lines<'a>,
-}
-
-impl<'a> PayloadReader<'a> {
-    /// Read `payload` line by line.
-    pub fn new(payload: &'a str) -> Self {
-        Self {
-            lines: payload.lines(),
-        }
-    }
-
-    /// The next raw line, or an error on a truncated payload.
-    pub fn line(&mut self) -> Result<&'a str, String> {
-        self.lines
-            .next()
-            .ok_or_else(|| "truncated model payload".to_string())
-    }
-
-    /// The value part of the next line, which must be `<name> <value...>`.
-    pub fn field(&mut self, name: &str) -> Result<&'a str, String> {
-        let line = self.line()?;
-        let (field, rest) = line
-            .split_once(' ')
-            .ok_or_else(|| format!("bad line '{line}'"))?;
-        if field != name {
-            return Err(format!("expected field '{name}', found '{field}'"));
-        }
-        Ok(rest)
-    }
-
-    /// Parse the next line's value as one `T`.
-    pub fn scalar<T: std::str::FromStr>(&mut self, name: &str) -> Result<T, String> {
-        let raw = self.field(name)?;
-        raw.parse()
-            .map_err(|_| format!("bad value '{raw}' for field '{name}'"))
-    }
-
-    /// Parse the next line's value as exactly `expected` whitespace-
-    /// separated `T`s.
-    pub fn list<T: std::str::FromStr>(
-        &mut self,
-        name: &str,
-        expected: usize,
-    ) -> Result<Vec<T>, String> {
-        let raw = self.field(name)?;
-        let values: Vec<T> = raw
-            .split_whitespace()
-            .map(|v| {
-                v.parse()
-                    .map_err(|_| format!("bad value '{v}' in '{name}'"))
-            })
-            .collect::<Result<_, _>>()?;
-        if values.len() != expected {
-            return Err(format!(
-                "field '{name}' holds {} values, expected {expected}",
-                values.len()
-            ));
-        }
-        Ok(values)
-    }
-
-    /// Parse the next line as a bare (unnamed) row of exactly `expected`
-    /// [`f64_to_hex`]-encoded floats — the row format point matrices
-    /// (centroids, training batches, mode representatives) use in
-    /// persistence payloads.
-    pub fn float_row(&mut self, expected: usize) -> Result<Vec<f64>, String> {
-        let line = self.line()?;
-        let values: Vec<f64> = line
-            .split_whitespace()
-            .map(|v| f64_from_hex(v).ok_or_else(|| format!("bad float bits '{v}'")))
-            .collect::<Result<_, _>>()?;
-        if values.len() != expected {
-            return Err(format!(
-                "row holds {} values, expected {expected}",
-                values.len()
-            ));
-        }
-        Ok(values)
-    }
-
-    /// Parse the next line's value as exactly `expected`
-    /// [`f64_to_hex`]-encoded floats, bit-exactly.
-    pub fn float_list(&mut self, name: &str, expected: usize) -> Result<Vec<f64>, String> {
-        let raw = self.field(name)?;
-        let values: Vec<f64> = raw
-            .split_whitespace()
-            .map(|v| f64_from_hex(v).ok_or_else(|| format!("bad float bits '{v}' in '{name}'")))
-            .collect::<Result<_, _>>()?;
-        if values.len() != expected {
-            return Err(format!(
-                "field '{name}' holds {} values, expected {expected}",
-                values.len()
-            ));
-        }
-        Ok(values)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -405,45 +291,9 @@ mod tests {
     }
 
     #[test]
-    fn float_hex_round_trips_bit_exactly() {
-        for v in [
-            0.0,
-            -0.0,
-            1.5,
-            f64::MIN_POSITIVE,
-            f64::MAX,
-            f64::NEG_INFINITY,
-            std::f64::consts::PI,
-        ] {
-            let back = f64_from_hex(&f64_to_hex(v)).unwrap();
-            assert_eq!(v.to_bits(), back.to_bits());
-        }
-        let nan = f64_from_hex(&f64_to_hex(f64::NAN)).unwrap();
-        assert!(nan.is_nan());
-        assert_eq!(f64_from_hex("xyz"), None);
-    }
-
-    #[test]
     fn predict_support_labels() {
         assert_eq!(PredictSupport::Native.label(), "native");
         assert_eq!(PredictSupport::Fallback.label(), "fallback");
-    }
-
-    #[test]
-    fn payload_reader_parses_bare_float_rows() {
-        let payload = format!(
-            "{} {}\n{}\n",
-            f64_to_hex(1.5),
-            f64_to_hex(-0.25),
-            f64_to_hex(f64::MAX)
-        );
-        let mut reader = PayloadReader::new(&payload);
-        assert_eq!(reader.float_row(2).unwrap(), vec![1.5, -0.25]);
-        assert!(reader.float_row(2).is_err(), "wrong arity");
-        let mut reader = PayloadReader::new("xyz pqr\n");
-        assert!(reader.float_row(2).is_err(), "bad bits");
-        let mut reader = PayloadReader::new("");
-        assert!(reader.float_row(1).is_err(), "truncated");
     }
 
     /// The serve-layer audit: `dyn Model` objects must be shareable across

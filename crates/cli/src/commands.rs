@@ -9,8 +9,9 @@ use std::time::Instant;
 
 use adawave::{
     load_model, save_model, standard_registry, AdaWaveConfig, AlgorithmEntry, AlgorithmSpec,
-    ClusterError, Model, Params, PointsView,
+    ClusterError, Model, Params, PointMatrix, PointsView,
 };
+use adawave_api::closest_matches;
 use adawave_data::csv::CsvBatches;
 use adawave_data::synthetic::{running_example, synthetic_benchmark};
 use adawave_data::{csv, uci, Dataset};
@@ -19,7 +20,7 @@ use adawave_metrics::{
     adjusted_rand_index, ami, ami_ignoring_noise, calinski_harabasz, davies_bouldin,
     normalized_mutual_information, purity, silhouette_score, v_measure, NOISE_LABEL,
 };
-use adawave_stream::StreamingAdaWave;
+use adawave_stream::{load_accumulator, save_accumulator, Checkpointer, StreamingAdaWave};
 use adawave_wavelet::Wavelet;
 
 use crate::args::{ArgError, ParsedArgs};
@@ -141,6 +142,30 @@ COMMANDS:
              [--threads <n>]
              [--param <key=value>]... (adawave params, validated like
               `cluster`; --param beats the shorthand flags) [--quiet]
+             [--checkpoint <file.awa>] (write the accumulator to the
+              file every --checkpoint-every rows and on completion; if
+              the file already exists the stream resumes after the rows
+              it holds instead of re-ingesting them — the labels are
+              bit-identical to the uninterrupted run)
+             [--checkpoint-every <rows>] (default 100000)
+  shard-ingest
+             Ingest one contiguous shard of a CSV into an accumulator
+             file — distributed ingestion: run one process per shard,
+             then combine with `merge-accumulators`
+             --input <file.csv> --shard <i/k> (shard i of k, 1-based)
+             --out <file.awa> [--batch-rows <n>]
+             [--scale <n>] [--wavelet <name>] [--levels <n>]
+             [--threshold <name>] [--threads <n>] [--param <key=value>]...
+             The domain is prescanned over the whole file, so every
+             shard freezes the identical grid and the merge is exact;
+             every shard must be given the same algorithm options.
+  merge-accumulators
+             Merge accumulator files and refit — labels are identical
+             to one-shot `cluster` on the concatenated shard rows
+             --input <file.awa> (repeat once per shard, in row order)
+             [--out <labels.csv>] [--output csv|json]
+             [--save-model <file>] (persist the refit model for
+              `predict` / `serve`) [--quiet]
   evaluate   Score predicted labels against the ground truth in a CSV
              --input <file.csv> --labels <labels.csv> [--noise-label <n>]
   sweep      AMI of AdaWave and the baselines across noise levels (mini Fig. 8)
@@ -179,17 +204,43 @@ pub fn dispatch(args: &ParsedArgs) -> CliResult<String> {
         "predict" => predict(args),
         "serve" => serve(args),
         "stream" => stream(args),
+        "shard-ingest" => shard_ingest(args),
+        "merge-accumulators" => merge_accumulators(args),
         "evaluate" => evaluate(args),
         "sweep" => sweep(args),
         "script" => script(args),
         "list-algorithms" => Ok(list_algorithms()),
         "info" => Ok(info()),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
-        other => Err(CliError::Usage(format!(
-            "unknown command '{other}' (try `adawave help`)"
-        ))),
+        other => {
+            let suggestions = closest_matches(other, COMMANDS.iter().copied());
+            let hint = match suggestions.as_slice() {
+                [] => String::new(),
+                names => format!(" — did you mean {}?", names.join(" or ")),
+            };
+            Err(CliError::Usage(format!(
+                "unknown command '{other}'{hint} (try `adawave help`)"
+            )))
+        }
     }
 }
+
+/// Every subcommand `dispatch` accepts, for the did-you-mean suggestions.
+const COMMANDS: &[&str] = &[
+    "generate",
+    "cluster",
+    "predict",
+    "serve",
+    "stream",
+    "shard-ingest",
+    "merge-accumulators",
+    "evaluate",
+    "sweep",
+    "script",
+    "list-algorithms",
+    "info",
+    "help",
+];
 
 // ---------------------------------------------------------------------------
 // generate
@@ -755,6 +806,25 @@ pub struct StreamOutcome {
     pub ingest_seconds: f64,
     /// Wall-clock seconds spent refitting the model and labeling.
     pub refit_seconds: f64,
+    /// Rows restored from a `--checkpoint` file and skipped (0 when the
+    /// stream started fresh).
+    pub resumed_points: usize,
+}
+
+/// Where `stream --checkpoint` persists and resumes the accumulator.
+#[derive(Debug, Clone)]
+pub struct CheckpointSpec {
+    /// The accumulator file, written atomically (write-then-rename).
+    pub path: std::path::PathBuf,
+    /// Flush cadence in ingested rows.
+    pub every: usize,
+}
+
+/// Rows `lo..hi` of a matrix as a borrowed view (no copying).
+fn point_rows(points: &PointMatrix, lo: usize, hi: usize) -> PointsView<'_> {
+    let dims = points.dims();
+    PointsView::from_flat(&points.as_slice()[lo * dims..hi * dims], dims)
+        .expect("row-aligned slice of a valid matrix")
 }
 
 /// Stream a CSV file through [`StreamingAdaWave`] in batches of
@@ -768,44 +838,112 @@ pub fn run_stream(
     prescan: bool,
     config: AdaWaveConfig,
 ) -> CliResult<StreamOutcome> {
+    run_stream_checkpointed(path, batch_rows, prescan, config, None)
+}
+
+/// [`run_stream`] with an optional checkpoint: the accumulator is written
+/// to `checkpoint.path` every `checkpoint.every` ingested rows (and once
+/// more at the end), and when the file already exists the session restores
+/// from it and skips the rows it holds — so a killed run picks up where
+/// the last checkpoint left off and still produces bit-identical labels.
+pub fn run_stream_checkpointed(
+    path: &Path,
+    batch_rows: usize,
+    prescan: bool,
+    config: AdaWaveConfig,
+    checkpoint: Option<&CheckpointSpec>,
+) -> CliResult<StreamOutcome> {
     let read_err = |e: csv::CsvError| CliError::Message(format!("reading {}: {e}", path.display()));
     let stream_err = |e: adawave_stream::StreamError| {
         CliError::Message(format!("streaming {}: {e}", path.display()))
     };
 
-    let mut stream = if prescan {
-        // Union of per-batch finite-row boxes — the same outlier semantics
-        // as the ingest pass, so rows with non-finite values stay outliers
-        // instead of turning the prescan fatal.
-        let mut domain: Option<BoundingBox> = None;
-        for batch in CsvBatches::open(path, batch_rows).map_err(read_err)? {
-            let batch = batch.map_err(read_err)?;
-            if let Some(bounds) = adawave_stream::finite_bounds(batch.view()) {
-                domain = Some(match domain {
-                    Some(d) => d.union(&bounds),
-                    None => bounds,
-                });
+    // Resume path: the checkpoint file holds the whole session (frozen
+    // domain included), so the prescan is unnecessary when it exists.
+    let resume = match checkpoint {
+        Some(cp) if cp.path.exists() => {
+            let restored = load_accumulator(&cp.path).map_err(|e| {
+                CliError::Message(format!("reading checkpoint {}: {e}", cp.path.display()))
+            })?;
+            // The restored config must match the flags of this run — the
+            // runtime aside, which never changes results.
+            let mut theirs = restored.config().clone();
+            theirs.runtime = config.runtime;
+            if theirs != config {
+                return Err(CliError::Message(format!(
+                    "checkpoint {} was written under a different configuration; \
+                     rerun with the original flags or delete the file",
+                    cp.path.display()
+                )));
             }
+            Some(restored)
         }
-        let domain = domain.ok_or_else(|| {
-            CliError::Message(format!("{} holds no finite data points", path.display()))
-        })?;
-        StreamingAdaWave::with_domain(config, domain).map_err(stream_err)?
-    } else {
-        StreamingAdaWave::new(config)
+        _ => None,
     };
+    let mut stream = match resume {
+        Some(restored) => restored,
+        None if prescan => {
+            // Union of per-batch finite-row boxes — the same outlier
+            // semantics as the ingest pass, so rows with non-finite values
+            // stay outliers instead of turning the prescan fatal.
+            let mut domain: Option<BoundingBox> = None;
+            for batch in CsvBatches::open(path, batch_rows).map_err(read_err)? {
+                let batch = batch.map_err(read_err)?;
+                if let Some(bounds) = adawave_stream::finite_bounds(batch.view()) {
+                    domain = Some(match domain {
+                        Some(d) => d.union(&bounds),
+                        None => bounds,
+                    });
+                }
+            }
+            let domain = domain.ok_or_else(|| {
+                CliError::Message(format!("{} holds no finite data points", path.display()))
+            })?;
+            StreamingAdaWave::with_domain(config, domain).map_err(stream_err)?
+        }
+        None => StreamingAdaWave::new(config),
+    };
+    let resumed_points = stream.points_ingested();
 
+    let mut checkpointer = checkpoint.map(|cp| Checkpointer::new(&cp.path, cp.every));
+    let checkpoint_err = |c: &Checkpointer, e: adawave_api::ArtifactError| {
+        CliError::Message(format!("writing checkpoint {}: {e}", c.path().display()))
+    };
     let mut truth = Vec::new();
     let mut batches = 0usize;
-    let mut outliers = 0usize;
+    let mut row = 0usize;
     let ingest_start = Instant::now();
     for batch in CsvBatches::open(path, batch_rows).map_err(read_err)? {
         let batch = batch.map_err(read_err)?;
-        let report = stream.ingest(batch.view()).map_err(stream_err)?;
+        let n = batch.points.len();
         truth.extend_from_slice(&batch.labels);
-        outliers += report.outliers;
+        // Rows the checkpoint already holds are skipped, not re-ingested.
+        let skip = resumed_points.saturating_sub(row).min(n);
+        if skip < n {
+            let report = stream
+                .ingest(point_rows(&batch.points, skip, n))
+                .map_err(stream_err)?;
+            if let Some(c) = checkpointer.as_mut() {
+                c.observe(&stream, report.points)
+                    .map_err(|e| checkpoint_err(c, e))?;
+            }
+        }
+        row += n;
         batches += 1;
     }
+    if stream.points_ingested() != row {
+        return Err(CliError::Message(format!(
+            "checkpoint holds {resumed_points} rows but {} has {row}; \
+             was it written for a different file?",
+            path.display()
+        )));
+    }
+    if let Some(c) = checkpointer.as_mut() {
+        // Final flush: a rerun of the same command skips every row and
+        // goes straight to the refit.
+        c.flush(&stream).map_err(|e| checkpoint_err(c, e))?;
+    }
+    let outliers = stream.outlier_count();
     let ingest_seconds = ingest_start.elapsed().as_secs_f64();
 
     let refit_start = Instant::now();
@@ -826,6 +964,7 @@ pub fn run_stream(
         occupied_cells: stream.occupied_cells(),
         ingest_seconds,
         refit_seconds,
+        resumed_points,
         labels,
         truth,
     })
@@ -842,7 +981,35 @@ fn stream(args: &ParsedArgs) -> CliResult<String> {
         }));
     }
     let config = adawave_config_from_args(args)?;
-    let outcome = run_stream(Path::new(input), batch_rows, args.flag("prescan"), config)?;
+    let checkpoint = match (args.get("checkpoint"), args.get("checkpoint-every")) {
+        (None, Some(_)) => {
+            return Err(CliError::Usage(
+                "--checkpoint-every needs --checkpoint <file.awa>".to_string(),
+            ))
+        }
+        (None, None) => None,
+        (Some(p), _) => {
+            let every = args.parse_or("checkpoint-every", 100_000usize)?;
+            if every == 0 {
+                return Err(CliError::Args(ArgError::InvalidValue {
+                    option: "checkpoint-every".to_string(),
+                    value: "0".to_string(),
+                    expected: "a positive row interval".to_string(),
+                }));
+            }
+            Some(CheckpointSpec {
+                path: std::path::PathBuf::from(p),
+                every,
+            })
+        }
+    };
+    let outcome = run_stream_checkpointed(
+        Path::new(input),
+        batch_rows,
+        args.flag("prescan"),
+        config,
+        checkpoint.as_ref(),
+    )?;
 
     let mut report = format!(
         "adawave-stream: {} clusters, {} noise points / {} total \
@@ -857,11 +1024,189 @@ fn stream(args: &ParsedArgs) -> CliResult<String> {
         outcome.ingest_seconds,
         outcome.refit_seconds,
     );
+    if let Some(cp) = &checkpoint {
+        if outcome.resumed_points > 0 {
+            report.push_str(&format!(
+                "resumed from {}: {} already-ingested rows skipped\n",
+                cp.path.display(),
+                outcome.resumed_points
+            ));
+        }
+        report.push_str(&format!(
+            "checkpoint {} (every {} rows)\n",
+            cp.path.display(),
+            cp.every
+        ));
+    }
     if !args.flag("quiet") {
         let score = ami(&outcome.truth, &outcome.labels);
         report.push_str(&format!("AMI against the labels in {input}: {score:.3}\n"));
     }
     emit_labels(args, &outcome.labels, report)
+}
+
+// ---------------------------------------------------------------------------
+// shard-ingest & merge-accumulators
+// ---------------------------------------------------------------------------
+
+/// Parse the `--shard i/k` spec into a 1-based `(index, count)` pair.
+fn parse_shard(spec: &str) -> CliResult<(usize, usize)> {
+    let parsed = spec.split_once('/').and_then(|(i, k)| {
+        Some((
+            i.trim().parse::<usize>().ok()?,
+            k.trim().parse::<usize>().ok()?,
+        ))
+    });
+    match parsed {
+        Some((index, count)) if count >= 1 && (1..=count).contains(&index) => Ok((index, count)),
+        _ => Err(CliError::Args(ArgError::InvalidValue {
+            option: "shard".to_string(),
+            value: spec.to_string(),
+            expected: "<i>/<k> with 1 <= i <= k (e.g. --shard 2/3)".to_string(),
+        })),
+    }
+}
+
+/// The `shard-ingest` command: ingest rows `[n*(i-1)/k, n*i/k)` of the CSV
+/// into an accumulator file. The domain is always prescanned over the
+/// *whole* file (like `stream --prescan`), so every shard of the same file
+/// freezes the identical quantizer and the accumulators merge exactly —
+/// the shards only differ in which rows they count into the grid.
+fn shard_ingest(args: &ParsedArgs) -> CliResult<String> {
+    let input = args.require("input")?;
+    let out = args.require("out")?;
+    let (index, count) = parse_shard(args.require("shard")?)?;
+    let batch_rows = args.parse_or("batch-rows", 8192usize)?;
+    if batch_rows == 0 {
+        return Err(CliError::Args(ArgError::InvalidValue {
+            option: "batch-rows".to_string(),
+            value: "0".to_string(),
+            expected: "a positive batch size".to_string(),
+        }));
+    }
+    let config = adawave_config_from_args(args)?;
+    let path = Path::new(input);
+    let read_err = |e: csv::CsvError| CliError::Message(format!("reading {input}: {e}"));
+    let stream_err =
+        |e: adawave_stream::StreamError| CliError::Message(format!("streaming {input}: {e}"));
+
+    // Pass 1: the exact domain and row count of the whole file — identical
+    // for every shard, whichever slice it goes on to ingest.
+    let mut domain: Option<BoundingBox> = None;
+    let mut total = 0usize;
+    for batch in CsvBatches::open(path, batch_rows).map_err(read_err)? {
+        let batch = batch.map_err(read_err)?;
+        total += batch.points.len();
+        if let Some(bounds) = adawave_stream::finite_bounds(batch.view()) {
+            domain = Some(match domain {
+                Some(d) => d.union(&bounds),
+                None => bounds,
+            });
+        }
+    }
+    let domain =
+        domain.ok_or_else(|| CliError::Message(format!("{input} holds no finite data points")))?;
+    let (lo, hi) = (total * (index - 1) / count, total * index / count);
+
+    // Pass 2: ingest only this shard's contiguous row slice.
+    let mut stream = StreamingAdaWave::with_domain(config, domain).map_err(stream_err)?;
+    let start = Instant::now();
+    let mut row = 0usize;
+    for batch in CsvBatches::open(path, batch_rows).map_err(read_err)? {
+        let batch = batch.map_err(read_err)?;
+        let n = batch.points.len();
+        let (a, b) = (lo.clamp(row, row + n), hi.clamp(row, row + n));
+        if a < b {
+            stream
+                .ingest(point_rows(&batch.points, a - row, b - row))
+                .map_err(stream_err)?;
+        }
+        row += n;
+        if row >= hi {
+            break;
+        }
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    save_accumulator(Path::new(out), &stream)
+        .map_err(|e| CliError::Message(format!("writing {out}: {e}")))?;
+    Ok(format!(
+        "shard {index}/{count} of {input}: rows {lo}..{hi} ({} points, {} outliers, \
+         {} occupied cells) in {seconds:.3}s -> {out}\n",
+        stream.points_ingested(),
+        stream.outlier_count(),
+        stream.occupied_cells(),
+    ))
+}
+
+/// The `merge-accumulators` command: load every `--input` accumulator in
+/// argument order, merge them, refit once, and emit the labels of all
+/// ingested points in shard order — identical to what one-shot `cluster`
+/// labels the concatenated rows, because the merged grid is bit-identical.
+fn merge_accumulators(args: &ParsedArgs) -> CliResult<String> {
+    let inputs: Vec<&str> = args.get_all("input").collect();
+    if inputs.is_empty() {
+        return Err(CliError::Usage(
+            "merge-accumulators needs at least one --input <file.awa> \
+             (written by `shard-ingest` or `stream --checkpoint`)"
+                .to_string(),
+        ));
+    }
+    let mut merged: Option<StreamingAdaWave> = None;
+    for input in &inputs {
+        let shard = load_accumulator(Path::new(input))
+            .map_err(|e| CliError::Message(format!("reading {input}: {e}")))?;
+        merged = Some(match merged.take() {
+            None => shard,
+            Some(mut acc) => {
+                acc.merge(shard)
+                    .map_err(|e| CliError::Message(format!("merging {input}: {e}")))?;
+                acc
+            }
+        });
+    }
+    let stream = merged.expect("inputs is non-empty");
+    let refit_err = |e: adawave_stream::StreamError| CliError::Message(format!("refit: {e}"));
+
+    let start = Instant::now();
+    // Only the two-stage path builds the serving model artifact.
+    let (labels, clusters, model_line) = if let Some(model_path) = args.get("save-model") {
+        let outcome = stream.refit_outcome().map_err(refit_err)?;
+        save_model(Path::new(model_path), outcome.model.as_ref())
+            .map_err(|e| CliError::Message(format!("saving model to {model_path}: {e}")))?;
+        let line = format!(
+            "saved model to {model_path} ({})\n",
+            outcome.model.summary()
+        );
+        (
+            outcome.clustering.to_labels(NOISE_LABEL),
+            outcome.clustering.cluster_count(),
+            Some(line),
+        )
+    } else {
+        let result = stream.refit().map_err(refit_err)?;
+        (
+            result.to_clustering().to_labels(NOISE_LABEL),
+            result.cluster_count(),
+            None,
+        )
+    };
+    let seconds = start.elapsed().as_secs_f64();
+
+    let noise_points = labels.iter().filter(|&&l| l == NOISE_LABEL).count();
+    let mut report = format!(
+        "merged {} accumulator(s): {} clusters, {} noise points / {} total \
+         ({} outliers, {} occupied cells); refit {seconds:.3}s\n",
+        inputs.len(),
+        clusters,
+        noise_points,
+        labels.len(),
+        stream.outlier_count(),
+        stream.occupied_cells(),
+    );
+    if let Some(line) = model_line {
+        report.push_str(&line);
+    }
+    emit_labels(args, &labels, report)
 }
 
 // ---------------------------------------------------------------------------
@@ -1993,5 +2338,315 @@ mod tests {
         let err = dispatch(&ParsedArgs::parse(["script", "/definitely/not/here.adw"]).unwrap())
             .unwrap_err();
         assert_eq!(err.exit_code(), 1);
+    }
+
+    #[test]
+    fn unknown_command_suggests_the_closest_subcommand() {
+        let err = dispatch(&ParsedArgs::parse(["streem"]).unwrap()).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("did you mean stream?"), "{err}");
+        let err = dispatch(&ParsedArgs::parse(["merge-accumulator"]).unwrap()).unwrap_err();
+        assert!(
+            err.to_string().contains("did you mean merge-accumulators?"),
+            "{err}"
+        );
+        // Nothing close: no suggestion, still a usage error.
+        let err = dispatch(&ParsedArgs::parse(["frobnicate"]).unwrap()).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(!err.to_string().contains("did you mean"), "{err}");
+    }
+
+    #[test]
+    fn shard_ingest_and_merge_match_the_one_shot_cluster_command() {
+        let (points, truth) = toy_points();
+        let data = save_temp_dataset("adawave_cli_shard_merge", &points, &truth);
+        let dir = std::env::temp_dir();
+        let fit_out = dir.join("adawave_cli_shard_fit.csv");
+        dispatch(
+            &ParsedArgs::parse([
+                "cluster",
+                "--input",
+                data.to_str().unwrap(),
+                "--scale",
+                "32",
+                "--out",
+                fit_out.to_str().unwrap(),
+                "--quiet",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+
+        for shards in [1usize, 3] {
+            let mut argv: Vec<String> = vec!["merge-accumulators".into()];
+            let mut files = Vec::new();
+            for i in 1..=shards {
+                let acc = dir.join(format!("adawave_cli_shard_{shards}_{i}.awa"));
+                let report = dispatch(
+                    &ParsedArgs::parse([
+                        "shard-ingest",
+                        "--input",
+                        data.to_str().unwrap(),
+                        "--shard",
+                        &format!("{i}/{shards}"),
+                        "--scale",
+                        "32",
+                        "--batch-rows",
+                        "64",
+                        "--out",
+                        acc.to_str().unwrap(),
+                    ])
+                    .unwrap(),
+                )
+                .unwrap();
+                assert!(report.contains(&format!("shard {i}/{shards}")), "{report}");
+                argv.push("--input".into());
+                argv.push(acc.to_str().unwrap().into());
+                files.push(acc);
+            }
+            let merged_out = dir.join(format!("adawave_cli_shard_merged_{shards}.csv"));
+            let model_path = dir.join(format!("adawave_cli_shard_model_{shards}.awm"));
+            argv.extend([
+                "--out".into(),
+                merged_out.to_str().unwrap().into(),
+                "--save-model".into(),
+                model_path.to_str().unwrap().into(),
+            ]);
+            let report = dispatch(&ParsedArgs::parse(argv).unwrap()).unwrap();
+            assert!(
+                report.contains(&format!("merged {shards} accumulator(s)")),
+                "{report}"
+            );
+            assert!(report.contains("saved model"), "{report}");
+            // The distributed labels are byte-identical to the one-shot fit.
+            assert_eq!(
+                std::fs::read_to_string(&merged_out).unwrap(),
+                std::fs::read_to_string(&fit_out).unwrap(),
+                "{shards} shard(s)"
+            );
+            // And the saved model re-predicts the same labels file.
+            let pred_out = dir.join(format!("adawave_cli_shard_pred_{shards}.csv"));
+            dispatch(
+                &ParsedArgs::parse([
+                    "predict",
+                    "--model",
+                    model_path.to_str().unwrap(),
+                    "--input",
+                    data.to_str().unwrap(),
+                    "--out",
+                    pred_out.to_str().unwrap(),
+                    "--quiet",
+                ])
+                .unwrap(),
+            )
+            .unwrap();
+            assert_eq!(
+                std::fs::read_to_string(&pred_out).unwrap(),
+                std::fs::read_to_string(&fit_out).unwrap(),
+                "{shards} shard(s)"
+            );
+            for f in files {
+                std::fs::remove_file(f).ok();
+            }
+            for f in [&merged_out, &model_path, &pred_out] {
+                std::fs::remove_file(f).ok();
+            }
+        }
+        std::fs::remove_file(&data).ok();
+        std::fs::remove_file(&fit_out).ok();
+    }
+
+    #[test]
+    fn stream_checkpoint_resumes_and_reproduces_the_labels() {
+        let (points, truth) = toy_points();
+        let data = save_temp_dataset("adawave_cli_stream_ckpt", &points, &truth);
+        let ckpt = std::env::temp_dir().join("adawave_cli_stream_ckpt.awa");
+        std::fs::remove_file(&ckpt).ok();
+        let config =
+            adawave_config_from_args(&ParsedArgs::parse(["stream", "--scale", "32"]).unwrap())
+                .unwrap();
+
+        // The reference: an uninterrupted prescan stream.
+        let reference = run_stream(&data, 64, true, config.clone()).unwrap();
+
+        // "Crash" after 100 rows: a checkpoint written mid-stream by a
+        // partial session over the same domain and config.
+        let domain = adawave_stream::finite_bounds(points.view()).unwrap();
+        let mut partial = StreamingAdaWave::with_domain(config.clone(), domain).unwrap();
+        partial.ingest(point_rows(&points, 0, 100)).unwrap();
+        save_accumulator(&ckpt, &partial).unwrap();
+
+        // The resumed run skips those 100 rows and matches bit for bit.
+        let spec = CheckpointSpec {
+            path: ckpt.clone(),
+            every: 50,
+        };
+        let resumed =
+            run_stream_checkpointed(&data, 64, true, config.clone(), Some(&spec)).unwrap();
+        assert_eq!(resumed.resumed_points, 100);
+        assert_eq!(resumed.labels, reference.labels);
+        assert_eq!(resumed.points, reference.points);
+
+        // The final flush leaves a complete checkpoint: a rerun skips
+        // every row and still produces the same labels.
+        let rerun = run_stream_checkpointed(&data, 64, true, config.clone(), Some(&spec)).unwrap();
+        assert_eq!(rerun.resumed_points, points.len());
+        assert_eq!(rerun.labels, reference.labels);
+
+        // A config mismatch is rejected, naming the checkpoint.
+        let other =
+            adawave_config_from_args(&ParsedArgs::parse(["stream", "--scale", "16"]).unwrap())
+                .unwrap();
+        let err = run_stream_checkpointed(&data, 64, true, other, Some(&spec)).unwrap_err();
+        assert!(err.to_string().contains("different configuration"), "{err}");
+        assert!(err.to_string().contains(ckpt.to_str().unwrap()), "{err}");
+
+        std::fs::remove_file(&data).ok();
+        std::fs::remove_file(&ckpt).ok();
+    }
+
+    #[test]
+    fn stream_checkpoint_flags_report_resume_and_validate() {
+        let (points, truth) = toy_points();
+        let data = save_temp_dataset("adawave_cli_ckpt_flags", &points, &truth);
+        let ckpt = std::env::temp_dir().join("adawave_cli_ckpt_flags.awa");
+        std::fs::remove_file(&ckpt).ok();
+        let argv = [
+            "stream",
+            "--input",
+            data.to_str().unwrap(),
+            "--scale",
+            "32",
+            "--prescan",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--checkpoint-every",
+            "100",
+            "--quiet",
+        ];
+        let report = dispatch(&ParsedArgs::parse(argv).unwrap()).unwrap();
+        assert!(report.contains("checkpoint"), "{report}");
+        assert!(ckpt.exists(), "final flush must leave the checkpoint");
+        // The rerun resumes: every row is already in the file.
+        let report = dispatch(&ParsedArgs::parse(argv).unwrap()).unwrap();
+        assert!(report.contains("resumed from"), "{report}");
+        assert!(
+            report.contains(&format!("{} already-ingested rows skipped", points.len())),
+            "{report}"
+        );
+        // --checkpoint-every without --checkpoint is a usage error.
+        let err = dispatch(
+            &ParsedArgs::parse([
+                "stream",
+                "--input",
+                data.to_str().unwrap(),
+                "--checkpoint-every",
+                "5",
+            ])
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--checkpoint"), "{err}");
+        std::fs::remove_file(&data).ok();
+        std::fs::remove_file(&ckpt).ok();
+    }
+
+    #[test]
+    fn shard_and_merge_reject_bad_arguments_and_name_paths() {
+        // Bad shard specs: exit 2 before any file is touched.
+        for spec in ["0/3", "4/3", "banana", "1/0", "1"] {
+            let err = dispatch(
+                &ParsedArgs::parse([
+                    "shard-ingest",
+                    "--input",
+                    "x.csv",
+                    "--shard",
+                    spec,
+                    "--out",
+                    "y.awa",
+                ])
+                .unwrap(),
+            )
+            .unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{spec}");
+        }
+        // No inputs: usage error.
+        let err = dispatch(&ParsedArgs::parse(["merge-accumulators"]).unwrap()).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--input"), "{err}");
+        // A missing accumulator file names the offending path.
+        let err = dispatch(
+            &ParsedArgs::parse(["merge-accumulators", "--input", "/definitely/not/here.awa"])
+                .unwrap(),
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("/definitely/not/here.awa"),
+            "{err}"
+        );
+
+        let (points, truth) = toy_points();
+        let data = save_temp_dataset("adawave_cli_shard_badout", &points, &truth);
+        // An unwritable --out names the path too.
+        let err = dispatch(
+            &ParsedArgs::parse([
+                "shard-ingest",
+                "--input",
+                data.to_str().unwrap(),
+                "--shard",
+                "1/1",
+                "--scale",
+                "32",
+                "--out",
+                "/definitely/not/here/acc.awa",
+            ])
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("writing /definitely/not/here/acc.awa"),
+            "{err}"
+        );
+
+        // Shards written under different configurations refuse to merge,
+        // and the error names the offending input file.
+        let dir = std::env::temp_dir();
+        let a = dir.join("adawave_cli_merge_mismatch_a.awa");
+        let b = dir.join("adawave_cli_merge_mismatch_b.awa");
+        for (path, shard, scale) in [(&a, "1/2", "32"), (&b, "2/2", "16")] {
+            dispatch(
+                &ParsedArgs::parse([
+                    "shard-ingest",
+                    "--input",
+                    data.to_str().unwrap(),
+                    "--shard",
+                    shard,
+                    "--scale",
+                    scale,
+                    "--out",
+                    path.to_str().unwrap(),
+                ])
+                .unwrap(),
+            )
+            .unwrap();
+        }
+        let err = dispatch(
+            &ParsedArgs::parse([
+                "merge-accumulators",
+                "--input",
+                a.to_str().unwrap(),
+                "--input",
+                b.to_str().unwrap(),
+            ])
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        assert!(err.to_string().contains(b.to_str().unwrap()), "{err}");
+        for p in [&data, &a, &b] {
+            std::fs::remove_file(p).ok();
+        }
     }
 }

@@ -1,6 +1,6 @@
 //! Axis-aligned bounding boxes of point sets.
 
-use adawave_api::PointsView;
+use adawave_api::{f64_to_hex, PayloadReader, PointsView};
 
 use crate::{GridError, Result};
 
@@ -126,6 +126,40 @@ impl BoundingBox {
         Self { min, max }
     }
 
+    /// Append the box to an artifact payload as three lines — `dims N`,
+    /// `min <hex...>`, `max <hex...>` — with every bound encoded as the hex
+    /// of its IEEE-754 bits, so the round trip through
+    /// [`deserialize_from`](Self::deserialize_from) is bit-exact.
+    pub fn serialize_into(&self, out: &mut String) {
+        out.push_str(&format!("dims {}\n", self.dims()));
+        for (name, bounds) in [("min", &self.min), ("max", &self.max)] {
+            out.push_str(name);
+            for &v in bounds.iter() {
+                out.push(' ');
+                out.push_str(&f64_to_hex(v));
+            }
+            out.push('\n');
+        }
+    }
+
+    /// Read a box written by [`serialize_into`](Self::serialize_into) from
+    /// an artifact payload, validating that every dimension still satisfies
+    /// `min <= max` (which also rejects NaN bounds) before constructing.
+    pub fn deserialize_from(reader: &mut PayloadReader<'_>) -> std::result::Result<Self, String> {
+        let dims: usize = reader.scalar("dims")?;
+        if dims == 0 {
+            return Err("bounding box with zero dimensions".to_string());
+        }
+        let min = reader.float_list("min", dims)?;
+        let max = reader.float_list("max", dims)?;
+        for (j, (lo, hi)) in min.iter().zip(&max).enumerate() {
+            if lo.is_nan() || hi.is_nan() || lo > hi {
+                return Err(format!("dimension {j}: min {lo:?} exceeds max {hi:?}"));
+            }
+        }
+        Ok(Self { min, max })
+    }
+
     /// Grow the box by a relative margin on every side (e.g. `0.01` = 1%).
     /// Degenerate dimensions are widened by an absolute `1e-9`.
     pub fn expanded(&self, relative_margin: f64) -> Self {
@@ -242,6 +276,45 @@ mod tests {
     #[should_panic(expected = "min must be <= max")]
     fn from_bounds_validates_order() {
         let _ = BoundingBox::from_bounds(vec![1.0], vec![0.0]);
+    }
+
+    #[test]
+    fn serde_round_trip_is_bit_exact() {
+        let b = BoundingBox::from_bounds(vec![-0.0, 1.0e-300, -3.5], vec![0.0, 2.0, 7.25]);
+        let mut payload = String::new();
+        b.serialize_into(&mut payload);
+        let mut reader = PayloadReader::new(&payload);
+        let back = BoundingBox::deserialize_from(&mut reader).unwrap();
+        assert_eq!(back.dims(), 3);
+        for j in 0..3 {
+            assert_eq!(b.min()[j].to_bits(), back.min()[j].to_bits());
+            assert_eq!(b.max()[j].to_bits(), back.max()[j].to_bits());
+        }
+    }
+
+    #[test]
+    fn serde_rejects_malformed_payloads() {
+        let nan = adawave_api::f64_to_hex(f64::NAN);
+        let one = adawave_api::f64_to_hex(1.0);
+        let zero = adawave_api::f64_to_hex(0.0);
+        for (payload, needle) in [
+            ("", "truncated"),
+            ("dims banana\n", "banana"),
+            ("dims 0\n", "zero dimensions"),
+            ("dims 1\nmin xyz\nmax xyz\n", "bad float bits"),
+            // min > max must be rejected, not passed to the panicking
+            // constructor...
+            (
+                &format!("dims 1\nmin {one}\nmax {zero}\n") as &str,
+                "exceeds",
+            ),
+            // ...and so must NaN bounds, which fail every comparison.
+            (&format!("dims 1\nmin {nan}\nmax {one}\n") as &str, "NaN"),
+        ] {
+            let mut reader = PayloadReader::new(payload);
+            let err = BoundingBox::deserialize_from(&mut reader).unwrap_err();
+            assert!(err.contains(needle), "{payload:?} -> {err}");
+        }
     }
 
     #[test]

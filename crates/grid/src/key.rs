@@ -8,6 +8,8 @@
 //! dimensions; lower scales allow proportionally more dimensions, e.g. the
 //! 33-dimensional Dermatology dataset fits at scale ≤ 16.
 
+use adawave_api::PayloadReader;
+
 use crate::{GridError, Result};
 
 /// Encodes/decodes per-dimension cell coordinates into a packed `u128` key.
@@ -158,6 +160,30 @@ impl KeyCodec {
         (key & !(mask << self.offsets[j])) | ((coord as u128) << self.offsets[j])
     }
 
+    /// Append the codec to an artifact payload as one `intervals <m...>`
+    /// line. The bit layout (and therefore every packed key) is a pure
+    /// function of the interval counts, so this is the codec's entire
+    /// state.
+    pub fn serialize_into(&self, out: &mut String) {
+        out.push_str("intervals");
+        for &m in &self.intervals {
+            out.push(' ');
+            out.push_str(&m.to_string());
+        }
+        out.push('\n');
+    }
+
+    /// Read a codec written by [`serialize_into`](Self::serialize_into):
+    /// exactly `dims` interval counts, re-validated through
+    /// [`KeyCodec::new`] (non-zero intervals, ≤ 128 total bits).
+    pub fn deserialize_from(
+        reader: &mut PayloadReader<'_>,
+        dims: usize,
+    ) -> std::result::Result<Self, String> {
+        let intervals: Vec<u32> = reader.list("intervals", dims)?;
+        KeyCodec::new(&intervals).map_err(|e| e.to_string())
+    }
+
     /// A codec describing the grid after `levels` dyadic downsamplings
     /// (each level halves every dimension, rounding up). This is the
     /// transformed feature space the connected-component step runs in.
@@ -263,6 +289,40 @@ mod tests {
         assert_eq!(codec.dense_cell_count(), 128 * 128);
         let big = KeyCodec::uniform(18, 128).unwrap();
         assert_eq!(big.dense_cell_count(), (128u128).pow(18));
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_packing() {
+        let codec = KeyCodec::new(&[128, 100, 3]).unwrap();
+        let mut payload = String::new();
+        codec.serialize_into(&mut payload);
+        assert_eq!(payload, "intervals 128 100 3\n");
+        let mut reader = PayloadReader::new(&payload);
+        let back = KeyCodec::deserialize_from(&mut reader, 3).unwrap();
+        assert_eq!(back, codec);
+        let coords = [127u32, 99, 2];
+        assert_eq!(back.pack(&coords), codec.pack(&coords));
+    }
+
+    #[test]
+    fn serde_rejects_invalid_interval_lines() {
+        for (payload, dims) in [
+            ("intervals 4 0\n", 2),     // zero intervals
+            ("intervals 4\n", 2),       // wrong arity
+            ("intervals 128 128\n", 1), // wrong arity the other way
+            ("wrong 4 4\n", 2),         // wrong field name
+        ] {
+            let mut reader = PayloadReader::new(payload);
+            assert!(
+                KeyCodec::deserialize_from(&mut reader, dims).is_err(),
+                "{payload:?}"
+            );
+        }
+        // 19 x 128 intervals needs 133 bits: the overflow check still runs.
+        let payload = format!("intervals{}\n", " 128".repeat(19));
+        let mut reader = PayloadReader::new(&payload);
+        let err = KeyCodec::deserialize_from(&mut reader, 19).unwrap_err();
+        assert!(err.contains("overflow"), "{err}");
     }
 
     #[test]

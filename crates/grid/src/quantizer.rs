@@ -1,7 +1,7 @@
 //! Space quantization (Algorithm 2 of the paper): assign every data point
 //! to a grid cell and record the per-cell point counts.
 
-use adawave_api::PointsView;
+use adawave_api::{PayloadReader, PointsView};
 use adawave_runtime::Runtime;
 
 use crate::{BoundingBox, GridError, KeyCodec, Result, SparseGrid};
@@ -147,6 +147,24 @@ impl Quantizer {
                 self.bounds.min()[j] + (c as f64 + 0.5) / m * extent
             })
             .collect()
+    }
+
+    /// Append the quantizer to an artifact payload: its bounding box
+    /// followed by its codec's interval counts. Both components are
+    /// bit-exact, so a restored quantizer assigns every point to the same
+    /// cell key as the original.
+    pub fn serialize_into(&self, out: &mut String) {
+        self.bounds.serialize_into(out);
+        self.codec.serialize_into(out);
+    }
+
+    /// Read a quantizer written by [`serialize_into`](Self::serialize_into),
+    /// re-running the full construction validation (bounds ordering, codec
+    /// interval counts and key-width limits).
+    pub fn deserialize_from(reader: &mut PayloadReader<'_>) -> std::result::Result<Self, String> {
+        let bounds = BoundingBox::deserialize_from(reader)?;
+        let codec = KeyCodec::deserialize_from(reader, bounds.dims())?;
+        Ok(Self { bounds, codec })
     }
 
     /// Precompute the opt-in single-precision quantization lane.
@@ -423,6 +441,32 @@ mod tests {
         let q = Quantizer::fit(pts.view(), 8).unwrap();
         let coords: Vec<u32> = pts.rows().map(|p| q.cell_coords(p)[1]).collect();
         assert!(coords.iter().all(|&c| c == coords[0]));
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_cell_assignment() {
+        let pts = lcg_points(500);
+        let q = Quantizer::fit_with_intervals(pts.view(), &[64, 16]).unwrap();
+        let mut payload = String::new();
+        q.serialize_into(&mut payload);
+        let mut reader = PayloadReader::new(&payload);
+        let back = Quantizer::deserialize_from(&mut reader).unwrap();
+        assert_eq!(back, q);
+        for p in pts.rows() {
+            assert_eq!(back.cell_key(p), q.cell_key(p));
+        }
+    }
+
+    #[test]
+    fn serde_rejects_box_codec_dimension_mismatch() {
+        // A 2-d box followed by a 1-interval line: the codec read expects
+        // exactly bounds.dims() counts.
+        let b = BoundingBox::from_bounds(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let mut payload = String::new();
+        b.serialize_into(&mut payload);
+        payload.push_str("intervals 8\n");
+        let mut reader = PayloadReader::new(&payload);
+        assert!(Quantizer::deserialize_from(&mut reader).is_err());
     }
 
     /// A pseudo-random point cloud large enough to cross the shard size.

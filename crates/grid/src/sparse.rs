@@ -3,6 +3,8 @@
 
 use std::collections::HashMap;
 
+use adawave_api::{f64_from_hex, f64_to_hex, PayloadReader};
+
 /// A sparse grid: packed cell key → density (or smoothed coefficient).
 ///
 /// Densities start as point counts during quantization and become real
@@ -50,6 +52,54 @@ impl SparseGrid {
     /// Overwrite a cell's density.
     pub fn set(&mut self, key: u128, density: f64) {
         self.cells.insert(key, density);
+    }
+
+    /// Append the grid to an artifact payload: a `cells N` line followed
+    /// by one `<key:032x> <density-hex>` line per occupied cell in
+    /// ascending key order. Sorting makes the dump canonical — two grids
+    /// with equal contents serialize to identical bytes regardless of hash
+    /// map iteration order — and the hex densities make the round trip
+    /// bit-exact.
+    pub fn serialize_into(&self, out: &mut String) {
+        let mut keys: Vec<u128> = self.cells.keys().copied().collect();
+        keys.sort_unstable();
+        out.push_str(&format!("cells {}\n", keys.len()));
+        for key in keys {
+            out.push_str(&format!("{key:032x} {}\n", f64_to_hex(self.cells[&key])));
+        }
+    }
+
+    /// The canonical payload text of [`serialize_into`](Self::serialize_into)
+    /// on its own.
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        self.serialize_into(&mut out);
+        out
+    }
+
+    /// Read a grid written by [`serialize_into`](Self::serialize_into).
+    /// Densities are restored verbatim ([`set`](Self::set), not
+    /// [`add`](Self::add)), so the result equals the original bit for bit.
+    pub fn deserialize_from(reader: &mut PayloadReader<'_>) -> Result<Self, String> {
+        let count: usize = reader.scalar("cells")?;
+        let mut grid = SparseGrid::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            let line = reader.line()?;
+            let (key_hex, density_hex) = line
+                .split_once(' ')
+                .ok_or_else(|| format!("bad cell line '{line}'"))?;
+            let key = u128::from_str_radix(key_hex, 16)
+                .map_err(|_| format!("bad cell key '{key_hex}'"))?;
+            let density = f64_from_hex(density_hex)
+                .ok_or_else(|| format!("bad cell density bits '{density_hex}'"))?;
+            grid.set(key, density);
+        }
+        Ok(grid)
+    }
+
+    /// Parse a payload produced by [`serialize`](Self::serialize).
+    pub fn deserialize(payload: &str) -> Result<Self, String> {
+        Self::deserialize_from(&mut PayloadReader::new(payload))
     }
 
     /// Density of a cell, 0.0 if not stored.
@@ -325,6 +375,48 @@ mod tests {
         g.add(5, 2.0);
         g.set(5, 10.0);
         assert_eq!(g.density(5), 10.0);
+    }
+
+    #[test]
+    fn serde_round_trip_is_bit_exact_and_canonical() {
+        let mut g = SparseGrid::new();
+        g.set(u128::MAX, -0.0);
+        g.set(0, 1.0e-300);
+        g.set(42, 3.5);
+        g.set(7, f64::MAX);
+        let payload = g.serialize();
+        // Canonical: keys ascend, so equal grids dump identical bytes.
+        assert!(payload.starts_with("cells 4\n"));
+        let keys: Vec<&str> = payload
+            .lines()
+            .skip(1)
+            .map(|l| l.split_once(' ').unwrap().0)
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+        let back = SparseGrid::deserialize(&payload).unwrap();
+        assert_eq!(back.occupied_cells(), 4);
+        for (key, density) in g.iter() {
+            assert_eq!(back.density(key).to_bits(), density.to_bits(), "{key}");
+        }
+        // A second serialization of the restored grid is byte-identical.
+        assert_eq!(back.serialize(), payload);
+    }
+
+    #[test]
+    fn serde_rejects_malformed_payloads() {
+        for (payload, needle) in [
+            ("", "truncated"),
+            ("cells banana\n", "banana"),
+            ("cells 2\n0000 3ff0000000000000\n", "truncated"),
+            ("cells 1\nnospace\n", "bad cell line"),
+            ("cells 1\nzz 3ff0000000000000\n", "bad cell key"),
+            ("cells 1\n00000000000000000000000000000001 zz\n", "density"),
+        ] {
+            let err = SparseGrid::deserialize(payload).unwrap_err();
+            assert!(err.contains(needle), "{payload:?} -> {err}");
+        }
     }
 
     #[test]

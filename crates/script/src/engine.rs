@@ -259,7 +259,10 @@ impl Env<'_> {
                 Ok(())
             }
             Command::SaveModel { path } => self.save_model(path),
+            Command::SaveAccumulator { path } => self.save_accumulator(path),
             Command::LoadModel { path } => self.load_model(path),
+            Command::LoadAccumulator { path } => self.load_accumulator(path),
+            Command::MergeAccumulator { path } => self.merge_accumulator(path),
             Command::Predict { save_as } => {
                 self.predict()?;
                 self.snapshot(save_as);
@@ -386,7 +389,7 @@ impl Env<'_> {
             .entry("adawave")
             .map_err(|e| e.to_string())?;
         let mut accepted = entry.accepted_keys();
-        accepted.extend(["shards", "batch-rows"]);
+        accepted.extend(["shards", "batch-rows", "shard"]);
         for key in params.keys() {
             if !accepted.contains(&key) {
                 return Err(format!(
@@ -395,6 +398,7 @@ impl Env<'_> {
                 ));
             }
         }
+        let slice = params.get("shard").map(parse_shard_spec).transpose()?;
         let config = AdaWaveConfig::from_params(&config_params).map_err(|e| e.to_string())?;
 
         let dataset = self.dataset()?;
@@ -405,15 +409,22 @@ impl Env<'_> {
         let dims = view.dims();
         let flat = view.as_slice();
         let n = view.len();
+        // `shard=i/k` restricts ingestion to the i-th of k contiguous row
+        // slices; the domain above still spans the whole dataset, so the
+        // sessions written by different shards merge exactly.
+        let (lo, hi) = match slice {
+            None => (0, n),
+            Some((index, count)) => (n * (index - 1) / count, n * index / count),
+        };
 
         // One session per shard over the same frozen domain, each fed its
         // contiguous slice of rows in `batch-rows` batches, then merged in
         // order — so labels line up with the dataset's row order.
-        let per_shard = n.div_ceil(shards);
+        let per_shard = (hi - lo).div_ceil(shards);
         let mut sessions: Vec<StreamingAdaWave> = Vec::new();
         for shard in 0..shards {
-            let start = (shard * per_shard).min(n);
-            let end = ((shard + 1) * per_shard).min(n);
+            let start = lo + (shard * per_shard).min(hi - lo);
+            let end = lo + ((shard + 1) * per_shard).min(hi - lo);
             let mut session = StreamingAdaWave::with_domain(config.clone(), domain.clone())
                 .map_err(|e| e.to_string())?;
             let mut row = start;
@@ -471,17 +482,59 @@ impl Env<'_> {
             .load_hook
             .as_ref()
             .ok_or_else(|| "model persistence is not wired into this engine".to_string())?;
-        // Round-trips look in the scratch dir first, fixtures next to the
-        // script second.
-        let mut resolved = resolve(path, &self.engine.scratch_dir);
+        let resolved = self.locate(path);
+        let model = hook(&resolved).map_err(|e| format!("loading {}: {e}", resolved.display()))?;
+        self.model = Some(model);
+        Ok(())
+    }
+
+    /// Where a `load`/`merge` path points: round-trips look in the scratch
+    /// dir first, fixtures next to the script second.
+    fn locate(&self, path: &str) -> PathBuf {
+        let resolved = resolve(path, &self.engine.scratch_dir);
         if !resolved.exists() {
             let in_script_dir = resolve(path, &self.engine.script_dir);
             if in_script_dir.exists() {
-                resolved = in_script_dir;
+                return in_script_dir;
             }
         }
-        let model = hook(&resolved).map_err(|e| format!("loading {}: {e}", resolved.display()))?;
-        self.model = Some(model);
+        resolved
+    }
+
+    fn save_accumulator(&mut self, path: &str) -> Result<(), String> {
+        let stream = self
+            .stream
+            .as_ref()
+            .ok_or_else(|| "no streaming session to save (use `ingest` first)".to_string())?;
+        let resolved = resolve(path, &self.engine.scratch_dir);
+        if let Some(parent) = resolved.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("creating {}: {e}", parent.display()))?;
+        }
+        adawave_stream::save_accumulator(&resolved, stream)
+            .map_err(|e| format!("saving {}: {e}", resolved.display()))
+    }
+
+    fn load_accumulator(&mut self, path: &str) -> Result<(), String> {
+        let resolved = self.locate(path);
+        let stream = adawave_stream::load_accumulator(&resolved)
+            .map_err(|e| format!("loading {}: {e}", resolved.display()))?;
+        self.stream = Some(stream);
+        Ok(())
+    }
+
+    /// `merge "file.awa"` — fold a persisted accumulator into the current
+    /// streaming session, or adopt it outright when there is none yet.
+    fn merge_accumulator(&mut self, path: &str) -> Result<(), String> {
+        let resolved = self.locate(path);
+        let loaded = adawave_stream::load_accumulator(&resolved)
+            .map_err(|e| format!("loading {}: {e}", resolved.display()))?;
+        match self.stream.as_mut() {
+            None => self.stream = Some(loaded),
+            Some(stream) => stream.merge(loaded).map_err(|rejected| {
+                format!("merging {}: {}", resolved.display(), rejected.error)
+            })?,
+        }
         Ok(())
     }
 
@@ -604,6 +657,19 @@ impl Env<'_> {
         }
         Ok(())
     }
+}
+
+/// Parse a `shard=i/k` ingest value into its 1-based `(index, count)`.
+fn parse_shard_spec(spec: &str) -> Result<(usize, usize), String> {
+    spec.split_once('/')
+        .and_then(|(index, count)| {
+            let index: usize = index.trim().parse().ok()?;
+            let count: usize = count.trim().parse().ok()?;
+            (1 <= index && index <= count).then_some((index, count))
+        })
+        .ok_or_else(|| {
+            format!("bad shard spec '{spec}': expected <i>/<k> with 1 <= i <= k (e.g. shard=2/3)")
+        })
 }
 
 /// Resolve a script-given path: absolute paths pass through, relative
@@ -785,10 +851,106 @@ mod tests {
     fn ingest_rejects_typoed_keys() {
         let report = run("marker $$t$$\n\
              generate blobs n=100\n\
-             ingest shard=2 scale=16\n");
+             ingest batchrows=200 scale=16\n");
         let failure = report.plans[0].failure.as_ref().unwrap();
         assert!(
-            failure.message.contains("did you mean shards?"),
+            failure.message.contains("did you mean batch-rows?"),
+            "{failure:?}"
+        );
+    }
+
+    #[test]
+    fn ingest_rejects_malformed_shard_specs() {
+        for spec in ["2", "0/3", "4/3", "a/b", "1/0"] {
+            let report = run(&format!(
+                "marker $$t$$\n\
+                 generate blobs n=100\n\
+                 ingest shard={spec} scale=16\n"
+            ));
+            let failure = report.plans[0].failure.as_ref().unwrap();
+            assert!(
+                failure.message.contains("bad shard spec") && failure.message.contains(spec),
+                "{spec}: {failure:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_accumulator_files_merge_to_match_the_direct_fit() {
+        // Each shard ingests its row slice over the whole-dataset domain
+        // and writes an accumulator file; loading and merging the files
+        // must reproduce the one-shot fit's labels exactly.
+        let report = run("marker $$two shards over files$$\n\
+             generate blobs n=400 k=2 noise=20 seed=9\n\
+             fit adawave scale=32 as direct\n\
+             ingest shard=1/2 scale=32\n\
+             save accumulator \"s1.awa\"\n\
+             ingest shard=2/2 scale=32\n\
+             save accumulator \"s2.awa\"\n\
+             load accumulator \"s1.awa\"\n\
+             merge \"s2.awa\"\n\
+             refit\n\
+             assert labels == labels_from direct\n");
+        assert!(report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn merge_without_a_session_adopts_the_file() {
+        // The second plan starts with a fresh environment (no streaming
+        // session), so its first `merge` exercises the adopt path; the
+        // shard files survive in the run's shared scratch directory.
+        let report = run("marker $$produce shards$$\n\
+             generate blobs n=300 k=2 seed=4\n\
+             ingest shard=1/3 scale=32\n\
+             save accumulator \"p1.awa\"\n\
+             ingest shard=2/3 scale=32\n\
+             save accumulator \"p2.awa\"\n\
+             ingest shard=3/3 scale=32\n\
+             save accumulator \"p3.awa\"\n\
+             marker $$merge-only coordinator$$\n\
+             generate blobs n=300 k=2 seed=4\n\
+             fit adawave scale=32 as direct\n\
+             merge \"p1.awa\"\n\
+             merge \"p2.awa\"\n\
+             merge \"p3.awa\"\n\
+             refit\n\
+             assert labels == labels_from direct\n");
+        assert!(report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn accumulator_steps_report_their_prerequisites_and_paths() {
+        let report = run("marker $$save first$$\n\
+             generate blobs n=100\n\
+             save accumulator \"x.awa\"\n");
+        let failure = report.plans[0].failure.as_ref().unwrap();
+        assert!(
+            failure.message.contains("no streaming session to save"),
+            "{failure:?}"
+        );
+
+        let report = run("marker $$missing file$$\n\
+             generate blobs n=100\n\
+             load accumulator \"missing.awa\"\n");
+        let failure = report.plans[0].failure.as_ref().unwrap();
+        assert!(
+            failure.message.contains("loading") && failure.message.contains("missing.awa"),
+            "{failure:?}"
+        );
+
+        // Merging a file written under a different configuration is
+        // rejected and names the offending file.
+        let report = run("marker $$mismatch$$\n\
+             generate blobs n=200 k=2 seed=7\n\
+             ingest shard=1/2 scale=32\n\
+             save accumulator \"a.awa\"\n\
+             ingest shard=2/2 scale=16\n\
+             save accumulator \"b.awa\"\n\
+             load accumulator \"a.awa\"\n\
+             merge \"b.awa\"\n");
+        let failure = report.plans[0].failure.as_ref().unwrap();
+        assert!(
+            failure.message.contains("merging") && failure.message.contains("b.awa"),
             "{failure:?}"
         );
     }

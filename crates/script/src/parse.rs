@@ -30,7 +30,7 @@ pub(crate) fn did_you_mean<'a>(target: &str, known: impl IntoIterator<Item = &'a
 
 /// The verbs of the language, used for did-you-mean suggestions.
 const VERBS: &[&str] = &[
-    "assert", "fit", "generate", "ingest", "load", "marker", "predict", "refit", "save",
+    "assert", "fit", "generate", "ingest", "load", "marker", "merge", "predict", "refit", "save",
 ];
 
 /// The metric names accepted by `assert <metric> <cmp> <value>`.
@@ -177,10 +177,14 @@ pub enum Command {
     },
     /// `ingest [key=value ...]` — stream the current dataset into one or
     /// more `StreamingAdaWave` sessions (`shards=<n>` sessions, batches
-    /// of `batch-rows=<n>`), then merge them into one session. The
-    /// remaining keys are AdaWave configuration parameters.
+    /// of `batch-rows=<n>`), then merge them into one session. With
+    /// `shard=<i>/<k>` only the i-th of k contiguous row slices is
+    /// ingested (the domain still spans the whole dataset, so sessions
+    /// built from different shards merge exactly). The remaining keys are
+    /// AdaWave configuration parameters.
     Ingest {
-        /// `shards`, `batch-rows`, plus AdaWave configuration keys.
+        /// `shards`, `batch-rows`, `shard`, plus AdaWave configuration
+        /// keys.
         params: Params,
     },
     /// `refit [as <name>]` — refit the streaming session's grid model;
@@ -195,9 +199,31 @@ pub enum Command {
         /// relative.
         path: String,
     },
+    /// `save accumulator "file.awa"` — persist the current streaming
+    /// session as a versioned accumulator artifact.
+    SaveAccumulator {
+        /// Path, resolved against the run's scratch directory when
+        /// relative.
+        path: String,
+    },
     /// `load model "file.awm"` — load a persisted model as the current
     /// model.
     LoadModel {
+        /// Path, resolved against the scratch directory (then the
+        /// script's directory) when relative.
+        path: String,
+    },
+    /// `load accumulator "file.awa"` — restore a persisted accumulator as
+    /// the current streaming session.
+    LoadAccumulator {
+        /// Path, resolved against the scratch directory (then the
+        /// script's directory) when relative.
+        path: String,
+    },
+    /// `merge "file.awa"` — load a persisted accumulator and merge it
+    /// into the current streaming session (or adopt it when there is
+    /// none), exactly like the in-process shard merge.
+    MergeAccumulator {
         /// Path, resolved against the scratch directory (then the
         /// script's directory) when relative.
         path: String,
@@ -431,9 +457,13 @@ fn parse_command(tokens: &[String], line: usize) -> Result<Command, ParseError> 
         "load" => match rest {
             [path] => Ok(Command::LoadDataset { path: path.clone() }),
             [kw, path] if kw == "model" => Ok(Command::LoadModel { path: path.clone() }),
+            [kw, path] if kw == "accumulator" => {
+                Ok(Command::LoadAccumulator { path: path.clone() })
+            }
             _ => Err(error(
                 line,
-                "load expects `load \"file.csv\"` or `load model \"file.awm\"`",
+                "load expects `load \"file.csv\"`, `load model \"file.awm\"`, \
+                 or `load accumulator \"file.awa\"`",
             )),
         },
         "fit" => {
@@ -463,7 +493,17 @@ fn parse_command(tokens: &[String], line: usize) -> Result<Command, ParseError> 
         }
         "save" => match rest {
             [path] => Ok(Command::SaveModel { path: path.clone() }),
-            _ => Err(error(line, "save expects `save \"file.awm\"`")),
+            [kw, path] if kw == "accumulator" => {
+                Ok(Command::SaveAccumulator { path: path.clone() })
+            }
+            _ => Err(error(
+                line,
+                "save expects `save \"file.awm\"` or `save accumulator \"file.awa\"`",
+            )),
+        },
+        "merge" => match rest {
+            [path] => Ok(Command::MergeAccumulator { path: path.clone() }),
+            _ => Err(error(line, "merge expects `merge \"file.awa\"`")),
         },
         "predict" => {
             let (params, save_as) = parse_params(rest, line, true)?;
@@ -718,6 +758,38 @@ mod tests {
     }
 
     #[test]
+    fn accumulator_verbs_parse() {
+        let script = parse(
+            "marker $$shards$$\n\
+             generate blobs\n\
+             ingest shard=1/2 scale=32\n\
+             save accumulator \"s1.awa\"\n\
+             load accumulator \"s1.awa\"\n\
+             merge \"s2.awa\"\n",
+        )
+        .unwrap();
+        let commands: Vec<&Command> = script.plans[0].steps.iter().map(|s| &s.command).collect();
+        assert_eq!(
+            commands[2],
+            &Command::SaveAccumulator {
+                path: "s1.awa".into()
+            }
+        );
+        assert_eq!(
+            commands[3],
+            &Command::LoadAccumulator {
+                path: "s1.awa".into()
+            }
+        );
+        assert_eq!(
+            commands[4],
+            &Command::MergeAccumulator {
+                path: "s2.awa".into()
+            }
+        );
+    }
+
+    #[test]
     fn unknown_verb_reports_line_and_suggestion() {
         let err = parse("marker $$t$$\ngenerate blobs\nfitt kmeans\n").unwrap_err();
         assert_eq!(err.line, 3);
@@ -733,6 +805,14 @@ mod tests {
             ("marker $$t$$\nload\n", 2, "load expects"),
             ("marker $$t$$\nload a.csv b.csv\n", 2, "load expects"),
             ("marker $$t$$\nsave\n", 2, "save expects"),
+            ("marker $$t$$\nsave model a.awm\n", 2, "save expects"),
+            ("marker $$t$$\nmerge\n", 2, "merge expects"),
+            ("marker $$t$$\nmerge a.awa b.awa\n", 2, "merge expects"),
+            (
+                "marker $$t$$\nload accumulator a.awa b.awa\n",
+                2,
+                "load expects",
+            ),
             ("marker $$t$$\nrefit scale=32\n", 2, "refit takes no"),
             ("marker $$t$$\npredict scale=32\n", 2, "predict takes no"),
             ("marker $$t$$\nfit kmeans as\n", 2, "snapshot name"),

@@ -18,7 +18,14 @@
 //!   transform → threshold → components stage on the accumulated grid in
 //!   `O(m)` — **independent of the number of points ingested** — and
 //!   [`refit`](StreamingAdaWave::refit) additionally maps every retained
-//!   point through the model (an unavoidable `O(points)` table walk).
+//!   point through the model (an unavoidable `O(points)` table walk);
+//! * [`snapshot`](StreamingAdaWave::snapshot) /
+//!   [`restore`](StreamingAdaWave::restore) (see [`persist`]) serialize
+//!   the whole mergeable state bit-exactly to the versioned
+//!   `adawave-accumulator` artifact format, so shards in *separate
+//!   processes* write their accumulators to disk and a coordinator merges
+//!   the files; [`Checkpointer`] rewrites the file atomically every N
+//!   ingested rows for kill-and-resume crash tolerance.
 //!
 //! ## The domain-freeze contract
 //!
@@ -76,6 +83,10 @@ use adawave_core::{
     cluster_grid, AdaWave, AdaWaveConfig, AdaWaveError, AdaWaveModel, AdaWaveResult, GridModel,
 };
 use adawave_grid::{BoundingBox, F32Lane, Quantizer, SparseGrid};
+
+pub mod persist;
+
+pub use persist::{load_accumulator, save_accumulator, save_accumulator_atomic, Checkpointer};
 
 /// Rows per parallel ingestion shard. Fixed (never derived from the thread
 /// count) so shard boundaries — and therefore the merged accumulator — are

@@ -7,8 +7,17 @@
 use adawave_api::{PointMatrix, PointsView};
 use adawave_core::{AdaWave, AdaWaveConfig};
 use adawave_grid::{BoundingBox, SparseGrid};
-use adawave_stream::StreamingAdaWave;
+use adawave_stream::{load_accumulator, save_accumulator, Checkpointer, StreamingAdaWave};
 use proptest::prelude::*;
+
+/// A fresh temp-file path per proptest case, so concurrent cases (and
+/// concurrent test binaries) never collide.
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("adawave_prop_{tag}_{}_{n}.awa", std::process::id()))
+}
 
 fn matrix(coords: &[(f64, f64)]) -> PointMatrix {
     let mut points = PointMatrix::new(2);
@@ -100,5 +109,88 @@ proptest! {
         prop_assert_eq!(left.points_ingested(), points.len());
         prop_assert_eq!(grid_bits(left.grid().unwrap()), grid_bits(whole.grid().unwrap()));
         prop_assert_eq!(left.refit().unwrap(), whole.refit().unwrap());
+    }
+
+    /// The distributed form of the shard merge: every shard session round-
+    /// trips through an accumulator *file* before merging, and the merged
+    /// grid must still reproduce the one-shot accumulator bit for bit
+    /// (sorted `(key, to_bits)` comparison), labels included.
+    #[test]
+    fn k_shard_disk_round_trips_merge_to_the_one_shot_grid(
+        coords in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 2..200),
+        raw_cuts in prop::collection::vec(0usize..200, 0..5),
+        threads in 1usize..5,
+    ) {
+        let points = matrix(&coords);
+        let config = AdaWaveConfig::builder().scale(16).threads(threads).build();
+        let domain = BoundingBox::from_points(points.view()).unwrap();
+
+        let mut whole = StreamingAdaWave::with_domain(config.clone(), domain.clone()).unwrap();
+        whole.ingest(points.view()).unwrap();
+
+        // Each shard of a random row partition ingests its slice, writes
+        // its accumulator to disk, and the coordinator merges the files in
+        // shard order.
+        let path = temp_path("kshard");
+        let mut merged: Option<StreamingAdaWave> = None;
+        for (lo, hi) in partition(points.len(), &raw_cuts) {
+            let mut shard = StreamingAdaWave::with_domain(config.clone(), domain.clone()).unwrap();
+            shard.ingest(rows(&points, lo, hi)).unwrap();
+            save_accumulator(&path, &shard).unwrap();
+            let loaded = load_accumulator(&path).unwrap();
+            match merged.as_mut() {
+                None => merged = Some(loaded),
+                Some(m) => m.merge(loaded).unwrap(),
+            }
+        }
+        std::fs::remove_file(&path).ok();
+
+        let merged = merged.unwrap();
+        prop_assert_eq!(merged.points_ingested(), points.len());
+        prop_assert_eq!(grid_bits(merged.grid().unwrap()), grid_bits(whole.grid().unwrap()));
+        prop_assert_eq!(merged.refit().unwrap(), whole.refit().unwrap());
+    }
+
+    /// Kill-and-resume: checkpoint during ingestion, drop the live session
+    /// at a random row ("crash"), restore the last checkpoint, skip the
+    /// rows it already holds, and finish. The result must be bit-identical
+    /// to the uninterrupted stream.
+    #[test]
+    fn resume_from_checkpoint_reproduces_the_uninterrupted_stream(
+        coords in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 10..150),
+        batch_rows in 1usize..40,
+        every in 1usize..60,
+        kill_after in 1usize..150,
+    ) {
+        let points = matrix(&coords);
+        let config = AdaWaveConfig::builder().scale(16).build();
+        let domain = BoundingBox::from_points(points.view()).unwrap();
+
+        let mut reference = StreamingAdaWave::with_domain(config.clone(), domain.clone()).unwrap();
+        reference.ingest(points.view()).unwrap();
+
+        let path = temp_path("resume");
+        let mut stream = StreamingAdaWave::with_domain(config.clone(), domain.clone()).unwrap();
+        let mut checkpointer = Checkpointer::new(&path, every);
+        checkpointer.flush(&stream).unwrap(); // checkpoint 0: empty session
+        let kill_after = kill_after.min(points.len());
+        for lo in (0..kill_after).step_by(batch_rows) {
+            let hi = (lo + batch_rows).min(kill_after);
+            let report = stream.ingest(rows(&points, lo, hi)).unwrap();
+            checkpointer.observe(&stream, report.points).unwrap();
+        }
+        drop(stream); // the crash: live state gone, only the file survives
+
+        let mut resumed = load_accumulator(&path).unwrap();
+        let skip = resumed.points_ingested();
+        prop_assert!(skip <= kill_after);
+        if skip < points.len() {
+            resumed.ingest(rows(&points, skip, points.len())).unwrap();
+        }
+        std::fs::remove_file(&path).ok();
+
+        prop_assert_eq!(resumed.points_ingested(), points.len());
+        prop_assert_eq!(grid_bits(resumed.grid().unwrap()), grid_bits(reference.grid().unwrap()));
+        prop_assert_eq!(resumed.refit().unwrap(), reference.refit().unwrap());
     }
 }

@@ -16,6 +16,12 @@
 //! --save-model` → `predict` → diff). The version is checked on load;
 //! bumping the payload shape means bumping `v1`.
 //!
+//! The header discipline, payload parser and float encoding live in the
+//! generic [`adawave_api::artifact`] layer (typed kind
+//! [`ArtifactKind::Model`], magic `adawave-model`), which the streaming
+//! layer shares for its `adawave-accumulator` files — this module adds
+//! only the per-algorithm payload dispatch.
+//!
 //! Every registered algorithm's trained model is persistable, so every
 //! registry entry is servable from a file: the native models serialize
 //! their decision rule (grid table, centroids, mixture parameters, mode
@@ -27,7 +33,7 @@
 
 use std::path::Path;
 
-use adawave_api::Model;
+use adawave_api::{load_artifact, save_artifact, ArtifactError, ArtifactKind, Model};
 use adawave_baselines::{
     CentroidModel, EmModel, IntervalModel, MeanShiftModel, NearestTrainingModel,
 };
@@ -48,10 +54,9 @@ const FALLBACK_ALGORITHMS: [&str; 9] = [
     "ric",
 ];
 
-/// Leading magic of every model file.
-const MAGIC: &str = "adawave-model";
-/// Current format version.
-const VERSION: &str = "v1";
+/// The typed artifact kind model files use; its magic (`adawave-model`)
+/// and the shared [`adawave_api::ARTIFACT_VERSION`] form the header.
+const KIND: ArtifactKind = ArtifactKind::Model;
 
 /// Errors produced while saving or loading a model file.
 #[derive(Debug)]
@@ -88,6 +93,18 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
+impl From<ArtifactError> for PersistError {
+    /// Strip the artifact layer's kind tag: model persistence reports the
+    /// same `Io` / `Format` split (and the same `Display` wording) it
+    /// always has.
+    fn from(e: ArtifactError) -> Self {
+        match e {
+            ArtifactError::Io { error, .. } => PersistError::Io(error),
+            ArtifactError::Format { context, .. } => PersistError::Format(context),
+        }
+    }
+}
+
 /// Save a trained model to `path` in the versioned text format.
 ///
 /// Errors with [`PersistError::Unsupported`] when the model's
@@ -96,56 +113,26 @@ pub fn save_model(path: &Path, model: &dyn Model) -> Result<(), PersistError> {
     let payload = model
         .serialize()
         .ok_or_else(|| PersistError::Unsupported(model.algorithm().to_string()))?;
-    let text = format!(
-        "{MAGIC} {VERSION}\nalgorithm {}\n{payload}",
-        model.algorithm()
-    );
-    std::fs::write(path, text)?;
+    save_artifact(path, KIND, model.algorithm(), &payload)?;
     Ok(())
 }
 
 /// Load a model saved by [`save_model`], dispatching on the algorithm
 /// named in the header.
 pub fn load_model(path: &Path) -> Result<Box<dyn Model>, PersistError> {
-    let text = std::fs::read_to_string(path)?;
-    let mut lines = text.lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| PersistError::Format("empty file".to_string()))?;
-    match header.split_once(' ') {
-        Some((magic, version)) if magic == MAGIC => {
-            if version != VERSION {
-                return Err(PersistError::Format(format!(
-                    "format version '{version}' (this build reads {VERSION})"
-                )));
-            }
-        }
-        _ => {
-            return Err(PersistError::Format(format!(
-                "missing '{MAGIC} {VERSION}' header"
-            )))
-        }
-    }
-    let algorithm = lines
-        .next()
-        .and_then(|line| line.strip_prefix("algorithm "))
-        .ok_or_else(|| PersistError::Format("missing 'algorithm <name>' line".to_string()))?
-        .to_string();
-    let payload_start = text
-        .splitn(3, '\n')
-        .nth(2)
-        .ok_or_else(|| PersistError::Format("missing payload".to_string()))?;
+    let artifact = load_artifact(path, KIND)?;
+    let (algorithm, payload) = (artifact.algorithm.as_str(), artifact.payload.as_str());
     let boxed = |m: Result<Box<dyn Model>, String>| m.map_err(PersistError::Format);
-    match algorithm.as_str() {
-        "adawave" => boxed(AdaWaveModel::deserialize(payload_start).map(|m| Box::new(m) as _)),
+    match algorithm {
+        "adawave" => boxed(AdaWaveModel::deserialize(payload).map(|m| Box::new(m) as _)),
         "kmeans" | "dipmeans" => {
-            boxed(CentroidModel::deserialize(&algorithm, payload_start).map(|m| Box::new(m) as _))
+            boxed(CentroidModel::deserialize(algorithm, payload).map(|m| Box::new(m) as _))
         }
-        "em" => boxed(EmModel::deserialize(payload_start).map(|m| Box::new(m) as _)),
-        "meanshift" => boxed(MeanShiftModel::deserialize(payload_start).map(|m| Box::new(m) as _)),
-        "unidip" => boxed(IntervalModel::deserialize(payload_start).map(|m| Box::new(m) as _)),
+        "em" => boxed(EmModel::deserialize(payload).map(|m| Box::new(m) as _)),
+        "meanshift" => boxed(MeanShiftModel::deserialize(payload).map(|m| Box::new(m) as _)),
+        "unidip" => boxed(IntervalModel::deserialize(payload).map(|m| Box::new(m) as _)),
         name if FALLBACK_ALGORITHMS.contains(&name) => {
-            boxed(NearestTrainingModel::deserialize(name, payload_start).map(|m| Box::new(m) as _))
+            boxed(NearestTrainingModel::deserialize(name, payload).map(|m| Box::new(m) as _))
         }
         other => Err(PersistError::Unsupported(other.to_string())),
     }
