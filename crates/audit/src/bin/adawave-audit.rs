@@ -1,0 +1,98 @@
+//! Standalone front-end for the workspace audit.
+//!
+//! ```text
+//! adawave-audit [--root <dir>] [--list] [lint-name ...]
+//! ```
+//!
+//! With no lint names the full table runs. Exit codes: 0 clean,
+//! 1 findings (or an I/O failure), 2 usage error.
+
+#![deny(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use adawave_audit::{audit_workspace, find_root, list_text, resolve_lint_names};
+
+const USAGE: &str = "\
+adawave-audit — static analysis for the AdaWave workspace contracts
+
+USAGE:
+  adawave-audit [--root <dir>] [--list] [lint-name ...]
+
+  --root <dir>   audit the workspace containing <dir> (default: cwd)
+  --list         print the lint table and exit
+  lint-name ...  restrict the pass to the named lints
+
+Exit codes: 0 clean, 1 findings, 2 usage.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("adawave-audit: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Parse arguments and run the audit; `Err` is a usage problem (exit 2).
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut root_hint: Option<PathBuf> = None;
+    let mut lint_names: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--list" => {
+                print!("{}", list_text());
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--root" => {
+                let dir = iter.next().ok_or("--root needs a directory operand")?;
+                root_hint = Some(PathBuf::from(dir));
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown option '{flag}' (try --help)"));
+            }
+            name => lint_names.push(name.to_string()),
+        }
+    }
+
+    let filter = resolve_lint_names(&lint_names)?;
+    let filter = (!filter.is_empty()).then_some(filter.as_slice());
+
+    let start = root_hint
+        .or_else(|| std::env::current_dir().ok())
+        .ok_or("cannot determine the working directory")?;
+    let root = find_root(&start).ok_or_else(|| {
+        format!(
+            "no workspace Cargo.toml at or above {} (use --root)",
+            start.display()
+        )
+    })?;
+
+    match audit_workspace(&root, filter) {
+        Ok(findings) if findings.is_empty() => {
+            println!("adawave-audit: workspace clean");
+            Ok(ExitCode::SUCCESS)
+        }
+        Ok(findings) => {
+            for finding in &findings {
+                println!("{finding}");
+            }
+            println!("adawave-audit: {} finding(s)", findings.len());
+            Ok(ExitCode::from(1))
+        }
+        Err(msg) => {
+            eprintln!("adawave-audit: {msg}");
+            Ok(ExitCode::from(1))
+        }
+    }
+}

@@ -1,0 +1,445 @@
+//! A minimal Rust lexer: just enough tokenization to know, for every byte
+//! of a source file, whether it is *code*, *comment*, or *literal text*.
+//!
+//! The audit lints are textual pattern matches, and a pattern match inside
+//! a string literal or a comment is never a finding — a doc example that
+//! says `partial_cmp(..).unwrap()` must not trip the float-discipline
+//! lint. This module therefore produces a *stripped* copy of the source in
+//! which every comment and every string/char literal body is replaced by
+//! spaces (newlines are preserved so line numbers survive), plus the
+//! comment text per line (the escape syntax `// audit:allow(..)` lives in
+//! comments) and the set of lines inside `#[cfg(test)]` items (test code
+//! is exempt from the runtime contracts the lints enforce).
+//!
+//! Handled: line comments (`//`, `///`, `//!`), block comments with
+//! nesting (`/* /* */ */`), string literals with escapes (`"a\"b"`), raw
+//! strings with any hash count (`r"..."`, `r#"..."#`, `br##"..."##`),
+//! byte strings (`b"..."`), char and byte literals (`'x'`, `b'\n'`), and
+//! the lifetime-vs-char-literal ambiguity (`'static` is not a literal).
+
+/// One file after lexing: the stripped text plus per-line metadata.
+#[derive(Debug)]
+pub struct LexedFile {
+    /// Source with comment and literal bytes blanked to spaces. Same
+    /// length and line structure as the input.
+    pub stripped: String,
+    /// `(line, text)` for every comment, 1-based, in file order. Block
+    /// comments are attributed to the line they start on; their text
+    /// keeps interior newlines.
+    pub comments: Vec<(usize, String)>,
+    /// `in_test[i]` is true when 1-based line `i + 1` is inside a
+    /// `#[cfg(test)]` item (module, function, or impl).
+    pub in_test: Vec<bool>,
+}
+
+impl LexedFile {
+    /// Lex `source` into its stripped form.
+    pub fn new(source: &str) -> Self {
+        let (stripped, comments) = strip(source);
+        let in_test = test_lines(&stripped);
+        Self {
+            stripped,
+            comments,
+            in_test,
+        }
+    }
+
+    /// 1-based line number of byte `offset` in the stripped text.
+    pub fn line_of(&self, offset: usize) -> usize {
+        self.stripped[..offset]
+            .bytes()
+            .filter(|&b| b == b'\n')
+            .count()
+            + 1
+    }
+
+    /// Whether 1-based `line` falls inside a `#[cfg(test)]` item.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.in_test.get(line - 1).copied().unwrap_or(false)
+    }
+}
+
+/// Replace comments and literal bodies with spaces, collecting comments.
+fn strip(source: &str) -> (String, Vec<(usize, String)>) {
+    let bytes = source.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut comments = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Push `n` bytes starting at `i` as blanks, preserving newlines.
+    fn blank(out: &mut Vec<u8>, bytes: &[u8], from: usize, to: usize, line: &mut usize) {
+        for &b in &bytes[from..to] {
+            if b == b'\n' {
+                out.push(b'\n');
+                *line += 1;
+            } else {
+                out.push(b' ');
+            }
+        }
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                let start = i;
+                let start_line = line;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                comments.push((start_line, source[start..i].to_string()));
+                blank(&mut out, bytes, start, i, &mut line);
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                comments.push((start_line, source[start..i].to_string()));
+                blank(&mut out, bytes, start, i, &mut line);
+            }
+            b'"' => {
+                // Plain string literal: blank the body, keep the quotes.
+                out.push(b'"');
+                i += 1;
+                let body = i;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i = (i + 2).min(bytes.len()),
+                        b'"' => break,
+                        _ => i += 1,
+                    }
+                }
+                blank(&mut out, bytes, body, i, &mut line);
+                if i < bytes.len() {
+                    out.push(b'"');
+                    i += 1;
+                }
+            }
+            b'r' | b'b' if raw_string_hashes(bytes, i).is_some() => {
+                // Raw (byte) string: r"..", r#".."#, br##"..."##.
+                let (prefix_len, hashes) = raw_string_hashes(bytes, i).unwrap();
+                let start = i;
+                i += prefix_len + hashes + 1; // past prefix, hashes, opening quote
+                let body = i;
+                let closer: Vec<u8> = std::iter::once(b'"')
+                    .chain(std::iter::repeat_n(b'#', hashes))
+                    .collect();
+                while i < bytes.len() && !bytes[i..].starts_with(&closer) {
+                    i += 1;
+                }
+                // Emit the prefix/opening verbatim (it is code-ish and has
+                // no newlines), blank the body, emit the closer.
+                out.extend_from_slice(&bytes[start..body]);
+                blank(&mut out, bytes, body, i, &mut line);
+                if i < bytes.len() {
+                    out.extend_from_slice(&closer);
+                    i += closer.len();
+                }
+            }
+            b'b' if i + 1 < bytes.len() && bytes[i + 1] == b'\'' => {
+                // Byte literal b'x'.
+                out.push(b'b');
+                i += 1;
+                consume_char_literal(bytes, &mut i, &mut out, &mut line);
+            }
+            b'\'' => {
+                if is_char_literal(bytes, i) {
+                    consume_char_literal(bytes, &mut i, &mut out, &mut line);
+                } else {
+                    // A lifetime: keep the tick, move on.
+                    out.push(b'\'');
+                    i += 1;
+                }
+            }
+            b'\n' => {
+                out.push(b'\n');
+                line += 1;
+                i += 1;
+            }
+            _ => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    (
+        String::from_utf8(out).expect("stripping preserves UTF-8 structure"),
+        comments,
+    )
+}
+
+/// If `bytes[i..]` starts a raw string (`r`/`b` prefix combination followed
+/// by hashes and a quote), return `(prefix_len, hash_count)`.
+fn raw_string_hashes(bytes: &[u8], i: usize) -> Option<(usize, usize)> {
+    // Raw strings must not be preceded by an identifier character —
+    // `wrapper` contains `r"` nowhere, but `for r in ..` must not misfire
+    // on `r` followed by something else; we only look at r/br/rb forms.
+    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        return None;
+    }
+    let mut j = i;
+    let mut saw_r = false;
+    for _ in 0..2 {
+        match bytes.get(j) {
+            Some(b'r') if !saw_r => {
+                saw_r = true;
+                j += 1;
+            }
+            Some(b'b') if j == i => j += 1,
+            _ => break,
+        }
+    }
+    if !saw_r {
+        return None;
+    }
+    let prefix_len = j - i;
+    let mut hashes = 0usize;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (bytes.get(j) == Some(&b'"')).then_some((prefix_len, hashes))
+}
+
+/// Whether the `'` at `i` opens a char literal rather than a lifetime.
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some(b'\\') => true,
+        Some(&c) if c != b'\'' => {
+            // 'x' is a literal iff a closing tick follows the (possibly
+            // multi-byte) character; 'static has none.
+            let mut j = i + 2;
+            while j < bytes.len() && bytes[j] & 0xC0 == 0x80 {
+                j += 1; // skip UTF-8 continuation bytes
+            }
+            bytes.get(j) == Some(&b'\'')
+        }
+        _ => false,
+    }
+}
+
+/// Consume a char/byte literal starting at the tick, blanking its body.
+fn consume_char_literal(bytes: &[u8], i: &mut usize, out: &mut Vec<u8>, line: &mut usize) {
+    out.push(b'\'');
+    *i += 1;
+    let body = *i;
+    while *i < bytes.len() {
+        match bytes[*i] {
+            b'\\' => *i = (*i + 2).min(bytes.len()),
+            b'\'' => break,
+            _ => *i += 1,
+        }
+    }
+    for &b in &bytes[body..*i] {
+        if b == b'\n' {
+            out.push(b'\n');
+            *line += 1;
+        } else {
+            out.push(b' ');
+        }
+    }
+    if *i < bytes.len() {
+        out.push(b'\'');
+        *i += 1;
+    }
+}
+
+/// Mark the lines covered by `#[cfg(test)]` items in stripped text.
+///
+/// After an (optionally multi-line) `#[cfg(test)]` attribute, the item it
+/// decorates extends to the end of its first balanced `{ ... }` block (a
+/// module, fn, or impl), or to the first `;` when no block opens first.
+fn test_lines(stripped: &str) -> Vec<bool> {
+    let line_count = stripped.lines().count().max(1);
+    let mut in_test = vec![false; line_count];
+    let bytes = stripped.as_bytes();
+    let mut search = 0usize;
+    while let Some(pos) = stripped[search..].find("#[cfg(test)]") {
+        let attr_start = search + pos;
+        let mut i = attr_start + "#[cfg(test)]".len();
+        // Skip further attributes (e.g. `#[allow(..)]`) between the cfg
+        // and the item.
+        loop {
+            while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+                i += 1;
+            }
+            if bytes.get(i) == Some(&b'#') {
+                while i < bytes.len() && bytes[i] != b'\n' && bytes[i] != b']' {
+                    i += 1;
+                }
+                i += 1;
+            } else {
+                break;
+            }
+        }
+        // Walk to the item's opening brace or terminating semicolon.
+        let mut depth = 0usize;
+        let mut end = i;
+        while end < bytes.len() {
+            match bytes[end] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end += 1;
+                        break;
+                    }
+                }
+                b';' if depth == 0 => {
+                    end += 1;
+                    break;
+                }
+                _ => {}
+            }
+            end += 1;
+        }
+        let first_line = stripped[..attr_start]
+            .bytes()
+            .filter(|&b| b == b'\n')
+            .count();
+        let last_line = stripped[..end.min(bytes.len())]
+            .bytes()
+            .filter(|&b| b == b'\n')
+            .count();
+        for flag in in_test
+            .iter_mut()
+            .take((last_line + 1).min(line_count))
+            .skip(first_line)
+        {
+            *flag = true;
+        }
+        search = end.max(attr_start + 1);
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_are_blanked_and_collected() {
+        let lexed = LexedFile::new("let x = 1; // partial_cmp\nlet y = 2;\n");
+        assert!(!lexed.stripped.contains("partial_cmp"));
+        assert!(lexed.stripped.contains("let x = 1;"));
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].0, 1);
+        assert!(lexed.comments[0].1.contains("partial_cmp"));
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_comment() {
+        let src = "a /* outer /* inner */ still outer */ b\nc\n";
+        let lexed = LexedFile::new(src);
+        assert!(lexed.stripped.contains('a'));
+        assert!(lexed.stripped.contains('b'));
+        assert!(!lexed.stripped.contains("outer"));
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].1.contains("inner"));
+    }
+
+    #[test]
+    fn block_comment_spanning_lines_preserves_line_numbers() {
+        let src = "x\n/* one\ntwo\nthree */\ny = unwrap\n";
+        let lexed = LexedFile::new(src);
+        let offset = lexed.stripped.find("unwrap").unwrap();
+        assert_eq!(lexed.line_of(offset), 5);
+        assert_eq!(lexed.comments[0].0, 2);
+    }
+
+    #[test]
+    fn comment_start_inside_string_literal_is_not_a_comment() {
+        let src = "let url = \"https://example.com\"; let z = 3;\n";
+        let lexed = LexedFile::new(src);
+        assert!(lexed.comments.is_empty());
+        assert!(lexed.stripped.contains("let z = 3;"));
+        assert!(!lexed.stripped.contains("example"));
+    }
+
+    #[test]
+    fn string_escapes_do_not_end_the_literal_early() {
+        let src = r#"let s = "a\"b//c"; let tail = 9;"#;
+        let lexed = LexedFile::new(src);
+        assert!(lexed.comments.is_empty());
+        assert!(lexed.stripped.contains("let tail = 9;"));
+        assert!(!lexed.stripped.contains("//c"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_blanked() {
+        let src = "let p = r#\"unwrap() \"quoted\" //nope\"#; let q = 1;\n";
+        let lexed = LexedFile::new(src);
+        assert!(!lexed.stripped.contains("unwrap"));
+        assert!(!lexed.stripped.contains("nope"));
+        assert!(lexed.stripped.contains("let q = 1;"));
+        assert!(lexed.comments.is_empty());
+    }
+
+    #[test]
+    fn byte_raw_strings_and_plain_identifiers_starting_with_r() {
+        let src = "let raw = br##\"body\"##; for r in rows { r.touch(); }\n";
+        let lexed = LexedFile::new(src);
+        assert!(!lexed.stripped.contains("body"));
+        assert!(lexed.stripped.contains("for r in rows"));
+        assert!(lexed.stripped.contains("r.touch()"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; let n = '\\n'; }\n";
+        let lexed = LexedFile::new(src);
+        assert!(lexed.stripped.contains("fn f<'a>(x: &'a str)"));
+        // The literal bodies are blanked; the surrounding code survives.
+        assert!(lexed.stripped.contains("let c = '"));
+        assert!(lexed.stripped.contains("let n = '"));
+    }
+
+    #[test]
+    fn comment_marker_inside_char_literal() {
+        let src = "let slash = '/'; let also = '/'; // real comment\n";
+        let lexed = LexedFile::new(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].1.contains("real comment"));
+    }
+
+    #[test]
+    fn cfg_test_module_lines_are_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let lexed = LexedFile::new(src);
+        assert!(!lexed.is_test_line(1));
+        assert!(lexed.is_test_line(2));
+        assert!(lexed.is_test_line(3));
+        assert!(lexed.is_test_line(4));
+        assert!(lexed.is_test_line(5));
+        assert!(!lexed.is_test_line(6));
+    }
+
+    #[test]
+    fn cfg_test_with_extra_attribute_covers_the_item() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod t {\n  fn x() {}\n}\nfn live() {}\n";
+        let lexed = LexedFile::new(src);
+        assert!(lexed.is_test_line(4));
+        assert!(!lexed.is_test_line(6));
+    }
+
+    #[test]
+    fn line_of_maps_offsets_to_lines() {
+        let lexed = LexedFile::new("one\ntwo\nthree\n");
+        let offset = lexed.stripped.find("three").unwrap();
+        assert_eq!(lexed.line_of(offset), 3);
+        assert_eq!(lexed.line_of(0), 1);
+    }
+}

@@ -1,0 +1,7 @@
+// audit:allow(raw-thread)
+pub fn spawn_one() {
+    std::thread::spawn(|| {});
+}
+
+// audit:allow(nondeterministic-iteration) unused: nothing below iterates anything
+pub fn idle() {}

@@ -1,0 +1,3 @@
+pub fn sort(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

@@ -1,0 +1,5 @@
+use std::collections::HashMap;
+
+pub fn sum(m: &HashMap<u64, f64>) -> f64 {
+    m.values().sum()
+}

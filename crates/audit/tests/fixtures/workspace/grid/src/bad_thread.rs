@@ -1,0 +1,3 @@
+pub fn go() {
+    std::thread::spawn(|| {});
+}

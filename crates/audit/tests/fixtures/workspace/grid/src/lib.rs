@@ -1,0 +1,4 @@
+//! Fixture crate root: carries both hygiene attributes, so only the
+//! deliberately-bad sibling files produce findings.
+#![deny(unsafe_code)]
+#![deny(missing_docs)]

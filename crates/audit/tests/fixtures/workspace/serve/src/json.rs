@@ -1,0 +1,3 @@
+pub fn parse(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

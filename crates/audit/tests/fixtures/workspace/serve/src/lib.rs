@@ -1,0 +1,3 @@
+// Fixture crate root with neither hygiene attribute: crate-hygiene must
+// report both, anchored at line 1.
+pub mod json;

@@ -10,7 +10,7 @@
 //! grid, which makes it attractive for very high dimensions but blind to
 //! clusters that only exist in the full space.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use adawave_api::PointsView;
 
@@ -155,7 +155,9 @@ pub fn clique_model(points: PointsView<'_>, config: &CliqueConfig) -> CliqueMode
             break;
         }
         let existing: HashSet<&DenseUnit> = current.iter().collect();
-        let mut candidates: HashSet<DenseUnit> = HashSet::new();
+        // BTreeSet: the candidate scan below walks this set, and dense-unit
+        // lists must come out in Ord order regardless of hash seeds.
+        let mut candidates: BTreeSet<DenseUnit> = BTreeSet::new();
         for (i, a) in current.iter().enumerate() {
             for b in &current[i + 1..] {
                 let k = a.dims.len();
@@ -196,21 +198,24 @@ pub fn clique_model(points: PointsView<'_>, config: &CliqueConfig) -> CliqueMode
             model.dense_units_by_level.push(Vec::new());
             break;
         }
-        // Count candidate support with one scan over the points.
-        let mut support: HashMap<&DenseUnit, usize> = candidates.iter().map(|c| (c, 0)).collect();
+        // Count candidate support with one scan over the points. The
+        // candidates come out of the BTreeSet already in Ord order, so the
+        // surviving units need no further sort.
+        let candidates: Vec<DenseUnit> = candidates.into_iter().collect();
+        let mut support = vec![0usize; candidates.len()];
         for p in points.rows() {
-            for (unit, count) in support.iter_mut() {
+            for (unit, count) in candidates.iter().zip(support.iter_mut()) {
                 if model.contains(unit, p) {
                     *count += 1;
                 }
             }
         }
-        let mut next: Vec<DenseUnit> = support
+        let next: Vec<DenseUnit> = candidates
             .into_iter()
+            .zip(support)
             .filter(|(_, c)| *c >= min_count)
-            .map(|(u, _)| u.clone())
+            .map(|(u, _)| u)
             .collect();
-        next.sort();
         model.dense_units_by_level.push(next.clone());
         if next.is_empty() {
             break;

@@ -108,7 +108,7 @@ pub fn dip_statistic(values: &[f64]) -> DipResult {
         };
     }
     let mut x: Vec<f64> = values.to_vec();
-    x.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    x.sort_by(f64::total_cmp);
 
     let mut low = 0usize;
     let mut high = n - 1;
@@ -284,7 +284,7 @@ fn expand_modal_interval(sorted: &[f64], lo: usize, hi: usize) -> (usize, usize)
 /// (inclusive), in increasing order of `low`.
 pub fn unidip(values: &[f64], config: &SkinnyDipConfig, rng: &mut Rng) -> Vec<(f64, f64)> {
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(f64::total_cmp);
     let mut intervals = Vec::new();
     unidip_recursive(&sorted, config, rng, 0, &mut intervals);
     let n = sorted.len();
@@ -318,7 +318,7 @@ pub fn unidip(values: &[f64], config: &SkinnyDipConfig, rng: &mut Rng) -> Vec<(f
         })
         .collect();
     let mut intervals = expanded;
-    intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
     merge_overlapping(&mut intervals);
     intervals
 }

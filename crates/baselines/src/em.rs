@@ -108,7 +108,7 @@ impl GaussianMixture {
         let resp = self.responsibilities(point);
         resp.iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap_or(0)
     }

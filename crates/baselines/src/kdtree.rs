@@ -65,9 +65,7 @@ impl KdIndex {
         let split_dim = if dims == 0 { 0 } else { depth % dims };
         let mid = indices.len() / 2;
         indices.select_nth_unstable_by(mid, |&a, &b| {
-            points.row(a)[split_dim]
-                .partial_cmp(&points.row(b)[split_dim])
-                .unwrap()
+            points.row(a)[split_dim].total_cmp(&points.row(b)[split_dim])
         });
         let point = indices[mid];
         let node_index = nodes.len();
@@ -158,7 +156,7 @@ impl KdIndex {
         if let Some(root) = self.root {
             self.nearest_recursive(points, root, query, k, &mut heap);
         }
-        heap.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        heap.sort_by(|a, b| a.0.total_cmp(&b.0));
         heap.into_iter().map(|(d, i)| (i, d.sqrt())).collect()
     }
 
@@ -175,10 +173,10 @@ impl KdIndex {
         let dist_sq = squared_distance(point, query);
         if heap.len() < k {
             heap.push((dist_sq, node.point));
-            heap.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap()); // largest first
+            heap.sort_by(|a, b| b.0.total_cmp(&a.0)); // largest first
         } else if dist_sq < heap[0].0 {
             heap[0] = (dist_sq, node.point);
-            heap.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+            heap.sort_by(|a, b| b.0.total_cmp(&a.0));
         }
         if self.dims == 0 {
             return;

@@ -139,7 +139,7 @@ pub fn optics_ordering(points: PointsView<'_>, max_eps: f64, min_points: usize) 
         if dists.len() < min_points {
             return None;
         }
-        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        dists.sort_by(f64::total_cmp);
         Some(dists[min_points - 1].sqrt())
     };
 
@@ -155,7 +155,7 @@ pub fn optics_ordering(points: PointsView<'_>, max_eps: f64, min_points: usize) 
             .iter()
             .enumerate()
             .filter(|(_, &p)| !processed[p])
-            .min_by(|a, b| reach[*a.1].partial_cmp(&reach[*b.1]).unwrap())
+            .min_by(|a, b| reach[*a.1].total_cmp(&reach[*b.1]))
             .map(|(i, _)| i)
         {
             let current = seeds.swap_remove(best_pos);

@@ -211,16 +211,20 @@ impl StingGrid {
     /// sparser leaves are noise.
     pub fn cluster(&self, density_threshold: usize) -> Clustering {
         let leaves = &self.cells[self.levels as usize];
-        let relevant: HashMap<&Vec<u32>, usize> = leaves
+        // Enumerate the dense leaves in sorted coordinate order so their
+        // indices — and with them the union-find shape — are a function of
+        // the grid content, not of hash-map iteration order.
+        let mut dense: Vec<&Vec<u32>> = leaves
             .iter()
             .filter(|(_, s)| s.count >= density_threshold)
             .map(|(c, _)| c)
-            .enumerate()
-            .map(|(i, c)| (c, i))
             .collect();
+        dense.sort_unstable();
+        let relevant: HashMap<&Vec<u32>, usize> =
+            dense.iter().enumerate().map(|(i, &c)| (c, i)).collect();
 
         // Union-find over relevant leaves connected through shared faces.
-        let mut parent: Vec<usize> = (0..relevant.len()).collect();
+        let mut parent: Vec<usize> = (0..dense.len()).collect();
         fn find(parent: &mut [usize], mut i: usize) -> usize {
             while parent[i] != i {
                 parent[i] = parent[parent[i]];
@@ -228,7 +232,7 @@ impl StingGrid {
             }
             i
         }
-        for (coords, &i) in &relevant {
+        for (i, coords) in dense.iter().enumerate() {
             for j in 0..self.dims {
                 if coords[j] + 1 < (1u32 << self.levels) {
                     let mut neighbor = (*coords).clone();

@@ -139,6 +139,7 @@ fn main() {
         for clients in [1usize, 4] {
             // Single-point latency under `clients` concurrent connections.
             let wall = Instant::now();
+            // audit:allow(raw-thread) load-generator clients for the benchmark; no clustering result depends on them
             let mut latencies: Vec<f64> = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..clients)
                     .map(|c| {

@@ -348,7 +348,7 @@ pub fn fig8_noise_sweep(
 /// Print the Fig. 8 series as a noise × algorithm matrix.
 pub fn print_fig8(rows: &[Fig8Row]) {
     let mut noise_levels: Vec<f64> = rows.iter().map(|r| r.noise_percent).collect();
-    noise_levels.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    noise_levels.sort_by(f64::total_cmp);
     noise_levels.dedup();
     let mut headers = vec!["noise %".to_string()];
     headers.extend(Algorithm::FIG8.iter().map(|a| a.name().to_string()));

@@ -179,6 +179,14 @@ COMMANDS:
              Prints a per-plan pass/fail report per file. Exit codes:
              0 = every plan passed, 1 = a plan failed or a script could
              not be parsed/read, 2 = usage error.
+  audit      Static-analysis pass over the workspace sources enforcing
+             the determinism, panic-safety and float-discipline
+             contracts (same engine as the `adawave-audit` binary)
+             adawave audit [--root <dir>] [--list] [lint-name ...]
+             [--root <dir>] (audit the workspace containing <dir>;
+              default: the current directory)
+             [--list] (print the lint table and the escape syntax)
+             Exit codes: 0 = clean, 1 = findings, 2 = usage error.
   list-algorithms
              Every registered algorithm with its parameters and defaults
   info       List the available algorithms, wavelets and threshold strategies
@@ -193,9 +201,10 @@ ALGORITHMS:
 
 /// Dispatch a parsed command line; returns the text to print on stdout.
 pub fn dispatch(args: &ParsedArgs) -> CliResult<String> {
-    // Only `script` takes positional operands; everywhere else a bare
-    // word is a mistake (e.g. a forgotten `--input`).
-    if args.command != "script" {
+    // Only `script` (files) and `audit` (lint names) take positional
+    // operands; everywhere else a bare word is a mistake (e.g. a
+    // forgotten `--input`).
+    if args.command != "script" && args.command != "audit" {
         args.reject_positionals()?;
     }
     match args.command.as_str() {
@@ -209,6 +218,7 @@ pub fn dispatch(args: &ParsedArgs) -> CliResult<String> {
         "evaluate" => evaluate(args),
         "sweep" => sweep(args),
         "script" => script(args),
+        "audit" => audit(args),
         "list-algorithms" => Ok(list_algorithms()),
         "info" => Ok(info()),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
@@ -237,6 +247,7 @@ const COMMANDS: &[&str] = &[
     "evaluate",
     "sweep",
     "script",
+    "audit",
     "list-algorithms",
     "info",
     "help",
@@ -1423,6 +1434,42 @@ fn script(args: &ParsedArgs) -> CliResult<String> {
 }
 
 // ---------------------------------------------------------------------------
+// audit
+// ---------------------------------------------------------------------------
+
+fn audit(args: &ParsedArgs) -> CliResult<String> {
+    if args.flag("list") || args.get("list").is_some() {
+        return Ok(adawave_audit::list_text());
+    }
+    let names: Vec<String> = args.positionals().to_vec();
+    let filter = adawave_audit::resolve_lint_names(&names).map_err(CliError::Usage)?;
+    let filter = (!filter.is_empty()).then_some(filter.as_slice());
+    let start = match args.get("root") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => std::env::current_dir().map_err(|e| {
+            CliError::Message(format!("cannot determine the working directory: {e}"))
+        })?,
+    };
+    let root = adawave_audit::find_root(&start).ok_or_else(|| {
+        CliError::Usage(format!(
+            "no workspace Cargo.toml at or above {} (use --root)",
+            start.display()
+        ))
+    })?;
+    let findings = adawave_audit::audit_workspace(&root, filter).map_err(CliError::Message)?;
+    if findings.is_empty() {
+        return Ok("audit: workspace clean\n".to_string());
+    }
+    let mut out = String::new();
+    for finding in &findings {
+        out.push_str(&finding.to_string());
+        out.push('\n');
+    }
+    out.push_str(&format!("audit: {} finding(s)", findings.len()));
+    Err(CliError::Message(out))
+}
+
+// ---------------------------------------------------------------------------
 // info & list-algorithms
 // ---------------------------------------------------------------------------
 
@@ -2287,6 +2334,50 @@ mod tests {
             assert!(out.contains("first") && out.contains("second"), "{out}");
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn audit_subcommand_lists_reports_and_suggests() {
+        // --list prints the lint table without touching the filesystem.
+        let out = dispatch(&ParsedArgs::parse(["audit", "--list"]).unwrap()).unwrap();
+        assert!(out.contains("float-sort-unwrap"), "{out}");
+        assert!(out.contains("audit:allow"), "{out}");
+
+        // The known-bad fixture workspace: findings, exit code 1, the
+        // pinned file:line diagnostics in the message.
+        let fixtures = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../audit/tests/fixtures/workspace"
+        );
+        let err = dispatch(&ParsedArgs::parse(["audit", "--root", fixtures]).unwrap()).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("grid/src/bad_float.rs:2: float-sort-unwrap"),
+            "{msg}"
+        );
+        assert!(msg.contains("finding(s)"), "{msg}");
+
+        // Restricting the pass to one lint narrows the findings.
+        let err =
+            dispatch(&ParsedArgs::parse(["audit", "--root", fixtures, "wall-clock"]).unwrap())
+                .unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        assert!(err.to_string().contains("wall-clock"), "{err}");
+        assert!(!err.to_string().contains("float-sort-unwrap"), "{err}");
+
+        // A misspelled lint name is a usage error with a suggestion.
+        let err =
+            dispatch(&ParsedArgs::parse(["audit", "--root", fixtures, "wall-cloak"]).unwrap())
+                .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("wall-clock"), "{err}");
+
+        // The live workspace itself audits clean through the subcommand.
+        let here = concat!(env!("CARGO_MANIFEST_DIR"));
+        let out = dispatch(&ParsedArgs::parse(["audit", "--root", here]).unwrap())
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert!(out.contains("workspace clean"), "{out}");
     }
 
     #[test]

@@ -233,9 +233,11 @@ impl Model for AdaWaveModel {
         out.push_str(&format!("max {}\n", join_hex(bounds.max())));
         out.push_str(&format!("cells {}\n", self.cells.len()));
         // Sorted by key so the payload is deterministic.
-        let mut cells: Vec<(u128, usize)> = self.cells.iter().map(|(&k, &v)| (k, v)).collect();
-        cells.sort_unstable();
-        for (key, id) in cells {
+        let mut sorted_cells: Vec<(u128, usize)> =
+            // audit:allow(nondeterministic-iteration) cells are collected and sorted on the next line
+            self.cells.iter().map(|(&k, &v)| (k, v)).collect();
+        sorted_cells.sort_unstable();
+        for (key, id) in sorted_cells {
             out.push_str(&format!("{key:032x} {id}\n"));
         }
         Some(out)

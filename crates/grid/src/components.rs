@@ -116,8 +116,9 @@ impl ComponentLabels {
         self.cluster_cells.get(id).copied().unwrap_or(0)
     }
 
-    /// Iterate over `(key, cluster id)` pairs.
+    /// Iterate over `(key, cluster id)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (u128, usize)> + '_ {
+        // audit:allow(nondeterministic-iteration) unspecified-order accessor; result-path consumers rebuild a map keyed by cell or sort (model serialization)
         self.labels.iter().map(|(&k, &v)| (k, v))
     }
 
@@ -177,8 +178,7 @@ pub fn connected_components(
     let mut order: Vec<usize> = (0..mass.len()).collect();
     order.sort_by(|&a, &b| {
         mass[b]
-            .partial_cmp(&mass[a])
-            .unwrap()
+            .total_cmp(&mass[a])
             .then_with(|| cells[b].cmp(&cells[a]))
             .then_with(|| a.cmp(&b))
     });

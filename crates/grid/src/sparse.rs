@@ -61,10 +61,11 @@ impl SparseGrid {
     /// map iteration order — and the hex densities make the round trip
     /// bit-exact.
     pub fn serialize_into(&self, out: &mut String) {
-        let mut keys: Vec<u128> = self.cells.keys().copied().collect();
-        keys.sort_unstable();
-        out.push_str(&format!("cells {}\n", keys.len()));
-        for key in keys {
+        // audit:allow(nondeterministic-iteration) keys are collected and sorted on the next line
+        let mut sorted_keys: Vec<u128> = self.cells.keys().copied().collect();
+        sorted_keys.sort_unstable();
+        out.push_str(&format!("cells {}\n", sorted_keys.len()));
+        for key in sorted_keys {
             out.push_str(&format!("{key:032x} {}\n", f64_to_hex(self.cells[&key])));
         }
     }
@@ -119,29 +120,39 @@ impl SparseGrid {
 
     /// Iterate over `(key, density)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (u128, f64)> + '_ {
+        // audit:allow(nondeterministic-iteration) documented unspecified-order accessor; result-path consumers sort or accumulate per key
         self.cells.iter().map(|(&k, &v)| (k, v))
     }
 
     /// Iterate over stored keys.
     pub fn keys(&self) -> impl Iterator<Item = u128> + '_ {
+        // audit:allow(nondeterministic-iteration) documented unspecified-order accessor; result-path consumers sort or accumulate per key
         self.cells.keys().copied()
     }
 
     /// Total mass (sum of densities).
     pub fn total_mass(&self) -> f64 {
-        self.cells.values().sum()
+        // Densities are summed in ascending key order: float addition is
+        // not associative, so a hash-order sum could differ in the last
+        // bits from run to run.
+        // audit:allow(nondeterministic-iteration) collected and sorted by key before the order-sensitive float sum
+        let mut keyed: Vec<(u128, f64)> = self.cells.iter().map(|(&k, &v)| (k, v)).collect();
+        keyed.sort_unstable_by_key(|&(k, _)| k);
+        keyed.into_iter().map(|(_, v)| v).sum()
     }
 
     /// Maximum density over stored cells (0.0 for an empty grid).
     pub fn max_density(&self) -> f64 {
+        // audit:allow(nondeterministic-iteration) max over finite densities is order-insensitive
         self.cells.values().cloned().fold(0.0, f64::max)
     }
 
     /// Densities sorted in descending order — the curve that the adaptive
     /// threshold (Fig. 6 / Algorithm 4) is fitted to.
     pub fn sorted_densities(&self) -> Vec<f64> {
+        // audit:allow(nondeterministic-iteration) collected then fully sorted on the next line
         let mut d: Vec<f64> = self.cells.values().cloned().collect();
-        d.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        d.sort_by(|a, b| b.total_cmp(a));
         d
     }
 
@@ -171,6 +182,7 @@ impl SparseGrid {
     /// ingestion layer (`adawave-stream`) rely on.
     pub fn merge(&mut self, other: &SparseGrid) {
         self.cells.reserve(other.cells.len());
+        // audit:allow(nondeterministic-iteration) per-key additive accumulation; every key is touched exactly once, any order
         for (&key, &density) in &other.cells {
             *self.cells.entry(key).or_insert(0.0) += density;
         }
@@ -198,11 +210,11 @@ impl SparseGrid {
             self.cells.clear();
             return removed;
         }
+        // audit:allow(nondeterministic-iteration) only the select_nth cut-off value is used; it is the same for any collection order
         let mut magnitudes: Vec<f64> = self.cells.values().map(|v| v.abs()).collect();
         // The cut-off is the budget-th largest magnitude.
         let cut_index = magnitudes.len() - budget;
-        let (_, cutoff, _) =
-            magnitudes.select_nth_unstable_by(cut_index, |a, b| a.partial_cmp(b).unwrap());
+        let (_, cutoff, _) = magnitudes.select_nth_unstable_by(cut_index, |a, b| a.total_cmp(b));
         let cutoff = *cutoff;
         let before = self.cells.len();
         // Keep everything strictly above the cut-off, then fill the remaining
@@ -211,12 +223,14 @@ impl SparseGrid {
         // (smallest first) rather than map iteration order, so the surviving
         // set is a pure function of the grid content.
         let mut slots_for_ties = budget;
+        // audit:allow(nondeterministic-iteration) counting predicate matches is order-insensitive
         for v in self.cells.values() {
             if v.abs() > cutoff {
                 slots_for_ties -= 1;
             }
         }
         let mut tie_keys: Vec<u128> = self
+            // audit:allow(nondeterministic-iteration) tie keys are collected then sorted below
             .cells
             .iter()
             .filter(|(_, v)| v.abs() == cutoff)

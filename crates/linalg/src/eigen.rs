@@ -121,7 +121,7 @@ pub fn jacobi_eigen(a: &Matrix, max_sweeps: usize) -> Result<EigenDecomposition>
 
     // Sort eigenpairs by eigenvalue, descending.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| m[(j, j)].partial_cmp(&m[(i, i)]).unwrap());
+    order.sort_by(|&i, &j| m[(j, j)].total_cmp(&m[(i, i)]));
     let eigenvalues: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
     let mut eigenvectors = Matrix::zeros(n, n);
     for (new_col, &old_col) in order.iter().enumerate() {

@@ -7,7 +7,10 @@ pub fn entropy_of_labels(labels: &[usize]) -> f64 {
     if labels.is_empty() {
         return 0.0;
     }
-    let mut counts = std::collections::HashMap::new();
+    // BTreeMap so the float sum below runs in label order — a HashMap
+    // would add the -p*ln(p) terms in random-seeded order and the total
+    // could differ in the last bits between runs.
+    let mut counts = std::collections::BTreeMap::new();
     for &l in labels {
         *counts.entry(l).or_insert(0u64) += 1;
     }

@@ -164,7 +164,7 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, byte: u8) -> Result<(), String> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
@@ -211,7 +211,10 @@ impl Parser<'_> {
         {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // The scanned bytes are ASCII digits/signs, so this cannot fail —
+        // but the request path must not panic on the impossible either.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("invalid utf-8 in number at byte {start}"))?;
         let value: f64 = text
             .parse()
             .map_err(|_| format!("bad number '{text}' at byte {start}"))?;
@@ -223,7 +226,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -263,9 +266,13 @@ impl Parser<'_> {
                     return Err(format!("raw control byte in string at {}", self.pos))
                 }
                 Some(_) => {
-                    // Advance one full UTF-8 scalar (input is valid UTF-8).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).unwrap();
-                    let c = rest.chars().next().unwrap();
+                    // Advance one full UTF-8 scalar. The document is
+                    // re-validated here so a malformed body is a typed
+                    // error, never a panic.
+                    let c = std::str::from_utf8(&self.bytes[self.pos..])
+                        .ok()
+                        .and_then(|rest| rest.chars().next())
+                        .ok_or_else(|| format!("invalid utf-8 at byte {}", self.pos))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -274,7 +281,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b']') {
@@ -297,7 +304,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut fields = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b'}') {
@@ -308,7 +315,7 @@ impl Parser<'_> {
             self.skip_whitespace();
             let key = self.string()?;
             self.skip_whitespace();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_whitespace();
             let value = self.value()?;
             fields.push((key, value));

@@ -24,7 +24,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -88,11 +88,15 @@ impl Server {
             let store = Arc::clone(&store);
             let config = config.clone();
             pool.push(
+                // audit:allow(raw-thread) connection worker pool: serves I/O, produces no clustering results; thread count never affects labels
                 std::thread::Builder::new()
                     .name(format!("adawave-serve-{i}"))
                     .spawn(move || loop {
-                        // Hold the receiver lock only for the handoff.
-                        let stream = rx.lock().expect("worker queue poisoned").recv();
+                        // Hold the receiver lock only for the handoff —
+                        // and recover a poisoned lock (the handoff cannot
+                        // leave the queue inconsistent) so one crashed
+                        // worker never wedges the pool.
+                        let stream = rx.lock().unwrap_or_else(PoisonError::into_inner).recv();
                         match stream {
                             Ok(stream) => handle_connection(stream, &store, &config),
                             Err(_) => break, // acceptor gone: drain done
@@ -103,6 +107,7 @@ impl Server {
 
         let acceptor = {
             let shutdown = Arc::clone(&shutdown);
+            // audit:allow(raw-thread) accept-loop thread: plumbing only, no result-producing work
             std::thread::Builder::new()
                 .name("adawave-serve-accept".to_string())
                 .spawn(move || {

@@ -15,7 +15,7 @@
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 
 use adawave_api::Model;
 
@@ -38,6 +38,11 @@ pub struct ModelEntry {
 
 /// Named models behind a read-mostly lock. See the module docs for the
 /// locking discipline.
+///
+/// Lock poisoning is deliberately recovered (`PoisonError::into_inner`)
+/// rather than propagated as a panic: every critical section is a single
+/// map operation that cannot leave the map logically inconsistent, and
+/// the request path must stay panic-free.
 pub struct ModelStore {
     loader: ModelLoader,
     entries: RwLock<BTreeMap<String, Arc<ModelEntry>>>,
@@ -64,7 +69,7 @@ impl ModelStore {
         });
         self.entries
             .write()
-            .expect("model store lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(name.to_string(), entry);
         Ok(())
     }
@@ -79,7 +84,7 @@ impl ModelStore {
         // Parse the file with no lock held — reload cost never blocks
         // readers, and a corrupt file never evicts the serving model.
         let model: Arc<dyn Model> = Arc::from((self.loader)(&current.path)?);
-        let mut entries = self.entries.write().expect("model store lock poisoned");
+        let mut entries = self.entries.write().unwrap_or_else(PoisonError::into_inner);
         // Re-read the live version under the write-lock so concurrent
         // reloads still produce strictly increasing versions.
         let version = entries.get(name).map_or(1, |e| e.version + 1);
@@ -99,7 +104,7 @@ impl ModelStore {
     pub fn get(&self, name: &str) -> Option<Arc<ModelEntry>> {
         self.entries
             .read()
-            .expect("model store lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(name)
             .cloned()
     }
@@ -108,7 +113,7 @@ impl ModelStore {
     pub fn names(&self) -> Vec<String> {
         self.entries
             .read()
-            .expect("model store lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .keys()
             .cloned()
             .collect()
@@ -118,7 +123,7 @@ impl ModelStore {
     pub fn entries(&self) -> Vec<Arc<ModelEntry>> {
         self.entries
             .read()
-            .expect("model store lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .values()
             .cloned()
             .collect()
@@ -128,7 +133,7 @@ impl ModelStore {
     pub fn len(&self) -> usize {
         self.entries
             .read()
-            .expect("model store lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .len()
     }
 

@@ -40,7 +40,7 @@ pub fn universal_threshold(finest_detail: &[f64]) -> f64 {
         return 0.0;
     }
     let mut abs: Vec<f64> = finest_detail.iter().map(|c| c.abs()).collect();
-    abs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    abs.sort_by(f64::total_cmp);
     let median = if n % 2 == 1 {
         abs[n / 2]
     } else {
